@@ -1,0 +1,107 @@
+// Substrate microbenchmarks: B+-tree and end-to-end statement execution.
+// Not a paper figure; establishes the baseline costs that the E2/E3
+// overhead percentages are measured against.
+//
+//   build/bench/bench_engine
+#include <benchmark/benchmark.h>
+
+#include "engine/database.h"
+#include "engine/session.h"
+#include "storage/bplus_tree.h"
+#include "workload/tpch_gen.h"
+
+namespace sqlcm {
+namespace {
+
+using common::Row;
+using common::Value;
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  storage::BPlusTree<int64_t> tree;
+  int64_t i = 0;
+  for (auto _ : state) {
+    tree.Insert({Value::Int(i)}, i);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeInsert);
+
+void BM_BPlusTreeFind(benchmark::State& state) {
+  storage::BPlusTree<int64_t> tree;
+  const int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) tree.Insert({Value::Int(i)}, i);
+  int64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Find({Value::Int(key)}));
+    key = (key + 7919) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeFind)->Arg(1'000)->Arg(100'000)->Arg(1'000'000);
+
+class EngineFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (db != nullptr) return;
+    db = new engine::Database();
+    workload::TpchConfig tpch;
+    tpch.num_orders = 25'000;
+    tpch.num_parts = 500;
+    if (!workload::LoadTpch(db, tpch).ok()) std::abort();
+    session = db->CreateSession().release();
+    // Warm the plan cache.
+    exec::ParamMap params = {{"k", Value::Int(1)}};
+    (void)session->Execute("SELECT * FROM orders WHERE o_orderkey = @k",
+                           &params);
+  }
+
+  static engine::Database* db;
+  static engine::Session* session;
+};
+engine::Database* EngineFixture::db = nullptr;
+engine::Session* EngineFixture::session = nullptr;
+
+BENCHMARK_F(EngineFixture, PointSelectCachedPlan)(benchmark::State& state) {
+  int64_t k = 1;
+  for (auto _ : state) {
+    exec::ParamMap params = {{"k", Value::Int(k)}};
+    auto result =
+        session->Execute("SELECT * FROM orders WHERE o_orderkey = @k",
+                         &params);
+    benchmark::DoNotOptimize(result);
+    k = k % 25'000 + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(EngineFixture, PointSelectCompileEachTime)(
+    benchmark::State& state) {
+  int64_t k = 1;
+  for (auto _ : state) {
+    // Unique text defeats the plan cache: measures parse+plan+optimize.
+    auto result = session->Execute(
+        "SELECT o_custkey FROM orders WHERE o_orderkey = " +
+        std::to_string(k));
+    benchmark::DoNotOptimize(result);
+    k = k % 25'000 + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(EngineFixture, UpdateSingleRow)(benchmark::State& state) {
+  int64_t k = 1;
+  for (auto _ : state) {
+    exec::ParamMap params = {{"k", Value::Int(k)}};
+    auto result = session->Execute(
+        "UPDATE orders SET o_custkey = 1 WHERE o_orderkey = @k", &params);
+    benchmark::DoNotOptimize(result);
+    k = k % 25'000 + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+}  // namespace sqlcm
+
+BENCHMARK_MAIN();

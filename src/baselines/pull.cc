@@ -1,0 +1,105 @@
+#include "baselines/pull.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sqlcm::baselines {
+
+void ObservationStore::Observe(uint64_t query_id, const std::string& text,
+                               int64_t duration_micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ObservedQuery& entry = observed_[query_id];
+  if (entry.query_id == 0) {
+    entry.query_id = query_id;
+    entry.text = text;
+  }
+  entry.duration_micros = std::max(entry.duration_micros, duration_micros);
+}
+
+std::vector<ObservedQuery> ObservationStore::TopK(size_t k) const {
+  std::vector<ObservedQuery> all;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    all.reserve(observed_.size());
+    for (const auto& [_, entry] : observed_) all.push_back(entry);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const ObservedQuery& a, const ObservedQuery& b) {
+              if (a.duration_micros != b.duration_micros) {
+                return a.duration_micros > b.duration_micros;
+              }
+              return a.query_id < b.query_id;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+size_t ObservationStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return observed_.size();
+}
+
+void PullMonitor::PollOnce() {
+  const int64_t now = db_->clock()->NowMicros();
+  for (const auto& stmt : db_->SnapshotActiveStatements()) {
+    store_.Observe(stmt.query_id, stmt.text, now - stmt.start_micros);
+  }
+  polls_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PullMonitor::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] {
+    while (running_.load(std::memory_order_acquire)) {
+      PollOnce();
+      // Sleep in 1ms slices so Stop() is responsive even at 5min rates.
+      int64_t remaining = options_.poll_interval_micros;
+      while (remaining > 0 && running_.load(std::memory_order_acquire)) {
+        const int64_t slice = std::min<int64_t>(remaining, 1000);
+        std::this_thread::sleep_for(std::chrono::microseconds(slice));
+        remaining -= slice;
+      }
+    }
+  });
+}
+
+void PullMonitor::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void PullHistoryMonitor::PollOnce() {
+  size_t seen = db_->StatementHistorySize();
+  size_t prev = max_history_seen_.load(std::memory_order_relaxed);
+  while (seen > prev &&
+         !max_history_seen_.compare_exchange_weak(prev, seen)) {
+  }
+  for (const auto& stmt : db_->DrainStatementHistory()) {
+    store_.Observe(stmt.query_id, stmt.text, stmt.duration_micros);
+  }
+  polls_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PullHistoryMonitor::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] {
+    while (running_.load(std::memory_order_acquire)) {
+      PollOnce();
+      int64_t remaining = options_.poll_interval_micros;
+      while (remaining > 0 && running_.load(std::memory_order_acquire)) {
+        const int64_t slice = std::min<int64_t>(remaining, 1000);
+        std::this_thread::sleep_for(std::chrono::microseconds(slice));
+        remaining -= slice;
+      }
+    }
+  });
+}
+
+void PullHistoryMonitor::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace sqlcm::baselines

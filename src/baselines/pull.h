@@ -1,0 +1,118 @@
+// PULL and PULL_history baselines (paper §6.2.2(b)/(c)).
+//
+// PULL: a client thread repeatedly polls the server's active-statement
+// snapshot and estimates each statement's execution time from how long it
+// has been observed running. Lossy: statements that start and finish
+// between polls are never seen, and observed durations undershoot.
+//
+// PULL_history: the server keeps every completed statement until the
+// client picks the history up; exact but the un-drained history consumes
+// server memory between polls.
+#ifndef SQLCM_BASELINES_PULL_H_
+#define SQLCM_BASELINES_PULL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace sqlcm::baselines {
+
+struct ObservedQuery {
+  uint64_t query_id = 0;
+  std::string text;
+  /// PULL: longest observed elapsed time; PULL_history: exact duration.
+  int64_t duration_micros = 0;
+};
+
+/// Common client-side store: per-query maximum observed duration + top-k
+/// extraction.
+class ObservationStore {
+ public:
+  void Observe(uint64_t query_id, const std::string& text,
+               int64_t duration_micros);
+  std::vector<ObservedQuery> TopK(size_t k) const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, ObservedQuery> observed_;
+};
+
+class PullMonitor {
+ public:
+  struct Options {
+    int64_t poll_interval_micros = 1'000'000;  // paper sweeps 1s .. 5min
+  };
+
+  PullMonitor(engine::Database* db, Options options)
+      : db_(db), options_(options) {}
+  ~PullMonitor() { Stop(); }
+  PullMonitor(const PullMonitor&) = delete;
+  PullMonitor& operator=(const PullMonitor&) = delete;
+
+  /// One poll: snapshots active statements and records elapsed times.
+  void PollOnce();
+
+  /// Background polling at the configured rate.
+  void Start();
+  void Stop();
+
+  uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+  std::vector<ObservedQuery> TopK(size_t k) const { return store_.TopK(k); }
+  size_t observed_count() const { return store_.size(); }
+
+ private:
+  engine::Database* db_;
+  Options options_;
+  ObservationStore store_;
+  std::atomic<uint64_t> polls_{0};
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+class PullHistoryMonitor {
+ public:
+  struct Options {
+    int64_t poll_interval_micros = 1'000'000;
+  };
+
+  PullHistoryMonitor(engine::Database* db, Options options)
+      : db_(db), options_(options) {}
+  ~PullHistoryMonitor() { Stop(); }
+  PullHistoryMonitor(const PullHistoryMonitor&) = delete;
+  PullHistoryMonitor& operator=(const PullHistoryMonitor&) = delete;
+
+  /// One pickup: drains the server-side history into the client store.
+  void PollOnce();
+
+  void Start();
+  void Stop();
+
+  uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+  std::vector<ObservedQuery> TopK(size_t k) const { return store_.TopK(k); }
+  size_t observed_count() const { return store_.size(); }
+  /// Largest server-side history size seen at pickup time (memory cost of
+  /// polling too infrequently).
+  size_t max_history_seen() const {
+    return max_history_seen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  engine::Database* db_;
+  Options options_;
+  ObservationStore store_;
+  std::atomic<uint64_t> polls_{0};
+  std::atomic<size_t> max_history_seen_{0};
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace sqlcm::baselines
+
+#endif  // SQLCM_BASELINES_PULL_H_

@@ -1,0 +1,67 @@
+// Query_logging baseline (paper §6.2.2(a)): write out all information on
+// each committed query to a reporting table with forced synchronous
+// writes — push without in-server filtering, i.e. classic event logging.
+// The final answer (e.g. top-10 by duration) is computed afterwards with a
+// SQL query over the reporting table.
+#ifndef SQLCM_BASELINES_QUERY_LOGGING_H_
+#define SQLCM_BASELINES_QUERY_LOGGING_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "engine/database.h"
+#include "engine/monitor_hooks.h"
+#include "storage/table_io.h"
+
+namespace sqlcm::baselines {
+
+class QueryLoggingMonitor final : public engine::MonitorHooks {
+ public:
+  struct Options {
+    std::string table_name = "query_log";
+    /// When non-empty, every row is additionally appended to this CSV file
+    /// with an fdatasync per row — the paper's "forced synchronous writes".
+    std::string sync_file;
+    bool sync_every_row = true;
+  };
+
+  /// Creates the reporting table (query_id, session_id, query_text,
+  /// start_time, duration) and attaches to `db` as its monitor.
+  static common::Result<std::unique_ptr<QueryLoggingMonitor>> Create(
+      engine::Database* db, Options options);
+
+  ~QueryLoggingMonitor() override;
+
+  uint64_t rows_logged() const {
+    return rows_logged_.load(std::memory_order_relaxed);
+  }
+
+  // -- engine::MonitorHooks ---------------------------------------------------
+  void OnStatementCompiled(engine::CachedPlan* plan) override;
+  void OnQueryStart(const engine::QueryInfo&) override {}
+  void OnQueryCommit(const engine::QueryInfo& info) override;
+  void OnQueryCancel(const engine::QueryInfo&) override {}
+  void OnQueryRollback(const engine::QueryInfo&) override {}
+  void OnTransactionBegin(uint64_t, txn::TxnId) override {}
+  void OnTransactionCommit(uint64_t, txn::TxnId, int64_t) override {}
+  void OnTransactionRollback(uint64_t, txn::TxnId, int64_t) override {}
+  txn::LockEventObserver* lock_event_observer() override { return nullptr; }
+
+ private:
+  QueryLoggingMonitor(engine::Database* db, Options options,
+                      storage::Table* table,
+                      std::unique_ptr<storage::SyncCsvWriter> writer)
+      : db_(db), options_(std::move(options)), table_(table),
+        writer_(std::move(writer)) {}
+
+  engine::Database* db_;
+  Options options_;
+  storage::Table* table_;
+  std::unique_ptr<storage::SyncCsvWriter> writer_;  // may be null
+  std::atomic<uint64_t> rows_logged_{0};
+};
+
+}  // namespace sqlcm::baselines
+
+#endif  // SQLCM_BASELINES_QUERY_LOGGING_H_

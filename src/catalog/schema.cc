@@ -1,0 +1,88 @@
+#include "catalog/schema.h"
+
+#include "common/string_util.h"
+
+namespace sqlcm::catalog {
+
+using common::Result;
+using common::Row;
+using common::Status;
+
+Result<TableSchema> TableSchema::Create(
+    std::string table_name, std::vector<Column> columns,
+    const std::vector<std::string>& primary_key_names) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("table '" + table_name +
+                                   "' must have at least one column");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      if (common::EqualsIgnoreCase(columns[i].name, columns[j].name)) {
+        return Status::InvalidArgument("duplicate column '" + columns[i].name +
+                                       "' in table '" + table_name + "'");
+      }
+    }
+  }
+  TableSchema schema(std::move(table_name), std::move(columns), {});
+  for (const std::string& key_col : primary_key_names) {
+    const int ordinal = schema.FindColumn(key_col);
+    if (ordinal < 0) {
+      return Status::InvalidArgument("primary key column '" + key_col +
+                                     "' not found in table '" +
+                                     schema.table_name_ + "'");
+    }
+    schema.primary_key_.push_back(static_cast<size_t>(ordinal));
+  }
+  return schema;
+}
+
+int TableSchema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (common::EqualsIgnoreCase(columns_[i].name, name)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Result<Row> TableSchema::ValidateRow(Row row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match table '" +
+        table_name_ + "' with " + std::to_string(columns_.size()) +
+        " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    SQLCM_ASSIGN_OR_RETURN(row[i], CoerceToType(row[i], columns_[i].type));
+  }
+  return row;
+}
+
+Row TableSchema::KeyOf(const Row& row) const {
+  Row key;
+  key.reserve(primary_key_.size());
+  for (size_t ordinal : primary_key_) key.push_back(row[ordinal]);
+  return key;
+}
+
+std::string TableSchema::ToString() const {
+  std::string out = table_name_ + "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ColumnTypeName(columns_[i].type);
+  }
+  if (!primary_key_.empty()) {
+    out += ", PRIMARY KEY(";
+    for (size_t i = 0; i < primary_key_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += columns_[primary_key_[i]].name;
+    }
+    out += ")";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace sqlcm::catalog

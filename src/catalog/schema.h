@@ -1,0 +1,66 @@
+// Table schemas: ordered columns with static types plus the primary key.
+#ifndef SQLCM_CATALOG_SCHEMA_H_
+#define SQLCM_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/types.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sqlcm::catalog {
+
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+/// Immutable-after-construction description of a table's shape.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string table_name, std::vector<Column> columns,
+              std::vector<size_t> primary_key)
+      : table_name_(std::move(table_name)),
+        columns_(std::move(columns)),
+        primary_key_(std::move(primary_key)) {}
+
+  /// Builds a schema, resolving key column names; validates that column
+  /// names are unique (case-insensitive) and key columns exist.
+  static common::Result<TableSchema> Create(
+      std::string table_name, std::vector<Column> columns,
+      const std::vector<std::string>& primary_key_names);
+
+  const std::string& table_name() const { return table_name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Ordinals of the primary-key columns, in key order. Empty means the
+  /// table uses an implicit rowid key.
+  const std::vector<size_t>& primary_key() const { return primary_key_; }
+  bool has_primary_key() const { return !primary_key_.empty(); }
+
+  /// Case-insensitive lookup; returns -1 if absent.
+  int FindColumn(std::string_view name) const;
+
+  /// Validates arity and per-column types of a full row, coercing numerics
+  /// (int literal into FLOAT column). Returns the coerced row.
+  common::Result<common::Row> ValidateRow(common::Row row) const;
+
+  /// Extracts the primary-key values of a row (empty if no declared key).
+  common::Row KeyOf(const common::Row& row) const;
+
+  /// "name(col TYPE, ..., PRIMARY KEY(...))" rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::string table_name_;
+  std::vector<Column> columns_;
+  std::vector<size_t> primary_key_;
+};
+
+}  // namespace sqlcm::catalog
+
+#endif  // SQLCM_CATALOG_SCHEMA_H_

@@ -1,0 +1,134 @@
+#include "catalog/types.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace sqlcm::catalog {
+
+using common::EqualsIgnoreCase;
+using common::Result;
+using common::Status;
+using common::Value;
+using common::ValueKind;
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt: return "INT";
+    case ColumnType::kDouble: return "FLOAT";
+    case ColumnType::kString: return "STRING";
+    case ColumnType::kBool: return "BOOL";
+  }
+  return "?";
+}
+
+Result<ColumnType> ParseTypeName(std::string_view name) {
+  for (std::string_view n : {"INT", "INTEGER", "BIGINT", "DATETIME"}) {
+    if (EqualsIgnoreCase(name, n)) return ColumnType::kInt;
+  }
+  for (std::string_view n : {"FLOAT", "DOUBLE", "REAL"}) {
+    if (EqualsIgnoreCase(name, n)) return ColumnType::kDouble;
+  }
+  for (std::string_view n : {"STRING", "VARCHAR", "TEXT", "CHAR", "BLOB"}) {
+    if (EqualsIgnoreCase(name, n)) return ColumnType::kString;
+  }
+  for (std::string_view n : {"BOOL", "BOOLEAN"}) {
+    if (EqualsIgnoreCase(name, n)) return ColumnType::kBool;
+  }
+  return Status::InvalidArgument("unknown column type '" + std::string(name) +
+                                 "'");
+}
+
+ValueKind ValueKindForType(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt: return ValueKind::kInt;
+    case ColumnType::kDouble: return ValueKind::kDouble;
+    case ColumnType::kString: return ValueKind::kString;
+    case ColumnType::kBool: return ValueKind::kBool;
+  }
+  return ValueKind::kNull;
+}
+
+bool ValueMatchesType(const Value& v, ColumnType type) {
+  if (v.is_null()) return true;
+  switch (type) {
+    case ColumnType::kInt: return v.is_int();
+    case ColumnType::kDouble: return v.is_numeric();
+    case ColumnType::kString: return v.is_string();
+    case ColumnType::kBool: return v.is_bool();
+  }
+  return false;
+}
+
+Result<Value> CoerceToType(const Value& v, ColumnType type) {
+  if (v.is_null()) return v;
+  switch (type) {
+    case ColumnType::kInt:
+      if (v.is_int()) return v;
+      break;
+    case ColumnType::kDouble:
+      if (v.is_double()) return v;
+      if (v.is_int()) return Value::Double(static_cast<double>(v.int_value()));
+      break;
+    case ColumnType::kString:
+      if (v.is_string()) return v;
+      break;
+    case ColumnType::kBool:
+      if (v.is_bool()) return v;
+      break;
+  }
+  return Status::TypeError(std::string("cannot store ") +
+                           ValueKindName(v.kind()) + " value " + v.ToString() +
+                           " in " + ColumnTypeName(type) + " column");
+}
+
+Result<Value> ParseValueText(std::string_view text, ColumnType type) {
+  if (text.empty() || text == "NULL") return Value::Null();
+  switch (type) {
+    case ColumnType::kInt: {
+      const std::string s(text);
+      char* end = nullptr;
+      const int64_t v = std::strtoll(s.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::ParseError("bad INT literal '" + s + "'");
+      }
+      return Value::Int(v);
+    }
+    case ColumnType::kDouble: {
+      const std::string s(text);
+      char* end = nullptr;
+      const double v = std::strtod(s.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::ParseError("bad FLOAT literal '" + s + "'");
+      }
+      return Value::Double(v);
+    }
+    case ColumnType::kString: {
+      // Accept either the quoted ToString() form or raw text.
+      if (text.size() >= 2 && text.front() == '\'' && text.back() == '\'') {
+        std::string body;
+        for (size_t i = 1; i + 1 < text.size(); ++i) {
+          if (text[i] == '\'' && i + 2 < text.size() && text[i + 1] == '\'') {
+            body += '\'';
+            ++i;
+          } else {
+            body += text[i];
+          }
+        }
+        return Value::String(std::move(body));
+      }
+      return Value::String(std::string(text));
+    }
+    case ColumnType::kBool:
+      if (EqualsIgnoreCase(text, "TRUE") || text == "1") {
+        return Value::Bool(true);
+      }
+      if (EqualsIgnoreCase(text, "FALSE") || text == "0") {
+        return Value::Bool(false);
+      }
+      return Status::ParseError("bad BOOL literal '" + std::string(text) + "'");
+  }
+  return Status::Internal("unhandled column type");
+}
+
+}  // namespace sqlcm::catalog

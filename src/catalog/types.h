@@ -1,0 +1,45 @@
+// Column type system: the static types a table column can have and their
+// mapping to runtime common::Value kinds.
+#ifndef SQLCM_CATALOG_TYPES_H_
+#define SQLCM_CATALOG_TYPES_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sqlcm::catalog {
+
+enum class ColumnType : uint8_t {
+  kInt,      // INT, INTEGER, BIGINT, DATETIME (microseconds since epoch)
+  kDouble,   // FLOAT, DOUBLE, REAL
+  kString,   // STRING, VARCHAR, TEXT, CHAR, BLOB
+  kBool,     // BOOL, BOOLEAN
+};
+
+const char* ColumnTypeName(ColumnType type);
+
+/// Maps a SQL type name (case-insensitive) to a ColumnType.
+common::Result<ColumnType> ParseTypeName(std::string_view name);
+
+/// Runtime kind a column of this type stores.
+common::ValueKind ValueKindForType(ColumnType type);
+
+/// True if `v` may be stored in a column of type `type` (NULL always may;
+/// ints are accepted into double columns and silently widened).
+bool ValueMatchesType(const common::Value& v, ColumnType type);
+
+/// Coerces `v` for storage into a column of `type` (int→double widening);
+/// TypeError if incompatible.
+common::Result<common::Value> CoerceToType(const common::Value& v,
+                                           ColumnType type);
+
+/// Parses the ToString() rendering of a value of this type (used by CSV
+/// restore). Empty string parses as NULL.
+common::Result<common::Value> ParseValueText(std::string_view text,
+                                             ColumnType type);
+
+}  // namespace sqlcm::catalog
+
+#endif  // SQLCM_CATALOG_TYPES_H_

@@ -1,0 +1,79 @@
+// Time source abstraction.
+//
+// The engine and the monitor take a Clock* so tests can drive time
+// deterministically (MockClock) while benches and examples use real time
+// (SystemClock). All durations in the library are microseconds unless a
+// name says otherwise.
+#ifndef SQLCM_COMMON_CLOCK_H_
+#define SQLCM_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace sqlcm::common {
+
+/// Monotonic microsecond clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Microseconds since an arbitrary epoch; monotonic non-decreasing.
+  virtual int64_t NowMicros() const = 0;
+
+  /// Blocks (or advances virtual time) for the given duration.
+  virtual void SleepMicros(int64_t micros) = 0;
+};
+
+/// Real clock backed by std::chrono::steady_clock.
+class SystemClock final : public Clock {
+ public:
+  int64_t NowMicros() const override;
+  void SleepMicros(int64_t micros) override;
+
+  /// Process-wide instance (trivially-destructible storage).
+  static SystemClock* Get();
+};
+
+/// Manually-advanced clock for deterministic tests.
+///
+/// Thread-safe: concurrent readers see a consistent monotonic value.
+class MockClock final : public Clock {
+ public:
+  explicit MockClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+  /// SleepMicros on a mock clock advances time rather than blocking, so
+  /// single-threaded tests that exercise sleep-based code terminate.
+  void SleepMicros(int64_t micros) override { Advance(micros); }
+
+  void Advance(int64_t micros) {
+    now_.fetch_add(micros, std::memory_order_acq_rel);
+  }
+  void SetMicros(int64_t now) { now_.store(now, std::memory_order_release); }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+/// Scope timer: accumulates elapsed wall time into *sink_micros.
+class ScopedTimer {
+ public:
+  ScopedTimer(const Clock* clock, int64_t* sink_micros)
+      : clock_(clock), sink_micros_(sink_micros),
+        start_(clock->NowMicros()) {}
+  ~ScopedTimer() { *sink_micros_ += clock_->NowMicros() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const Clock* clock_;
+  int64_t* sink_micros_;
+  int64_t start_;
+};
+
+}  // namespace sqlcm::common
+
+#endif  // SQLCM_COMMON_CLOCK_H_

@@ -1,0 +1,47 @@
+// Short-duration latches (the paper's term, §6.1) protecting LAT rows,
+// the ordering heap and hash-directory entries.
+//
+// These guard critical sections of a few dozen instructions, so a spinlock
+// is appropriate; contention measurements for the paper's "latching is not
+// a hotspot" claim live in bench/bench_lat.cc.
+#ifndef SQLCM_COMMON_LATCH_H_
+#define SQLCM_COMMON_LATCH_H_
+
+#include <atomic>
+
+namespace sqlcm::common {
+
+/// Test-and-test-and-set spinlock. Satisfies BasicLockable so it works with
+/// std::lock_guard.
+class SpinLatch {
+ public:
+  SpinLatch() = default;
+  SpinLatch(const SpinLatch&) = delete;
+  SpinLatch& operator=(const SpinLatch&) = delete;
+
+  void lock() {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        // spin; pause hint keeps sibling hyperthread responsive
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace sqlcm::common
+
+#endif  // SQLCM_COMMON_LATCH_H_

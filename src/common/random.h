@@ -1,0 +1,72 @@
+// Small, fast, seedable PRNG for workload generation and tests.
+//
+// xoshiro256** — deterministic across platforms (unlike std::mt19937's
+// distributions, whose output is implementation-defined for some
+// distribution types).
+#ifndef SQLCM_COMMON_RANDOM_H_
+#define SQLCM_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sqlcm::common {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x853c49e6748fea9bull) {
+    // splitmix64 expansion of the seed into four lanes.
+    uint64_t x = seed;
+    for (auto& lane : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Random lowercase ASCII string of the given length.
+  std::string NextString(size_t len) {
+    std::string out(len, 'a');
+    for (char& c : out) c = static_cast<char>('a' + Uniform(26));
+    return out;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace sqlcm::common
+
+#endif  // SQLCM_COMMON_RANDOM_H_

@@ -1,0 +1,187 @@
+// Exception-free error handling, in the style of Arrow/RocksDB.
+//
+// All fallible operations in the library return a Status (when there is no
+// value to produce) or a Result<T> (when there is). Exceptions are not used
+// anywhere in the library.
+#ifndef SQLCM_COMMON_STATUS_H_
+#define SQLCM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace sqlcm::common {
+
+/// Broad machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // named entity does not exist
+  kAlreadyExists,     // named entity already exists
+  kParseError,        // SQL / rule-language text failed to parse
+  kTypeError,         // type mismatch during binding or evaluation
+  kDeadlock,          // transaction chosen as deadlock victim
+  kCancelled,         // execution cancelled (e.g. by a SQLCM Cancel action)
+  kAborted,           // transaction rolled back for another reason
+  kResourceExhausted, // a configured limit was hit
+  kIOError,           // filesystem problem during persist/restore
+  kInternal,          // invariant violation; indicates a library bug
+  kNotImplemented,
+};
+
+/// Returns a stable human-readable name ("InvalidArgument", ...) for a code.
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap value type carrying success or an (code, message) error.
+///
+/// Statuses are copyable and movable; the OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsTypeError() const { return code_ == StatusCode::kTypeError; }
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsNotImplemented() const {
+    return code_ == StatusCode::kNotImplemented;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a T or an error Status. Like arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return some_t;` in Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::NotFound(...);`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Checked in debug builds.
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the contained value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ engaged
+  std::optional<T> value_;
+};
+
+// Propagation macros (statement-expression free, Arrow-style).
+#define SQLCM_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::sqlcm::common::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+#define SQLCM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define SQLCM_CONCAT_IMPL(a, b) a##b
+#define SQLCM_CONCAT(a, b) SQLCM_CONCAT_IMPL(a, b)
+
+/// SQLCM_ASSIGN_OR_RETURN(auto x, ExprReturningResult());
+#define SQLCM_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SQLCM_ASSIGN_OR_RETURN_IMPL(             \
+      SQLCM_CONCAT(_result_tmp_, __LINE__), lhs, rexpr)
+
+}  // namespace sqlcm::common
+
+#endif  // SQLCM_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+// Small string helpers shared by the SQL front end, the rule language and
+// CSV persistence.
+#ifndef SQLCM_COMMON_STRING_UTIL_H_
+#define SQLCM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqlcm::common {
+
+/// ASCII-lowercased copy.
+std::string ToLower(std::string_view s);
+/// ASCII-uppercased copy.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality (SQL identifiers and keywords).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// CSV field encoding: quotes the field if it contains separator, quote or
+/// newline; embedded quotes are doubled.
+std::string CsvEscape(std::string_view field);
+
+/// Parses one CSV line into fields (inverse of CsvEscape + Join(",")).
+std::vector<std::string> CsvParseLine(std::string_view line);
+
+}  // namespace sqlcm::common
+
+#endif  // SQLCM_COMMON_STRING_UTIL_H_

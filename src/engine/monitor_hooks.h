@@ -1,0 +1,84 @@
+// Instrumentation boundary between the engine and SQLCM.
+//
+// The engine calls these hooks synchronously from its own execution paths
+// (paper §6.1: "rule evaluation is triggered in the code path of the event
+// ... branching into the SQLCM code and then resuming execution afterwards
+// ... no context switching is required"). The engine has no dependency on
+// the monitor; cm::MonitorEngine implements this interface and is attached
+// via Database::set_monitor_hooks.
+//
+// When no monitor is attached the hook call sites cost one pointer test —
+// the basis for the "no monitoring is performed unless it is required by a
+// rule" property (§2.1).
+#ifndef SQLCM_ENGINE_MONITOR_HOOKS_H_
+#define SQLCM_ENGINE_MONITOR_HOOKS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "engine/plan_cache.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+
+namespace sqlcm::engine {
+
+/// Everything the monitor can probe about one executing statement. Field
+/// lifetimes: pointers are valid for the duration of the hook call (and,
+/// for `plan`, as long as the plan-cache entry lives).
+struct QueryInfo {
+  uint64_t query_id = 0;         // unique per statement execution
+  uint64_t session_id = 0;
+  txn::TxnId txn_id = 0;
+  txn::Transaction* txn = nullptr;  // for Cancel actions; may be null
+  const std::string* text = nullptr;
+  const std::string* user = nullptr;         // session user name
+  const std::string* application = nullptr;  // session application name
+  const CachedPlan* plan = nullptr;  // null for EXEC wrapper queries
+  /// Shared ownership of the plan-cache entry; the monitor pins it in the
+  /// query record so probe strings can be read in place without copies.
+  std::shared_ptr<const CachedPlan> plan_ref;
+  const char* statement_type = "SELECT";
+  double estimated_cost = 0;
+  int64_t start_micros = 0;
+  // End-of-query fields (valid in commit/cancel/rollback hooks):
+  int64_t duration_micros = 0;
+  uint64_t rows_scanned = 0;
+  // For EXEC wrapper statements the monitor needs a stable signature even
+  // without a plan; the engine provides the canonical strings directly.
+  const std::string* override_logical_signature = nullptr;
+  const std::string* override_physical_signature = nullptr;
+};
+
+class MonitorHooks {
+ public:
+  virtual ~MonitorHooks() = default;
+
+  /// A statement finished planning+optimization. The monitor computes and
+  /// caches the query signatures into `plan` here (called before the entry
+  /// is published to the plan cache). `optimize_micros` is the measured
+  /// optimization time, used by the signature-overhead experiment (E1).
+  virtual void OnStatementCompiled(CachedPlan* plan) = 0;
+
+  /// Query lifecycle events (paper §5.1): Start fires before execution,
+  /// exactly one of Commit/Cancel/Rollback fires after.
+  virtual void OnQueryStart(const QueryInfo& info) = 0;
+  virtual void OnQueryCommit(const QueryInfo& info) = 0;
+  virtual void OnQueryCancel(const QueryInfo& info) = 0;
+  virtual void OnQueryRollback(const QueryInfo& info) = 0;
+
+  /// Transaction lifecycle (outermost begin/commit brackets, §4.2).
+  virtual void OnTransactionBegin(uint64_t session_id, txn::TxnId txn_id) = 0;
+  virtual void OnTransactionCommit(uint64_t session_id, txn::TxnId txn_id,
+                                   int64_t duration_micros) = 0;
+  virtual void OnTransactionRollback(uint64_t session_id, txn::TxnId txn_id,
+                                     int64_t duration_micros) = 0;
+
+  /// The lock-conflict observer the engine wires into its LockManager
+  /// (Query.Blocked / Query.Block_Released events). May return nullptr.
+  virtual txn::LockEventObserver* lock_event_observer() = 0;
+};
+
+}  // namespace sqlcm::engine
+
+#endif  // SQLCM_ENGINE_MONITOR_HOOKS_H_

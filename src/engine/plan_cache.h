@@ -1,0 +1,82 @@
+// Plan cache: SQL text -> compiled plan (+ cached query signatures).
+//
+// Paper §4.2: "The logical query signature is computed during query
+// optimization and stored as part of the query plan; thus, if a query plan
+// is cached, so is its signature, thereby avoiding the need to recompute it
+// often." CachedPlan carries monitor-filled signature fields so exactly
+// that happens: the monitor computes signatures once at compile time and
+// every later execution of the cached plan reuses them.
+#ifndef SQLCM_ENGINE_PLAN_CACHE_H_
+#define SQLCM_ENGINE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "exec/logical_plan.h"
+#include "exec/physical_plan.h"
+
+namespace sqlcm::engine {
+
+/// One compiled statement. Immutable after compilation except the
+/// monitor-owned signature fields (written once, before the entry is
+/// published to the cache) and the execution counter.
+struct CachedPlan {
+  std::string sql_text;
+  std::unique_ptr<exec::LogicalPlan> logical;
+  std::unique_ptr<exec::PhysicalPlan> physical;
+
+  int64_t optimize_micros = 0;  // planning + optimization wall time
+
+  // --- Monitor-owned (filled by MonitorHooks::OnStatementCompiled) ---
+  bool signatures_computed = false;
+  std::string logical_signature;     // canonical linearization (paper: BLOB)
+  std::string physical_signature;
+  uint64_t logical_signature_hash = 0;
+  uint64_t physical_signature_hash = 0;
+  int64_t signature_micros = 0;      // cost of computing both signatures
+
+  /// Number of executions of this plan (Query.Number_of_instances probe).
+  std::atomic<uint64_t> execution_count{0};
+};
+
+/// Thread-safe LRU cache keyed by exact SQL text.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// nullptr on miss; refreshes LRU position on hit.
+  std::shared_ptr<CachedPlan> Get(const std::string& sql_text);
+
+  /// Inserts (replacing any same-text entry) and evicts LRU overflow.
+  void Put(std::shared_ptr<CachedPlan> plan);
+
+  /// Drops everything (called on DDL).
+  void Clear();
+
+  size_t size() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  // LRU list front = most recent; map value holds list iterator + entry.
+  std::list<std::string> lru_;
+  struct Slot {
+    std::shared_ptr<CachedPlan> plan;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, Slot> map_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace sqlcm::engine
+
+#endif  // SQLCM_ENGINE_PLAN_CACHE_H_

@@ -1,0 +1,54 @@
+// Stored procedures: named, parameterized statement sequences with IF/ELSE
+// branching (the paper's motivating shape for transaction signatures,
+// §4.2: "IF Condition THEN A ELSE B").
+//
+// Procedures are registered through the API (Database::CreateProcedure);
+// bodies reference parameters as @name inside their SQL text and branch
+// conditions.
+#ifndef SQLCM_ENGINE_PROCEDURE_H_
+#define SQLCM_ENGINE_PROCEDURE_H_
+
+#include <string>
+#include <vector>
+
+namespace sqlcm::engine {
+
+struct ProcStep {
+  enum class Kind : uint8_t { kSql, kIf };
+
+  Kind kind = Kind::kSql;
+
+  // kSql
+  std::string sql;
+
+  // kIf
+  std::string condition;  // SQL boolean expression over @params
+  std::vector<ProcStep> then_branch;
+  std::vector<ProcStep> else_branch;
+
+  static ProcStep Sql(std::string text) {
+    ProcStep step;
+    step.kind = Kind::kSql;
+    step.sql = std::move(text);
+    return step;
+  }
+  static ProcStep If(std::string condition, std::vector<ProcStep> then_branch,
+                     std::vector<ProcStep> else_branch = {}) {
+    ProcStep step;
+    step.kind = Kind::kIf;
+    step.condition = std::move(condition);
+    step.then_branch = std::move(then_branch);
+    step.else_branch = std::move(else_branch);
+    return step;
+  }
+};
+
+struct Procedure {
+  std::string name;
+  std::vector<std::string> params;  // names without the leading '@'
+  std::vector<ProcStep> body;
+};
+
+}  // namespace sqlcm::engine
+
+#endif  // SQLCM_ENGINE_PROCEDURE_H_

@@ -1,0 +1,305 @@
+#include "engine/session.h"
+
+#include "catalog/types.h"
+#include "sql/parser.h"
+
+namespace sqlcm::engine {
+
+using common::Result;
+using common::Status;
+using exec::ParamMap;
+using exec::QueryResult;
+
+Session::~Session() {
+  if (txn_ != nullptr) {
+    AbortTxn();  // rollback on disconnect
+  }
+}
+
+bool Session::EnsureTxn() {
+  if (txn_ != nullptr) return false;
+  txn_ = db_->txn_manager()->Begin();
+  txn_start_micros_ = db_->clock()->NowMicros();
+  if (MonitorHooks* hooks = db_->monitor_hooks()) {
+    hooks->OnTransactionBegin(id_, txn_->id());
+  }
+  return true;
+}
+
+Status Session::CommitTxn() {
+  if (txn_ == nullptr) return Status::OK();
+  const txn::TxnId txn_id = txn_->id();
+  const Status s = db_->txn_manager()->Commit(txn_);
+  txn_ = nullptr;
+  if (MonitorHooks* hooks = db_->monitor_hooks()) {
+    hooks->OnTransactionCommit(id_, txn_id,
+                               db_->clock()->NowMicros() - txn_start_micros_);
+  }
+  return s;
+}
+
+Status Session::AbortTxn() {
+  if (txn_ == nullptr) return Status::OK();
+  const txn::TxnId txn_id = txn_->id();
+  const Status s = db_->txn_manager()->Abort(txn_);
+  txn_ = nullptr;
+  if (MonitorHooks* hooks = db_->monitor_hooks()) {
+    hooks->OnTransactionRollback(
+        id_, txn_id, db_->clock()->NowMicros() - txn_start_micros_);
+  }
+  return s;
+}
+
+Status Session::Begin() {
+  if (txn_ != nullptr) {
+    return Status::InvalidArgument("BEGIN inside an open transaction");
+  }
+  EnsureTxn();
+  return Status::OK();
+}
+
+Status Session::Commit() {
+  if (txn_ == nullptr) {
+    return Status::InvalidArgument("COMMIT without an open transaction");
+  }
+  return CommitTxn();
+}
+
+Status Session::Rollback() {
+  if (txn_ == nullptr) {
+    return Status::InvalidArgument("ROLLBACK without an open transaction");
+  }
+  return AbortTxn();
+}
+
+QueryInfo Session::MakeQueryInfo(uint64_t query_id, const std::string* text,
+                                 const CachedPlan* plan) const {
+  QueryInfo info;
+  info.query_id = query_id;
+  info.session_id = id_;
+  info.txn_id = txn_ != nullptr ? txn_->id() : 0;
+  info.txn = txn_;
+  info.text = text;
+  info.user = &user_;
+  info.application = &application_;
+  info.plan = plan;
+  info.start_micros = db_->clock()->NowMicros();
+  return info;
+}
+
+Result<QueryResult> Session::Execute(const std::string& sql,
+                                     const ParamMap* params) {
+  // Fast path: the plan cache is keyed by exact statement text.
+  if (auto cached = db_->plan_cache()->Get(sql)) {
+    return ExecutePlan(cached, params);
+  }
+  SQLCM_ASSIGN_OR_RETURN(auto stmt, sql::Parser::ParseStatement(sql));
+  switch (stmt->kind) {
+    case sql::StatementKind::kBegin:
+      SQLCM_RETURN_IF_ERROR(Begin());
+      return QueryResult{};
+    case sql::StatementKind::kCommit:
+      SQLCM_RETURN_IF_ERROR(Commit());
+      return QueryResult{};
+    case sql::StatementKind::kRollback:
+      SQLCM_RETURN_IF_ERROR(Rollback());
+      return QueryResult{};
+    case sql::StatementKind::kCreateTable:
+    case sql::StatementKind::kCreateIndex:
+    case sql::StatementKind::kDropTable:
+      return ExecuteDdl(*stmt);
+    case sql::StatementKind::kExecProcedure:
+      return ExecuteProcedure(
+          static_cast<const sql::ExecProcedureStmt&>(*stmt), params);
+    default: {
+      SQLCM_ASSIGN_OR_RETURN(auto plan, db_->Compile(sql, *stmt));
+      return ExecutePlan(plan, params);
+    }
+  }
+}
+
+Result<QueryResult> Session::ExecutePlan(
+    const std::shared_ptr<CachedPlan>& plan, const ParamMap* params) {
+  const bool autocommit = EnsureTxn();
+  MonitorHooks* hooks = db_->monitor_hooks();
+
+  QueryInfo info = MakeQueryInfo(db_->NextQueryId(), &plan->sql_text,
+                                 plan.get());
+  info.plan_ref = plan;
+  info.statement_type = plan->physical->StatementType();
+  info.estimated_cost = plan->physical->est_cost;
+  if (hooks != nullptr) hooks->OnQueryStart(info);
+
+  const bool track_statement = db_->options().enable_statement_snapshot ||
+                               db_->options().enable_statement_history;
+  if (track_statement) {
+    Database::StatementRecord record;
+    record.query_id = info.query_id;
+    record.session_id = id_;
+    record.text = plan->sql_text;
+    record.start_micros = info.start_micros;
+    db_->RegisterStatement(record);
+  }
+
+  exec::ExecContext ctx;
+  ctx.txn = txn_;
+  ctx.locks = db_->txn_manager()->lock_manager();
+  ctx.clock = db_->clock();
+  ctx.params = params;
+  ctx.lock_rows_for_reads = db_->options().lock_rows_for_reads;
+  ctx.lock_timeout_micros = db_->options().lock_timeout_micros;
+
+  auto result = exec::Executor::Execute(*plan->physical, &ctx);
+
+  info.duration_micros = db_->clock()->NowMicros() - info.start_micros;
+  info.rows_scanned = ctx.rows_scanned;
+  if (track_statement) {
+    db_->UnregisterStatement(info.query_id, info.duration_micros);
+  }
+
+  if (result.ok()) {
+    plan->execution_count.fetch_add(1, std::memory_order_relaxed);
+    if (hooks != nullptr) hooks->OnQueryCommit(info);
+    if (autocommit) {
+      SQLCM_RETURN_IF_ERROR(CommitTxn());
+    }
+    return result;
+  }
+  if (hooks != nullptr) {
+    if (result.status().IsCancelled()) {
+      hooks->OnQueryCancel(info);
+    } else {
+      hooks->OnQueryRollback(info);
+    }
+  }
+  // Statement failure aborts the enclosing transaction (documented
+  // simplification; no statement-level savepoints).
+  AbortTxn();
+  return result.status();
+}
+
+Result<QueryResult> Session::ExecuteDdl(const sql::Statement& stmt) {
+  switch (stmt.kind) {
+    case sql::StatementKind::kCreateTable: {
+      const auto& create = static_cast<const sql::CreateTableStmt&>(stmt);
+      std::vector<catalog::Column> columns;
+      for (const auto& def : create.columns) {
+        SQLCM_ASSIGN_OR_RETURN(auto type, catalog::ParseTypeName(def.type_name));
+        columns.push_back({def.name, type});
+      }
+      SQLCM_ASSIGN_OR_RETURN(
+          auto schema, catalog::TableSchema::Create(
+                           create.table, std::move(columns),
+                           create.primary_key));
+      SQLCM_RETURN_IF_ERROR(
+          db_->catalog()->CreateTable(std::move(schema)).status());
+      break;
+    }
+    case sql::StatementKind::kCreateIndex: {
+      const auto& create = static_cast<const sql::CreateIndexStmt&>(stmt);
+      storage::Table* table = db_->catalog()->GetTable(create.table);
+      if (table == nullptr) {
+        return Status::NotFound("table '" + create.table + "' not found");
+      }
+      SQLCM_RETURN_IF_ERROR(table->CreateIndex(create.index, create.columns));
+      break;
+    }
+    case sql::StatementKind::kDropTable: {
+      const auto& drop = static_cast<const sql::DropTableStmt&>(stmt);
+      SQLCM_RETURN_IF_ERROR(db_->catalog()->DropTable(drop.table));
+      break;
+    }
+    default:
+      return Status::Internal("non-DDL statement in ExecuteDdl");
+  }
+  // Plans compiled against the old schema are invalid now.
+  db_->plan_cache()->Clear();
+  return QueryResult{};
+}
+
+Result<QueryResult> Session::ExecuteProcedure(
+    const sql::ExecProcedureStmt& stmt, const ParamMap* params) {
+  const Procedure* proc = db_->FindProcedure(stmt.procedure);
+  if (proc == nullptr) {
+    return Status::NotFound("procedure '" + stmt.procedure + "' not found");
+  }
+  if (stmt.args.size() != proc->params.size()) {
+    return Status::InvalidArgument(
+        "procedure '" + proc->name + "' expects " +
+        std::to_string(proc->params.size()) + " arguments, got " +
+        std::to_string(stmt.args.size()));
+  }
+  // Evaluate arguments (constants or references to caller parameters).
+  ParamMap proc_params;
+  const exec::RowSchema empty_schema;
+  for (size_t i = 0; i < stmt.args.size(); ++i) {
+    SQLCM_ASSIGN_OR_RETURN(auto bound,
+                           exec::BoundExpr::Bind(*stmt.args[i], empty_schema));
+    SQLCM_ASSIGN_OR_RETURN(auto value, bound->Eval({}, params));
+    proc_params[proc->params[i]] = std::move(value);
+  }
+
+  const bool autocommit = EnsureTxn();
+  MonitorHooks* hooks = db_->monitor_hooks();
+
+  // The EXEC itself is a monitored Query whose signature groups all
+  // invocations of the procedure (Example 1 in the paper groups outliers
+  // by this signature); its Duration covers the whole invocation.
+  const std::string exec_text = "EXEC " + proc->name;
+  const std::string exec_signature = "Exec(" + proc->name + ")";
+  QueryInfo info = MakeQueryInfo(db_->NextQueryId(), &exec_text, nullptr);
+  info.statement_type = "EXEC";
+  info.override_logical_signature = &exec_signature;
+  info.override_physical_signature = &exec_signature;
+  if (hooks != nullptr) hooks->OnQueryStart(info);
+
+  QueryResult last_result;
+  Status run_status = RunProcSteps(proc->body, proc_params, &last_result);
+
+  info.duration_micros = db_->clock()->NowMicros() - info.start_micros;
+  if (run_status.ok()) {
+    if (hooks != nullptr) hooks->OnQueryCommit(info);
+    if (autocommit) {
+      SQLCM_RETURN_IF_ERROR(CommitTxn());
+    }
+    return last_result;
+  }
+  if (hooks != nullptr) {
+    if (run_status.IsCancelled()) {
+      hooks->OnQueryCancel(info);
+    } else {
+      hooks->OnQueryRollback(info);
+    }
+  }
+  AbortTxn();
+  return run_status;
+}
+
+Status Session::RunProcSteps(const std::vector<ProcStep>& steps,
+                             const ParamMap& params,
+                             QueryResult* last_result) {
+  for (const ProcStep& step : steps) {
+    switch (step.kind) {
+      case ProcStep::Kind::kSql: {
+        auto result = Execute(step.sql, &params);
+        if (!result.ok()) return result.status();
+        *last_result = std::move(*result);
+        break;
+      }
+      case ProcStep::Kind::kIf: {
+        SQLCM_ASSIGN_OR_RETURN(auto cond_ast,
+                               sql::Parser::ParseExpression(step.condition));
+        const exec::RowSchema empty_schema;
+        SQLCM_ASSIGN_OR_RETURN(auto bound,
+                               exec::BoundExpr::Bind(*cond_ast, empty_schema));
+        SQLCM_ASSIGN_OR_RETURN(bool taken, bound->EvalBool({}, &params));
+        SQLCM_RETURN_IF_ERROR(RunProcSteps(
+            taken ? step.then_branch : step.else_branch, params, last_result));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sqlcm::engine

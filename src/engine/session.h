@@ -1,0 +1,82 @@
+// Session: one client connection's statement execution context.
+#ifndef SQLCM_ENGINE_SESSION_H_
+#define SQLCM_ENGINE_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "exec/executor.h"
+
+namespace sqlcm::engine {
+
+/// Not thread-safe: one thread drives a session at a time (matching one
+/// connection). Cross-thread Cancel is supported via the transaction's
+/// cancel flag (used by SQLCM's Cancel action).
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  uint64_t id() const { return id_; }
+
+  /// Probes used by monitoring rules to group by user/application.
+  void set_user(std::string user) { user_ = std::move(user); }
+  void set_application(std::string application) {
+    application_ = std::move(application);
+  }
+  const std::string& user() const { return user_; }
+  const std::string& application() const { return application_; }
+
+  /// Executes one SQL statement (any kind, including BEGIN/COMMIT/ROLLBACK,
+  /// DDL and EXEC). Autocommits when no explicit transaction is open. On
+  /// execution failure the enclosing transaction is rolled back.
+  common::Result<exec::QueryResult> Execute(
+      const std::string& sql, const exec::ParamMap* params = nullptr);
+
+  /// Explicit transaction control (equivalent to the SQL statements).
+  common::Status Begin();
+  common::Status Commit();
+  common::Status Rollback();
+
+  bool in_transaction() const { return txn_ != nullptr; }
+  txn::Transaction* current_txn() { return txn_; }
+
+ private:
+  friend class Database;
+  Session(Database* db, uint64_t id) : db_(db), id_(id) {}
+
+  /// Runs a compiled plan with full query-event instrumentation.
+  common::Result<exec::QueryResult> ExecutePlan(
+      const std::shared_ptr<CachedPlan>& plan, const exec::ParamMap* params);
+
+  common::Result<exec::QueryResult> ExecuteDdl(const sql::Statement& stmt);
+  common::Result<exec::QueryResult> ExecuteProcedure(
+      const sql::ExecProcedureStmt& stmt, const exec::ParamMap* params);
+  common::Status RunProcSteps(const std::vector<ProcStep>& steps,
+                              const exec::ParamMap& params,
+                              exec::QueryResult* last_result);
+
+  /// Starts an autocommit transaction if none is open; returns whether one
+  /// was started (and must be committed at statement end).
+  bool EnsureTxn();
+  common::Status CommitTxn();
+  common::Status AbortTxn();
+
+  /// Builds the QueryInfo for instrumentation hooks.
+  QueryInfo MakeQueryInfo(uint64_t query_id, const std::string* text,
+                          const CachedPlan* plan) const;
+
+  Database* db_;
+  const uint64_t id_;
+  std::string user_ = "dbo";
+  std::string application_ = "default";
+  txn::Transaction* txn_ = nullptr;
+  int64_t txn_start_micros_ = 0;
+};
+
+}  // namespace sqlcm::engine
+
+#endif  // SQLCM_ENGINE_SESSION_H_

@@ -1,0 +1,51 @@
+// Physical-plan interpreter (iterator model) and DML execution.
+#ifndef SQLCM_EXEC_EXECUTOR_H_
+#define SQLCM_EXEC_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "exec/physical_plan.h"
+#include "txn/transaction.h"
+
+namespace sqlcm::exec {
+
+/// Per-execution state; one per statement execution. The plan itself is
+/// shared and immutable.
+struct ExecContext {
+  txn::Transaction* txn = nullptr;
+  txn::LockManager* locks = nullptr;
+  common::Clock* clock = nullptr;
+  const ParamMap* params = nullptr;
+
+  /// When true, SELECT row accesses take shared row locks (repeatable-read
+  /// style); default is latch-consistent read-committed reads.
+  bool lock_rows_for_reads = false;
+  int64_t lock_timeout_micros = -1;
+
+  // Instrumentation (read by the monitoring hooks after execution).
+  size_t rows_scanned = 0;
+};
+
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<common::Row> rows;
+  size_t rows_affected = 0;  // DML only
+};
+
+class Executor {
+ public:
+  /// Runs `plan` to completion. SELECT plans return rows; DML plans return
+  /// rows_affected. Deadlock/cancel surface as kDeadlock / kCancelled; the
+  /// caller (session) decides transaction fate.
+  static common::Result<QueryResult> Execute(const PhysicalPlan& plan,
+                                             ExecContext* ctx);
+};
+
+}  // namespace sqlcm::exec
+
+#endif  // SQLCM_EXEC_EXECUTOR_H_

@@ -1,0 +1,291 @@
+#include "exec/expression.h"
+
+namespace sqlcm::exec {
+
+using common::Result;
+using common::Row;
+using common::Status;
+using common::Value;
+using sql::BinaryOp;
+using sql::UnaryOp;
+
+Result<Value> EvalComparison(BinaryOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  // Comparable kinds: numeric vs numeric, string vs string, bool vs bool.
+  const bool comparable =
+      (lhs.is_numeric() && rhs.is_numeric()) ||
+      (lhs.is_string() && rhs.is_string()) || (lhs.is_bool() && rhs.is_bool());
+  if (!comparable) {
+    return Status::TypeError("cannot compare " + lhs.ToString() + " with " +
+                             rhs.ToString());
+  }
+  const int c = lhs.Compare(rhs);
+  switch (op) {
+    case BinaryOp::kEq: return Value::Bool(c == 0);
+    case BinaryOp::kNe: return Value::Bool(c != 0);
+    case BinaryOp::kLt: return Value::Bool(c < 0);
+    case BinaryOp::kLe: return Value::Bool(c <= 0);
+    case BinaryOp::kGt: return Value::Bool(c > 0);
+    case BinaryOp::kGe: return Value::Bool(c >= 0);
+    default:
+      return Status::Internal("EvalComparison called with non-comparison op");
+  }
+}
+
+std::unique_ptr<BoundExpr> BoundExpr::MakeSlot(size_t slot) {
+  auto out = std::unique_ptr<BoundExpr>(new BoundExpr());
+  out->kind_ = Kind::kSlot;
+  out->slot_ = slot;
+  return out;
+}
+
+bool MatchLikePattern(std::string_view text, std::string_view pattern) {
+  // Greedy match with backtracking over the last '%' (classic two-pointer
+  // wildcard algorithm; linear in practice).
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos;
+  size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<Value> EvalLike(const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  if (!lhs.is_string() || !rhs.is_string()) {
+    return Status::TypeError("LIKE requires string operands");
+  }
+  return Value::Bool(MatchLikePattern(lhs.string_value(), rhs.string_value()));
+}
+
+Result<std::unique_ptr<BoundExpr>> BoundExpr::Bind(const sql::Expr& expr,
+                                                   const RowSchema& schema) {
+  auto bound = std::unique_ptr<BoundExpr>(new BoundExpr());
+  switch (expr.kind) {
+    case sql::ExprKind::kLiteral:
+      bound->kind_ = Kind::kLiteral;
+      bound->literal_ = expr.literal;
+      return bound;
+    case sql::ExprKind::kColumnRef: {
+      SQLCM_ASSIGN_OR_RETURN(bound->slot_,
+                             schema.Resolve(expr.table, expr.column));
+      bound->kind_ = Kind::kSlot;
+      return bound;
+    }
+    case sql::ExprKind::kParam:
+      bound->kind_ = Kind::kParam;
+      bound->param_name_ = expr.param_name;
+      return bound;
+    case sql::ExprKind::kUnary: {
+      bound->kind_ = Kind::kUnary;
+      bound->unary_op_ = expr.unary_op;
+      SQLCM_ASSIGN_OR_RETURN(bound->left_, Bind(*expr.left, schema));
+      return bound;
+    }
+    case sql::ExprKind::kBinary: {
+      bound->kind_ = Kind::kBinary;
+      bound->binary_op_ = expr.binary_op;
+      SQLCM_ASSIGN_OR_RETURN(bound->left_, Bind(*expr.left, schema));
+      SQLCM_ASSIGN_OR_RETURN(bound->right_, Bind(*expr.right, schema));
+      return bound;
+    }
+    case sql::ExprKind::kFuncCall:
+      return Status::InvalidArgument(
+          "function '" + expr.func_name +
+          "' is not valid here (aggregates only in SELECT with GROUP BY)");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<Value> BoundExpr::Eval(const Row& row, const ParamMap* params) const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return literal_;
+    case Kind::kSlot:
+      if (slot_ >= row.size()) {
+        return Status::Internal("slot out of range in expression");
+      }
+      return row[slot_];
+    case Kind::kParam: {
+      if (params == nullptr) {
+        return Status::InvalidArgument("no bindings for parameter @" +
+                                       param_name_);
+      }
+      auto it = params->find(param_name_);
+      if (it == params->end()) {
+        return Status::InvalidArgument("unbound parameter @" + param_name_);
+      }
+      return it->second;
+    }
+    case Kind::kUnary: {
+      SQLCM_ASSIGN_OR_RETURN(Value v, left_->Eval(row, params));
+      if (unary_op_ == UnaryOp::kNeg) return common::ValueNeg(v);
+      // NOT with three-valued logic.
+      if (v.is_null()) return Value::Null();
+      if (!v.is_bool()) {
+        return Status::TypeError("NOT applied to non-boolean " + v.ToString());
+      }
+      return Value::Bool(!v.bool_value());
+    }
+    case Kind::kBinary: {
+      // AND/OR need short-circuit + three-valued logic.
+      if (binary_op_ == BinaryOp::kAnd || binary_op_ == BinaryOp::kOr) {
+        SQLCM_ASSIGN_OR_RETURN(Value l, left_->Eval(row, params));
+        const bool is_and = binary_op_ == BinaryOp::kAnd;
+        if (l.is_bool()) {
+          if (is_and && !l.bool_value()) return Value::Bool(false);
+          if (!is_and && l.bool_value()) return Value::Bool(true);
+        } else if (!l.is_null()) {
+          return Status::TypeError("AND/OR applied to non-boolean " +
+                                   l.ToString());
+        }
+        SQLCM_ASSIGN_OR_RETURN(Value r, right_->Eval(row, params));
+        if (r.is_bool()) {
+          if (is_and && !r.bool_value()) return Value::Bool(false);
+          if (!is_and && r.bool_value()) return Value::Bool(true);
+        } else if (!r.is_null()) {
+          return Status::TypeError("AND/OR applied to non-boolean " +
+                                   r.ToString());
+        }
+        if (l.is_null() || r.is_null()) return Value::Null();
+        return Value::Bool(is_and ? (l.bool_value() && r.bool_value())
+                                  : (l.bool_value() || r.bool_value()));
+      }
+      SQLCM_ASSIGN_OR_RETURN(Value l, left_->Eval(row, params));
+      SQLCM_ASSIGN_OR_RETURN(Value r, right_->Eval(row, params));
+      switch (binary_op_) {
+        case BinaryOp::kAdd: return common::ValueAdd(l, r);
+        case BinaryOp::kSub: return common::ValueSub(l, r);
+        case BinaryOp::kMul: return common::ValueMul(l, r);
+        case BinaryOp::kDiv: return common::ValueDiv(l, r);
+        case BinaryOp::kMod: {
+          if (l.is_null() || r.is_null()) return Value::Null();
+          if (!l.is_int() || !r.is_int()) {
+            return Status::TypeError("% requires integer operands");
+          }
+          if (r.int_value() == 0) {
+            return Status::InvalidArgument("modulo by zero");
+          }
+          return Value::Int(l.int_value() % r.int_value());
+        }
+        case BinaryOp::kLike:
+          return EvalLike(l, r);
+        default:
+          return EvalComparison(binary_op_, l, r);
+      }
+    }
+  }
+  return Status::Internal("unhandled bound expression kind");
+}
+
+Result<bool> BoundExpr::EvalBool(const Row& row, const ParamMap* params) const {
+  SQLCM_ASSIGN_OR_RETURN(Value v, Eval(row, params));
+  if (v.is_null()) return false;
+  if (!v.is_bool()) {
+    return Status::TypeError("predicate did not evaluate to a boolean: " +
+                             v.ToString());
+  }
+  return v.bool_value();
+}
+
+std::unique_ptr<BoundExpr> BoundExpr::CloneShifted(int delta) const {
+  auto out = std::unique_ptr<BoundExpr>(new BoundExpr());
+  out->kind_ = kind_;
+  out->literal_ = literal_;
+  out->slot_ = kind_ == Kind::kSlot
+                   ? static_cast<size_t>(static_cast<int>(slot_) + delta)
+                   : slot_;
+  out->param_name_ = param_name_;
+  out->unary_op_ = unary_op_;
+  out->binary_op_ = binary_op_;
+  if (left_ != nullptr) out->left_ = left_->CloneShifted(delta);
+  if (right_ != nullptr) out->right_ = right_->CloneShifted(delta);
+  return out;
+}
+
+std::unique_ptr<BoundExpr> BoundExpr::CloneRemapped(
+    const std::vector<int>& mapping) const {
+  auto out = std::unique_ptr<BoundExpr>(new BoundExpr());
+  out->kind_ = kind_;
+  out->literal_ = literal_;
+  out->slot_ = kind_ == Kind::kSlot
+                   ? static_cast<size_t>(mapping[slot_])
+                   : slot_;
+  out->param_name_ = param_name_;
+  out->unary_op_ = unary_op_;
+  out->binary_op_ = binary_op_;
+  if (left_ != nullptr) out->left_ = left_->CloneRemapped(mapping);
+  if (right_ != nullptr) out->right_ = right_->CloneRemapped(mapping);
+  return out;
+}
+
+void BoundExpr::CollectSlots(std::vector<size_t>* slots) const {
+  if (kind_ == Kind::kSlot) slots->push_back(slot_);
+  if (left_ != nullptr) left_->CollectSlots(slots);
+  if (right_ != nullptr) right_->CollectSlots(slots);
+}
+
+bool BoundExpr::IsConstant() const {
+  switch (kind_) {
+    case Kind::kLiteral:
+    case Kind::kParam:
+      return true;
+    case Kind::kSlot:
+      return false;
+    case Kind::kUnary:
+      return left_->IsConstant();
+    case Kind::kBinary:
+      return left_->IsConstant() && right_->IsConstant();
+  }
+  return false;
+}
+
+void BoundExpr::AppendSignature(bool wildcard_constants,
+                                std::string* out) const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      if (wildcard_constants) {
+        *out += "?";
+      } else {
+        *out += literal_.ToString();
+      }
+      return;
+    case Kind::kSlot:
+      *out += "#" + std::to_string(slot_);
+      return;
+    case Kind::kParam:
+      // Identified parameters keep their identity so different parameters
+      // never collide (paper §4.2, "symbol that matches only other
+      // occurrences of P_i").
+      *out += "$" + param_name_;
+      return;
+    case Kind::kUnary:
+      *out += unary_op_ == UnaryOp::kNot ? "NOT(" : "NEG(";
+      left_->AppendSignature(wildcard_constants, out);
+      *out += ")";
+      return;
+    case Kind::kBinary:
+      *out += "(";
+      left_->AppendSignature(wildcard_constants, out);
+      *out += sql::BinaryOpName(binary_op_);
+      right_->AppendSignature(wildcard_constants, out);
+      *out += ")";
+      return;
+  }
+}
+
+}  // namespace sqlcm::exec

@@ -1,0 +1,107 @@
+// Bound (compiled) expressions: sql::Expr with column references resolved
+// to row slots, evaluated against runtime rows with SQL NULL semantics.
+#ifndef SQLCM_EXEC_EXPRESSION_H_
+#define SQLCM_EXEC_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "exec/row_schema.h"
+#include "sql/ast.h"
+
+namespace sqlcm::exec {
+
+/// Named-parameter bindings for one execution (@name -> value).
+using ParamMap = std::unordered_map<std::string, common::Value>;
+
+/// A compiled scalar expression tree. Immutable after Bind; shareable
+/// across concurrent executions (cached plans).
+class BoundExpr {
+ public:
+  enum class Kind : uint8_t { kLiteral, kSlot, kParam, kUnary, kBinary };
+
+  /// Compiles `expr` against `schema`. Aggregate function calls are
+  /// rejected here (the planner extracts them before binding); scalar
+  /// functions are not supported.
+  static common::Result<std::unique_ptr<BoundExpr>> Bind(
+      const sql::Expr& expr, const RowSchema& schema);
+
+  /// A bare slot reference (used by the optimizer for pass-through
+  /// projections).
+  static std::unique_ptr<BoundExpr> MakeSlot(size_t slot);
+
+  /// Evaluates with SQL semantics: comparisons/arithmetic with a NULL
+  /// operand yield NULL; AND/OR use three-valued logic.
+  common::Result<common::Value> Eval(const common::Row& row,
+                                     const ParamMap* params) const;
+
+  /// Evaluates as a predicate: NULL and FALSE both reject.
+  common::Result<bool> EvalBool(const common::Row& row,
+                                const ParamMap* params) const;
+
+  Kind kind() const { return kind_; }
+  size_t slot() const { return slot_; }
+  const common::Value& literal() const { return literal_; }
+  sql::BinaryOp binary_op() const { return binary_op_; }
+  sql::UnaryOp unary_op() const { return unary_op_; }
+  const BoundExpr* left() const { return left_.get(); }
+  const BoundExpr* right() const { return right_.get(); }
+  const std::string& param_name() const { return param_name_; }
+
+  /// True if no slot reference appears (constant w.r.t. the row).
+  bool IsConstant() const;
+
+  /// Deep copy with every slot index shifted by `delta` (used when pushing
+  /// predicates through joins, whose output is left ++ right).
+  std::unique_ptr<BoundExpr> CloneShifted(int delta) const;
+
+  /// Deep copy with every slot `s` rewritten to `mapping[s]` (used by the
+  /// join-order enumerator, which permutes relation layouts). Precondition:
+  /// every referenced slot has a non-negative mapping entry.
+  std::unique_ptr<BoundExpr> CloneRemapped(
+      const std::vector<int>& mapping) const;
+
+  /// Appends every referenced slot index (with duplicates).
+  void CollectSlots(std::vector<size_t>* slots) const;
+
+  /// Canonical rendering used by plan signatures: slots print as #N, and
+  /// when `wildcard_constants` is set, literals print as '?' and params as
+  /// '$name' (paper §4.2: constants are wildcarded, identified parameters
+  /// keep their identity).
+  void AppendSignature(bool wildcard_constants, std::string* out) const;
+
+ private:
+  BoundExpr() = default;
+
+  Kind kind_ = Kind::kLiteral;
+  common::Value literal_;
+  size_t slot_ = 0;
+  std::string param_name_;
+  sql::UnaryOp unary_op_{};
+  sql::BinaryOp binary_op_{};
+  std::unique_ptr<BoundExpr> left_;
+  std::unique_ptr<BoundExpr> right_;
+};
+
+/// Evaluates a comparison between two values with SQL NULL semantics.
+/// Returns NULL Value if either side is NULL, else a Bool.
+common::Result<common::Value> EvalComparison(sql::BinaryOp op,
+                                             const common::Value& lhs,
+                                             const common::Value& rhs);
+
+/// SQL LIKE pattern matching: '%' matches any run (including empty),
+/// '_' matches exactly one character; everything else matches literally.
+/// Case-sensitive (matching the engine's string comparisons).
+bool MatchLikePattern(std::string_view text, std::string_view pattern);
+
+/// LIKE with SQL NULL semantics; TypeError unless both sides are strings.
+common::Result<common::Value> EvalLike(const common::Value& lhs,
+                                       const common::Value& rhs);
+
+}  // namespace sqlcm::exec
+
+#endif  // SQLCM_EXEC_EXPRESSION_H_

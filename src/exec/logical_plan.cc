@@ -1,0 +1,167 @@
+#include "exec/logical_plan.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace sqlcm::exec {
+
+using common::Result;
+using common::Status;
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+  }
+  return "?";
+}
+
+Result<AggFunc> ParseAggFunc(std::string_view name) {
+  if (common::EqualsIgnoreCase(name, "COUNT")) return AggFunc::kCount;
+  if (common::EqualsIgnoreCase(name, "SUM")) return AggFunc::kSum;
+  if (common::EqualsIgnoreCase(name, "AVG")) return AggFunc::kAvg;
+  if (common::EqualsIgnoreCase(name, "MIN")) return AggFunc::kMin;
+  if (common::EqualsIgnoreCase(name, "MAX")) return AggFunc::kMax;
+  return Status::NotFound("unknown aggregate function '" + std::string(name) +
+                          "'");
+}
+
+const char* LogicalOpName(LogicalOp op) {
+  switch (op) {
+    case LogicalOp::kGet: return "Get";
+    case LogicalOp::kFilter: return "Filter";
+    case LogicalOp::kProject: return "Project";
+    case LogicalOp::kJoin: return "Join";
+    case LogicalOp::kAggregate: return "Aggregate";
+    case LogicalOp::kSort: return "Sort";
+    case LogicalOp::kLimit: return "Limit";
+    case LogicalOp::kDistinct: return "Distinct";
+    case LogicalOp::kInsert: return "Insert";
+    case LogicalOp::kUpdate: return "Update";
+    case LogicalOp::kDelete: return "Delete";
+  }
+  return "?";
+}
+
+const char* LogicalPlan::StatementType() const {
+  switch (op) {
+    case LogicalOp::kInsert: return "INSERT";
+    case LogicalOp::kUpdate: return "UPDATE";
+    case LogicalOp::kDelete: return "DELETE";
+    default: return "SELECT";
+  }
+}
+
+namespace {
+
+/// Renders conjuncts sorted so that predicate order does not affect the
+/// signature (paper §4.2: representations match "with the exception of
+/// matching wildcards and predicate ordering").
+void AppendSortedConjuncts(
+    const std::vector<std::unique_ptr<BoundExpr>>& conjuncts,
+    bool wildcard_constants, std::string* out) {
+  std::vector<std::string> rendered;
+  rendered.reserve(conjuncts.size());
+  for (const auto& pred : conjuncts) {
+    std::string s;
+    pred->AppendSignature(wildcard_constants, &s);
+    rendered.push_back(std::move(s));
+  }
+  std::sort(rendered.begin(), rendered.end());
+  for (size_t i = 0; i < rendered.size(); ++i) {
+    if (i > 0) *out += "&";
+    *out += rendered[i];
+  }
+}
+
+}  // namespace
+
+void LogicalPlan::AppendSignature(bool wildcard_constants,
+                                  std::string* out) const {
+  *out += LogicalOpName(op);
+  *out += "(";
+  switch (op) {
+    case LogicalOp::kGet:
+      *out += table != nullptr ? table->name() : "?";
+      break;
+    case LogicalOp::kFilter:
+    case LogicalOp::kJoin:
+      AppendSortedConjuncts(predicates, wildcard_constants, out);
+      break;
+    case LogicalOp::kProject:
+      for (size_t i = 0; i < project_exprs.size(); ++i) {
+        if (i > 0) *out += ",";
+        project_exprs[i]->AppendSignature(wildcard_constants, out);
+      }
+      break;
+    case LogicalOp::kAggregate:
+      for (size_t i = 0; i < group_exprs.size(); ++i) {
+        if (i > 0) *out += ",";
+        group_exprs[i]->AppendSignature(wildcard_constants, out);
+      }
+      *out += ";";
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        if (i > 0) *out += ",";
+        *out += AggFuncName(aggregates[i].func);
+        *out += "(";
+        if (aggregates[i].star) {
+          *out += "*";
+        } else {
+          aggregates[i].arg->AppendSignature(wildcard_constants, out);
+        }
+        *out += ")";
+      }
+      break;
+    case LogicalOp::kSort:
+      for (size_t i = 0; i < sort_keys.size(); ++i) {
+        if (i > 0) *out += ",";
+        sort_keys[i].expr->AppendSignature(wildcard_constants, out);
+        *out += sort_keys[i].descending ? " DESC" : " ASC";
+      }
+      break;
+    case LogicalOp::kLimit:
+      // The limit value is a constant; wildcard it like other constants.
+      *out += wildcard_constants ? "?" : std::to_string(limit);
+      break;
+    case LogicalOp::kDistinct:
+      break;  // no arguments
+
+    case LogicalOp::kInsert:
+      *out += table != nullptr ? table->name() : "?";
+      *out += ";rows=";
+      // Row *count* matters structurally; the values are constants.
+      *out += wildcard_constants ? "?" : std::to_string(insert_rows.size());
+      break;
+    case LogicalOp::kUpdate:
+      *out += table != nullptr ? table->name() : "?";
+      *out += ";set=";
+      for (size_t i = 0; i < assignments.size(); ++i) {
+        if (i > 0) *out += ",";
+        *out += "#" + std::to_string(assignments[i].first) + "=";
+        assignments[i].second->AppendSignature(wildcard_constants, out);
+      }
+      *out += ";where=";
+      AppendSortedConjuncts(predicates, wildcard_constants, out);
+      break;
+    case LogicalOp::kDelete:
+      *out += table != nullptr ? table->name() : "?";
+      *out += ";where=";
+      AppendSortedConjuncts(predicates, wildcard_constants, out);
+      break;
+  }
+  *out += ")";
+  if (!children.empty()) {
+    *out += "[";
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) *out += ",";
+      children[i]->AppendSignature(wildcard_constants, out);
+    }
+    *out += "]";
+  }
+}
+
+}  // namespace sqlcm::exec

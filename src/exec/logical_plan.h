@@ -1,0 +1,104 @@
+// Logical query plans: the binder/planner output and the tree the logical
+// query signature (paper §4.2) is computed from.
+#ifndef SQLCM_EXEC_LOGICAL_PLAN_H_
+#define SQLCM_EXEC_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/expression.h"
+#include "exec/row_schema.h"
+#include "storage/table.h"
+
+namespace sqlcm::exec {
+
+enum class AggFunc : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc func);
+
+/// Parses an aggregate function name; NotFound when not an aggregate.
+common::Result<AggFunc> ParseAggFunc(std::string_view name);
+
+enum class LogicalOp : uint8_t {
+  kGet,        // base table access
+  kFilter,     // conjunctive selection
+  kProject,    // scalar projection
+  kJoin,       // inner join (conjunctive predicate)
+  kAggregate,  // grouping + aggregation
+  kSort,
+  kLimit,
+  kDistinct,  // duplicate elimination over full rows (SELECT DISTINCT)
+  // DML roots (no operator children except Update/Delete's access info):
+  kInsert,
+  kUpdate,
+  kDelete,
+};
+
+const char* LogicalOpName(LogicalOp op);
+
+struct AggSpec {
+  AggFunc func;
+  bool star = false;                // COUNT(*)
+  std::unique_ptr<BoundExpr> arg;   // null when star
+  std::string output_name;
+};
+
+struct SortKey {
+  std::unique_ptr<BoundExpr> expr;
+  bool descending = false;
+};
+
+/// One node of a logical plan. Tagged union; only the fields relevant to
+/// `op` are populated. The `output` schema describes rows this node yields.
+struct LogicalPlan {
+  LogicalOp op;
+  RowSchema output;
+  std::vector<std::unique_ptr<LogicalPlan>> children;
+
+  // kGet / DML target
+  storage::Table* table = nullptr;
+  std::string alias;
+
+  // kFilter / kJoin: conjunctive predicates (implicitly ANDed). For kJoin
+  // they are bound against the concatenated (left, right) schema.
+  std::vector<std::unique_ptr<BoundExpr>> predicates;
+
+  // kProject
+  std::vector<std::unique_ptr<BoundExpr>> project_exprs;
+  std::vector<std::string> project_names;
+
+  // kAggregate
+  std::vector<std::unique_ptr<BoundExpr>> group_exprs;
+  std::vector<AggSpec> aggregates;
+
+  // kSort
+  std::vector<SortKey> sort_keys;
+
+  // kLimit
+  int64_t limit = -1;
+
+  // kInsert: each inner vector is one row of constant expressions already
+  // mapped to schema column order.
+  std::vector<std::vector<std::unique_ptr<BoundExpr>>> insert_rows;
+
+  // kUpdate: (column ordinal, value expression bound against table schema)
+  std::vector<std::pair<size_t, std::unique_ptr<BoundExpr>>> assignments;
+
+  // kUpdate / kDelete: predicate over the target table (may be empty).
+  // Stored in `predicates`.
+
+  /// Statement kind probe for Query.Query_Type (paper Appendix A).
+  /// "SELECT" for query roots, else INSERT/UPDATE/DELETE.
+  const char* StatementType() const;
+
+  /// Canonical linearization used by the logical query signature: a
+  /// pre-order rendering of operators and their arguments with conjunct
+  /// lists sorted (the paper treats predicate order as insignificant) and
+  /// constants wildcarded when `wildcard_constants` is set.
+  void AppendSignature(bool wildcard_constants, std::string* out) const;
+};
+
+}  // namespace sqlcm::exec
+
+#endif  // SQLCM_EXEC_LOGICAL_PLAN_H_

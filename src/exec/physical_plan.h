@@ -1,0 +1,106 @@
+// Physical (execution) plans produced by the optimizer.
+//
+// A PhysicalPlan is immutable, shareable data: plan-cache entries hold one
+// plan that many executions interpret concurrently (each execution carries
+// its own runtime state). The physical plan signature (paper §4.2) is
+// computed from this tree.
+#ifndef SQLCM_EXEC_PHYSICAL_PLAN_H_
+#define SQLCM_EXEC_PHYSICAL_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/expression.h"
+#include "exec/logical_plan.h"
+#include "exec/row_schema.h"
+#include "storage/table.h"
+
+namespace sqlcm::exec {
+
+enum class PhysOp : uint8_t {
+  kSeqScan,
+  kIndexSeek,    // equality on a key prefix
+  kIndexRange,   // range on the first key column
+  kFilter,
+  kProject,
+  kNestedLoopJoin,
+  kIndexNLJoin,  // per outer row, index seek into the inner table
+  kHashJoin,
+  kHashAggregate,
+  kSort,
+  kLimit,
+  kDistinct,
+  kInsert,
+  kUpdate,
+  kDelete,
+};
+
+const char* PhysOpName(PhysOp op);
+
+struct PhysicalPlan {
+  PhysOp op;
+  RowSchema output;
+  std::vector<std::unique_ptr<PhysicalPlan>> children;
+
+  // Optimizer estimates (Query.Estimated_Cost probes the root's est_cost).
+  double est_rows = 0;
+  double est_cost = 0;
+
+  // Scans and DML targets.
+  storage::Table* table = nullptr;
+  std::string alias;
+  std::string index_name;  // empty = primary (clustered) index
+
+  // kIndexSeek: equality values for a key prefix. Constant expressions,
+  // except in kIndexNLJoin where they are bound against the OUTER schema.
+  std::vector<std::unique_ptr<BoundExpr>> seek_exprs;
+
+  // kIndexRange: bounds on the first key column (constants; may be null).
+  std::unique_ptr<BoundExpr> range_lo;
+  std::unique_ptr<BoundExpr> range_hi;
+
+  // kFilter / join residuals / DML WHERE (conjuncts over this node's input;
+  // for joins, over the concatenated left++right schema).
+  std::vector<std::unique_ptr<BoundExpr>> predicates;
+
+  // kHashJoin equality keys (left_keys over left schema, right over right).
+  std::vector<std::unique_ptr<BoundExpr>> left_keys;
+  std::vector<std::unique_ptr<BoundExpr>> right_keys;
+
+  // kProject
+  std::vector<std::unique_ptr<BoundExpr>> project_exprs;
+  std::vector<std::string> project_names;
+
+  // kHashAggregate
+  std::vector<std::unique_ptr<BoundExpr>> group_exprs;
+  std::vector<AggSpec> aggregates;
+
+  // kSort
+  std::vector<SortKey> sort_keys;
+
+  // kLimit
+  int64_t limit = -1;
+
+  // kInsert
+  std::vector<std::vector<std::unique_ptr<BoundExpr>>> insert_rows;
+
+  // kUpdate
+  std::vector<std::pair<size_t, std::unique_ptr<BoundExpr>>> assignments;
+
+  /// Statement kind ("SELECT"/"INSERT"/"UPDATE"/"DELETE").
+  const char* StatementType() const;
+
+  /// Canonical linearization for the physical plan signature: operator
+  /// names, access paths (table + index), and argument expressions with
+  /// constants wildcarded when requested. Conjunct lists are sorted.
+  void AppendSignature(bool wildcard_constants, std::string* out) const;
+
+  /// Indented operator-tree rendering (EXPLAIN-style) for diagnostics.
+  std::string Explain() const;
+};
+
+}  // namespace sqlcm::exec
+
+#endif  // SQLCM_EXEC_PHYSICAL_PLAN_H_

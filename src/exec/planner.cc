@@ -1,0 +1,444 @@
+#include "exec/planner.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace sqlcm::exec {
+
+using common::Result;
+using common::Status;
+using common::Value;
+
+void SplitConjuncts(const sql::Expr& expr,
+                    std::vector<const sql::Expr*>* conjuncts) {
+  if (expr.kind == sql::ExprKind::kBinary &&
+      expr.binary_op == sql::BinaryOp::kAnd) {
+    SplitConjuncts(*expr.left, conjuncts);
+    SplitConjuncts(*expr.right, conjuncts);
+    return;
+  }
+  conjuncts->push_back(&expr);
+}
+
+bool ContainsAggregate(const sql::Expr& expr) {
+  if (expr.kind == sql::ExprKind::kFuncCall &&
+      ParseAggFunc(expr.func_name).ok()) {
+    return true;
+  }
+  if (expr.left != nullptr && ContainsAggregate(*expr.left)) return true;
+  if (expr.right != nullptr && ContainsAggregate(*expr.right)) return true;
+  for (const auto& arg : expr.args) {
+    if (ContainsAggregate(*arg)) return true;
+  }
+  return false;
+}
+
+Result<std::unique_ptr<LogicalPlan>> Planner::Plan(const sql::Statement& stmt) {
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect:
+      return PlanSelect(static_cast<const sql::SelectStmt&>(stmt));
+    case sql::StatementKind::kInsert:
+      return PlanInsert(static_cast<const sql::InsertStmt&>(stmt));
+    case sql::StatementKind::kUpdate:
+      return PlanUpdate(static_cast<const sql::UpdateStmt&>(stmt));
+    case sql::StatementKind::kDelete:
+      return PlanDelete(static_cast<const sql::DeleteStmt&>(stmt));
+    default:
+      return Status::InvalidArgument(
+          "statement kind is not planned through the optimizer");
+  }
+}
+
+Result<std::unique_ptr<LogicalPlan>> Planner::MakeGet(
+    const sql::TableRef& ref) {
+  storage::Table* table = catalog_->GetTable(ref.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + ref.table + "' not found");
+  }
+  auto node = std::make_unique<LogicalPlan>();
+  node->op = LogicalOp::kGet;
+  node->table = table;
+  node->alias = ref.alias;
+  for (const auto& col : table->schema().columns()) {
+    node->output.Append({ref.alias, col.name, col.type});
+  }
+  return node;
+}
+
+Result<std::unique_ptr<LogicalPlan>> Planner::PlanSelect(
+    const sql::SelectStmt& stmt) {
+  // FROM and JOINs: left-deep join tree.
+  SQLCM_ASSIGN_OR_RETURN(auto plan, MakeGet(stmt.from));
+  for (const auto& join : stmt.joins) {
+    SQLCM_ASSIGN_OR_RETURN(auto right, MakeGet(join.table));
+    auto node = std::make_unique<LogicalPlan>();
+    node->op = LogicalOp::kJoin;
+    node->output = plan->output;
+    node->output.AppendAll(right->output);
+    std::vector<const sql::Expr*> conjuncts;
+    SplitConjuncts(*join.on, &conjuncts);
+    for (const sql::Expr* c : conjuncts) {
+      SQLCM_ASSIGN_OR_RETURN(auto bound, BoundExpr::Bind(*c, node->output));
+      node->predicates.push_back(std::move(bound));
+    }
+    node->children.push_back(std::move(plan));
+    node->children.push_back(std::move(right));
+    plan = std::move(node);
+  }
+
+  // WHERE.
+  if (stmt.where != nullptr) {
+    if (ContainsAggregate(*stmt.where)) {
+      return Status::InvalidArgument("aggregates are not allowed in WHERE");
+    }
+    auto node = std::make_unique<LogicalPlan>();
+    node->op = LogicalOp::kFilter;
+    node->output = plan->output;
+    std::vector<const sql::Expr*> conjuncts;
+    SplitConjuncts(*stmt.where, &conjuncts);
+    for (const sql::Expr* c : conjuncts) {
+      SQLCM_ASSIGN_OR_RETURN(auto bound, BoundExpr::Bind(*c, plan->output));
+      node->predicates.push_back(std::move(bound));
+    }
+    node->children.push_back(std::move(plan));
+    plan = std::move(node);
+  }
+
+  // Aggregation.
+  bool has_agg = !stmt.group_by.empty();
+  for (const auto& item : stmt.items) {
+    if (!item.star && ContainsAggregate(*item.expr)) has_agg = true;
+  }
+
+  if (has_agg) {
+    auto agg = std::make_unique<LogicalPlan>();
+    agg->op = LogicalOp::kAggregate;
+    const RowSchema& input = plan->output;
+
+    // Group expressions with canonical renderings for matching.
+    std::vector<std::string> group_sigs;
+    for (const auto& gexpr : stmt.group_by) {
+      SQLCM_ASSIGN_OR_RETURN(auto bound, BoundExpr::Bind(*gexpr, input));
+      std::string sig;
+      bound->AppendSignature(/*wildcard_constants=*/false, &sig);
+      group_sigs.push_back(std::move(sig));
+      // Output column name: bare column refs keep their name.
+      std::string name = gexpr->kind == sql::ExprKind::kColumnRef
+                             ? gexpr->column
+                             : "group" + std::to_string(group_sigs.size() - 1);
+      catalog::ColumnType type = catalog::ColumnType::kString;
+      if (bound->kind() == BoundExpr::Kind::kSlot) {
+        type = input.column(bound->slot()).type;
+      } else if (bound->kind() == BoundExpr::Kind::kLiteral) {
+        type = bound->literal().is_string() ? catalog::ColumnType::kString
+                                            : catalog::ColumnType::kDouble;
+      } else {
+        type = catalog::ColumnType::kDouble;
+      }
+      agg->output.Append({"", std::move(name), type});
+      agg->group_exprs.push_back(std::move(bound));
+    }
+
+    // SELECT items: each must be a group expression or an aggregate call.
+    auto project = std::make_unique<LogicalPlan>();
+    project->op = LogicalOp::kProject;
+    for (size_t item_idx = 0; item_idx < stmt.items.size(); ++item_idx) {
+      const auto& item = stmt.items[item_idx];
+      if (item.star) {
+        return Status::InvalidArgument("SELECT * with GROUP BY/aggregates");
+      }
+      const sql::Expr& e = *item.expr;
+      if (e.kind == sql::ExprKind::kFuncCall && ParseAggFunc(e.func_name).ok()) {
+        AggSpec spec;
+        SQLCM_ASSIGN_OR_RETURN(spec.func, ParseAggFunc(e.func_name));
+        spec.star = e.star_arg;
+        if (!spec.star) {
+          if (e.args.size() != 1) {
+            return Status::InvalidArgument(e.func_name +
+                                           " takes exactly one argument");
+          }
+          SQLCM_ASSIGN_OR_RETURN(spec.arg, BoundExpr::Bind(*e.args[0], input));
+        } else if (spec.func != AggFunc::kCount) {
+          return Status::InvalidArgument("'*' argument only valid for COUNT");
+        }
+        spec.output_name =
+            !item.alias.empty()
+                ? item.alias
+                : e.func_name + "_" + std::to_string(item_idx);
+        const catalog::ColumnType out_type =
+            spec.func == AggFunc::kCount ? catalog::ColumnType::kInt
+                                         : catalog::ColumnType::kDouble;
+        agg->output.Append({"", spec.output_name, out_type});
+        agg->aggregates.push_back(std::move(spec));
+        // Project slot: group columns first, then aggregates in order.
+        // Slot index = #groups + (this aggregate's index).
+        continue;  // projection built after agg->output is complete
+      }
+      // Must match some group expression.
+      SQLCM_ASSIGN_OR_RETURN(auto bound, BoundExpr::Bind(e, input));
+      std::string sig;
+      bound->AppendSignature(false, &sig);
+      bool matched = false;
+      for (size_t g = 0; g < group_sigs.size(); ++g) {
+        if (group_sigs[g] == sig) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        return Status::InvalidArgument(
+            "SELECT item '" + e.ToString() +
+            "' is neither an aggregate nor in GROUP BY");
+      }
+    }
+
+    // Build the projection over the aggregate's output schema by resolving
+    // each item against it.
+    size_t agg_seen = 0;
+    for (size_t item_idx = 0; item_idx < stmt.items.size(); ++item_idx) {
+      const auto& item = stmt.items[item_idx];
+      const sql::Expr& e = *item.expr;
+      size_t slot;
+      std::string out_name;
+      if (e.kind == sql::ExprKind::kFuncCall && ParseAggFunc(e.func_name).ok()) {
+        slot = agg->group_exprs.size() + agg_seen;
+        out_name = agg->aggregates[agg_seen].output_name;
+        ++agg_seen;
+      } else {
+        // Find the matching group column by signature.
+        SQLCM_ASSIGN_OR_RETURN(auto bound, BoundExpr::Bind(e, plan->output));
+        std::string sig;
+        bound->AppendSignature(false, &sig);
+        slot = 0;
+        for (size_t g = 0; g < group_sigs.size(); ++g) {
+          if (group_sigs[g] == sig) {
+            slot = g;
+            break;
+          }
+        }
+        out_name = !item.alias.empty() ? item.alias
+                                       : agg->output.column(slot).name;
+      }
+      auto slot_ref = sql::Expr::ColumnRef(
+          "", agg->output.column(slot).name);
+      SQLCM_ASSIGN_OR_RETURN(auto bound_out,
+                             BoundExpr::Bind(*slot_ref, agg->output));
+      project->project_names.push_back(out_name);
+      project->output.Append({"", out_name, agg->output.column(slot).type});
+      project->project_exprs.push_back(std::move(bound_out));
+    }
+
+    agg->children.push_back(std::move(plan));
+    project->children.push_back(std::move(agg));
+    plan = std::move(project);
+  } else {
+    // Plain projection; '*' expands to every input column.
+    auto project = std::make_unique<LogicalPlan>();
+    project->op = LogicalOp::kProject;
+    const RowSchema& input = plan->output;
+    for (const auto& item : stmt.items) {
+      if (item.star) {
+        for (size_t i = 0; i < input.size(); ++i) {
+          auto ref = sql::Expr::ColumnRef(input.column(i).qualifier,
+                                          input.column(i).name);
+          SQLCM_ASSIGN_OR_RETURN(auto bound, BoundExpr::Bind(*ref, input));
+          project->project_exprs.push_back(std::move(bound));
+          project->project_names.push_back(input.column(i).name);
+          project->output.Append(input.column(i));
+        }
+        continue;
+      }
+      SQLCM_ASSIGN_OR_RETURN(auto bound, BoundExpr::Bind(*item.expr, input));
+      std::string name = !item.alias.empty() ? item.alias
+                         : item.expr->kind == sql::ExprKind::kColumnRef
+                             ? item.expr->column
+                             : "col" + std::to_string(
+                                   project->project_exprs.size());
+      catalog::ColumnType type = catalog::ColumnType::kDouble;
+      if (bound->kind() == BoundExpr::Kind::kSlot) {
+        type = input.column(bound->slot()).type;
+      } else if (bound->kind() == BoundExpr::Kind::kLiteral) {
+        if (bound->literal().is_string()) type = catalog::ColumnType::kString;
+        else if (bound->literal().is_int()) type = catalog::ColumnType::kInt;
+        else if (bound->literal().is_bool()) type = catalog::ColumnType::kBool;
+      }
+      project->output.Append({"", name, type});
+      project->project_names.push_back(std::move(name));
+      project->project_exprs.push_back(std::move(bound));
+    }
+    project->children.push_back(std::move(plan));
+    plan = std::move(project);
+  }
+
+  if (stmt.distinct) {
+    auto distinct = std::make_unique<LogicalPlan>();
+    distinct->op = LogicalOp::kDistinct;
+    distinct->output = plan->output;
+    distinct->children.push_back(std::move(plan));
+    plan = std::move(distinct);
+  }
+
+  // ORDER BY: bound against the projection output (aliases visible).
+  if (!stmt.order_by.empty()) {
+    auto sort = std::make_unique<LogicalPlan>();
+    sort->op = LogicalOp::kSort;
+    sort->output = plan->output;
+    for (const auto& key : stmt.order_by) {
+      SortKey sk;
+      auto bound = BoundExpr::Bind(*key.expr, plan->output);
+      if (!bound.ok() && key.expr->kind == sql::ExprKind::kColumnRef &&
+          !key.expr->table.empty()) {
+        // Projection output columns lose their table qualifier; retry a
+        // qualified ref (ORDER BY t.id) by bare name.
+        auto bare = sql::Expr::ColumnRef("", key.expr->column);
+        bound = BoundExpr::Bind(*bare, plan->output);
+      }
+      if (!bound.ok()) return bound.status();
+      sk.expr = std::move(*bound);
+      sk.descending = key.descending;
+      sort->sort_keys.push_back(std::move(sk));
+    }
+    sort->children.push_back(std::move(plan));
+    plan = std::move(sort);
+  }
+
+  if (stmt.limit >= 0) {
+    auto limit = std::make_unique<LogicalPlan>();
+    limit->op = LogicalOp::kLimit;
+    limit->output = plan->output;
+    limit->limit = stmt.limit;
+    limit->children.push_back(std::move(plan));
+    plan = std::move(limit);
+  }
+  return plan;
+}
+
+Result<std::unique_ptr<LogicalPlan>> Planner::PlanInsert(
+    const sql::InsertStmt& stmt) {
+  storage::Table* table = catalog_->GetTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "' not found");
+  }
+  const auto& schema = table->schema();
+  // Map the optional column list to schema ordinals.
+  std::vector<int> target_ordinal;  // position i of VALUES row -> ordinal
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      target_ordinal.push_back(static_cast<int>(i));
+    }
+  } else {
+    std::unordered_set<int> seen;
+    for (const auto& name : stmt.columns) {
+      const int ordinal = schema.FindColumn(name);
+      if (ordinal < 0) {
+        return Status::NotFound("column '" + name + "' not found in table '" +
+                                stmt.table + "'");
+      }
+      if (!seen.insert(ordinal).second) {
+        return Status::InvalidArgument("column '" + name +
+                                       "' listed more than once");
+      }
+      target_ordinal.push_back(ordinal);
+    }
+  }
+
+  auto node = std::make_unique<LogicalPlan>();
+  node->op = LogicalOp::kInsert;
+  node->table = table;
+  node->alias = table->name();
+
+  const RowSchema empty_schema;
+  for (const auto& row : stmt.rows) {
+    if (row.size() != target_ordinal.size()) {
+      return Status::InvalidArgument(
+          "VALUES row has " + std::to_string(row.size()) +
+          " expressions, expected " + std::to_string(target_ordinal.size()));
+    }
+    std::vector<std::unique_ptr<BoundExpr>> full_row(schema.num_columns());
+    for (size_t i = 0; i < row.size(); ++i) {
+      SQLCM_ASSIGN_OR_RETURN(auto bound, BoundExpr::Bind(*row[i], empty_schema));
+      if (!bound->IsConstant()) {
+        return Status::InvalidArgument(
+            "VALUES expressions must be constant");
+      }
+      full_row[static_cast<size_t>(target_ordinal[i])] = std::move(bound);
+    }
+    // Unspecified columns become NULL.
+    for (auto& cell : full_row) {
+      if (cell == nullptr) {
+        auto null_lit = sql::Expr::Literal(Value::Null());
+        SQLCM_ASSIGN_OR_RETURN(cell, BoundExpr::Bind(*null_lit, empty_schema));
+      }
+    }
+    node->insert_rows.push_back(std::move(full_row));
+  }
+  return node;
+}
+
+namespace {
+
+/// Binds the WHERE conjuncts of an UPDATE/DELETE against the target table.
+common::Status BindDmlPredicates(const sql::Expr* where,
+                                 const RowSchema& schema, LogicalPlan* node) {
+  if (where == nullptr) return Status::OK();
+  std::vector<const sql::Expr*> conjuncts;
+  SplitConjuncts(*where, &conjuncts);
+  for (const sql::Expr* c : conjuncts) {
+    SQLCM_ASSIGN_OR_RETURN(auto bound, BoundExpr::Bind(*c, schema));
+    node->predicates.push_back(std::move(bound));
+  }
+  return Status::OK();
+}
+
+RowSchema TableRowSchema(const storage::Table& table) {
+  RowSchema schema;
+  for (const auto& col : table.schema().columns()) {
+    schema.Append({table.name(), col.name, col.type});
+  }
+  return schema;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LogicalPlan>> Planner::PlanUpdate(
+    const sql::UpdateStmt& stmt) {
+  storage::Table* table = catalog_->GetTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "' not found");
+  }
+  auto node = std::make_unique<LogicalPlan>();
+  node->op = LogicalOp::kUpdate;
+  node->table = table;
+  node->alias = table->name();
+  const RowSchema schema = TableRowSchema(*table);
+  for (const auto& assign : stmt.assignments) {
+    const int ordinal = table->schema().FindColumn(assign.column);
+    if (ordinal < 0) {
+      return Status::NotFound("column '" + assign.column +
+                              "' not found in table '" + stmt.table + "'");
+    }
+    SQLCM_ASSIGN_OR_RETURN(auto bound, BoundExpr::Bind(*assign.value, schema));
+    node->assignments.emplace_back(static_cast<size_t>(ordinal),
+                                   std::move(bound));
+  }
+  SQLCM_RETURN_IF_ERROR(BindDmlPredicates(stmt.where.get(), schema, node.get()));
+  return node;
+}
+
+Result<std::unique_ptr<LogicalPlan>> Planner::PlanDelete(
+    const sql::DeleteStmt& stmt) {
+  storage::Table* table = catalog_->GetTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "' not found");
+  }
+  auto node = std::make_unique<LogicalPlan>();
+  node->op = LogicalOp::kDelete;
+  node->table = table;
+  node->alias = table->name();
+  const RowSchema schema = TableRowSchema(*table);
+  SQLCM_RETURN_IF_ERROR(BindDmlPredicates(stmt.where.get(), schema, node.get()));
+  return node;
+}
+
+}  // namespace sqlcm::exec

@@ -1,0 +1,49 @@
+// Binder/planner: SQL AST -> logical plan.
+#ifndef SQLCM_EXEC_PLANNER_H_
+#define SQLCM_EXEC_PLANNER_H_
+
+#include <memory>
+
+#include "exec/logical_plan.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+
+namespace sqlcm::exec {
+
+class Planner {
+ public:
+  explicit Planner(storage::Catalog* catalog) : catalog_(catalog) {}
+
+  /// Builds a logical plan for SELECT/INSERT/UPDATE/DELETE statements.
+  /// Transaction-control, DDL and EXEC statements are handled directly by
+  /// the engine and are rejected here.
+  common::Result<std::unique_ptr<LogicalPlan>> Plan(
+      const sql::Statement& stmt);
+
+ private:
+  common::Result<std::unique_ptr<LogicalPlan>> PlanSelect(
+      const sql::SelectStmt& stmt);
+  common::Result<std::unique_ptr<LogicalPlan>> PlanInsert(
+      const sql::InsertStmt& stmt);
+  common::Result<std::unique_ptr<LogicalPlan>> PlanUpdate(
+      const sql::UpdateStmt& stmt);
+  common::Result<std::unique_ptr<LogicalPlan>> PlanDelete(
+      const sql::DeleteStmt& stmt);
+
+  /// Makes a Get node for `ref`, with output columns qualified by its alias.
+  common::Result<std::unique_ptr<LogicalPlan>> MakeGet(
+      const sql::TableRef& ref);
+
+  storage::Catalog* catalog_;
+};
+
+/// Splits an expression on top-level ANDs into conjuncts (borrowed views).
+void SplitConjuncts(const sql::Expr& expr,
+                    std::vector<const sql::Expr*>* conjuncts);
+
+/// True if any aggregate function call appears in `expr`.
+bool ContainsAggregate(const sql::Expr& expr);
+
+}  // namespace sqlcm::exec
+
+#endif  // SQLCM_EXEC_PLANNER_H_

@@ -1,0 +1,35 @@
+#include "exec/row_schema.h"
+
+#include "common/string_util.h"
+
+namespace sqlcm::exec {
+
+using common::EqualsIgnoreCase;
+using common::Result;
+using common::Status;
+
+Result<size_t> RowSchema::Resolve(std::string_view qualifier,
+                                  std::string_view name) const {
+  int found = -1;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const BindingColumn& col = columns_[i];
+    if (!EqualsIgnoreCase(col.name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(col.qualifier, qualifier)) {
+      continue;
+    }
+    if (found >= 0) {
+      return Status::InvalidArgument("ambiguous column reference '" +
+                                     std::string(name) + "'");
+    }
+    found = static_cast<int>(i);
+  }
+  if (found < 0) {
+    std::string full = qualifier.empty()
+                           ? std::string(name)
+                           : std::string(qualifier) + "." + std::string(name);
+    return Status::NotFound("column '" + full + "' not found");
+  }
+  return static_cast<size_t>(found);
+}
+
+}  // namespace sqlcm::exec

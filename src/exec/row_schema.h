@@ -1,0 +1,49 @@
+// Column layout of intermediate rows flowing between plan operators.
+#ifndef SQLCM_EXEC_ROW_SCHEMA_H_
+#define SQLCM_EXEC_ROW_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/types.h"
+#include "common/status.h"
+
+namespace sqlcm::exec {
+
+struct BindingColumn {
+  std::string qualifier;  // table alias; empty for computed columns
+  std::string name;
+  catalog::ColumnType type;
+};
+
+/// Ordered column layout; supports the name resolution rules of SQL
+/// (unqualified names must be unambiguous).
+class RowSchema {
+ public:
+  RowSchema() = default;
+  explicit RowSchema(std::vector<BindingColumn> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<BindingColumn>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+  const BindingColumn& column(size_t i) const { return columns_[i]; }
+
+  void Append(BindingColumn col) { columns_.push_back(std::move(col)); }
+
+  /// Appends all columns of `other` (join output layout).
+  void AppendAll(const RowSchema& other) {
+    for (const auto& c : other.columns_) columns_.push_back(c);
+  }
+
+  /// Resolves a (possibly qualified) column reference to a slot.
+  /// InvalidArgument on ambiguity, NotFound when absent.
+  common::Result<size_t> Resolve(std::string_view qualifier,
+                                 std::string_view name) const;
+
+ private:
+  std::vector<BindingColumn> columns_;
+};
+
+}  // namespace sqlcm::exec
+
+#endif  // SQLCM_EXEC_ROW_SCHEMA_H_

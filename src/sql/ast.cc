@@ -1,0 +1,125 @@
+#include "sql/ast.h"
+
+namespace sqlcm::sql {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kLike: return "LIKE";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::Literal(common::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::ColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Param(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kParam;
+  e->param_name = std::move(name);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Unary(UnaryOp op, std::unique_ptr<Expr> operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->left = std::move(operand);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Binary(BinaryOp op, std::unique_ptr<Expr> lhs,
+                                   std::unique_ptr<Expr> rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->left = std::move(lhs);
+  e->right = std::move(rhs);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::FuncCall(std::string name,
+                                     std::vector<std::unique_ptr<Expr>> args,
+                                     bool star_arg) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFuncCall;
+  e->func_name = std::move(name);
+  e->args = std::move(args);
+  e->star_arg = star_arg;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->table = table;
+  e->column = column;
+  e->param_name = param_name;
+  e->unary_op = unary_op;
+  e->binary_op = binary_op;
+  if (left) e->left = left->Clone();
+  if (right) e->right = right->Clone();
+  e->func_name = func_name;
+  e->star_arg = star_arg;
+  e->args.reserve(args.size());
+  for (const auto& a : args) e->args.push_back(a->Clone());
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kColumnRef:
+      return table.empty() ? column : table + "." + column;
+    case ExprKind::kParam:
+      return "@" + param_name;
+    case ExprKind::kUnary:
+      return std::string(unary_op == UnaryOp::kNot ? "(NOT " : "(-") +
+             left->ToString() + ")";
+    case ExprKind::kBinary:
+      return "(" + left->ToString() + " " + BinaryOpName(binary_op) + " " +
+             right->ToString() + ")";
+    case ExprKind::kFuncCall: {
+      std::string out = func_name + "(";
+      if (star_arg) {
+        out += "*";
+      } else {
+        for (size_t i = 0; i < args.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += args[i]->ToString();
+        }
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace sqlcm::sql

@@ -1,0 +1,218 @@
+// Abstract syntax tree for the SQL subset understood by the engine.
+//
+// The grammar (documented in parser.h) covers what the paper's workloads
+// and monitoring scenarios require: single-table and multi-way-join
+// SELECTs with WHERE / GROUP BY / ORDER BY / LIMIT, DML, DDL, transaction
+// control and stored-procedure invocation.
+#ifndef SQLCM_SQL_AST_H_
+#define SQLCM_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sqlcm::sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class BinaryOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kLike,  // string pattern match ('%' any run, '_' any single char)
+};
+enum class UnaryOp : uint8_t { kNot, kNeg };
+
+const char* BinaryOpName(BinaryOp op);
+
+enum class ExprKind : uint8_t {
+  kLiteral,    // 42, 1.5, 'abc', NULL, TRUE, FALSE
+  kColumnRef,  // col or tbl.col
+  kParam,      // @name
+  kUnary,
+  kBinary,
+  kFuncCall,   // COUNT(*), SUM(x), scalar functions
+};
+
+/// Tagged-union expression node. Only the fields for `kind` are meaningful.
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  common::Value literal;
+
+  // kColumnRef
+  std::string table;   // optional qualifier (may be empty)
+  std::string column;
+
+  // kParam
+  std::string param_name;
+
+  // kUnary / kBinary
+  UnaryOp unary_op{};
+  BinaryOp binary_op{};
+  std::unique_ptr<Expr> left;   // operand for unary
+  std::unique_ptr<Expr> right;
+
+  // kFuncCall
+  std::string func_name;  // normalized upper-case
+  bool star_arg = false;  // COUNT(*)
+  std::vector<std::unique_ptr<Expr>> args;
+
+  static std::unique_ptr<Expr> Literal(common::Value v);
+  static std::unique_ptr<Expr> ColumnRef(std::string table, std::string column);
+  static std::unique_ptr<Expr> Param(std::string name);
+  static std::unique_ptr<Expr> Unary(UnaryOp op, std::unique_ptr<Expr> operand);
+  static std::unique_ptr<Expr> Binary(BinaryOp op, std::unique_ptr<Expr> lhs,
+                                      std::unique_ptr<Expr> rhs);
+  static std::unique_ptr<Expr> FuncCall(std::string name,
+                                        std::vector<std::unique_ptr<Expr>> args,
+                                        bool star_arg);
+
+  /// Deep copy.
+  std::unique_ptr<Expr> Clone() const;
+
+  /// Parenthesized rendering, stable across equivalent parses; used in
+  /// tests and diagnostics (signatures are computed from plans, not ASTs).
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StatementKind : uint8_t {
+  kSelect,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kCreateTable,
+  kCreateIndex,
+  kDropTable,
+  kBegin,
+  kCommit,
+  kRollback,
+  kExecProcedure,
+};
+
+struct Statement {
+  explicit Statement(StatementKind k) : kind(k) {}
+  virtual ~Statement() = default;
+  Statement(const Statement&) = delete;
+  Statement& operator=(const Statement&) = delete;
+
+  const StatementKind kind;
+};
+
+struct SelectItem {
+  std::unique_ptr<Expr> expr;  // null for bare '*'
+  std::string alias;           // may be empty
+  bool star = false;
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty means use table name
+};
+
+struct JoinClause {
+  TableRef table;
+  std::unique_ptr<Expr> on;  // required (only inner joins supported)
+};
+
+struct OrderItem {
+  std::unique_ptr<Expr> expr;
+  bool descending = false;
+};
+
+struct SelectStmt final : Statement {
+  SelectStmt() : Statement(StatementKind::kSelect) {}
+
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  std::unique_ptr<Expr> where;            // may be null
+  std::vector<std::unique_ptr<Expr>> group_by;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;                     // -1 means no limit
+};
+
+struct InsertStmt final : Statement {
+  InsertStmt() : Statement(StatementKind::kInsert) {}
+
+  std::string table;
+  std::vector<std::string> columns;  // empty = full schema order
+  std::vector<std::vector<std::unique_ptr<Expr>>> rows;
+};
+
+struct UpdateStmt final : Statement {
+  UpdateStmt() : Statement(StatementKind::kUpdate) {}
+
+  struct Assignment {
+    std::string column;
+    std::unique_ptr<Expr> value;
+  };
+
+  std::string table;
+  std::vector<Assignment> assignments;
+  std::unique_ptr<Expr> where;  // may be null
+};
+
+struct DeleteStmt final : Statement {
+  DeleteStmt() : Statement(StatementKind::kDelete) {}
+
+  std::string table;
+  std::unique_ptr<Expr> where;  // may be null
+};
+
+struct ColumnDef {
+  std::string name;
+  std::string type_name;  // resolved by the catalog layer (INT, FLOAT, ...)
+};
+
+struct CreateTableStmt final : Statement {
+  CreateTableStmt() : Statement(StatementKind::kCreateTable) {}
+
+  std::string table;
+  std::vector<ColumnDef> columns;
+  std::vector<std::string> primary_key;  // empty = implicit rowid key
+};
+
+struct CreateIndexStmt final : Statement {
+  CreateIndexStmt() : Statement(StatementKind::kCreateIndex) {}
+
+  std::string index;
+  std::string table;
+  std::vector<std::string> columns;
+};
+
+struct DropTableStmt final : Statement {
+  DropTableStmt() : Statement(StatementKind::kDropTable) {}
+  std::string table;
+};
+
+struct BeginStmt final : Statement {
+  BeginStmt() : Statement(StatementKind::kBegin) {}
+};
+struct CommitStmt final : Statement {
+  CommitStmt() : Statement(StatementKind::kCommit) {}
+};
+struct RollbackStmt final : Statement {
+  RollbackStmt() : Statement(StatementKind::kRollback) {}
+};
+
+struct ExecProcedureStmt final : Statement {
+  ExecProcedureStmt() : Statement(StatementKind::kExecProcedure) {}
+
+  std::string procedure;
+  std::vector<std::unique_ptr<Expr>> args;
+};
+
+}  // namespace sqlcm::sql
+
+#endif  // SQLCM_SQL_AST_H_

@@ -1,0 +1,203 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace sqlcm::sql {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kInteger: return "integer";
+    case TokenKind::kFloat: return "float";
+    case TokenKind::kString: return "string";
+    case TokenKind::kParam: return "parameter";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'<>'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> out;
+  pos_ = 0;
+  for (;;) {
+    // Skip whitespace and -- line comments.
+    while (!AtEnd()) {
+      if (std::isspace(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      } else if (Peek() == '-' && PeekAt(1) == '-') {
+        while (!AtEnd() && Peek() != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (AtEnd()) {
+      Token eof;
+      eof.kind = TokenKind::kEof;
+      eof.offset = pos_;
+      out.push_back(std::move(eof));
+      return out;
+    }
+    SQLCM_RETURN_IF_ERROR(LexOne(&out));
+  }
+}
+
+Status Lexer::LexOne(std::vector<Token>* out) {
+  Token tok;
+  tok.offset = pos_;
+  const char c = Peek();
+
+  auto single = [&](TokenKind kind) {
+    tok.kind = kind;
+    ++pos_;
+  };
+
+  if (IsIdentStart(c)) {
+    size_t start = pos_;
+    while (!AtEnd() && IsIdentCont(Peek())) ++pos_;
+    tok.kind = TokenKind::kIdentifier;
+    tok.text = std::string(input_.substr(start, pos_ - start));
+  } else if (IsDigit(c) || (c == '.' && IsDigit(PeekAt(1)))) {
+    size_t start = pos_;
+    bool is_float = false;
+    while (!AtEnd() && IsDigit(Peek())) ++pos_;
+    if (!AtEnd() && Peek() == '.' && IsDigit(PeekAt(1))) {
+      is_float = true;
+      ++pos_;
+      while (!AtEnd() && IsDigit(Peek())) ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      size_t mark = pos_;
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (!AtEnd() && IsDigit(Peek())) {
+        is_float = true;
+        while (!AtEnd() && IsDigit(Peek())) ++pos_;
+      } else {
+        pos_ = mark;  // 'e' belongs to a following identifier, not the number
+      }
+    }
+    const std::string text(input_.substr(start, pos_ - start));
+    if (is_float) {
+      tok.kind = TokenKind::kFloat;
+      tok.double_value = std::strtod(text.c_str(), nullptr);
+    } else {
+      tok.kind = TokenKind::kInteger;
+      tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+    }
+    tok.text = text;
+  } else if (c == '\'') {
+    ++pos_;
+    std::string body;
+    for (;;) {
+      if (AtEnd()) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.offset));
+      }
+      if (Peek() == '\'') {
+        if (PeekAt(1) == '\'') {
+          body += '\'';
+          pos_ += 2;
+        } else {
+          ++pos_;
+          break;
+        }
+      } else {
+        body += Peek();
+        ++pos_;
+      }
+    }
+    tok.kind = TokenKind::kString;
+    tok.text = std::move(body);
+  } else if (c == '@') {
+    ++pos_;
+    if (AtEnd() || !IsIdentStart(Peek())) {
+      return Status::ParseError("expected parameter name after '@' at offset " +
+                                std::to_string(tok.offset));
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsIdentCont(Peek())) ++pos_;
+    tok.kind = TokenKind::kParam;
+    tok.text = std::string(input_.substr(start, pos_ - start));
+  } else {
+    switch (c) {
+      case ',': single(TokenKind::kComma); break;
+      case '(': single(TokenKind::kLParen); break;
+      case ')': single(TokenKind::kRParen); break;
+      case '.': single(TokenKind::kDot); break;
+      case ';': single(TokenKind::kSemicolon); break;
+      case '*': single(TokenKind::kStar); break;
+      case '+': single(TokenKind::kPlus); break;
+      case '-': single(TokenKind::kMinus); break;
+      case '/': single(TokenKind::kSlash); break;
+      case '%': single(TokenKind::kPercent); break;
+      case '=': single(TokenKind::kEq); break;
+      case '<':
+        if (PeekAt(1) == '=') {
+          tok.kind = TokenKind::kLe;
+          pos_ += 2;
+        } else if (PeekAt(1) == '>') {
+          tok.kind = TokenKind::kNe;
+          pos_ += 2;
+        } else {
+          single(TokenKind::kLt);
+        }
+        break;
+      case '>':
+        if (PeekAt(1) == '=') {
+          tok.kind = TokenKind::kGe;
+          pos_ += 2;
+        } else {
+          single(TokenKind::kGt);
+        }
+        break;
+      case '!':
+        if (PeekAt(1) == '=') {
+          tok.kind = TokenKind::kNe;
+          pos_ += 2;
+        } else {
+          return Status::ParseError("unexpected character '!' at offset " +
+                                    std::to_string(tok.offset));
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(tok.offset));
+    }
+  }
+  out->push_back(std::move(tok));
+  return Status::OK();
+}
+
+}  // namespace sqlcm::sql

@@ -1,0 +1,41 @@
+// Hand-written SQL tokenizer.
+//
+// Also reused (with the same token vocabulary) by the SQLCM rule-language
+// parser in src/sqlcm/rule_parser.cc, which accepts a sub-grammar of SQL
+// expressions.
+#ifndef SQLCM_SQL_LEXER_H_
+#define SQLCM_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace sqlcm::sql {
+
+/// Tokenizes the entire input up front. Errors carry the byte offset.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  /// Produces all tokens including a trailing kEof token.
+  common::Result<std::vector<Token>> Tokenize();
+
+ private:
+  common::Status LexOne(std::vector<Token>* out);
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t ahead) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sqlcm::sql
+
+#endif  // SQLCM_SQL_LEXER_H_

@@ -1,0 +1,124 @@
+// Recursive-descent parser for the engine's SQL subset.
+//
+// Grammar (keywords case-insensitive; [] optional, {} repetition):
+//
+//   script        := statement { ';' statement } [';']
+//   statement     := select | insert | update | delete
+//                  | create_table | create_index | drop_table
+//                  | 'BEGIN' ['TRANSACTION'] | 'COMMIT' | 'ROLLBACK'
+//                  | ('EXEC'|'EXECUTE') ident [expr {',' expr}]
+//   select        := 'SELECT' ['DISTINCT'] select_item {',' select_item}
+//                    'FROM' table_ref { 'JOIN' table_ref 'ON' expr }
+//                    ['WHERE' expr]
+//                    ['GROUP' 'BY' expr {',' expr}]
+//                    ['ORDER' 'BY' expr ['ASC'|'DESC'] {',' ...}]
+//                    ['LIMIT' integer]
+//   select_item   := '*' | expr ['AS' ident | ident]
+//   table_ref     := ident [ident]                      -- name [alias]
+//   insert        := 'INSERT' 'INTO' ident ['(' ident {',' ident} ')']
+//                    'VALUES' row { ',' row }
+//   row           := '(' expr {',' expr} ')'
+//   update        := 'UPDATE' ident 'SET' ident '=' expr {',' ...}
+//                    ['WHERE' expr]
+//   delete        := 'DELETE' 'FROM' ident ['WHERE' expr]
+//   create_table  := 'CREATE' 'TABLE' ident '(' column_def {',' column_def}
+//                    [',' 'PRIMARY' 'KEY' '(' ident {',' ident} ')'] ')'
+//   column_def    := ident type_name
+//   create_index  := 'CREATE' 'INDEX' ident 'ON' ident
+//                    '(' ident {',' ident} ')'
+//   drop_table    := 'DROP' 'TABLE' ident
+//
+//   expr          := or_expr
+//   or_expr       := and_expr { 'OR' and_expr }
+//   and_expr      := not_expr { 'AND' not_expr }
+//   not_expr      := 'NOT' not_expr | cmp_expr
+//   cmp_expr      := add_expr [ predicate_suffix ]
+//   predicate_suffix :=
+//                    ('='|'<>'|'!='|'<'|'<='|'>'|'>=') add_expr
+//                  | ['NOT'] 'BETWEEN' add_expr 'AND' add_expr   -- desugared
+//                  | ['NOT'] 'IN' '(' expr {',' expr} ')'        -- desugared
+//                  | ['NOT'] 'LIKE' add_expr                     -- %, _ wildcards
+//   add_expr      := mul_expr { ('+'|'-') mul_expr }
+//   mul_expr      := unary_expr { ('*'|'/'|'%') unary_expr }
+//   unary_expr    := '-' unary_expr | primary
+//   primary       := literal | param | func_call | column_ref | '(' expr ')'
+//   func_call     := ident '(' ('*' | [expr {',' expr}]) ')'
+//   column_ref    := ident ['.' ident]
+//   literal       := integer | float | string | 'NULL' | 'TRUE' | 'FALSE'
+//   param         := '@' ident
+//
+// Not supported (documented scope cut, see DESIGN.md §7): subqueries, outer
+// joins, HAVING, views.
+#ifndef SQLCM_SQL_PARSER_H_
+#define SQLCM_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace sqlcm::sql {
+
+class Parser {
+ public:
+  /// Parses a single statement; trailing ';' allowed; anything further is an
+  /// error.
+  static common::Result<std::unique_ptr<Statement>> ParseStatement(
+      std::string_view text);
+
+  /// Parses a ';'-separated script.
+  static common::Result<std::vector<std::unique_ptr<Statement>>> ParseScript(
+      std::string_view text);
+
+  /// Parses a standalone expression (used by tests and the rule language).
+  static common::Result<std::unique_ptr<Expr>> ParseExpression(
+      std::string_view text);
+
+  /// True if `ident` is a reserved keyword (so it cannot be an alias).
+  static bool IsKeyword(std::string_view ident);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind);
+  bool CheckKeyword(std::string_view kw) const;
+  bool MatchKeyword(std::string_view kw);
+  common::Status ExpectKeyword(std::string_view kw);
+  common::Status Expect(TokenKind kind, const char* what);
+  common::Status ErrorHere(const std::string& expected) const;
+
+  common::Result<std::unique_ptr<Statement>> ParseOneStatement();
+  common::Result<std::unique_ptr<Statement>> ParseSelect();
+  common::Result<std::unique_ptr<Statement>> ParseInsert();
+  common::Result<std::unique_ptr<Statement>> ParseUpdate();
+  common::Result<std::unique_ptr<Statement>> ParseDelete();
+  common::Result<std::unique_ptr<Statement>> ParseCreate();
+  common::Result<std::unique_ptr<Statement>> ParseDrop();
+  common::Result<std::unique_ptr<Statement>> ParseExec();
+  common::Result<TableRef> ParseTableRef();
+  common::Result<std::string> ParseIdent(const char* what);
+
+  common::Result<std::unique_ptr<Expr>> ParseExpr();
+  common::Result<std::unique_ptr<Expr>> ParseOr();
+  common::Result<std::unique_ptr<Expr>> ParseAnd();
+  common::Result<std::unique_ptr<Expr>> ParseNot();
+  common::Result<std::unique_ptr<Expr>> ParseCmp();
+  common::Result<std::unique_ptr<Expr>> ParseAdd();
+  common::Result<std::unique_ptr<Expr>> ParseMul();
+  common::Result<std::unique_ptr<Expr>> ParseUnary();
+  common::Result<std::unique_ptr<Expr>> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sqlcm::sql
+
+#endif  // SQLCM_SQL_PARSER_H_

@@ -1,0 +1,48 @@
+// Token vocabulary shared by the SQL lexer and parser.
+#ifndef SQLCM_SQL_TOKEN_H_
+#define SQLCM_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sqlcm::sql {
+
+enum class TokenKind : uint8_t {
+  kEof = 0,
+  kIdentifier,  // unquoted name or keyword; parser matches case-insensitively
+  kInteger,     // 123
+  kFloat,       // 1.5, .5, 1e3
+  kString,      // 'text' with '' escaping
+  kParam,       // @name named parameter
+  // punctuation / operators
+  kComma,
+  kLParen,
+  kRParen,
+  kDot,
+  kSemicolon,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,        // =
+  kNe,        // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;        // raw text (identifier/keyword/param name/string body)
+  int64_t int_value = 0;   // kInteger
+  double double_value = 0; // kFloat
+  size_t offset = 0;       // byte offset in the input, for error messages
+};
+
+}  // namespace sqlcm::sql
+
+#endif  // SQLCM_SQL_TOKEN_H_

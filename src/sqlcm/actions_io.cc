@@ -1,0 +1,28 @@
+#include "sqlcm/actions_io.h"
+
+#include <fstream>
+
+namespace sqlcm::cm {
+
+using common::Status;
+
+Status FileAppendingSink::SendMail(const std::string& body,
+                                   const std::string& address) {
+  return AppendLine("MAIL to=" + address + " body=" + body);
+}
+
+Status FileAppendingSink::RunExternal(const std::string& command) {
+  return AppendLine("RUN " + command);
+}
+
+Status FileAppendingSink::AppendLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ofstream out(path_, std::ios::app);
+  if (!out) {
+    return Status::IOError("cannot open '" + path_ + "' for append");
+  }
+  out << line << '\n';
+  return out ? Status::OK() : Status::IOError("append to '" + path_ + "' failed");
+}
+
+}  // namespace sqlcm::cm

@@ -1,0 +1,103 @@
+// Side-effecting action backends: SendMail and RunExternal (paper §5.3).
+//
+// The paper's prototype sends real email and launches real processes; the
+// default backends here capture the requests in memory (tests, examples)
+// and a file-appending backend is provided for operational use. Both are
+// pluggable via MonitorEngine options.
+#ifndef SQLCM_SQLCM_ACTIONS_IO_H_
+#define SQLCM_SQLCM_ACTIONS_IO_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqlcm::cm {
+
+/// SendMail backend.
+class Mailer {
+ public:
+  virtual ~Mailer() = default;
+  virtual common::Status SendMail(const std::string& body,
+                                  const std::string& address) = 0;
+};
+
+/// RunExternal backend.
+class ProcessLauncher {
+ public:
+  virtual ~ProcessLauncher() = default;
+  virtual common::Status RunExternal(const std::string& command) = 0;
+};
+
+/// Default backend: records requests for later inspection. Thread-safe.
+class CapturingMailer final : public Mailer {
+ public:
+  struct Mail {
+    std::string body;
+    std::string address;
+  };
+
+  common::Status SendMail(const std::string& body,
+                          const std::string& address) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    mails_.push_back({body, address});
+    return common::Status::OK();
+  }
+
+  std::vector<Mail> mails() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return mails_;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return mails_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Mail> mails_;
+};
+
+/// Default backend: records commands instead of spawning processes.
+class CapturingLauncher final : public ProcessLauncher {
+ public:
+  common::Status RunExternal(const std::string& command) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    commands_.push_back(command);
+    return common::Status::OK();
+  }
+
+  std::vector<std::string> commands() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return commands_;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return commands_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> commands_;
+};
+
+/// Appends one line per mail/command to a file (operational logging).
+class FileAppendingSink final : public Mailer, public ProcessLauncher {
+ public:
+  explicit FileAppendingSink(std::string path) : path_(std::move(path)) {}
+
+  common::Status SendMail(const std::string& body,
+                          const std::string& address) override;
+  common::Status RunExternal(const std::string& command) override;
+
+ private:
+  common::Status AppendLine(const std::string& line);
+
+  std::mutex mutex_;
+  std::string path_;
+};
+
+}  // namespace sqlcm::cm
+
+#endif  // SQLCM_SQLCM_ACTIONS_IO_H_

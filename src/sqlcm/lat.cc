@@ -1,0 +1,693 @@
+#include "sqlcm/lat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "common/string_util.h"
+
+namespace sqlcm::cm {
+
+using common::Result;
+using common::Row;
+using common::Status;
+using common::Value;
+using common::ValueKind;
+
+const char* LatAggFuncName(LatAggFunc func) {
+  switch (func) {
+    case LatAggFunc::kCount: return "COUNT";
+    case LatAggFunc::kSum: return "SUM";
+    case LatAggFunc::kAvg: return "AVG";
+    case LatAggFunc::kStdev: return "STDEV";
+    case LatAggFunc::kMin: return "MIN";
+    case LatAggFunc::kMax: return "MAX";
+    case LatAggFunc::kFirst: return "FIRST";
+    case LatAggFunc::kLast: return "LAST";
+  }
+  return "?";
+}
+
+Result<LatAggFunc> ParseLatAggFunc(std::string_view name) {
+  using common::EqualsIgnoreCase;
+  if (EqualsIgnoreCase(name, "COUNT")) return LatAggFunc::kCount;
+  if (EqualsIgnoreCase(name, "SUM")) return LatAggFunc::kSum;
+  if (EqualsIgnoreCase(name, "AVG") || EqualsIgnoreCase(name, "AVERAGE")) {
+    return LatAggFunc::kAvg;
+  }
+  if (EqualsIgnoreCase(name, "STDEV")) return LatAggFunc::kStdev;
+  if (EqualsIgnoreCase(name, "MIN")) return LatAggFunc::kMin;
+  if (EqualsIgnoreCase(name, "MAX")) return LatAggFunc::kMax;
+  if (EqualsIgnoreCase(name, "FIRST")) return LatAggFunc::kFirst;
+  if (EqualsIgnoreCase(name, "LAST")) return LatAggFunc::kLast;
+  return Status::NotFound("unknown LAT aggregation function '" +
+                          std::string(name) + "'");
+}
+
+namespace {
+
+bool NeedsNumericInput(LatAggFunc func) {
+  return func == LatAggFunc::kSum || func == LatAggFunc::kAvg ||
+         func == LatAggFunc::kStdev;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Lat>> Lat::Create(LatSpec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("LAT must have a name");
+  }
+  if (spec.object_class == MonitoredClass::kEvicted) {
+    return Status::InvalidArgument(
+        "LATs over evicted rows are not supported; persist them instead");
+  }
+  if (spec.group_by.empty()) {
+    return Status::InvalidArgument("LAT '" + spec.name +
+                                   "' needs at least one grouping column");
+  }
+  if ((spec.max_rows > 0 || spec.max_bytes > 0) && spec.ordering.empty()) {
+    return Status::InvalidArgument(
+        "LAT '" + spec.name +
+        "' declares a size limit but no ordering columns for eviction");
+  }
+  const bool any_aging = std::any_of(spec.aggregates.begin(),
+                                     spec.aggregates.end(),
+                                     [](const LatAggColumn& c) { return c.aging; });
+  if (any_aging) {
+    if (spec.aging_window_micros <= 0 || spec.aging_block_micros <= 0 ||
+        spec.aging_block_micros > spec.aging_window_micros) {
+      return Status::InvalidArgument(
+          "LAT '" + spec.name +
+          "' has aging aggregates but invalid aging window/block sizes");
+    }
+  }
+
+  auto lat = std::unique_ptr<Lat>(new Lat(std::move(spec)));
+  const LatSpec& s = lat->spec_;
+  const ObjectSchema& schema = ObjectSchema::Get();
+
+  for (const LatGroupColumn& col : s.group_by) {
+    const int attr = schema.FindAttribute(s.object_class, col.attribute);
+    if (attr < 0) {
+      return Status::NotFound("LAT '" + s.name + "': class " +
+                              MonitoredClassName(s.object_class) +
+                              " has no attribute '" + col.attribute + "'");
+    }
+    const AttributeDef& def = schema.attributes(s.object_class)[attr];
+    lat->group_getters_.push_back(def.getter);
+    lat->column_names_.push_back(col.alias.empty() ? col.attribute : col.alias);
+    lat->column_kinds_.push_back(def.kind);
+  }
+  for (const LatAggColumn& col : s.aggregates) {
+    AttributeGetter getter = nullptr;
+    ValueKind input_kind = ValueKind::kInt;
+    if (!col.attribute.empty()) {
+      const int attr = schema.FindAttribute(s.object_class, col.attribute);
+      if (attr < 0) {
+        return Status::NotFound("LAT '" + s.name + "': class " +
+                                MonitoredClassName(s.object_class) +
+                                " has no attribute '" + col.attribute + "'");
+      }
+      const AttributeDef& def = schema.attributes(s.object_class)[attr];
+      getter = def.getter;
+      input_kind = def.kind;
+    } else if (col.func != LatAggFunc::kCount) {
+      return Status::InvalidArgument(
+          "LAT '" + s.name + "': " + LatAggFuncName(col.func) +
+          " needs an input attribute");
+    }
+    if (NeedsNumericInput(col.func) && input_kind != ValueKind::kInt &&
+        input_kind != ValueKind::kDouble) {
+      return Status::TypeError("LAT '" + s.name + "': " +
+                               LatAggFuncName(col.func) +
+                               " requires a numeric attribute, got '" +
+                               col.attribute + "'");
+    }
+    if (col.aging &&
+        (col.func == LatAggFunc::kFirst || col.func == LatAggFunc::kLast)) {
+      return Status::InvalidArgument(
+          "LAT '" + s.name + "': FIRST/LAST have no aging variant");
+    }
+    lat->agg_getters_.push_back(getter);
+    std::string name = col.alias;
+    if (name.empty()) {
+      name = std::string(LatAggFuncName(col.func)) +
+             (col.attribute.empty() ? "" : "_" + col.attribute);
+    }
+    lat->column_names_.push_back(std::move(name));
+    ValueKind out_kind;
+    switch (col.func) {
+      case LatAggFunc::kCount:
+        out_kind = ValueKind::kInt;
+        break;
+      case LatAggFunc::kSum:
+      case LatAggFunc::kAvg:
+      case LatAggFunc::kStdev:
+        out_kind = ValueKind::kDouble;
+        break;
+      default:
+        out_kind = input_kind;
+    }
+    lat->column_kinds_.push_back(out_kind);
+  }
+
+  // Column names must be unique.
+  for (size_t i = 0; i < lat->column_names_.size(); ++i) {
+    for (size_t j = i + 1; j < lat->column_names_.size(); ++j) {
+      if (common::EqualsIgnoreCase(lat->column_names_[i],
+                                   lat->column_names_[j])) {
+        return Status::InvalidArgument("LAT '" + s.name +
+                                       "': duplicate column name '" +
+                                       lat->column_names_[i] + "'");
+      }
+    }
+  }
+
+  for (const LatOrdering& ord : s.ordering) {
+    const int idx = lat->FindColumn(ord.column);
+    if (idx < 0) {
+      return Status::NotFound("LAT '" + s.name + "': ordering column '" +
+                              ord.column + "' does not exist");
+    }
+    lat->ordering_columns_.push_back(idx);
+  }
+  return lat;
+}
+
+int Lat::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (common::EqualsIgnoreCase(column_names_[i], name)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Row Lat::GroupKeyFor(const void* record) const {
+  Row key;
+  key.reserve(group_getters_.size());
+  for (AttributeGetter getter : group_getters_) key.push_back(getter(record));
+  return key;
+}
+
+void Lat::FoldValue(AggState* state, const LatAggColumn& col, Value v,
+                    int64_t now_micros) {
+  if (col.aging) {
+    // Locate (or open) the block for `now`; prune expired blocks.
+    if (state->blocks == nullptr) {
+      state->blocks = std::make_unique<std::deque<AgingBlock>>();
+    }
+    std::deque<AgingBlock>& blocks = *state->blocks;
+    const int64_t block_start =
+        now_micros - (now_micros % spec_.aging_block_micros);
+    while (!blocks.empty() &&
+           blocks.front().block_start + spec_.aging_block_micros <=
+               now_micros - spec_.aging_window_micros) {
+      blocks.pop_front();
+    }
+    if (blocks.empty() || blocks.back().block_start != block_start) {
+      AgingBlock block;
+      block.block_start = block_start;
+      blocks.push_back(std::move(block));
+    }
+    AgingBlock& block = blocks.back();
+    ++block.count;
+    if (v.is_numeric()) {
+      const double d = v.AsDouble();
+      block.sum += d;
+      block.sumsq += d * d;
+    }
+    if (!v.is_null()) {
+      if (!block.any || v.Compare(block.min) < 0) block.min = v;
+      if (!block.any || v.Compare(block.max) > 0) block.max = v;
+      block.any = true;
+    }
+    return;
+  }
+  ++state->count;
+  if (v.is_numeric()) {
+    const double d = v.AsDouble();
+    state->sum += d;
+    state->sumsq += d * d;
+  }
+  if (!v.is_null()) {
+    if (!state->any) state->first = v;
+    if (!state->any || v.Compare(state->min) < 0) state->min = v;
+    if (!state->any || v.Compare(state->max) > 0) state->max = v;
+    state->any = true;
+    state->last = std::move(v);  // last use; avoids a copy for strings
+  } else if (!state->any && col.func == LatAggFunc::kFirst) {
+    // FIRST retains the first inserted value even when NULL.
+    state->first = v;
+  }
+}
+
+Value Lat::AggValue(const AggState& state, const LatAggColumn& col,
+                    int64_t now_micros) const {
+  int64_t count = state.count;
+  double sum = state.sum;
+  double sumsq = state.sumsq;
+  Value min = state.min, max = state.max;
+  bool any = state.any;
+  if (col.aging) {
+    count = 0;
+    sum = sumsq = 0;
+    any = false;
+    min = max = Value::Null();
+    if (state.blocks == nullptr) return col.func == LatAggFunc::kCount
+                                            ? Value::Int(0)
+                                            : Value::Null();
+    const int64_t horizon = now_micros - spec_.aging_window_micros;
+    for (const AgingBlock& block : *state.blocks) {
+      if (block.block_start + spec_.aging_block_micros <= horizon) continue;
+      count += block.count;
+      sum += block.sum;
+      sumsq += block.sumsq;
+      if (block.any) {
+        if (!any || block.min.Compare(min) < 0) min = block.min;
+        if (!any || block.max.Compare(max) > 0) max = block.max;
+        any = true;
+      }
+    }
+  }
+  switch (col.func) {
+    case LatAggFunc::kCount:
+      return Value::Int(count);
+    case LatAggFunc::kSum:
+      return count > 0 ? Value::Double(sum) : Value::Null();
+    case LatAggFunc::kAvg:
+      return count > 0 ? Value::Double(sum / static_cast<double>(count))
+                       : Value::Null();
+    case LatAggFunc::kStdev: {
+      if (count < 2) return Value::Double(0);
+      const double n = static_cast<double>(count);
+      const double variance = std::max(0.0, (sumsq - sum * sum / n) / (n - 1));
+      return Value::Double(std::sqrt(variance));
+    }
+    case LatAggFunc::kMin:
+      return any ? min : Value::Null();
+    case LatAggFunc::kMax:
+      return any ? max : Value::Null();
+    case LatAggFunc::kFirst:
+      return state.first;
+    case LatAggFunc::kLast:
+      return state.last;
+  }
+  return Value::Null();
+}
+
+Row Lat::MaterializeLocked(const LatRow& row, int64_t now_micros) const {
+  Row out = row.group_key;
+  out.reserve(num_columns());
+  for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+    out.push_back(AggValue(row.aggs[a], spec_.aggregates[a], now_micros));
+  }
+  return out;
+}
+
+Row Lat::OrderingKeyLocked(const LatRow& row, int64_t now_micros) const {
+  Row key;
+  key.reserve(ordering_columns_.size());
+  const size_t groups = group_width();
+  for (int col : ordering_columns_) {
+    const size_t c = static_cast<size_t>(col);
+    if (c < groups) {
+      key.push_back(row.group_key[c]);
+    } else {
+      const size_t a = c - groups;
+      key.push_back(AggValue(row.aggs[a], spec_.aggregates[a], now_micros));
+    }
+  }
+  return key;
+}
+
+bool Lat::LessImportant(const Row& a, const Row& b) const {
+  for (size_t i = 0; i < spec_.ordering.size(); ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c == 0) continue;
+    // DESC ordering: smaller value = less important (evicted first).
+    // ASC ordering: larger value = less important.
+    return spec_.ordering[i].descending ? c < 0 : c > 0;
+  }
+  return false;
+}
+
+size_t Lat::ApproxRowBytesLocked(const LatRow& row) {
+  size_t bytes = sizeof(LatRow);
+  for (const Value& v : row.group_key) bytes += v.ApproxBytes();
+  for (const AggState& state : row.aggs) {
+    bytes += sizeof(AggState);
+    bytes += state.min.ApproxBytes() + state.max.ApproxBytes() +
+             state.first.ApproxBytes() + state.last.ApproxBytes();
+    if (state.blocks != nullptr) {
+      bytes += state.blocks->size() * sizeof(AgingBlock);
+    }
+  }
+  return bytes;
+}
+
+void Lat::Insert(const void* record, int64_t now_micros) {
+  Row key = GroupKeyFor(record);
+
+  std::shared_ptr<LatRow> row;
+  {
+    std::lock_guard<common::SpinLatch> hash_guard(hash_latch_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      row = it->second;
+    } else {
+      row = std::make_shared<LatRow>();
+      row->group_key = key;
+      row->aggs.resize(spec_.aggregates.size());
+      map_.emplace(std::move(key), row);
+    }
+  }
+
+  const bool bounded = spec_.max_rows > 0 || spec_.max_bytes > 0;
+  Row ordering_key;
+  size_t row_bytes = 0;
+  {
+    std::lock_guard<common::SpinLatch> row_guard(row->latch);
+    for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+      Value v = agg_getters_[a] != nullptr ? agg_getters_[a](record)
+                                           : Value::Int(1);
+      FoldValue(&row->aggs[a], spec_.aggregates[a], std::move(v), now_micros);
+    }
+    if (bounded) {
+      ordering_key = OrderingKeyLocked(*row, now_micros);
+      if (spec_.max_bytes > 0) row_bytes = ApproxRowBytesLocked(*row);
+    }
+  }
+
+  if (!bounded) return;
+
+  // Maintain the eviction heap; collect overflow victims.
+  std::vector<LatRow*> victims;
+  {
+    std::lock_guard<common::SpinLatch> heap_guard(heap_latch_);
+    row->ordering_key = std::move(ordering_key);
+    if (spec_.max_bytes > 0 && !row->evicted) {
+      total_bytes_ += row_bytes - row->approx_bytes;
+      row->approx_bytes = row_bytes;
+    }
+    if (row->evicted) {
+      // Racing update to a row already chosen for eviction: drop it.
+    } else if (row->heap_index == SIZE_MAX) {
+      HeapInsertLocked(row.get());
+    } else {
+      HeapRepositionLocked(row.get());
+    }
+    while ((spec_.max_rows > 0 && heap_.size() > spec_.max_rows) ||
+           (spec_.max_bytes > 0 && total_bytes_ > spec_.max_bytes &&
+            heap_.size() > 1)) {
+      LatRow* victim = heap_[0];
+      HeapEraseLocked(victim);
+      victim->evicted = true;
+      total_bytes_ -= victim->approx_bytes;
+      victims.push_back(victim);
+    }
+  }
+  if (victims.empty()) return;
+
+  // Materialize victims (row latch only) when anyone listens, erase from
+  // the directory (hash latch only), then notify outside all latches.
+  std::vector<Row> evicted_rows;
+  if (evict_callback_) {
+    for (LatRow* victim : victims) {
+      std::lock_guard<common::SpinLatch> row_guard(victim->latch);
+      evicted_rows.push_back(MaterializeLocked(*victim, now_micros));
+    }
+  }
+  {
+    std::lock_guard<common::SpinLatch> hash_guard(hash_latch_);
+    for (LatRow* victim : victims) map_.erase(victim->group_key);
+  }
+  if (evict_callback_) {
+    for (Row& evicted : evicted_rows) evict_callback_(std::move(evicted));
+  }
+}
+
+void Lat::Reset() {
+  std::lock_guard<common::SpinLatch> hash_guard(hash_latch_);
+  std::lock_guard<common::SpinLatch> heap_guard(heap_latch_);
+  // The only place two LAT latches nest; safe because no other path holds
+  // one latch while acquiring another.
+  map_.clear();
+  heap_.clear();
+  total_bytes_ = 0;
+}
+
+bool Lat::LookupForObject(const void* record, int64_t now_micros,
+                          Row* out) const {
+  return LookupByKey(GroupKeyFor(record), now_micros, out);
+}
+
+bool Lat::LookupByKey(const Row& group_key, int64_t now_micros,
+                      Row* out) const {
+  std::shared_ptr<LatRow> row;
+  {
+    std::lock_guard<common::SpinLatch> hash_guard(hash_latch_);
+    auto it = map_.find(group_key);
+    if (it == map_.end()) return false;
+    row = it->second;
+  }
+  std::lock_guard<common::SpinLatch> row_guard(row->latch);
+  *out = MaterializeLocked(*row, now_micros);
+  return true;
+}
+
+std::vector<Row> Lat::Snapshot(int64_t now_micros) const {
+  std::vector<std::shared_ptr<LatRow>> rows;
+  {
+    std::lock_guard<common::SpinLatch> hash_guard(hash_latch_);
+    rows.reserve(map_.size());
+    for (const auto& [_, row] : map_) rows.push_back(row);
+  }
+  std::vector<Row> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::lock_guard<common::SpinLatch> row_guard(row->latch);
+    out.push_back(MaterializeLocked(*row, now_micros));
+  }
+  if (!ordering_columns_.empty()) {
+    const auto& ordering_cols = ordering_columns_;
+    std::stable_sort(out.begin(), out.end(),
+                     [this, &ordering_cols](const Row& a, const Row& b) {
+                       Row ka, kb;
+                       for (int c : ordering_cols) {
+                         ka.push_back(a[static_cast<size_t>(c)]);
+                         kb.push_back(b[static_cast<size_t>(c)]);
+                       }
+                       // Most important first.
+                       return LessImportant(kb, ka);
+                     });
+  }
+  return out;
+}
+
+size_t Lat::size() const {
+  std::lock_guard<common::SpinLatch> hash_guard(hash_latch_);
+  return map_.size();
+}
+
+size_t Lat::approx_bytes() const {
+  std::lock_guard<common::SpinLatch> heap_guard(heap_latch_);
+  return total_bytes_;
+}
+
+// ---------------------------------------------------------------------------
+// Heap (min-heap on importance; root is the eviction candidate)
+// ---------------------------------------------------------------------------
+
+void Lat::HeapInsertLocked(LatRow* row) {
+  row->heap_index = heap_.size();
+  heap_.push_back(row);
+  SiftUpLocked(row->heap_index);
+}
+
+void Lat::HeapRepositionLocked(LatRow* row) {
+  SiftUpLocked(row->heap_index);
+  SiftDownLocked(row->heap_index);
+}
+
+void Lat::HeapEraseLocked(LatRow* row) {
+  const size_t i = row->heap_index;
+  HeapSwapLocked(i, heap_.size() - 1);
+  heap_.pop_back();
+  row->heap_index = SIZE_MAX;
+  if (i < heap_.size()) {
+    SiftUpLocked(i);
+    SiftDownLocked(i);
+  }
+}
+
+void Lat::HeapSwapLocked(size_t i, size_t j) {
+  if (i == j) return;
+  std::swap(heap_[i], heap_[j]);
+  heap_[i]->heap_index = i;
+  heap_[j]->heap_index = j;
+}
+
+void Lat::SiftUpLocked(size_t i) {
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!LessImportant(heap_[i]->ordering_key, heap_[parent]->ordering_key)) {
+      break;
+    }
+    HeapSwapLocked(i, parent);
+    i = parent;
+  }
+}
+
+void Lat::SiftDownLocked(size_t i) {
+  for (;;) {
+    const size_t left = 2 * i + 1;
+    const size_t right = 2 * i + 2;
+    size_t smallest = i;
+    if (left < heap_.size() &&
+        LessImportant(heap_[left]->ordering_key,
+                      heap_[smallest]->ordering_key)) {
+      smallest = left;
+    }
+    if (right < heap_.size() &&
+        LessImportant(heap_[right]->ordering_key,
+                      heap_[smallest]->ordering_key)) {
+      smallest = right;
+    }
+    if (smallest == i) break;
+    HeapSwapLocked(i, smallest);
+    i = smallest;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+Status Lat::PersistTo(storage::Table* table, int64_t timestamp_micros,
+                      int64_t now_micros) const {
+  const size_t width = table->schema().num_columns();
+  const bool with_timestamp = width == num_columns() + 1;
+  if (!with_timestamp && width != num_columns()) {
+    return Status::InvalidArgument(
+        "table '" + table->name() + "' has " + std::to_string(width) +
+        " columns; LAT '" + name() + "' produces " +
+        std::to_string(num_columns()) + " (+1 optional timestamp)");
+  }
+  for (Row& row : Snapshot(now_micros)) {
+    if (with_timestamp) row.push_back(Value::Int(timestamp_micros));
+    SQLCM_RETURN_IF_ERROR(table->Insert(std::move(row)).status());
+  }
+  return Status::OK();
+}
+
+Status Lat::SeedFrom(const storage::Table& table, int64_t now_micros) {
+  const size_t width = table.schema().num_columns();
+  const bool with_timestamp = width == num_columns() + 1;
+  if (!with_timestamp && width != num_columns()) {
+    return Status::InvalidArgument(
+        "table '" + table.name() + "' has " + std::to_string(width) +
+        " columns; LAT '" + name() + "' expects " +
+        std::to_string(num_columns()) + " (+1 optional timestamp)");
+  }
+  // Locate a COUNT column if one exists (improves AVG reconstruction).
+  int count_col = -1;
+  for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+    if (spec_.aggregates[a].func == LatAggFunc::kCount) {
+      count_col = static_cast<int>(group_width() + a);
+      break;
+    }
+  }
+
+  std::optional<Row> after;
+  std::vector<Row> keys, rows;
+  for (;;) {
+    keys.clear();
+    rows.clear();
+    if (table.ScanBatch(after, 256, &keys, &rows) == 0) break;
+    after = keys.back();
+    for (Row& persisted : rows) {
+      Row group_key(persisted.begin(),
+                    persisted.begin() + static_cast<long>(group_width()));
+      auto row = std::make_shared<LatRow>();
+      row->group_key = group_key;
+      row->aggs.resize(spec_.aggregates.size());
+      int64_t seed_count = 1;
+      if (count_col >= 0 &&
+          persisted[static_cast<size_t>(count_col)].is_int()) {
+        seed_count =
+            std::max<int64_t>(1, persisted[static_cast<size_t>(count_col)]
+                                     .int_value());
+      }
+      for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+        const Value& v = persisted[group_width() + a];
+        AggState& state = row->aggs[a];
+        switch (spec_.aggregates[a].func) {
+          case LatAggFunc::kCount:
+            state.count = v.is_int() ? v.int_value() : 0;
+            break;
+          case LatAggFunc::kSum:
+            state.count = seed_count;
+            state.sum = v.is_numeric() ? v.AsDouble() : 0;
+            break;
+          case LatAggFunc::kAvg:
+            state.count = seed_count;
+            state.sum =
+                v.is_numeric() ? v.AsDouble() * static_cast<double>(seed_count)
+                               : 0;
+            break;
+          case LatAggFunc::kStdev:
+            state.count = seed_count;  // variance history lost; STDEV ~ 0
+            state.sum = 0;
+            state.sumsq = 0;
+            break;
+          case LatAggFunc::kMin:
+          case LatAggFunc::kMax:
+          case LatAggFunc::kFirst:
+          case LatAggFunc::kLast:
+            state.min = state.max = state.first = state.last = v;
+            state.any = !v.is_null();
+            break;
+        }
+      }
+      {
+        std::lock_guard<common::SpinLatch> hash_guard(hash_latch_);
+        if (map_.count(group_key) != 0) continue;  // live data wins
+        map_.emplace(std::move(group_key), row);
+      }
+      if (spec_.max_rows > 0 || spec_.max_bytes > 0) {
+        Row ordering_key;
+        {
+          std::lock_guard<common::SpinLatch> row_guard(row->latch);
+          ordering_key = OrderingKeyLocked(*row, now_micros);
+        }
+        std::vector<LatRow*> victims;
+        {
+          std::lock_guard<common::SpinLatch> heap_guard(heap_latch_);
+          row->ordering_key = std::move(ordering_key);
+          if (spec_.max_bytes > 0) {
+            row->approx_bytes = ApproxRowBytesLocked(*row);
+            total_bytes_ += row->approx_bytes;
+          }
+          HeapInsertLocked(row.get());
+          while ((spec_.max_rows > 0 && heap_.size() > spec_.max_rows) ||
+                 (spec_.max_bytes > 0 && total_bytes_ > spec_.max_bytes &&
+                  heap_.size() > 1)) {
+            LatRow* victim = heap_[0];
+            HeapEraseLocked(victim);
+            victim->evicted = true;
+            total_bytes_ -= victim->approx_bytes;
+            victims.push_back(victim);
+          }
+        }
+        if (!victims.empty()) {
+          std::lock_guard<common::SpinLatch> hash_guard(hash_latch_);
+          for (LatRow* victim : victims) map_.erase(victim->group_key);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sqlcm::cm

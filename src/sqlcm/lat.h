@@ -1,0 +1,235 @@
+// Light-weight aggregation tables (paper §4.3).
+//
+// An in-memory GROUP-BY container over probes of one monitored class:
+//   * grouping columns + aggregation functions (COUNT/SUM/AVG/STDEV/MIN/
+//     MAX/FIRST/LAST), each optionally in an *aging* variant that reflects
+//     only the last `t` time units, bucketed into blocks of width `Δ`
+//     (storage ≤ 2t/Δ blocks per aggregate, §4.3);
+//   * a maximum size (rows) with ordering columns: when an insertion
+//     violates the size bound the "least important" row (the one that
+//     sorts last under the declared ordering) is evicted, and the evicted
+//     row is exposed as a monitored object via the evict callback;
+//   * persist-to-table and seed-from-table (restart continuity).
+//
+// Concurrency (paper §6.1): rule evaluation and LAT updates run in the
+// threads that trigger events, so rows, the ordering heap and the hash
+// directory are individually latched. The latches are never nested — each
+// step of an insert holds at most one — so the scheme is deadlock-free by
+// construction. bench/bench_lat.cc stress-verifies the "latching is not a
+// hotspot" claim.
+#ifndef SQLCM_SQLCM_LAT_H_
+#define SQLCM_SQLCM_LAT_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "sqlcm/schema.h"
+#include "storage/table.h"
+
+namespace sqlcm::cm {
+
+enum class LatAggFunc : uint8_t {
+  kCount,
+  kSum,
+  kAvg,
+  kStdev,
+  kMin,
+  kMax,
+  kFirst,
+  kLast,
+};
+
+const char* LatAggFuncName(LatAggFunc func);
+common::Result<LatAggFunc> ParseLatAggFunc(std::string_view name);
+
+struct LatGroupColumn {
+  std::string attribute;  // attribute of the LAT's object class
+  std::string alias;      // output column name; empty -> attribute name
+};
+
+struct LatAggColumn {
+  LatAggFunc func = LatAggFunc::kCount;
+  std::string attribute;  // input probe; may be empty for COUNT
+  std::string alias;      // output column name; empty -> FUNC_attribute
+  bool aging = false;     // moving-window variant
+};
+
+struct LatOrdering {
+  std::string column;  // output column name (group or aggregate alias)
+  bool descending = true;
+};
+
+struct LatSpec {
+  std::string name;
+  MonitoredClass object_class = MonitoredClass::kQuery;
+  std::vector<LatGroupColumn> group_by;
+  std::vector<LatAggColumn> aggregates;
+  /// Eviction ordering; required when max_rows > 0.
+  std::vector<LatOrdering> ordering;
+  /// 0 = unbounded.
+  size_t max_rows = 0;
+  /// Alternative/additional bound on the approximate total byte footprint
+  /// of stored rows (paper §4.3: size limits "in terms of the number of
+  /// rows stored or the overall row size"). 0 = unbounded. Requires
+  /// ordering columns, like max_rows.
+  size_t max_bytes = 0;
+  /// Aging parameters (apply to aggregates flagged `aging`).
+  int64_t aging_window_micros = 0;  // t
+  int64_t aging_block_micros = 0;   // Δ
+};
+
+class Lat {
+ public:
+  /// Invoked (outside all LAT latches) with the materialized evicted row.
+  using EvictCallback = std::function<void(common::Row evicted)>;
+
+  /// Validates the spec against the object schema (attributes exist,
+  /// SUM/AVG/STDEV inputs are numeric, ordering columns resolve, aging
+  /// parameters sane) and pre-resolves all probe getters.
+  static common::Result<std::unique_ptr<Lat>> Create(LatSpec spec);
+
+  ~Lat() = default;
+  Lat(const Lat&) = delete;
+  Lat& operator=(const Lat&) = delete;
+
+  const LatSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+
+  // -- Column metadata (group columns first, then aggregate columns) -------
+  size_t num_columns() const { return column_names_.size(); }
+  size_t group_width() const { return spec_.group_by.size(); }
+  const std::vector<std::string>& column_names() const { return column_names_; }
+  const std::vector<common::ValueKind>& column_kinds() const {
+    return column_kinds_;
+  }
+  /// Case-insensitive; -1 when absent.
+  int FindColumn(std::string_view name) const;
+
+  void set_evict_callback(EvictCallback callback) {
+    evict_callback_ = std::move(callback);
+  }
+
+  // -- Mutation --------------------------------------------------------------
+
+  /// The Insert action (§5.3): upserts the group for `record` (a record of
+  /// spec().object_class) and folds its probe values into every aggregate.
+  void Insert(const void* record, int64_t now_micros);
+
+  /// The Reset action (§5.3): drops every row and frees memory.
+  void Reset();
+
+  // -- Reads -----------------------------------------------------------------
+
+  /// Materializes the row whose grouping columns equal the corresponding
+  /// probe values of `record` (rule-condition LAT references, §5.2).
+  /// Returns false when no such group exists (the rule's implicit ∃).
+  bool LookupForObject(const void* record, int64_t now_micros,
+                       common::Row* out) const;
+
+  bool LookupByKey(const common::Row& group_key, int64_t now_micros,
+                   common::Row* out) const;
+
+  /// All rows, sorted by the declared ordering when one exists.
+  std::vector<common::Row> Snapshot(int64_t now_micros) const;
+
+  size_t size() const;
+
+  /// Approximate bytes across all rows (maintained when a byte limit is
+  /// configured; 0 otherwise).
+  size_t approx_bytes() const;
+
+  // -- Persistence (§4.3) ------------------------------------------------------
+
+  /// Appends every row to `table` (schema: LAT columns + trailing INT
+  /// timestamp column when the table is one column wider).
+  common::Status PersistTo(storage::Table* table, int64_t timestamp_micros,
+                           int64_t now_micros) const;
+
+  /// Seeds rows from previously persisted values (restart continuity).
+  /// Aggregate state is reconstructed approximately: COUNT/SUM/MIN/MAX/
+  /// FIRST/LAST exactly, AVG via an available COUNT column (count 1
+  /// otherwise), STDEV resets to 0. Aging history is not reconstructed.
+  common::Status SeedFrom(const storage::Table& table, int64_t now_micros);
+
+ private:
+  struct AgingBlock {
+    int64_t block_start = 0;
+    int64_t count = 0;
+    double sum = 0;
+    double sumsq = 0;
+    common::Value min, max;
+    bool any = false;
+  };
+
+  struct AggState {
+    int64_t count = 0;
+    double sum = 0;
+    double sumsq = 0;
+    common::Value min, max, first, last;
+    bool any = false;
+    /// Aging variant only; lazily allocated (a default-constructed deque
+    /// allocates, and non-aging rows are the hot path).
+    std::unique_ptr<std::deque<AgingBlock>> blocks;
+  };
+
+  struct LatRow {
+    common::Row group_key;
+    std::vector<AggState> aggs;
+    common::Row ordering_key;  // cached, refreshed on each insert
+    size_t heap_index = SIZE_MAX;
+    size_t approx_bytes = 0;   // accounted share of total_bytes_
+    bool evicted = false;
+    mutable common::SpinLatch latch;
+  };
+
+  explicit Lat(LatSpec spec) : spec_(std::move(spec)) {}
+
+  common::Row GroupKeyFor(const void* record) const;
+  void FoldValue(AggState* state, const LatAggColumn& col, common::Value v,
+                 int64_t now_micros);
+  common::Value AggValue(const AggState& state, const LatAggColumn& col,
+                         int64_t now_micros) const;
+  common::Row MaterializeLocked(const LatRow& row, int64_t now_micros) const;
+  common::Row OrderingKeyLocked(const LatRow& row, int64_t now_micros) const;
+  static size_t ApproxRowBytesLocked(const LatRow& row);
+
+  /// True if `a` is less important than `b` (i.e. `a` sorts later under the
+  /// declared ordering and is the eviction candidate).
+  bool LessImportant(const common::Row& a, const common::Row& b) const;
+
+  // Heap helpers; caller holds heap_latch_.
+  void HeapInsertLocked(LatRow* row);
+  void HeapRepositionLocked(LatRow* row);
+  void HeapEraseLocked(LatRow* row);
+  void HeapSwapLocked(size_t i, size_t j);
+  void SiftUpLocked(size_t i);
+  void SiftDownLocked(size_t i);
+
+  LatSpec spec_;
+  std::vector<std::string> column_names_;
+  std::vector<common::ValueKind> column_kinds_;
+  std::vector<AttributeGetter> group_getters_;
+  std::vector<AttributeGetter> agg_getters_;  // null entry for plain COUNT
+  std::vector<int> ordering_columns_;          // indexes into materialized row
+  EvictCallback evict_callback_;
+
+  mutable common::SpinLatch hash_latch_;
+  std::unordered_map<common::Row, std::shared_ptr<LatRow>, common::RowHasher,
+                     common::RowEq>
+      map_;
+
+  mutable common::SpinLatch heap_latch_;
+  std::vector<LatRow*> heap_;  // min-heap: root = least important
+  size_t total_bytes_ = 0;     // sum of approx_bytes; guarded by heap_latch_
+};
+
+}  // namespace sqlcm::cm
+
+#endif  // SQLCM_SQLCM_LAT_H_

@@ -1,0 +1,982 @@
+#include "sqlcm/monitor_engine.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "sqlcm/signature.h"
+
+namespace sqlcm::cm {
+
+using common::Result;
+using common::Row;
+using common::Status;
+using common::ToLower;
+using common::Value;
+using common::ValueKind;
+
+namespace {
+
+/// Deferred side-effect events (paper §5, rule evaluation order): actions
+/// that raise further events — LAT eviction being the one in-thread case —
+/// are queued and processed only after the current rule batch completes.
+struct PendingEviction {
+  Lat* lat;
+  Row row;
+};
+
+int& RuleDepth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+/// Per-thread stack of in-flight query records (statements nest through
+/// EXEC). Start and terminal hooks run on the same session thread, so this
+/// avoids the global registry when no rule needs cross-query visibility.
+std::vector<std::shared_ptr<QueryRecord>>& ThreadQueryStack() {
+  // Value-type thread_local: destroyed at thread exit (see above).
+  thread_local std::vector<std::shared_ptr<QueryRecord>> stack;
+  return stack;
+}
+
+std::vector<PendingEviction>& PendingEvictions() {
+  // Value-type thread_local: destroyed at thread exit. Safe because the
+  // elements hold no references to other thread_local state.
+  thread_local std::vector<PendingEviction> pending;
+  return pending;
+}
+
+catalog::ColumnType ColumnTypeForKind(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kInt: return catalog::ColumnType::kInt;
+    case ValueKind::kDouble: return catalog::ColumnType::kDouble;
+    case ValueKind::kBool: return catalog::ColumnType::kBool;
+    default: return catalog::ColumnType::kString;
+  }
+}
+
+}  // namespace
+
+MonitorEngine::MonitorEngine(engine::Database* db, Options options)
+    : db_(db),
+      options_(options),
+      mailer_(options.mailer != nullptr ? options.mailer : &default_mailer_),
+      launcher_(options.launcher != nullptr ? options.launcher
+                                            : &default_launcher_),
+      timers_(db->clock(),
+              [this](const TimerRecord& timer) { HandleTimerAlarm(timer); }),
+      rule_table_(std::make_shared<const RuleTable>()) {
+  db_->set_monitor_hooks(this);
+  if (options_.start_timer_thread) timers_.Start();
+}
+
+MonitorEngine::~MonitorEngine() {
+  timers_.Stop();
+  db_->set_monitor_hooks(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// LAT administration
+// ---------------------------------------------------------------------------
+
+Status MonitorEngine::DefineLat(LatSpec spec) {
+  SQLCM_ASSIGN_OR_RETURN(auto lat, Lat::Create(std::move(spec)));
+  Lat* raw = lat.get();
+  lat->set_evict_callback(
+      [this, raw](Row evicted) { HandleEviction(raw, std::move(evicted)); });
+  const std::string key = ToLower(raw->name());
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  if (lats_.count(key) != 0) {
+    return Status::AlreadyExists("LAT '" + raw->name() + "' already exists");
+  }
+  lats_.emplace(key, std::move(lat));
+  return Status::OK();
+}
+
+Status MonitorEngine::DropLat(std::string_view name) {
+  const std::string key = ToLower(name);
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto it = lats_.find(key);
+  if (it == lats_.end()) {
+    return Status::NotFound("LAT '" + std::string(name) + "' not found");
+  }
+  for (const auto& rule : rules_) {
+    if (std::find(rule->referenced_lats.begin(), rule->referenced_lats.end(),
+                  it->second.get()) != rule->referenced_lats.end()) {
+      return Status::InvalidArgument("LAT '" + std::string(name) +
+                                     "' is referenced by rule '" + rule->name +
+                                     "'");
+    }
+  }
+  lats_.erase(it);
+  return Status::OK();
+}
+
+Lat* MonitorEngine::FindLat(std::string_view name) const {
+  const std::string key = ToLower(name);
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto it = lats_.find(key);
+  return it == lats_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> MonitorEngine::LatNames() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::vector<std::string> names;
+  for (const auto& [_, lat] : lats_) names.push_back(lat->name());
+  return names;
+}
+
+Status MonitorEngine::PersistLat(std::string_view lat_name,
+                                 const std::string& table_name) {
+  Lat* lat = FindLat(lat_name);
+  if (lat == nullptr) {
+    return Status::NotFound("LAT '" + std::string(lat_name) + "' not found");
+  }
+  std::vector<std::string> cols = lat->column_names();
+  std::vector<ValueKind> kinds = lat->column_kinds();
+  cols.push_back("persist_ts");
+  kinds.push_back(ValueKind::kInt);
+  SQLCM_ASSIGN_OR_RETURN(storage::Table * table,
+                         EnsureTable(table_name, cols, kinds));
+  const int64_t now = db_->clock()->NowMicros();
+  return lat->PersistTo(table, now, now);
+}
+
+Status MonitorEngine::SeedLat(std::string_view lat_name,
+                              const std::string& table_name) {
+  Lat* lat = FindLat(lat_name);
+  if (lat == nullptr) {
+    return Status::NotFound("LAT '" + std::string(lat_name) + "' not found");
+  }
+  storage::Table* table = db_->catalog()->GetTable(table_name);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + table_name + "' not found");
+  }
+  return lat->SeedFrom(*table, db_->clock()->NowMicros());
+}
+
+// ---------------------------------------------------------------------------
+// Rule administration
+// ---------------------------------------------------------------------------
+
+Result<uint64_t> MonitorEngine::AddRule(const RuleSpec& spec) {
+  // Compilation resolves LATs/timers through `this` without holding the
+  // registry mutex (FindLat/IsTimerName take it internally).
+  SQLCM_ASSIGN_OR_RETURN(auto compiled, RuleCompiler::Compile(spec, *this));
+  std::shared_ptr<CompiledRule> rule = std::move(compiled);
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  rule->id = next_rule_id_++;
+  rules_.push_back(rule);
+  RebuildRuleTableLocked();
+  return rule->id;
+}
+
+Status MonitorEngine::RemoveRule(uint64_t rule_id) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i]->id == rule_id) {
+      rules_.erase(rules_.begin() + static_cast<long>(i));
+      RebuildRuleTableLocked();
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("rule #" + std::to_string(rule_id) + " not found");
+}
+
+Status MonitorEngine::SetRuleEnabled(uint64_t rule_id, bool enabled) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& rule : rules_) {
+    if (rule->id == rule_id) {
+      rule->enabled = enabled;
+      RebuildRuleTableLocked();
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("rule #" + std::to_string(rule_id) + " not found");
+}
+
+size_t MonitorEngine::rule_count() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return rules_.size();
+}
+
+void MonitorEngine::RebuildRuleTableLocked() {
+  auto table = std::make_shared<RuleTable>();
+  bool any_enabled = false;
+  bool track_txns = false;
+  bool track_blocking = false;
+  bool track_registry = false;
+  bool track_concurrency = false;
+  for (const auto& rule : rules_) {
+    if (!rule->enabled) continue;
+    any_enabled = true;
+    table->by_event[static_cast<size_t>(rule->event.kind)].push_back(rule);
+    switch (rule->event.kind) {
+      case EventKind::kTransactionBegin:
+      case EventKind::kTransactionCommit:
+      case EventKind::kTransactionRollback:
+        track_txns = true;
+        break;
+      case EventKind::kQueryBlocked:
+      case EventKind::kQueryBlockReleased:
+        track_blocking = true;
+        break;
+      default:
+        break;
+    }
+    for (MonitoredClass cls : rule->iterate_classes) {
+      if (cls == MonitoredClass::kTransaction) track_txns = true;
+      if (cls == MonitoredClass::kBlocker || cls == MonitoredClass::kBlocked) {
+        track_blocking = true;
+      }
+      if (cls == MonitoredClass::kQuery) track_registry = true;
+    }
+    if (rule->needs_blocking_probes) track_blocking = true;
+    if (rule->needs_concurrency_probe) track_concurrency = true;
+  }
+  for (size_t kind = 0; kind < kNumEventKinds; ++kind) {
+    has_rules_[kind].store(!table->by_event[kind].empty(),
+                           std::memory_order_release);
+  }
+  rule_table_ = std::move(table);
+  track_transactions_.store(track_txns, std::memory_order_release);
+  // Blocking attribution and the concurrency probe both need the global
+  // registries.
+  track_registry_.store(track_registry || track_blocking || track_concurrency,
+                        std::memory_order_release);
+  track_concurrency_.store(track_concurrency, std::memory_order_release);
+  track_blocking_.store(track_blocking, std::memory_order_release);
+  monitoring_active_.store(any_enabled, std::memory_order_release);
+}
+
+std::vector<std::shared_ptr<const CompiledRule>> MonitorEngine::RulesFor(
+    EventKind kind) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return rule_table_->by_event[static_cast<size_t>(kind)];
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+Status MonitorEngine::CreateTimer(const std::string& name) {
+  return timers_.CreateTimer(name);
+}
+
+Status MonitorEngine::SetTimer(const std::string& name,
+                               double interval_seconds, int64_t repeats) {
+  return timers_.Set(name, static_cast<int64_t>(interval_seconds * 1e6),
+                     repeats);
+}
+
+bool MonitorEngine::IsTimerName(std::string_view name) const {
+  return timers_.IsTimerName(name);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+size_t MonitorEngine::active_query_count() const {
+  std::lock_guard<std::mutex> lock(objects_mutex_);
+  return active_queries_.size();
+}
+
+std::string MonitorEngine::last_error() const {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  return last_error_;
+}
+
+void MonitorEngine::RecordError(const Status& status) {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  last_error_ = status.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Engine hooks
+// ---------------------------------------------------------------------------
+
+void MonitorEngine::OnStatementCompiled(engine::CachedPlan* plan) {
+  // Paper §4.2: signatures are computed during optimization and cached
+  // with the plan. signature_micros is what experiment E1 measures against
+  // plan->optimize_micros.
+  const int64_t start = db_->clock()->NowMicros();
+  Signature logical = LogicalQuerySignature(*plan->logical);
+  Signature physical = PhysicalPlanSignature(*plan->physical);
+  plan->signature_micros = db_->clock()->NowMicros() - start;
+  plan->logical_signature = std::move(logical.text);
+  plan->physical_signature = std::move(physical.text);
+  plan->logical_signature_hash = logical.hash;
+  plan->physical_signature_hash = physical.hash;
+  plan->signatures_computed = true;
+}
+
+void MonitorEngine::OnQueryStart(const engine::QueryInfo& info) {
+  if (!MonitoringActive()) return;
+  auto rec = std::make_shared<QueryRecord>();
+  rec->id = info.query_id;
+  if (info.plan_ref != nullptr && info.plan_ref->signatures_computed) {
+    // Pin the plan-cache entry: text and signatures are read in place.
+    rec->plan = info.plan_ref;
+    rec->logical_hash = info.plan_ref->logical_signature_hash;
+    rec->physical_hash = info.plan_ref->physical_signature_hash;
+    rec->number_of_instances =
+        static_cast<int64_t>(
+            info.plan_ref->execution_count.load(std::memory_order_relaxed)) +
+        1;
+  } else {
+    if (info.text != nullptr) rec->text = *info.text;
+    if (info.override_logical_signature != nullptr) {
+      rec->logical_signature = *info.override_logical_signature;
+      rec->logical_hash = HashSignature(rec->logical_signature);
+    }
+    if (info.override_physical_signature != nullptr) {
+      rec->physical_signature = *info.override_physical_signature;
+      rec->physical_hash = HashSignature(rec->physical_signature);
+    }
+    rec->number_of_instances = 1;
+  }
+  rec->start_micros = info.start_micros;
+  rec->estimated_cost = info.estimated_cost;
+  rec->query_type = info.statement_type;
+  rec->session_id = info.session_id;
+  rec->txn_id = info.txn_id;
+  if (info.user != nullptr) rec->user = *info.user;
+  if (info.application != nullptr) rec->application = *info.application;
+  rec->txn = info.txn;
+
+  ThreadQueryStack().push_back(rec);
+  if (track_registry_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(objects_mutex_);
+    if (track_concurrency_.load(std::memory_order_acquire)) {
+      for (const auto& [_, other] : active_queries_) {
+        if (other->user == rec->user) ++rec->concurrent_user_queries;
+      }
+    }
+    active_queries_[rec->id] = rec;
+    txn_query_stack_[rec->txn_id].push_back(rec);
+  }
+  EvalContext ctx;
+  ctx.Bind(MonitoredClass::kQuery, rec.get());
+  FireEvent(EventKind::kQueryStart, "", &ctx);
+}
+
+void MonitorEngine::FinishQuery(const engine::QueryInfo& info,
+                                EventKind terminal_event) {
+  if (!MonitoringActive()) return;
+  // The record travels on the thread-local stack from the Start hook
+  // (statements nest through EXEC, hence a search from the top).
+  std::shared_ptr<QueryRecord> rec;
+  auto& tl_stack = ThreadQueryStack();
+  for (size_t i = tl_stack.size(); i-- > 0;) {
+    if (tl_stack[i]->id == info.query_id) {
+      rec = std::move(tl_stack[i]);
+      tl_stack.erase(tl_stack.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  if (rec == nullptr) rec = FindActiveQueryRecord(info.query_id);
+  if (rec == nullptr) return;  // monitoring enabled mid-query
+  rec->duration_secs = static_cast<double>(info.duration_micros) / 1e6;
+
+  if (terminal_event == EventKind::kQueryCommit &&
+      track_transactions_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(objects_mutex_);
+    auto it = active_txns_.find(rec->txn_id);
+    if (it != active_txns_.end()) {
+      TransactionRecord& txn_rec = *it->second;
+      txn_rec.logical_seq.push_back(rec->logical_hash);
+      txn_rec.physical_seq.push_back(rec->physical_hash);
+      ++txn_rec.num_queries;
+      if (txn_rec.user.empty()) txn_rec.user = rec->user;
+      if (txn_rec.application.empty()) txn_rec.application = rec->application;
+    }
+  }
+
+  EvalContext ctx;
+  ctx.Bind(MonitoredClass::kQuery, rec.get());
+  FireEvent(terminal_event, "", &ctx);
+
+  rec->txn = nullptr;  // the Transaction pointer must not outlive the query
+  if (!track_registry_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(objects_mutex_);
+  active_queries_.erase(rec->id);
+  auto stack_it = txn_query_stack_.find(rec->txn_id);
+  if (stack_it != txn_query_stack_.end()) {
+    auto& stack = stack_it->second;
+    for (size_t i = stack.size(); i-- > 0;) {
+      if (stack[i] == rec) {
+        stack.erase(stack.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+  }
+  if (track_blocking_.load(std::memory_order_acquire)) {
+    // The record stays reachable for blocker attribution: a transaction
+    // can hold locks acquired by a finished statement.
+    const txn::TxnId txn_id = rec->txn_id;
+    txn_last_query_[txn_id] = std::move(rec);
+  }
+}
+
+void MonitorEngine::OnQueryCommit(const engine::QueryInfo& info) {
+  FinishQuery(info, EventKind::kQueryCommit);
+}
+void MonitorEngine::OnQueryCancel(const engine::QueryInfo& info) {
+  FinishQuery(info, EventKind::kQueryCancel);
+}
+void MonitorEngine::OnQueryRollback(const engine::QueryInfo& info) {
+  FinishQuery(info, EventKind::kQueryRollback);
+}
+
+void MonitorEngine::OnTransactionBegin(uint64_t session_id,
+                                       txn::TxnId txn_id) {
+  if (!MonitoringActive()) return;
+  if (!track_transactions_.load(std::memory_order_acquire)) return;
+  auto rec = std::make_shared<TransactionRecord>();
+  rec->id = txn_id;
+  rec->session_id = session_id;
+  rec->start_micros = db_->clock()->NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(objects_mutex_);
+    active_txns_[txn_id] = rec;
+  }
+  EvalContext ctx;
+  ctx.Bind(MonitoredClass::kTransaction, rec.get());
+  FireEvent(EventKind::kTransactionBegin, "", &ctx);
+}
+
+namespace {
+
+void FinalizeTxnRecord(TransactionRecord* rec, int64_t duration_micros) {
+  rec->duration_secs = static_cast<double>(duration_micros) / 1e6;
+  Signature logical = TransactionSignature(rec->logical_seq);
+  Signature physical = TransactionSignature(rec->physical_seq);
+  rec->logical_signature = std::move(logical.text);
+  rec->physical_signature = std::move(physical.text);
+}
+
+}  // namespace
+
+void MonitorEngine::OnTransactionCommit(uint64_t session_id,
+                                        txn::TxnId txn_id,
+                                        int64_t duration_micros) {
+  (void)session_id;
+  if (!MonitoringActive()) return;
+  std::shared_ptr<TransactionRecord> rec;
+  {
+    std::lock_guard<std::mutex> lock(objects_mutex_);
+    auto it = active_txns_.find(txn_id);
+    if (it != active_txns_.end()) {
+      rec = it->second;
+      active_txns_.erase(it);
+    }
+    txn_query_stack_.erase(txn_id);
+    txn_last_query_.erase(txn_id);
+    blocker_at_block_time_.erase(txn_id);
+  }
+  if (rec == nullptr) return;
+  FinalizeTxnRecord(rec.get(), duration_micros);
+  EvalContext ctx;
+  ctx.Bind(MonitoredClass::kTransaction, rec.get());
+  FireEvent(EventKind::kTransactionCommit, "", &ctx);
+}
+
+void MonitorEngine::OnTransactionRollback(uint64_t session_id,
+                                          txn::TxnId txn_id,
+                                          int64_t duration_micros) {
+  (void)session_id;
+  if (!MonitoringActive()) return;
+  std::shared_ptr<TransactionRecord> rec;
+  {
+    std::lock_guard<std::mutex> lock(objects_mutex_);
+    auto it = active_txns_.find(txn_id);
+    if (it != active_txns_.end()) {
+      rec = it->second;
+      active_txns_.erase(it);
+    }
+    txn_query_stack_.erase(txn_id);
+    txn_last_query_.erase(txn_id);
+  }
+  if (rec == nullptr) return;
+  FinalizeTxnRecord(rec.get(), duration_micros);
+  EvalContext ctx;
+  ctx.Bind(MonitoredClass::kTransaction, rec.get());
+  FireEvent(EventKind::kTransactionRollback, "", &ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Lock-conflict instrumentation (paper §6.1)
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<QueryRecord> MonitorEngine::FindActiveQueryRecord(
+    uint64_t query_id) const {
+  std::lock_guard<std::mutex> lock(objects_mutex_);
+  auto it = active_queries_.find(query_id);
+  return it == active_queries_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<QueryRecord> MonitorEngine::CurrentQueryOfTxn(
+    txn::TxnId txn_id) const {
+  std::lock_guard<std::mutex> lock(objects_mutex_);
+  auto it = txn_query_stack_.find(txn_id);
+  if (it != txn_query_stack_.end() && !it->second.empty()) {
+    return it->second.back();
+  }
+  auto last = txn_last_query_.find(txn_id);
+  return last == txn_last_query_.end() ? nullptr : last->second;
+}
+
+void MonitorEngine::OnBlocked(txn::TxnId blocked, txn::TxnId blocker,
+                              const txn::ResourceId& resource) {
+  if (!MonitoringActive()) return;
+  if (!track_blocking_.load(std::memory_order_acquire)) return;
+  std::shared_ptr<QueryRecord> blocked_rec = CurrentQueryOfTxn(blocked);
+  if (blocked_rec == nullptr) return;
+  ++blocked_rec->times_blocked;
+  std::shared_ptr<QueryRecord> blocker_rec =
+      blocker != 0 ? CurrentQueryOfTxn(blocker) : nullptr;
+  if (blocker_rec == nullptr) return;
+  ++blocker_rec->queries_blocked;
+  {
+    std::lock_guard<std::mutex> lock(objects_mutex_);
+    blocker_at_block_time_[blocked] = blocker_rec;
+  }
+
+  BlockEventView blocker_view{blocker_rec.get(), 0, resource.ToString()};
+  BlockEventView blocked_view{blocked_rec.get(), 0, blocker_view.resource};
+  EvalContext ctx;
+  ctx.Bind(MonitoredClass::kBlocker, &blocker_view);
+  ctx.Bind(MonitoredClass::kBlocked, &blocked_view);
+  FireEvent(EventKind::kQueryBlocked, "", &ctx);
+}
+
+void MonitorEngine::OnBlockReleased(txn::TxnId blocked, txn::TxnId blocker,
+                                    const txn::ResourceId& resource,
+                                    int64_t wait_micros) {
+  if (!MonitoringActive()) return;
+  if (!track_blocking_.load(std::memory_order_acquire)) return;
+  std::shared_ptr<QueryRecord> blocked_rec = CurrentQueryOfTxn(blocked);
+  if (blocked_rec == nullptr) return;
+  const double wait_secs = static_cast<double>(wait_micros) / 1e6;
+  blocked_rec->time_blocked_secs += wait_secs;
+  // Prefer the blocker captured at block time (its transaction may have
+  // finished since); fall back to a live lookup.
+  std::shared_ptr<QueryRecord> blocker_rec;
+  {
+    std::lock_guard<std::mutex> lock(objects_mutex_);
+    auto it = blocker_at_block_time_.find(blocked);
+    if (it != blocker_at_block_time_.end()) {
+      blocker_rec = std::move(it->second);
+      blocker_at_block_time_.erase(it);
+    }
+  }
+  if (blocker_rec == nullptr && blocker != 0) {
+    blocker_rec = CurrentQueryOfTxn(blocker);
+  }
+  if (blocker_rec == nullptr) return;
+
+  BlockEventView blocker_view{blocker_rec.get(), wait_secs,
+                              resource.ToString()};
+  BlockEventView blocked_view{blocked_rec.get(), wait_secs,
+                              blocker_view.resource};
+  EvalContext ctx;
+  ctx.Bind(MonitoredClass::kBlocker, &blocker_view);
+  ctx.Bind(MonitoredClass::kBlocked, &blocked_view);
+  FireEvent(EventKind::kQueryBlockReleased, "", &ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Event dispatch
+// ---------------------------------------------------------------------------
+
+void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
+                              EvalContext* base_ctx) {
+  if (!has_rules_[static_cast<size_t>(kind)].load(std::memory_order_acquire)) {
+    return;
+  }
+  std::shared_ptr<const RuleTable> table;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    table = rule_table_;
+  }
+  const auto& rules = table->by_event[static_cast<size_t>(kind)];
+  if (rules.empty()) return;
+  events_processed_.fetch_add(1, std::memory_order_relaxed);
+
+  // One clock read per event; rules reuse it (hot path, Figure 2).
+  base_ctx->now_micros = db_->clock()->NowMicros();
+
+  ++RuleDepth();
+  for (const auto& rule : rules) {
+    if (!rule->event.qualifier.empty() && rule->event.qualifier != qualifier) {
+      continue;
+    }
+    if (rule->iterate_classes.empty()) {
+      // No unbound classes: evaluate directly against the shared context
+      // (RunRule resets the per-evaluation LAT-row cache itself).
+      RunRule(*rule, base_ctx);
+      continue;
+    }
+
+    // Unbound-class iteration (paper §5.2): bind every combination of live
+    // objects of the classes the event did not bind. Blocker/Blocked are
+    // iterated as pairs from the lock-resource graph (§6.1).
+    std::vector<std::shared_ptr<QueryRecord>> query_keepalive;
+    std::vector<std::shared_ptr<TransactionRecord>> txn_keepalive;
+    std::vector<TimerRecord> timer_objects;
+    std::vector<std::pair<BlockEventView, BlockEventView>> pair_objects;
+
+    using BindingItem = std::vector<std::pair<MonitoredClass, const void*>>;
+    std::vector<std::vector<BindingItem>> lists;
+
+    bool want_blocker = false, want_blocked = false;
+    for (MonitoredClass cls : rule->iterate_classes) {
+      if (cls == MonitoredClass::kBlocker) want_blocker = true;
+      if (cls == MonitoredClass::kBlocked) want_blocked = true;
+    }
+    if (want_blocker || want_blocked) {
+      const int64_t now = db_->clock()->NowMicros();
+      for (const txn::BlockedPair& pair :
+           db_->txn_manager()->lock_manager()->SnapshotBlockedPairs()) {
+        auto blocked_rec = CurrentQueryOfTxn(pair.blocked_txn);
+        auto blocker_rec = CurrentQueryOfTxn(pair.blocker_txn);
+        if (blocked_rec == nullptr || blocker_rec == nullptr) continue;
+        const double wait_secs =
+            static_cast<double>(now - pair.waiting_since_micros) / 1e6;
+        query_keepalive.push_back(blocked_rec);
+        query_keepalive.push_back(blocker_rec);
+        pair_objects.emplace_back(
+            BlockEventView{blocker_rec.get(), wait_secs,
+                           pair.resource.ToString()},
+            BlockEventView{blocked_rec.get(), wait_secs,
+                           pair.resource.ToString()});
+      }
+      std::vector<BindingItem> items;
+      for (const auto& [blocker_view, blocked_view] : pair_objects) {
+        BindingItem item;
+        if (want_blocker) {
+          item.emplace_back(MonitoredClass::kBlocker, &blocker_view);
+        }
+        if (want_blocked) {
+          item.emplace_back(MonitoredClass::kBlocked, &blocked_view);
+        }
+        items.push_back(std::move(item));
+      }
+      lists.push_back(std::move(items));
+    }
+    for (MonitoredClass cls : rule->iterate_classes) {
+      switch (cls) {
+        case MonitoredClass::kQuery: {
+          std::vector<BindingItem> items;
+          {
+            std::lock_guard<std::mutex> lock(objects_mutex_);
+            for (const auto& [_, rec] : active_queries_) {
+              query_keepalive.push_back(rec);
+              items.push_back({{MonitoredClass::kQuery, rec.get()}});
+            }
+          }
+          lists.push_back(std::move(items));
+          break;
+        }
+        case MonitoredClass::kTransaction: {
+          std::vector<BindingItem> items;
+          {
+            std::lock_guard<std::mutex> lock(objects_mutex_);
+            for (const auto& [_, rec] : active_txns_) {
+              txn_keepalive.push_back(rec);
+              items.push_back({{MonitoredClass::kTransaction, rec.get()}});
+            }
+          }
+          lists.push_back(std::move(items));
+          break;
+        }
+        case MonitoredClass::kTimer: {
+          timer_objects = timers_.Snapshot(db_->clock()->NowMicros());
+          std::vector<BindingItem> items;
+          for (const TimerRecord& timer : timer_objects) {
+            items.push_back({{MonitoredClass::kTimer, &timer}});
+          }
+          lists.push_back(std::move(items));
+          break;
+        }
+        default:
+          break;  // Blocker/Blocked already handled as pairs
+      }
+    }
+
+    // Cross product over the lists.
+    std::vector<size_t> idx(lists.size(), 0);
+    const bool any_empty =
+        std::any_of(lists.begin(), lists.end(),
+                    [](const auto& l) { return l.empty(); });
+    if (!any_empty) {
+      for (;;) {
+        EvalContext ctx = *base_ctx;
+        for (size_t l = 0; l < lists.size(); ++l) {
+          for (const auto& [cls, ptr] : lists[l][idx[l]]) {
+            ctx.Bind(cls, ptr);
+          }
+        }
+        RunRule(*rule, &ctx);
+        size_t l = 0;
+        for (; l < lists.size(); ++l) {
+          if (++idx[l] < lists[l].size()) break;
+          idx[l] = 0;
+        }
+        if (l == lists.size()) break;
+      }
+    }
+  }
+  if (--RuleDepth() == 0) {
+    // Drain deferred eviction events; each may enqueue more (bounded to
+    // guard against pathological rule cycles).
+    auto& pending = PendingEvictions();
+    size_t processed = 0;
+    while (!pending.empty()) {
+      if (++processed > 100000) {
+        RecordError(Status::ResourceExhausted(
+            "deferred-event cascade exceeded 100000 events; dropping rest"));
+        pending.clear();
+        break;
+      }
+      PendingEviction eviction = std::move(pending.front());
+      pending.erase(pending.begin());
+      EvalContext ctx;
+      ctx.evicted_lat = eviction.lat;
+      ctx.evicted_row = &eviction.row;
+      FireEvent(EventKind::kLatEvict, ToLower(eviction.lat->name()), &ctx);
+    }
+  }
+}
+
+void MonitorEngine::RunRule(const CompiledRule& rule, EvalContext* ctx) {
+  if (rule.use_fast_condition) {
+    if (!EvalFastAtoms(rule.fast_atoms, *ctx)) return;
+  } else if (rule.condition != nullptr) {
+    ctx->lat_rows.clear();
+    ctx->lat_row_missing = false;
+    auto pass = rule.condition->EvalCondition(ctx);
+    if (!pass.ok()) {
+      RecordError(pass.status());
+      return;
+    }
+    if (!*pass) return;
+  }
+  rules_fired_.fetch_add(1, std::memory_order_relaxed);
+  for (const CompiledAction& action : rule.actions) {
+    Status status = ExecuteAction(action, ctx);
+    if (!status.ok()) RecordError(status);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Actions
+// ---------------------------------------------------------------------------
+
+Result<storage::Table*> MonitorEngine::EnsureTable(
+    const std::string& table_name, const std::vector<std::string>& col_names,
+    const std::vector<ValueKind>& kinds) {
+  storage::Table* table = db_->catalog()->GetTable(table_name);
+  if (table != nullptr) return table;
+  std::vector<catalog::Column> columns;
+  for (size_t i = 0; i < col_names.size(); ++i) {
+    columns.push_back({col_names[i], ColumnTypeForKind(kinds[i])});
+  }
+  SQLCM_ASSIGN_OR_RETURN(
+      auto schema,
+      catalog::TableSchema::Create(table_name, std::move(columns), {}));
+  auto created = db_->catalog()->CreateTable(std::move(schema));
+  if (!created.ok()) {
+    // Lost a creation race; the table exists now.
+    table = db_->catalog()->GetTable(table_name);
+    if (table != nullptr) return table;
+    return created.status();
+  }
+  return *created;
+}
+
+Status MonitorEngine::PersistRowToTable(
+    const std::string& table_name, const std::vector<std::string>& col_names,
+    const std::vector<ValueKind>& kinds, Row row) {
+  SQLCM_ASSIGN_OR_RETURN(storage::Table * table,
+                         EnsureTable(table_name, col_names, kinds));
+  return table->Insert(std::move(row)).status();
+}
+
+Status MonitorEngine::ExecuteAction(const CompiledAction& action,
+                                    EvalContext* ctx) {
+  switch (action.kind) {
+    case ActionKind::kInsert: {
+      const void* record = ctx->Bound(action.lat->spec().object_class);
+      if (record == nullptr) {
+        return Status::Internal("Insert: no in-context object of class " +
+                                std::string(MonitoredClassName(
+                                    action.lat->spec().object_class)));
+      }
+      action.lat->Insert(record, ctx->now_micros);
+      return Status::OK();
+    }
+    case ActionKind::kReset:
+      action.lat->Reset();
+      return Status::OK();
+    case ActionKind::kPersist: {
+      if (action.lat_source) {
+        std::vector<std::string> cols = action.lat->column_names();
+        std::vector<ValueKind> kinds = action.lat->column_kinds();
+        cols.push_back("persist_ts");
+        kinds.push_back(ValueKind::kInt);
+        SQLCM_ASSIGN_OR_RETURN(storage::Table * table,
+                               EnsureTable(action.table_name, cols, kinds));
+        return action.lat->PersistTo(table, ctx->now_micros, ctx->now_micros);
+      }
+      if (action.evicted_source) {
+        if (ctx->evicted_row == nullptr) {
+          return Status::Internal("Evicted.Persist without evicted row");
+        }
+        return PersistRowToTable(action.table_name,
+                                 action.lat->column_names(),
+                                 action.lat->column_kinds(),
+                                 *ctx->evicted_row);
+      }
+      const void* record = ctx->Bound(action.source_class);
+      if (record == nullptr) {
+        return Status::Internal(
+            std::string("Persist: no in-context object of class ") +
+            MonitoredClassName(action.source_class));
+      }
+      const ObjectSchema& schema = ObjectSchema::Get();
+      Row row;
+      std::vector<ValueKind> kinds;
+      row.reserve(action.attr_indexes.size());
+      for (int attr : action.attr_indexes) {
+        const AttributeDef& def =
+            schema.attributes(action.source_class)[static_cast<size_t>(attr)];
+        row.push_back(def.getter(record));
+        kinds.push_back(def.kind);
+      }
+      return PersistRowToTable(action.table_name, action.attr_names, kinds,
+                               std::move(row));
+    }
+    case ActionKind::kSendMail:
+      return mailer_->SendMail(SubstituteTemplate(action.text, ctx),
+                               action.address);
+    case ActionKind::kRunExternal:
+      return launcher_->RunExternal(SubstituteTemplate(action.text, ctx));
+    case ActionKind::kCancel: {
+      const void* record = ctx->Bound(action.source_class);
+      if (record == nullptr) {
+        return Status::Internal("Cancel: no in-context object");
+      }
+      const QueryRecord* query =
+          action.source_class == MonitoredClass::kQuery
+              ? static_cast<const QueryRecord*>(record)
+              : static_cast<const BlockEventView*>(record)->query;
+      // Resolve through the transaction manager rather than the raw
+      // pointer: the transaction may have finished since the record was
+      // assembled.
+      txn::Transaction* txn = db_->txn_manager()->FindActive(query->txn_id);
+      if (txn != nullptr) txn->Cancel();
+      return Status::OK();
+    }
+    case ActionKind::kSetTimer: {
+      std::string name = action.timer_name;
+      if (name.empty()) {
+        const void* record = ctx->Bound(MonitoredClass::kTimer);
+        if (record == nullptr) {
+          return Status::Internal("Set: no in-context timer");
+        }
+        name = static_cast<const TimerRecord*>(record)->name;
+      }
+      return timers_.Set(name,
+                         static_cast<int64_t>(action.timer_seconds * 1e6),
+                         action.timer_repeats);
+    }
+  }
+  return Status::Internal("unhandled action kind");
+}
+
+std::string MonitorEngine::SubstituteTemplate(const std::string& text,
+                                              EvalContext* ctx) {
+  std::string out;
+  out.reserve(text.size());
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t open = text.find('{', pos);
+    if (open == std::string::npos) {
+      out.append(text, pos, std::string::npos);
+      break;
+    }
+    out.append(text, pos, open - pos);
+    const size_t close = text.find('}', open);
+    if (close == std::string::npos) {
+      out.append(text, open, std::string::npos);
+      break;
+    }
+    const std::string ref = text.substr(open + 1, close - open - 1);
+    pos = close + 1;
+    const size_t dot = ref.find('.');
+    bool substituted = false;
+    if (dot != std::string::npos) {
+      const std::string qualifier = ref.substr(0, dot);
+      const std::string name = ref.substr(dot + 1);
+      auto cls = ParseMonitoredClassName(qualifier);
+      if (cls.ok() && *cls != MonitoredClass::kEvicted) {
+        const void* record = ctx->Bound(*cls);
+        const int attr = ObjectSchema::Get().FindAttribute(*cls, name);
+        if (record != nullptr && attr >= 0) {
+          out += ObjectSchema::Get()
+                     .GetValue(*cls, attr, record)
+                     .ToDisplayString();
+          substituted = true;
+        }
+      } else if (cls.ok() && ctx->evicted_lat != nullptr &&
+                 ctx->evicted_row != nullptr) {
+        const int col = ctx->evicted_lat->FindColumn(name);
+        if (col >= 0) {
+          out += (*ctx->evicted_row)[static_cast<size_t>(col)]
+                     .ToDisplayString();
+          substituted = true;
+        }
+      } else {
+        Lat* lat = FindLat(qualifier);
+        if (lat != nullptr) {
+          const int col = lat->FindColumn(name);
+          const void* record = ctx->Bound(lat->spec().object_class);
+          Row row;
+          if (col >= 0 && record != nullptr &&
+              lat->LookupForObject(record, ctx->now_micros, &row)) {
+            out += row[static_cast<size_t>(col)].ToDisplayString();
+            substituted = true;
+          }
+        }
+      }
+    }
+    if (!substituted) {
+      out += "{" + ref + "}";
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Deferred events
+// ---------------------------------------------------------------------------
+
+void MonitorEngine::HandleEviction(Lat* lat, Row evicted) {
+  if (RuleDepth() > 0) {
+    PendingEvictions().push_back({lat, std::move(evicted)});
+    return;
+  }
+  EvalContext ctx;
+  ctx.evicted_lat = lat;
+  ctx.evicted_row = &evicted;
+  FireEvent(EventKind::kLatEvict, ToLower(lat->name()), &ctx);
+}
+
+void MonitorEngine::HandleTimerAlarm(const TimerRecord& timer) {
+  EvalContext ctx;
+  ctx.Bind(MonitoredClass::kTimer, &timer);
+  FireEvent(EventKind::kTimerAlarm, ToLower(timer.name), &ctx);
+}
+
+}  // namespace sqlcm::cm

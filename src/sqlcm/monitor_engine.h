@@ -1,0 +1,222 @@
+// MonitorEngine: the SQLCM continuous-monitoring engine (paper Figure 1).
+//
+// Implements the engine's instrumentation hooks (engine::MonitorHooks) and
+// the lock manager's conflict observer, assembles monitored objects from
+// probes, dispatches ECA rules synchronously in the triggering thread, and
+// owns the LATs, timers and action backends.
+//
+// Threading: hook methods run concurrently in session threads; internal
+// registries are mutex-guarded and LATs use their own fine-grained latches.
+// Rule-table changes (AddRule/RemoveRule/DefineLat) are cheap and safe at
+// runtime ("rules can be added and removed dynamically", §3).
+#ifndef SQLCM_SQLCM_MONITOR_ENGINE_H_
+#define SQLCM_SQLCM_MONITOR_ENGINE_H_
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/monitor_hooks.h"
+#include "sqlcm/actions_io.h"
+#include "sqlcm/lat.h"
+#include "sqlcm/rule.h"
+#include "sqlcm/schema.h"
+#include "sqlcm/timer.h"
+
+namespace sqlcm::cm {
+
+class MonitorEngine final : public engine::MonitorHooks,
+                            public txn::LockEventObserver,
+                            public LatResolver {
+ public:
+  struct Options {
+    /// Action backends; null selects internal capturing implementations.
+    Mailer* mailer = nullptr;
+    ProcessLauncher* launcher = nullptr;
+    /// Spawn the 1ms timer-polling thread. Tests usually poll manually.
+    bool start_timer_thread = false;
+  };
+
+  /// Attaches to `db` (registers the hook interface and lock observer).
+  MonitorEngine(engine::Database* db, Options options);
+  explicit MonitorEngine(engine::Database* db)
+      : MonitorEngine(db, Options()) {}
+  ~MonitorEngine() override;
+
+  MonitorEngine(const MonitorEngine&) = delete;
+  MonitorEngine& operator=(const MonitorEngine&) = delete;
+
+  // -- DBA surface: LATs ----------------------------------------------------
+
+  common::Status DefineLat(LatSpec spec);
+  /// Refuses while any rule references the LAT.
+  common::Status DropLat(std::string_view name);
+  Lat* FindLat(std::string_view name) const override;
+  std::vector<std::string> LatNames() const;
+
+  /// Persists a LAT to an engine table (creating the table on first use
+  /// with the LAT's columns plus a trailing INT timestamp column).
+  common::Status PersistLat(std::string_view lat_name,
+                            const std::string& table_name);
+  /// Seeds a LAT from a previously persisted table (restart continuity).
+  common::Status SeedLat(std::string_view lat_name,
+                         const std::string& table_name);
+
+  // -- DBA surface: rules -----------------------------------------------------
+
+  /// Compiles and activates a rule; returns its id. Rules for one event
+  /// fire in activation order (paper §5: fixed evaluation order).
+  common::Result<uint64_t> AddRule(const RuleSpec& spec);
+  common::Status RemoveRule(uint64_t rule_id);
+  common::Status SetRuleEnabled(uint64_t rule_id, bool enabled);
+  size_t rule_count() const;
+
+  // -- DBA surface: timers ----------------------------------------------------
+
+  common::Status CreateTimer(const std::string& name);
+  common::Status SetTimer(const std::string& name, double interval_seconds,
+                          int64_t repeats);
+  bool IsTimerName(std::string_view name) const override;
+  TimerManager* timer_manager() { return &timers_; }
+
+  // -- Introspection ----------------------------------------------------------
+
+  CapturingMailer* capturing_mailer() { return &default_mailer_; }
+  CapturingLauncher* capturing_launcher() { return &default_launcher_; }
+  size_t active_query_count() const;
+  uint64_t events_processed() const {
+    return events_processed_.load(std::memory_order_relaxed);
+  }
+  uint64_t rules_fired() const {
+    return rules_fired_.load(std::memory_order_relaxed);
+  }
+  /// Most recent rule-processing error (rules never fail the server; errors
+  /// are recorded here). Empty when none.
+  std::string last_error() const;
+
+  // -- engine::MonitorHooks ----------------------------------------------------
+
+  void OnStatementCompiled(engine::CachedPlan* plan) override;
+  void OnQueryStart(const engine::QueryInfo& info) override;
+  void OnQueryCommit(const engine::QueryInfo& info) override;
+  void OnQueryCancel(const engine::QueryInfo& info) override;
+  void OnQueryRollback(const engine::QueryInfo& info) override;
+  void OnTransactionBegin(uint64_t session_id, txn::TxnId txn_id) override;
+  void OnTransactionCommit(uint64_t session_id, txn::TxnId txn_id,
+                           int64_t duration_micros) override;
+  void OnTransactionRollback(uint64_t session_id, txn::TxnId txn_id,
+                             int64_t duration_micros) override;
+  txn::LockEventObserver* lock_event_observer() override { return this; }
+
+  // -- txn::LockEventObserver ---------------------------------------------------
+
+  void OnBlocked(txn::TxnId blocked, txn::TxnId blocker,
+                 const txn::ResourceId& resource) override;
+  void OnBlockReleased(txn::TxnId blocked, txn::TxnId blocker,
+                       const txn::ResourceId& resource,
+                       int64_t wait_micros) override;
+
+ private:
+  struct RuleTable {
+    std::array<std::vector<std::shared_ptr<const CompiledRule>>,
+               kNumEventKinds>
+        by_event;
+  };
+
+  /// Snapshot of the rule list for one event kind (short registry lock).
+  std::vector<std::shared_ptr<const CompiledRule>> RulesFor(
+      EventKind kind) const;
+
+  void RebuildRuleTableLocked();
+
+  /// Dispatches all rules for (kind, qualifier) against `base_ctx`,
+  /// handling unbound-class iteration and deferred side-effect events.
+  void FireEvent(EventKind kind, const std::string& qualifier,
+                 EvalContext* base_ctx);
+  void RunRule(const CompiledRule& rule, EvalContext* ctx);
+  common::Status ExecuteAction(const CompiledAction& action, EvalContext* ctx);
+  common::Status PersistRowToTable(const std::string& table_name,
+                                   const std::vector<std::string>& col_names,
+                                   const std::vector<common::ValueKind>& kinds,
+                                   common::Row row);
+  common::Result<storage::Table*> EnsureTable(
+      const std::string& table_name, const std::vector<std::string>& col_names,
+      const std::vector<common::ValueKind>& kinds);
+
+  /// Template substitution for SendMail/RunExternal bodies: replaces
+  /// {Class.Attribute} and {Lat.Column} with display values from `ctx`.
+  std::string SubstituteTemplate(const std::string& text, EvalContext* ctx);
+
+  void HandleEviction(Lat* lat, common::Row evicted);
+  void HandleTimerAlarm(const TimerRecord& timer);
+  void RecordError(const common::Status& status);
+
+  // Query/transaction registries.
+  std::shared_ptr<QueryRecord> FindActiveQueryRecord(uint64_t query_id) const;
+  std::shared_ptr<QueryRecord> CurrentQueryOfTxn(txn::TxnId txn_id) const;
+  void FinishQuery(const engine::QueryInfo& info, EventKind terminal_event);
+
+  /// True when at least one rule exists (events are no-ops otherwise;
+  /// paper §2.1: "no monitoring is performed unless it is required").
+  bool MonitoringActive() const {
+    return monitoring_active_.load(std::memory_order_acquire);
+  }
+
+  engine::Database* db_;
+  Options options_;
+  Mailer* mailer_;
+  ProcessLauncher* launcher_;
+  CapturingMailer default_mailer_;
+  CapturingLauncher default_launcher_;
+  TimerManager timers_;
+
+  mutable std::mutex registry_mutex_;  // lats_, rules_, rule_table_
+  std::unordered_map<std::string, std::unique_ptr<Lat>> lats_;  // lower name
+  std::vector<std::shared_ptr<CompiledRule>> rules_;            // fixed order
+  std::shared_ptr<const RuleTable> rule_table_;
+  /// Lock-free per-event fast path: FireEvent returns without touching the
+  /// registry mutex when no enabled rule listens to the event kind.
+  std::array<std::atomic<bool>, kNumEventKinds> has_rules_{};
+  uint64_t next_rule_id_ = 1;
+  std::atomic<bool> monitoring_active_{false};
+  // Probe-scope gates (paper §2.1: only gather what active rules need):
+  // transaction records / signature sequences are maintained only when a
+  // rule references the Transaction class; per-transaction last-query
+  // bookkeeping (blocker attribution) only when a rule listens to lock
+  // conflicts or iterates Blocker/Blocked.
+  std::atomic<bool> track_transactions_{false};
+  std::atomic<bool> track_blocking_{false};
+  // Global active-query registry needed only for unbound-Query iteration,
+  // blocking attribution, or the concurrency probe; otherwise a
+  // thread-local stack carries the record from Start to the terminal hook.
+  std::atomic<bool> track_registry_{false};
+  std::atomic<bool> track_concurrency_{false};
+
+  mutable std::mutex objects_mutex_;  // registries below
+  std::unordered_map<uint64_t, std::shared_ptr<QueryRecord>> active_queries_;
+  std::unordered_map<txn::TxnId, std::vector<std::shared_ptr<QueryRecord>>>
+      txn_query_stack_;
+  std::unordered_map<txn::TxnId, std::shared_ptr<QueryRecord>> txn_last_query_;
+  std::unordered_map<txn::TxnId, std::shared_ptr<TransactionRecord>>
+      active_txns_;
+  // Blocker captured at block time, keyed by the blocked transaction: the
+  // blocker's transaction may commit (and leave the registries) before the
+  // waiter thread reports Block_Released.
+  std::unordered_map<txn::TxnId, std::shared_ptr<QueryRecord>>
+      blocker_at_block_time_;
+
+  mutable std::mutex error_mutex_;
+  std::string last_error_;
+
+  std::atomic<uint64_t> events_processed_{0};
+  std::atomic<uint64_t> rules_fired_{0};
+};
+
+}  // namespace sqlcm::cm
+
+#endif  // SQLCM_SQLCM_MONITOR_ENGINE_H_

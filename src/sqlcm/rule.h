@@ -1,0 +1,235 @@
+// ECA rules (paper §5): events, the condition expression language, actions,
+// and rule compilation.
+//
+// Rules are specified as text in the paper's style:
+//   Event:     Query.Commit
+//   Condition: Query.Duration > 5 * Duration_LAT.Avg_Duration
+//   Action:    Query.Persist(Outliers, Query_Text, Duration)
+// and compiled against the object schema and the currently defined LATs
+// into fast dispatchable form. The language deliberately stays small
+// (paper §5: "the expressiveness of the rule language is limited to a
+// relatively small set of common operations"); anything more complex is
+// expected to post-process persisted tables.
+#ifndef SQLCM_SQLCM_RULE_H_
+#define SQLCM_SQLCM_RULE_H_
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "sqlcm/lat.h"
+#include "sqlcm/schema.h"
+
+namespace sqlcm::cm {
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+enum class EventKind : uint8_t {
+  kQueryStart = 0,
+  kQueryCommit,
+  kQueryCancel,
+  kQueryRollback,
+  kQueryBlocked,
+  kQueryBlockReleased,
+  kTransactionBegin,
+  kTransactionCommit,
+  kTransactionRollback,
+  kTimerAlarm,  // qualifier: timer name ("" = any timer)
+  kLatEvict,    // qualifier: LAT name
+};
+inline constexpr size_t kNumEventKinds = 11;
+
+struct EventKey {
+  EventKind kind = EventKind::kQueryCommit;
+  std::string qualifier;  // lower-cased timer/LAT name; empty otherwise
+};
+
+const char* EventKindName(EventKind kind);
+
+/// Classes bound (available in context) when an event of this kind fires.
+std::vector<MonitoredClass> EventBoundClasses(EventKind kind);
+
+// ---------------------------------------------------------------------------
+// Condition expressions
+// ---------------------------------------------------------------------------
+
+/// Per-evaluation context: which concrete objects are in context, plus the
+/// lazily resolved LAT rows for this object combination.
+struct EvalContext {
+  std::array<const void*, kNumMonitoredClasses> bound = {};
+  int64_t now_micros = 0;
+
+  // kLatEvict events: the evicted row and its LAT.
+  const Lat* evicted_lat = nullptr;
+  const common::Row* evicted_row = nullptr;
+
+  /// Set when a referenced LAT has no row matching the in-context object;
+  /// the paper's implicit ∃ then makes the whole condition false (§5.2).
+  bool lat_row_missing = false;
+
+  /// Cache of resolved LAT rows for this evaluation.
+  struct LatRowEntry {
+    const Lat* lat;
+    bool present;
+    common::Row row;
+  };
+  std::vector<LatRowEntry> lat_rows;
+
+  const void* Bound(MonitoredClass cls) const {
+    return bound[static_cast<size_t>(cls)];
+  }
+  void Bind(MonitoredClass cls, const void* record) {
+    bound[static_cast<size_t>(cls)] = record;
+  }
+};
+
+/// Compiled condition node.
+class CmExpr {
+ public:
+  enum class Kind : uint8_t { kLiteral, kAttrRef, kLatColRef, kUnary, kBinary };
+
+  /// Evaluates with SQL-style three-valued logic. Missing LAT rows set
+  /// ctx->lat_row_missing and yield NULL.
+  common::Result<common::Value> Eval(EvalContext* ctx) const;
+
+  /// Evaluates the whole condition as the rule predicate: NULL/FALSE/
+  /// missing-LAT-row all reject.
+  common::Result<bool> EvalCondition(EvalContext* ctx) const;
+
+  /// Appends the classes referenced by attribute refs (with duplicates).
+  void CollectClasses(std::vector<MonitoredClass>* classes) const;
+  /// Appends the LATs referenced (with duplicates).
+  void CollectLats(std::vector<const Lat*>* lats) const;
+  /// Appends every (class, attribute index) referenced (with duplicates;
+  /// kEvicted refs are skipped — their indexes are LAT columns).
+  void CollectAttrRefs(
+      std::vector<std::pair<MonitoredClass, int>>* refs) const;
+
+  Kind kind = Kind::kLiteral;
+  common::Value literal;
+  // kAttrRef
+  MonitoredClass cls = MonitoredClass::kQuery;
+  int attr_index = -1;  // for kEvicted: column index into the evicted row
+  // kLatColRef
+  const Lat* lat = nullptr;
+  int lat_col = -1;
+  // kUnary / kBinary (operators shared with the SQL AST)
+  uint8_t unary_op = 0;   // sql::UnaryOp
+  uint8_t binary_op = 0;  // sql::BinaryOp
+  std::unique_ptr<CmExpr> left;
+  std::unique_ptr<CmExpr> right;
+};
+
+// ---------------------------------------------------------------------------
+// Actions
+// ---------------------------------------------------------------------------
+
+enum class ActionKind : uint8_t {
+  kInsert,       // Object.Insert(LatName) / Insert(LatName)
+  kReset,        // Reset(LatName)
+  kPersist,      // Object.Persist(Table[, Attr...]) / LatName.Persist(Table)
+  kSendMail,     // SendMail('text', 'address')
+  kRunExternal,  // RunExternal('command')
+  kCancel,       // Query.Cancel() / Blocker.Cancel() / Blocked.Cancel()
+  kSetTimer,     // TimerName.Set(seconds, number_alarms)
+};
+
+const char* ActionKindName(ActionKind kind);
+
+struct CompiledAction {
+  ActionKind kind;
+  MonitoredClass source_class = MonitoredClass::kQuery;  // object-attached
+  Lat* lat = nullptr;        // kInsert/kReset target; kPersist LAT source
+  bool lat_source = false;   // kPersist applied to a LAT
+  bool evicted_source = false;  // kPersist/kInsert applied to Evicted
+  std::string table_name;    // kPersist
+  std::vector<int> attr_indexes;       // kPersist(object) column subset
+  std::vector<std::string> attr_names;
+  std::string text;     // kSendMail body template / kRunExternal command
+  std::string address;  // kSendMail
+  std::string timer_name;      // kSetTimer ("" = in-context timer)
+  double timer_seconds = 0;    // kSetTimer
+  int64_t timer_repeats = 0;   // kSetTimer
+};
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// User-facing rule specification (paper-style text fields).
+struct RuleSpec {
+  std::string name;
+  std::string event;      // "Query.Commit", "Timer.Alarm", "MyLat.Evict", ...
+  std::string condition;  // empty = always true
+  std::string action;     // ';'-separated action list
+};
+
+/// Pre-extracted comparison atom for the fast condition path: one probe
+/// getter compared against a constant.
+struct FastAtom {
+  AttributeGetter getter = nullptr;
+  MonitoredClass cls = MonitoredClass::kQuery;
+  uint8_t op = 0;  // sql::BinaryOp (comparison subset)
+  common::Value literal;
+  bool attr_on_left = true;
+};
+
+struct CompiledRule {
+  uint64_t id = 0;
+  std::string name;
+  EventKey event;
+  std::unique_ptr<CmExpr> condition;  // null = always true
+  /// When the condition is a pure AND-chain of attribute-vs-constant
+  /// comparisons (the dominant monitoring-rule shape, Figure 2), it is
+  /// compiled to this flat atom list and evaluated without the recursive
+  /// interpreter. Empty when the generic path must run.
+  std::vector<FastAtom> fast_atoms;
+  bool use_fast_condition = false;
+  std::vector<CompiledAction> actions;
+  /// Classes referenced by condition/actions but not bound by the event:
+  /// the engine iterates over all live objects of these (paper §5.2).
+  std::vector<MonitoredClass> iterate_classes;
+  /// Every LAT this rule reads or writes (blocks DropLat while referenced).
+  std::vector<const Lat*> referenced_lats;
+  /// Probe-scope flags (paper §2.1: gather only counters active rules
+  /// reference). Computed at compile time from conditions, actions and
+  /// referenced LAT specs.
+  bool needs_blocking_probes = false;    // Time_Blocked & friends
+  bool needs_concurrency_probe = false;  // Concurrent_User_Queries
+  bool enabled = true;
+};
+
+/// Name-based LAT lookup used during rule compilation.
+class LatResolver {
+ public:
+  virtual ~LatResolver() = default;
+  virtual Lat* FindLat(std::string_view name) const = 0;
+  virtual bool IsTimerName(std::string_view name) const = 0;
+};
+
+/// Evaluates a flattened fast-atom list (short-circuit AND); used by the
+/// monitor's rule dispatch when CompiledRule::use_fast_condition is set.
+bool EvalFastAtoms(const std::vector<FastAtom>& atoms,
+                   const EvalContext& ctx);
+
+class RuleCompiler {
+ public:
+  /// Compiles a rule spec; resolves class/attribute names against the
+  /// object schema and LAT/timer names against `resolver`.
+  static common::Result<std::unique_ptr<CompiledRule>> Compile(
+      const RuleSpec& spec, const LatResolver& resolver);
+
+  /// Parses just an event name ("Query.Commit", "MyLat.Evict", ...).
+  static common::Result<EventKey> ParseEvent(std::string_view text,
+                                             const LatResolver& resolver);
+};
+
+}  // namespace sqlcm::cm
+
+#endif  // SQLCM_SQLCM_RULE_H_

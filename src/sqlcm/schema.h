@@ -1,0 +1,163 @@
+// The SQLCM schema (paper §2.2, Appendix A): monitored classes, their
+// probe attributes, and the record types the monitor assembles from engine
+// instrumentation.
+//
+// Probes are exposed through a registry of (name, type, getter) attribute
+// definitions per class, so new monitored objects and probes can be added
+// without touching the rule engine (paper §4.1: "SQLCM offers a generic
+// interface to integrate new monitored objects, events and probes into the
+// schema"). All probe values are cast to engine Value types, enabling every
+// aggregation function of the server for LAT aggregation as well.
+#ifndef SQLCM_SQLCM_SCHEMA_H_
+#define SQLCM_SQLCM_SCHEMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "engine/plan_cache.h"
+#include "txn/transaction.h"
+
+namespace sqlcm::cm {
+
+enum class MonitoredClass : uint8_t {
+  kQuery = 0,
+  kTransaction,
+  kBlocker,  // query holding a lock another query waits on
+  kBlocked,  // query waiting on a lock
+  kTimer,
+  kEvicted,  // row evicted from a LAT (attributes are the LAT's columns)
+};
+inline constexpr size_t kNumMonitoredClasses = 6;
+
+const char* MonitoredClassName(MonitoredClass cls);
+common::Result<MonitoredClass> ParseMonitoredClassName(std::string_view name);
+
+// ---------------------------------------------------------------------------
+// Record types assembled by the monitor
+// ---------------------------------------------------------------------------
+
+/// One statement execution, live from Query.Start until its terminal event.
+///
+/// Probe strings (text, signatures) are not copied per execution: when the
+/// statement ran from a cached plan, `plan` pins the plan-cache entry and
+/// the accessors below read the strings in place (hot path of Figure 2/3).
+/// The string fields are authoritative only when `plan` is null (EXEC
+/// wrapper queries, hand-built records in tests).
+struct QueryRecord {
+  uint64_t id = 0;
+  std::shared_ptr<const engine::CachedPlan> plan;
+  std::string text;
+  std::string logical_signature;
+  std::string physical_signature;
+  uint64_t logical_hash = 0;
+  uint64_t physical_hash = 0;
+  int64_t start_micros = 0;
+  double duration_secs = 0;      // filled at the terminal event
+  double estimated_cost = 0;
+  double time_blocked_secs = 0;  // accumulated lock-wait time
+  int64_t times_blocked = 0;
+  int64_t queries_blocked = 0;   // how many queries this one has blocked
+  int64_t number_of_instances = 0;  // executions of the cached plan
+  std::string query_type;        // SELECT/INSERT/UPDATE/DELETE/EXEC
+  uint64_t session_id = 0;
+  uint64_t txn_id = 0;
+  std::string user;
+  std::string application;
+  /// Number of queries by the same user (including this one) that were
+  /// executing when this query started — the probe behind per-user MPL
+  /// limits (paper §3 Example 5(b)).
+  int64_t concurrent_user_queries = 1;
+  /// For the Cancel action; valid while the query is live.
+  txn::Transaction* txn = nullptr;
+
+  const std::string& query_text() const {
+    return plan != nullptr ? plan->sql_text : text;
+  }
+  const std::string& logical_sig() const {
+    return plan != nullptr ? plan->logical_signature : logical_signature;
+  }
+  const std::string& physical_sig() const {
+    return plan != nullptr ? plan->physical_signature : physical_signature;
+  }
+};
+
+/// Blocker/Blocked objects: a query plus the lock-conflict context. The
+/// underlying query attributes are exposed directly on these classes
+/// (Appendix A: "they have the same schema as the Query object") plus
+/// Wait_Secs (the wait involved in this conflict) and Resource.
+struct BlockEventView {
+  const QueryRecord* query = nullptr;
+  double wait_secs = 0;
+  std::string resource;
+};
+
+struct TransactionRecord {
+  uint64_t id = 0;
+  uint64_t session_id = 0;
+  int64_t start_micros = 0;
+  double duration_secs = 0;
+  int64_t num_queries = 0;
+  std::vector<uint64_t> logical_seq;   // per-query logical signature hashes
+  std::vector<uint64_t> physical_seq;
+  std::string logical_signature;       // "[h1,h2,...]" (paper: list of ints)
+  std::string physical_signature;
+  std::string user;
+  std::string application;
+};
+
+struct TimerRecord {
+  std::string name;
+  int64_t interval_micros = 0;
+  /// Alarms left; 0 = disabled, negative = infinite (paper §5.3 Set()).
+  int64_t remaining_alarms = 0;
+  int64_t next_due_micros = 0;
+  /// Filled by the monitor just before rule evaluation so the Current_Time
+  /// attribute probe needs no clock access.
+  double now_secs = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Attribute registry
+// ---------------------------------------------------------------------------
+
+/// Probe accessor: extracts one attribute from a record (the void* is the
+/// record type of the attribute's class).
+using AttributeGetter = common::Value (*)(const void* record);
+
+struct AttributeDef {
+  const char* name;
+  common::ValueKind kind;
+  AttributeGetter getter;
+};
+
+/// Immutable registry of the static classes' attributes (kEvicted is
+/// resolved dynamically against a LAT's columns by the rule compiler).
+class ObjectSchema {
+ public:
+  /// Process-wide schema instance.
+  static const ObjectSchema& Get();
+
+  const std::vector<AttributeDef>& attributes(MonitoredClass cls) const {
+    return attributes_[static_cast<size_t>(cls)];
+  }
+
+  /// Case-insensitive; -1 when absent.
+  int FindAttribute(MonitoredClass cls, std::string_view name) const;
+
+  common::Value GetValue(MonitoredClass cls, int attr_index,
+                         const void* record) const {
+    return attributes(cls)[static_cast<size_t>(attr_index)].getter(record);
+  }
+
+ private:
+  ObjectSchema();
+  std::vector<AttributeDef> attributes_[kNumMonitoredClasses];
+};
+
+}  // namespace sqlcm::cm
+
+#endif  // SQLCM_SQLCM_SCHEMA_H_

@@ -1,0 +1,43 @@
+#include "sqlcm/signature.h"
+
+namespace sqlcm::cm {
+
+uint64_t HashSignature(std::string_view text) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+Signature LogicalQuerySignature(const exec::LogicalPlan& plan) {
+  Signature sig;
+  sig.text.reserve(256);
+  plan.AppendSignature(/*wildcard_constants=*/true, &sig.text);
+  sig.hash = HashSignature(sig.text);
+  return sig;
+}
+
+Signature PhysicalPlanSignature(const exec::PhysicalPlan& plan) {
+  Signature sig;
+  sig.text.reserve(256);
+  plan.AppendSignature(/*wildcard_constants=*/true, &sig.text);
+  sig.hash = HashSignature(sig.text);
+  return sig;
+}
+
+Signature TransactionSignature(const std::vector<uint64_t>& query_hashes) {
+  Signature sig;
+  sig.text.reserve(query_hashes.size() * 18 + 2);
+  sig.text += "[";
+  for (size_t i = 0; i < query_hashes.size(); ++i) {
+    if (i > 0) sig.text += ",";
+    sig.text += std::to_string(query_hashes[i]);
+  }
+  sig.text += "]";
+  sig.hash = HashSignature(sig.text);
+  return sig;
+}
+
+}  // namespace sqlcm::cm

@@ -1,0 +1,49 @@
+// Query and plan signatures (paper §4.2).
+//
+// A signature is a canonical linearized representation of a query's
+// internal structure. Two queries share a signature iff their structures
+// match up to matching constant wildcards / identified parameters and
+// predicate ordering. Four kinds exist:
+//   1. logical query signature      — over the logical plan tree
+//   2. physical plan signature      — over the execution plan tree
+//   3. logical transaction signature — sequence of (1) within a transaction
+//   4. physical transaction signature — sequence of (2)
+// The per-query signatures are computed once at optimization time and
+// cached with the plan (engine::CachedPlan); transaction signatures are
+// accumulated by the monitor as queries commit.
+#ifndef SQLCM_SQLCM_SIGNATURE_H_
+#define SQLCM_SQLCM_SIGNATURE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/logical_plan.h"
+#include "exec/physical_plan.h"
+
+namespace sqlcm::cm {
+
+struct Signature {
+  std::string text;   // canonical linearization (the paper's BLOB)
+  uint64_t hash = 0;  // 64-bit FNV-1a of `text`
+};
+
+/// Stable 64-bit hash of a signature text (FNV-1a).
+uint64_t HashSignature(std::string_view text);
+
+/// Logical query signature: constants wildcarded to '?', identified
+/// parameters rendered as '$name', conjunct order normalized.
+Signature LogicalQuerySignature(const exec::LogicalPlan& plan);
+
+/// Physical plan signature: same canonicalization over the execution plan
+/// (operators + access paths).
+Signature PhysicalPlanSignature(const exec::PhysicalPlan& plan);
+
+/// Transaction signature: the sequence of per-query signature hashes inside
+/// the outermost begin/commit brackets, rendered as "[h1,h2,...]".
+Signature TransactionSignature(const std::vector<uint64_t>& query_hashes);
+
+}  // namespace sqlcm::cm
+
+#endif  // SQLCM_SQLCM_SIGNATURE_H_

@@ -1,0 +1,95 @@
+#include "sqlcm/timer.h"
+
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace sqlcm::cm {
+
+using common::Status;
+
+Status TimerManager::CreateTimer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const TimerRecord& timer : timers_) {
+    if (common::EqualsIgnoreCase(timer.name, name)) {
+      return Status::AlreadyExists("timer '" + name + "' already exists");
+    }
+  }
+  TimerRecord timer;
+  timer.name = name;
+  timer.remaining_alarms = 0;  // disabled until Set
+  timers_.push_back(std::move(timer));
+  return Status::OK();
+}
+
+Status TimerManager::Set(const std::string& name, int64_t interval_micros,
+                         int64_t repeats) {
+  if (interval_micros <= 0 && repeats != 0) {
+    return Status::InvalidArgument("timer interval must be positive");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (TimerRecord& timer : timers_) {
+    if (!common::EqualsIgnoreCase(timer.name, name)) continue;
+    timer.interval_micros = interval_micros;
+    timer.remaining_alarms = repeats;
+    timer.next_due_micros = clock_->NowMicros() + interval_micros;
+    return Status::OK();
+  }
+  return Status::NotFound("timer '" + name + "' not found");
+}
+
+bool TimerManager::IsTimerName(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const TimerRecord& timer : timers_) {
+    if (common::EqualsIgnoreCase(timer.name, name)) return true;
+  }
+  return false;
+}
+
+std::vector<TimerRecord> TimerManager::Snapshot(int64_t now_micros) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TimerRecord> out = timers_;
+  for (TimerRecord& timer : out) {
+    timer.now_secs = static_cast<double>(now_micros) / 1e6;
+  }
+  return out;
+}
+
+size_t TimerManager::Poll(int64_t now_micros) {
+  std::vector<TimerRecord> due;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (TimerRecord& timer : timers_) {
+      if (timer.remaining_alarms == 0) continue;
+      if (timer.next_due_micros > now_micros) continue;
+      TimerRecord snapshot = timer;
+      snapshot.now_secs = static_cast<double>(now_micros) / 1e6;
+      due.push_back(std::move(snapshot));
+      if (timer.remaining_alarms > 0) --timer.remaining_alarms;
+      // Re-arm from `now` (no burst catch-up after a stall).
+      timer.next_due_micros = now_micros + timer.interval_micros;
+    }
+  }
+  for (const TimerRecord& timer : due) {
+    callback_(timer);
+  }
+  return due.size();
+}
+
+void TimerManager::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] {
+    while (running_.load(std::memory_order_acquire)) {
+      Poll(clock_->NowMicros());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+}
+
+void TimerManager::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace sqlcm::cm

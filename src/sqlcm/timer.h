@@ -1,0 +1,68 @@
+// Timer subsystem (paper §5.1, Appendix A): named Timer objects that raise
+// Timer.Alarm events for rules whose condition cannot be tied to a system
+// event. Timers are configured with the Set(seconds, number_alarms) action:
+// 0 alarms disables a timer, a negative count makes it fire forever.
+#ifndef SQLCM_SQLCM_TIMER_H_
+#define SQLCM_SQLCM_TIMER_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "sqlcm/schema.h"
+
+namespace sqlcm::cm {
+
+class TimerManager {
+ public:
+  /// Invoked once per due timer, outside the registry mutex; the record is
+  /// a snapshot (with now_secs filled). The callback may call Set().
+  using AlarmCallback = std::function<void(const TimerRecord& timer)>;
+
+  TimerManager(common::Clock* clock, AlarmCallback callback)
+      : clock_(clock), callback_(std::move(callback)) {}
+  ~TimerManager() { Stop(); }
+  TimerManager(const TimerManager&) = delete;
+  TimerManager& operator=(const TimerManager&) = delete;
+
+  /// Registers a timer object (initially disabled).
+  common::Status CreateTimer(const std::string& name);
+
+  /// The Set action: arms `name` to fire every `interval_micros`,
+  /// `repeats` times (0 disables, negative = forever).
+  common::Status Set(const std::string& name, int64_t interval_micros,
+                     int64_t repeats);
+
+  bool IsTimerName(std::string_view name) const;
+
+  /// Snapshot of all timers (Timer-class iteration in rules).
+  std::vector<TimerRecord> Snapshot(int64_t now_micros) const;
+
+  /// Fires all due timers; returns how many fired. Called by the
+  /// background thread and directly by tests driving a MockClock.
+  size_t Poll(int64_t now_micros);
+
+  /// Starts/stops the background polling thread (1ms real-time cadence;
+  /// reads the configured Clock, so MockClock-driven tests also work).
+  void Start();
+  void Stop();
+
+ private:
+  common::Clock* clock_;
+  AlarmCallback callback_;
+
+  mutable std::mutex mutex_;
+  std::vector<TimerRecord> timers_;
+
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace sqlcm::cm
+
+#endif  // SQLCM_SQLCM_TIMER_H_

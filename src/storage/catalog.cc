@@ -1,0 +1,60 @@
+#include "storage/catalog.h"
+
+#include <mutex>
+
+#include "common/string_util.h"
+
+namespace sqlcm::storage {
+
+using common::Result;
+using common::Status;
+
+Result<Table*> Catalog::CreateTable(catalog::TableSchema schema) {
+  const std::string key = common::ToLower(schema.table_name());
+  std::unique_lock lock(mutex_);
+  if (tables_.count(key) != 0) {
+    return Status::AlreadyExists("table '" + schema.table_name() +
+                                 "' already exists");
+  }
+  const uint32_t id = next_table_id_++;
+  auto table = std::make_unique<Table>(id, std::move(schema));
+  Table* raw = table.get();
+  tables_.emplace(key, std::move(table));
+  by_id_.emplace(id, raw);
+  return raw;
+}
+
+Status Catalog::DropTable(std::string_view name) {
+  const std::string key = common::ToLower(name);
+  std::unique_lock lock(mutex_);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + std::string(name) + "' not found");
+  }
+  by_id_.erase(it->second->table_id());
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Table* Catalog::GetTable(std::string_view name) const {
+  const std::string key = common::ToLower(name);
+  std::shared_lock lock(mutex_);
+  auto it = tables_.find(key);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* Catalog::GetTableById(uint32_t table_id) const {
+  std::shared_lock lock(mutex_);
+  auto it = by_id_.find(table_id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [_, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+}  // namespace sqlcm::storage

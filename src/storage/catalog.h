@@ -1,0 +1,48 @@
+// Name → Table directory for one database instance.
+#ifndef SQLCM_STORAGE_CATALOG_H_
+#define SQLCM_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace sqlcm::storage {
+
+/// Thread-safe directory of tables. Table pointers stay valid until
+/// DropTable; callers must not hold them across a drop (the engine drops
+/// tables only through an exclusive schema lock).
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates a table; AlreadyExists if the (case-insensitive) name is taken.
+  common::Result<Table*> CreateTable(catalog::TableSchema schema);
+
+  common::Status DropTable(std::string_view name);
+
+  /// nullptr if absent.
+  Table* GetTable(std::string_view name) const;
+
+  /// Table by stable id; nullptr if absent.
+  Table* GetTableById(uint32_t table_id) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;  // lower-cased name
+  std::unordered_map<uint32_t, Table*> by_id_;
+  uint32_t next_table_id_ = 1;
+};
+
+}  // namespace sqlcm::storage
+
+#endif  // SQLCM_STORAGE_CATALOG_H_

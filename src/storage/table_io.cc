@@ -1,0 +1,154 @@
+#include "storage/table_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace sqlcm::storage {
+
+using common::CsvEscape;
+using common::CsvParseLine;
+using common::Result;
+using common::Row;
+using common::Status;
+using common::Value;
+
+namespace {
+
+std::string RowToCsv(const Row& row) {
+  std::string line;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) line += ',';
+    // Strings are written raw (CSV-escaped), other values via ToString().
+    const Value& v = row[i];
+    line += CsvEscape(v.is_string() ? v.string_value() : v.ToString());
+  }
+  line += '\n';
+  return line;
+}
+
+}  // namespace
+
+Status WriteTableCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const auto& schema = table.schema();
+  std::string header;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) header += ',';
+    header += CsvEscape(schema.column(i).name);
+  }
+  out << header << '\n';
+
+  std::optional<Row> after;
+  std::vector<Row> keys, rows;
+  for (;;) {
+    keys.clear();
+    rows.clear();
+    if (table.ScanBatch(after, 1024, &keys, &rows) == 0) break;
+    for (const Row& row : rows) out << RowToCsv(row);
+    after = keys.back();
+  }
+  out.flush();
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Status LoadTableCsv(Table* table, const std::string& path, size_t* skipped) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("'" + path + "' is empty (missing header)");
+  }
+  const auto header = CsvParseLine(line);
+  const auto& schema = table->schema();
+  if (header.size() != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "'" + path + "' has " + std::to_string(header.size()) +
+        " columns, table '" + table->name() + "' has " +
+        std::to_string(schema.num_columns()));
+  }
+  size_t skipped_local = 0;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = CsvParseLine(line);
+    if (fields.size() != schema.num_columns()) {
+      return Status::ParseError("'" + path + "' line " +
+                                std::to_string(line_no) + ": wrong arity");
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      SQLCM_ASSIGN_OR_RETURN(
+          auto v, catalog::ParseValueText(fields[i], schema.column(i).type));
+      row.push_back(std::move(v));
+    }
+    auto result = table->Insert(std::move(row));
+    if (!result.ok()) {
+      if (result.status().IsAlreadyExists()) {
+        ++skipped_local;
+        continue;
+      }
+      return result.status();
+    }
+  }
+  if (skipped != nullptr) *skipped = skipped_local;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SyncCsvWriter>> SyncCsvWriter::Open(
+    const std::string& path, bool sync_every_row) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("open('" + path + "'): " + std::strerror(errno));
+  }
+  return std::unique_ptr<SyncCsvWriter>(new SyncCsvWriter(fd, sync_every_row));
+}
+
+SyncCsvWriter::~SyncCsvWriter() {
+  if (fd_ >= 0) {
+    Flush();
+    ::close(fd_);
+  }
+}
+
+Status SyncCsvWriter::AppendRow(const Row& row) {
+  buffer_ += RowToCsv(row);
+  ++rows_written_;
+  if (sync_every_row_ || buffer_.size() > (1u << 16)) {
+    SQLCM_RETURN_IF_ERROR(Flush());
+    if (sync_every_row_ && ::fdatasync(fd_) != 0) {
+      return Status::IOError(std::string("fdatasync: ") + std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+Status SyncCsvWriter::Flush() {
+  size_t off = 0;
+  while (off < buffer_.size()) {
+    const ssize_t n = ::write(fd_, buffer_.data() + off, buffer_.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("write: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  buffer_.clear();
+  return Status::OK();
+}
+
+}  // namespace sqlcm::storage

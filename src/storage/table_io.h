@@ -1,0 +1,58 @@
+// CSV persist / restore for tables.
+//
+// Used for (a) persisting LAT contents across server restarts (paper §4.3:
+// "it is possible to maintain LAT data over multiple restarts of the
+// database server, by uploading the contents of a table to a specific LAT
+// at database startup time") and (b) the Query_logging baseline's forced
+// synchronous writes.
+#ifndef SQLCM_STORAGE_TABLE_IO_H_
+#define SQLCM_STORAGE_TABLE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace sqlcm::storage {
+
+/// Writes the full table to `path` as CSV with a header row of column
+/// names. Overwrites any existing file.
+common::Status WriteTableCsv(const Table& table, const std::string& path);
+
+/// Appends rows from a CSV file (with header) into `table`. Column order in
+/// the file must match the table schema. Rows whose primary key already
+/// exists are skipped (the count of skipped rows is reported in *skipped if
+/// non-null).
+common::Status LoadTableCsv(Table* table, const std::string& path,
+                            size_t* skipped = nullptr);
+
+/// Append-only CSV sink with optional per-row fsync; models the "forced
+/// synchronous writes" of the Query_logging baseline (§6.2.2(a)).
+class SyncCsvWriter {
+ public:
+  /// Opens (truncates) `path`. `sync_every_row` forces fsync per AppendRow.
+  static common::Result<std::unique_ptr<SyncCsvWriter>> Open(
+      const std::string& path, bool sync_every_row);
+
+  ~SyncCsvWriter();
+  SyncCsvWriter(const SyncCsvWriter&) = delete;
+  SyncCsvWriter& operator=(const SyncCsvWriter&) = delete;
+
+  common::Status AppendRow(const common::Row& row);
+  common::Status Flush();
+
+  size_t rows_written() const { return rows_written_; }
+
+ private:
+  SyncCsvWriter(int fd, bool sync_every_row)
+      : fd_(fd), sync_every_row_(sync_every_row) {}
+
+  int fd_;
+  bool sync_every_row_;
+  size_t rows_written_ = 0;
+  std::string buffer_;
+};
+
+}  // namespace sqlcm::storage
+
+#endif  // SQLCM_STORAGE_TABLE_IO_H_

@@ -1,0 +1,356 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+namespace sqlcm::txn {
+
+const char* LockModeName(LockMode mode) {
+  return mode == LockMode::kShared ? "S" : "X";
+}
+
+std::string ResourceId::ToString() const {
+  std::string out = "table#" + std::to_string(table_id);
+  if (!key.empty()) {
+    out += "[";
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (i > 0) out += ",";
+      out += key[i].ToString();
+    }
+    out += "]";
+  }
+  return out;
+}
+
+// Pending S->X upgrades are represented as granted=true with
+// mode=kExclusive: the S lock stays held while the upgrade waits. A real
+// granted-X holder never has CanGrantLocked evaluated for its position (its
+// Acquire already returned), so the encoding is unambiguous.
+bool LockManager::CanGrantLocked(const Queue& queue, size_t pos) {
+  const Request& req = queue.requests[pos];
+  if (req.granted && req.mode == LockMode::kExclusive) {
+    // Pending upgrade: grantable iff this txn is the only granted holder.
+    for (size_t i = 0; i < queue.requests.size(); ++i) {
+      if (i == pos) continue;
+      if (queue.requests[i].granted) return false;
+    }
+    return true;
+  }
+  // Normal request: all earlier requests must be granted (FIFO) and all
+  // granted requests must be compatible.
+  for (size_t i = 0; i < pos; ++i) {
+    if (!queue.requests[i].granted) return false;
+  }
+  for (size_t i = 0; i < queue.requests.size(); ++i) {
+    if (i == pos) continue;
+    const Request& other = queue.requests[i];
+    if (!other.granted) continue;
+    if (other.txn == req.txn) continue;
+    if (!LockCompatible(other.mode, req.mode)) return false;
+    // A granted-S holder with a pending upgrade effectively intends X; we
+    // still allow S grants (documented upgrade-starvation tradeoff).
+  }
+  return true;
+}
+
+LockOutcome LockManager::Acquire(TxnId txn_id, const ResourceId& resource,
+                                 LockMode mode,
+                                 const std::atomic<bool>* cancelled,
+                                 int64_t timeout_micros) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Queue& queue = table_[resource];
+
+  // Locate an existing request by this transaction.
+  size_t pos = queue.requests.size();
+  for (size_t i = 0; i < queue.requests.size(); ++i) {
+    if (queue.requests[i].txn == txn_id) {
+      pos = i;
+      break;
+    }
+  }
+
+  bool is_upgrade = false;
+  if (pos < queue.requests.size()) {
+    Request& mine = queue.requests[pos];
+    if (mine.granted) {
+      if (mine.mode == LockMode::kExclusive || mode == LockMode::kShared) {
+        return LockOutcome::kGranted;  // already sufficient
+      }
+      // S -> X upgrade: keep the granted S, wait for exclusivity.
+      is_upgrade = true;
+      mine.mode = LockMode::kExclusive;
+      // Re-check below whether it is immediately grantable.
+    }
+    // (An ungranted duplicate request cannot exist: one outstanding
+    // Acquire per transaction.)
+  } else {
+    Request req;
+    req.txn = txn_id;
+    req.mode = mode;
+    req.granted = false;
+    req.wait_start_micros = clock_->NowMicros();
+    queue.requests.push_back(req);
+    pos = queue.requests.size() - 1;
+  }
+
+  auto grant_mine = [&]() {
+    Request& mine = queue.requests[pos];
+    const bool was_granted = mine.granted;  // true for upgrades
+    mine.granted = true;
+    if (!was_granted || !is_upgrade) {
+      // First grant on this resource: remember it for ReleaseAll.
+      auto& held = held_[txn_id];
+      if (std::find(held.begin(), held.end(), resource) == held.end()) {
+        held.push_back(resource);
+      }
+    }
+  };
+
+  if (CanGrantLocked(queue, pos)) {
+    if (is_upgrade) {
+      // Already granted=true; nothing else to flip.
+      auto& held = held_[txn_id];
+      if (std::find(held.begin(), held.end(), resource) == held.end()) {
+        held.push_back(resource);
+      }
+      return LockOutcome::kGranted;
+    }
+    grant_mine();
+    return LockOutcome::kGranted;
+  }
+
+  // We must wait. For upgrades the request stays granted=true with mode=X;
+  // "waiting" is detected via waiting_on_.
+  waiting_on_[txn_id] = resource;
+  const int64_t wait_start = clock_->NowMicros();
+
+  // Deadlock check: we are about to add edges txn -> holders/earlier
+  // waiters. If any of them (transitively) waits for us, a cycle forms.
+  {
+    std::unordered_set<TxnId> visited;
+    bool cycle = false;
+    // Edge set: every granted holder, plus (for normal requests, which sit
+    // at the back of the queue) every earlier waiter. Pending upgrades wait
+    // only on the other granted holders.
+    for (const Request& other : queue.requests) {
+      if (other.txn == txn_id) continue;
+      if (is_upgrade && !other.granted) continue;
+      visited.clear();
+      if (WaitsForPathLocked(other.txn, txn_id, &visited)) {
+        cycle = true;
+        break;
+      }
+    }
+    if (cycle) {
+      waiting_on_.erase(txn_id);
+      if (is_upgrade) {
+        // Restore the granted S lock.
+        queue.requests[pos].mode = LockMode::kShared;
+      } else {
+        queue.requests.erase(queue.requests.begin() + pos);
+        GrantWaitersLocked(&queue);
+        queue.cv.notify_all();
+      }
+      return LockOutcome::kDeadlock;
+    }
+  }
+
+  const TxnId blocker = DesignatedBlockerLocked(queue, txn_id, mode);
+  LockEventObserver* observer = observer_;
+  if (observer != nullptr) {
+    lock.unlock();
+    observer->OnBlocked(txn_id, blocker, resource);
+    lock.lock();
+  }
+
+  LockOutcome outcome = LockOutcome::kGranted;
+  for (;;) {
+    // Re-locate our request; the queue may have shifted.
+    pos = queue.requests.size();
+    for (size_t i = 0; i < queue.requests.size(); ++i) {
+      if (queue.requests[i].txn == txn_id) {
+        pos = i;
+        break;
+      }
+    }
+    if (pos == queue.requests.size()) {
+      // Should not happen; treat as cancelled.
+      outcome = LockOutcome::kCancelled;
+      break;
+    }
+    if (is_upgrade) {
+      if (CanGrantLocked(queue, pos)) {
+        outcome = LockOutcome::kGranted;
+        break;
+      }
+    } else if (queue.requests[pos].granted) {
+      auto& held = held_[txn_id];
+      if (std::find(held.begin(), held.end(), resource) == held.end()) {
+        held.push_back(resource);
+      }
+      outcome = LockOutcome::kGranted;
+      break;
+    } else if (CanGrantLocked(queue, pos)) {
+      grant_mine();
+      outcome = LockOutcome::kGranted;
+      break;
+    }
+    if (cancelled != nullptr &&
+        cancelled->load(std::memory_order_acquire)) {
+      outcome = LockOutcome::kCancelled;
+    } else if (timeout_micros >= 0 &&
+               clock_->NowMicros() - wait_start > timeout_micros) {
+      outcome = LockOutcome::kTimeout;
+    }
+    if (outcome != LockOutcome::kGranted) {
+      if (is_upgrade) {
+        queue.requests[pos].mode = LockMode::kShared;  // keep the S lock
+      } else {
+        queue.requests.erase(queue.requests.begin() + pos);
+      }
+      GrantWaitersLocked(&queue);
+      queue.cv.notify_all();
+      break;
+    }
+    queue.cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+
+  waiting_on_.erase(txn_id);
+  const int64_t wait_micros = clock_->NowMicros() - wait_start;
+  if (observer != nullptr) {
+    lock.unlock();
+    observer->OnBlockReleased(txn_id, blocker, resource, wait_micros);
+    lock.lock();
+  }
+  return outcome;
+}
+
+void LockManager::ReleaseAll(TxnId txn_id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto held_it = held_.find(txn_id);
+  if (held_it != held_.end()) {
+    for (const ResourceId& resource : held_it->second) {
+      auto table_it = table_.find(resource);
+      if (table_it == table_.end()) continue;
+      Queue& queue = table_it->second;
+      for (size_t i = 0; i < queue.requests.size();) {
+        if (queue.requests[i].txn == txn_id) {
+          queue.requests.erase(queue.requests.begin() + i);
+        } else {
+          ++i;
+        }
+      }
+      if (queue.requests.empty()) {
+        table_.erase(table_it);
+      } else {
+        GrantWaitersLocked(&queue);
+        queue.cv.notify_all();
+      }
+    }
+    held_.erase(held_it);
+  }
+  waiting_on_.erase(txn_id);
+}
+
+void LockManager::GrantWaitersLocked(Queue* queue) {
+  for (size_t i = 0; i < queue->requests.size(); ++i) {
+    Request& req = queue->requests[i];
+    if (req.granted && req.mode == LockMode::kShared) continue;
+    if (req.granted && req.mode == LockMode::kExclusive) {
+      // Either a real X holder or a pending upgrade; both are resolved by
+      // the waiter's own thread via CanGrantLocked.
+      continue;
+    }
+    if (CanGrantLocked(*queue, i)) {
+      req.granted = true;
+      // held_ bookkeeping happens in the waiter's thread on wake-up.
+    } else {
+      break;  // FIFO: later waiters cannot be granted either
+    }
+  }
+}
+
+bool LockManager::WaitsForPathLocked(TxnId from, TxnId to,
+                                     std::unordered_set<TxnId>* visited) const {
+  if (from == to) return true;
+  if (!visited->insert(from).second) return false;
+  auto wait_it = waiting_on_.find(from);
+  if (wait_it == waiting_on_.end()) return false;
+  auto table_it = table_.find(wait_it->second);
+  if (table_it == table_.end()) return false;
+  // A waiter depends on every granted holder and on waiters AHEAD of it in
+  // the FIFO queue. Waiters behind it are waiting for *us*, not the other
+  // way around — treating them as edges manufactures phantom cycles when
+  // several transactions queue on one resource.
+  bool passed_self = false;
+  for (const Request& other : table_it->second.requests) {
+    if (other.txn == from) {
+      passed_self = true;
+      continue;
+    }
+    const bool is_edge = other.granted || !passed_self;
+    if (is_edge && WaitsForPathLocked(other.txn, to, visited)) return true;
+  }
+  return false;
+}
+
+TxnId LockManager::DesignatedBlockerLocked(const Queue& queue, TxnId self,
+                                           LockMode mode) {
+  for (const Request& req : queue.requests) {
+    if (req.txn == self) continue;
+    if (req.granted && !LockCompatible(req.mode, mode)) return req.txn;
+  }
+  // Blocked purely by queue order: designate the first earlier waiter.
+  for (const Request& req : queue.requests) {
+    if (req.txn == self) break;
+    if (!req.granted) return req.txn;
+  }
+  return 0;
+}
+
+std::vector<BlockedPair> LockManager::SnapshotBlockedPairs() const {
+  std::vector<BlockedPair> out;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (const auto& [txn_id, resource] : waiting_on_) {
+    auto table_it = table_.find(resource);
+    if (table_it == table_.end()) continue;
+    const Queue& queue = table_it->second;
+    // Find the waiter's requested mode.
+    LockMode mode = LockMode::kExclusive;
+    int64_t since = 0;
+    for (const Request& req : queue.requests) {
+      if (req.txn == txn_id) {
+        mode = req.mode;
+        since = req.wait_start_micros;
+        break;
+      }
+    }
+    BlockedPair pair;
+    pair.blocked_txn = txn_id;
+    pair.blocker_txn = DesignatedBlockerLocked(queue, txn_id, mode);
+    pair.resource = resource;
+    pair.waiting_since_micros = since;
+    if (pair.blocker_txn != 0) out.push_back(std::move(pair));
+  }
+  return out;
+}
+
+size_t LockManager::HeldLockCount(TxnId txn_id) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = held_.find(txn_id);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+size_t LockManager::TotalGrantedLocks() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const auto& [_, queue] : table_) {
+    for (const Request& req : queue.requests) {
+      if (req.granted) ++total;
+    }
+  }
+  return total;
+}
+
+}  // namespace sqlcm::txn

@@ -1,0 +1,164 @@
+// Two-phase-locking lock manager with a waits-for graph.
+//
+// Provides the lock-conflict machinery SQLCM instruments (§6.1): the
+// monitor's Blocker/Blocked objects are produced either by piggybacking on
+// conflict detection here (LockEventObserver) or by traversing the
+// lock-resource graph on demand (SnapshotBlockedPairs, used by
+// Timer-triggered rules).
+#ifndef SQLCM_TXN_LOCK_MANAGER_H_
+#define SQLCM_TXN_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sqlcm::txn {
+
+using TxnId = uint64_t;
+
+enum class LockMode : uint8_t { kShared, kExclusive };
+
+const char* LockModeName(LockMode mode);
+
+/// True if a holder in `held` permits a new `requested` lock.
+inline bool LockCompatible(LockMode held, LockMode requested) {
+  return held == LockMode::kShared && requested == LockMode::kShared;
+}
+
+/// Identifies a lockable resource: a whole table (empty key) or one row.
+struct ResourceId {
+  uint32_t table_id = 0;
+  common::Row key;  // empty = table-level lock
+
+  bool is_table_lock() const { return key.empty(); }
+  bool operator==(const ResourceId& other) const {
+    return table_id == other.table_id &&
+           common::RowEq()(key, other.key);
+  }
+  std::string ToString() const;
+};
+
+struct ResourceIdHasher {
+  size_t operator()(const ResourceId& r) const {
+    return std::hash<uint32_t>()(r.table_id) * 1000003u ^
+           common::HashRow(r.key);
+  }
+};
+
+/// One edge of the lock-resource graph exposed to the monitor.
+struct BlockedPair {
+  TxnId blocked_txn = 0;
+  TxnId blocker_txn = 0;   // designated blocker (first incompatible holder)
+  ResourceId resource;
+  int64_t waiting_since_micros = 0;
+};
+
+/// Synchronous instrumentation callbacks; invoked from the thread that
+/// detects the conflict, outside the lock-table mutex. Implementations may
+/// take LAT latches and table latches but must not call back into the
+/// LockManager for the same transaction.
+class LockEventObserver {
+ public:
+  virtual ~LockEventObserver() = default;
+  /// The requesting transaction is about to block.
+  virtual void OnBlocked(TxnId blocked, TxnId blocker,
+                         const ResourceId& resource) = 0;
+  /// The blocked transaction has been granted (or gave up); `wait_micros`
+  /// is the total time it spent waiting on this resource.
+  virtual void OnBlockReleased(TxnId blocked, TxnId blocker,
+                               const ResourceId& resource,
+                               int64_t wait_micros) = 0;
+};
+
+/// Result of one lock acquisition.
+enum class LockOutcome { kGranted, kDeadlock, kCancelled, kTimeout };
+
+class LockManager {
+ public:
+  explicit LockManager(common::Clock* clock) : clock_(clock) {}
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// At most one observer; set before concurrent use.
+  void set_observer(LockEventObserver* observer) { observer_ = observer; }
+
+  /// Acquires (or upgrades to) `mode` on `resource` for `txn_id`, blocking
+  /// until granted. `cancelled`, if non-null, is polled during waits; a set
+  /// flag aborts the wait with kCancelled. `timeout_micros` < 0 disables
+  /// the timeout. Deadlocks abort the *requesting* transaction (the waiter
+  /// that would close the cycle) with kDeadlock.
+  LockOutcome Acquire(TxnId txn_id, const ResourceId& resource, LockMode mode,
+                      const std::atomic<bool>* cancelled = nullptr,
+                      int64_t timeout_micros = -1);
+
+  /// Releases every lock held by `txn_id` (2PL release point) and wakes
+  /// compatible waiters.
+  void ReleaseAll(TxnId txn_id);
+
+  /// Traverses the lock-resource graph and reports all (blocked, blocker)
+  /// pairs, designating the first incompatible holder as the blocker when
+  /// several hold the resource (paper §6.1).
+  std::vector<BlockedPair> SnapshotBlockedPairs() const;
+
+  /// Number of locks currently held by `txn_id` (diagnostics/tests).
+  size_t HeldLockCount(TxnId txn_id) const;
+
+  /// Total granted locks across all transactions (diagnostics/tests).
+  size_t TotalGrantedLocks() const;
+
+ private:
+  struct Request {
+    TxnId txn;
+    LockMode mode;
+    bool granted = false;
+    int64_t wait_start_micros = 0;
+  };
+  struct Queue {
+    std::deque<Request> requests;
+    std::condition_variable cv;
+  };
+
+  /// True if a (re-)evaluated request at position `pos` in `queue` can be
+  /// granted now: compatible with all granted requests of other txns, and
+  /// no earlier ungranted waiter exists (FIFO fairness), except that lock
+  /// upgrades jump the queue.
+  static bool CanGrantLocked(const Queue& queue, size_t pos);
+
+  /// Grants every now-grantable waiter in FIFO order. Caller holds mutex_.
+  static void GrantWaitersLocked(Queue* queue);
+
+  /// True if txn `from` (waiting) can reach txn `to` through the waits-for
+  /// graph. Caller holds mutex_.
+  bool WaitsForPathLocked(TxnId from, TxnId to,
+                          std::unordered_set<TxnId>* visited) const;
+
+  /// First granted holder in `queue` incompatible with `mode`, excluding
+  /// `self`. 0 if none. Caller holds mutex_.
+  static TxnId DesignatedBlockerLocked(const Queue& queue, TxnId self,
+                                       LockMode mode);
+
+  common::Clock* clock_;
+  LockEventObserver* observer_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<ResourceId, Queue, ResourceIdHasher> table_;
+  // txn -> resources it holds (granted) — for ReleaseAll.
+  std::unordered_map<TxnId, std::vector<ResourceId>> held_;
+  // txn -> the single resource it currently waits on (waits-for edges are
+  // derived: waiter waits for all granted holders of that resource).
+  std::unordered_map<TxnId, ResourceId> waiting_on_;
+};
+
+}  // namespace sqlcm::txn
+
+#endif  // SQLCM_TXN_LOCK_MANAGER_H_

@@ -1,0 +1,86 @@
+#include "txn/transaction.h"
+
+namespace sqlcm::txn {
+
+using common::Status;
+
+Transaction* TransactionManager::Begin() {
+  const TxnId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto txn = std::make_unique<Transaction>(id, clock_->NowMicros());
+  Transaction* raw = txn.get();
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_.emplace(id, std::move(txn));
+  return raw;
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (txn->state_ != TxnState::kActive) {
+    return Status::InvalidArgument("commit of non-active transaction");
+  }
+  Finish(txn, TxnState::kCommitted);
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  if (txn->state_ != TxnState::kActive) {
+    return Status::InvalidArgument("abort of non-active transaction");
+  }
+  // Apply undo records newest-first. Undo is best-effort-must-succeed: a
+  // failure here means the engine lost physical consistency, so surface it
+  // as Internal (tests assert it never happens).
+  Status undo_status = Status::OK();
+  for (auto it = txn->undo_.rbegin(); it != txn->undo_.rend(); ++it) {
+    storage::Table* table = catalog_->GetTableById(it->table_id);
+    if (table == nullptr) continue;  // table dropped mid-txn
+    switch (it->kind) {
+      case UndoRecord::Kind::kInsert: {
+        auto result = table->Delete(it->key);
+        if (!result.ok() && undo_status.ok()) {
+          undo_status = Status::Internal("undo of insert failed: " +
+                                         result.status().ToString());
+        }
+        break;
+      }
+      case UndoRecord::Kind::kDelete: {
+        Status s = table->InsertWithKey(it->key, it->old_row);
+        if (!s.ok() && undo_status.ok()) {
+          undo_status =
+              Status::Internal("undo of delete failed: " + s.ToString());
+        }
+        break;
+      }
+      case UndoRecord::Kind::kUpdate: {
+        auto result = table->Update(it->key, it->old_row);
+        if (!result.ok() && undo_status.ok()) {
+          undo_status = Status::Internal("undo of update failed: " +
+                                         result.status().ToString());
+        }
+        break;
+      }
+    }
+  }
+  Finish(txn, TxnState::kAborted);
+  return undo_status;
+}
+
+void TransactionManager::Finish(Transaction* txn, TxnState final_state) {
+  txn->state_ = final_state;
+  txn->undo_.clear();
+  lock_manager_.ReleaseAll(txn->id_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_.erase(txn->id_);
+  // `txn` is destroyed here; callers must not touch it afterwards.
+}
+
+Transaction* TransactionManager::FindActive(TxnId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = active_.find(id);
+  return it == active_.end() ? nullptr : it->second.get();
+}
+
+size_t TransactionManager::active_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_.size();
+}
+
+}  // namespace sqlcm::txn

@@ -1,0 +1,112 @@
+// Transactions: 2PL + logical undo for rollback.
+#ifndef SQLCM_TXN_TRANSACTION_H_
+#define SQLCM_TXN_TRANSACTION_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/catalog.h"
+#include "txn/lock_manager.h"
+
+namespace sqlcm::txn {
+
+enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
+
+/// One logical undo record; applied in reverse order on rollback.
+struct UndoRecord {
+  enum class Kind : uint8_t { kInsert, kDelete, kUpdate };
+  Kind kind;
+  uint32_t table_id;
+  common::Row key;      // storage key of the affected row
+  common::Row old_row;  // pre-image for kDelete / kUpdate
+};
+
+/// A transaction. Owned by the TransactionManager; used by exactly one
+/// session thread at a time, except for the cancel flag which any thread
+/// (e.g. a SQLCM Cancel action) may set.
+class Transaction {
+ public:
+  Transaction(TxnId id, int64_t start_micros)
+      : id_(id), start_micros_(start_micros) {}
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  TxnState state() const { return state_; }
+  int64_t start_micros() const { return start_micros_; }
+
+  /// Cross-thread cancellation: executors poll this; lock waits abort on it.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+  const std::atomic<bool>* cancelled_flag() const { return &cancelled_; }
+
+  void LogInsert(uint32_t table_id, common::Row key) {
+    undo_.push_back({UndoRecord::Kind::kInsert, table_id, std::move(key), {}});
+  }
+  void LogDelete(uint32_t table_id, common::Row key, common::Row old_row) {
+    undo_.push_back({UndoRecord::Kind::kDelete, table_id, std::move(key),
+                     std::move(old_row)});
+  }
+  void LogUpdate(uint32_t table_id, common::Row key, common::Row old_row) {
+    undo_.push_back({UndoRecord::Kind::kUpdate, table_id, std::move(key),
+                     std::move(old_row)});
+  }
+
+  size_t undo_size() const { return undo_.size(); }
+
+ private:
+  friend class TransactionManager;
+
+  const TxnId id_;
+  const int64_t start_micros_;
+  TxnState state_ = TxnState::kActive;
+  std::atomic<bool> cancelled_{false};
+  std::vector<UndoRecord> undo_;
+};
+
+/// Creates, commits and aborts transactions; owns the LockManager.
+class TransactionManager {
+ public:
+  TransactionManager(common::Clock* clock, storage::Catalog* catalog)
+      : clock_(clock), catalog_(catalog), lock_manager_(clock) {}
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  LockManager* lock_manager() { return &lock_manager_; }
+
+  Transaction* Begin();
+
+  /// Releases all locks; the transaction must be active.
+  common::Status Commit(Transaction* txn);
+
+  /// Applies undo records in reverse, then releases all locks.
+  common::Status Abort(Transaction* txn);
+
+  /// Looks up an active transaction by id (used by Cancel actions reaching
+  /// across sessions). nullptr when unknown or finished.
+  Transaction* FindActive(TxnId id) const;
+
+  size_t active_count() const;
+
+ private:
+  void Finish(Transaction* txn, TxnState final_state);
+
+  common::Clock* clock_;
+  storage::Catalog* catalog_;
+  LockManager lock_manager_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_;
+  std::atomic<TxnId> next_id_{1};
+};
+
+}  // namespace sqlcm::txn
+
+#endif  // SQLCM_TXN_TRANSACTION_H_

@@ -1,0 +1,115 @@
+#include "workload/driver.h"
+
+#include "common/random.h"
+
+namespace sqlcm::workload {
+
+using common::Random;
+using common::Result;
+using common::Value;
+
+namespace {
+
+constexpr char kLineitemPointSql[] =
+    "SELECT * FROM lineitem WHERE l_orderkey = @k AND l_linenumber = @l";
+constexpr char kOrdersPointSql[] =
+    "SELECT * FROM orders WHERE o_orderkey = @k";
+constexpr char kJoinSql[] =
+    "SELECT l.l_orderkey, l.l_extendedprice, o.o_totalprice, p.p_name "
+    "FROM lineitem l "
+    "JOIN orders o ON l.l_orderkey = o.o_orderkey "
+    "JOIN part p ON l.l_partkey = p.p_partkey "
+    "WHERE l.l_orderkey >= @lo AND l.l_orderkey <= @hi";
+
+/// Lineitem line counts per order, mirrored from the generator's stream.
+std::vector<int64_t> LineCounts(const TpchConfig& tpch) {
+  Random line_rng(tpch.seed);
+  std::vector<int64_t> counts(static_cast<size_t>(tpch.num_orders));
+  for (auto& c : counts) c = line_rng.UniformInt(1, tpch.max_lines_per_order);
+  return counts;
+}
+
+}  // namespace
+
+std::vector<WorkloadItem> GenerateMixedWorkload(
+    const TpchConfig& tpch, const MixedWorkloadConfig& config) {
+  Random rng(config.seed);
+  const std::vector<int64_t> lines = LineCounts(tpch);
+  const double avg_lines = (1.0 + static_cast<double>(tpch.max_lines_per_order)) / 2.0;
+
+  std::vector<WorkloadItem> items;
+  items.reserve(static_cast<size_t>(config.num_point_selects +
+                                    config.num_join_selects));
+  const int64_t interval =
+      config.num_join_selects > 0
+          ? std::max<int64_t>(1, config.num_point_selects /
+                                     config.num_join_selects)
+          : config.num_point_selects + 1;
+  int64_t joins_emitted = 0;
+
+  for (int64_t i = 0; i < config.num_point_selects; ++i) {
+    WorkloadItem item;
+    if (i % 2 == 0) {
+      const int64_t order = rng.UniformInt(1, tpch.num_orders);
+      const int64_t line =
+          rng.UniformInt(1, lines[static_cast<size_t>(order - 1)]);
+      item.sql = kLineitemPointSql;
+      item.params = {{"k", Value::Int(order)}, {"l", Value::Int(line)}};
+    } else {
+      item.sql = kOrdersPointSql;
+      item.params = {{"k", Value::Int(rng.UniformInt(1, tpch.num_orders))}};
+    }
+    items.push_back(std::move(item));
+
+    if ((i + 1) % interval == 0 && joins_emitted < config.num_join_selects) {
+      const int64_t target_rows =
+          rng.UniformInt(config.join_rows_min, config.join_rows_max);
+      const int64_t span = std::max<int64_t>(
+          1, static_cast<int64_t>(static_cast<double>(target_rows) / avg_lines));
+      const int64_t lo =
+          rng.UniformInt(1, std::max<int64_t>(1, tpch.num_orders - span));
+      WorkloadItem join;
+      join.sql = kJoinSql;
+      join.params = {{"lo", Value::Int(lo)}, {"hi", Value::Int(lo + span - 1)}};
+      items.push_back(std::move(join));
+      ++joins_emitted;
+    }
+  }
+  return items;
+}
+
+std::vector<WorkloadItem> GeneratePointSelectWorkload(const TpchConfig& tpch,
+                                                      int64_t n,
+                                                      uint64_t seed) {
+  Random rng(seed);
+  const std::vector<int64_t> lines = LineCounts(tpch);
+  std::vector<WorkloadItem> items;
+  items.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t order = rng.UniformInt(1, tpch.num_orders);
+    const int64_t line =
+        rng.UniformInt(1, lines[static_cast<size_t>(order - 1)]);
+    WorkloadItem item;
+    item.sql = kLineitemPointSql;
+    item.params = {{"k", Value::Int(order)}, {"l", Value::Int(line)}};
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+Result<RunStats> RunWorkload(engine::Session* session,
+                             const std::vector<WorkloadItem>& items) {
+  RunStats stats;
+  common::Clock* clock = common::SystemClock::Get();
+  const int64_t start = clock->NowMicros();
+  for (const WorkloadItem& item : items) {
+    auto result = session->Execute(item.sql, &item.params);
+    if (!result.ok()) return result.status();
+    stats.rows_returned += static_cast<int64_t>(result->rows.size());
+    ++stats.statements;
+  }
+  stats.wall_micros = clock->NowMicros() - start;
+  return stats;
+}
+
+}  // namespace sqlcm::workload

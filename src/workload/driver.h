@@ -1,0 +1,59 @@
+// The paper's evaluation workloads (§6.2.2): a stream of short single-row
+// clustered-index selects on lineitem/orders interleaved with multi-row
+// 3-way-join selections, plus the stress workload of §6.2.1 (repeated
+// single-row selects).
+#ifndef SQLCM_WORKLOAD_DRIVER_H_
+#define SQLCM_WORKLOAD_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/session.h"
+#include "workload/tpch_gen.h"
+
+namespace sqlcm::workload {
+
+/// One statement of a generated workload: parameterized SQL + bindings.
+/// Parameterized statements share cached plans across the run, matching
+/// the paper's setting where plans (and signatures) are compiled once.
+struct WorkloadItem {
+  std::string sql;
+  exec::ParamMap params;
+};
+
+struct MixedWorkloadConfig {
+  /// Paper: 20,000 short selects + 100 join selections of 1000-2000 rows.
+  int64_t num_point_selects = 20'000;
+  int64_t num_join_selects = 100;
+  /// Join selections target this many lineitem rows.
+  int64_t join_rows_min = 1'000;
+  int64_t join_rows_max = 2'000;
+  uint64_t seed = 7;
+};
+
+/// Generates the §6.2.2 mixed workload against data loaded by LoadTpch.
+/// Deterministic in (tpch, config) — the paper executes "the exact same
+/// queries in order" across approaches.
+std::vector<WorkloadItem> GenerateMixedWorkload(
+    const TpchConfig& tpch, const MixedWorkloadConfig& config);
+
+/// Generates the §6.2.1 stress workload: `n` single-row clustered-index
+/// selects on lineitem.
+std::vector<WorkloadItem> GeneratePointSelectWorkload(const TpchConfig& tpch,
+                                                      int64_t n,
+                                                      uint64_t seed);
+
+struct RunStats {
+  int64_t wall_micros = 0;
+  int64_t statements = 0;
+  int64_t rows_returned = 0;
+};
+
+/// Executes the workload on one session, returning wall time. Fails fast
+/// on the first error.
+common::Result<RunStats> RunWorkload(engine::Session* session,
+                                     const std::vector<WorkloadItem>& items);
+
+}  // namespace sqlcm::workload
+
+#endif  // SQLCM_WORKLOAD_DRIVER_H_

@@ -1,0 +1,113 @@
+#include "workload/tpch_gen.h"
+
+#include "common/random.h"
+#include "common/value.h"
+
+namespace sqlcm::workload {
+
+using common::Random;
+using common::Row;
+using common::Status;
+using common::Value;
+
+namespace {
+
+int64_t LinesForOrder(Random* rng, const TpchConfig& config) {
+  return rng->UniformInt(1, config.max_lines_per_order);
+}
+
+}  // namespace
+
+int64_t ExpectedLineitemRows(const TpchConfig& config) {
+  Random rng(config.seed);
+  int64_t total = 0;
+  for (int64_t o = 0; o < config.num_orders; ++o) {
+    total += LinesForOrder(&rng, config);
+  }
+  return total;
+}
+
+Status LoadTpch(engine::Database* db, const TpchConfig& config) {
+  storage::Catalog* catalog = db->catalog();
+
+  SQLCM_ASSIGN_OR_RETURN(
+      auto part_schema,
+      catalog::TableSchema::Create(
+          "part",
+          {{"p_partkey", catalog::ColumnType::kInt},
+           {"p_name", catalog::ColumnType::kString},
+           {"p_size", catalog::ColumnType::kInt},
+           {"p_retailprice", catalog::ColumnType::kDouble}},
+          {"p_partkey"}));
+  SQLCM_ASSIGN_OR_RETURN(storage::Table * part,
+                         catalog->CreateTable(std::move(part_schema)));
+
+  SQLCM_ASSIGN_OR_RETURN(
+      auto orders_schema,
+      catalog::TableSchema::Create(
+          "orders",
+          {{"o_orderkey", catalog::ColumnType::kInt},
+           {"o_custkey", catalog::ColumnType::kInt},
+           {"o_totalprice", catalog::ColumnType::kDouble},
+           {"o_orderdate", catalog::ColumnType::kInt}},
+          {"o_orderkey"}));
+  SQLCM_ASSIGN_OR_RETURN(storage::Table * orders,
+                         catalog->CreateTable(std::move(orders_schema)));
+
+  SQLCM_ASSIGN_OR_RETURN(
+      auto lineitem_schema,
+      catalog::TableSchema::Create(
+          "lineitem",
+          {{"l_orderkey", catalog::ColumnType::kInt},
+           {"l_linenumber", catalog::ColumnType::kInt},
+           {"l_partkey", catalog::ColumnType::kInt},
+           {"l_quantity", catalog::ColumnType::kDouble},
+           {"l_extendedprice", catalog::ColumnType::kDouble},
+           {"l_shipdate", catalog::ColumnType::kInt}},
+          {"l_orderkey", "l_linenumber"}));
+  SQLCM_ASSIGN_OR_RETURN(storage::Table * lineitem,
+                         catalog->CreateTable(std::move(lineitem_schema)));
+
+  Random rng(config.seed);
+
+  for (int64_t p = 1; p <= config.num_parts; ++p) {
+    Row row;
+    row.push_back(Value::Int(p));
+    row.push_back(Value::String("part_" + std::to_string(p) + "_" +
+                                rng.NextString(8)));
+    row.push_back(Value::Int(rng.UniformInt(1, 50)));
+    row.push_back(Value::Double(1.0 + rng.NextDouble() * 999.0));
+    SQLCM_RETURN_IF_ERROR(part->Insert(std::move(row)).status());
+  }
+
+  // Use a second deterministic stream for line counts so that
+  // ExpectedLineitemRows matches regardless of column randomness.
+  Random line_rng(config.seed);
+
+  for (int64_t o = 1; o <= config.num_orders; ++o) {
+    const int64_t lines = LinesForOrder(&line_rng, config);
+    Row order_row;
+    order_row.push_back(Value::Int(o));
+    order_row.push_back(Value::Int(rng.UniformInt(1, config.num_orders / 10 + 1)));
+    order_row.push_back(Value::Double(100.0 + rng.NextDouble() * 10000.0));
+    order_row.push_back(Value::Int(rng.UniformInt(19920101, 19981231)));
+    SQLCM_RETURN_IF_ERROR(orders->Insert(std::move(order_row)).status());
+
+    for (int64_t l = 1; l <= lines; ++l) {
+      Row line_row;
+      line_row.push_back(Value::Int(o));
+      line_row.push_back(Value::Int(l));
+      line_row.push_back(Value::Int(rng.UniformInt(1, config.num_parts)));
+      line_row.push_back(Value::Double(1.0 + rng.NextDouble() * 49.0));
+      line_row.push_back(Value::Double(10.0 + rng.NextDouble() * 990.0));
+      line_row.push_back(Value::Int(rng.UniformInt(19920101, 19981231)));
+      SQLCM_RETURN_IF_ERROR(lineitem->Insert(std::move(line_row)).status());
+    }
+  }
+
+  SQLCM_RETURN_IF_ERROR(
+      lineitem->CreateIndex("lineitem_partkey", {"l_partkey"}));
+  return Status::OK();
+}
+
+}  // namespace sqlcm::workload

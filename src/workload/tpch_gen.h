@@ -1,0 +1,40 @@
+// TPC-H-shaped synthetic data generator (paper §6.2 substrate).
+//
+// The paper's evaluation uses the TPC-H schema with 6M lineitem rows. The
+// shape (clustered-index point selects on lineitem/orders; 3-way join
+// lineitem ⋈ orders ⋈ part) is preserved here at configurable scale;
+// benches report the scale they ran at (see DESIGN.md substitutions).
+#ifndef SQLCM_WORKLOAD_TPCH_GEN_H_
+#define SQLCM_WORKLOAD_TPCH_GEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace sqlcm::workload {
+
+struct TpchConfig {
+  int64_t num_orders = 25'000;
+  /// lineitems per order are uniform in [1, max_lines_per_order].
+  int64_t max_lines_per_order = 7;  // TPC-H averages ~4
+  int64_t num_parts = 2'000;
+  uint64_t seed = 42;
+};
+
+/// Creates and populates:
+///   part(p_partkey PK, p_name, p_size, p_retailprice)
+///   orders(o_orderkey PK, o_custkey, o_totalprice, o_orderdate)
+///   lineitem(l_orderkey, l_linenumber, l_partkey, l_quantity,
+///            l_extendedprice, l_shipdate, PK(l_orderkey, l_linenumber))
+///     + secondary index lineitem_partkey(l_partkey)
+/// Loading goes through the storage layer directly (bulk load), not the
+/// SQL path, so large scales stay fast.
+common::Status LoadTpch(engine::Database* db, const TpchConfig& config);
+
+/// Number of lineitem rows produced for `config` (deterministic in seed).
+int64_t ExpectedLineitemRows(const TpchConfig& config);
+
+}  // namespace sqlcm::workload
+
+#endif  // SQLCM_WORKLOAD_TPCH_GEN_H_

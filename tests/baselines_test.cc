@@ -1,0 +1,126 @@
+#include "baselines/pull.h"
+#include "baselines/query_logging.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/session.h"
+#include "workload/driver.h"
+#include "workload/tpch_gen.h"
+
+namespace sqlcm::baselines {
+namespace {
+
+using common::Value;
+
+TEST(QueryLoggingTest, LogsEveryCommittedQuery) {
+  engine::Database db;
+  QueryLoggingMonitor::Options options;
+  options.table_name = "qlog";
+  options.sync_file = ::testing::TempDir() + "/qlog_test.csv";
+  auto monitor = QueryLoggingMonitor::Create(&db, options);
+  ASSERT_TRUE(monitor.ok()) << monitor.status();
+
+  auto session = db.CreateSession();
+  ASSERT_TRUE(
+      session->Execute("CREATE TABLE t (a INT, PRIMARY KEY(a))").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        session->Execute("INSERT INTO t VALUES (" + std::to_string(i) + ")")
+            .ok());
+  }
+  ASSERT_TRUE(session->Execute("SELECT a FROM t WHERE a = 3").ok());
+
+  EXPECT_EQ((*monitor)->rows_logged(), 6u);
+  storage::Table* log = db.catalog()->GetTable("qlog");
+  ASSERT_NE(log, nullptr);
+  EXPECT_EQ(log->row_count(), 6u);
+  std::remove(options.sync_file.c_str());
+}
+
+TEST(QueryLoggingTest, FailedStatementsNotLogged) {
+  engine::Database db;
+  auto monitor = QueryLoggingMonitor::Create(&db, {});
+  ASSERT_TRUE(monitor.ok());
+  auto session = db.CreateSession();
+  ASSERT_TRUE(session->Execute("CREATE TABLE t (a INT, PRIMARY KEY(a))").ok());
+  ASSERT_TRUE(session->Execute("INSERT INTO t VALUES (1)").ok());
+  ASSERT_FALSE(session->Execute("INSERT INTO t VALUES (1)").ok());  // dup
+  EXPECT_EQ((*monitor)->rows_logged(), 1u);
+}
+
+class PullTest : public ::testing::Test {
+ protected:
+  PullTest() {
+    engine::Database::Options options;
+    options.enable_statement_snapshot = true;
+    options.enable_statement_history = true;
+    db_ = std::make_unique<engine::Database>(options);
+    session_ = db_->CreateSession();
+    EXPECT_TRUE(
+        session_->Execute("CREATE TABLE t (a INT, PRIMARY KEY(a))").ok());
+    EXPECT_TRUE(session_->Execute("INSERT INTO t VALUES (1)").ok());
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<engine::Session> session_;
+};
+
+TEST_F(PullTest, SnapshotSeesOnlyInFlightStatements) {
+  // Nothing running between statements.
+  EXPECT_TRUE(db_->SnapshotActiveStatements().empty());
+  PullMonitor pull(db_.get(), {});
+  pull.PollOnce();
+  EXPECT_EQ(pull.observed_count(), 0u);
+}
+
+TEST_F(PullTest, HistoryCapturesCompletedStatements) {
+  PullHistoryMonitor history(db_.get(), {});
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(session_->Execute("SELECT a FROM t WHERE a = 1").ok());
+  }
+  EXPECT_EQ(db_->StatementHistorySize(), 4u + 1u /* insert in fixture */);
+  history.PollOnce();
+  EXPECT_EQ(history.observed_count(), 5u);
+  EXPECT_GE(history.max_history_seen(), 5u);
+  // Drained: second poll adds nothing.
+  history.PollOnce();
+  EXPECT_EQ(history.observed_count(), 5u);
+  EXPECT_EQ(db_->StatementHistorySize(), 0u);
+
+  auto top = history.TopK(3);
+  EXPECT_EQ(top.size(), 3u);
+  EXPECT_GE(top[0].duration_micros, top[1].duration_micros);
+}
+
+TEST_F(PullTest, PullMissesShortQueriesHistoryDoesNot) {
+  // The §6.2.2 accuracy claim in miniature: statements that complete
+  // between polls are invisible to PULL but exact in PULL_history.
+  PullMonitor pull(db_.get(), {});
+  PullHistoryMonitor history(db_.get(), {});
+  for (int i = 2; i < 20; ++i) {
+    ASSERT_TRUE(session_
+                    ->Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                              ")")
+                    .ok());
+  }
+  pull.PollOnce();     // after the fact: sees nothing
+  history.PollOnce();  // exact
+  EXPECT_EQ(pull.observed_count(), 0u);
+  EXPECT_EQ(history.observed_count(), 19u);
+}
+
+TEST(ObservationStoreTest, KeepsMaxAndOrdersTopK) {
+  ObservationStore store;
+  store.Observe(1, "q1", 100);
+  store.Observe(1, "q1", 50);   // smaller: ignored
+  store.Observe(2, "q2", 300);
+  store.Observe(3, "q3", 200);
+  auto top = store.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].query_id, 2u);
+  EXPECT_EQ(top[1].query_id, 3u);
+  EXPECT_EQ(store.TopK(10).size(), 3u);
+}
+
+}  // namespace
+}  // namespace sqlcm::baselines

@@ -1,0 +1,109 @@
+#include "catalog/types.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+
+namespace sqlcm::catalog {
+namespace {
+
+using common::Value;
+using common::ValueKind;
+
+TEST(TypesTest, ParseTypeNameAliases) {
+  EXPECT_EQ(*ParseTypeName("INT"), ColumnType::kInt);
+  EXPECT_EQ(*ParseTypeName("integer"), ColumnType::kInt);
+  EXPECT_EQ(*ParseTypeName("BIGINT"), ColumnType::kInt);
+  EXPECT_EQ(*ParseTypeName("DATETIME"), ColumnType::kInt);
+  EXPECT_EQ(*ParseTypeName("FLOAT"), ColumnType::kDouble);
+  EXPECT_EQ(*ParseTypeName("double"), ColumnType::kDouble);
+  EXPECT_EQ(*ParseTypeName("VARCHAR"), ColumnType::kString);
+  EXPECT_EQ(*ParseTypeName("BLOB"), ColumnType::kString);
+  EXPECT_EQ(*ParseTypeName("BOOLEAN"), ColumnType::kBool);
+  EXPECT_FALSE(ParseTypeName("DECIMAL").ok());
+}
+
+TEST(TypesTest, CoercionRules) {
+  // Int widens into FLOAT columns.
+  EXPECT_TRUE(CoerceToType(Value::Int(3), ColumnType::kDouble)->is_double());
+  // Doubles do NOT narrow into INT columns.
+  EXPECT_FALSE(CoerceToType(Value::Double(3.5), ColumnType::kInt).ok());
+  // NULL goes anywhere.
+  EXPECT_TRUE(CoerceToType(Value::Null(), ColumnType::kString)->is_null());
+  // Bool/string mismatches rejected.
+  EXPECT_FALSE(CoerceToType(Value::Bool(true), ColumnType::kString).ok());
+  EXPECT_FALSE(CoerceToType(Value::String("1"), ColumnType::kInt).ok());
+}
+
+struct RoundTripCase {
+  Value value;
+  ColumnType type;
+};
+
+class ParseValueTextTest : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(ParseValueTextTest, ToStringRoundTrips) {
+  const auto& param = GetParam();
+  auto parsed = ParseValueText(param.value.ToString(), param.type);
+  ASSERT_TRUE(parsed.ok()) << param.value.ToString();
+  EXPECT_EQ(*parsed, param.value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, ParseValueTextTest,
+    ::testing::Values(
+        RoundTripCase{Value::Int(0), ColumnType::kInt},
+        RoundTripCase{Value::Int(-123456789), ColumnType::kInt},
+        RoundTripCase{Value::Double(2.5), ColumnType::kDouble},
+        RoundTripCase{Value::Double(-0.125), ColumnType::kDouble},
+        RoundTripCase{Value::String("plain"), ColumnType::kString},
+        RoundTripCase{Value::String("it's quoted"), ColumnType::kString},
+        RoundTripCase{Value::Bool(true), ColumnType::kBool},
+        RoundTripCase{Value::Bool(false), ColumnType::kBool},
+        RoundTripCase{Value::Null(), ColumnType::kInt},
+        RoundTripCase{Value::Null(), ColumnType::kString}));
+
+TEST(TypesTest, ParseValueTextErrors) {
+  EXPECT_FALSE(ParseValueText("abc", ColumnType::kInt).ok());
+  EXPECT_FALSE(ParseValueText("1.5.2", ColumnType::kDouble).ok());
+  EXPECT_FALSE(ParseValueText("maybe", ColumnType::kBool).ok());
+  // Raw (unquoted) strings are accepted for string columns.
+  EXPECT_EQ(ParseValueText("raw text", ColumnType::kString)->string_value(),
+            "raw text");
+}
+
+TEST(SchemaTest, CreateValidation) {
+  EXPECT_FALSE(TableSchema::Create("t", {}, {}).ok());  // no columns
+  EXPECT_FALSE(TableSchema::Create("t",
+                                   {{"a", ColumnType::kInt},
+                                    {"A", ColumnType::kInt}},
+                                   {})
+                   .ok());  // duplicate (case-insensitive)
+  EXPECT_FALSE(TableSchema::Create("t", {{"a", ColumnType::kInt}}, {"b"})
+                   .ok());  // unknown key column
+  auto schema = TableSchema::Create(
+      "t", {{"a", ColumnType::kInt}, {"b", ColumnType::kString}}, {"b", "a"});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->primary_key(), (std::vector<size_t>{1, 0}));
+  EXPECT_EQ(schema->FindColumn("B"), 1);
+  EXPECT_EQ(schema->FindColumn("missing"), -1);
+}
+
+TEST(SchemaTest, KeyOfExtractsInOrder) {
+  auto schema = *TableSchema::Create(
+      "t", {{"a", ColumnType::kInt}, {"b", ColumnType::kString}}, {"b", "a"});
+  common::Row row = {Value::Int(1), Value::String("x")};
+  auto key = schema.KeyOf(row);
+  ASSERT_EQ(key.size(), 2u);
+  EXPECT_EQ(key[0].string_value(), "x");
+  EXPECT_EQ(key[1].int_value(), 1);
+}
+
+TEST(SchemaTest, ToStringRendering) {
+  auto schema = *TableSchema::Create(
+      "t", {{"a", ColumnType::kInt}, {"b", ColumnType::kDouble}}, {"a"});
+  EXPECT_EQ(schema.ToString(), "t(a INT, b FLOAT, PRIMARY KEY(a))");
+}
+
+}  // namespace
+}  // namespace sqlcm::catalog

@@ -1,0 +1,459 @@
+#include "sqlcm/lat.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <thread>
+
+#include "common/random.h"
+#include "storage/catalog.h"
+
+namespace sqlcm::cm {
+namespace {
+
+using common::Row;
+using common::Value;
+
+QueryRecord MakeQuery(const std::string& sig, double duration,
+                      const std::string& text = "q") {
+  QueryRecord rec;
+  rec.logical_signature = sig;
+  rec.duration_secs = duration;
+  rec.text = text;
+  rec.id = 1;
+  return rec;
+}
+
+LatSpec BasicSpec() {
+  LatSpec spec;
+  spec.name = "L";
+  spec.object_class = MonitoredClass::kQuery;
+  spec.group_by = {{"Logical_Signature", "Sig"}};
+  spec.aggregates = {{LatAggFunc::kCount, "", "N", false},
+                     {LatAggFunc::kAvg, "Duration", "AvgDur", false},
+                     {LatAggFunc::kSum, "Duration", "SumDur", false},
+                     {LatAggFunc::kStdev, "Duration", "SdDur", false},
+                     {LatAggFunc::kMin, "Duration", "MinDur", false},
+                     {LatAggFunc::kMax, "Duration", "MaxDur", false},
+                     {LatAggFunc::kFirst, "Query_Text", "FirstText", false},
+                     {LatAggFunc::kLast, "Query_Text", "LastText", false}};
+  return spec;
+}
+
+TEST(LatTest, AllAggregateFunctions) {
+  auto lat = *Lat::Create(BasicSpec());
+  auto q1 = MakeQuery("s", 1.0, "first");
+  auto q2 = MakeQuery("s", 3.0, "second");
+  auto q3 = MakeQuery("s", 5.0, "third");
+  lat->Insert(&q1, 0);
+  lat->Insert(&q2, 0);
+  lat->Insert(&q3, 0);
+
+  Row row;
+  ASSERT_TRUE(lat->LookupForObject(&q1, 0, &row));
+  ASSERT_EQ(row.size(), 9u);
+  EXPECT_EQ(row[0].string_value(), "s");
+  EXPECT_EQ(row[1].int_value(), 3);                    // COUNT
+  EXPECT_DOUBLE_EQ(row[2].double_value(), 3.0);        // AVG
+  EXPECT_DOUBLE_EQ(row[3].double_value(), 9.0);        // SUM
+  EXPECT_DOUBLE_EQ(row[4].double_value(), 2.0);        // STDEV of {1,3,5}
+  EXPECT_DOUBLE_EQ(row[5].AsDouble(), 1.0);            // MIN
+  EXPECT_DOUBLE_EQ(row[6].AsDouble(), 5.0);            // MAX
+  EXPECT_EQ(row[7].string_value(), "first");           // FIRST
+  EXPECT_EQ(row[8].string_value(), "third");           // LAST
+}
+
+TEST(LatTest, GroupsAreIndependent) {
+  auto lat = *Lat::Create(BasicSpec());
+  auto a = MakeQuery("a", 1.0);
+  auto b = MakeQuery("b", 10.0);
+  lat->Insert(&a, 0);
+  lat->Insert(&b, 0);
+  lat->Insert(&b, 0);
+  EXPECT_EQ(lat->size(), 2u);
+  Row row;
+  ASSERT_TRUE(lat->LookupForObject(&a, 0, &row));
+  EXPECT_EQ(row[1].int_value(), 1);
+  ASSERT_TRUE(lat->LookupByKey({Value::String("b")}, 0, &row));
+  EXPECT_EQ(row[1].int_value(), 2);
+  EXPECT_FALSE(lat->LookupByKey({Value::String("missing")}, 0, &row));
+}
+
+TEST(LatTest, FindColumnCaseInsensitive) {
+  auto lat = *Lat::Create(BasicSpec());
+  EXPECT_EQ(lat->FindColumn("sig"), 0);
+  EXPECT_EQ(lat->FindColumn("AVGDUR"), 2);
+  EXPECT_EQ(lat->FindColumn("nope"), -1);
+  EXPECT_EQ(lat->group_width(), 1u);
+}
+
+TEST(LatTest, TopKEvictionKeepsLargest) {
+  LatSpec spec;
+  spec.name = "Top";
+  spec.group_by = {{"ID", ""}};
+  spec.aggregates = {{LatAggFunc::kMax, "Duration", "Dur", false}};
+  spec.ordering = {{"Dur", true}};  // DESC: keep largest, evict smallest
+  spec.max_rows = 3;
+  auto lat = *Lat::Create(std::move(spec));
+
+  std::vector<Row> evicted;
+  lat->set_evict_callback([&](Row row) { evicted.push_back(std::move(row)); });
+
+  for (int i = 1; i <= 10; ++i) {
+    QueryRecord rec;
+    rec.id = static_cast<uint64_t>(i);
+    rec.duration_secs = static_cast<double>(i % 7);  // durations 1..6,0,...
+    lat->Insert(&rec, 0);
+  }
+  EXPECT_EQ(lat->size(), 3u);
+  EXPECT_EQ(evicted.size(), 7u);
+  auto rows = lat->Snapshot(0);
+  ASSERT_EQ(rows.size(), 3u);
+  // Durations inserted: 1,2,3,4,5,6,0,1,2,3 -> top3 = 6,5,4.
+  EXPECT_DOUBLE_EQ(rows[0][1].AsDouble(), 6.0);
+  EXPECT_DOUBLE_EQ(rows[1][1].AsDouble(), 5.0);
+  EXPECT_DOUBLE_EQ(rows[2][1].AsDouble(), 4.0);
+}
+
+TEST(LatTest, AscendingOrderingEvictsLargest) {
+  LatSpec spec;
+  spec.name = "Bottom";
+  spec.group_by = {{"ID", ""}};
+  spec.aggregates = {{LatAggFunc::kMax, "Duration", "Dur", false}};
+  spec.ordering = {{"Dur", false}};  // ASC: keep smallest
+  spec.max_rows = 2;
+  auto lat = *Lat::Create(std::move(spec));
+  for (int i = 1; i <= 5; ++i) {
+    QueryRecord rec;
+    rec.id = static_cast<uint64_t>(i);
+    rec.duration_secs = static_cast<double>(i);
+    lat->Insert(&rec, 0);
+  }
+  auto rows = lat->Snapshot(0);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0][1].AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(rows[1][1].AsDouble(), 2.0);
+}
+
+TEST(LatTest, UpdatedGroupRepositionsInHeap) {
+  LatSpec spec;
+  spec.name = "Top";
+  spec.group_by = {{"Logical_Signature", "Sig"}};
+  spec.aggregates = {{LatAggFunc::kSum, "Duration", "Total", false}};
+  spec.ordering = {{"Total", true}};
+  spec.max_rows = 2;
+  auto lat = *Lat::Create(std::move(spec));
+
+  auto a = MakeQuery("a", 1.0);
+  auto b = MakeQuery("b", 5.0);
+  auto c = MakeQuery("c", 3.0);
+  lat->Insert(&a, 0);
+  lat->Insert(&b, 0);
+  // 'a' grows past 'c' before 'c' arrives.
+  lat->Insert(&a, 0);
+  lat->Insert(&a, 0);  // a total = 3.0... equal; add more
+  lat->Insert(&a, 0);  // a total = 4.0
+  lat->Insert(&c, 0);  // c=3.0 is now least important -> evicted
+  auto rows = lat->Snapshot(0);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].string_value(), "b");
+  EXPECT_EQ(rows[1][0].string_value(), "a");
+}
+
+TEST(LatTest, ResetClears) {
+  auto lat = *Lat::Create(BasicSpec());
+  auto q = MakeQuery("s", 1.0);
+  lat->Insert(&q, 0);
+  lat->Reset();
+  EXPECT_EQ(lat->size(), 0u);
+  Row row;
+  EXPECT_FALSE(lat->LookupForObject(&q, 0, &row));
+}
+
+TEST(LatTest, AgingWindowDropsOldValues) {
+  LatSpec spec;
+  spec.name = "Aging";
+  spec.group_by = {{"Logical_Signature", "Sig"}};
+  spec.aggregates = {{LatAggFunc::kAvg, "Duration", "AvgDur", true},
+                     {LatAggFunc::kCount, "", "N", true},
+                     {LatAggFunc::kMax, "Duration", "MaxDur", true},
+                     {LatAggFunc::kAvg, "Duration", "AvgAll", false}};
+  spec.aging_window_micros = 10'000'000;  // t = 10s
+  spec.aging_block_micros = 1'000'000;    // Δ = 1s
+  auto lat = *Lat::Create(std::move(spec));
+
+  auto q_old = MakeQuery("s", 100.0);
+  auto q_new = MakeQuery("s", 2.0);
+  lat->Insert(&q_old, /*now=*/0);
+  lat->Insert(&q_new, /*now=*/15'000'000);  // 15s: first value aged out
+
+  Row row;
+  ASSERT_TRUE(lat->LookupForObject(&q_new, 15'000'000, &row));
+  EXPECT_DOUBLE_EQ(row[1].double_value(), 2.0);  // aging AVG sees only new
+  EXPECT_EQ(row[2].int_value(), 1);              // aging COUNT
+  EXPECT_DOUBLE_EQ(row[3].AsDouble(), 2.0);      // aging MAX
+  EXPECT_DOUBLE_EQ(row[4].double_value(), 51.0); // non-aging AVG sees both
+
+  // Within the window, both values are visible.
+  lat->Reset();
+  lat->Insert(&q_old, 0);
+  lat->Insert(&q_new, 5'000'000);
+  ASSERT_TRUE(lat->LookupForObject(&q_new, 5'000'000, &row));
+  EXPECT_EQ(row[2].int_value(), 2);
+  EXPECT_DOUBLE_EQ(row[1].double_value(), 51.0);
+}
+
+TEST(LatTest, AgingBlockCountBounded) {
+  LatSpec spec;
+  spec.name = "Aging";
+  spec.group_by = {{"Logical_Signature", "Sig"}};
+  spec.aggregates = {{LatAggFunc::kCount, "", "N", true}};
+  spec.aging_window_micros = 1'000'000;
+  spec.aging_block_micros = 100'000;
+  auto lat = *Lat::Create(std::move(spec));
+  auto q = MakeQuery("s", 1.0);
+  // Insert over a long time range; per-row storage must stay bounded by
+  // ~2t/Δ blocks (paper §4.3) because expired blocks are pruned on insert.
+  for (int64_t now = 0; now < 100'000'000; now += 50'000) {
+    lat->Insert(&q, now);
+  }
+  Row row;
+  ASSERT_TRUE(lat->LookupForObject(&q, 100'000'000, &row));
+  // Window = 1s, inserts every 50ms -> about 20 in window.
+  EXPECT_NEAR(static_cast<double>(row[1].int_value()), 20.0, 3.0);
+}
+
+TEST(LatTest, SpecValidation) {
+  LatSpec no_group = BasicSpec();
+  no_group.group_by.clear();
+  EXPECT_FALSE(Lat::Create(std::move(no_group)).ok());
+
+  LatSpec bad_attr = BasicSpec();
+  bad_attr.group_by = {{"NoSuchAttr", ""}};
+  EXPECT_TRUE(Lat::Create(std::move(bad_attr)).status().IsNotFound());
+
+  LatSpec sum_of_string = BasicSpec();
+  sum_of_string.aggregates = {{LatAggFunc::kSum, "Query_Text", "S", false}};
+  EXPECT_TRUE(Lat::Create(std::move(sum_of_string)).status().IsTypeError());
+
+  LatSpec size_without_ordering = BasicSpec();
+  size_without_ordering.max_rows = 5;
+  EXPECT_FALSE(Lat::Create(std::move(size_without_ordering)).ok());
+
+  LatSpec bad_ordering = BasicSpec();
+  bad_ordering.max_rows = 5;
+  bad_ordering.ordering = {{"nope", true}};
+  EXPECT_TRUE(Lat::Create(std::move(bad_ordering)).status().IsNotFound());
+
+  LatSpec aging_without_params = BasicSpec();
+  aging_without_params.aggregates = {{LatAggFunc::kAvg, "Duration", "A", true}};
+  EXPECT_FALSE(Lat::Create(std::move(aging_without_params)).ok());
+
+  LatSpec dup_cols = BasicSpec();
+  dup_cols.aggregates = {{LatAggFunc::kAvg, "Duration", "X", false},
+                         {LatAggFunc::kMax, "Duration", "x", false}};
+  EXPECT_FALSE(Lat::Create(std::move(dup_cols)).ok());
+}
+
+TEST(LatTest, PersistAndSeedRoundTrip) {
+  storage::Catalog catalog;
+  auto schema = catalog::TableSchema::Create(
+      "snap",
+      {{"Sig", catalog::ColumnType::kString},
+       {"N", catalog::ColumnType::kInt},
+       {"AvgDur", catalog::ColumnType::kDouble},
+       {"ts", catalog::ColumnType::kInt}},
+      {});
+  storage::Table* table = *catalog.CreateTable(std::move(*schema));
+
+  LatSpec spec;
+  spec.name = "L";
+  spec.group_by = {{"Logical_Signature", "Sig"}};
+  spec.aggregates = {{LatAggFunc::kCount, "", "N", false},
+                     {LatAggFunc::kAvg, "Duration", "AvgDur", false}};
+  auto lat = *Lat::Create(spec);
+  auto a = MakeQuery("a", 2.0);
+  auto b = MakeQuery("b", 4.0);
+  lat->Insert(&a, 0);
+  lat->Insert(&a, 0);
+  lat->Insert(&b, 0);
+  ASSERT_TRUE(lat->PersistTo(table, 12345, 0).ok());
+  EXPECT_EQ(table->row_count(), 2u);
+
+  auto restored = *Lat::Create(spec);
+  ASSERT_TRUE(restored->SeedFrom(*table, 0).ok());
+  EXPECT_EQ(restored->size(), 2u);
+  Row row;
+  ASSERT_TRUE(restored->LookupByKey({Value::String("a")}, 0, &row));
+  EXPECT_EQ(row[1].int_value(), 2);
+  EXPECT_DOUBLE_EQ(row[2].double_value(), 2.0);
+  // Seeded AVG keeps evolving with the reconstructed count.
+  restored->Insert(&a, 0);  // a: count 3, sum was 4.0 + 2.0 = 6.0
+  ASSERT_TRUE(restored->LookupByKey({Value::String("a")}, 0, &row));
+  EXPECT_EQ(row[1].int_value(), 3);
+  EXPECT_DOUBLE_EQ(row[2].double_value(), 2.0);
+}
+
+class LatPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: for any random insert stream, every aggregate matches a
+// straightforward reference computation.
+TEST_P(LatPropertyTest, AggregatesMatchReference) {
+  auto lat = *Lat::Create(BasicSpec());
+  common::Random rng(GetParam());
+
+  struct Ref {
+    int64_t count = 0;
+    double sum = 0, sumsq = 0;
+    double min = 0, max = 0;
+    std::string first, last;
+    bool any = false;
+  };
+  std::map<std::string, Ref> reference;
+
+  const int inserts = 500;
+  for (int i = 0; i < inserts; ++i) {
+    const std::string sig = "sig" + std::to_string(rng.Uniform(5));
+    const double duration = static_cast<double>(rng.UniformInt(0, 1000)) / 8.0;
+    const std::string text = "q" + std::to_string(i);
+    auto rec = MakeQuery(sig, duration, text);
+    lat->Insert(&rec, 0);
+
+    Ref& ref = reference[sig];
+    ++ref.count;
+    ref.sum += duration;
+    ref.sumsq += duration * duration;
+    if (!ref.any || duration < ref.min) ref.min = duration;
+    if (!ref.any || duration > ref.max) ref.max = duration;
+    if (!ref.any) ref.first = text;
+    ref.last = text;
+    ref.any = true;
+  }
+
+  ASSERT_EQ(lat->size(), reference.size());
+  for (const auto& [sig, ref] : reference) {
+    Row row;
+    ASSERT_TRUE(lat->LookupByKey({Value::String(sig)}, 0, &row)) << sig;
+    EXPECT_EQ(row[1].int_value(), ref.count);
+    EXPECT_NEAR(row[2].double_value(), ref.sum / ref.count, 1e-9);
+    EXPECT_NEAR(row[3].double_value(), ref.sum, 1e-9);
+    const double n = static_cast<double>(ref.count);
+    const double variance =
+        ref.count > 1 ? std::max(0.0, (ref.sumsq - ref.sum * ref.sum / n) /
+                                          (n - 1))
+                      : 0.0;
+    EXPECT_NEAR(row[4].double_value(), std::sqrt(variance), 1e-6);
+    EXPECT_DOUBLE_EQ(row[5].AsDouble(), ref.min);
+    EXPECT_DOUBLE_EQ(row[6].AsDouble(), ref.max);
+    EXPECT_EQ(row[7].string_value(), ref.first);
+    EXPECT_EQ(row[8].string_value(), ref.last);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234u));
+
+class LatTopKPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: a size-limited LAT always holds exactly the top-k groups under
+// its ordering, for any insertion order.
+TEST_P(LatTopKPropertyTest, RetainsExactTopK) {
+  LatSpec spec;
+  spec.name = "Top";
+  spec.group_by = {{"ID", ""}};
+  spec.aggregates = {{LatAggFunc::kMax, "Duration", "Dur", false}};
+  spec.ordering = {{"Dur", true}};
+  spec.max_rows = 8;
+  auto lat = *Lat::Create(std::move(spec));
+
+  common::Random rng(GetParam());
+  std::vector<double> durations;
+  const int n = 200;
+  for (int i = 1; i <= n; ++i) {
+    QueryRecord rec;
+    rec.id = static_cast<uint64_t>(i);
+    // Unique durations so the top-8 set is unambiguous.
+    rec.duration_secs =
+        static_cast<double>(i) + static_cast<double>(rng.Uniform(100)) * 1000.0;
+    durations.push_back(rec.duration_secs);
+    lat->Insert(&rec, 0);
+  }
+  std::sort(durations.rbegin(), durations.rend());
+  auto rows = lat->Snapshot(0);
+  ASSERT_EQ(rows.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(rows[i][1].AsDouble(), durations[i]) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatTopKPropertyTest,
+                         ::testing::Values(7u, 8u, 9u));
+
+TEST(LatTest, ConcurrentInsertsAreConsistent) {
+  LatSpec spec;
+  spec.name = "Conc";
+  spec.group_by = {{"Logical_Signature", "Sig"}};
+  spec.aggregates = {{LatAggFunc::kCount, "", "N", false},
+                     {LatAggFunc::kSum, "Duration", "S", false}};
+  auto lat = *Lat::Create(std::move(spec));
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&lat, t] {
+      common::Random rng(static_cast<uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        QueryRecord rec;
+        rec.logical_signature = "sig" + std::to_string(rng.Uniform(4));
+        rec.duration_secs = 1.0;
+        lat->Insert(&rec, 0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Total inserts are conserved across groups.
+  int64_t total = 0;
+  double sum = 0;
+  for (const Row& row : lat->Snapshot(0)) {
+    total += row[1].int_value();
+    sum += row[2].AsDouble();
+  }
+  EXPECT_EQ(total, kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(sum, static_cast<double>(kThreads * kPerThread));
+}
+
+TEST(LatTest, ConcurrentInsertsWithEviction) {
+  LatSpec spec;
+  spec.name = "ConcEvict";
+  spec.group_by = {{"ID", ""}};
+  spec.aggregates = {{LatAggFunc::kMax, "Duration", "D", false}};
+  spec.ordering = {{"D", true}};
+  spec.max_rows = 16;
+  auto lat = *Lat::Create(std::move(spec));
+  std::atomic<size_t> evictions{0};
+  lat->set_evict_callback([&](Row) { evictions.fetch_add(1); });
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&lat, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        QueryRecord rec;
+        rec.id = static_cast<uint64_t>(t * kPerThread + i + 1);
+        rec.duration_secs = static_cast<double>(rec.id % 997);
+        lat->Insert(&rec, 0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(lat->size(), 16u);
+  EXPECT_EQ(lat->Snapshot(0).size(), lat->size());
+  EXPECT_GE(evictions.load(), kThreads * kPerThread - 16u);
+}
+
+}  // namespace
+}  // namespace sqlcm::cm

@@ -1,0 +1,320 @@
+#include "sqlcm/rule.h"
+
+#include <gtest/gtest.h>
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace sqlcm::cm {
+namespace {
+
+using common::Value;
+
+/// Minimal resolver with one LAT and one timer for compilation tests.
+class TestResolver final : public LatResolver {
+ public:
+  TestResolver() {
+    LatSpec spec;
+    spec.name = "Duration_LAT";
+    spec.object_class = MonitoredClass::kQuery;
+    spec.group_by = {{"Logical_Signature", "Sig"}};
+    spec.aggregates = {{LatAggFunc::kAvg, "Duration", "Avg_Duration", false},
+                       {LatAggFunc::kCount, "", "N", false}};
+    lat_ = std::move(*Lat::Create(std::move(spec)));
+  }
+
+  Lat* FindLat(std::string_view name) const override {
+    return common::EqualsIgnoreCase(name, "Duration_LAT") ? lat_.get()
+                                                          : nullptr;
+  }
+  bool IsTimerName(std::string_view name) const override {
+    return common::EqualsIgnoreCase(name, "T1");
+  }
+
+  Lat* lat() const { return lat_.get(); }
+
+ private:
+  std::unique_ptr<Lat> lat_;
+};
+
+class RuleTest : public ::testing::Test {
+ protected:
+  TestResolver resolver_;
+};
+
+TEST_F(RuleTest, EventParsing) {
+  auto check = [&](const std::string& text, EventKind kind,
+                   const std::string& qualifier) {
+    auto key = RuleCompiler::ParseEvent(text, resolver_);
+    ASSERT_TRUE(key.ok()) << text << ": " << key.status();
+    EXPECT_EQ(key->kind, kind) << text;
+    EXPECT_EQ(key->qualifier, qualifier) << text;
+  };
+  check("Query.Commit", EventKind::kQueryCommit, "");
+  check("query.start", EventKind::kQueryStart, "");
+  check("Query.Blocked", EventKind::kQueryBlocked, "");
+  check("Query.Block_Released", EventKind::kQueryBlockReleased, "");
+  check("Transaction.Commit", EventKind::kTransactionCommit, "");
+  check("Timer.Alarm", EventKind::kTimerAlarm, "");
+  check("T1.Alarm", EventKind::kTimerAlarm, "t1");
+  check("Duration_LAT.Evict", EventKind::kLatEvict, "duration_lat");
+
+  EXPECT_FALSE(RuleCompiler::ParseEvent("Query", resolver_).ok());
+  EXPECT_FALSE(RuleCompiler::ParseEvent("Query.Nope", resolver_).ok());
+  EXPECT_FALSE(RuleCompiler::ParseEvent("Missing.Evict", resolver_).ok());
+  EXPECT_FALSE(RuleCompiler::ParseEvent("T2.Alarm", resolver_).ok());
+}
+
+TEST_F(RuleTest, CompileOutlierRule) {
+  RuleSpec spec;
+  spec.name = "outlier";
+  spec.event = "Query.Commit";
+  spec.condition = "Query.Duration > 5 * Duration_LAT.Avg_Duration";
+  spec.action = "Query.Persist(Outliers, Query_Text, Duration)";
+  auto rule = RuleCompiler::Compile(spec, resolver_);
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ((*rule)->event.kind, EventKind::kQueryCommit);
+  ASSERT_NE((*rule)->condition, nullptr);
+  EXPECT_TRUE((*rule)->iterate_classes.empty());
+  ASSERT_EQ((*rule)->actions.size(), 1u);
+  EXPECT_EQ((*rule)->actions[0].kind, ActionKind::kPersist);
+  EXPECT_EQ((*rule)->actions[0].attr_names.size(), 2u);
+  EXPECT_EQ((*rule)->referenced_lats.size(), 1u);
+}
+
+TEST_F(RuleTest, ConditionEvaluation) {
+  RuleSpec spec;
+  spec.event = "Query.Commit";
+  spec.condition = "Query.Duration > 2 AND Query.Query_Type = 'SELECT'";
+  spec.action = "Query.Insert(Duration_LAT)";
+  auto rule = *RuleCompiler::Compile(spec, resolver_);
+
+  QueryRecord fast;
+  fast.duration_secs = 1.0;
+  fast.query_type = "SELECT";
+  QueryRecord slow = fast;
+  slow.duration_secs = 3.0;
+  QueryRecord slow_update = slow;
+  slow_update.query_type = "UPDATE";
+
+  EvalContext ctx;
+  ctx.Bind(MonitoredClass::kQuery, &fast);
+  EXPECT_FALSE(*rule->condition->EvalCondition(&ctx));
+  ctx = EvalContext();
+  ctx.Bind(MonitoredClass::kQuery, &slow);
+  EXPECT_TRUE(*rule->condition->EvalCondition(&ctx));
+  ctx = EvalContext();
+  ctx.Bind(MonitoredClass::kQuery, &slow_update);
+  EXPECT_FALSE(*rule->condition->EvalCondition(&ctx));
+}
+
+TEST_F(RuleTest, MissingLatRowMakesConditionFalse) {
+  RuleSpec spec;
+  spec.event = "Query.Commit";
+  // With an empty LAT, the ∃-quantified reference must yield false even
+  // though the comparison would be "NULL > ..." (paper §5.2).
+  spec.condition = "Query.Duration > Duration_LAT.Avg_Duration OR 1 = 1";
+  spec.action = "Query.Insert(Duration_LAT)";
+  auto rule = *RuleCompiler::Compile(spec, resolver_);
+
+  QueryRecord rec;
+  rec.logical_signature = "not-in-lat";
+  rec.duration_secs = 100;
+  EvalContext ctx;
+  ctx.Bind(MonitoredClass::kQuery, &rec);
+  auto pass = rule->condition->EvalCondition(&ctx);
+  ASSERT_TRUE(pass.ok());
+  EXPECT_FALSE(*pass);  // missing row dominates even the OR 1=1 branch
+
+  // Once the row exists the condition evaluates normally.
+  QueryRecord seed;
+  seed.logical_signature = "not-in-lat";
+  seed.duration_secs = 1.0;
+  resolver_.lat()->Insert(&seed, 0);
+  ctx = EvalContext();
+  ctx.Bind(MonitoredClass::kQuery, &rec);
+  EXPECT_TRUE(*rule->condition->EvalCondition(&ctx));
+}
+
+TEST_F(RuleTest, IterateClassesDerivedFromUnboundRefs) {
+  RuleSpec spec;
+  spec.name = "stuck";
+  spec.event = "Timer.Alarm";
+  spec.condition = "Query.Time_Blocked > 10";
+  spec.action = "Query.Persist(StuckQueries, ID, Query_Text)";
+  auto rule = *RuleCompiler::Compile(spec, resolver_);
+  ASSERT_EQ(rule->iterate_classes.size(), 1u);
+  EXPECT_EQ(rule->iterate_classes[0], MonitoredClass::kQuery);
+}
+
+TEST_F(RuleTest, BlockerBlockedBoundByBlockEvents) {
+  RuleSpec spec;
+  spec.event = "Query.Block_Released";
+  spec.condition = "Blocked.Wait_Secs > 0.5";
+  spec.action = "Blocker.Insert(Duration_LAT)";
+  auto rule = RuleCompiler::Compile(spec, resolver_);
+  // Blocker.Insert targets a Query-class LAT -> type error.
+  ASSERT_FALSE(rule.ok());
+  EXPECT_TRUE(rule.status().IsTypeError());
+
+  spec.action = "Blocked.Persist(Waits, Query_Text, Wait_Secs)";
+  auto ok_rule = RuleCompiler::Compile(spec, resolver_);
+  ASSERT_TRUE(ok_rule.ok()) << ok_rule.status();
+  EXPECT_TRUE((*ok_rule)->iterate_classes.empty());
+}
+
+TEST_F(RuleTest, ActionParsingVariants) {
+  RuleSpec spec;
+  spec.event = "Query.Commit";
+  spec.action =
+      "Query.Insert(Duration_LAT); Reset(Duration_LAT); "
+      "SendMail('q {Query.ID} slow', 'dba@example.com'); "
+      "RunExternal('analyze.sh'); Query.Cancel(); T1.Set(30, -1); "
+      "Duration_LAT.Persist(Snapshot)";
+  auto rule = RuleCompiler::Compile(spec, resolver_);
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  ASSERT_EQ((*rule)->actions.size(), 7u);
+  EXPECT_EQ((*rule)->actions[0].kind, ActionKind::kInsert);
+  EXPECT_EQ((*rule)->actions[1].kind, ActionKind::kReset);
+  EXPECT_EQ((*rule)->actions[2].kind, ActionKind::kSendMail);
+  EXPECT_EQ((*rule)->actions[2].address, "dba@example.com");
+  EXPECT_EQ((*rule)->actions[3].kind, ActionKind::kRunExternal);
+  EXPECT_EQ((*rule)->actions[4].kind, ActionKind::kCancel);
+  EXPECT_EQ((*rule)->actions[5].kind, ActionKind::kSetTimer);
+  EXPECT_EQ((*rule)->actions[5].timer_repeats, -1);
+  EXPECT_DOUBLE_EQ((*rule)->actions[5].timer_seconds, 30.0);
+  EXPECT_EQ((*rule)->actions[6].kind, ActionKind::kPersist);
+  EXPECT_TRUE((*rule)->actions[6].lat_source);
+}
+
+TEST_F(RuleTest, PersistDefaultsToAllAttributes) {
+  RuleSpec spec;
+  spec.event = "Query.Commit";
+  spec.action = "Query.Persist(Everything)";
+  auto rule = *RuleCompiler::Compile(spec, resolver_);
+  EXPECT_EQ(rule->actions[0].attr_names.size(),
+            ObjectSchema::Get().attributes(MonitoredClass::kQuery).size());
+}
+
+TEST_F(RuleTest, FastConditionPathMatchesGenericPath) {
+  // Property: for eligible conditions, the flattened fast-atom evaluation
+  // must agree with the generic interpreter on every record.
+  const std::vector<std::string> conditions = {
+      "Query.Duration > 2",
+      "Query.Duration >= 2 AND Query.Query_Type = 'SELECT'",
+      "Query.ID != 5 AND Query.Duration < 100 AND Query.Times_Blocked = 0",
+      "3 < Query.Duration",  // literal on the left
+      "Query.Query_Type = 'UPDATE' AND Query.Estimated_Cost <= 50",
+  };
+  common::Random rng(2024);
+  for (const std::string& condition : conditions) {
+    RuleSpec spec;
+    spec.event = "Query.Commit";
+    spec.condition = condition;
+    spec.action = "Reset(Duration_LAT)";
+    auto rule = RuleCompiler::Compile(spec, resolver_);
+    ASSERT_TRUE(rule.ok()) << condition;
+    ASSERT_TRUE((*rule)->use_fast_condition) << condition;
+    for (int i = 0; i < 200; ++i) {
+      QueryRecord rec;
+      rec.id = static_cast<uint64_t>(rng.UniformInt(0, 10));
+      rec.duration_secs = static_cast<double>(rng.UniformInt(0, 8)) / 2.0;
+      rec.times_blocked = rng.UniformInt(0, 2);
+      rec.estimated_cost = static_cast<double>(rng.UniformInt(0, 100));
+      rec.query_type = rng.OneIn(2) ? "SELECT" : "UPDATE";
+      EvalContext ctx;
+      ctx.Bind(MonitoredClass::kQuery, &rec);
+      const bool fast = EvalFastAtoms((*rule)->fast_atoms, ctx);
+      EvalContext ctx2;
+      ctx2.Bind(MonitoredClass::kQuery, &rec);
+      auto generic = (*rule)->condition->EvalCondition(&ctx2);
+      ASSERT_TRUE(generic.ok());
+      EXPECT_EQ(fast, *generic) << condition << " iteration " << i;
+    }
+  }
+}
+
+TEST_F(RuleTest, FastPathNotUsedForComplexConditions) {
+  const std::vector<std::string> generic_only = {
+      "Query.Duration > 5 * Duration_LAT.Avg_Duration",  // LAT reference
+      "Query.Duration > 1 OR Query.ID = 2",              // OR
+      "NOT Query.Duration > 1",                          // NOT
+      "Query.Duration + 1 > 2",                          // arithmetic
+      "Query.Duration > Query.Estimated_Cost",           // attr vs attr
+  };
+  for (const std::string& condition : generic_only) {
+    RuleSpec spec;
+    spec.event = "Query.Commit";
+    spec.condition = condition;
+    spec.action = "Reset(Duration_LAT)";
+    auto rule = RuleCompiler::Compile(spec, resolver_);
+    ASSERT_TRUE(rule.ok()) << condition;
+    EXPECT_FALSE((*rule)->use_fast_condition) << condition;
+  }
+}
+
+struct BadRuleCase {
+  const char* name;
+  const char* event;
+  const char* condition;
+  const char* action;
+};
+
+class RuleCompileErrorTest : public ::testing::TestWithParam<BadRuleCase> {
+ protected:
+  TestResolver resolver_;
+};
+
+TEST_P(RuleCompileErrorTest, Rejected) {
+  const auto& param = GetParam();
+  RuleSpec spec;
+  spec.name = param.name;
+  spec.event = param.event;
+  spec.condition = param.condition;
+  spec.action = param.action;
+  auto rule = RuleCompiler::Compile(spec, resolver_);
+  EXPECT_FALSE(rule.ok()) << param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadRules, RuleCompileErrorTest,
+    ::testing::Values(
+        BadRuleCase{"bad-event", "Nope.Commit", "", "Reset(Duration_LAT)"},
+        BadRuleCase{"bad-class-attr", "Query.Commit", "Query.Nope > 1",
+                    "Reset(Duration_LAT)"},
+        BadRuleCase{"bad-lat", "Query.Commit", "Nope_LAT.X > 1",
+                    "Reset(Duration_LAT)"},
+        BadRuleCase{"bad-lat-col", "Query.Commit", "Duration_LAT.Nope > 1",
+                    "Reset(Duration_LAT)"},
+        BadRuleCase{"unqualified", "Query.Commit", "Duration > 1",
+                    "Reset(Duration_LAT)"},
+        BadRuleCase{"no-action", "Query.Commit", "Query.Duration > 1", ""},
+        BadRuleCase{"bad-action", "Query.Commit", "", "Explode(Now)"},
+        BadRuleCase{"insert-missing-lat", "Query.Commit", "",
+                    "Query.Insert(Nope)"},
+        BadRuleCase{"cancel-txn", "Transaction.Commit", "",
+                    "Transaction.Cancel()"},
+        BadRuleCase{"evicted-outside-evict", "Query.Commit",
+                    "Evicted.Sig = 'x'", "Reset(Duration_LAT)"},
+        BadRuleCase{"func-in-condition", "Query.Commit",
+                    "SUM(Query.Duration) > 1", "Reset(Duration_LAT)"},
+        BadRuleCase{"param-in-condition", "Query.Commit", "Query.Duration > @p",
+                    "Reset(Duration_LAT)"}));
+
+TEST_F(RuleTest, EvictRuleBindsEvictedColumns) {
+  RuleSpec spec;
+  spec.event = "Duration_LAT.Evict";
+  spec.condition = "Evicted.N > 2";
+  spec.action = "Evicted.Persist(EvictedRows)";
+  auto rule = RuleCompiler::Compile(spec, resolver_);
+  ASSERT_TRUE(rule.ok()) << rule.status();
+
+  common::Row evicted = {Value::String("sig"), Value::Double(1.5),
+                         Value::Int(5)};
+  EvalContext ctx;
+  ctx.evicted_lat = resolver_.lat();
+  ctx.evicted_row = &evicted;
+  EXPECT_TRUE(*(*rule)->condition->EvalCondition(&ctx));
+}
+
+}  // namespace
+}  // namespace sqlcm::cm

@@ -1,0 +1,153 @@
+#include "sqlcm/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/clock.h"
+
+namespace sqlcm::cm {
+namespace {
+
+class TimerTest : public ::testing::Test {
+ protected:
+  TimerTest()
+      : clock_(1'000'000),
+        timers_(&clock_, [this](const TimerRecord& timer) {
+          std::lock_guard<std::mutex> lock(mu_);
+          fired_storage_.push_back(timer);
+        }) {}
+
+  /// Copy of the alarms delivered so far (the background-thread test needs
+  /// synchronized access).
+  std::vector<TimerRecord> fired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fired_storage_;
+  }
+
+  common::MockClock clock_;
+  mutable std::mutex mu_;
+  std::vector<TimerRecord> fired_storage_;
+  TimerManager timers_;
+};
+
+TEST_F(TimerTest, CreateAndDuplicate) {
+  ASSERT_TRUE(timers_.CreateTimer("t1").ok());
+  EXPECT_TRUE(timers_.CreateTimer("T1").IsAlreadyExists());
+  EXPECT_TRUE(timers_.IsTimerName("t1"));
+  EXPECT_TRUE(timers_.IsTimerName("T1"));
+  EXPECT_FALSE(timers_.IsTimerName("t2"));
+}
+
+TEST_F(TimerTest, DisabledTimerNeverFires) {
+  ASSERT_TRUE(timers_.CreateTimer("t1").ok());
+  clock_.Advance(10'000'000);
+  EXPECT_EQ(timers_.Poll(clock_.NowMicros()), 0u);
+  EXPECT_TRUE(fired().empty());
+}
+
+TEST_F(TimerTest, FiniteRepeatsCountDown) {
+  ASSERT_TRUE(timers_.CreateTimer("t1").ok());
+  ASSERT_TRUE(timers_.Set("t1", 1'000'000, 2).ok());
+  // Not due yet.
+  EXPECT_EQ(timers_.Poll(clock_.NowMicros()), 0u);
+  clock_.Advance(1'000'000);
+  EXPECT_EQ(timers_.Poll(clock_.NowMicros()), 1u);
+  clock_.Advance(1'000'000);
+  EXPECT_EQ(timers_.Poll(clock_.NowMicros()), 1u);
+  clock_.Advance(10'000'000);
+  EXPECT_EQ(timers_.Poll(clock_.NowMicros()), 0u);  // exhausted
+  const auto alarms = fired();
+  ASSERT_EQ(alarms.size(), 2u);
+  EXPECT_EQ(alarms[0].name, "t1");
+  EXPECT_GT(alarms[0].now_secs, 0.0);
+}
+
+TEST_F(TimerTest, InfiniteRepeats) {
+  ASSERT_TRUE(timers_.CreateTimer("t1").ok());
+  ASSERT_TRUE(timers_.Set("t1", 500'000, -1).ok());
+  for (int i = 0; i < 5; ++i) {
+    clock_.Advance(500'000);
+    EXPECT_EQ(timers_.Poll(clock_.NowMicros()), 1u);
+  }
+  EXPECT_EQ(fired().size(), 5u);
+}
+
+TEST_F(TimerTest, ZeroRepeatsDisables) {
+  ASSERT_TRUE(timers_.CreateTimer("t1").ok());
+  ASSERT_TRUE(timers_.Set("t1", 100'000, -1).ok());
+  clock_.Advance(100'000);
+  EXPECT_EQ(timers_.Poll(clock_.NowMicros()), 1u);
+  ASSERT_TRUE(timers_.Set("t1", 100'000, 0).ok());  // disable (paper §5.3)
+  clock_.Advance(10'000'000);
+  EXPECT_EQ(timers_.Poll(clock_.NowMicros()), 0u);
+}
+
+TEST_F(TimerTest, NoBurstCatchUpAfterStall) {
+  ASSERT_TRUE(timers_.CreateTimer("t1").ok());
+  ASSERT_TRUE(timers_.Set("t1", 100'000, -1).ok());
+  // A long stall covers many intervals; only one alarm fires and the timer
+  // re-arms from "now".
+  clock_.Advance(5'000'000);
+  EXPECT_EQ(timers_.Poll(clock_.NowMicros()), 1u);
+  EXPECT_EQ(timers_.Poll(clock_.NowMicros()), 0u);
+  clock_.Advance(100'000);
+  EXPECT_EQ(timers_.Poll(clock_.NowMicros()), 1u);
+}
+
+TEST_F(TimerTest, MultipleTimersIndependent) {
+  ASSERT_TRUE(timers_.CreateTimer("fast").ok());
+  ASSERT_TRUE(timers_.CreateTimer("slow").ok());
+  ASSERT_TRUE(timers_.Set("fast", 100'000, -1).ok());
+  ASSERT_TRUE(timers_.Set("slow", 1'000'000, -1).ok());
+  size_t fast = 0, slow = 0;
+  for (int i = 0; i < 10; ++i) {
+    clock_.Advance(100'000);
+    timers_.Poll(clock_.NowMicros());
+  }
+  for (const TimerRecord& timer : fired()) {
+    if (timer.name == "fast") ++fast;
+    else ++slow;
+  }
+  EXPECT_EQ(fast, 10u);
+  EXPECT_EQ(slow, 1u);
+}
+
+TEST_F(TimerTest, SnapshotExposesState) {
+  ASSERT_TRUE(timers_.CreateTimer("t1").ok());
+  ASSERT_TRUE(timers_.Set("t1", 2'000'000, 3).ok());
+  auto snapshot = timers_.Snapshot(clock_.NowMicros());
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].name, "t1");
+  EXPECT_EQ(snapshot[0].remaining_alarms, 3);
+  EXPECT_EQ(snapshot[0].interval_micros, 2'000'000);
+  EXPECT_DOUBLE_EQ(snapshot[0].now_secs,
+                   static_cast<double>(clock_.NowMicros()) / 1e6);
+}
+
+TEST_F(TimerTest, SetErrors) {
+  EXPECT_TRUE(timers_.Set("missing", 1'000'000, 1).IsNotFound());
+  ASSERT_TRUE(timers_.CreateTimer("t1").ok());
+  EXPECT_TRUE(timers_.Set("t1", -5, 1).IsInvalidArgument());
+  EXPECT_TRUE(timers_.Set("t1", 0, 0).ok());  // disabling needs no interval
+}
+
+TEST_F(TimerTest, BackgroundThreadDelivers) {
+  // The polling thread reads the mock clock; advancing it triggers alarms
+  // without wall-clock waits.
+  ASSERT_TRUE(timers_.CreateTimer("bg").ok());
+  ASSERT_TRUE(timers_.Set("bg", 50'000, 1).ok());
+  timers_.Start();
+  clock_.Advance(60'000);
+  // Wait (real time) for the 1ms-cadence thread to observe the mock time.
+  for (int i = 0; i < 500 && fired().empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  timers_.Stop();
+  const auto alarms = fired();
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_EQ(alarms[0].name, "bg");
+}
+
+}  // namespace
+}  // namespace sqlcm::cm

@@ -1,0 +1,167 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace sqlcm::common {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Int(42).int_value(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(1.5).double_value(), 1.5);
+  EXPECT_EQ(Value::String("abc").string_value(), "abc");
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_TRUE(Value::Double(1).is_numeric());
+  EXPECT_FALSE(Value::String("1").is_numeric());
+}
+
+TEST(ValueTest, NumericCrossKindCompare) {
+  EXPECT_EQ(Value::Int(1).Compare(Value::Double(1.0)), 0);
+  EXPECT_LT(Value::Int(1).Compare(Value::Double(1.5)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, BigIntCompareExact) {
+  // Values that would collide if compared through double rounding.
+  const int64_t a = (1ll << 60) + 1;
+  const int64_t b = (1ll << 60);
+  EXPECT_GT(Value::Int(a).Compare(Value::Int(b)), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_LT(Value::Null().Compare(Value::String("")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, StringCompare) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::String("k").Hash(), Value::String("k").Hash());
+}
+
+TEST(ValueTest, ToStringQuotesStrings) {
+  EXPECT_EQ(Value::String("it's").ToString(), "'it''s'");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+}
+
+TEST(ValueTest, DisplayStringUnquoted) {
+  EXPECT_EQ(Value::String("hello").ToDisplayString(), "hello");
+  EXPECT_EQ(Value::Int(5).ToDisplayString(), "5");
+}
+
+TEST(ValueTest, ArithmeticIntPreserving) {
+  EXPECT_EQ(ValueAdd(Value::Int(2), Value::Int(3))->int_value(), 5);
+  EXPECT_EQ(ValueMul(Value::Int(2), Value::Int(3))->int_value(), 6);
+  EXPECT_EQ(ValueSub(Value::Int(2), Value::Int(3))->int_value(), -1);
+}
+
+TEST(ValueTest, ArithmeticWidensToDouble) {
+  EXPECT_DOUBLE_EQ(ValueAdd(Value::Int(2), Value::Double(0.5))->double_value(),
+                   2.5);
+  // Division always yields double.
+  EXPECT_DOUBLE_EQ(ValueDiv(Value::Int(5), Value::Int(2))->double_value(), 2.5);
+}
+
+TEST(ValueTest, ArithmeticNullPropagates) {
+  EXPECT_TRUE(ValueAdd(Value::Null(), Value::Int(1))->is_null());
+  EXPECT_TRUE(ValueDiv(Value::Int(1), Value::Null())->is_null());
+  EXPECT_TRUE(ValueNeg(Value::Null())->is_null());
+}
+
+TEST(ValueTest, ArithmeticTypeErrors) {
+  EXPECT_TRUE(ValueAdd(Value::String("a"), Value::Int(1)).status().IsTypeError());
+  EXPECT_TRUE(ValueNeg(Value::Bool(true)).status().IsTypeError());
+}
+
+TEST(ValueTest, DivisionByZeroFails) {
+  auto result = ValueDiv(Value::Int(1), Value::Int(0));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(RowTest, HashAndEquality) {
+  Row a = {Value::Int(1), Value::String("x")};
+  Row b = {Value::Double(1.0), Value::String("x")};
+  Row c = {Value::Int(1), Value::String("y")};
+  EXPECT_TRUE(RowEq()(a, b));
+  EXPECT_EQ(HashRow(a), HashRow(b));
+  EXPECT_FALSE(RowEq()(a, c));
+}
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+}
+
+TEST(StringUtilTest, TrimAndSplit) {
+  EXPECT_EQ(Trim("  x \t"), "x");
+  EXPECT_EQ(Trim(""), "");
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+}
+
+TEST(StringUtilTest, CsvRoundTrip) {
+  const std::string tricky = "a,\"b\"\nc";
+  const std::string line = CsvEscape(tricky) + "," + CsvEscape("plain");
+  auto fields = CsvParseLine(line);
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], tricky);
+  EXPECT_EQ(fields[1], "plain");
+}
+
+TEST(RandomTest, DeterministicAcrossInstances) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, UniformIntInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+class ValueCompareOrderTest
+    : public ::testing::TestWithParam<std::pair<Value, Value>> {};
+
+TEST_P(ValueCompareOrderTest, AntisymmetricAndConsistent) {
+  const auto& [a, b] = GetParam();
+  const int ab = a.Compare(b);
+  const int ba = b.Compare(a);
+  EXPECT_EQ(ab < 0, ba > 0);
+  EXPECT_EQ(ab == 0, ba == 0);
+  if (ab == 0) {
+    EXPECT_EQ(a.Hash(), b.Hash());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, ValueCompareOrderTest,
+    ::testing::Values(
+        std::make_pair(Value::Int(1), Value::Int(2)),
+        std::make_pair(Value::Int(3), Value::Double(3.0)),
+        std::make_pair(Value::Double(-1.5), Value::Double(2.25)),
+        std::make_pair(Value::String("a"), Value::String("b")),
+        std::make_pair(Value::Null(), Value::Int(0)),
+        std::make_pair(Value::Bool(false), Value::Bool(true)),
+        std::make_pair(Value::Null(), Value::Null())));
+
+}  // namespace
+}  // namespace sqlcm::common

@@ -1,0 +1,170 @@
+// Stored-procedure behaviors: nesting, explicit transactions inside
+// bodies, failure atomicity, and how procedures interact with monitoring
+// (transaction signatures across nested EXECs).
+#include <gtest/gtest.h>
+
+#include "engine/session.h"
+#include "sqlcm/monitor_engine.h"
+
+namespace sqlcm::engine {
+namespace {
+
+using common::Value;
+using exec::ParamMap;
+
+class ProceduresTest : public ::testing::Test {
+ protected:
+  ProceduresTest() : session_(db_.CreateSession()) {
+    Exec("CREATE TABLE t (a INT, b INT, PRIMARY KEY(a))");
+    Exec("INSERT INTO t VALUES (1, 10), (2, 20)");
+  }
+
+  exec::QueryResult Exec(const std::string& sql) {
+    auto result = session_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return result.ok() ? std::move(*result) : exec::QueryResult{};
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(ProceduresTest, NestedExecs) {
+  Procedure inner;
+  inner.name = "bump";
+  inner.params = {"k"};
+  inner.body.push_back(
+      ProcStep::Sql("UPDATE t SET b = b + 1 WHERE a = @k"));
+  ASSERT_TRUE(db_.CreateProcedure(std::move(inner)).ok());
+
+  Procedure outer;
+  outer.name = "bump_both";
+  outer.params = {};
+  outer.body.push_back(ProcStep::Sql("EXEC bump 1"));
+  outer.body.push_back(ProcStep::Sql("EXEC bump 2"));
+  ASSERT_TRUE(db_.CreateProcedure(std::move(outer)).ok());
+
+  Exec("EXEC bump_both");
+  EXPECT_EQ(Exec("SELECT b FROM t WHERE a = 1").rows[0][0].int_value(), 11);
+  EXPECT_EQ(Exec("SELECT b FROM t WHERE a = 2").rows[0][0].int_value(), 21);
+}
+
+TEST_F(ProceduresTest, ArgumentsForwardCallerParams) {
+  Procedure proc;
+  proc.name = "reads";
+  proc.params = {"k"};
+  proc.body.push_back(ProcStep::Sql("SELECT b FROM t WHERE a = @k"));
+  ASSERT_TRUE(db_.CreateProcedure(std::move(proc)).ok());
+  // The EXEC argument references the *caller's* parameter map.
+  ParamMap caller = {{"outer_key", Value::Int(2)}};
+  auto result = session_->Execute("EXEC reads @outer_key", &caller);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows[0][0].int_value(), 20);
+}
+
+TEST_F(ProceduresTest, FailureRollsBackWholeAutocommitInvocation) {
+  Procedure proc;
+  proc.name = "partial";
+  proc.params = {};
+  proc.body.push_back(ProcStep::Sql("UPDATE t SET b = 0 WHERE a = 1"));
+  proc.body.push_back(ProcStep::Sql("INSERT INTO t VALUES (1, 99)"));  // dup
+  ASSERT_TRUE(db_.CreateProcedure(std::move(proc)).ok());
+
+  auto result = session_->Execute("EXEC partial");
+  ASSERT_FALSE(result.ok());
+  // The first step's effect was rolled back with the procedure.
+  EXPECT_EQ(Exec("SELECT b FROM t WHERE a = 1").rows[0][0].int_value(), 10);
+  EXPECT_FALSE(session_->in_transaction());
+}
+
+TEST_F(ProceduresTest, NestedIfElse) {
+  Procedure proc;
+  proc.name = "classify";
+  proc.params = {"x"};
+  proc.body.push_back(ProcStep::If(
+      "@x > 10",
+      {ProcStep::If("@x > 100",
+                    {ProcStep::Sql("SELECT 'huge' FROM t WHERE a = 1")},
+                    {ProcStep::Sql("SELECT 'big' FROM t WHERE a = 1")})},
+      {ProcStep::Sql("SELECT 'small' FROM t WHERE a = 1")}));
+  ASSERT_TRUE(db_.CreateProcedure(std::move(proc)).ok());
+
+  EXPECT_EQ(Exec("EXEC classify 5").rows[0][0].string_value(), "small");
+  EXPECT_EQ(Exec("EXEC classify 50").rows[0][0].string_value(), "big");
+  EXPECT_EQ(Exec("EXEC classify 500").rows[0][0].string_value(), "huge");
+}
+
+TEST_F(ProceduresTest, BadConditionSurfacesError) {
+  Procedure proc;
+  proc.name = "broken";
+  proc.params = {};
+  proc.body.push_back(ProcStep::If("@missing_param > 1", {}, {}));
+  ASSERT_TRUE(db_.CreateProcedure(std::move(proc)).ok());
+  auto result = session_->Execute("EXEC broken");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument()) << result.status();
+}
+
+TEST_F(ProceduresTest, DropProcedure) {
+  Procedure proc;
+  proc.name = "gone";
+  proc.params = {};
+  proc.body.push_back(ProcStep::Sql("SELECT a FROM t WHERE a = 1"));
+  ASSERT_TRUE(db_.CreateProcedure(std::move(proc)).ok());
+  ASSERT_TRUE(session_->Execute("EXEC gone").ok());
+  ASSERT_TRUE(db_.DropProcedure("GONE").ok());  // case-insensitive
+  EXPECT_TRUE(session_->Execute("EXEC gone").status().IsNotFound());
+  EXPECT_TRUE(db_.DropProcedure("gone").IsNotFound());
+}
+
+TEST_F(ProceduresTest, ExplicitTransactionSpansInvocations) {
+  Procedure proc;
+  proc.name = "bump1";
+  proc.params = {};
+  proc.body.push_back(ProcStep::Sql("UPDATE t SET b = b + 1 WHERE a = 1"));
+  ASSERT_TRUE(db_.CreateProcedure(std::move(proc)).ok());
+
+  Exec("BEGIN");
+  Exec("EXEC bump1");
+  Exec("EXEC bump1");
+  Exec("ROLLBACK");
+  EXPECT_EQ(Exec("SELECT b FROM t WHERE a = 1").rows[0][0].int_value(), 10);
+}
+
+TEST_F(ProceduresTest, NestedExecTransactionSignatureIncludesInnerQueries) {
+  cm::MonitorEngine monitor(&db_);
+  cm::LatSpec lat;
+  lat.name = "TxnSig";
+  lat.object_class = cm::MonitoredClass::kTransaction;
+  lat.group_by = {{"Logical_Signature", "Path"}};
+  lat.aggregates = {{cm::LatAggFunc::kCount, "", "N", false},
+                    {cm::LatAggFunc::kMax, "Num_Queries", "Q", false}};
+  ASSERT_TRUE(monitor.DefineLat(std::move(lat)).ok());
+  cm::RuleSpec rule;
+  rule.name = "txn";
+  rule.event = "Transaction.Commit";
+  rule.action = "Transaction.Insert(TxnSig)";
+  ASSERT_TRUE(monitor.AddRule(rule).ok());
+
+  Procedure inner;
+  inner.name = "leaf";
+  inner.params = {};
+  inner.body.push_back(ProcStep::Sql("SELECT a FROM t WHERE a = 1"));
+  ASSERT_TRUE(db_.CreateProcedure(std::move(inner)).ok());
+  Procedure outer;
+  outer.name = "trunk";
+  outer.params = {};
+  outer.body.push_back(ProcStep::Sql("EXEC leaf"));
+  outer.body.push_back(ProcStep::Sql("SELECT b FROM t WHERE a = 2"));
+  ASSERT_TRUE(db_.CreateProcedure(std::move(outer)).ok());
+
+  Exec("EXEC trunk");
+  auto rows = monitor.FindLat("TxnSig")->Snapshot(db_.clock()->NowMicros());
+  ASSERT_EQ(rows.size(), 1u);
+  // 4 query commits inside one transaction: inner SELECT, EXEC leaf,
+  // outer SELECT, EXEC trunk.
+  EXPECT_EQ(rows[0][2].int_value(), 4);
+}
+
+}  // namespace
+}  // namespace sqlcm::engine

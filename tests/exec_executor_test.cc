@@ -1,0 +1,176 @@
+// Executor-level behaviors exercised through the engine: join algorithms
+// with duplicates and empty inputs, limits, expression edge cases in
+// DML, and the lock-then-recheck protocol.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "engine/session.h"
+
+namespace sqlcm::exec {
+namespace {
+
+using common::Value;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : session_(db_.CreateSession()) {
+    Exec("CREATE TABLE l (id INT, grp INT, v FLOAT, PRIMARY KEY(id))");
+    Exec("CREATE TABLE r (grp INT, label VARCHAR(8), PRIMARY KEY(grp))");
+    for (int i = 0; i < 12; ++i) {
+      Exec("INSERT INTO l VALUES (" + std::to_string(i) + ", " +
+           std::to_string(i % 3) + ", " + std::to_string(i) + ".0)");
+    }
+    Exec("INSERT INTO r VALUES (0, 'zero'), (1, 'one'), (2, 'two')");
+  }
+
+  QueryResult Exec(const std::string& sql) {
+    auto result = session_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return result.ok() ? std::move(*result) : QueryResult{};
+  }
+
+  engine::Database db_;
+  std::unique_ptr<engine::Session> session_;
+};
+
+TEST_F(ExecutorTest, JoinFansOutDuplicates) {
+  // 12 l-rows, each matching exactly one r-row.
+  auto result = Exec("SELECT l.id, r.label FROM l JOIN r ON l.grp = r.grp");
+  EXPECT_EQ(result.rows.size(), 12u);
+}
+
+TEST_F(ExecutorTest, JoinWithEmptySide) {
+  Exec("CREATE TABLE empty_t (grp INT, PRIMARY KEY(grp))");
+  auto result =
+      Exec("SELECT l.id FROM l JOIN empty_t e ON l.grp = e.grp");
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST_F(ExecutorTest, SelfJoinWithAliases) {
+  auto result = Exec(
+      "SELECT a.id, b.id FROM l a JOIN l b ON a.grp = b.grp "
+      "WHERE a.id < b.id");
+  // Per group of 4 rows: C(4,2)=6 pairs; 3 groups -> 18.
+  EXPECT_EQ(result.rows.size(), 18u);
+}
+
+TEST_F(ExecutorTest, ThreeWayJoinCorrectRowCount) {
+  auto result = Exec(
+      "SELECT l.id, r.label, x.label FROM l "
+      "JOIN r ON l.grp = r.grp "
+      "JOIN r x ON l.grp = x.grp");
+  EXPECT_EQ(result.rows.size(), 12u);
+}
+
+TEST_F(ExecutorTest, LimitStopsEarly) {
+  auto result = Exec("SELECT id FROM l LIMIT 5");
+  EXPECT_EQ(result.rows.size(), 5u);
+  auto zero = Exec("SELECT id FROM l LIMIT 0");
+  EXPECT_TRUE(zero.rows.empty());
+}
+
+TEST_F(ExecutorTest, OrderByMultipleKeys) {
+  auto result = Exec("SELECT grp, id FROM l ORDER BY grp DESC, id ASC");
+  ASSERT_EQ(result.rows.size(), 12u);
+  EXPECT_EQ(result.rows[0][0].int_value(), 2);
+  EXPECT_EQ(result.rows[0][1].int_value(), 2);   // smallest id in grp 2
+  EXPECT_EQ(result.rows[11][0].int_value(), 0);
+  EXPECT_EQ(result.rows[11][1].int_value(), 9);  // largest id in grp 0
+}
+
+TEST_F(ExecutorTest, ArithmeticInProjectionAndWhere) {
+  auto result = Exec(
+      "SELECT id, v * 2 + 1 AS w FROM l WHERE (id + 1) % 4 = 0 ORDER BY id");
+  ASSERT_EQ(result.rows.size(), 3u);  // ids 3, 7, 11
+  EXPECT_DOUBLE_EQ(result.rows[0][1].double_value(), 7.0);
+}
+
+TEST_F(ExecutorTest, NullsInAggregatesIgnored) {
+  Exec("CREATE TABLE n (a INT, b FLOAT, PRIMARY KEY(a))");
+  Exec("INSERT INTO n VALUES (1, 10.0), (2, NULL), (3, 20.0)");
+  auto result = Exec("SELECT COUNT(*) c, COUNT(b) cb, AVG(b) a, MIN(b) mn "
+                     "FROM n");
+  EXPECT_EQ(result.rows[0][0].int_value(), 3);
+  EXPECT_EQ(result.rows[0][1].int_value(), 2);   // NULL ignored
+  EXPECT_DOUBLE_EQ(result.rows[0][2].double_value(), 15.0);
+  EXPECT_DOUBLE_EQ(result.rows[0][3].AsDouble(), 10.0);
+}
+
+TEST_F(ExecutorTest, GroupByNullsFormOneGroup) {
+  Exec("CREATE TABLE g (a INT, k INT, PRIMARY KEY(a))");
+  Exec("INSERT INTO g VALUES (1, NULL), (2, NULL), (3, 7)");
+  auto result = Exec("SELECT k, COUNT(*) c FROM g GROUP BY k ORDER BY c DESC");
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0][1].int_value(), 2);
+  EXPECT_TRUE(result.rows[0][0].is_null());
+}
+
+TEST_F(ExecutorTest, UpdateEvaluatesAgainstPreImage) {
+  Exec("CREATE TABLE swap_t (a INT, x INT, y INT, PRIMARY KEY(a))");
+  Exec("INSERT INTO swap_t VALUES (1, 10, 20)");
+  // Both assignments read the pre-update row: a real swap.
+  Exec("UPDATE swap_t SET x = y, y = x WHERE a = 1");
+  auto result = Exec("SELECT x, y FROM swap_t WHERE a = 1");
+  EXPECT_EQ(result.rows[0][0].int_value(), 20);
+  EXPECT_EQ(result.rows[0][1].int_value(), 10);
+}
+
+TEST_F(ExecutorTest, UpdateRangePredicateExact) {
+  // Strict bounds must be honored even though the index range is inclusive.
+  auto update = Exec("UPDATE l SET v = 100.0 WHERE id > 3 AND id < 6");
+  EXPECT_EQ(update.rows_affected, 2u);  // ids 4, 5
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM l WHERE v = 100.0")
+                .rows[0][0]
+                .int_value(),
+            2);
+}
+
+TEST_F(ExecutorTest, DeleteEverything) {
+  auto del = Exec("DELETE FROM l");
+  EXPECT_EQ(del.rows_affected, 12u);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM l").rows[0][0].int_value(), 0);
+}
+
+TEST_F(ExecutorTest, InsertPartialColumnListPadsNulls) {
+  Exec("CREATE TABLE p (a INT, b VARCHAR(8), c FLOAT, PRIMARY KEY(a))");
+  Exec("INSERT INTO p (c, a) VALUES (1.5, 7)");
+  auto result = Exec("SELECT a, b, c FROM p WHERE a = 7");
+  EXPECT_TRUE(result.rows[0][1].is_null());
+  EXPECT_DOUBLE_EQ(result.rows[0][2].double_value(), 1.5);
+}
+
+TEST_F(ExecutorTest, DivisionByZeroSurfacesAsError) {
+  auto result = session_->Execute("SELECT v / 0 FROM l WHERE id = 1");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  // The failed statement rolled back its autocommit txn; the session is
+  // immediately reusable.
+  EXPECT_TRUE(session_->Execute("SELECT id FROM l WHERE id = 1").ok());
+}
+
+TEST_F(ExecutorTest, LockRecheckSkipsRowsChangedUnderUs) {
+  // A row qualifying at scan time but disqualified before the X lock is
+  // granted must not be updated (the lock-then-recheck protocol).
+  auto holder = db_.CreateSession();
+  ASSERT_TRUE(holder->Begin().ok());
+  ASSERT_TRUE(holder->Execute("UPDATE l SET grp = 99 WHERE id = 0").ok());
+
+  std::atomic<uint64_t> affected{999};
+  std::thread concurrent([this, &affected] {
+    auto session = db_.CreateSession();
+    // Candidate set computed without locks includes id=0 (grp just became
+    // 99 in the uncommitted txn; the scan may see either value). After the
+    // lock is granted the row is re-read: post-rollback grp is 0 again.
+    auto result = session->Execute("UPDATE l SET v = -1.0 WHERE grp = 99");
+    ASSERT_TRUE(result.ok());
+    affected.store(result->rows_affected);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(holder->Rollback().ok());
+  concurrent.join();
+  EXPECT_EQ(affected.load(), 0u);  // rollback restored grp=0 before the lock
+}
+
+}  // namespace
+}  // namespace sqlcm::exec

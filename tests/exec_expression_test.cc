@@ -1,0 +1,136 @@
+#include "exec/expression.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace sqlcm::exec {
+namespace {
+
+using common::Row;
+using common::Value;
+
+RowSchema MakeSchema() {
+  return RowSchema({{"t", "a", catalog::ColumnType::kInt},
+                    {"t", "b", catalog::ColumnType::kDouble},
+                    {"u", "name", catalog::ColumnType::kString},
+                    {"u", "a", catalog::ColumnType::kInt}});
+}
+
+common::Result<Value> EvalText(const std::string& text, const Row& row,
+                               const ParamMap* params = nullptr) {
+  auto ast = sql::Parser::ParseExpression(text);
+  if (!ast.ok()) return ast.status();
+  auto bound = BoundExpr::Bind(**ast, MakeSchema());
+  if (!bound.ok()) return bound.status();
+  return (*bound)->Eval(row, params);
+}
+
+const Row kRow = {Value::Int(5), Value::Double(2.5), Value::String("x"),
+                  Value::Int(7)};
+
+TEST(ExpressionTest, SlotResolution) {
+  EXPECT_EQ(EvalText("t.a", kRow)->int_value(), 5);
+  EXPECT_EQ(EvalText("u.a", kRow)->int_value(), 7);
+  EXPECT_EQ(EvalText("name", kRow)->string_value(), "x");
+  // Unqualified ambiguous name fails at bind time.
+  auto ambiguous = EvalText("a", kRow);
+  ASSERT_FALSE(ambiguous.ok());
+  EXPECT_TRUE(ambiguous.status().IsInvalidArgument());
+  EXPECT_TRUE(EvalText("t.nope", kRow).status().IsNotFound());
+}
+
+TEST(ExpressionTest, ArithmeticAndComparison) {
+  EXPECT_DOUBLE_EQ(EvalText("t.a + t.b", kRow)->double_value(), 7.5);
+  EXPECT_TRUE(EvalText("t.a > 4", kRow)->bool_value());
+  EXPECT_FALSE(EvalText("t.a > u.a", kRow)->bool_value());
+  EXPECT_TRUE(EvalText("name = 'x'", kRow)->bool_value());
+  EXPECT_TRUE(EvalText("t.a % 2 = 1", kRow)->bool_value());
+}
+
+TEST(ExpressionTest, ThreeValuedLogic) {
+  const Row null_row = {Value::Null(), Value::Double(1), Value::String(""),
+                        Value::Int(0)};
+  // NULL comparison -> NULL.
+  EXPECT_TRUE(EvalText("t.a > 1", null_row)->is_null());
+  // FALSE AND NULL -> FALSE (short circuit).
+  EXPECT_FALSE(EvalText("1 > 2 AND t.a > 1", null_row)->bool_value());
+  // TRUE OR NULL -> TRUE.
+  EXPECT_TRUE(EvalText("1 < 2 OR t.a > 1", null_row)->bool_value());
+  // TRUE AND NULL -> NULL.
+  EXPECT_TRUE(EvalText("1 < 2 AND t.a > 1", null_row)->is_null());
+  // NOT NULL -> NULL.
+  EXPECT_TRUE(EvalText("NOT (t.a > 1)", null_row)->is_null());
+}
+
+TEST(ExpressionTest, EvalBoolRejectsNull) {
+  const Row null_row = {Value::Null(), Value::Double(1), Value::String(""),
+                        Value::Int(0)};
+  auto ast = sql::Parser::ParseExpression("t.a > 1");
+  auto bound = BoundExpr::Bind(**ast, MakeSchema());
+  auto result = (*bound)->EvalBool(null_row, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(*result);
+}
+
+TEST(ExpressionTest, Params) {
+  ParamMap params = {{"p", Value::Int(3)}};
+  EXPECT_EQ(EvalText("t.a + @p", kRow, &params)->int_value(), 8);
+  auto missing = EvalText("@q", kRow, &params);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsInvalidArgument());
+  auto no_params = EvalText("@p", kRow, nullptr);
+  EXPECT_FALSE(no_params.ok());
+}
+
+TEST(ExpressionTest, TypeErrors) {
+  EXPECT_TRUE(EvalText("name + 1", kRow).status().IsTypeError());
+  EXPECT_TRUE(EvalText("t.a > 'x'", kRow).status().IsTypeError());
+  EXPECT_TRUE(EvalText("NOT t.a", kRow).status().IsTypeError());
+}
+
+TEST(ExpressionTest, AggregateRejectedInScalarContext) {
+  auto ast = sql::Parser::ParseExpression("SUM(t.a)");
+  ASSERT_TRUE(ast.ok());
+  auto bound = BoundExpr::Bind(**ast, MakeSchema());
+  ASSERT_FALSE(bound.ok());
+}
+
+TEST(ExpressionTest, IsConstant) {
+  auto make = [](const std::string& text) {
+    auto ast = sql::Parser::ParseExpression(text);
+    return std::move(*BoundExpr::Bind(**ast, MakeSchema()));
+  };
+  EXPECT_TRUE(make("1 + 2 * 3")->IsConstant());
+  EXPECT_TRUE(make("@p + 1")->IsConstant());
+  EXPECT_FALSE(make("t.a + 1")->IsConstant());
+}
+
+TEST(ExpressionTest, CloneShiftedMovesSlots) {
+  auto ast = sql::Parser::ParseExpression("t.b + u.a");
+  auto bound = std::move(*BoundExpr::Bind(**ast, MakeSchema()));
+  auto shifted = bound->CloneShifted(-1);
+  std::vector<size_t> slots;
+  shifted->CollectSlots(&slots);
+  ASSERT_EQ(slots.size(), 2u);
+  EXPECT_EQ(slots[0], 0u);  // b was slot 1
+  EXPECT_EQ(slots[1], 2u);  // u.a was slot 3
+}
+
+TEST(ExpressionTest, SignatureWildcardsConstantsKeepsParams) {
+  auto ast = sql::Parser::ParseExpression("t.a = 5 AND t.b > @limit");
+  auto bound = std::move(*BoundExpr::Bind(**ast, MakeSchema()));
+  std::string wildcarded, exact;
+  bound->AppendSignature(true, &wildcarded);
+  bound->AppendSignature(false, &exact);
+  EXPECT_NE(wildcarded.find("?"), std::string::npos);
+  EXPECT_NE(wildcarded.find("$limit"), std::string::npos);
+  EXPECT_NE(exact.find("5"), std::string::npos);
+}
+
+TEST(ExpressionTest, DivisionAlwaysDouble) {
+  EXPECT_DOUBLE_EQ(EvalText("u.a / 2", kRow)->double_value(), 3.5);
+}
+
+}  // namespace
+}  // namespace sqlcm::exec

@@ -1,0 +1,157 @@
+// Tests for the extended SQL surface: DISTINCT, BETWEEN, IN, LIKE, and the
+// LIKE pattern matcher itself.
+#include <gtest/gtest.h>
+
+#include "engine/session.h"
+#include "exec/expression.h"
+#include "sqlcm/monitor_engine.h"
+#include "sql/parser.h"
+
+namespace sqlcm {
+namespace {
+
+using common::Value;
+
+TEST(LikeMatcherTest, Literals) {
+  EXPECT_TRUE(exec::MatchLikePattern("abc", "abc"));
+  EXPECT_FALSE(exec::MatchLikePattern("abc", "abd"));
+  EXPECT_FALSE(exec::MatchLikePattern("abc", "ab"));
+  EXPECT_FALSE(exec::MatchLikePattern("ab", "abc"));
+  EXPECT_TRUE(exec::MatchLikePattern("", ""));
+}
+
+TEST(LikeMatcherTest, Underscore) {
+  EXPECT_TRUE(exec::MatchLikePattern("abc", "a_c"));
+  EXPECT_TRUE(exec::MatchLikePattern("abc", "___"));
+  EXPECT_FALSE(exec::MatchLikePattern("abc", "____"));
+  EXPECT_FALSE(exec::MatchLikePattern("", "_"));
+}
+
+TEST(LikeMatcherTest, Percent) {
+  EXPECT_TRUE(exec::MatchLikePattern("abc", "%"));
+  EXPECT_TRUE(exec::MatchLikePattern("", "%"));
+  EXPECT_TRUE(exec::MatchLikePattern("abc", "a%"));
+  EXPECT_TRUE(exec::MatchLikePattern("abc", "%c"));
+  EXPECT_TRUE(exec::MatchLikePattern("abc", "%b%"));
+  EXPECT_FALSE(exec::MatchLikePattern("abc", "%d%"));
+  EXPECT_TRUE(exec::MatchLikePattern("aXbYc", "a%b%c"));
+  EXPECT_TRUE(exec::MatchLikePattern("mississippi", "%iss%ppi"));
+  EXPECT_FALSE(exec::MatchLikePattern("mississippi", "%iss%ppx"));
+  EXPECT_TRUE(exec::MatchLikePattern("abc", "%%%"));
+  EXPECT_TRUE(exec::MatchLikePattern("ab", "a%_"));
+  EXPECT_FALSE(exec::MatchLikePattern("a", "a%_"));
+}
+
+TEST(LikeMatcherTest, CaseSensitive) {
+  EXPECT_FALSE(exec::MatchLikePattern("ABC", "abc"));
+}
+
+class SqlExtensionsTest : public ::testing::Test {
+ protected:
+  SqlExtensionsTest() : session_(db_.CreateSession()) {
+    Exec("CREATE TABLE t (id INT, name VARCHAR(32), grp INT, "
+         "PRIMARY KEY(id))");
+    Exec("INSERT INTO t VALUES (1, 'alpha', 1), (2, 'beta', 1), "
+         "(3, 'alphabet', 2), (4, 'gamma', 2), (5, 'beta', 3)");
+  }
+
+  exec::QueryResult Exec(const std::string& sql) {
+    auto result = session_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return result.ok() ? std::move(*result) : exec::QueryResult{};
+  }
+
+  engine::Database db_;
+  std::unique_ptr<engine::Session> session_;
+};
+
+TEST_F(SqlExtensionsTest, Between) {
+  auto result = Exec("SELECT id FROM t WHERE id BETWEEN 2 AND 4 ORDER BY id");
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_EQ(result.rows[0][0].int_value(), 2);
+  EXPECT_EQ(result.rows[2][0].int_value(), 4);
+
+  auto negated = Exec("SELECT id FROM t WHERE id NOT BETWEEN 2 AND 4");
+  EXPECT_EQ(negated.rows.size(), 2u);
+}
+
+TEST_F(SqlExtensionsTest, InList) {
+  auto result = Exec("SELECT id FROM t WHERE id IN (1, 3, 99) ORDER BY id");
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[1][0].int_value(), 3);
+
+  auto strings = Exec("SELECT id FROM t WHERE name IN ('beta') ORDER BY id");
+  EXPECT_EQ(strings.rows.size(), 2u);
+
+  auto negated = Exec("SELECT COUNT(*) FROM t WHERE grp NOT IN (1, 2)");
+  EXPECT_EQ(negated.rows[0][0].int_value(), 1);
+}
+
+TEST_F(SqlExtensionsTest, Like) {
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t WHERE name LIKE 'alpha%'")
+                .rows[0][0]
+                .int_value(),
+            2);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t WHERE name LIKE '%a'")
+                .rows[0][0]
+                .int_value(),
+            4);  // alpha, gamma, and both betas
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t WHERE name LIKE '_eta'")
+                .rows[0][0]
+                .int_value(),
+            2);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t WHERE name NOT LIKE '%a%'")
+                .rows[0][0]
+                .int_value(),
+            0);
+}
+
+TEST_F(SqlExtensionsTest, Distinct) {
+  auto result = Exec("SELECT DISTINCT name FROM t ORDER BY name");
+  ASSERT_EQ(result.rows.size(), 4u);
+  EXPECT_EQ(result.rows[0][0].string_value(), "alpha");
+
+  auto pairs = Exec("SELECT DISTINCT name, grp FROM t");
+  EXPECT_EQ(pairs.rows.size(), 5u);  // (beta,1) and (beta,3) are distinct
+
+  auto with_limit = Exec("SELECT DISTINCT grp FROM t ORDER BY grp LIMIT 2");
+  ASSERT_EQ(with_limit.rows.size(), 2u);
+  EXPECT_EQ(with_limit.rows[1][0].int_value(), 2);
+}
+
+TEST_F(SqlExtensionsTest, BetweenIsSargable) {
+  // BETWEEN desugars to >= AND <=, which the optimizer turns into an index
+  // range on the clustered key.
+  auto result = Exec("SELECT COUNT(*) FROM t WHERE id BETWEEN 1 AND 3");
+  EXPECT_EQ(result.rows[0][0].int_value(), 3);
+}
+
+TEST_F(SqlExtensionsTest, LikeInRuleConditionsViaMonitor) {
+  cm::MonitorEngine monitor(&db_);
+  cm::RuleSpec rule;
+  rule.name = "selects-on-t";
+  rule.event = "Query.Commit";
+  rule.condition = "Query.Query_Text LIKE '%FROM t WHERE name%'";
+  rule.action = "Query.Persist(Matched, ID)";
+  ASSERT_TRUE(monitor.AddRule(rule).ok());
+  Exec("SELECT id FROM t WHERE name = 'alpha'");
+  Exec("SELECT id FROM t WHERE id = 1");
+  storage::Table* matched = db_.catalog()->GetTable("Matched");
+  ASSERT_NE(matched, nullptr);
+  EXPECT_EQ(matched->row_count(), 1u);
+}
+
+TEST(SqlExtensionsParseTest, NotWithoutPostfixStillParses) {
+  // NOT as a plain boolean operator must be unaffected.
+  auto expr = sql::Parser::ParseExpression("NOT a > 1");
+  ASSERT_TRUE(expr.ok());
+  auto complex_expr =
+      sql::Parser::ParseExpression("NOT (a BETWEEN 1 AND 2) AND b IN (1)");
+  ASSERT_TRUE(complex_expr.ok());
+  EXPECT_FALSE(sql::Parser::ParseExpression("a NOT 5").ok());
+  EXPECT_FALSE(sql::Parser::ParseExpression("a BETWEEN 1").ok());
+  EXPECT_FALSE(sql::Parser::ParseExpression("a IN 1").ok());
+}
+
+}  // namespace
+}  // namespace sqlcm

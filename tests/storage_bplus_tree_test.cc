@@ -1,0 +1,178 @@
+#include "storage/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace sqlcm::storage {
+namespace {
+
+using common::Random;
+using common::Row;
+using common::Value;
+
+Row IntKey(int64_t v) { return {Value::Int(v)}; }
+
+TEST(BPlusTreeTest, InsertFindErase) {
+  BPlusTree<int> tree;
+  EXPECT_TRUE(tree.Insert(IntKey(1), 10));
+  EXPECT_TRUE(tree.Insert(IntKey(2), 20));
+  EXPECT_FALSE(tree.Insert(IntKey(1), 99));  // duplicate
+  ASSERT_NE(tree.Find(IntKey(1)), nullptr);
+  EXPECT_EQ(*tree.Find(IntKey(1)), 10);
+  EXPECT_EQ(tree.Find(IntKey(3)), nullptr);
+  EXPECT_TRUE(tree.Erase(IntKey(1)));
+  EXPECT_FALSE(tree.Erase(IntKey(1)));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTreeTest, OrderedIterationAfterManyInserts) {
+  BPlusTree<int64_t> tree;
+  Random rng(11);
+  std::map<int64_t, int64_t> reference;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t k = rng.UniformInt(0, 1'000'000);
+    if (reference.emplace(k, i).second) {
+      EXPECT_TRUE(tree.Insert(IntKey(k), i));
+    } else {
+      EXPECT_FALSE(tree.Insert(IntKey(k), i));
+    }
+  }
+  ASSERT_EQ(tree.size(), reference.size());
+  ASSERT_TRUE(tree.CheckInvariants());
+  auto it = tree.Begin();
+  for (const auto& [k, v] : reference) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key()[0].int_value(), k);
+    EXPECT_EQ(it.value(), v);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+  EXPECT_GT(tree.Depth(), 1u);
+}
+
+TEST(BPlusTreeTest, LowerBoundSemantics) {
+  BPlusTree<int> tree;
+  for (int64_t k = 0; k < 100; k += 10) tree.Insert(IntKey(k), 0);
+  auto it = tree.LowerBound(IntKey(35));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].int_value(), 40);
+  it = tree.LowerBound(IntKey(40));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].int_value(), 40);
+  it = tree.LowerBound(IntKey(91));
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(BPlusTreeTest, CompositeKeysLexicographic) {
+  BPlusTree<int> tree;
+  tree.Insert({Value::Int(1), Value::Int(2)}, 12);
+  tree.Insert({Value::Int(1), Value::Int(1)}, 11);
+  tree.Insert({Value::Int(2), Value::Int(0)}, 20);
+  auto it = tree.Begin();
+  EXPECT_EQ(it.value(), 11);
+  it.Next();
+  EXPECT_EQ(it.value(), 12);
+  it.Next();
+  EXPECT_EQ(it.value(), 20);
+  // Prefix lower bound: [1] sorts before [1, *].
+  auto lb = tree.LowerBound({Value::Int(1)});
+  ASSERT_TRUE(lb.Valid());
+  EXPECT_EQ(lb.value(), 11);
+}
+
+TEST(BPlusTreeTest, CompareKeysPrefixOrder) {
+  EXPECT_LT(CompareKeys({Value::Int(1)}, {Value::Int(1), Value::Int(0)}), 0);
+  EXPECT_EQ(CompareKeys({Value::Int(1)}, {Value::Int(1)}), 0);
+  EXPECT_GT(CompareKeys({Value::Int(2)}, {Value::Int(1), Value::Int(9)}), 0);
+}
+
+TEST(BPlusTreeTest, EraseRebalancesToEmpty) {
+  BPlusTree<int> tree;
+  const int n = 2000;
+  for (int64_t k = 0; k < n; ++k) ASSERT_TRUE(tree.Insert(IntKey(k), 1));
+  EXPECT_GT(tree.Depth(), 1u);
+  for (int64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree.Erase(IntKey(k))) << k;
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_FALSE(tree.Begin().Valid());
+}
+
+struct FuzzParams {
+  uint64_t seed;
+  int operations;
+  int64_t key_space;
+};
+
+class BPlusTreeFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
+
+// Property test: random interleaved insert/erase/find must match std::map,
+// and structural invariants must hold throughout.
+TEST_P(BPlusTreeFuzzTest, MatchesReferenceMap) {
+  const FuzzParams params = GetParam();
+  Random rng(params.seed);
+  BPlusTree<int64_t> tree;
+  std::map<int64_t, int64_t> reference;
+
+  for (int op = 0; op < params.operations; ++op) {
+    const int64_t k = rng.UniformInt(0, params.key_space - 1);
+    switch (rng.Uniform(3)) {
+      case 0: {
+        const bool inserted = tree.Insert(IntKey(k), op);
+        EXPECT_EQ(inserted, reference.emplace(k, op).second);
+        break;
+      }
+      case 1: {
+        const bool erased = tree.Erase(IntKey(k));
+        EXPECT_EQ(erased, reference.erase(k) == 1);
+        break;
+      }
+      default: {
+        int64_t* found = tree.Find(IntKey(k));
+        auto ref = reference.find(k);
+        ASSERT_EQ(found != nullptr, ref != reference.end());
+        if (found != nullptr) {
+          EXPECT_EQ(*found, ref->second);
+        }
+      }
+    }
+    if (op % 512 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "op " << op;
+    }
+  }
+  ASSERT_EQ(tree.size(), reference.size());
+  ASSERT_TRUE(tree.CheckInvariants());
+  // Final full-order sweep.
+  auto it = tree.Begin();
+  for (const auto& [k, v] : reference) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key()[0].int_value(), k);
+    it.Next();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BPlusTreeFuzzTest,
+    ::testing::Values(FuzzParams{1, 4000, 100},     // dense, heavy collisions
+                      FuzzParams{2, 4000, 100000},  // sparse
+                      FuzzParams{3, 8000, 1000},    // medium
+                      FuzzParams{4, 8000, 50},      // tiny key space
+                      FuzzParams{5, 2000, 10}));    // pathological churn
+
+TEST(BPlusTreeTest, StringKeys) {
+  BPlusTree<int> tree;
+  tree.Insert({Value::String("banana")}, 2);
+  tree.Insert({Value::String("apple")}, 1);
+  tree.Insert({Value::String("cherry")}, 3);
+  auto it = tree.Begin();
+  EXPECT_EQ(it.value(), 1);
+  it.Next();
+  EXPECT_EQ(it.value(), 2);
+}
+
+}  // namespace
+}  // namespace sqlcm::storage

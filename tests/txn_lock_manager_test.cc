@@ -1,0 +1,280 @@
+#include "txn/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace sqlcm::txn {
+namespace {
+
+using common::Value;
+
+ResourceId Res(uint32_t table, int64_t key) {
+  return ResourceId{table, {Value::Int(key)}};
+}
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  LockManagerTest() : locks_(common::SystemClock::Get()) {}
+  LockManager locks_;
+};
+
+TEST_F(LockManagerTest, SharedLocksCompatible) {
+  EXPECT_EQ(locks_.Acquire(1, Res(1, 1), LockMode::kShared),
+            LockOutcome::kGranted);
+  EXPECT_EQ(locks_.Acquire(2, Res(1, 1), LockMode::kShared),
+            LockOutcome::kGranted);
+  EXPECT_EQ(locks_.TotalGrantedLocks(), 2u);
+  locks_.ReleaseAll(1);
+  locks_.ReleaseAll(2);
+  EXPECT_EQ(locks_.TotalGrantedLocks(), 0u);
+}
+
+TEST_F(LockManagerTest, ReacquireIsIdempotent) {
+  EXPECT_EQ(locks_.Acquire(1, Res(1, 1), LockMode::kExclusive),
+            LockOutcome::kGranted);
+  EXPECT_EQ(locks_.Acquire(1, Res(1, 1), LockMode::kExclusive),
+            LockOutcome::kGranted);
+  EXPECT_EQ(locks_.Acquire(1, Res(1, 1), LockMode::kShared),
+            LockOutcome::kGranted);
+  EXPECT_EQ(locks_.HeldLockCount(1), 1u);
+}
+
+TEST_F(LockManagerTest, ExclusiveBlocksUntilRelease) {
+  ASSERT_EQ(locks_.Acquire(1, Res(1, 5), LockMode::kExclusive),
+            LockOutcome::kGranted);
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    EXPECT_EQ(locks_.Acquire(2, Res(1, 5), LockMode::kExclusive),
+              LockOutcome::kGranted);
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(granted.load());
+  locks_.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+  locks_.ReleaseAll(2);
+}
+
+TEST_F(LockManagerTest, TimeoutExpires) {
+  ASSERT_EQ(locks_.Acquire(1, Res(1, 1), LockMode::kExclusive),
+            LockOutcome::kGranted);
+  EXPECT_EQ(locks_.Acquire(2, Res(1, 1), LockMode::kShared, nullptr,
+                           /*timeout_micros=*/20'000),
+            LockOutcome::kTimeout);
+  locks_.ReleaseAll(1);
+  // After timeout the waiter left the queue; new acquisitions work.
+  EXPECT_EQ(locks_.Acquire(3, Res(1, 1), LockMode::kExclusive),
+            LockOutcome::kGranted);
+  locks_.ReleaseAll(3);
+}
+
+TEST_F(LockManagerTest, CancelAbortsWait) {
+  ASSERT_EQ(locks_.Acquire(1, Res(1, 1), LockMode::kExclusive),
+            LockOutcome::kGranted);
+  std::atomic<bool> cancelled{false};
+  std::atomic<LockOutcome> outcome{LockOutcome::kGranted};
+  std::thread waiter([&] {
+    outcome = locks_.Acquire(2, Res(1, 1), LockMode::kExclusive, &cancelled);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  cancelled.store(true);
+  waiter.join();
+  EXPECT_EQ(outcome.load(), LockOutcome::kCancelled);
+  locks_.ReleaseAll(1);
+}
+
+TEST_F(LockManagerTest, DeadlockDetectedForSecondWaiter) {
+  ASSERT_EQ(locks_.Acquire(1, Res(1, 1), LockMode::kExclusive),
+            LockOutcome::kGranted);
+  ASSERT_EQ(locks_.Acquire(2, Res(1, 2), LockMode::kExclusive),
+            LockOutcome::kGranted);
+  std::atomic<LockOutcome> t1_outcome{LockOutcome::kGranted};
+  std::thread t1([&] {
+    // txn 1 waits for resource 2 (held by txn 2).
+    t1_outcome = locks_.Acquire(1, Res(1, 2), LockMode::kExclusive);
+    if (t1_outcome == LockOutcome::kGranted) locks_.ReleaseAll(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // txn 2 requesting resource 1 closes the cycle and must be the victim.
+  EXPECT_EQ(locks_.Acquire(2, Res(1, 1), LockMode::kExclusive),
+            LockOutcome::kDeadlock);
+  locks_.ReleaseAll(2);  // victim aborts, txn 1 proceeds
+  t1.join();
+  EXPECT_EQ(t1_outcome.load(), LockOutcome::kGranted);
+  locks_.ReleaseAll(1);
+}
+
+TEST_F(LockManagerTest, MultipleWaitersAreNotAPhantomDeadlock) {
+  // Regression: two transactions queueing behind the same X holder must
+  // both eventually be granted — the waits-for graph must not treat a
+  // LATER waiter as a dependency of an earlier one.
+  ASSERT_EQ(locks_.Acquire(1, Res(1, 1), LockMode::kExclusive),
+            LockOutcome::kGranted);
+  std::atomic<int> granted{0};
+  std::atomic<int> deadlocked{0};
+  auto waiter = [&](TxnId txn) {
+    const LockOutcome outcome = locks_.Acquire(txn, Res(1, 1),
+                                               LockMode::kExclusive);
+    if (outcome == LockOutcome::kGranted) granted.fetch_add(1);
+    if (outcome == LockOutcome::kDeadlock) deadlocked.fetch_add(1);
+    locks_.ReleaseAll(txn);
+  };
+  std::thread t2(waiter, 2), t3(waiter, 3), t4(waiter, 4);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  locks_.ReleaseAll(1);
+  t2.join();
+  t3.join();
+  t4.join();
+  EXPECT_EQ(granted.load(), 3);
+  EXPECT_EQ(deadlocked.load(), 0);
+}
+
+TEST_F(LockManagerTest, UpgradeSharedToExclusive) {
+  ASSERT_EQ(locks_.Acquire(1, Res(1, 1), LockMode::kShared),
+            LockOutcome::kGranted);
+  // Sole holder: immediate upgrade.
+  EXPECT_EQ(locks_.Acquire(1, Res(1, 1), LockMode::kExclusive),
+            LockOutcome::kGranted);
+  // Now exclusive: another txn times out.
+  EXPECT_EQ(locks_.Acquire(2, Res(1, 1), LockMode::kShared, nullptr, 10'000),
+            LockOutcome::kTimeout);
+  locks_.ReleaseAll(1);
+}
+
+TEST_F(LockManagerTest, UpgradeWaitsForOtherSharers) {
+  ASSERT_EQ(locks_.Acquire(1, Res(1, 1), LockMode::kShared),
+            LockOutcome::kGranted);
+  ASSERT_EQ(locks_.Acquire(2, Res(1, 1), LockMode::kShared),
+            LockOutcome::kGranted);
+  std::atomic<LockOutcome> outcome{LockOutcome::kTimeout};
+  std::thread upgrader([&] {
+    outcome = locks_.Acquire(1, Res(1, 1), LockMode::kExclusive);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_NE(outcome.load(), LockOutcome::kGranted);
+  locks_.ReleaseAll(2);
+  upgrader.join();
+  EXPECT_EQ(outcome.load(), LockOutcome::kGranted);
+  locks_.ReleaseAll(1);
+}
+
+TEST_F(LockManagerTest, DualUpgradeDeadlocks) {
+  ASSERT_EQ(locks_.Acquire(1, Res(1, 1), LockMode::kShared),
+            LockOutcome::kGranted);
+  ASSERT_EQ(locks_.Acquire(2, Res(1, 1), LockMode::kShared),
+            LockOutcome::kGranted);
+  std::atomic<LockOutcome> t1_outcome{LockOutcome::kGranted};
+  std::thread t1([&] {
+    t1_outcome = locks_.Acquire(1, Res(1, 1), LockMode::kExclusive);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const LockOutcome t2_outcome =
+      locks_.Acquire(2, Res(1, 1), LockMode::kExclusive);
+  EXPECT_EQ(t2_outcome, LockOutcome::kDeadlock);
+  locks_.ReleaseAll(2);
+  t1.join();
+  EXPECT_EQ(t1_outcome.load(), LockOutcome::kGranted);
+  locks_.ReleaseAll(1);
+}
+
+class RecordingObserver final : public LockEventObserver {
+ public:
+  void OnBlocked(TxnId blocked, TxnId blocker,
+                 const ResourceId& resource) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    blocked_events.push_back({blocked, blocker, resource.ToString()});
+  }
+  void OnBlockReleased(TxnId blocked, TxnId blocker, const ResourceId&,
+                       int64_t wait_micros) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    released_events.push_back({blocked, blocker, std::to_string(wait_micros)});
+    last_wait_micros = wait_micros;
+  }
+
+  struct Event {
+    TxnId blocked, blocker;
+    std::string detail;
+  };
+  std::mutex mutex_;
+  std::vector<Event> blocked_events;
+  std::vector<Event> released_events;
+  int64_t last_wait_micros = 0;
+};
+
+TEST_F(LockManagerTest, ObserverSeesBlockAndRelease) {
+  RecordingObserver observer;
+  locks_.set_observer(&observer);
+  ASSERT_EQ(locks_.Acquire(1, Res(7, 3), LockMode::kExclusive),
+            LockOutcome::kGranted);
+  std::thread waiter([&] {
+    EXPECT_EQ(locks_.Acquire(2, Res(7, 3), LockMode::kExclusive),
+              LockOutcome::kGranted);
+    locks_.ReleaseAll(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  locks_.ReleaseAll(1);
+  waiter.join();
+  ASSERT_EQ(observer.blocked_events.size(), 1u);
+  EXPECT_EQ(observer.blocked_events[0].blocked, 2u);
+  EXPECT_EQ(observer.blocked_events[0].blocker, 1u);
+  ASSERT_EQ(observer.released_events.size(), 1u);
+  EXPECT_GE(observer.last_wait_micros, 20'000);
+}
+
+TEST_F(LockManagerTest, SnapshotBlockedPairs) {
+  ASSERT_EQ(locks_.Acquire(1, Res(1, 1), LockMode::kExclusive),
+            LockOutcome::kGranted);
+  std::thread waiter([&] {
+    locks_.Acquire(2, Res(1, 1), LockMode::kShared);
+    locks_.ReleaseAll(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  auto pairs = locks_.SnapshotBlockedPairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].blocked_txn, 2u);
+  EXPECT_EQ(pairs[0].blocker_txn, 1u);
+  EXPECT_EQ(pairs[0].resource.table_id, 1u);
+  locks_.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(locks_.SnapshotBlockedPairs().empty());
+}
+
+TEST_F(LockManagerTest, FifoFairnessUnderContention) {
+  // Stress: many threads incrementing through X locks; all must finish.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const TxnId txn = static_cast<TxnId>(t * 10'000 + i + 1);
+        ASSERT_EQ(locks_.Acquire(txn, Res(9, 0), LockMode::kExclusive),
+                  LockOutcome::kGranted);
+        counter.fetch_add(1);
+        locks_.ReleaseAll(txn);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.load(), kThreads * kIters);
+  EXPECT_EQ(locks_.TotalGrantedLocks(), 0u);
+}
+
+TEST(ResourceIdTest, EqualityAndToString) {
+  EXPECT_EQ(Res(1, 5), Res(1, 5));
+  EXPECT_FALSE(Res(1, 5) == Res(2, 5));
+  EXPECT_FALSE(Res(1, 5) == Res(1, 6));
+  EXPECT_EQ(Res(3, 4).ToString(), "table#3[4]");
+  ResourceId table_lock{3, {}};
+  EXPECT_TRUE(table_lock.is_table_lock());
+  EXPECT_EQ(table_lock.ToString(), "table#3");
+}
+
+}  // namespace
+}  // namespace sqlcm::txn

@@ -1,0 +1,119 @@
+#include "txn/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace sqlcm::txn {
+namespace {
+
+using common::Row;
+using common::Value;
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  TransactionTest() : manager_(common::SystemClock::Get(), &catalog_) {
+    auto schema = catalog::TableSchema::Create(
+        "t",
+        {{"id", catalog::ColumnType::kInt},
+         {"name", catalog::ColumnType::kString}},
+        {"id"});
+    table_ = *catalog_.CreateTable(std::move(*schema));
+    table_->CreateIndex("by_name", {"name"}).ok();
+  }
+
+  storage::Catalog catalog_;
+  TransactionManager manager_;
+  storage::Table* table_;
+};
+
+TEST_F(TransactionTest, BeginCommitLifecycle) {
+  Transaction* txn = manager_.Begin();
+  const TxnId id = txn->id();
+  EXPECT_EQ(txn->state(), TxnState::kActive);
+  EXPECT_EQ(manager_.FindActive(id), txn);
+  EXPECT_EQ(manager_.active_count(), 1u);
+  ASSERT_TRUE(manager_.Commit(txn).ok());
+  EXPECT_EQ(manager_.FindActive(id), nullptr);
+  EXPECT_EQ(manager_.active_count(), 0u);
+}
+
+TEST_F(TransactionTest, AbortUndoesInsert) {
+  Transaction* txn = manager_.Begin();
+  auto key = table_->Insert({Value::Int(1), Value::String("a")});
+  ASSERT_TRUE(key.ok());
+  txn->LogInsert(table_->table_id(), *key);
+  ASSERT_TRUE(manager_.Abort(txn).ok());
+  EXPECT_EQ(table_->row_count(), 0u);
+}
+
+TEST_F(TransactionTest, AbortUndoesDeleteIncludingIndexes) {
+  auto key = table_->Insert({Value::Int(1), Value::String("a")});
+  ASSERT_TRUE(key.ok());
+
+  Transaction* txn = manager_.Begin();
+  auto old_row = table_->Delete(*key);
+  ASSERT_TRUE(old_row.ok());
+  txn->LogDelete(table_->table_id(), *key, *old_row);
+  ASSERT_TRUE(manager_.Abort(txn).ok());
+
+  EXPECT_EQ(table_->row_count(), 1u);
+  std::vector<Row> keys, rows;
+  ASSERT_TRUE(
+      table_->IndexPrefixLookup("by_name", {Value::String("a")}, &keys, &rows)
+          .ok());
+  EXPECT_EQ(rows.size(), 1u);
+}
+
+TEST_F(TransactionTest, AbortUndoesUpdate) {
+  auto key = table_->Insert({Value::Int(1), Value::String("before")});
+  ASSERT_TRUE(key.ok());
+
+  Transaction* txn = manager_.Begin();
+  auto old_row = table_->Update(*key, {Value::Int(1), Value::String("after")});
+  ASSERT_TRUE(old_row.ok());
+  txn->LogUpdate(table_->table_id(), *key, *old_row);
+  ASSERT_TRUE(manager_.Abort(txn).ok());
+
+  auto row = table_->Get(*key);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[1].string_value(), "before");
+}
+
+TEST_F(TransactionTest, UndoAppliedInReverseOrder) {
+  Transaction* txn = manager_.Begin();
+  // Insert then update the same row; undo must revert update first.
+  auto key = table_->Insert({Value::Int(1), Value::String("v1")});
+  ASSERT_TRUE(key.ok());
+  txn->LogInsert(table_->table_id(), *key);
+  auto old_row = table_->Update(*key, {Value::Int(1), Value::String("v2")});
+  ASSERT_TRUE(old_row.ok());
+  txn->LogUpdate(table_->table_id(), *key, *old_row);
+
+  ASSERT_TRUE(manager_.Abort(txn).ok());
+  EXPECT_EQ(table_->row_count(), 0u);
+}
+
+TEST_F(TransactionTest, CommitReleasesLocks) {
+  Transaction* txn = manager_.Begin();
+  ResourceId res{table_->table_id(), {Value::Int(1)}};
+  ASSERT_EQ(manager_.lock_manager()->Acquire(txn->id(), res,
+                                             LockMode::kExclusive),
+            LockOutcome::kGranted);
+  EXPECT_EQ(manager_.lock_manager()->HeldLockCount(txn->id()), 1u);
+  const TxnId id = txn->id();
+  ASSERT_TRUE(manager_.Commit(txn).ok());
+  EXPECT_EQ(manager_.lock_manager()->HeldLockCount(id), 0u);
+}
+
+TEST_F(TransactionTest, CancelFlagVisibleCrossThread) {
+  Transaction* txn = manager_.Begin();
+  EXPECT_FALSE(txn->cancelled());
+  txn->Cancel();
+  EXPECT_TRUE(txn->cancelled());
+  EXPECT_TRUE(txn->cancelled_flag()->load());
+  manager_.Abort(txn).ok();
+}
+
+}  // namespace
+}  // namespace sqlcm::txn

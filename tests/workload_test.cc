@@ -1,0 +1,121 @@
+#include "workload/driver.h"
+#include "workload/tpch_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/session.h"
+
+namespace sqlcm::workload {
+namespace {
+
+TEST(TpchGenTest, LoadsExpectedRowCounts) {
+  engine::Database db;
+  TpchConfig config;
+  config.num_orders = 500;
+  config.num_parts = 50;
+  ASSERT_TRUE(LoadTpch(&db, config).ok());
+
+  EXPECT_EQ(db.catalog()->GetTable("part")->row_count(), 50u);
+  EXPECT_EQ(db.catalog()->GetTable("orders")->row_count(), 500u);
+  EXPECT_EQ(static_cast<int64_t>(db.catalog()->GetTable("lineitem")->row_count()),
+            ExpectedLineitemRows(config));
+  // Secondary index exists.
+  EXPECT_EQ(db.catalog()->GetTable("lineitem")->indexes().size(), 1u);
+}
+
+TEST(TpchGenTest, DeterministicInSeed) {
+  engine::Database db1, db2;
+  TpchConfig config;
+  config.num_orders = 100;
+  config.num_parts = 20;
+  ASSERT_TRUE(LoadTpch(&db1, config).ok());
+  ASSERT_TRUE(LoadTpch(&db2, config).ok());
+  auto s1 = db1.CreateSession();
+  auto s2 = db2.CreateSession();
+  auto r1 = s1->Execute("SELECT o_totalprice FROM orders WHERE o_orderkey = 42");
+  auto r2 = s2->Execute("SELECT o_totalprice FROM orders WHERE o_orderkey = 42");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->rows[0][0].double_value(), r2->rows[0][0].double_value());
+}
+
+TEST(WorkloadTest, MixedWorkloadShapeAndExecution) {
+  engine::Database db;
+  TpchConfig config;
+  config.num_orders = 400;
+  config.num_parts = 40;
+  ASSERT_TRUE(LoadTpch(&db, config).ok());
+
+  MixedWorkloadConfig mix;
+  mix.num_point_selects = 200;
+  mix.num_join_selects = 4;
+  mix.join_rows_min = 50;
+  mix.join_rows_max = 100;
+  auto items = GenerateMixedWorkload(config, mix);
+  EXPECT_EQ(items.size(), 204u);
+
+  auto session = db.CreateSession();
+  auto stats = RunWorkload(session.get(), items);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->statements, 204);
+  // Every point select hits exactly one row; joins add more.
+  EXPECT_GT(stats->rows_returned, 200);
+  EXPECT_GT(stats->wall_micros, 0);
+}
+
+TEST(WorkloadTest, JoinSelectsReturnTargetRowCounts) {
+  engine::Database db;
+  TpchConfig config;
+  config.num_orders = 2000;
+  config.num_parts = 100;
+  ASSERT_TRUE(LoadTpch(&db, config).ok());
+
+  MixedWorkloadConfig mix;
+  mix.num_point_selects = 10;
+  mix.num_join_selects = 5;
+  mix.join_rows_min = 100;
+  mix.join_rows_max = 200;
+  auto items = GenerateMixedWorkload(config, mix);
+  auto session = db.CreateSession();
+  for (const auto& item : items) {
+    auto result = session->Execute(item.sql, &item.params);
+    ASSERT_TRUE(result.ok()) << item.sql << ": " << result.status();
+    if (item.sql.find("JOIN") != std::string::npos) {
+      // Row counts land near the configured target (±2x: line counts are
+      // random per order).
+      EXPECT_GT(result->rows.size(), 30u);
+      EXPECT_LT(result->rows.size(), 500u);
+    }
+  }
+}
+
+TEST(WorkloadTest, PointSelectWorkloadAlwaysHits) {
+  engine::Database db;
+  TpchConfig config;
+  config.num_orders = 300;
+  config.num_parts = 30;
+  ASSERT_TRUE(LoadTpch(&db, config).ok());
+  auto items = GeneratePointSelectWorkload(config, 100, /*seed=*/3);
+  auto session = db.CreateSession();
+  auto stats = RunWorkload(session.get(), items);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows_returned, 100);  // every select finds its row
+}
+
+TEST(WorkloadTest, DeterministicWorkloadGeneration) {
+  TpchConfig config;
+  config.num_orders = 100;
+  MixedWorkloadConfig mix;
+  mix.num_point_selects = 50;
+  mix.num_join_selects = 2;
+  auto a = GenerateMixedWorkload(config, mix);
+  auto b = GenerateMixedWorkload(config, mix);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sql, b[i].sql);
+    EXPECT_EQ(a[i].params.size(), b[i].params.size());
+  }
+}
+
+}  // namespace
+}  // namespace sqlcm::workload
