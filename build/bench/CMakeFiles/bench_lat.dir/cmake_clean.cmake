@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lat.dir/bench_lat.cc.o"
+  "CMakeFiles/bench_lat.dir/bench_lat.cc.o.d"
+  "bench_lat"
+  "bench_lat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

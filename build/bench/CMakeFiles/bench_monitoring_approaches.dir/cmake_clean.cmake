@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_monitoring_approaches.dir/bench_monitoring_approaches.cc.o"
+  "CMakeFiles/bench_monitoring_approaches.dir/bench_monitoring_approaches.cc.o.d"
+  "bench_monitoring_approaches"
+  "bench_monitoring_approaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_monitoring_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pull_accuracy.dir/bench_pull_accuracy.cc.o"
+  "CMakeFiles/bench_pull_accuracy.dir/bench_pull_accuracy.cc.o.d"
+  "bench_pull_accuracy"
+  "bench_pull_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pull_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

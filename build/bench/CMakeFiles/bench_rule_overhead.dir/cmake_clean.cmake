@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rule_overhead.dir/bench_rule_overhead.cc.o"
+  "CMakeFiles/bench_rule_overhead.dir/bench_rule_overhead.cc.o.d"
+  "bench_rule_overhead"
+  "bench_rule_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rule_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_signature_overhead.dir/bench_signature_overhead.cc.o"
+  "CMakeFiles/bench_signature_overhead.dir/bench_signature_overhead.cc.o.d"
+  "bench_signature_overhead"
+  "bench_signature_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_signature_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for auditing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_hotspots.dir/blocking_hotspots.cpp.o"
+  "CMakeFiles/blocking_hotspots.dir/blocking_hotspots.cpp.o.d"
+  "blocking_hotspots"
+  "blocking_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

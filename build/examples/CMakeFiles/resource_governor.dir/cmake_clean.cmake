@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_governor.dir/resource_governor.cpp.o"
+  "CMakeFiles/resource_governor.dir/resource_governor.cpp.o.d"
+  "resource_governor"
+  "resource_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/top_k_queries.dir/top_k_queries.cpp.o"
+  "CMakeFiles/top_k_queries.dir/top_k_queries.cpp.o.d"
+  "top_k_queries"
+  "top_k_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/top_k_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

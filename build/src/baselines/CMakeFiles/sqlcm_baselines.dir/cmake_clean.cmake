@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlcm_baselines.dir/pull.cc.o"
+  "CMakeFiles/sqlcm_baselines.dir/pull.cc.o.d"
+  "CMakeFiles/sqlcm_baselines.dir/query_logging.cc.o"
+  "CMakeFiles/sqlcm_baselines.dir/query_logging.cc.o.d"
+  "libsqlcm_baselines.a"
+  "libsqlcm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlcm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sqlcm_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlcm_catalog.dir/schema.cc.o"
+  "CMakeFiles/sqlcm_catalog.dir/schema.cc.o.d"
+  "CMakeFiles/sqlcm_catalog.dir/types.cc.o"
+  "CMakeFiles/sqlcm_catalog.dir/types.cc.o.d"
+  "libsqlcm_catalog.a"
+  "libsqlcm_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlcm_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsqlcm_catalog.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlcm_common.dir/clock.cc.o"
+  "CMakeFiles/sqlcm_common.dir/clock.cc.o.d"
+  "CMakeFiles/sqlcm_common.dir/status.cc.o"
+  "CMakeFiles/sqlcm_common.dir/status.cc.o.d"
+  "CMakeFiles/sqlcm_common.dir/string_util.cc.o"
+  "CMakeFiles/sqlcm_common.dir/string_util.cc.o.d"
+  "CMakeFiles/sqlcm_common.dir/value.cc.o"
+  "CMakeFiles/sqlcm_common.dir/value.cc.o.d"
+  "libsqlcm_common.a"
+  "libsqlcm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlcm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

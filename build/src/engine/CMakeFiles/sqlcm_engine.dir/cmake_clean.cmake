@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlcm_engine.dir/database.cc.o"
+  "CMakeFiles/sqlcm_engine.dir/database.cc.o.d"
+  "CMakeFiles/sqlcm_engine.dir/plan_cache.cc.o"
+  "CMakeFiles/sqlcm_engine.dir/plan_cache.cc.o.d"
+  "CMakeFiles/sqlcm_engine.dir/session.cc.o"
+  "CMakeFiles/sqlcm_engine.dir/session.cc.o.d"
+  "libsqlcm_engine.a"
+  "libsqlcm_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlcm_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

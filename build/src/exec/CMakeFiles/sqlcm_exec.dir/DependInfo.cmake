@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/sqlcm_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/sqlcm_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "src/exec/CMakeFiles/sqlcm_exec.dir/expression.cc.o" "gcc" "src/exec/CMakeFiles/sqlcm_exec.dir/expression.cc.o.d"
+  "/root/repo/src/exec/logical_plan.cc" "src/exec/CMakeFiles/sqlcm_exec.dir/logical_plan.cc.o" "gcc" "src/exec/CMakeFiles/sqlcm_exec.dir/logical_plan.cc.o.d"
+  "/root/repo/src/exec/optimizer.cc" "src/exec/CMakeFiles/sqlcm_exec.dir/optimizer.cc.o" "gcc" "src/exec/CMakeFiles/sqlcm_exec.dir/optimizer.cc.o.d"
+  "/root/repo/src/exec/physical_plan.cc" "src/exec/CMakeFiles/sqlcm_exec.dir/physical_plan.cc.o" "gcc" "src/exec/CMakeFiles/sqlcm_exec.dir/physical_plan.cc.o.d"
+  "/root/repo/src/exec/planner.cc" "src/exec/CMakeFiles/sqlcm_exec.dir/planner.cc.o" "gcc" "src/exec/CMakeFiles/sqlcm_exec.dir/planner.cc.o.d"
+  "/root/repo/src/exec/row_schema.cc" "src/exec/CMakeFiles/sqlcm_exec.dir/row_schema.cc.o" "gcc" "src/exec/CMakeFiles/sqlcm_exec.dir/row_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/sqlcm_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/sqlcm_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sqlcm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sqlcm_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqlcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

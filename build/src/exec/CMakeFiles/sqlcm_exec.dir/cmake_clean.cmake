@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlcm_exec.dir/executor.cc.o"
+  "CMakeFiles/sqlcm_exec.dir/executor.cc.o.d"
+  "CMakeFiles/sqlcm_exec.dir/expression.cc.o"
+  "CMakeFiles/sqlcm_exec.dir/expression.cc.o.d"
+  "CMakeFiles/sqlcm_exec.dir/logical_plan.cc.o"
+  "CMakeFiles/sqlcm_exec.dir/logical_plan.cc.o.d"
+  "CMakeFiles/sqlcm_exec.dir/optimizer.cc.o"
+  "CMakeFiles/sqlcm_exec.dir/optimizer.cc.o.d"
+  "CMakeFiles/sqlcm_exec.dir/physical_plan.cc.o"
+  "CMakeFiles/sqlcm_exec.dir/physical_plan.cc.o.d"
+  "CMakeFiles/sqlcm_exec.dir/planner.cc.o"
+  "CMakeFiles/sqlcm_exec.dir/planner.cc.o.d"
+  "CMakeFiles/sqlcm_exec.dir/row_schema.cc.o"
+  "CMakeFiles/sqlcm_exec.dir/row_schema.cc.o.d"
+  "libsqlcm_exec.a"
+  "libsqlcm_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlcm_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlcm_sql.dir/ast.cc.o"
+  "CMakeFiles/sqlcm_sql.dir/ast.cc.o.d"
+  "CMakeFiles/sqlcm_sql.dir/lexer.cc.o"
+  "CMakeFiles/sqlcm_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/sqlcm_sql.dir/parser.cc.o"
+  "CMakeFiles/sqlcm_sql.dir/parser.cc.o.d"
+  "libsqlcm_sql.a"
+  "libsqlcm_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlcm_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

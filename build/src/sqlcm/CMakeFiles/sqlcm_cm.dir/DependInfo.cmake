@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqlcm/actions_io.cc" "src/sqlcm/CMakeFiles/sqlcm_cm.dir/actions_io.cc.o" "gcc" "src/sqlcm/CMakeFiles/sqlcm_cm.dir/actions_io.cc.o.d"
+  "/root/repo/src/sqlcm/lat.cc" "src/sqlcm/CMakeFiles/sqlcm_cm.dir/lat.cc.o" "gcc" "src/sqlcm/CMakeFiles/sqlcm_cm.dir/lat.cc.o.d"
+  "/root/repo/src/sqlcm/monitor_engine.cc" "src/sqlcm/CMakeFiles/sqlcm_cm.dir/monitor_engine.cc.o" "gcc" "src/sqlcm/CMakeFiles/sqlcm_cm.dir/monitor_engine.cc.o.d"
+  "/root/repo/src/sqlcm/rule.cc" "src/sqlcm/CMakeFiles/sqlcm_cm.dir/rule.cc.o" "gcc" "src/sqlcm/CMakeFiles/sqlcm_cm.dir/rule.cc.o.d"
+  "/root/repo/src/sqlcm/schema.cc" "src/sqlcm/CMakeFiles/sqlcm_cm.dir/schema.cc.o" "gcc" "src/sqlcm/CMakeFiles/sqlcm_cm.dir/schema.cc.o.d"
+  "/root/repo/src/sqlcm/signature.cc" "src/sqlcm/CMakeFiles/sqlcm_cm.dir/signature.cc.o" "gcc" "src/sqlcm/CMakeFiles/sqlcm_cm.dir/signature.cc.o.d"
+  "/root/repo/src/sqlcm/timer.cc" "src/sqlcm/CMakeFiles/sqlcm_cm.dir/timer.cc.o" "gcc" "src/sqlcm/CMakeFiles/sqlcm_cm.dir/timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/sqlcm_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sqlcm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/sqlcm_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sqlcm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sqlcm_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sqlcm_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqlcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlcm_cm.dir/actions_io.cc.o"
+  "CMakeFiles/sqlcm_cm.dir/actions_io.cc.o.d"
+  "CMakeFiles/sqlcm_cm.dir/lat.cc.o"
+  "CMakeFiles/sqlcm_cm.dir/lat.cc.o.d"
+  "CMakeFiles/sqlcm_cm.dir/monitor_engine.cc.o"
+  "CMakeFiles/sqlcm_cm.dir/monitor_engine.cc.o.d"
+  "CMakeFiles/sqlcm_cm.dir/rule.cc.o"
+  "CMakeFiles/sqlcm_cm.dir/rule.cc.o.d"
+  "CMakeFiles/sqlcm_cm.dir/schema.cc.o"
+  "CMakeFiles/sqlcm_cm.dir/schema.cc.o.d"
+  "CMakeFiles/sqlcm_cm.dir/signature.cc.o"
+  "CMakeFiles/sqlcm_cm.dir/signature.cc.o.d"
+  "CMakeFiles/sqlcm_cm.dir/timer.cc.o"
+  "CMakeFiles/sqlcm_cm.dir/timer.cc.o.d"
+  "libsqlcm_cm.a"
+  "libsqlcm_cm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlcm_cm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

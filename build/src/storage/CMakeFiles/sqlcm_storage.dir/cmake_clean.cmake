@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlcm_storage.dir/catalog.cc.o"
+  "CMakeFiles/sqlcm_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/sqlcm_storage.dir/table.cc.o"
+  "CMakeFiles/sqlcm_storage.dir/table.cc.o.d"
+  "CMakeFiles/sqlcm_storage.dir/table_io.cc.o"
+  "CMakeFiles/sqlcm_storage.dir/table_io.cc.o.d"
+  "libsqlcm_storage.a"
+  "libsqlcm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlcm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

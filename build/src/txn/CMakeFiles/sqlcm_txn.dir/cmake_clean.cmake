@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlcm_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/sqlcm_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/sqlcm_txn.dir/transaction.cc.o"
+  "CMakeFiles/sqlcm_txn.dir/transaction.cc.o.d"
+  "libsqlcm_txn.a"
+  "libsqlcm_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlcm_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlcm_workload.dir/driver.cc.o"
+  "CMakeFiles/sqlcm_workload.dir/driver.cc.o.d"
+  "CMakeFiles/sqlcm_workload.dir/tpch_gen.cc.o"
+  "CMakeFiles/sqlcm_workload.dir/tpch_gen.cc.o.d"
+  "libsqlcm_workload.a"
+  "libsqlcm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlcm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

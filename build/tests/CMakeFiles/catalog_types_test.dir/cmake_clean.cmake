@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_types_test.dir/catalog_types_test.cc.o"
+  "CMakeFiles/catalog_types_test.dir/catalog_types_test.cc.o.d"
+  "catalog_types_test"
+  "catalog_types_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

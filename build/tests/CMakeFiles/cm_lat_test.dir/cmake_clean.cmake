@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_lat_test.dir/cm_lat_test.cc.o"
+  "CMakeFiles/cm_lat_test.dir/cm_lat_test.cc.o.d"
+  "cm_lat_test"
+  "cm_lat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_lat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_monitor_extras_test.dir/cm_monitor_extras_test.cc.o"
+  "CMakeFiles/cm_monitor_extras_test.dir/cm_monitor_extras_test.cc.o.d"
+  "cm_monitor_extras_test"
+  "cm_monitor_extras_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_monitor_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_monitor_test.dir/cm_monitor_test.cc.o"
+  "CMakeFiles/cm_monitor_test.dir/cm_monitor_test.cc.o.d"
+  "cm_monitor_test"
+  "cm_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

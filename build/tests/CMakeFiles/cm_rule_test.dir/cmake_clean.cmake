@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_rule_test.dir/cm_rule_test.cc.o"
+  "CMakeFiles/cm_rule_test.dir/cm_rule_test.cc.o.d"
+  "cm_rule_test"
+  "cm_rule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_rule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_signature_test.dir/cm_signature_test.cc.o"
+  "CMakeFiles/cm_signature_test.dir/cm_signature_test.cc.o.d"
+  "cm_signature_test"
+  "cm_signature_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_signature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_timer_test.dir/cm_timer_test.cc.o"
+  "CMakeFiles/cm_timer_test.dir/cm_timer_test.cc.o.d"
+  "cm_timer_test"
+  "cm_timer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_timer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

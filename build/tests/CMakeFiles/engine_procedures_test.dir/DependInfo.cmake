@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine_procedures_test.cc" "tests/CMakeFiles/engine_procedures_test.dir/engine_procedures_test.cc.o" "gcc" "tests/CMakeFiles/engine_procedures_test.dir/engine_procedures_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sqlcm/CMakeFiles/sqlcm_cm.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sqlcm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sqlcm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sqlcm_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sqlcm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sqlcm_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/sqlcm_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sqlcm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sqlcm_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqlcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

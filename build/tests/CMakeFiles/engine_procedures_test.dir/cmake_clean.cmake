@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_procedures_test.dir/engine_procedures_test.cc.o"
+  "CMakeFiles/engine_procedures_test.dir/engine_procedures_test.cc.o.d"
+  "engine_procedures_test"
+  "engine_procedures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_procedures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

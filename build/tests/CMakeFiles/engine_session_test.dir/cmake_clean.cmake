@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_session_test.dir/engine_session_test.cc.o"
+  "CMakeFiles/engine_session_test.dir/engine_session_test.cc.o.d"
+  "engine_session_test"
+  "engine_session_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_optimizer_test.dir/exec_optimizer_test.cc.o"
+  "CMakeFiles/exec_optimizer_test.dir/exec_optimizer_test.cc.o.d"
+  "exec_optimizer_test"
+  "exec_optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

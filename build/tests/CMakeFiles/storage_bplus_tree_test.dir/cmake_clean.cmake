@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_bplus_tree_test.dir/storage_bplus_tree_test.cc.o"
+  "CMakeFiles/storage_bplus_tree_test.dir/storage_bplus_tree_test.cc.o.d"
+  "storage_bplus_tree_test"
+  "storage_bplus_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_bplus_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

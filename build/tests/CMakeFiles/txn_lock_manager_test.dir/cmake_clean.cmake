@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_lock_manager_test.dir/txn_lock_manager_test.cc.o"
+  "CMakeFiles/txn_lock_manager_test.dir/txn_lock_manager_test.cc.o.d"
+  "txn_lock_manager_test"
+  "txn_lock_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_lock_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_transaction_test.dir/txn_transaction_test.cc.o"
+  "CMakeFiles/txn_transaction_test.dir/txn_transaction_test.cc.o.d"
+  "txn_transaction_test"
+  "txn_transaction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_transaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
