@@ -16,6 +16,10 @@
 // here. The table therefore reports both the relative overhead and the
 // absolute per-query monitoring cost (see EXPERIMENTS.md).
 //
+// The final stdout line is machine-readable: `BENCH_JSON {...}` carries the
+// baseline, every config's overhead numbers and the monitor's own per-hook
+// latency percentiles (from MonitorMetrics), so CI can diff runs.
+//
 //   build/bench/bench_rule_overhead [--quick]
 #include <cstdio>
 #include <cstring>
@@ -54,6 +58,60 @@ struct Config {
   int num_rules;
   int num_conditions;
 };
+
+struct ConfigResult {
+  Config config;
+  double wall_ms;
+  double overhead_pct;
+  double added_us_per_query;
+};
+
+std::string JsonNum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+/// One `BENCH_JSON {...}` line: greppable, parseable, stable key order.
+void PrintBenchJson(int64_t num_queries, double baseline_us,
+                    const std::vector<ConfigResult>& results,
+                    const cm::MonitorMetrics& metrics) {
+  std::string out = "BENCH_JSON {\"bench\":\"rule_overhead\"";
+  out += ",\"queries\":" + std::to_string(num_queries);
+  out += ",\"baseline_us_per_query\":" +
+         JsonNum(baseline_us / static_cast<double>(num_queries));
+  out += ",\"configs\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    if (i > 0) out += ",";
+    out += "{\"rules\":" + std::to_string(r.config.num_rules);
+    out += ",\"conds\":" + std::to_string(r.config.num_conditions);
+    out += ",\"wall_ms\":" + JsonNum(r.wall_ms);
+    out += ",\"overhead_pct\":" + JsonNum(r.overhead_pct);
+    out += ",\"added_us_per_query\":" + JsonNum(r.added_us_per_query) + "}";
+  }
+  out += "],\"hooks\":{";
+  bool first = true;
+  for (size_t h = 0; h < cm::kNumMonitorHooks; ++h) {
+    const auto& hook = metrics.hooks[h];
+    if (hook.calls.value() == 0) continue;
+    const auto pct = hook.latency.ComputePercentiles();
+    if (!first) out += ",";
+    first = false;
+    out += std::string("\"") +
+           cm::MonitorHookName(static_cast<cm::MonitorHook>(h)) + "\":{";
+    out += "\"count\":" + std::to_string(hook.calls.value());
+    out += ",\"timed\":" + std::to_string(hook.latency.count());
+    out += ",\"p50_us\":" + JsonNum(pct.p50);
+    out += ",\"p95_us\":" + JsonNum(pct.p95);
+    out += ",\"p99_us\":" + JsonNum(pct.p99) + "}";
+  }
+  out += "},\"fast_path_calls\":" +
+         std::to_string(metrics.fast_path_calls.value());
+  out += ",\"rules_fired\":" + std::to_string(metrics.rules_fired.value());
+  out += "}";
+  std::printf("%s\n", out.c_str());
+}
 
 }  // namespace
 
@@ -94,6 +152,7 @@ int main(int argc, char** argv) {
               "overhead%", "us/query added");
 
   cm::MonitorEngine monitor(&db);
+  std::vector<ConfigResult> results;
 
   std::vector<Config> configs = {{100, 1}, {100, 5},  {100, 10}, {100, 20},
                                  {250, 1}, {250, 20}, {500, 1},  {500, 20},
@@ -138,6 +197,8 @@ int main(int argc, char** argv) {
     std::printf("%8d %8d %12.1f %12.1f %14.3f\n", config.num_rules,
                 config.num_conditions, with_rules_us / 1000.0, overhead_pct,
                 added_us_per_query);
+    results.push_back({config, with_rules_us / 1000.0, overhead_pct,
+                       added_us_per_query});
 
     for (uint64_t id : rule_ids) (void)monitor.RemoveRule(id);
     for (int r = 0; r < config.num_rules; ++r) {
@@ -151,5 +212,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "monitor error: %s\n", monitor.last_error().c_str());
     return 1;
   }
+  PrintBenchJson(num_queries, baseline_us, results, monitor.metrics());
   return 0;
 }

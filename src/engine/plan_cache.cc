@@ -28,6 +28,7 @@ void PlanCache::Put(std::shared_ptr<CachedPlan> plan) {
   while (map_.size() > capacity_ && !lru_.empty()) {
     map_.erase(lru_.back());
     lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

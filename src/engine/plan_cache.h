@@ -62,6 +62,9 @@ class PlanCache {
   size_t size() const;
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
   const size_t capacity_;
@@ -75,6 +78,7 @@ class PlanCache {
   std::unordered_map<std::string, Slot> map_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace sqlcm::engine

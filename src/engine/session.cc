@@ -206,6 +206,11 @@ Result<QueryResult> Session::ExecuteDdl(const sql::Statement& stmt) {
     }
     case sql::StatementKind::kDropTable: {
       const auto& drop = static_cast<const sql::DropTableStmt&>(stmt);
+      storage::Table* table = db_->catalog()->GetTable(drop.table);
+      if (table != nullptr && table->is_virtual()) {
+        return Status::InvalidArgument("table '" + drop.table +
+                                       "' is a read-only system view");
+      }
       SQLCM_RETURN_IF_ERROR(db_->catalog()->DropTable(drop.table));
       break;
     }

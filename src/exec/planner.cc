@@ -320,6 +320,10 @@ Result<std::unique_ptr<LogicalPlan>> Planner::PlanInsert(
   if (table == nullptr) {
     return Status::NotFound("table '" + stmt.table + "' not found");
   }
+  if (table->is_virtual()) {
+    return Status::InvalidArgument("table '" + stmt.table +
+                                   "' is a read-only system view");
+  }
   const auto& schema = table->schema();
   // Map the optional column list to schema ordinals.
   std::vector<int> target_ordinal;  // position i of VALUES row -> ordinal
@@ -407,6 +411,10 @@ Result<std::unique_ptr<LogicalPlan>> Planner::PlanUpdate(
   if (table == nullptr) {
     return Status::NotFound("table '" + stmt.table + "' not found");
   }
+  if (table->is_virtual()) {
+    return Status::InvalidArgument("table '" + stmt.table +
+                                   "' is a read-only system view");
+  }
   auto node = std::make_unique<LogicalPlan>();
   node->op = LogicalOp::kUpdate;
   node->table = table;
@@ -431,6 +439,10 @@ Result<std::unique_ptr<LogicalPlan>> Planner::PlanDelete(
   storage::Table* table = catalog_->GetTable(stmt.table);
   if (table == nullptr) {
     return Status::NotFound("table '" + stmt.table + "' not found");
+  }
+  if (table->is_virtual()) {
+    return Status::InvalidArgument("table '" + stmt.table +
+                                   "' is a read-only system view");
   }
   auto node = std::make_unique<LogicalPlan>();
   node->op = LogicalOp::kDelete;

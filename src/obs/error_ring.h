@@ -1,0 +1,60 @@
+// Bounded ring of recent error messages plus a lifetime total.
+//
+// Replaces MonitorEngine's single last-error string: operators get the last
+// N failures with timestamps (surfaced through sqlcm_engine_stats) instead
+// of only the most recent one. Errors are off the monitor's success fast
+// path, so a mutex here is fine.
+#ifndef SQLCM_OBS_ERROR_RING_H_
+#define SQLCM_OBS_ERROR_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sqlcm::obs {
+
+class ErrorRing {
+ public:
+  struct Entry {
+    uint64_t seq = 0;       // 0-based index over all errors ever recorded
+    int64_t ts_micros = 0;
+    std::string message;
+  };
+
+  explicit ErrorRing(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  void Record(int64_t ts_micros, std::string message) {
+    const uint64_t seq = total_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back(Entry{seq, ts_micros, std::move(message)});
+    while (entries_.size() > capacity_) entries_.pop_front();
+  }
+
+  /// Oldest-first copy of the retained entries.
+  std::vector<Entry> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::vector<Entry>(entries_.begin(), entries_.end());
+  }
+
+  /// Message of the most recent error; empty when none recorded.
+  std::string MostRecent() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.empty() ? std::string() : entries_.back().message;
+  }
+
+  uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::atomic<uint64_t> total_{0};
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace sqlcm::obs
+
+#endif  // SQLCM_OBS_ERROR_RING_H_

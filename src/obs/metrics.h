@@ -1,0 +1,123 @@
+// Self-monitoring primitives (observability layer).
+//
+// SQLCM's central claim is low in-server monitoring overhead (paper §2.1,
+// §6); this module gives the reproduction the instruments to measure that
+// claim about itself. Everything on the update path is lock-free:
+//   * Counter / Gauge — single relaxed atomics;
+//   * LatencyHistogram — fixed power-of-two buckets with p50/p95/p99
+//     extraction, a handful of relaxed atomic ops per Record().
+// A MetricsRegistry holds non-owning named references so the whole
+// inventory can be materialized into the sqlcm_engine_stats system view
+// (R-GMA's "monitoring data is itself relational data" move, PAPERS.md).
+//
+// Threading: Record/Inc/Set are safe from any thread. Snapshot/percentile
+// reads are lock-free too and see a near-consistent view (counts may lag
+// sums by in-flight updates); registry registration is mutex-guarded and
+// expected at setup time only.
+#ifndef SQLCM_OBS_METRICS_H_
+#define SQLCM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sqlcm::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depths, row counts).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram over non-negative microsecond samples.
+///
+/// Bucket i (i >= 1) covers [2^(i-1), 2^i - 1] µs; bucket 0 holds samples
+/// <= 0. Record() is a few relaxed atomic ops (bucket, count, sum, max) —
+/// cheap enough for monitor hot paths. Percentiles interpolate linearly
+/// inside the selected bucket, with the top bound clamped to the maximum
+/// sample seen, so single-valued distributions report tight estimates.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 34;  // covers up to ~2.4 hours in µs
+
+  void Record(int64_t micros);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_micros() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t max_micros() const { return max_.load(std::memory_order_relaxed); }
+
+  /// p in [0, 1]; 0 when the histogram is empty.
+  double Percentile(double p) const;
+
+  struct Percentiles {
+    double p50 = 0, p95 = 0, p99 = 0;
+  };
+  Percentiles ComputePercentiles() const;
+
+  /// Inclusive value range of bucket `i` (exposed for the percentile tests).
+  static int64_t BucketLowerBound(size_t i);
+  static int64_t BucketUpperBound(size_t i);
+
+  /// Not atomic with respect to concurrent Record(); benches only.
+  void Reset();
+
+ private:
+  static size_t BucketIndex(int64_t micros);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Named, non-owning directory of metrics for view materialization.
+/// Registered instruments must outlive the registry.
+class MetricsRegistry {
+ public:
+  void RegisterCounter(std::string name, const Counter* counter);
+  void RegisterGauge(std::string name, const Gauge* gauge);
+  void RegisterHistogram(std::string name, const LatencyHistogram* histogram);
+
+  struct Sample {
+    std::string name;
+    const char* kind;  // "counter" | "gauge" | "histogram"
+    double value;
+  };
+
+  /// One sample per counter/gauge; histograms expand to
+  /// <name>.count/.p50_us/.p95_us/.p99_us/.max_us.
+  std::vector<Sample> Snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const LatencyHistogram* histogram = nullptr;
+  };
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sqlcm::obs
+
+#endif  // SQLCM_OBS_METRICS_H_

@@ -1,0 +1,83 @@
+// Bounded multi-producer event-trace ring for the monitor engine.
+//
+// Producers are session threads dispatching monitor events; they must never
+// block, so the ring is lock-free: a ticket counter assigns slots and each
+// slot carries a stamp encoding write progress (2*ticket+1 = write begun,
+// 2*ticket+2 = write complete). Stamps only move forward (monotonic CAS), so
+// a slow writer that lost its slot to a newer lap simply skips publication.
+// Payload fields are individually-relaxed atomics rather than plain fields
+// behind a seqlock — this keeps the protocol free of data races (TSan-clean)
+// at the cost of a torn-but-detected read: Snapshot() re-checks the stamp
+// and drops any slot that changed mid-read. On a ring lap it is possible for
+// a slot to expose a mix of two *completed* writes' fields; snapshots are
+// diagnostics, not audit logs, and the enclosing test tolerance reflects it.
+#ifndef SQLCM_OBS_TRACE_RING_H_
+#define SQLCM_OBS_TRACE_RING_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqlcm::obs {
+
+struct TraceEvent {
+  uint64_t seq = 0;           // global event index (0-based)
+  int64_t ts_micros = 0;      // event timestamp
+  uint8_t kind = 0;           // sqlcm::cm::EventKind, stored untyped
+  std::string qualifier;      // truncated to kMaxQualifierBytes
+  uint32_t rules_fired = 0;   // rules whose actions ran for this event
+  int64_t dispatch_micros = 0;  // wall time spent dispatching the event
+};
+
+class TraceRing {
+ public:
+  static constexpr size_t kMaxQualifierBytes = 24;
+
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit TraceRing(size_t capacity = 1024);
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// No-op when disabled. Lock-free, wait-free apart from the stamp CAS.
+  void Record(uint8_t kind, std::string_view qualifier, uint32_t rules_fired,
+              int64_t ts_micros, int64_t dispatch_micros);
+
+  /// The most recent min(capacity, total recorded) events, oldest first.
+  /// Slots mid-write or reclaimed by a concurrent lap are skipped.
+  std::vector<TraceEvent> Snapshot() const;
+
+  uint64_t total_recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> stamp{0};  // 0 = empty; odd = writing; even = done
+    std::atomic<int64_t> ts_micros{0};
+    std::atomic<int64_t> dispatch_micros{0};
+    std::atomic<uint32_t> rules_fired{0};
+    std::atomic<uint8_t> kind{0};
+    std::atomic<uint8_t> qualifier_len{0};
+    std::array<std::atomic<uint64_t>, 3> qualifier_words{};
+  };
+
+  /// Advance `stamp` to `target` only if it is currently older; returns false
+  /// when a newer ticket already owns the slot.
+  static bool AdvanceStamp(std::atomic<uint64_t>& stamp, uint64_t target);
+
+  size_t capacity_;       // power of two
+  size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> head_{0};    // next ticket to hand out
+  std::atomic<bool> enabled_{false};
+};
+
+}  // namespace sqlcm::obs
+
+#endif  // SQLCM_OBS_TRACE_RING_H_

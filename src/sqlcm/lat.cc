@@ -346,12 +346,38 @@ size_t Lat::ApproxRowBytesLocked(const LatRow& row) {
   return bytes;
 }
 
+namespace {
+
+/// Latch guard for the Insert hot path that feeds LatStats: every
+/// acquisition is counted, and a failed try_lock (another thread holds the
+/// latch, we must spin) counts as contention.
+class CountedLatchGuard {
+ public:
+  CountedLatchGuard(common::SpinLatch& latch, LatStats& stats)
+      : latch_(latch) {
+    stats.latch_acquisitions.Inc();
+    if (!latch_.try_lock()) {
+      stats.latch_contention.Inc();
+      latch_.lock();
+    }
+  }
+  ~CountedLatchGuard() { latch_.unlock(); }
+  CountedLatchGuard(const CountedLatchGuard&) = delete;
+  CountedLatchGuard& operator=(const CountedLatchGuard&) = delete;
+
+ private:
+  common::SpinLatch& latch_;
+};
+
+}  // namespace
+
 void Lat::Insert(const void* record, int64_t now_micros) {
+  stats_.inserts.Inc();
   Row key = GroupKeyFor(record);
 
   std::shared_ptr<LatRow> row;
   {
-    std::lock_guard<common::SpinLatch> hash_guard(hash_latch_);
+    CountedLatchGuard hash_guard(hash_latch_, stats_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       row = it->second;
@@ -367,7 +393,7 @@ void Lat::Insert(const void* record, int64_t now_micros) {
   Row ordering_key;
   size_t row_bytes = 0;
   {
-    std::lock_guard<common::SpinLatch> row_guard(row->latch);
+    CountedLatchGuard row_guard(row->latch, stats_);
     for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
       Value v = agg_getters_[a] != nullptr ? agg_getters_[a](record)
                                            : Value::Int(1);
@@ -384,7 +410,7 @@ void Lat::Insert(const void* record, int64_t now_micros) {
   // Maintain the eviction heap; collect overflow victims.
   std::vector<LatRow*> victims;
   {
-    std::lock_guard<common::SpinLatch> heap_guard(heap_latch_);
+    CountedLatchGuard heap_guard(heap_latch_, stats_);
     row->ordering_key = std::move(ordering_key);
     if (spec_.max_bytes > 0 && !row->evicted) {
       total_bytes_ += row_bytes - row->approx_bytes;
@@ -408,6 +434,7 @@ void Lat::Insert(const void* record, int64_t now_micros) {
     }
   }
   if (victims.empty()) return;
+  stats_.evictions.Inc(victims.size());
 
   // Materialize victims (row latch only) when anyone listens, erase from
   // the directory (hash latch only), then notify outside all latches.

@@ -30,6 +30,7 @@
 #include "common/latch.h"
 #include "common/status.h"
 #include "common/value.h"
+#include "obs/metrics.h"
 #include "sqlcm/schema.h"
 #include "storage/table.h"
 
@@ -83,6 +84,18 @@ struct LatSpec {
   /// Aging parameters (apply to aggregates flagged `aging`).
   int64_t aging_window_micros = 0;  // t
   int64_t aging_block_micros = 0;   // Δ
+};
+
+/// Per-LAT runtime statistics (surfaced via sqlcm_lat_stats). Latch counters
+/// cover the Insert hot path only — the paper's §6.1 claim is precisely that
+/// these latches are not a hotspot, and `latch_contention` measures it.
+/// `upsert_micros` is populated only under MonitorEngine detailed timing.
+struct LatStats {
+  obs::Counter inserts;
+  obs::Counter evictions;
+  obs::Counter latch_acquisitions;
+  obs::Counter latch_contention;  // try_lock failed, had to spin
+  obs::LatencyHistogram upsert_micros;
 };
 
 class Lat {
@@ -144,6 +157,10 @@ class Lat {
   /// Approximate bytes across all rows (maintained when a byte limit is
   /// configured; 0 otherwise).
   size_t approx_bytes() const;
+
+  /// Runtime statistics; mutable through a const Lat because the insert
+  /// path is logically const for readers.
+  LatStats& stats() const { return stats_; }
 
   // -- Persistence (§4.3) ------------------------------------------------------
 
@@ -228,6 +245,8 @@ class Lat {
   mutable common::SpinLatch heap_latch_;
   std::vector<LatRow*> heap_;  // min-heap: root = least important
   size_t total_bytes_ = 0;     // sum of approx_bytes; guarded by heap_latch_
+
+  mutable LatStats stats_;
 };
 
 }  // namespace sqlcm::cm

@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "sqlcm/signature.h"
+#include "sqlcm/system_views.h"
 
 namespace sqlcm::cm {
 
@@ -54,6 +55,30 @@ catalog::ColumnType ColumnTypeForKind(ValueKind kind) {
   }
 }
 
+/// Per-hook instrumentation guard: always counts the call; times it (two
+/// clock reads) only while monitoring is active, so the no-rules fast path
+/// never touches the clock.
+class HookTimer {
+ public:
+  HookTimer(common::Clock* clock, MonitorMetrics::HookStats* stats,
+            bool active)
+      : clock_(clock), stats_(stats), active_(active) {
+    stats_->calls.Inc();
+    if (active_) start_ = clock_->NowMicros();
+  }
+  ~HookTimer() {
+    if (active_) stats_->latency.Record(clock_->NowMicros() - start_);
+  }
+  HookTimer(const HookTimer&) = delete;
+  HookTimer& operator=(const HookTimer&) = delete;
+
+ private:
+  common::Clock* clock_;
+  MonitorMetrics::HookStats* stats_;
+  const bool active_;
+  int64_t start_ = 0;
+};
+
 }  // namespace
 
 MonitorEngine::MonitorEngine(engine::Database* db, Options options)
@@ -64,14 +89,25 @@ MonitorEngine::MonitorEngine(engine::Database* db, Options options)
                                             : &default_launcher_),
       timers_(db->clock(),
               [this](const TimerRecord& timer) { HandleTimerAlarm(timer); }),
-      rule_table_(std::make_shared<const RuleTable>()) {
+      rule_table_(std::make_shared<const RuleTable>()),
+      trace_(options.trace_capacity) {
+  detailed_timing_.store(options.detailed_timing, std::memory_order_relaxed);
+  timers_.set_drift_histogram(&metrics_.timer_drift_micros);
   db_->set_monitor_hooks(this);
+  if (options_.register_system_views) {
+    views_ = std::make_unique<SystemViews>(this, db_);
+  }
   if (options_.start_timer_thread) timers_.Start();
 }
 
 MonitorEngine::~MonitorEngine() {
   timers_.Stop();
   db_->set_monitor_hooks(nullptr);
+  if (views_ != nullptr) {
+    views_.reset();
+    // Cached plans may reference the just-dropped view tables.
+    db_->plan_cache()->Clear();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -79,7 +115,8 @@ MonitorEngine::~MonitorEngine() {
 // ---------------------------------------------------------------------------
 
 Status MonitorEngine::DefineLat(LatSpec spec) {
-  SQLCM_ASSIGN_OR_RETURN(auto lat, Lat::Create(std::move(spec)));
+  SQLCM_ASSIGN_OR_RETURN(auto created, Lat::Create(std::move(spec)));
+  std::shared_ptr<Lat> lat = std::move(created);
   Lat* raw = lat.get();
   lat->set_evict_callback(
       [this, raw](Row evicted) { HandleEviction(raw, std::move(evicted)); });
@@ -281,14 +318,24 @@ size_t MonitorEngine::active_query_count() const {
   return active_queries_.size();
 }
 
-std::string MonitorEngine::last_error() const {
-  std::lock_guard<std::mutex> lock(error_mutex_);
-  return last_error_;
+std::vector<std::shared_ptr<const CompiledRule>> MonitorEngine::SnapshotRules()
+    const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return std::vector<std::shared_ptr<const CompiledRule>>(rules_.begin(),
+                                                          rules_.end());
+}
+
+std::vector<std::shared_ptr<const Lat>> MonitorEngine::SnapshotLats() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::vector<std::shared_ptr<const Lat>> out;
+  out.reserve(lats_.size());
+  for (const auto& [_, lat] : lats_) out.push_back(lat);
+  return out;
 }
 
 void MonitorEngine::RecordError(const Status& status) {
-  std::lock_guard<std::mutex> lock(error_mutex_);
-  last_error_ = status.ToString();
+  metrics_.errors_total.Inc();
+  errors_.Record(db_->clock()->NowMicros(), status.ToString());
 }
 
 // ---------------------------------------------------------------------------
@@ -296,6 +343,11 @@ void MonitorEngine::RecordError(const Status& status) {
 // ---------------------------------------------------------------------------
 
 void MonitorEngine::OnStatementCompiled(engine::CachedPlan* plan) {
+  // Signatures are computed regardless of monitoring state (they are cached
+  // with the plan for later rule use, §4.2), so this hook bills its
+  // already-measured signature cost instead of re-reading the clock.
+  metrics_.hooks[static_cast<size_t>(MonitorHook::kStatementCompiled)]
+      .calls.Inc();
   // Paper §4.2: signatures are computed during optimization and cached
   // with the plan. signature_micros is what experiment E1 measures against
   // plan->optimize_micros.
@@ -308,10 +360,20 @@ void MonitorEngine::OnStatementCompiled(engine::CachedPlan* plan) {
   plan->logical_signature_hash = logical.hash;
   plan->physical_signature_hash = physical.hash;
   plan->signatures_computed = true;
+  metrics_.signature_micros.Record(plan->signature_micros);
+  metrics_.hooks[static_cast<size_t>(MonitorHook::kStatementCompiled)]
+      .latency.Record(plan->signature_micros);
 }
 
 void MonitorEngine::OnQueryStart(const engine::QueryInfo& info) {
-  if (!MonitoringActive()) return;
+  const bool active = MonitoringActive();
+  HookTimer timer(
+      db_->clock(),
+      &metrics_.hooks[static_cast<size_t>(MonitorHook::kQueryStart)], active);
+  if (!active) {
+    metrics_.fast_path_calls.Inc();
+    return;
+  }
   auto rec = std::make_shared<QueryRecord>();
   rec->id = info.query_id;
   if (info.plan_ref != nullptr && info.plan_ref->signatures_computed) {
@@ -419,18 +481,50 @@ void MonitorEngine::FinishQuery(const engine::QueryInfo& info,
 }
 
 void MonitorEngine::OnQueryCommit(const engine::QueryInfo& info) {
+  const bool active = MonitoringActive();
+  HookTimer timer(
+      db_->clock(),
+      &metrics_.hooks[static_cast<size_t>(MonitorHook::kQueryCommit)], active);
+  if (!active) {
+    metrics_.fast_path_calls.Inc();
+    return;
+  }
   FinishQuery(info, EventKind::kQueryCommit);
 }
 void MonitorEngine::OnQueryCancel(const engine::QueryInfo& info) {
+  const bool active = MonitoringActive();
+  HookTimer timer(
+      db_->clock(),
+      &metrics_.hooks[static_cast<size_t>(MonitorHook::kQueryCancel)], active);
+  if (!active) {
+    metrics_.fast_path_calls.Inc();
+    return;
+  }
   FinishQuery(info, EventKind::kQueryCancel);
 }
 void MonitorEngine::OnQueryRollback(const engine::QueryInfo& info) {
+  const bool active = MonitoringActive();
+  HookTimer timer(
+      db_->clock(),
+      &metrics_.hooks[static_cast<size_t>(MonitorHook::kQueryRollback)],
+      active);
+  if (!active) {
+    metrics_.fast_path_calls.Inc();
+    return;
+  }
   FinishQuery(info, EventKind::kQueryRollback);
 }
 
 void MonitorEngine::OnTransactionBegin(uint64_t session_id,
                                        txn::TxnId txn_id) {
-  if (!MonitoringActive()) return;
+  const bool active = MonitoringActive();
+  HookTimer timer(db_->clock(),
+                  &metrics_.hooks[static_cast<size_t>(MonitorHook::kTxnBegin)],
+                  active);
+  if (!active) {
+    metrics_.fast_path_calls.Inc();
+    return;
+  }
   if (!track_transactions_.load(std::memory_order_acquire)) return;
   auto rec = std::make_shared<TransactionRecord>();
   rec->id = txn_id;
@@ -461,7 +555,14 @@ void MonitorEngine::OnTransactionCommit(uint64_t session_id,
                                         txn::TxnId txn_id,
                                         int64_t duration_micros) {
   (void)session_id;
-  if (!MonitoringActive()) return;
+  const bool active = MonitoringActive();
+  HookTimer timer(db_->clock(),
+                  &metrics_.hooks[static_cast<size_t>(MonitorHook::kTxnCommit)],
+                  active);
+  if (!active) {
+    metrics_.fast_path_calls.Inc();
+    return;
+  }
   std::shared_ptr<TransactionRecord> rec;
   {
     std::lock_guard<std::mutex> lock(objects_mutex_);
@@ -485,7 +586,14 @@ void MonitorEngine::OnTransactionRollback(uint64_t session_id,
                                           txn::TxnId txn_id,
                                           int64_t duration_micros) {
   (void)session_id;
-  if (!MonitoringActive()) return;
+  const bool active = MonitoringActive();
+  HookTimer timer(
+      db_->clock(),
+      &metrics_.hooks[static_cast<size_t>(MonitorHook::kTxnRollback)], active);
+  if (!active) {
+    metrics_.fast_path_calls.Inc();
+    return;
+  }
   std::shared_ptr<TransactionRecord> rec;
   {
     std::lock_guard<std::mutex> lock(objects_mutex_);
@@ -528,7 +636,14 @@ std::shared_ptr<QueryRecord> MonitorEngine::CurrentQueryOfTxn(
 
 void MonitorEngine::OnBlocked(txn::TxnId blocked, txn::TxnId blocker,
                               const txn::ResourceId& resource) {
-  if (!MonitoringActive()) return;
+  const bool active = MonitoringActive();
+  HookTimer timer(db_->clock(),
+                  &metrics_.hooks[static_cast<size_t>(MonitorHook::kBlocked)],
+                  active);
+  if (!active) {
+    metrics_.fast_path_calls.Inc();
+    return;
+  }
   if (!track_blocking_.load(std::memory_order_acquire)) return;
   std::shared_ptr<QueryRecord> blocked_rec = CurrentQueryOfTxn(blocked);
   if (blocked_rec == nullptr) return;
@@ -553,7 +668,15 @@ void MonitorEngine::OnBlocked(txn::TxnId blocked, txn::TxnId blocker,
 void MonitorEngine::OnBlockReleased(txn::TxnId blocked, txn::TxnId blocker,
                                     const txn::ResourceId& resource,
                                     int64_t wait_micros) {
-  if (!MonitoringActive()) return;
+  const bool active = MonitoringActive();
+  HookTimer timer(
+      db_->clock(),
+      &metrics_.hooks[static_cast<size_t>(MonitorHook::kBlockReleased)],
+      active);
+  if (!active) {
+    metrics_.fast_path_calls.Inc();
+    return;
+  }
   if (!track_blocking_.load(std::memory_order_acquire)) return;
   std::shared_ptr<QueryRecord> blocked_rec = CurrentQueryOfTxn(blocked);
   if (blocked_rec == nullptr) return;
@@ -601,7 +724,9 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
   }
   const auto& rules = table->by_event[static_cast<size_t>(kind)];
   if (rules.empty()) return;
-  events_processed_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.events_processed.Inc();
+  const bool tracing = trace_.enabled();
+  uint32_t fired_here = 0;
 
   // One clock read per event; rules reuse it (hot path, Figure 2).
   base_ctx->now_micros = db_->clock()->NowMicros();
@@ -614,7 +739,7 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
     if (rule->iterate_classes.empty()) {
       // No unbound classes: evaluate directly against the shared context
       // (RunRule resets the per-evaluation LAT-row cache itself).
-      RunRule(*rule, base_ctx);
+      if (RunRule(*rule, base_ctx)) ++fired_here;
       continue;
     }
 
@@ -717,7 +842,7 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
             ctx.Bind(cls, ptr);
           }
         }
-        RunRule(*rule, &ctx);
+        if (RunRule(*rule, &ctx)) ++fired_here;
         size_t l = 0;
         for (; l < lists.size(); ++l) {
           if (++idx[l] < lists[l].size()) break;
@@ -727,12 +852,20 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
       }
     }
   }
+  if (tracing) {
+    // The clock read here is trace-gated; the untraced path stays at one
+    // read per event.
+    trace_.Record(static_cast<uint8_t>(kind), qualifier, fired_here,
+                  base_ctx->now_micros,
+                  db_->clock()->NowMicros() - base_ctx->now_micros);
+  }
   if (--RuleDepth() == 0) {
     // Drain deferred eviction events; each may enqueue more (bounded to
     // guard against pathological rule cycles).
     auto& pending = PendingEvictions();
     size_t processed = 0;
     while (!pending.empty()) {
+      metrics_.deferred_events.Inc();
       if (++processed > 100000) {
         RecordError(Status::ResourceExhausted(
             "deferred-event cascade exceeded 100000 events; dropping rest"));
@@ -749,24 +882,42 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
   }
 }
 
-void MonitorEngine::RunRule(const CompiledRule& rule, EvalContext* ctx) {
+bool MonitorEngine::RunRule(const CompiledRule& rule, EvalContext* ctx) {
+  rule.stats.evaluations.Inc();
   if (rule.use_fast_condition) {
-    if (!EvalFastAtoms(rule.fast_atoms, *ctx)) return;
+    if (!EvalFastAtoms(rule.fast_atoms, *ctx)) {
+      rule.stats.condition_false.Inc();
+      return false;
+    }
   } else if (rule.condition != nullptr) {
     ctx->lat_rows.clear();
     ctx->lat_row_missing = false;
     auto pass = rule.condition->EvalCondition(ctx);
     if (!pass.ok()) {
+      rule.stats.errors.Inc();
       RecordError(pass.status());
-      return;
+      return false;
     }
-    if (!*pass) return;
+    if (!*pass) {
+      rule.stats.condition_false.Inc();
+      return false;
+    }
   }
-  rules_fired_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.rules_fired.Inc();
+  rule.stats.fires.Inc();
+  const bool timed = detailed_timing_.load(std::memory_order_relaxed);
+  const int64_t action_start = timed ? db_->clock()->NowMicros() : 0;
   for (const CompiledAction& action : rule.actions) {
     Status status = ExecuteAction(action, ctx);
-    if (!status.ok()) RecordError(status);
+    if (!status.ok()) {
+      rule.stats.errors.Inc();
+      RecordError(status);
+    }
   }
+  if (timed) {
+    rule.stats.action_micros.Record(db_->clock()->NowMicros() - action_start);
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -813,7 +964,14 @@ Status MonitorEngine::ExecuteAction(const CompiledAction& action,
                                 std::string(MonitoredClassName(
                                     action.lat->spec().object_class)));
       }
-      action.lat->Insert(record, ctx->now_micros);
+      if (detailed_timing_.load(std::memory_order_relaxed)) {
+        const int64_t start = db_->clock()->NowMicros();
+        action.lat->Insert(record, ctx->now_micros);
+        action.lat->stats().upsert_micros.Record(db_->clock()->NowMicros() -
+                                                 start);
+      } else {
+        action.lat->Insert(record, ctx->now_micros);
+      }
       return Status::OK();
     }
     case ActionKind::kReset:

@@ -22,13 +22,18 @@
 
 #include "engine/database.h"
 #include "engine/monitor_hooks.h"
+#include "obs/error_ring.h"
+#include "obs/trace_ring.h"
 #include "sqlcm/actions_io.h"
 #include "sqlcm/lat.h"
+#include "sqlcm/monitor_metrics.h"
 #include "sqlcm/rule.h"
 #include "sqlcm/schema.h"
 #include "sqlcm/timer.h"
 
 namespace sqlcm::cm {
+
+class SystemViews;
 
 class MonitorEngine final : public engine::MonitorHooks,
                             public txn::LockEventObserver,
@@ -40,6 +45,14 @@ class MonitorEngine final : public engine::MonitorHooks,
     ProcessLauncher* launcher = nullptr;
     /// Spawn the 1ms timer-polling thread. Tests usually poll manually.
     bool start_timer_thread = false;
+    /// Register the sqlcm_* virtual system views in the database catalog.
+    bool register_system_views = true;
+    /// Event-trace ring capacity (rounded up to a power of two).
+    size_t trace_capacity = 1024;
+    /// Time per-rule action latency and per-LAT upsert latency (one extra
+    /// clock read each). Off by default to keep fired-rule dispatch at one
+    /// clock read per event (paper §6, experiment E2).
+    bool detailed_timing = false;
   };
 
   /// Attaches to `db` (registers the hook interface and lock observer).
@@ -90,14 +103,35 @@ class MonitorEngine final : public engine::MonitorHooks,
   CapturingLauncher* capturing_launcher() { return &default_launcher_; }
   size_t active_query_count() const;
   uint64_t events_processed() const {
-    return events_processed_.load(std::memory_order_relaxed);
+    return metrics_.events_processed.value();
   }
-  uint64_t rules_fired() const {
-    return rules_fired_.load(std::memory_order_relaxed);
-  }
+  uint64_t rules_fired() const { return metrics_.rules_fired.value(); }
   /// Most recent rule-processing error (rules never fail the server; errors
   /// are recorded here). Empty when none.
-  std::string last_error() const;
+  std::string last_error() const { return errors_.MostRecent(); }
+
+  // -- Observability ----------------------------------------------------------
+
+  const MonitorMetrics& metrics() const { return metrics_; }
+  obs::TraceRing* trace_ring() { return &trace_; }
+  const obs::TraceRing& trace_ring() const { return trace_; }
+
+  std::vector<obs::ErrorRing::Entry> recent_errors() const {
+    return errors_.Snapshot();
+  }
+  uint64_t total_errors() const { return errors_.total(); }
+
+  void set_detailed_timing(bool on) {
+    detailed_timing_.store(on, std::memory_order_relaxed);
+  }
+  bool detailed_timing() const {
+    return detailed_timing_.load(std::memory_order_relaxed);
+  }
+
+  /// Stable snapshots for the system views (short registry lock; the
+  /// shared_ptrs keep rules/LATs alive across concurrent Remove/Drop).
+  std::vector<std::shared_ptr<const CompiledRule>> SnapshotRules() const;
+  std::vector<std::shared_ptr<const Lat>> SnapshotLats() const;
 
   // -- engine::MonitorHooks ----------------------------------------------------
 
@@ -138,7 +172,8 @@ class MonitorEngine final : public engine::MonitorHooks,
   /// handling unbound-class iteration and deferred side-effect events.
   void FireEvent(EventKind kind, const std::string& qualifier,
                  EvalContext* base_ctx);
-  void RunRule(const CompiledRule& rule, EvalContext* ctx);
+  /// Returns true when the rule fired (condition passed, actions ran).
+  bool RunRule(const CompiledRule& rule, EvalContext* ctx);
   common::Status ExecuteAction(const CompiledAction& action, EvalContext* ctx);
   common::Status PersistRowToTable(const std::string& table_name,
                                    const std::vector<std::string>& col_names,
@@ -176,7 +211,7 @@ class MonitorEngine final : public engine::MonitorHooks,
   TimerManager timers_;
 
   mutable std::mutex registry_mutex_;  // lats_, rules_, rule_table_
-  std::unordered_map<std::string, std::unique_ptr<Lat>> lats_;  // lower name
+  std::unordered_map<std::string, std::shared_ptr<Lat>> lats_;  // lower name
   std::vector<std::shared_ptr<CompiledRule>> rules_;            // fixed order
   std::shared_ptr<const RuleTable> rule_table_;
   /// Lock-free per-event fast path: FireEvent returns without touching the
@@ -210,11 +245,16 @@ class MonitorEngine final : public engine::MonitorHooks,
   std::unordered_map<txn::TxnId, std::shared_ptr<QueryRecord>>
       blocker_at_block_time_;
 
-  mutable std::mutex error_mutex_;
-  std::string last_error_;
+  // Observability state. metrics_ instruments are updated lock-free from
+  // hook threads; errors_ has its own internal mutex (error path only).
+  MonitorMetrics metrics_;
+  obs::TraceRing trace_;
+  obs::ErrorRing errors_{16};
+  std::atomic<bool> detailed_timing_{false};
 
-  std::atomic<uint64_t> events_processed_{0};
-  std::atomic<uint64_t> rules_fired_{0};
+  /// The sqlcm_* virtual tables; owns their catalog lifetime. Declared
+  /// last so view refreshes stop before anything else is torn down.
+  std::unique_ptr<SystemViews> views_;
 };
 
 }  // namespace sqlcm::cm

@@ -1,0 +1,49 @@
+#include "sqlcm/monitor_metrics.h"
+
+#include <string>
+
+namespace sqlcm::cm {
+
+const char* MonitorHookName(MonitorHook hook) {
+  switch (hook) {
+    case MonitorHook::kStatementCompiled:
+      return "on_statement_compiled";
+    case MonitorHook::kQueryStart:
+      return "on_query_start";
+    case MonitorHook::kQueryCommit:
+      return "on_query_commit";
+    case MonitorHook::kQueryCancel:
+      return "on_query_cancel";
+    case MonitorHook::kQueryRollback:
+      return "on_query_rollback";
+    case MonitorHook::kTxnBegin:
+      return "on_transaction_begin";
+    case MonitorHook::kTxnCommit:
+      return "on_transaction_commit";
+    case MonitorHook::kTxnRollback:
+      return "on_transaction_rollback";
+    case MonitorHook::kBlocked:
+      return "on_blocked";
+    case MonitorHook::kBlockReleased:
+      return "on_block_released";
+  }
+  return "unknown";
+}
+
+MonitorMetrics::MonitorMetrics() {
+  for (size_t i = 0; i < kNumMonitorHooks; ++i) {
+    const std::string base =
+        std::string("hook.") + MonitorHookName(static_cast<MonitorHook>(i));
+    registry.RegisterCounter(base + ".calls", &hooks[i].calls);
+    registry.RegisterHistogram(base, &hooks[i].latency);
+  }
+  registry.RegisterCounter("engine.fast_path_calls", &fast_path_calls);
+  registry.RegisterCounter("engine.events_processed", &events_processed);
+  registry.RegisterCounter("engine.rules_fired", &rules_fired);
+  registry.RegisterCounter("engine.errors_total", &errors_total);
+  registry.RegisterCounter("engine.deferred_events", &deferred_events);
+  registry.RegisterHistogram("engine.signature_compute", &signature_micros);
+  registry.RegisterHistogram("engine.timer_drift", &timer_drift_micros);
+}
+
+}  // namespace sqlcm::cm

@@ -1,0 +1,59 @@
+// Engine-wide self-monitoring instruments for MonitorEngine.
+//
+// Answers the paper's own question — how much does the monitor cost? —
+// with per-hook call counters + latency histograms, engine counters
+// (events, fires, errors, fast-path hits, deferred evictions), the
+// signature-computation cost distribution (§4.2) and timer firing drift.
+// All instruments live here so the sqlcm_engine_stats system view can
+// materialize the whole inventory from one registry.
+#ifndef SQLCM_SQLCM_MONITOR_METRICS_H_
+#define SQLCM_SQLCM_MONITOR_METRICS_H_
+
+#include <array>
+#include <cstddef>
+
+#include "obs/metrics.h"
+
+namespace sqlcm::cm {
+
+/// Instrumented MonitorHooks entry points (and lock-event callbacks).
+enum class MonitorHook : size_t {
+  kStatementCompiled = 0,
+  kQueryStart,
+  kQueryCommit,
+  kQueryCancel,
+  kQueryRollback,
+  kTxnBegin,
+  kTxnCommit,
+  kTxnRollback,
+  kBlocked,
+  kBlockReleased,
+};
+inline constexpr size_t kNumMonitorHooks = 10;
+
+const char* MonitorHookName(MonitorHook hook);
+
+struct MonitorMetrics {
+  struct HookStats {
+    obs::Counter calls;
+    obs::LatencyHistogram latency;  // timed only while monitoring is active
+  };
+
+  std::array<HookStats, kNumMonitorHooks> hooks;
+
+  obs::Counter fast_path_calls;   // hook invocations with monitoring off
+  obs::Counter events_processed;  // events with >= 1 registered rule
+  obs::Counter rules_fired;       // rules whose actions ran
+  obs::Counter errors_total;      // condition/action/persist failures
+  obs::Counter deferred_events;   // LAT evictions dispatched after unwind
+  obs::LatencyHistogram signature_micros;   // per-compile signature cost
+  obs::LatencyHistogram timer_drift_micros;  // scheduled-vs-actual firing
+
+  obs::MetricsRegistry registry;  // names every instrument above
+
+  MonitorMetrics();
+};
+
+}  // namespace sqlcm::cm
+
+#endif  // SQLCM_SQLCM_MONITOR_METRICS_H_

@@ -21,6 +21,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "obs/metrics.h"
 #include "sqlcm/lat.h"
 #include "sqlcm/schema.h"
 
@@ -180,6 +181,18 @@ struct FastAtom {
   bool attr_on_left = true;
 };
 
+/// Per-rule runtime statistics, updated lock-free by the dispatch path and
+/// surfaced via the sqlcm_rule_stats system view. `action_micros` is only
+/// populated when MonitorEngine's detailed timing is on (it needs an extra
+/// clock read per action).
+struct RuleStats {
+  obs::Counter evaluations;      // times the rule was considered for an event
+  obs::Counter condition_false;  // condition evaluated and rejected
+  obs::Counter fires;            // condition passed, actions ran
+  obs::Counter errors;           // condition or action failures
+  obs::LatencyHistogram action_micros;
+};
+
 struct CompiledRule {
   uint64_t id = 0;
   std::string name;
@@ -203,6 +216,8 @@ struct CompiledRule {
   bool needs_blocking_probes = false;    // Time_Blocked & friends
   bool needs_concurrency_probe = false;  // Concurrent_User_Queries
   bool enabled = true;
+  /// Mutable so the (logically const) dispatch path can update counters.
+  mutable RuleStats stats;
 };
 
 /// Name-based LAT lookup used during rule compilation.

@@ -1,0 +1,241 @@
+#include "sqlcm/system_views.h"
+
+#include <utility>
+
+#include "catalog/schema.h"
+#include "engine/database.h"
+#include "sqlcm/monitor_engine.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace sqlcm::cm {
+
+using common::Row;
+using common::Status;
+using common::Value;
+
+namespace {
+
+catalog::ColumnType TypeCode(char code) {
+  switch (code) {
+    case 'i': return catalog::ColumnType::kInt;
+    case 'd': return catalog::ColumnType::kDouble;
+    case 'b': return catalog::ColumnType::kBool;
+    default: return catalog::ColumnType::kString;
+  }
+}
+
+}  // namespace
+
+SystemViews::SystemViews(MonitorEngine* monitor, engine::Database* db)
+    : monitor_(monitor), db_(db) {
+  if (storage::Table* t = Register(kEngineStatsView,
+                                   {{"name", 's'},
+                                    {"kind", 's'},
+                                    {"value", 'd'},
+                                    {"detail", 's'}},
+                                   {})) {
+    t->SetVirtualRefresh([this, t] {
+      std::lock_guard<std::mutex> lock(refresh_mutex_);
+      RefreshEngineStats(t);
+    });
+  }
+  if (storage::Table* t = Register(kRuleStatsView,
+                                   {{"rule_id", 'i'},
+                                    {"name", 's'},
+                                    {"event", 's'},
+                                    {"enabled", 'b'},
+                                    {"evaluations", 'i'},
+                                    {"condition_false", 'i'},
+                                    {"fires", 'i'},
+                                    {"errors", 'i'},
+                                    {"action_count", 'i'},
+                                    {"action_p50_us", 'd'},
+                                    {"action_p95_us", 'd'},
+                                    {"action_p99_us", 'd'},
+                                    {"action_max_us", 'd'}},
+                                   {"rule_id"})) {
+    t->SetVirtualRefresh([this, t] {
+      std::lock_guard<std::mutex> lock(refresh_mutex_);
+      RefreshRuleStats(t);
+    });
+  }
+  if (storage::Table* t = Register(kLatStatsView,
+                                   {{"name", 's'},
+                                    {"object_class", 's'},
+                                    {"rows", 'i'},
+                                    {"max_rows", 'i'},
+                                    {"approx_bytes", 'i'},
+                                    {"inserts", 'i'},
+                                    {"evictions", 'i'},
+                                    {"latch_acquisitions", 'i'},
+                                    {"latch_contention", 'i'},
+                                    {"upsert_count", 'i'},
+                                    {"upsert_p50_us", 'd'},
+                                    {"upsert_p95_us", 'd'},
+                                    {"upsert_p99_us", 'd'}},
+                                   {"name"})) {
+    t->SetVirtualRefresh([this, t] {
+      std::lock_guard<std::mutex> lock(refresh_mutex_);
+      RefreshLatStats(t);
+    });
+  }
+  if (storage::Table* t = Register(kEventTraceView,
+                                   {{"seq", 'i'},
+                                    {"ts_micros", 'i'},
+                                    {"event", 's'},
+                                    {"qualifier", 's'},
+                                    {"rules_fired", 'i'},
+                                    {"dispatch_micros", 'i'}},
+                                   {"seq"})) {
+    t->SetVirtualRefresh([this, t] {
+      std::lock_guard<std::mutex> lock(refresh_mutex_);
+      RefreshEventTrace(t);
+    });
+  }
+}
+
+SystemViews::~SystemViews() {
+  for (const std::string& name : registered_) {
+    (void)db_->catalog()->DropTable(name);
+  }
+}
+
+storage::Table* SystemViews::Register(
+    const std::string& name,
+    std::vector<std::pair<std::string, char>> columns,
+    const std::vector<std::string>& primary_key) {
+  std::vector<catalog::Column> cols;
+  cols.reserve(columns.size());
+  for (auto& [col_name, code] : columns) {
+    cols.push_back({std::move(col_name), TypeCode(code)});
+  }
+  auto schema = catalog::TableSchema::Create(name, std::move(cols),
+                                             primary_key);
+  if (!schema.ok()) return nullptr;
+  auto created = db_->catalog()->CreateTable(std::move(*schema));
+  if (!created.ok()) {
+    // A user table (or an earlier monitor's leftover view) owns the name;
+    // don't hijack it.
+    return nullptr;
+  }
+  registered_.push_back(name);
+  return *created;
+}
+
+void SystemViews::RefreshEngineStats(storage::Table* table) {
+  table->Truncate();
+  auto add = [table](const std::string& name, const char* kind, double value,
+                     std::string detail) {
+    Row row;
+    row.push_back(Value::String(name));
+    row.push_back(Value::String(kind));
+    row.push_back(Value::Double(value));
+    row.push_back(Value::String(std::move(detail)));
+    (void)table->Insert(std::move(row));
+  };
+
+  for (const auto& sample : monitor_->metrics().registry.Snapshot()) {
+    add(sample.name, sample.kind, sample.value, "");
+  }
+
+  const engine::PlanCache* cache = db_->plan_cache();
+  add("plan_cache.hits", "counter", static_cast<double>(cache->hits()), "");
+  add("plan_cache.misses", "counter", static_cast<double>(cache->misses()),
+      "");
+  add("plan_cache.evictions", "counter",
+      static_cast<double>(cache->evictions()), "");
+  add("plan_cache.size", "gauge", static_cast<double>(cache->size()), "");
+
+  add("monitor.active_queries", "gauge",
+      static_cast<double>(monitor_->active_query_count()), "");
+  add("monitor.rules", "gauge", static_cast<double>(monitor_->rule_count()),
+      "");
+  add("monitor.lats", "gauge",
+      static_cast<double>(monitor_->SnapshotLats().size()), "");
+  add("monitor.detailed_timing", "gauge",
+      monitor_->detailed_timing() ? 1.0 : 0.0, "");
+
+  const obs::TraceRing& trace = *monitor_->trace_ring();
+  add("trace.enabled", "gauge", trace.enabled() ? 1.0 : 0.0, "");
+  add("trace.capacity", "gauge", static_cast<double>(trace.capacity()), "");
+  add("trace.total_recorded", "counter",
+      static_cast<double>(trace.total_recorded()), "");
+
+  add("errors.total", "counter", static_cast<double>(monitor_->total_errors()),
+      "");
+  for (const auto& err : monitor_->recent_errors()) {
+    add("error." + std::to_string(err.seq), "error",
+        static_cast<double>(err.ts_micros), err.message);
+  }
+}
+
+void SystemViews::RefreshRuleStats(storage::Table* table) {
+  table->Truncate();
+  for (const auto& rule : monitor_->SnapshotRules()) {
+    const RuleStats& stats = rule->stats;
+    const auto pct = stats.action_micros.ComputePercentiles();
+    Row row;
+    row.push_back(Value::Int(static_cast<int64_t>(rule->id)));
+    row.push_back(Value::String(rule->name));
+    row.push_back(Value::String(EventKindName(rule->event.kind)));
+    row.push_back(Value::Bool(rule->enabled));
+    row.push_back(Value::Int(static_cast<int64_t>(stats.evaluations.value())));
+    row.push_back(
+        Value::Int(static_cast<int64_t>(stats.condition_false.value())));
+    row.push_back(Value::Int(static_cast<int64_t>(stats.fires.value())));
+    row.push_back(Value::Int(static_cast<int64_t>(stats.errors.value())));
+    row.push_back(
+        Value::Int(static_cast<int64_t>(stats.action_micros.count())));
+    row.push_back(Value::Double(pct.p50));
+    row.push_back(Value::Double(pct.p95));
+    row.push_back(Value::Double(pct.p99));
+    row.push_back(
+        Value::Double(static_cast<double>(stats.action_micros.max_micros())));
+    (void)table->Insert(std::move(row));
+  }
+}
+
+void SystemViews::RefreshLatStats(storage::Table* table) {
+  table->Truncate();
+  for (const auto& lat : monitor_->SnapshotLats()) {
+    const LatStats& stats = lat->stats();
+    const auto pct = stats.upsert_micros.ComputePercentiles();
+    Row row;
+    row.push_back(Value::String(lat->name()));
+    row.push_back(
+        Value::String(MonitoredClassName(lat->spec().object_class)));
+    row.push_back(Value::Int(static_cast<int64_t>(lat->size())));
+    row.push_back(Value::Int(static_cast<int64_t>(lat->spec().max_rows)));
+    row.push_back(Value::Int(static_cast<int64_t>(lat->approx_bytes())));
+    row.push_back(Value::Int(static_cast<int64_t>(stats.inserts.value())));
+    row.push_back(Value::Int(static_cast<int64_t>(stats.evictions.value())));
+    row.push_back(
+        Value::Int(static_cast<int64_t>(stats.latch_acquisitions.value())));
+    row.push_back(
+        Value::Int(static_cast<int64_t>(stats.latch_contention.value())));
+    row.push_back(
+        Value::Int(static_cast<int64_t>(stats.upsert_micros.count())));
+    row.push_back(Value::Double(pct.p50));
+    row.push_back(Value::Double(pct.p95));
+    row.push_back(Value::Double(pct.p99));
+    (void)table->Insert(std::move(row));
+  }
+}
+
+void SystemViews::RefreshEventTrace(storage::Table* table) {
+  table->Truncate();
+  for (const auto& ev : monitor_->trace_ring()->Snapshot()) {
+    Row row;
+    row.push_back(Value::Int(static_cast<int64_t>(ev.seq)));
+    row.push_back(Value::Int(ev.ts_micros));
+    row.push_back(
+        Value::String(EventKindName(static_cast<EventKind>(ev.kind))));
+    row.push_back(Value::String(ev.qualifier));
+    row.push_back(Value::Int(static_cast<int64_t>(ev.rules_fired)));
+    row.push_back(Value::Int(ev.dispatch_micros));
+    (void)table->Insert(std::move(row));
+  }
+}
+
+}  // namespace sqlcm::cm

@@ -64,6 +64,9 @@ size_t TimerManager::Poll(int64_t now_micros) {
       if (timer.next_due_micros > now_micros) continue;
       TimerRecord snapshot = timer;
       snapshot.now_secs = static_cast<double>(now_micros) / 1e6;
+      if (drift_histogram_ != nullptr) {
+        drift_histogram_->Record(now_micros - timer.next_due_micros);
+      }
       due.push_back(std::move(snapshot));
       if (timer.remaining_alarms > 0) --timer.remaining_alarms;
       // Re-arm from `now` (no burst catch-up after a stall).

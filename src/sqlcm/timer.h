@@ -14,6 +14,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "sqlcm/schema.h"
 
 namespace sqlcm::cm {
@@ -52,12 +53,19 @@ class TimerManager {
   void Start();
   void Stop();
 
+  /// When set, every due timer records (now - scheduled due time) — the
+  /// firing drift — into the histogram. Not owned; must outlive polling.
+  void set_drift_histogram(obs::LatencyHistogram* histogram) {
+    drift_histogram_ = histogram;
+  }
+
  private:
   common::Clock* clock_;
   AlarmCallback callback_;
 
   mutable std::mutex mutex_;
   std::vector<TimerRecord> timers_;
+  obs::LatencyHistogram* drift_histogram_ = nullptr;
 
   std::atomic<bool> running_{false};
   std::thread thread_;

@@ -127,9 +127,25 @@ std::optional<Row> Table::Get(const Row& key) const {
   return *stored;
 }
 
+void Table::SetVirtualRefresh(std::function<void()> refresh) {
+  refresh_ = std::move(refresh);
+  is_virtual_.store(true, std::memory_order_release);
+}
+
+void Table::MaybeRefresh() const {
+  // Refresh runs before the table latch is taken: the callback repopulates
+  // the table through the normal mutation API (which takes the latch
+  // itself), so no latch is ever held across it.
+  if (!is_virtual()) return;
+  refresh_();
+}
+
 size_t Table::ScanBatch(const std::optional<Row>& after, size_t limit,
                         std::vector<Row>* keys_out,
                         std::vector<Row>* rows_out) const {
+  // Only the first batch of a scan refreshes; resumed batches (after set)
+  // read the snapshot built at scan start, keeping pagination stable.
+  if (!after.has_value()) MaybeRefresh();
   std::shared_lock lock(latch_);
   auto& primary = const_cast<BPlusTree<Row>&>(primary_);
   auto it = after.has_value() ? primary.LowerBound(*after) : primary.Begin();
@@ -150,6 +166,7 @@ size_t Table::ScanBatch(const std::optional<Row>& after, size_t limit,
 Status Table::IndexPrefixLookup(std::string_view index_name, const Row& prefix,
                                 std::vector<Row>* keys_out,
                                 std::vector<Row>* rows_out) const {
+  MaybeRefresh();
   std::shared_lock lock(latch_);
   auto prefix_matches = [&prefix](const Row& key) {
     if (key.size() < prefix.size()) return false;
@@ -190,6 +207,7 @@ Status Table::IndexRangeLookup(std::string_view index_name,
                                const std::optional<Value>& hi,
                                std::vector<Row>* keys_out,
                                std::vector<Row>* rows_out) const {
+  MaybeRefresh();
   std::shared_lock lock(latch_);
   auto in_range = [&](const Row& key) {
     if (key.empty()) return false;

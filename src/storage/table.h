@@ -9,6 +9,7 @@
 #define SQLCM_STORAGE_TABLE_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
@@ -112,7 +113,24 @@ class Table {
   /// Removes every row. Used by Reset-style maintenance and tests.
   void Truncate();
 
+  // -- Virtual (system-view) tables ----------------------------------------
+
+  /// Marks this table as a read-only system view whose contents are
+  /// rebuilt on demand: `refresh` runs at the start of every fresh scan or
+  /// index lookup, *before* the table latch is taken, and is expected to
+  /// repopulate the table (Truncate + Insert). The callback must serialize
+  /// itself against concurrent refreshes. DML/DROP rejection for virtual
+  /// tables is enforced one level up, in the planner and session.
+  void SetVirtualRefresh(std::function<void()> refresh);
+
+  bool is_virtual() const {
+    return is_virtual_.load(std::memory_order_acquire);
+  }
+
  private:
+  /// Runs the refresh callback for virtual tables; no-op otherwise.
+  void MaybeRefresh() const;
+
   struct Secondary {
     IndexInfo info;
     // Key = index column values + primary key (for uniqueness); payload =
@@ -136,6 +154,9 @@ class Table {
   std::vector<IndexInfo> index_infos_;  // mirrors secondaries_ for readers
   std::atomic<int64_t> next_rowid_{1};
   std::atomic<size_t> row_count_{0};
+
+  std::atomic<bool> is_virtual_{false};
+  std::function<void()> refresh_;  // immutable once is_virtual_ is set
 };
 
 }  // namespace sqlcm::storage

@@ -1,0 +1,260 @@
+// End-to-end tests of the monitor's SQL-queryable system views: live data
+// through the normal SQL path, read-only enforcement, trace and error
+// surfacing.
+#include "sqlcm/system_views.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "engine/session.h"
+#include "sqlcm/monitor_engine.h"
+
+namespace sqlcm::cm {
+namespace {
+
+using common::Value;
+using exec::ParamMap;
+using exec::QueryResult;
+
+class SystemViewsTest : public ::testing::Test {
+ protected:
+  SystemViewsTest() : monitor_(&db_), session_(db_.CreateSession()) {
+    Exec("CREATE TABLE items (id INT, val FLOAT, PRIMARY KEY(id))");
+    for (int i = 0; i < 20; ++i) {
+      Exec("INSERT INTO items VALUES (" + std::to_string(i) + ", 1.0)");
+    }
+  }
+
+  void Exec(const std::string& sql) {
+    auto result = session_->Execute(sql);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+  }
+
+  QueryResult Query(const std::string& sql) {
+    auto result = session_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return result.ok() ? *result : QueryResult{};
+  }
+
+  int ColumnIndex(const QueryResult& result, const std::string& name) {
+    auto it = std::find(result.column_names.begin(),
+                        result.column_names.end(), name);
+    return it == result.column_names.end()
+               ? -1
+               : static_cast<int>(it - result.column_names.begin());
+  }
+
+  void AddFeedRule() {
+    LatSpec spec;
+    spec.name = "ViewLat";
+    spec.group_by = {{"Logical_Signature", "Sig"}};
+    spec.aggregates = {{LatAggFunc::kCount, "", "N", false}};
+    ASSERT_TRUE(monitor_.DefineLat(std::move(spec)).ok());
+    RuleSpec feed;
+    feed.name = "feed";
+    feed.event = "Query.Commit";
+    feed.action = "Query.Insert(ViewLat)";
+    ASSERT_TRUE(monitor_.AddRule(feed).ok());
+  }
+
+  engine::Database db_;
+  MonitorEngine monitor_;
+  std::unique_ptr<engine::Session> session_;
+};
+
+TEST_F(SystemViewsTest, ViewsAreRegisteredAndVirtual) {
+  for (const char* name : {kEngineStatsView, kRuleStatsView, kLatStatsView,
+                           kEventTraceView}) {
+    storage::Table* table = db_.catalog()->GetTable(name);
+    ASSERT_NE(table, nullptr) << name;
+    EXPECT_TRUE(table->is_virtual()) << name;
+  }
+}
+
+TEST_F(SystemViewsTest, EngineStatsReturnsMetricInventory) {
+  Exec("SELECT val FROM items WHERE id = 1");
+  const QueryResult result = Query("SELECT * FROM sqlcm_engine_stats");
+  ASSERT_EQ(result.column_names.size(), 4u);
+  ASSERT_GT(result.rows.size(), 20u);
+
+  // The fast-path counter must reflect the un-monitored query above.
+  bool found_fast_path = false;
+  for (const auto& row : result.rows) {
+    if (row[0].ToDisplayString() == "engine.fast_path_calls") {
+      found_fast_path = true;
+      EXPECT_GT(row[2].double_value(), 0.0);
+    }
+  }
+  EXPECT_TRUE(found_fast_path);
+}
+
+TEST_F(SystemViewsTest, EngineStatsFilteredByName) {
+  const QueryResult result = Query(
+      "SELECT value FROM sqlcm_engine_stats WHERE name = 'trace.capacity'");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.rows[0][0].double_value(), 1024.0);
+}
+
+TEST_F(SystemViewsTest, RuleStatsShowsLiveCounts) {
+  AddFeedRule();
+  for (int i = 0; i < 7; ++i) {
+    Exec("SELECT val FROM items WHERE id = " + std::to_string(i));
+  }
+  const QueryResult result = Query("SELECT * FROM sqlcm_rule_stats");
+  ASSERT_EQ(result.rows.size(), 1u);
+  const int name_col = ColumnIndex(result, "name");
+  const int eval_col = ColumnIndex(result, "evaluations");
+  const int fires_col = ColumnIndex(result, "fires");
+  const int event_col = ColumnIndex(result, "event");
+  ASSERT_GE(name_col, 0);
+  ASSERT_GE(eval_col, 0);
+  EXPECT_EQ(result.rows[0][name_col].ToDisplayString(), "feed");
+  EXPECT_EQ(result.rows[0][event_col].ToDisplayString(), "Query.Commit");
+  // The SELECT over the view itself also commits and fires the rule, so
+  // at least the 7 item queries must have been counted.
+  EXPECT_GE(result.rows[0][eval_col].int_value(), 7);
+  EXPECT_EQ(result.rows[0][eval_col].int_value(),
+            result.rows[0][fires_col].int_value());
+}
+
+TEST_F(SystemViewsTest, RuleStatsAggregatesThroughSql) {
+  AddFeedRule();
+  RuleSpec never;
+  never.name = "never";
+  never.event = "Query.Commit";
+  never.condition = "Query.Duration > 1000000";
+  never.action = "Query.Insert(ViewLat)";
+  ASSERT_TRUE(monitor_.AddRule(never).ok());
+  for (int i = 0; i < 5; ++i) {
+    Exec("SELECT val FROM items WHERE id = " + std::to_string(i));
+  }
+  const QueryResult count =
+      Query("SELECT COUNT(*) FROM sqlcm_rule_stats WHERE fires = 0");
+  ASSERT_EQ(count.rows.size(), 1u);
+  EXPECT_EQ(count.rows[0][0].int_value(), 1);
+}
+
+TEST_F(SystemViewsTest, LatStatsShowsRowsAndInserts) {
+  AddFeedRule();
+  for (int i = 0; i < 9; ++i) {
+    Exec("SELECT val FROM items WHERE id = " + std::to_string(i));
+  }
+  const QueryResult result = Query(
+      "SELECT rows, inserts, latch_acquisitions FROM sqlcm_lat_stats "
+      "WHERE name = 'ViewLat'");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_GE(result.rows[0][0].int_value(), 1);  // >= 1 group
+  EXPECT_GE(result.rows[0][1].int_value(), 9);  // >= 9 upserts
+  // Every insert takes at least the hash and row latches.
+  EXPECT_GE(result.rows[0][2].int_value(),
+            2 * result.rows[0][1].int_value());
+}
+
+TEST_F(SystemViewsTest, EventTraceRecordsWhenEnabled) {
+  AddFeedRule();
+  // Trace disabled: no rows even though events flow.
+  Exec("SELECT val FROM items WHERE id = 1");
+  EXPECT_TRUE(Query("SELECT * FROM sqlcm_event_trace").rows.empty());
+
+  monitor_.trace_ring()->set_enabled(true);
+  for (int i = 0; i < 4; ++i) {
+    Exec("SELECT val FROM items WHERE id = " + std::to_string(i));
+  }
+  const QueryResult result = Query(
+      "SELECT event, rules_fired FROM sqlcm_event_trace");
+  ASSERT_GE(result.rows.size(), 4u);
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row[0].ToDisplayString(), "Query.Commit");
+    EXPECT_EQ(row[1].int_value(), 1);
+  }
+
+  monitor_.trace_ring()->set_enabled(false);
+  const size_t total = monitor_.trace_ring()->total_recorded();
+  Exec("SELECT val FROM items WHERE id = 1");
+  EXPECT_EQ(monitor_.trace_ring()->total_recorded(), total);
+}
+
+TEST_F(SystemViewsTest, ViewsAreReadOnly) {
+  auto insert = session_->Execute(
+      "INSERT INTO sqlcm_rule_stats VALUES (1, 'x', 'y', 1, 0, 0, 0, 0, 0, "
+      "0.0, 0.0, 0.0, 0.0)");
+  EXPECT_FALSE(insert.ok());
+  auto update = session_->Execute(
+      "UPDATE sqlcm_engine_stats SET value = 0 WHERE name = 'x'");
+  EXPECT_FALSE(update.ok());
+  auto del = session_->Execute("DELETE FROM sqlcm_event_trace WHERE seq = 0");
+  EXPECT_FALSE(del.ok());
+  auto drop = session_->Execute("DROP TABLE sqlcm_lat_stats");
+  EXPECT_FALSE(drop.ok());
+  EXPECT_NE(db_.catalog()->GetTable(kLatStatsView), nullptr);
+}
+
+TEST_F(SystemViewsTest, ErrorRingSurfacesThroughEngineStats) {
+  // A rule whose action persists into a table with a conflicting schema
+  // produces a monitor error without failing the query.
+  Exec("CREATE TABLE Clash (only_col INT)");
+  RuleSpec bad;
+  bad.name = "bad";
+  bad.event = "Query.Commit";
+  bad.action = "Query.Persist(Clash, ID, Duration)";
+  ASSERT_TRUE(monitor_.AddRule(bad).ok());
+  Exec("SELECT val FROM items WHERE id = 1");
+  EXPECT_FALSE(monitor_.last_error().empty());
+  EXPECT_GE(monitor_.total_errors(), 1u);
+
+  const QueryResult errors = Query(
+      "SELECT detail FROM sqlcm_engine_stats WHERE kind = 'error'");
+  ASSERT_GE(errors.rows.size(), 1u);
+  EXPECT_FALSE(errors.rows[0][0].ToDisplayString().empty());
+}
+
+TEST_F(SystemViewsTest, ErrorRingIsBoundedButCountsEverything) {
+  Exec("CREATE TABLE Clash (only_col INT)");
+  RuleSpec bad;
+  bad.name = "bad";
+  bad.event = "Query.Commit";
+  bad.action = "Query.Persist(Clash, ID, Duration)";
+  ASSERT_TRUE(monitor_.AddRule(bad).ok());
+  // Exceed the ring capacity; the ring keeps only the newest entries but the
+  // total keeps counting, and last_error() stays the most recent message.
+  constexpr int kErrors = 40;
+  for (int i = 0; i < kErrors; ++i) {
+    Exec("SELECT val FROM items WHERE id = 1");
+  }
+  EXPECT_EQ(monitor_.total_errors(), static_cast<uint64_t>(kErrors));
+  const auto recent = monitor_.recent_errors();
+  EXPECT_LT(recent.size(), static_cast<size_t>(kErrors));
+  ASSERT_FALSE(recent.empty());
+  EXPECT_EQ(recent.back().seq, static_cast<uint64_t>(kErrors - 1));
+  EXPECT_EQ(monitor_.last_error(), recent.back().message);
+}
+
+TEST_F(SystemViewsTest, SecondMonitorOnSameDatabaseSkipsViews) {
+  // The first monitor owns the view names; a second engine must neither
+  // crash nor steal them, and dropping it must leave the views intact.
+  {
+    MonitorEngine second(&db_);
+    EXPECT_NE(db_.catalog()->GetTable(kRuleStatsView), nullptr);
+  }
+  EXPECT_NE(db_.catalog()->GetTable(kRuleStatsView), nullptr);
+  EXPECT_FALSE(Query("SELECT * FROM sqlcm_engine_stats").rows.empty());
+}
+
+TEST_F(SystemViewsTest, RuleCanAlarmOnMonitorOverheadViaLatOverViews) {
+  // Close the loop from the docs: monitor data is relational data, so a
+  // LAT/rule pipeline can watch the monitor itself. Simplest version: a
+  // plain SQL aggregation over rule stats drives an operator decision.
+  AddFeedRule();
+  for (int i = 0; i < 6; ++i) {
+    Exec("SELECT val FROM items WHERE id = " + std::to_string(i));
+  }
+  const QueryResult result = Query(
+      "SELECT SUM(fires) FROM sqlcm_rule_stats");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_GE(result.rows[0][0].double_value(), 6.0);
+}
+
+}  // namespace
+}  // namespace sqlcm::cm
