@@ -66,6 +66,17 @@ struct ConfigResult {
   double added_us_per_query;
 };
 
+/// The same workload re-measured with the LoadGovernor's shedding ladder
+/// pinned at its deepest level (docs/ROBUSTNESS.md): the perf trajectory
+/// tracks both full-fidelity and degraded-mode overhead.
+struct DegradedResult {
+  Config config;
+  double wall_ms;
+  double overhead_pct;
+  double added_us_per_query;
+  uint64_t events_sampled_out;
+};
+
 std::string JsonNum(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", v);
@@ -75,6 +86,7 @@ std::string JsonNum(double v) {
 /// One `BENCH_JSON {...}` line: greppable, parseable, stable key order.
 void PrintBenchJson(int64_t num_queries, double baseline_us,
                     const std::vector<ConfigResult>& results,
+                    const DegradedResult& degraded,
                     const cm::MonitorMetrics& metrics) {
   std::string out = "BENCH_JSON {\"bench\":\"rule_overhead\"";
   out += ",\"queries\":" + std::to_string(num_queries);
@@ -90,7 +102,16 @@ void PrintBenchJson(int64_t num_queries, double baseline_us,
     out += ",\"overhead_pct\":" + JsonNum(r.overhead_pct);
     out += ",\"added_us_per_query\":" + JsonNum(r.added_us_per_query) + "}";
   }
-  out += "],\"hooks\":{";
+  out += "],\"degraded\":{\"rules\":" + std::to_string(degraded.config.num_rules);
+  out += ",\"conds\":" + std::to_string(degraded.config.num_conditions);
+  out += ",\"level\":" +
+         std::to_string(static_cast<int>(cm::LoadGovernor::kLevelSampleEvents));
+  out += ",\"wall_ms\":" + JsonNum(degraded.wall_ms);
+  out += ",\"overhead_pct\":" + JsonNum(degraded.overhead_pct);
+  out += ",\"added_us_per_query\":" + JsonNum(degraded.added_us_per_query);
+  out += ",\"events_sampled_out\":" +
+         std::to_string(degraded.events_sampled_out) + "}";
+  out += ",\"hooks\":{";
   bool first = true;
   for (size_t h = 0; h < cm::kNumMonitorHooks; ++h) {
     const auto& hook = metrics.hooks[h];
@@ -159,9 +180,9 @@ int main(int argc, char** argv) {
                                  {1000, 1}, {1000, 20}};
   if (quick) configs = {{100, 1}, {100, 20}, {500, 1}, {500, 20}};
 
-  for (const Config& config : configs) {
-    // Fresh rule set + one 10-row LAT per rule (paper setup).
-    std::vector<uint64_t> rule_ids;
+  // Fresh rule set + one 10-row LAT per rule (paper setup).
+  std::vector<uint64_t> rule_ids;
+  auto setup_rules = [&](const Config& config) -> bool {
     for (int r = 0; r < config.num_rules; ++r) {
       cm::LatSpec lat;
       lat.name = "L" + std::to_string(r);
@@ -174,7 +195,7 @@ int main(int argc, char** argv) {
       lat.max_rows = 10;
       if (auto s = monitor.DefineLat(std::move(lat)); !s.ok()) {
         std::fprintf(stderr, "lat: %s\n", s.ToString().c_str());
-        return 1;
+        return false;
       }
       cm::RuleSpec rule;
       rule.name = "r" + std::to_string(r);
@@ -184,10 +205,22 @@ int main(int argc, char** argv) {
       auto id = monitor.AddRule(rule);
       if (!id.ok()) {
         std::fprintf(stderr, "rule: %s\n", id.status().ToString().c_str());
-        return 1;
+        return false;
       }
       rule_ids.push_back(*id);
     }
+    return true;
+  };
+  auto teardown_rules = [&](const Config& config) {
+    for (uint64_t id : rule_ids) (void)monitor.RemoveRule(id);
+    rule_ids.clear();
+    for (int r = 0; r < config.num_rules; ++r) {
+      (void)monitor.DropLat("L" + std::to_string(r));
+    }
+  };
+
+  for (const Config& config : configs) {
+    if (!setup_rules(config)) return 1;
 
     const double with_rules_us = run_once();
     const double overhead_pct =
@@ -200,18 +233,42 @@ int main(int argc, char** argv) {
     results.push_back({config, with_rules_us / 1000.0, overhead_pct,
                        added_us_per_query});
 
-    for (uint64_t id : rule_ids) (void)monitor.RemoveRule(id);
-    for (int r = 0; r < config.num_rules; ++r) {
-      (void)monitor.DropLat("L" + std::to_string(r));
-    }
+    teardown_rules(config);
   }
+
+  // Degraded mode: the heaviest config re-measured with the shedding ladder
+  // pinned at its deepest level (timing + trace off, aging deferred, rule
+  // evaluation sampled) — the overhead the monitor falls back to when the
+  // LoadGovernor's budget is blown.
+  const Config degraded_config = configs.back();
+  if (!setup_rules(degraded_config)) return 1;
+  const uint64_t sampled_before = monitor.metrics().events_sampled_out.value();
+  monitor.governor()->ForceLevel(cm::LoadGovernor::kLevelSampleEvents);
+  const double degraded_us = run_once();
+  monitor.governor()->ForceLevel(cm::LoadGovernor::kLevelFull);
+  monitor.governor()->ClearForce();
+  teardown_rules(degraded_config);
+  const DegradedResult degraded = {
+      degraded_config, degraded_us / 1000.0,
+      100.0 * (degraded_us - baseline_us) / baseline_us,
+      (degraded_us - baseline_us) / static_cast<double>(num_queries),
+      monitor.metrics().events_sampled_out.value() - sampled_before};
+  std::printf("%8d %8d %12.1f %12.1f %14.3f   (degraded: shed level %d)\n",
+              degraded_config.num_rules, degraded_config.num_conditions,
+              degraded.wall_ms, degraded.overhead_pct,
+              degraded.added_us_per_query,
+              static_cast<int>(cm::LoadGovernor::kLevelSampleEvents));
+
   std::printf("\nshape checks (paper §6.2.1): overhead grows with #rules; "
               "condition complexity has little impact; per-(rule,query) cost "
-              "is dominated by LAT insert/evict maintenance.\n");
+              "is dominated by LAT insert/evict maintenance; degraded mode "
+              "(governor shed ladder engaged) must cost less than the same "
+              "config at full fidelity.\n");
   if (!monitor.last_error().empty()) {
     std::fprintf(stderr, "monitor error: %s\n", monitor.last_error().c_str());
     return 1;
   }
-  PrintBenchJson(num_queries, baseline_us, results, monitor.metrics());
+  PrintBenchJson(num_queries, baseline_us, results, degraded,
+                 monitor.metrics());
   return 0;
 }

@@ -28,7 +28,8 @@ Result<std::unique_ptr<QueryLoggingMonitor>> QueryLoggingMonitor::Create(
     SQLCM_ASSIGN_OR_RETURN(
         writer,
         storage::SyncCsvWriter::Open(options.sync_file,
-                                     options.sync_every_row));
+                                     options.sync_every_row,
+                                     options.truncate_log));
   }
   auto monitor = std::unique_ptr<QueryLoggingMonitor>(new QueryLoggingMonitor(
       db, std::move(options), table, std::move(writer)));

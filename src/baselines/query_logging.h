@@ -24,6 +24,9 @@ class QueryLoggingMonitor final : public engine::MonitorHooks {
     /// with an fdatasync per row — the paper's "forced synchronous writes".
     std::string sync_file;
     bool sync_every_row = true;
+    /// By default the sync log is opened for append so a restarted baseline
+    /// keeps its history; set to discard any prior log on startup.
+    bool truncate_log = false;
   };
 
   /// Creates the reporting table (query_id, session_id, query_text,

@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+//
+// Used by the snapshot file format (storage/table_io) to detect torn or
+// corrupted persistence files before their contents are seeded back into
+// LATs or tables. Not cryptographic; guards against accidental corruption
+// only.
+#ifndef SQLCM_COMMON_CRC32_H_
+#define SQLCM_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sqlcm::common {
+
+/// CRC of `data`; `seed` chains incremental computations (pass the previous
+/// return value to continue a running CRC).
+uint32_t Crc32(const void* data, size_t length, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace sqlcm::common
+
+#endif  // SQLCM_COMMON_CRC32_H_

@@ -1,0 +1,152 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace sqlcm::common {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kIOError: return "io_error";
+    case FaultKind::kShortWrite: return "short_write";
+    case FaultKind::kCrashRename: return "crash_rename";
+    case FaultKind::kLatchStall: return "latch_stall";
+    case FaultKind::kSlow: return "slow";
+  }
+  return "?";
+}
+
+Result<FaultKind> ParseFaultKind(std::string_view name) {
+  if (EqualsIgnoreCase(name, "none")) return FaultKind::kNone;
+  if (EqualsIgnoreCase(name, "io_error")) return FaultKind::kIOError;
+  if (EqualsIgnoreCase(name, "short_write")) return FaultKind::kShortWrite;
+  if (EqualsIgnoreCase(name, "crash_rename")) return FaultKind::kCrashRename;
+  if (EqualsIgnoreCase(name, "latch_stall")) return FaultKind::kLatchStall;
+  if (EqualsIgnoreCase(name, "slow")) return FaultKind::kSlow;
+  return Status::InvalidArgument("unknown fault kind '" + std::string(name) +
+                                 "'");
+}
+
+FaultRegistry* FaultRegistry::Get() {
+  static FaultRegistry* instance = new FaultRegistry();
+  return instance;
+}
+
+FaultRegistry::FaultRegistry() {
+  if (const char* seed = std::getenv("SQLCM_FAULT_SEED")) {
+    Seed(std::strtoull(seed, nullptr, 10));
+  }
+  if (const char* spec = std::getenv("SQLCM_FAULT_INJECT")) {
+    // Environment misconfiguration must not abort the process; a bad spec
+    // simply arms nothing (the CI job greps its own spec echo instead).
+    (void)ArmFromSpec(spec);
+  }
+}
+
+void FaultRegistry::Arm(std::string_view point, Spec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = points_[std::string(point)];
+  if (!entry.armed) armed_points_.fetch_add(1, std::memory_order_relaxed);
+  entry.armed = true;
+  entry.spec = spec;
+}
+
+void FaultRegistry::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(std::string(point));
+  if (it == points_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_points_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  armed_points_.store(0, std::memory_order_relaxed);
+}
+
+void FaultRegistry::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rng_ = Random(seed);
+}
+
+Status FaultRegistry::ArmFromSpec(std::string_view spec_string) {
+  for (const std::string& item : Split(spec_string, ';')) {
+    const std::string_view trimmed = Trim(item);
+    if (trimmed.empty()) continue;
+    const size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec '" + std::string(trimmed) +
+                                     "' is not <point>=<kind>[:p[:n]]");
+    }
+    const std::string point(Trim(trimmed.substr(0, eq)));
+    const auto parts = Split(trimmed.substr(eq + 1), ':');
+    if (parts.empty() || parts[0].empty()) {
+      return Status::InvalidArgument("fault spec '" + std::string(trimmed) +
+                                     "' is missing a kind");
+    }
+    Spec spec;
+    SQLCM_ASSIGN_OR_RETURN(spec.kind, ParseFaultKind(Trim(parts[0])));
+    if (parts.size() > 1 && !parts[1].empty()) {
+      spec.probability = std::strtod(parts[1].c_str(), nullptr);
+    }
+    if (parts.size() > 2 && !parts[2].empty()) {
+      spec.max_fires = std::strtoll(parts[2].c_str(), nullptr, 10);
+    }
+    if (parts.size() > 3) {
+      return Status::InvalidArgument("fault spec '" + std::string(trimmed) +
+                                     "' has too many fields");
+    }
+    Arm(point, spec);
+  }
+  return Status::OK();
+}
+
+FaultKind FaultRegistry::FireSlow(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(std::string(point));
+  if (it == points_.end()) return FaultKind::kNone;
+  Entry& entry = it->second;
+  ++entry.hits;
+  if (!entry.armed || entry.spec.kind == FaultKind::kNone) {
+    return FaultKind::kNone;
+  }
+  if (entry.spec.max_fires >= 0 &&
+      entry.fires >= static_cast<uint64_t>(entry.spec.max_fires)) {
+    return FaultKind::kNone;
+  }
+  if (entry.spec.probability < 1.0 &&
+      rng_.NextDouble() >= entry.spec.probability) {
+    return FaultKind::kNone;
+  }
+  ++entry.fires;
+  return entry.spec.kind;
+}
+
+uint64_t FaultRegistry::fires(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(std::string(point));
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+uint64_t FaultRegistry::hits(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(std::string(point));
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::vector<FaultRegistry::PointState> FaultRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PointState> out;
+  out.reserve(points_.size());
+  for (const auto& [point, entry] : points_) {
+    FaultRegistry::Spec spec = entry.spec;
+    if (!entry.armed) spec.kind = FaultKind::kNone;
+    out.push_back({point, spec, entry.hits, entry.fires});
+  }
+  return out;
+}
+
+}  // namespace sqlcm::common

@@ -1,0 +1,122 @@
+// Fault-injection framework (robustness layer).
+//
+// A *fault point* is a named site in production code that asks the
+// process-wide registry "should I fail here, and how?". Points are compiled
+// in permanently — the disabled fast path is a single relaxed atomic load —
+// and armed either programmatically (tests) or from the environment (CI
+// chaos runs):
+//
+//   SQLCM_FAULT_INJECT="storage.snapshot.write=io_error:1;monitor.hook.slow=slow:0.01"
+//   SQLCM_FAULT_SEED=12345        # seeds probabilistic firing, logged by CI
+//
+// Spec grammar per point:  <point>=<kind>[:<probability>[:<max_fires>]]
+//   kind         io_error | short_write | crash_rename | latch_stall | slow
+//   probability  chance each hit fires (default 1.0)
+//   max_fires    total fires before the point self-disarms (default unlimited)
+//
+// Sites that can fail in only one way call `Fire(point)`; sites with
+// several failure modes call `FireKind(point)` and branch on the returned
+// kind. Every hit and fire is counted so tests can assert that each
+// injection point was actually exercised (ISSUE 2 acceptance criteria) and
+// the sqlcm_fault_points system view can show live state.
+#ifndef SQLCM_COMMON_FAULT_H_
+#define SQLCM_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace sqlcm::common {
+
+enum class FaultKind : uint8_t {
+  kNone = 0,      // point armed for counting only (probability 0 works too)
+  kIOError,       // fail the operation with Status::IOError
+  kShortWrite,    // write a torn prefix, then fail
+  kCrashRename,   // durable temp file written, "crash" before the rename
+  kLatchStall,    // simulate latch contention / a latch acquisition timeout
+  kSlow,          // inject latency (monitor hooks; drives the load governor)
+};
+
+const char* FaultKindName(FaultKind kind);
+Result<FaultKind> ParseFaultKind(std::string_view name);
+
+class FaultRegistry {
+ public:
+  struct Spec {
+    FaultKind kind = FaultKind::kIOError;
+    double probability = 1.0;
+    /// Total times the point may fire before self-disarming; -1 = unlimited.
+    int64_t max_fires = -1;
+  };
+
+  struct PointState {
+    std::string point;
+    Spec spec;
+    uint64_t hits = 0;   // times the site asked
+    uint64_t fires = 0;  // times a fault was injected
+  };
+
+  /// Process-wide instance. First call applies SQLCM_FAULT_INJECT /
+  /// SQLCM_FAULT_SEED from the environment.
+  static FaultRegistry* Get();
+
+  void Arm(std::string_view point, Spec spec);
+  void Disarm(std::string_view point);
+  /// Disarms every point and clears all counters (test isolation).
+  void Reset();
+  void Seed(uint64_t seed);
+
+  /// Applies an SQLCM_FAULT_INJECT-style spec string. Unknown kinds or
+  /// malformed entries return InvalidArgument without arming anything.
+  Status ArmFromSpec(std::string_view spec_string);
+
+  /// True when the point is armed and its dice roll fires. Cheap when the
+  /// registry is idle: one relaxed load, no lock.
+  bool Fire(std::string_view point) {
+    if (!armed_points_.load(std::memory_order_relaxed)) return false;
+    return FireSlow(point) != FaultKind::kNone;
+  }
+
+  /// Like Fire() but reports which failure mode was armed (kNone = pass).
+  FaultKind FireKind(std::string_view point) {
+    if (!armed_points_.load(std::memory_order_relaxed)) return FaultKind::kNone;
+    return FireSlow(point);
+  }
+
+  uint64_t fires(std::string_view point) const;
+  uint64_t hits(std::string_view point) const;
+  std::vector<PointState> Snapshot() const;
+
+ private:
+  FaultRegistry();
+
+  FaultKind FireSlow(std::string_view point);
+
+  struct Entry {
+    Spec spec;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+    bool armed = false;  // retained after disarm so counters stay visible
+  };
+
+  std::atomic<int> armed_points_{0};
+  mutable std::mutex mutex_;
+  Random rng_;
+  std::unordered_map<std::string, Entry> points_;
+};
+
+/// Convenience for the common one-failure-mode site.
+inline bool FaultFires(std::string_view point) {
+  return FaultRegistry::Get()->Fire(point);
+}
+
+}  // namespace sqlcm::common
+
+#endif  // SQLCM_COMMON_FAULT_H_

@@ -77,6 +77,15 @@ std::string CsvEscape(std::string_view field) {
   return out;
 }
 
+bool CsvRecordComplete(std::string_view partial) {
+  bool in_quotes = false;
+  for (char c : partial) {
+    if (c == '"') in_quotes = !in_quotes;
+  }
+  // Escaped quotes ("") toggle twice, so parity alone is exact.
+  return !in_quotes;
+}
+
 std::vector<std::string> CsvParseLine(std::string_view line) {
   std::vector<std::string> fields;
   std::string cur;

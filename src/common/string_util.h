@@ -33,8 +33,16 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 /// newline; embedded quotes are doubled.
 std::string CsvEscape(std::string_view field);
 
-/// Parses one CSV line into fields (inverse of CsvEscape + Join(",")).
+/// Parses one CSV record into fields (inverse of CsvEscape + Join(",")).
+/// The record may span multiple physical lines when a quoted field contains
+/// newlines; pass the joined text (see CsvRecordComplete).
 std::vector<std::string> CsvParseLine(std::string_view line);
+
+/// True when `partial` closes every quote it opens — i.e. a physical line
+/// read so far is a complete CSV record. A quoted field containing a
+/// newline leaves the record open; callers append the next physical line
+/// (re-inserting the '\n') until this returns true.
+bool CsvRecordComplete(std::string_view partial);
 
 }  // namespace sqlcm::common
 

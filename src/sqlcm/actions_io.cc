@@ -2,6 +2,8 @@
 
 #include <fstream>
 
+#include "common/fault.h"
+
 namespace sqlcm::cm {
 
 using common::Status;
@@ -17,6 +19,9 @@ Status FileAppendingSink::RunExternal(const std::string& command) {
 
 Status FileAppendingSink::AppendLine(const std::string& line) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (common::FaultFires(kFaultActionAppend)) {
+    return Status::IOError("fault injected: append to '" + path_ + "' failed");
+  }
   std::ofstream out(path_, std::ios::app);
   if (!out) {
     return Status::IOError("cannot open '" + path_ + "' for append");

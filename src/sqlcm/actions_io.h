@@ -82,6 +82,9 @@ class CapturingLauncher final : public ProcessLauncher {
   std::vector<std::string> commands_;
 };
 
+/// Fault-injection point honoured by FileAppendingSink (common/fault.h).
+inline constexpr char kFaultActionAppend[] = "actions.file.append";
+
 /// Appends one line per mail/command to a file (operational logging).
 class FileAppendingSink final : public Mailer, public ProcessLauncher {
  public:

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <mutex>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 
 namespace sqlcm::cm {
@@ -200,12 +201,18 @@ void Lat::FoldValue(AggState* state, const LatAggColumn& col, Value v,
     std::deque<AgingBlock>& blocks = *state->blocks;
     const int64_t block_start =
         now_micros - (now_micros % spec_.aging_block_micros);
-    while (!blocks.empty() &&
-           blocks.front().block_start + spec_.aging_block_micros <=
-               now_micros - spec_.aging_window_micros) {
-      blocks.pop_front();
+    // Overload shedding: skip pruning and block rotation, folding into the
+    // current block (buckets coarsen; AggValue still windows on read).
+    const bool shed = shed_aging_.load(std::memory_order_relaxed);
+    if (!shed) {
+      while (!blocks.empty() &&
+             blocks.front().block_start + spec_.aging_block_micros <=
+                 now_micros - spec_.aging_window_micros) {
+        blocks.pop_front();
+      }
     }
-    if (blocks.empty() || blocks.back().block_start != block_start) {
+    if (blocks.empty() ||
+        (!shed && blocks.back().block_start != block_start)) {
       AgingBlock block;
       block.block_start = block_start;
       blocks.push_back(std::move(block));
@@ -359,6 +366,10 @@ class CountedLatchGuard {
     if (!latch_.try_lock()) {
       stats.latch_contention.Inc();
       latch_.lock();
+    } else if (common::FaultFires(kFaultLatLatch)) {
+      // Injected stall: account an uncontended acquisition as contention so
+      // tests can drive the contention path without real thread races.
+      stats.latch_contention.Inc();
     }
   }
   ~CountedLatchGuard() { latch_.unlock(); }

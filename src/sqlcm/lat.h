@@ -20,6 +20,7 @@
 #ifndef SQLCM_SQLCM_LAT_H_
 #define SQLCM_SQLCM_LAT_H_
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -35,6 +36,11 @@
 #include "storage/table.h"
 
 namespace sqlcm::cm {
+
+/// Fault-injection point honoured by the Insert latch path (common/fault.h):
+/// `latch_stall` makes an uncontended acquisition report as contention,
+/// exercising the contention-accounting path deterministically.
+inline constexpr char kFaultLatLatch[] = "lat.latch";
 
 enum class LatAggFunc : uint8_t {
   kCount,
@@ -162,6 +168,16 @@ class Lat {
   /// path is logically const for readers.
   LatStats& stats() const { return stats_; }
 
+  /// Overload shedding (LoadGovernor level 3): while set, aging-block
+  /// pruning and block rotation are skipped on the insert path, so inserts
+  /// get cheaper and aging buckets coarsen until pressure drops.
+  void set_shed_aging(bool shed) {
+    shed_aging_.store(shed, std::memory_order_relaxed);
+  }
+  bool shed_aging() const {
+    return shed_aging_.load(std::memory_order_relaxed);
+  }
+
   // -- Persistence (§4.3) ------------------------------------------------------
 
   /// Appends every row to `table` (schema: LAT columns + trailing INT
@@ -246,6 +262,7 @@ class Lat {
   std::vector<LatRow*> heap_;  // min-heap: root = least important
   size_t total_bytes_ = 0;     // sum of approx_bytes; guarded by heap_latch_
 
+  std::atomic<bool> shed_aging_{false};
   mutable LatStats stats_;
 };
 

@@ -1,10 +1,13 @@
 #include "sqlcm/monitor_engine.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "sqlcm/signature.h"
 #include "sqlcm/system_views.h"
+#include "storage/table_io.h"
 
 namespace sqlcm::cm {
 
@@ -57,17 +60,24 @@ catalog::ColumnType ColumnTypeForKind(ValueKind kind) {
 
 /// Per-hook instrumentation guard: always counts the call; times it (two
 /// clock reads) only while monitoring is active, so the no-rules fast path
-/// never touches the clock.
+/// never touches the clock. Timed hooks feed the LoadGovernor's overhead
+/// estimate, and honour the `monitor.hook.slow` chaos fault.
 class HookTimer {
  public:
   HookTimer(common::Clock* clock, MonitorMetrics::HookStats* stats,
-            bool active)
-      : clock_(clock), stats_(stats), active_(active) {
+            bool active, LoadGovernor* governor)
+      : clock_(clock), stats_(stats), active_(active), governor_(governor) {
     stats_->calls.Inc();
     if (active_) start_ = clock_->NowMicros();
   }
   ~HookTimer() {
-    if (active_) stats_->latency.Record(clock_->NowMicros() - start_);
+    if (!active_) return;
+    if (common::FaultFires(kFaultHookSlow)) {
+      clock_->SleepMicros(kFaultHookSlowMicros);
+    }
+    const int64_t end = clock_->NowMicros();
+    stats_->latency.Record(end - start_);
+    governor_->RecordHook(end - start_, end);
   }
   HookTimer(const HookTimer&) = delete;
   HookTimer& operator=(const HookTimer&) = delete;
@@ -76,6 +86,7 @@ class HookTimer {
   common::Clock* clock_;
   MonitorMetrics::HookStats* stats_;
   const bool active_;
+  LoadGovernor* governor_;
   int64_t start_ = 0;
 };
 
@@ -90,8 +101,12 @@ MonitorEngine::MonitorEngine(engine::Database* db, Options options)
       timers_(db->clock(),
               [this](const TimerRecord& timer) { HandleTimerAlarm(timer); }),
       rule_table_(std::make_shared<const RuleTable>()),
-      trace_(options.trace_capacity) {
+      trace_(options.trace_capacity),
+      governor_(options.governor) {
   detailed_timing_.store(options.detailed_timing, std::memory_order_relaxed);
+  governor_.SetLevelListener([this](int old_level, int new_level) {
+    ApplyShedLevel(old_level, new_level);
+  });
   timers_.set_drift_histogram(&metrics_.timer_drift_micros);
   db_->set_monitor_hooks(this);
   if (options_.register_system_views) {
@@ -120,6 +135,8 @@ Status MonitorEngine::DefineLat(LatSpec spec) {
   Lat* raw = lat.get();
   lat->set_evict_callback(
       [this, raw](Row evicted) { HandleEviction(raw, std::move(evicted)); });
+  // LATs defined while the governor is already shedding start shed too.
+  lat->set_shed_aging(governor_.shed_aging());
   const std::string key = ToLower(raw->name());
   std::lock_guard<std::mutex> lock(registry_mutex_);
   if (lats_.count(key) != 0) {
@@ -191,6 +208,67 @@ Status MonitorEngine::SeedLat(std::string_view lat_name,
   return lat->SeedFrom(*table, db_->clock()->NowMicros());
 }
 
+Result<std::unique_ptr<storage::Table>> MonitorEngine::MakeLatStagingTable(
+    const Lat& lat) const {
+  std::vector<std::string> cols = lat.column_names();
+  std::vector<ValueKind> kinds = lat.column_kinds();
+  cols.push_back("persist_ts");
+  kinds.push_back(ValueKind::kInt);
+  std::vector<catalog::Column> columns;
+  columns.reserve(cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    columns.push_back({cols[i], ColumnTypeForKind(kinds[i])});
+  }
+  SQLCM_ASSIGN_OR_RETURN(
+      auto schema, catalog::TableSchema::Create(lat.name() + "_checkpoint",
+                                                std::move(columns), {}));
+  return std::make_unique<storage::Table>(0, std::move(schema));
+}
+
+Status MonitorEngine::CheckpointLat(std::string_view lat_name,
+                                    const std::string& file_path) {
+  Lat* lat = FindLat(lat_name);
+  if (lat == nullptr) {
+    return Status::NotFound("LAT '" + std::string(lat_name) + "' not found");
+  }
+  SQLCM_ASSIGN_OR_RETURN(auto staging, MakeLatStagingTable(*lat));
+  const int64_t now = db_->clock()->NowMicros();
+  SQLCM_RETURN_IF_ERROR(lat->PersistTo(staging.get(), now, now));
+  int retries = 0;
+  Status status = storage::WriteTableCsvWithRetry(
+      *staging, file_path, options_.persist_attempts,
+      options_.persist_backoff_micros, db_->clock(), &retries);
+  if (retries > 0) {
+    metrics_.persist_retries.Inc(static_cast<uint64_t>(retries));
+  }
+  if (!status.ok()) RecordError(status);
+  return status;
+}
+
+Status MonitorEngine::RestoreLat(std::string_view lat_name,
+                                 const std::string& file_path) {
+  Lat* lat = FindLat(lat_name);
+  if (lat == nullptr) {
+    return Status::NotFound("LAT '" + std::string(lat_name) + "' not found");
+  }
+  SQLCM_ASSIGN_OR_RETURN(auto staging, MakeLatStagingTable(*lat));
+  storage::SnapshotLoadInfo info;
+  Status status =
+      storage::LoadTableCsv(staging.get(), file_path, nullptr, &info);
+  if (!status.ok()) {
+    RecordError(status);
+    return status;
+  }
+  if (info.used_fallback) {
+    metrics_.persist_fallbacks.Inc();
+    RecordError(Status::IOError("restored LAT '" + std::string(lat_name) +
+                                "' from fallback snapshot '" + file_path +
+                                ".bak'; primary rejected: " +
+                                info.primary_error));
+  }
+  return lat->SeedFrom(*staging, db_->clock()->NowMicros());
+}
+
 // ---------------------------------------------------------------------------
 // Rule administration
 // ---------------------------------------------------------------------------
@@ -200,6 +278,7 @@ Result<uint64_t> MonitorEngine::AddRule(const RuleSpec& spec) {
   // registry mutex (FindLat/IsTimerName take it internally).
   SQLCM_ASSIGN_OR_RETURN(auto compiled, RuleCompiler::Compile(spec, *this));
   std::shared_ptr<CompiledRule> rule = std::move(compiled);
+  rule->breaker.Configure(options_.breaker);
   std::lock_guard<std::mutex> lock(registry_mutex_);
   rule->id = next_rule_id_++;
   rules_.push_back(rule);
@@ -234,6 +313,17 @@ Status MonitorEngine::SetRuleEnabled(uint64_t rule_id, bool enabled) {
 size_t MonitorEngine::rule_count() const {
   std::lock_guard<std::mutex> lock(registry_mutex_);
   return rules_.size();
+}
+
+Status MonitorEngine::ReinstateRule(uint64_t rule_id) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& rule : rules_) {
+    if (rule->id == rule_id) {
+      rule->breaker.Reinstate();
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("rule #" + std::to_string(rule_id) + " not found");
 }
 
 void MonitorEngine::RebuildRuleTableLocked() {
@@ -369,7 +459,7 @@ void MonitorEngine::OnQueryStart(const engine::QueryInfo& info) {
   const bool active = MonitoringActive();
   HookTimer timer(
       db_->clock(),
-      &metrics_.hooks[static_cast<size_t>(MonitorHook::kQueryStart)], active);
+      &metrics_.hooks[static_cast<size_t>(MonitorHook::kQueryStart)], active, &governor_);
   if (!active) {
     metrics_.fast_path_calls.Inc();
     return;
@@ -484,7 +574,7 @@ void MonitorEngine::OnQueryCommit(const engine::QueryInfo& info) {
   const bool active = MonitoringActive();
   HookTimer timer(
       db_->clock(),
-      &metrics_.hooks[static_cast<size_t>(MonitorHook::kQueryCommit)], active);
+      &metrics_.hooks[static_cast<size_t>(MonitorHook::kQueryCommit)], active, &governor_);
   if (!active) {
     metrics_.fast_path_calls.Inc();
     return;
@@ -495,7 +585,7 @@ void MonitorEngine::OnQueryCancel(const engine::QueryInfo& info) {
   const bool active = MonitoringActive();
   HookTimer timer(
       db_->clock(),
-      &metrics_.hooks[static_cast<size_t>(MonitorHook::kQueryCancel)], active);
+      &metrics_.hooks[static_cast<size_t>(MonitorHook::kQueryCancel)], active, &governor_);
   if (!active) {
     metrics_.fast_path_calls.Inc();
     return;
@@ -507,7 +597,7 @@ void MonitorEngine::OnQueryRollback(const engine::QueryInfo& info) {
   HookTimer timer(
       db_->clock(),
       &metrics_.hooks[static_cast<size_t>(MonitorHook::kQueryRollback)],
-      active);
+      active, &governor_);
   if (!active) {
     metrics_.fast_path_calls.Inc();
     return;
@@ -520,7 +610,7 @@ void MonitorEngine::OnTransactionBegin(uint64_t session_id,
   const bool active = MonitoringActive();
   HookTimer timer(db_->clock(),
                   &metrics_.hooks[static_cast<size_t>(MonitorHook::kTxnBegin)],
-                  active);
+                  active, &governor_);
   if (!active) {
     metrics_.fast_path_calls.Inc();
     return;
@@ -558,7 +648,7 @@ void MonitorEngine::OnTransactionCommit(uint64_t session_id,
   const bool active = MonitoringActive();
   HookTimer timer(db_->clock(),
                   &metrics_.hooks[static_cast<size_t>(MonitorHook::kTxnCommit)],
-                  active);
+                  active, &governor_);
   if (!active) {
     metrics_.fast_path_calls.Inc();
     return;
@@ -589,7 +679,7 @@ void MonitorEngine::OnTransactionRollback(uint64_t session_id,
   const bool active = MonitoringActive();
   HookTimer timer(
       db_->clock(),
-      &metrics_.hooks[static_cast<size_t>(MonitorHook::kTxnRollback)], active);
+      &metrics_.hooks[static_cast<size_t>(MonitorHook::kTxnRollback)], active, &governor_);
   if (!active) {
     metrics_.fast_path_calls.Inc();
     return;
@@ -639,7 +729,7 @@ void MonitorEngine::OnBlocked(txn::TxnId blocked, txn::TxnId blocker,
   const bool active = MonitoringActive();
   HookTimer timer(db_->clock(),
                   &metrics_.hooks[static_cast<size_t>(MonitorHook::kBlocked)],
-                  active);
+                  active, &governor_);
   if (!active) {
     metrics_.fast_path_calls.Inc();
     return;
@@ -672,7 +762,7 @@ void MonitorEngine::OnBlockReleased(txn::TxnId blocked, txn::TxnId blocker,
   HookTimer timer(
       db_->clock(),
       &metrics_.hooks[static_cast<size_t>(MonitorHook::kBlockReleased)],
-      active);
+      active, &governor_);
   if (!active) {
     metrics_.fast_path_calls.Inc();
     return;
@@ -724,6 +814,13 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
   }
   const auto& rules = table->by_event[static_cast<size_t>(kind)];
   if (rules.empty()) return;
+  // Governor level 4: shed rule evaluation for a sampled-out share of
+  // events (the cheapest remaining lever under overload).
+  const uint64_t seq = event_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (!governor_.AdmitEvent(seq)) {
+    metrics_.events_sampled_out.Inc();
+    return;
+  }
   metrics_.events_processed.Inc();
   const bool tracing = trace_.enabled();
   uint32_t fired_here = 0;
@@ -883,10 +980,17 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
 }
 
 bool MonitorEngine::RunRule(const CompiledRule& rule, EvalContext* ctx) {
+  // Quarantine gate: a tripped breaker takes the rule out of dispatch until
+  // its cooldown admits a half-open probe (or ReinstateRule intervenes).
+  if (!rule.breaker.Allow(ctx->now_micros)) {
+    metrics_.breaker_skips.Inc();
+    return false;
+  }
   rule.stats.evaluations.Inc();
   if (rule.use_fast_condition) {
     if (!EvalFastAtoms(rule.fast_atoms, *ctx)) {
       rule.stats.condition_false.Inc();
+      rule.breaker.OnSuccess(ctx->now_micros);
       return false;
     }
   } else if (rule.condition != nullptr) {
@@ -896,10 +1000,12 @@ bool MonitorEngine::RunRule(const CompiledRule& rule, EvalContext* ctx) {
     if (!pass.ok()) {
       rule.stats.errors.Inc();
       RecordError(pass.status());
+      NoteRuleFailure(rule, ctx->now_micros);
       return false;
     }
     if (!*pass) {
       rule.stats.condition_false.Inc();
+      rule.breaker.OnSuccess(ctx->now_micros);
       return false;
     }
   }
@@ -907,17 +1013,68 @@ bool MonitorEngine::RunRule(const CompiledRule& rule, EvalContext* ctx) {
   rule.stats.fires.Inc();
   const bool timed = detailed_timing_.load(std::memory_order_relaxed);
   const int64_t action_start = timed ? db_->clock()->NowMicros() : 0;
+  bool any_action_failed = false;
   for (const CompiledAction& action : rule.actions) {
     Status status = ExecuteAction(action, ctx);
     if (!status.ok()) {
       rule.stats.errors.Inc();
       RecordError(status);
+      any_action_failed = true;
     }
   }
   if (timed) {
     rule.stats.action_micros.Record(db_->clock()->NowMicros() - action_start);
   }
+  if (any_action_failed) {
+    NoteRuleFailure(rule, ctx->now_micros);
+  } else {
+    rule.breaker.OnSuccess(ctx->now_micros);
+  }
   return true;
+}
+
+void MonitorEngine::NoteRuleFailure(const CompiledRule& rule,
+                                    int64_t now_micros) {
+  if (rule.breaker.OnFailure(now_micros)) {
+    metrics_.breaker_trips.Inc();
+    RecordError(Status::ResourceExhausted(
+        "rule '" + rule.name +
+        "' quarantined: circuit breaker tripped open after repeated "
+        "failures"));
+  }
+}
+
+void MonitorEngine::ApplyShedLevel(int old_level, int new_level) {
+  using L = LoadGovernor;
+  metrics_.governor_level.Set(new_level);
+  if (new_level > old_level) {
+    metrics_.governor_raises.Inc();
+  } else {
+    metrics_.governor_drops.Inc();
+  }
+  // Detailed timing (level 1): remember the configured value across the
+  // shed so recovery restores what the operator chose.
+  if (new_level >= L::kLevelNoDetailedTiming &&
+      old_level < L::kLevelNoDetailedTiming) {
+    timing_before_shed_.store(detailed_timing(), std::memory_order_relaxed);
+    set_detailed_timing(false);
+  } else if (new_level < L::kLevelNoDetailedTiming &&
+             old_level >= L::kLevelNoDetailedTiming) {
+    set_detailed_timing(timing_before_shed_.load(std::memory_order_relaxed));
+  }
+  // Event trace (level 2).
+  if (new_level >= L::kLevelNoTrace && old_level < L::kLevelNoTrace) {
+    trace_before_shed_.store(trace_.enabled(), std::memory_order_relaxed);
+    trace_.set_enabled(false);
+  } else if (new_level < L::kLevelNoTrace && old_level >= L::kLevelNoTrace) {
+    trace_.set_enabled(trace_before_shed_.load(std::memory_order_relaxed));
+  }
+  // LAT aging maintenance (level 3).
+  const bool shed_aging = new_level >= L::kLevelShedAging;
+  if (shed_aging != (old_level >= L::kLevelShedAging)) {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const auto& [_, lat] : lats_) lat->set_shed_aging(shed_aging);
+  }
 }
 
 // ---------------------------------------------------------------------------

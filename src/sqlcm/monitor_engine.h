@@ -26,6 +26,7 @@
 #include "obs/trace_ring.h"
 #include "sqlcm/actions_io.h"
 #include "sqlcm/lat.h"
+#include "sqlcm/load_governor.h"
 #include "sqlcm/monitor_metrics.h"
 #include "sqlcm/rule.h"
 #include "sqlcm/schema.h"
@@ -34,6 +35,13 @@
 namespace sqlcm::cm {
 
 class SystemViews;
+
+/// Fault-injection point honoured by every instrumented hook
+/// (common/fault.h): `slow` sleeps the hook for kFaultHookSlowMicros,
+/// inflating measured overhead — the chaos lever that drives the
+/// LoadGovernor in tests and CI.
+inline constexpr char kFaultHookSlow[] = "monitor.hook.slow";
+inline constexpr int64_t kFaultHookSlowMicros = 1000;
 
 class MonitorEngine final : public engine::MonitorHooks,
                             public txn::LockEventObserver,
@@ -53,6 +61,13 @@ class MonitorEngine final : public engine::MonitorHooks,
     /// clock read each). Off by default to keep fired-rule dispatch at one
     /// clock read per event (paper §6, experiment E2).
     bool detailed_timing = false;
+    /// Quarantine thresholds applied to every rule's circuit breaker.
+    RuleBreaker::Options breaker;
+    /// Overload-degradation configuration (docs/ROBUSTNESS.md ladder).
+    LoadGovernor::Options governor;
+    /// CheckpointLat retry policy for transient snapshot-write failures.
+    int persist_attempts = 3;
+    int64_t persist_backoff_micros = 1000;
   };
 
   /// Attaches to `db` (registers the hook interface and lock observer).
@@ -80,6 +95,17 @@ class MonitorEngine final : public engine::MonitorHooks,
   common::Status SeedLat(std::string_view lat_name,
                          const std::string& table_name);
 
+  /// Crash-safe file checkpoint of a LAT: persists through a transient
+  /// staging table into a checksummed atomic snapshot (storage/table_io),
+  /// retrying transient write failures per Options::persist_attempts.
+  common::Status CheckpointLat(std::string_view lat_name,
+                               const std::string& file_path);
+  /// Restores a LAT from a CheckpointLat snapshot. A corrupt or truncated
+  /// primary snapshot falls back to the rotated `.bak` copy; the recovery is
+  /// counted (robustness.persist_fallbacks) and reported via the error ring.
+  common::Status RestoreLat(std::string_view lat_name,
+                            const std::string& file_path);
+
   // -- DBA surface: rules -----------------------------------------------------
 
   /// Compiles and activates a rule; returns its id. Rules for one event
@@ -88,6 +114,11 @@ class MonitorEngine final : public engine::MonitorHooks,
   common::Status RemoveRule(uint64_t rule_id);
   common::Status SetRuleEnabled(uint64_t rule_id, bool enabled);
   size_t rule_count() const;
+
+  /// Force-closes a quarantined rule's circuit breaker (operator override;
+  /// the breaker also re-admits itself via half-open probing after its
+  /// cooldown).
+  common::Status ReinstateRule(uint64_t rule_id);
 
   // -- DBA surface: timers ----------------------------------------------------
 
@@ -115,6 +146,8 @@ class MonitorEngine final : public engine::MonitorHooks,
   const MonitorMetrics& metrics() const { return metrics_; }
   obs::TraceRing* trace_ring() { return &trace_; }
   const obs::TraceRing& trace_ring() const { return trace_; }
+  LoadGovernor* governor() { return &governor_; }
+  const LoadGovernor& governor() const { return governor_; }
 
   std::vector<obs::ErrorRing::Entry> recent_errors() const {
     return errors_.Snapshot();
@@ -191,6 +224,17 @@ class MonitorEngine final : public engine::MonitorHooks,
   void HandleTimerAlarm(const TimerRecord& timer);
   void RecordError(const common::Status& status);
 
+  /// Feeds a failed evaluation into the rule's circuit breaker; records the
+  /// quarantine when it trips.
+  void NoteRuleFailure(const CompiledRule& rule, int64_t now_micros);
+  /// Propagates a governor shed-level transition into engine knobs
+  /// (detailed timing, trace, per-LAT aging shed) and metrics.
+  void ApplyShedLevel(int old_level, int new_level);
+  /// Builds the transient (non-catalog) staging table used by
+  /// CheckpointLat/RestoreLat: LAT columns + trailing persist_ts.
+  common::Result<std::unique_ptr<storage::Table>> MakeLatStagingTable(
+      const Lat& lat) const;
+
   // Query/transaction registries.
   std::shared_ptr<QueryRecord> FindActiveQueryRecord(uint64_t query_id) const;
   std::shared_ptr<QueryRecord> CurrentQueryOfTxn(txn::TxnId txn_id) const;
@@ -251,6 +295,14 @@ class MonitorEngine final : public engine::MonitorHooks,
   obs::TraceRing trace_;
   obs::ErrorRing errors_{16};
   std::atomic<bool> detailed_timing_{false};
+
+  // Graceful degradation (robustness layer). `timing_before_shed_` /
+  // `trace_before_shed_` remember user-configured state across a shed so
+  // recovery restores it.
+  LoadGovernor governor_;
+  std::atomic<uint64_t> event_seq_{0};
+  std::atomic<bool> timing_before_shed_{false};
+  std::atomic<bool> trace_before_shed_{false};
 
   /// The sqlcm_* virtual tables; owns their catalog lifetime. Declared
   /// last so view refreshes stop before anything else is torn down.

@@ -44,6 +44,15 @@ MonitorMetrics::MonitorMetrics() {
   registry.RegisterCounter("engine.deferred_events", &deferred_events);
   registry.RegisterHistogram("engine.signature_compute", &signature_micros);
   registry.RegisterHistogram("engine.timer_drift", &timer_drift_micros);
+  registry.RegisterCounter("robustness.breaker_trips", &breaker_trips);
+  registry.RegisterCounter("robustness.breaker_skips", &breaker_skips);
+  registry.RegisterCounter("robustness.events_sampled_out",
+                           &events_sampled_out);
+  registry.RegisterCounter("robustness.persist_retries", &persist_retries);
+  registry.RegisterCounter("robustness.persist_fallbacks", &persist_fallbacks);
+  registry.RegisterGauge("robustness.governor_level", &governor_level);
+  registry.RegisterCounter("robustness.governor_raises", &governor_raises);
+  registry.RegisterCounter("robustness.governor_drops", &governor_drops);
 }
 
 }  // namespace sqlcm::cm

@@ -49,6 +49,16 @@ struct MonitorMetrics {
   obs::LatencyHistogram signature_micros;   // per-compile signature cost
   obs::LatencyHistogram timer_drift_micros;  // scheduled-vs-actual firing
 
+  // Robustness layer (docs/ROBUSTNESS.md).
+  obs::Counter breaker_trips;        // rule circuit breakers tripped open
+  obs::Counter breaker_skips;        // rule evaluations skipped (quarantined)
+  obs::Counter events_sampled_out;   // events shed by governor sampling
+  obs::Counter persist_retries;      // snapshot write retries that ran
+  obs::Counter persist_fallbacks;    // restores served from .bak snapshots
+  obs::Gauge governor_level;         // current degradation ladder level
+  obs::Counter governor_raises;      // shed-level increases
+  obs::Counter governor_drops;       // shed-level decreases (recovery)
+
   obs::MetricsRegistry registry;  // names every instrument above
 
   MonitorMetrics();

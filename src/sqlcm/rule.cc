@@ -813,4 +813,137 @@ Result<std::unique_ptr<CompiledRule>> RuleCompiler::Compile(
   return rule;
 }
 
+// ---------------------------------------------------------------------------
+// RuleBreaker
+// ---------------------------------------------------------------------------
+
+const char* RuleBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+const char* RuleBreaker::state_name() const { return StateName(state()); }
+
+void RuleBreaker::Configure(const Options& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_ = options;
+}
+
+bool RuleBreaker::Allow(int64_t now_micros) {
+  if (state_.load(std::memory_order_relaxed) == State::kClosed) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_.load(std::memory_order_relaxed)) {
+    case State::kClosed:
+      return true;  // closed while we waited for the lock
+    case State::kOpen:
+      if (now_micros - tripped_at_micros_ < options_.cooldown_micros) {
+        ++skipped_;
+        return false;
+      }
+      state_.store(State::kHalfOpen, std::memory_order_relaxed);
+      probe_in_flight_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probe_in_flight_) {
+        ++skipped_;
+        return false;
+      }
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void RuleBreaker::OnSuccess(int64_t) {
+  if (state_.load(std::memory_order_relaxed) == State::kClosed) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    consecutive_failures_ = 0;
+    if (++window_events_ >= options_.window_size) {
+      window_events_ = 0;
+      window_errors_ = 0;
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_.load(std::memory_order_relaxed) == State::kHalfOpen) {
+    // Probe succeeded: the rule has recovered.
+    state_.store(State::kClosed, std::memory_order_relaxed);
+    probe_in_flight_ = false;
+    consecutive_failures_ = 0;
+    window_events_ = 0;
+    window_errors_ = 0;
+  }
+}
+
+bool RuleBreaker::ShouldTripLocked() const {
+  if (consecutive_failures_ >= options_.consecutive_failure_threshold) {
+    return true;
+  }
+  return window_events_ >= options_.min_window_events &&
+         static_cast<double>(window_errors_) >=
+             options_.error_rate_threshold *
+                 static_cast<double>(window_events_);
+}
+
+bool RuleBreaker::OnFailure(int64_t now_micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const State state = state_.load(std::memory_order_relaxed);
+  if (state == State::kHalfOpen) {
+    // Probe failed: straight back to open, cooldown restarts.
+    state_.store(State::kOpen, std::memory_order_relaxed);
+    probe_in_flight_ = false;
+    tripped_at_micros_ = now_micros;
+    ++trips_;
+    return true;
+  }
+  if (state == State::kOpen) return false;  // late failure, already tripped
+  ++consecutive_failures_;
+  ++window_events_;
+  ++window_errors_;
+  if (!ShouldTripLocked()) {
+    if (window_events_ >= options_.window_size) {
+      window_events_ = 0;
+      window_errors_ = 0;
+    }
+    return false;
+  }
+  state_.store(State::kOpen, std::memory_order_relaxed);
+  tripped_at_micros_ = now_micros;
+  ++trips_;
+  return true;
+}
+
+void RuleBreaker::Reinstate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_.store(State::kClosed, std::memory_order_relaxed);
+  probe_in_flight_ = false;
+  consecutive_failures_ = 0;
+  window_events_ = 0;
+  window_errors_ = 0;
+}
+
+int64_t RuleBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return consecutive_failures_;
+}
+
+uint64_t RuleBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trips_;
+}
+
+uint64_t RuleBreaker::skipped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return skipped_;
+}
+
+int64_t RuleBreaker::tripped_at_micros() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tripped_at_micros_;
+}
+
 }  // namespace sqlcm::cm

@@ -14,7 +14,9 @@
 #define SQLCM_SQLCM_RULE_H_
 
 #include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -193,6 +195,79 @@ struct RuleStats {
   obs::LatencyHistogram action_micros;
 };
 
+/// Per-rule circuit breaker (quarantine). A rule whose condition or actions
+/// keep failing is taken out of the dispatch path so one bad rule cannot
+/// degrade every monitored query (robustness layer; see docs/ROBUSTNESS.md).
+///
+/// State machine:
+///   closed ──(consecutive failures ≥ threshold, or windowed error rate ≥
+///             threshold)──▶ open ──(cooldown elapses)──▶ half-open
+///   half-open admits exactly one probe evaluation: success closes the
+///   breaker, failure re-opens it and restarts the cooldown.
+/// `Reinstate()` force-closes it (engine API / operator intervention).
+///
+/// The closed-state hot path is one relaxed atomic load; the mutex is taken
+/// only to record outcomes and transition states.
+class RuleBreaker {
+ public:
+  struct Options {
+    /// Consecutive-failure trip wire.
+    int consecutive_failure_threshold = 5;
+    /// Windowed error-rate trip wire: over each `window_size` evaluations,
+    /// trip when errors/evaluations ≥ `error_rate_threshold` (judged only
+    /// once the window holds ≥ `min_window_events` outcomes).
+    int window_size = 64;
+    int min_window_events = 16;
+    double error_rate_threshold = 0.5;
+    /// How long an open breaker waits before admitting a half-open probe.
+    int64_t cooldown_micros = 5'000'000;
+  };
+
+  enum class State : uint8_t { kClosed, kOpen, kHalfOpen };
+
+  RuleBreaker() = default;
+  explicit RuleBreaker(Options options) : options_(options) {}
+
+  /// Engine-level configuration applied after rule compilation; resets
+  /// nothing, so it is safe on a live breaker.
+  void Configure(const Options& options);
+
+  /// True when the rule may be evaluated now. Open breakers whose cooldown
+  /// has elapsed move to half-open and admit exactly one probe.
+  bool Allow(int64_t now_micros);
+  void OnSuccess(int64_t now_micros);
+  /// Records a failed evaluation; returns true when this failure tripped
+  /// (or re-tripped) the breaker.
+  bool OnFailure(int64_t now_micros);
+  /// Force-closes the breaker and clears the failure window.
+  void Reinstate();
+
+  State state() const { return state_.load(std::memory_order_relaxed); }
+  const char* state_name() const;
+  static const char* StateName(State state);
+
+  int64_t consecutive_failures() const;
+  /// Times the breaker tripped open (including half-open probe failures).
+  uint64_t trips() const;
+  /// Evaluations skipped because the breaker was open.
+  uint64_t skipped() const;
+  int64_t tripped_at_micros() const;
+
+ private:
+  bool ShouldTripLocked() const;
+
+  std::atomic<State> state_{State::kClosed};
+  mutable std::mutex mutex_;
+  Options options_;
+  int64_t consecutive_failures_ = 0;
+  int64_t window_events_ = 0;
+  int64_t window_errors_ = 0;
+  bool probe_in_flight_ = false;
+  int64_t tripped_at_micros_ = 0;
+  uint64_t trips_ = 0;
+  uint64_t skipped_ = 0;
+};
+
 struct CompiledRule {
   uint64_t id = 0;
   std::string name;
@@ -218,6 +293,8 @@ struct CompiledRule {
   bool enabled = true;
   /// Mutable so the (logically const) dispatch path can update counters.
   mutable RuleStats stats;
+  /// Quarantine state; configured by the engine after compilation.
+  mutable RuleBreaker breaker;
 };
 
 /// Name-based LAT lookup used during rule compilation.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "catalog/schema.h"
+#include "common/fault.h"
 #include "engine/database.h"
 #include "sqlcm/monitor_engine.h"
 #include "storage/catalog.h"
@@ -53,7 +54,10 @@ SystemViews::SystemViews(MonitorEngine* monitor, engine::Database* db)
                                     {"action_p50_us", 'd'},
                                     {"action_p95_us", 'd'},
                                     {"action_p99_us", 'd'},
-                                    {"action_max_us", 'd'}},
+                                    {"action_max_us", 'd'},
+                                    {"quarantine_state", 's'},
+                                    {"quarantine_trips", 'i'},
+                                    {"quarantine_skipped", 'i'}},
                                    {"rule_id"})) {
     t->SetVirtualRefresh([this, t] {
       std::lock_guard<std::mutex> lock(refresh_mutex_);
@@ -91,6 +95,19 @@ SystemViews::SystemViews(MonitorEngine* monitor, engine::Database* db)
     t->SetVirtualRefresh([this, t] {
       std::lock_guard<std::mutex> lock(refresh_mutex_);
       RefreshEventTrace(t);
+    });
+  }
+  if (storage::Table* t = Register(kFaultPointsView,
+                                   {{"point", 's'},
+                                    {"kind", 's'},
+                                    {"probability", 'd'},
+                                    {"max_fires", 'i'},
+                                    {"hits", 'i'},
+                                    {"fires", 'i'}},
+                                   {"point"})) {
+    t->SetVirtualRefresh([this, t] {
+      std::lock_guard<std::mutex> lock(refresh_mutex_);
+      RefreshFaultPoints(t);
     });
   }
 }
@@ -162,6 +179,13 @@ void SystemViews::RefreshEngineStats(storage::Table* table) {
   add("trace.total_recorded", "counter",
       static_cast<double>(trace.total_recorded()), "");
 
+  const LoadGovernor& governor = *monitor_->governor();
+  add("governor.overhead_fraction", "gauge",
+      governor.last_overhead_fraction(), "");
+  add("governor.overhead_budget", "gauge",
+      governor.options().overhead_budget, "");
+  add("governor.forced", "gauge", governor.forced() ? 1.0 : 0.0, "");
+
   add("errors.total", "counter", static_cast<double>(monitor_->total_errors()),
       "");
   for (const auto& err : monitor_->recent_errors()) {
@@ -192,6 +216,23 @@ void SystemViews::RefreshRuleStats(storage::Table* table) {
     row.push_back(Value::Double(pct.p99));
     row.push_back(
         Value::Double(static_cast<double>(stats.action_micros.max_micros())));
+    row.push_back(Value::String(rule->breaker.state_name()));
+    row.push_back(Value::Int(static_cast<int64_t>(rule->breaker.trips())));
+    row.push_back(Value::Int(static_cast<int64_t>(rule->breaker.skipped())));
+    (void)table->Insert(std::move(row));
+  }
+}
+
+void SystemViews::RefreshFaultPoints(storage::Table* table) {
+  table->Truncate();
+  for (const auto& point : common::FaultRegistry::Get()->Snapshot()) {
+    Row row;
+    row.push_back(Value::String(point.point));
+    row.push_back(Value::String(common::FaultKindName(point.spec.kind)));
+    row.push_back(Value::Double(point.spec.probability));
+    row.push_back(Value::Int(point.spec.max_fires));
+    row.push_back(Value::Int(static_cast<int64_t>(point.hits)));
+    row.push_back(Value::Int(static_cast<int64_t>(point.fires)));
     (void)table->Insert(std::move(row));
   }
 }

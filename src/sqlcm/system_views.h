@@ -40,6 +40,7 @@ inline constexpr const char* kEngineStatsView = "sqlcm_engine_stats";
 inline constexpr const char* kRuleStatsView = "sqlcm_rule_stats";
 inline constexpr const char* kLatStatsView = "sqlcm_lat_stats";
 inline constexpr const char* kEventTraceView = "sqlcm_event_trace";
+inline constexpr const char* kFaultPointsView = "sqlcm_fault_points";
 
 class SystemViews {
  public:
@@ -61,6 +62,7 @@ class SystemViews {
   void RefreshRuleStats(storage::Table* table);
   void RefreshLatStats(storage::Table* table);
   void RefreshEventTrace(storage::Table* table);
+  void RefreshFaultPoints(storage::Table* table);
 
   MonitorEngine* monitor_;
   engine::Database* db_;

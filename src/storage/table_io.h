@@ -1,38 +1,77 @@
-// CSV persist / restore for tables.
+// Crash-safe CSV persist / restore for tables.
 //
 // Used for (a) persisting LAT contents across server restarts (paper §4.3:
 // "it is possible to maintain LAT data over multiple restarts of the
 // database server, by uploading the contents of a table to a specific LAT
 // at database startup time") and (b) the Query_logging baseline's forced
 // synchronous writes.
+//
+// Snapshot file format (docs/ROBUSTNESS.md):
+//   #sqlcm-snapshot v=1 crc=<8 hex digits> len=<body bytes>
+//   <CSV header row>
+//   <CSV data rows...>
+// The CRC-32 and byte length cover everything after the header line, so a
+// truncated or bit-flipped file is detected before any row is seeded.
+// Writes go to `path.tmp` + fsync + atomic rename; the previous snapshot is
+// rotated to `path.bak` first, and loads fall back to it when the primary
+// is missing, truncated or corrupt. Files without the magic header are
+// loaded as plain CSV (pre-snapshot compatibility).
 #ifndef SQLCM_STORAGE_TABLE_IO_H_
 #define SQLCM_STORAGE_TABLE_IO_H_
 
 #include <string>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "storage/table.h"
 
 namespace sqlcm::storage {
 
-/// Writes the full table to `path` as CSV with a header row of column
-/// names. Overwrites any existing file.
+/// Fault-injection point names honoured by this module (common/fault.h).
+inline constexpr char kFaultSnapshotWrite[] = "storage.snapshot.write";
+inline constexpr char kFaultSnapshotRead[] = "storage.snapshot.read";
+inline constexpr char kFaultSyncLogWrite[] = "storage.synclog.write";
+
+/// Writes the full table to `path` as a checksummed snapshot. The write is
+/// atomic: content goes to `path.tmp` (fsync) and is renamed over `path`
+/// only when complete, so a failure at any point leaves the previous
+/// snapshot intact. An existing `path` is rotated to `path.bak` first.
 common::Status WriteTableCsv(const Table& table, const std::string& path);
 
-/// Appends rows from a CSV file (with header) into `table`. Column order in
-/// the file must match the table schema. Rows whose primary key already
-/// exists are skipped (the count of skipped rows is reported in *skipped if
-/// non-null).
+/// WriteTableCsv with bounded retry/backoff for transient failures:
+/// up to `attempts` tries, sleeping `backoff_micros` (doubling each retry)
+/// between them. `*retries` (optional) reports how many retries ran.
+common::Status WriteTableCsvWithRetry(const Table& table,
+                                      const std::string& path, int attempts,
+                                      int64_t backoff_micros,
+                                      common::Clock* clock,
+                                      int* retries = nullptr);
+
+/// Outcome detail for LoadTableCsv: whether the last-good fallback snapshot
+/// was used and why the primary was rejected.
+struct SnapshotLoadInfo {
+  bool used_fallback = false;
+  std::string primary_error;  // set when used_fallback is true
+};
+
+/// Loads rows from a snapshot (or plain CSV) file into `table`. Column
+/// order in the file must match the table schema. The whole file is
+/// verified and parsed before the first insert, so a corrupt file never
+/// half-loads; on verification failure `path.bak` is tried. Rows whose
+/// primary key already exists are skipped (count reported via *skipped).
 common::Status LoadTableCsv(Table* table, const std::string& path,
-                            size_t* skipped = nullptr);
+                            size_t* skipped = nullptr,
+                            SnapshotLoadInfo* info = nullptr);
 
 /// Append-only CSV sink with optional per-row fsync; models the "forced
 /// synchronous writes" of the Query_logging baseline (§6.2.2(a)).
 class SyncCsvWriter {
  public:
-  /// Opens (truncates) `path`. `sync_every_row` forces fsync per AppendRow.
+  /// Opens `path` for appending (a crashed-and-restarted baseline keeps its
+  /// prior log); pass `truncate=true` to start a fresh log instead.
+  /// `sync_every_row` forces fdatasync per AppendRow.
   static common::Result<std::unique_ptr<SyncCsvWriter>> Open(
-      const std::string& path, bool sync_every_row);
+      const std::string& path, bool sync_every_row, bool truncate = false);
 
   ~SyncCsvWriter();
   SyncCsvWriter(const SyncCsvWriter&) = delete;

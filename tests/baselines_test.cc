@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include "engine/session.h"
 #include "workload/driver.h"
 #include "workload/tpch_gen.h"
@@ -46,6 +50,47 @@ TEST(QueryLoggingTest, FailedStatementsNotLogged) {
   ASSERT_TRUE(session->Execute("INSERT INTO t VALUES (1)").ok());
   ASSERT_FALSE(session->Execute("INSERT INTO t VALUES (1)").ok());  // dup
   EXPECT_EQ((*monitor)->rows_logged(), 1u);
+}
+
+size_t CountLines(const std::string& path) {
+  std::ifstream in(path);
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  return lines;
+}
+
+void RunLoggedQueries(QueryLoggingMonitor::Options options, int queries) {
+  engine::Database db;
+  auto monitor = QueryLoggingMonitor::Create(&db, std::move(options));
+  ASSERT_TRUE(monitor.ok()) << monitor.status();
+  auto session = db.CreateSession();
+  ASSERT_TRUE(session->Execute("CREATE TABLE t (a INT, PRIMARY KEY(a))").ok());
+  for (int i = 1; i < queries; ++i) {
+    ASSERT_TRUE(
+        session->Execute("INSERT INTO t VALUES (" + std::to_string(i) + ")")
+            .ok());
+  }
+}
+
+TEST(QueryLoggingTest, SyncLogAppendsAcrossRestartsUnlessTruncated) {
+  QueryLoggingMonitor::Options options;
+  options.sync_file = ::testing::TempDir() + "/qlog_restart.csv";
+  std::remove(options.sync_file.c_str());
+
+  // Two "engine lifetimes" with the default open mode: the second run must
+  // keep the first run's rows (append semantics survive a restart). Each
+  // run logs queries-1 rows (the CREATE TABLE is DDL and is not logged).
+  RunLoggedQueries(options, 3);
+  EXPECT_EQ(CountLines(options.sync_file), 2u);
+  RunLoggedQueries(options, 2);
+  EXPECT_EQ(CountLines(options.sync_file), 3u);
+
+  // Explicit truncate discards the history on startup.
+  options.truncate_log = true;
+  RunLoggedQueries(options, 3);
+  EXPECT_EQ(CountLines(options.sync_file), 2u);
+  std::remove(options.sync_file.c_str());
 }
 
 class PullTest : public ::testing::Test {

@@ -1,0 +1,809 @@
+// Robustness-layer tests (docs/ROBUSTNESS.md): the fault-injection
+// registry itself, crash-safe snapshot persistence with last-good-fallback
+// recovery, LAT checkpoint/restore continuity under injected faults, rule
+// quarantine inside the live engine, and graceful degradation under
+// overload. Every injection point defined by the robustness layer is
+// exercised at least once here (ISSUE 2 acceptance criteria).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/clock.h"
+#include "common/fault.h"
+#include "engine/session.h"
+#include "sqlcm/actions_io.h"
+#include "sqlcm/lat.h"
+#include "sqlcm/load_governor.h"
+#include "sqlcm/monitor_engine.h"
+#include "sqlcm/system_views.h"
+#include "storage/catalog.h"
+#include "storage/table_io.h"
+
+namespace sqlcm::cm {
+namespace {
+
+using common::FaultKind;
+using common::FaultRegistry;
+using common::MockClock;
+using common::Row;
+using common::Value;
+using exec::QueryResult;
+using storage::LoadTableCsv;
+using storage::SnapshotLoadInfo;
+using storage::Table;
+using storage::WriteTableCsv;
+using storage::WriteTableCsvWithRetry;
+
+/// Every fixture below arms process-global fault points; reset on both ends
+/// so tests stay hermetic in any order.
+class FaultFixture : public ::testing::Test {
+ protected:
+  FaultFixture() { FaultRegistry::Get()->Reset(); }
+  ~FaultFixture() override { FaultRegistry::Get()->Reset(); }
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+// ---------------------------------------------------------------------------
+// FaultRegistry
+// ---------------------------------------------------------------------------
+
+using FaultRegistryTest = FaultFixture;
+
+TEST_F(FaultRegistryTest, ArmFromSpecParsesAndArms) {
+  auto* reg = FaultRegistry::Get();
+  ASSERT_TRUE(
+      reg->ArmFromSpec("a.b=io_error; c.d = slow:0.5:3 ;;e.f=crash_rename")
+          .ok());
+  const auto points = reg->Snapshot();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_TRUE(reg->FireKind("a.b") == FaultKind::kIOError);
+  for (const auto& point : points) {
+    if (point.point == "c.d") {
+      EXPECT_EQ(point.spec.kind, FaultKind::kSlow);
+      EXPECT_DOUBLE_EQ(point.spec.probability, 0.5);
+      EXPECT_EQ(point.spec.max_fires, 3);
+    }
+  }
+}
+
+TEST_F(FaultRegistryTest, ArmFromSpecRejectsMalformedEntries) {
+  auto* reg = FaultRegistry::Get();
+  EXPECT_FALSE(reg->ArmFromSpec("a.b").ok());                // no '='
+  EXPECT_FALSE(reg->ArmFromSpec("a.b=frobnicate").ok());     // unknown kind
+  EXPECT_FALSE(reg->ArmFromSpec("a.b=io_error:1:2:3").ok()); // extra field
+  EXPECT_FALSE(reg->ArmFromSpec("=io_error").ok());          // empty point
+}
+
+TEST_F(FaultRegistryTest, MaxFiresSelfDisarms) {
+  auto* reg = FaultRegistry::Get();
+  reg->Arm("p", {FaultKind::kIOError, 1.0, /*max_fires=*/2});
+  EXPECT_TRUE(reg->Fire("p"));
+  EXPECT_TRUE(reg->Fire("p"));
+  EXPECT_FALSE(reg->Fire("p"));  // budget exhausted
+  EXPECT_EQ(reg->fires("p"), 2u);
+  EXPECT_EQ(reg->hits("p"), 3u);
+}
+
+TEST_F(FaultRegistryTest, ProbabilityIsSeededAndCounted) {
+  auto* reg = FaultRegistry::Get();
+  reg->Seed(12345);
+  reg->Arm("p", {FaultKind::kIOError, 0.5, -1});
+  for (int i = 0; i < 1000; ++i) (void)reg->Fire("p");
+  EXPECT_EQ(reg->hits("p"), 1000u);
+  EXPECT_GT(reg->fires("p"), 350u);
+  EXPECT_LT(reg->fires("p"), 650u);
+
+  // The same seed replays the same firing sequence (CI reproducibility).
+  const uint64_t first_run = reg->fires("p");
+  reg->Reset();
+  reg->Seed(12345);
+  reg->Arm("p", {FaultKind::kIOError, 0.5, -1});
+  for (int i = 0; i < 1000; ++i) (void)reg->Fire("p");
+  EXPECT_EQ(reg->fires("p"), first_run);
+}
+
+TEST_F(FaultRegistryTest, DisarmStopsFiringButKeepsCounters) {
+  auto* reg = FaultRegistry::Get();
+  reg->Arm("p", {FaultKind::kIOError, 1.0, -1});
+  reg->Arm("other", {FaultKind::kIOError, 1.0, -1});  // keeps registry active
+  EXPECT_TRUE(reg->Fire("p"));
+  reg->Disarm("p");
+  EXPECT_FALSE(reg->Fire("p"));
+  EXPECT_EQ(reg->fires("p"), 1u);
+  EXPECT_EQ(reg->hits("p"), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe snapshots (storage/table_io) under injected faults
+// ---------------------------------------------------------------------------
+
+class SnapshotFaultTest : public FaultFixture {
+ protected:
+  SnapshotFaultTest()
+      : path_(::testing::TempDir() + "/robustness_snapshot.csv") {
+    CleanupFiles();
+  }
+  ~SnapshotFaultTest() override { CleanupFiles(); }
+
+  void CleanupFiles() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".bak").c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+
+  catalog::TableSchema MakeSchema() {
+    auto schema = catalog::TableSchema::Create(
+        "t",
+        {{"id", catalog::ColumnType::kInt},
+         {"name", catalog::ColumnType::kString}},
+        {"id"});
+    EXPECT_TRUE(schema.ok());
+    return std::move(schema).value();
+  }
+
+  /// Writes a snapshot holding ids [1..rows].
+  void WriteSnapshot(int rows) {
+    Table table(1, MakeSchema());
+    for (int i = 1; i <= rows; ++i) {
+      ASSERT_TRUE(
+          table.Insert({Value::Int(i), Value::String("r" + std::to_string(i))})
+              .ok());
+    }
+    ASSERT_TRUE(WriteTableCsv(table, path_).ok());
+  }
+
+  size_t LoadedRowCount(SnapshotLoadInfo* info = nullptr) {
+    Table table(2, MakeSchema());
+    const auto status = LoadTableCsv(&table, path_, nullptr, info);
+    EXPECT_TRUE(status.ok()) << status;
+    return status.ok() ? table.row_count() : 0;
+  }
+
+  std::string path_;
+};
+
+TEST_F(SnapshotFaultTest, InjectedIoErrorLeavesPreviousSnapshotIntact) {
+  WriteSnapshot(2);
+  FaultRegistry::Get()->Arm(storage::kFaultSnapshotWrite,
+                            {FaultKind::kIOError, 1.0, -1});
+  Table bigger(1, MakeSchema());
+  ASSERT_TRUE(bigger.Insert({Value::Int(9), Value::String("x")}).ok());
+  EXPECT_FALSE(WriteTableCsv(bigger, path_).ok());
+  FaultRegistry::Get()->Reset();
+  EXPECT_EQ(LoadedRowCount(), 2u);  // the old snapshot survived untouched
+}
+
+TEST_F(SnapshotFaultTest, ShortWriteTearsTmpButNotPrimary) {
+  WriteSnapshot(2);
+  FaultRegistry::Get()->Arm(storage::kFaultSnapshotWrite,
+                            {FaultKind::kShortWrite, 1.0, -1});
+  Table bigger(1, MakeSchema());
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(
+        bigger.Insert({Value::Int(i), Value::String("new")}).ok());
+  }
+  EXPECT_FALSE(WriteTableCsv(bigger, path_).ok());
+  FaultRegistry::Get()->Reset();
+  // The torn bytes landed in .tmp only; the published snapshot still loads.
+  EXPECT_TRUE(FileExists(path_ + ".tmp"));
+  EXPECT_EQ(LoadedRowCount(), 2u);
+  // And the torn tmp itself is rejected by verification, not half-loaded.
+  Table scratch(3, MakeSchema());
+  EXPECT_FALSE(LoadTableCsv(&scratch, path_ + ".tmp").ok());
+  EXPECT_EQ(scratch.row_count(), 0u);
+}
+
+TEST_F(SnapshotFaultTest, CrashBeforeRenameKeepsPreviousSnapshot) {
+  WriteSnapshot(2);
+  FaultRegistry::Get()->Arm(storage::kFaultSnapshotWrite,
+                            {FaultKind::kCrashRename, 1.0, -1});
+  Table bigger(1, MakeSchema());
+  ASSERT_TRUE(bigger.Insert({Value::Int(7), Value::String("x")}).ok());
+  EXPECT_FALSE(WriteTableCsv(bigger, path_).ok());
+  FaultRegistry::Get()->Reset();
+  EXPECT_TRUE(FileExists(path_ + ".tmp"));  // durable but unpublished
+  EXPECT_EQ(LoadedRowCount(), 2u);
+}
+
+TEST_F(SnapshotFaultTest, CorruptCrcFallsBackToLastGoodSnapshot) {
+  WriteSnapshot(1);
+  WriteSnapshot(3);  // rotates the 1-row snapshot to .bak
+  std::string content = ReadFile(path_);
+  ASSERT_FALSE(content.empty());
+  content.back() = content.back() == 'X' ? 'Y' : 'X';  // same length, bad CRC
+  WriteFile(path_, content);
+
+  SnapshotLoadInfo info;
+  EXPECT_EQ(LoadedRowCount(&info), 1u);  // served from .bak
+  EXPECT_TRUE(info.used_fallback);
+  EXPECT_NE(info.primary_error.find("corrupt"), std::string::npos)
+      << info.primary_error;
+}
+
+TEST_F(SnapshotFaultTest, TruncatedFileFallsBackToLastGoodSnapshot) {
+  WriteSnapshot(1);
+  WriteSnapshot(3);
+  const std::string content = ReadFile(path_);
+  // Drop the tail of the body (the header line stays intact, so this is a
+  // clean truncation rather than a malformed header).
+  WriteFile(path_, content.substr(0, content.size() - 4));
+
+  SnapshotLoadInfo info;
+  EXPECT_EQ(LoadedRowCount(&info), 1u);
+  EXPECT_TRUE(info.used_fallback);
+  EXPECT_NE(info.primary_error.find("truncated"), std::string::npos)
+      << info.primary_error;
+}
+
+TEST_F(SnapshotFaultTest, CorruptionWithoutBackupIsAnErrorNotAHalfLoad) {
+  WriteSnapshot(3);
+  const std::string content = ReadFile(path_);
+  WriteFile(path_, content.substr(0, content.size() - 2));
+
+  Table table(2, MakeSchema());
+  EXPECT_FALSE(LoadTableCsv(&table, path_).ok());
+  EXPECT_EQ(table.row_count(), 0u);  // nothing seeded from the bad file
+}
+
+TEST_F(SnapshotFaultTest, InjectedReadErrorFallsBackToBak) {
+  WriteSnapshot(1);
+  WriteSnapshot(3);
+  // First read (the primary) fails; the .bak read is allowed through.
+  FaultRegistry::Get()->Arm(storage::kFaultSnapshotRead,
+                            {FaultKind::kIOError, 1.0, /*max_fires=*/1});
+  SnapshotLoadInfo info;
+  EXPECT_EQ(LoadedRowCount(&info), 1u);
+  EXPECT_TRUE(info.used_fallback);
+}
+
+TEST_F(SnapshotFaultTest, WriteRetriesTransientFailuresWithBackoff) {
+  FaultRegistry::Get()->Arm(storage::kFaultSnapshotWrite,
+                            {FaultKind::kIOError, 1.0, /*max_fires=*/2});
+  Table table(1, MakeSchema());
+  ASSERT_TRUE(table.Insert({Value::Int(1), Value::String("a")}).ok());
+
+  MockClock clock;
+  int retries = 0;
+  const auto status = WriteTableCsvWithRetry(table, path_, /*attempts=*/4,
+                                             /*backoff_micros=*/100, &clock,
+                                             &retries);
+  EXPECT_TRUE(status.ok()) << status;
+  EXPECT_EQ(retries, 2);
+  EXPECT_EQ(clock.NowMicros(), 100 + 200);  // doubling backoff between tries
+  EXPECT_EQ(LoadedRowCount(), 1u);
+
+  // With fewer attempts than failures, the last error is surfaced.
+  FaultRegistry::Get()->Reset();
+  FaultRegistry::Get()->Arm(storage::kFaultSnapshotWrite,
+                            {FaultKind::kIOError, 1.0, -1});
+  EXPECT_FALSE(
+      WriteTableCsvWithRetry(table, path_, 2, 100, &clock, &retries).ok());
+  EXPECT_EQ(retries, 1);
+}
+
+// ---------------------------------------------------------------------------
+// LAT checkpoint / restore continuity (paper §4.3) under faults
+// ---------------------------------------------------------------------------
+
+class LatCheckpointTest : public FaultFixture {
+ protected:
+  LatCheckpointTest()
+      : path_(::testing::TempDir() + "/robustness_lat.csv") {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".bak").c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+
+  /// A database + monitor with Duration_LAT fed on every commit.
+  struct Node {
+    engine::Database db;
+    MonitorEngine monitor;
+    std::unique_ptr<engine::Session> session;
+
+    Node() : monitor(&db), session(db.CreateSession()) {
+      // Set up the schema before the feed rule exists, so only the
+      // deliberately-run queries land in the LAT.
+      Exec("CREATE TABLE items (id INT, val FLOAT, PRIMARY KEY(id))");
+      Exec("INSERT INTO items VALUES (1, 1.0)");
+      LatSpec spec;
+      spec.name = "Duration_LAT";
+      spec.group_by = {{"Logical_Signature", "Sig"}};
+      spec.aggregates = {{LatAggFunc::kAvg, "Duration", "Avg_Duration", false},
+                         {LatAggFunc::kCount, "", "N", false}};
+      EXPECT_TRUE(monitor.DefineLat(std::move(spec)).ok());
+      RuleSpec feed;
+      feed.name = "feed";
+      feed.event = "Query.Commit";
+      feed.action = "Query.Insert(Duration_LAT)";
+      EXPECT_TRUE(monitor.AddRule(feed).ok());
+    }
+
+    void Exec(const std::string& sql) {
+      auto result = session->Execute(sql);
+      ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+    }
+
+    /// Distinct statement templates => distinct signatures => LAT groups.
+    void RunDistinctQueries(int n, int offset = 0) {
+      for (int i = 0; i < n; ++i) {
+        std::string cols = "val";
+        for (int j = 0; j < i + offset; ++j) cols += ", val";
+        Exec("SELECT " + cols + " FROM items WHERE id = 1");
+      }
+    }
+
+    size_t LatSize() {
+      Lat* lat = monitor.FindLat("Duration_LAT");
+      EXPECT_NE(lat, nullptr);
+      return lat == nullptr ? 0 : lat->size();
+    }
+  };
+
+  std::string path_;
+};
+
+TEST_F(LatCheckpointTest, CheckpointRestoreRoundTripAcrossEngines) {
+  Node writer;
+  writer.RunDistinctQueries(3);
+  ASSERT_EQ(writer.LatSize(), 3u);
+  ASSERT_TRUE(writer.monitor.CheckpointLat("Duration_LAT", path_).ok());
+
+  Node reader;  // a "restarted server"
+  EXPECT_EQ(reader.LatSize(), 0u);
+  ASSERT_TRUE(reader.monitor.RestoreLat("Duration_LAT", path_).ok());
+  EXPECT_EQ(reader.LatSize(), 3u);
+  EXPECT_EQ(reader.monitor.metrics().persist_fallbacks.value(), 0u);
+}
+
+TEST_F(LatCheckpointTest, RestoreFallsBackAfterCorruptionAndRecordsIt) {
+  Node writer;
+  writer.RunDistinctQueries(2);
+  ASSERT_TRUE(writer.monitor.CheckpointLat("Duration_LAT", path_).ok());
+  writer.RunDistinctQueries(2, /*offset=*/2);  // now 4 groups
+  ASSERT_TRUE(writer.monitor.CheckpointLat("Duration_LAT", path_).ok());
+
+  // Corrupt the primary snapshot; the 2-group .bak remains good.
+  std::string content = ReadFile(path_);
+  content.back() = content.back() == 'X' ? 'Y' : 'X';
+  WriteFile(path_, content);
+
+  Node reader;
+  ASSERT_TRUE(reader.monitor.RestoreLat("Duration_LAT", path_).ok());
+  EXPECT_EQ(reader.LatSize(), 2u);  // last good snapshot, not garbage
+  EXPECT_EQ(reader.monitor.metrics().persist_fallbacks.value(), 1u);
+  // The recovery is reported, not silent: error ring names the fallback.
+  EXPECT_NE(reader.monitor.last_error().find("fallback"), std::string::npos)
+      << reader.monitor.last_error();
+}
+
+TEST_F(LatCheckpointTest, CrashBeforeRenameLeavesPriorCheckpointRestorable) {
+  Node writer;
+  writer.RunDistinctQueries(2);
+  ASSERT_TRUE(writer.monitor.CheckpointLat("Duration_LAT", path_).ok());
+
+  FaultRegistry::Get()->Arm(storage::kFaultSnapshotWrite,
+                            {FaultKind::kCrashRename, 1.0, -1});
+  writer.RunDistinctQueries(2, /*offset=*/2);
+  EXPECT_FALSE(writer.monitor.CheckpointLat("Duration_LAT", path_).ok());
+  EXPECT_GT(writer.monitor.total_errors(), 0u);  // failure was recorded
+  FaultRegistry::Get()->Reset();
+
+  Node reader;
+  ASSERT_TRUE(reader.monitor.RestoreLat("Duration_LAT", path_).ok());
+  EXPECT_EQ(reader.LatSize(), 2u);
+}
+
+TEST_F(LatCheckpointTest, CheckpointRetriesTransientFaultsAndCountsThem) {
+  Node writer;
+  writer.RunDistinctQueries(2);
+  FaultRegistry::Get()->Arm(storage::kFaultSnapshotWrite,
+                            {FaultKind::kIOError, 1.0, /*max_fires=*/1});
+  ASSERT_TRUE(writer.monitor.CheckpointLat("Duration_LAT", path_).ok());
+  EXPECT_EQ(writer.monitor.metrics().persist_retries.value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Rule quarantine in the live engine
+// ---------------------------------------------------------------------------
+
+class QuarantineTest : public ::testing::Test {
+ protected:
+  static MonitorEngine::Options TightBreakerOptions() {
+    MonitorEngine::Options options;
+    options.breaker.consecutive_failure_threshold = 3;
+    options.breaker.window_size = 8;
+    options.breaker.min_window_events = 1000;  // consecutive wire only
+    options.breaker.cooldown_micros = 3'600'000'000;  // no half-open in test
+    return options;
+  }
+
+  QuarantineTest()
+      : monitor_(&db_, TightBreakerOptions()),
+        session_(db_.CreateSession()) {
+    Exec("CREATE TABLE items (id INT, val FLOAT, PRIMARY KEY(id))");
+    Exec("INSERT INTO items VALUES (1, 1.0)");
+    // The bad rule persists two attributes into a one-column table, which
+    // fails on every fire; the good rule feeds a LAT and always succeeds.
+    Exec("CREATE TABLE Clash (only_col INT)");
+    LatSpec spec;
+    spec.name = "GoodLat";
+    spec.group_by = {{"Logical_Signature", "Sig"}};
+    spec.aggregates = {{LatAggFunc::kCount, "", "N", false}};
+    EXPECT_TRUE(monitor_.DefineLat(std::move(spec)).ok());
+
+    RuleSpec bad;
+    bad.name = "bad";
+    bad.event = "Query.Commit";
+    bad.action = "Query.Persist(Clash, ID, Duration)";
+    auto bad_added = monitor_.AddRule(bad);
+    EXPECT_TRUE(bad_added.ok());
+    bad_id_ = *bad_added;
+
+    RuleSpec good;
+    good.name = "good";
+    good.event = "Query.Commit";
+    good.action = "Query.Insert(GoodLat)";
+    EXPECT_TRUE(monitor_.AddRule(good).ok());
+  }
+
+  void Exec(const std::string& sql) {
+    auto result = session_->Execute(sql);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+  }
+
+  QueryResult Query(const std::string& sql) {
+    auto result = session_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return result.ok() ? *result : QueryResult{};
+  }
+
+  uint64_t GoodRuleFires() {
+    for (const auto& rule : monitor_.SnapshotRules()) {
+      if (rule->name == "good") return rule->stats.fires.value();
+    }
+    return 0;
+  }
+
+  engine::Database db_;
+  MonitorEngine monitor_;
+  std::unique_ptr<engine::Session> session_;
+  uint64_t bad_id_ = 0;
+};
+
+TEST_F(QuarantineTest, FailingRuleIsQuarantinedWhileOthersKeepFiring) {
+  constexpr int kQueries = 10;
+  for (int i = 0; i < kQueries; ++i) Exec("SELECT val FROM items WHERE id = 1");
+
+  const auto& metrics = monitor_.metrics();
+  // Three consecutive failures trip the breaker; later events skip the rule
+  // instead of failing, so the error total stays bounded.
+  EXPECT_EQ(metrics.breaker_trips.value(), 1u);
+  EXPECT_EQ(metrics.breaker_skips.value(), static_cast<uint64_t>(kQueries - 3));
+  // 3 action errors + 1 quarantine notice.
+  EXPECT_EQ(monitor_.total_errors(), 4u);
+  EXPECT_NE(monitor_.last_error().find("quarantined"), std::string::npos)
+      << monitor_.last_error();
+  // The rest of the rule set kept firing on every event.
+  EXPECT_EQ(GoodRuleFires(), static_cast<uint64_t>(kQueries));
+
+  // The quarantine is visible through the normal SQL path.
+  const QueryResult result = Query(
+      "SELECT name, quarantine_state, quarantine_trips, quarantine_skipped "
+      "FROM sqlcm_rule_stats");
+  ASSERT_EQ(result.rows.size(), 2u);
+  for (const Row& row : result.rows) {
+    if (row[0].string_value() == "bad") {
+      EXPECT_EQ(row[1].string_value(), "open");
+      EXPECT_EQ(row[2].int_value(), 1);
+      EXPECT_GT(row[3].int_value(), 0);
+    } else {
+      EXPECT_EQ(row[1].string_value(), "closed");
+      EXPECT_EQ(row[2].int_value(), 0);
+    }
+  }
+}
+
+TEST_F(QuarantineTest, ReinstateRuleClosesTheBreakerAndResumesEvaluation) {
+  for (int i = 0; i < 5; ++i) Exec("SELECT val FROM items WHERE id = 1");
+  ASSERT_EQ(monitor_.metrics().breaker_trips.value(), 1u);
+  const uint64_t errors_while_open = monitor_.total_errors();
+
+  ASSERT_TRUE(monitor_.ReinstateRule(bad_id_).ok());
+  EXPECT_TRUE(monitor_.ReinstateRule(9999).IsNotFound());
+
+  // The rule is evaluated again (and fails again — fresh errors prove the
+  // breaker actually re-admitted it).
+  Exec("SELECT val FROM items WHERE id = 1");
+  EXPECT_GT(monitor_.total_errors(), errors_while_open);
+}
+
+// ---------------------------------------------------------------------------
+// LoadGovernor (unit)
+// ---------------------------------------------------------------------------
+
+LoadGovernor::Options TightGovernor() {
+  LoadGovernor::Options options;
+  options.overhead_budget = 0.10;
+  options.recover_ratio = 0.5;
+  options.window_micros = 1000;
+  options.min_hooks_per_window = 2;
+  return options;
+}
+
+/// Feeds one full window of hooks at the given busy fraction.
+void FeedWindow(LoadGovernor* governor, int64_t* now, double fraction) {
+  const int64_t window = governor->options().window_micros;
+  // Four hooks spread across the window, then one past its end to roll it.
+  for (int i = 0; i < 4; ++i) {
+    *now += window / 4;
+    governor->RecordHook(static_cast<int64_t>(fraction * window / 4), *now);
+  }
+  *now += 1;
+  governor->RecordHook(0, *now);
+}
+
+TEST(LoadGovernorTest, ClimbsUnderPressureAndRecoversWithHysteresis) {
+  LoadGovernor governor(TightGovernor());
+  int64_t now = 1;
+  governor.RecordHook(0, now);  // establishes the first window start
+
+  // Sustained 50% overhead walks the ladder all the way down.
+  for (int i = 0; i < 10 && governor.level() < LoadGovernor::kLevelSampleEvents;
+       ++i) {
+    FeedWindow(&governor, &now, 0.5);
+  }
+  EXPECT_EQ(governor.level(), LoadGovernor::kLevelSampleEvents);
+  EXPECT_GE(governor.level_raises(), 4u);
+  EXPECT_GT(governor.last_overhead_fraction(), 0.10);
+
+  // 8% overhead is below budget but above budget*recover_ratio: hold level.
+  FeedWindow(&governor, &now, 0.08);
+  FeedWindow(&governor, &now, 0.08);
+  EXPECT_EQ(governor.level(), LoadGovernor::kLevelSampleEvents);
+
+  // Near-idle windows recover one level at a time.
+  for (int i = 0; i < 10 && governor.level() > LoadGovernor::kLevelFull; ++i) {
+    FeedWindow(&governor, &now, 0.01);
+  }
+  EXPECT_EQ(governor.level(), LoadGovernor::kLevelFull);
+  EXPECT_GE(governor.level_drops(), 4u);
+}
+
+TEST(LoadGovernorTest, ListenerSeesEveryTransition) {
+  LoadGovernor governor(TightGovernor());
+  std::vector<std::pair<int, int>> transitions;
+  governor.SetLevelListener([&](int from, int to) {
+    transitions.push_back({from, to});
+  });
+  governor.ForceLevel(3);
+  governor.ForceLevel(3);  // no-op, no duplicate callback
+  governor.ForceLevel(0);
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0], std::make_pair(0, 3));
+  EXPECT_EQ(transitions[1], std::make_pair(3, 0));
+}
+
+TEST(LoadGovernorTest, ForcedLevelIgnoresMeasurement) {
+  LoadGovernor governor(TightGovernor());
+  governor.ForceLevel(LoadGovernor::kLevelNoTrace);
+  int64_t now = 1;
+  governor.RecordHook(0, now);
+  for (int i = 0; i < 5; ++i) FeedWindow(&governor, &now, 0.9);
+  EXPECT_EQ(governor.level(), LoadGovernor::kLevelNoTrace);  // pinned
+  EXPECT_TRUE(governor.forced());
+  governor.ClearForce();
+  for (int i = 0; i < 5; ++i) FeedWindow(&governor, &now, 0.9);
+  EXPECT_EQ(governor.level(), LoadGovernor::kLevelSampleEvents);
+}
+
+TEST(LoadGovernorTest, AdmitEventSamplesOnlyAtMaxLevel) {
+  LoadGovernor::Options options = TightGovernor();
+  options.sample_shift = 3;  // 1 in 8
+  LoadGovernor governor(options);
+  for (uint64_t seq = 0; seq < 16; ++seq) EXPECT_TRUE(governor.AdmitEvent(seq));
+  governor.ForceLevel(LoadGovernor::kLevelSampleEvents);
+  int admitted = 0;
+  for (uint64_t seq = 0; seq < 64; ++seq) {
+    if (governor.AdmitEvent(seq)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Degradation wired through the engine
+// ---------------------------------------------------------------------------
+
+class GovernorIntegrationTest : public FaultFixture {
+ protected:
+  static engine::Database::Options DbOptions(common::Clock* clock) {
+    engine::Database::Options options;
+    options.clock = clock;
+    return options;
+  }
+
+  static MonitorEngine::Options MonitorOptions() {
+    MonitorEngine::Options options;
+    options.detailed_timing = true;
+    options.governor.overhead_budget = 0.05;
+    options.governor.window_micros = 4000;
+    options.governor.min_hooks_per_window = 2;
+    return options;
+  }
+
+  GovernorIntegrationTest()
+      : db_(DbOptions(&clock_)),
+        monitor_(&db_, MonitorOptions()),
+        session_(db_.CreateSession()) {
+    Exec("CREATE TABLE items (id INT, val FLOAT, PRIMARY KEY(id))");
+    Exec("INSERT INTO items VALUES (1, 1.0)");
+    LatSpec spec;
+    spec.name = "AgedLat";
+    spec.group_by = {{"Logical_Signature", "Sig"}};
+    spec.aggregates = {{LatAggFunc::kCount, "", "N", false}};
+    EXPECT_TRUE(monitor_.DefineLat(std::move(spec)).ok());
+    RuleSpec feed;
+    feed.name = "feed";
+    feed.event = "Query.Commit";
+    feed.action = "Query.Insert(AgedLat)";
+    EXPECT_TRUE(monitor_.AddRule(feed).ok());
+    monitor_.trace_ring()->set_enabled(true);
+  }
+
+  void Exec(const std::string& sql) {
+    auto result = session_->Execute(sql);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+  }
+
+  MockClock clock_;
+  engine::Database db_;
+  MonitorEngine monitor_;
+  std::unique_ptr<engine::Session> session_;
+};
+
+TEST_F(GovernorIntegrationTest, ForceLevelShedsInOrderAndRecoveryRestores) {
+  ASSERT_TRUE(monitor_.detailed_timing());
+  ASSERT_TRUE(monitor_.trace_ring()->enabled());
+  Lat* lat = monitor_.FindLat("AgedLat");
+  ASSERT_NE(lat, nullptr);
+  ASSERT_FALSE(lat->shed_aging());
+
+  monitor_.governor()->ForceLevel(LoadGovernor::kLevelNoDetailedTiming);
+  EXPECT_FALSE(monitor_.detailed_timing());
+  EXPECT_TRUE(monitor_.trace_ring()->enabled());  // next rung untouched
+
+  monitor_.governor()->ForceLevel(LoadGovernor::kLevelShedAging);
+  EXPECT_FALSE(monitor_.trace_ring()->enabled());
+  EXPECT_TRUE(lat->shed_aging());
+  EXPECT_EQ(monitor_.metrics().governor_level.value(),
+            static_cast<int64_t>(LoadGovernor::kLevelShedAging));
+
+  // Recovery restores exactly the operator-configured state.
+  monitor_.governor()->ForceLevel(LoadGovernor::kLevelFull);
+  EXPECT_TRUE(monitor_.detailed_timing());
+  EXPECT_TRUE(monitor_.trace_ring()->enabled());
+  EXPECT_FALSE(lat->shed_aging());
+  EXPECT_GT(monitor_.metrics().governor_drops.value(), 0u);
+}
+
+TEST_F(GovernorIntegrationTest, MaxLevelSamplesRuleEvaluation) {
+  monitor_.governor()->ForceLevel(LoadGovernor::kLevelSampleEvents);
+  constexpr int kQueries = 32;
+  for (int i = 0; i < kQueries; ++i) Exec("SELECT val FROM items WHERE id = 1");
+  const auto& metrics = monitor_.metrics();
+  EXPECT_GT(metrics.events_sampled_out.value(), 0u);
+  EXPECT_LT(metrics.events_processed.value(),
+            static_cast<uint64_t>(kQueries));
+  EXPECT_GT(metrics.events_processed.value(), 0u);  // sampling, not blackout
+}
+
+TEST_F(GovernorIntegrationTest, SlowHookFaultDrivesTheGovernorUp) {
+  // Chaos lever: every timed hook sleeps 1ms on the (mock) clock, so
+  // measured overhead saturates and the ladder must climb.
+  FaultRegistry::Get()->Arm(kFaultHookSlow, {FaultKind::kSlow, 1.0, -1});
+  for (int i = 0; i < 40; ++i) Exec("SELECT val FROM items WHERE id = 1");
+  EXPECT_GT(FaultRegistry::Get()->fires(kFaultHookSlow), 0u);
+  EXPECT_GT(monitor_.governor()->level(), LoadGovernor::kLevelFull);
+  EXPECT_GT(monitor_.metrics().governor_raises.value(), 0u);
+  EXPECT_GT(monitor_.governor()->last_overhead_fraction(), 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Remaining injection points: LAT latch, action sink, sync log, view
+// ---------------------------------------------------------------------------
+
+using MiscFaultTest = FaultFixture;
+
+TEST_F(MiscFaultTest, LatLatchStallCountsAsContention) {
+  LatSpec spec;
+  spec.name = "L";
+  spec.object_class = MonitoredClass::kQuery;
+  spec.group_by = {{"Logical_Signature", "Sig"}};
+  spec.aggregates = {{LatAggFunc::kCount, "", "N", false}};
+  auto lat = *Lat::Create(spec);
+
+  QueryRecord rec;
+  rec.logical_signature = "s";
+  lat->Insert(&rec, 0);
+  EXPECT_EQ(lat->stats().latch_contention.value(), 0u);
+
+  FaultRegistry::Get()->Arm(kFaultLatLatch,
+                            {FaultKind::kLatchStall, 1.0, /*max_fires=*/1});
+  lat->Insert(&rec, 0);
+  EXPECT_EQ(lat->stats().latch_contention.value(), 1u);
+  EXPECT_EQ(lat->size(), 1u);  // the insert itself still succeeded
+}
+
+TEST_F(MiscFaultTest, ActionFileAppendFaultFailsTheSink) {
+  const std::string path = ::testing::TempDir() + "/robustness_sink.log";
+  std::remove(path.c_str());
+  FileAppendingSink sink(path);
+  ASSERT_TRUE(sink.SendMail("body", "dba@example.com").ok());
+
+  FaultRegistry::Get()->Arm(kFaultActionAppend,
+                            {FaultKind::kIOError, 1.0, -1});
+  EXPECT_FALSE(sink.SendMail("body", "dba@example.com").ok());
+  EXPECT_FALSE(sink.RunExternal("restat items").ok());
+  FaultRegistry::Get()->Reset();
+  // Only the pre-fault line landed.
+  std::ifstream in(path);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(MiscFaultTest, SyncLogWriteFaultFailsAppendRow) {
+  const std::string path = ::testing::TempDir() + "/robustness_synclog.csv";
+  std::remove(path.c_str());
+  auto writer = storage::SyncCsvWriter::Open(path, /*sync_every_row=*/true);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendRow({Value::Int(1)}).ok());
+
+  FaultRegistry::Get()->Arm(storage::kFaultSyncLogWrite,
+                            {FaultKind::kIOError, 1.0, -1});
+  EXPECT_FALSE((*writer)->AppendRow({Value::Int(2)}).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(MiscFaultTest, FaultPointsViewShowsLiveCounters) {
+  engine::Database db;
+  MonitorEngine monitor(&db);
+  auto session = db.CreateSession();
+
+  FaultRegistry::Get()->Arm("storage.snapshot.write",
+                            {FaultKind::kIOError, 0.25, 7});
+  (void)FaultRegistry::Get()->Fire("storage.snapshot.write");
+
+  auto result = session->Execute(
+      "SELECT kind, probability, max_fires, hits FROM sqlcm_fault_points "
+      "WHERE point = 'storage.snapshot.write'");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  const Row& row = result->rows[0];
+  EXPECT_EQ(row[0].string_value(), "io_error");
+  EXPECT_DOUBLE_EQ(row[1].double_value(), 0.25);
+  EXPECT_EQ(row[2].int_value(), 7);
+  EXPECT_GE(row[3].int_value(), 1);
+}
+
+}  // namespace
+}  // namespace sqlcm::cm

@@ -316,5 +316,102 @@ TEST_F(RuleTest, EvictRuleBindsEvictedColumns) {
   EXPECT_TRUE(*(*rule)->condition->EvalCondition(&ctx));
 }
 
+// ---------------------------------------------------------------------------
+// RuleBreaker (quarantine circuit breaker)
+// ---------------------------------------------------------------------------
+
+RuleBreaker::Options TightBreaker() {
+  RuleBreaker::Options options;
+  options.consecutive_failure_threshold = 3;
+  options.window_size = 8;
+  options.min_window_events = 4;
+  options.error_rate_threshold = 0.5;
+  options.cooldown_micros = 100;
+  return options;
+}
+
+TEST(RuleBreakerTest, TripsOnConsecutiveFailures) {
+  RuleBreaker breaker(TightBreaker());
+  int64_t now = 0;
+  EXPECT_TRUE(breaker.Allow(now));
+  EXPECT_FALSE(breaker.OnFailure(++now));
+  EXPECT_FALSE(breaker.OnFailure(++now));
+  EXPECT_TRUE(breaker.OnFailure(++now));  // third consecutive failure trips
+  EXPECT_EQ(breaker.state(), RuleBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.Allow(++now));  // inside cooldown
+  EXPECT_EQ(breaker.skipped(), 1u);
+}
+
+TEST(RuleBreakerTest, SuccessResetsConsecutiveCount) {
+  RuleBreaker::Options options = TightBreaker();
+  options.min_window_events = 1000;  // isolate the consecutive-failure wire
+  RuleBreaker breaker(options);
+  int64_t now = 0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(breaker.OnFailure(++now));
+    EXPECT_FALSE(breaker.OnFailure(++now));
+    breaker.OnSuccess(++now);  // never three in a row
+  }
+  EXPECT_EQ(breaker.state(), RuleBreaker::State::kClosed);
+}
+
+TEST(RuleBreakerTest, WindowedErrorRateTrips) {
+  RuleBreaker::Options options = TightBreaker();
+  options.consecutive_failure_threshold = 1000;  // only the rate wire active
+  RuleBreaker breaker(options);
+  int64_t now = 0;
+  // Alternate success/failure: 50% error rate meets the ≥0.5 threshold once
+  // min_window_events outcomes accumulate.
+  bool tripped = false;
+  for (int i = 0; i < 8 && !tripped; ++i) {
+    breaker.OnSuccess(++now);
+    tripped = breaker.OnFailure(++now);
+  }
+  EXPECT_TRUE(tripped);
+  EXPECT_EQ(breaker.state(), RuleBreaker::State::kOpen);
+}
+
+TEST(RuleBreakerTest, HalfOpenProbeSuccessCloses) {
+  RuleBreaker breaker(TightBreaker());
+  int64_t now = 0;
+  for (int i = 0; i < 3; ++i) breaker.OnFailure(++now);
+  ASSERT_EQ(breaker.state(), RuleBreaker::State::kOpen);
+
+  now += 200;  // past cooldown
+  EXPECT_TRUE(breaker.Allow(now));  // admits exactly one probe
+  EXPECT_EQ(breaker.state(), RuleBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow(now));  // concurrent probe rejected
+  breaker.OnSuccess(++now);
+  EXPECT_EQ(breaker.state(), RuleBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow(++now));
+}
+
+TEST(RuleBreakerTest, HalfOpenProbeFailureReopens) {
+  RuleBreaker breaker(TightBreaker());
+  int64_t now = 0;
+  for (int i = 0; i < 3; ++i) breaker.OnFailure(++now);
+  now += 200;
+  ASSERT_TRUE(breaker.Allow(now));
+  EXPECT_TRUE(breaker.OnFailure(++now));  // probe failure re-trips
+  EXPECT_EQ(breaker.state(), RuleBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_FALSE(breaker.Allow(++now));  // cooldown restarts
+}
+
+TEST(RuleBreakerTest, ReinstateForceCloses) {
+  RuleBreaker breaker(TightBreaker());
+  int64_t now = 0;
+  for (int i = 0; i < 3; ++i) breaker.OnFailure(++now);
+  ASSERT_EQ(breaker.state(), RuleBreaker::State::kOpen);
+  breaker.Reinstate();
+  EXPECT_EQ(breaker.state(), RuleBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  // The cleared window means two fresh failures do not trip again.
+  EXPECT_FALSE(breaker.OnFailure(++now));
+  EXPECT_FALSE(breaker.OnFailure(++now));
+  EXPECT_EQ(breaker.state(), RuleBreaker::State::kClosed);
+}
+
 }  // namespace
 }  // namespace sqlcm::cm

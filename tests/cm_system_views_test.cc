@@ -216,11 +216,15 @@ TEST_F(SystemViewsTest, ErrorRingIsBoundedButCountsEverything) {
   bad.name = "bad";
   bad.event = "Query.Commit";
   bad.action = "Query.Persist(Clash, ID, Duration)";
-  ASSERT_TRUE(monitor_.AddRule(bad).ok());
+  auto added = monitor_.AddRule(bad);
+  ASSERT_TRUE(added.ok());
   // Exceed the ring capacity; the ring keeps only the newest entries but the
   // total keeps counting, and last_error() stays the most recent message.
+  // Reinstating before each query keeps the circuit breaker from quarantining
+  // the rule, so every execution records exactly one error.
   constexpr int kErrors = 40;
   for (int i = 0; i < kErrors; ++i) {
+    ASSERT_TRUE(monitor_.ReinstateRule(*added).ok());
     Exec("SELECT val FROM items WHERE id = 1");
   }
   EXPECT_EQ(monitor_.total_errors(), static_cast<uint64_t>(kErrors));

@@ -229,6 +229,53 @@ TEST(TableIoTest, CsvRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(TableIoTest, CsvRoundTripsEmbeddedNewlines) {
+  Table table(1, MakeSchema());
+  ASSERT_TRUE(table.Insert(MakeRow(1, "line one\nline two", 0.5)).ok());
+  ASSERT_TRUE(table.Insert(MakeRow(2, "trailing\n", 1.0)).ok());
+  ASSERT_TRUE(table.Insert(MakeRow(3, "quotes \"and\"\nbreaks, too", 2.0)).ok());
+
+  const std::string path = ::testing::TempDir() + "/table_io_newline.csv";
+  ASSERT_TRUE(WriteTableCsv(table, path).ok());
+
+  Table restored(2, MakeSchema());
+  ASSERT_TRUE(LoadTableCsv(&restored, path).ok());
+  ASSERT_EQ(restored.row_count(), 3u);
+  EXPECT_EQ((*restored.Get({Value::Int(1)}))[1].string_value(),
+            "line one\nline two");
+  EXPECT_EQ((*restored.Get({Value::Int(2)}))[1].string_value(), "trailing\n");
+  EXPECT_EQ((*restored.Get({Value::Int(3)}))[1].string_value(),
+            "quotes \"and\"\nbreaks, too");
+  std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
+}
+
+TEST(TableIoTest, SnapshotWritesHeaderAndRotatesBackup) {
+  Table table(1, MakeSchema());
+  ASSERT_TRUE(table.Insert(MakeRow(1, "first", 1.0)).ok());
+  const std::string path = ::testing::TempDir() + "/table_io_rotate.csv";
+  std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
+  ASSERT_TRUE(WriteTableCsv(table, path).ok());
+
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  EXPECT_EQ(header.rfind("#sqlcm-snapshot v=1 crc=", 0), 0u) << header;
+
+  // A second write rotates the first snapshot to .bak.
+  ASSERT_TRUE(table.Insert(MakeRow(2, "second", 2.0)).ok());
+  ASSERT_TRUE(WriteTableCsv(table, path).ok());
+  Table from_bak(2, MakeSchema());
+  ASSERT_TRUE(LoadTableCsv(&from_bak, path + ".bak").ok());
+  EXPECT_EQ(from_bak.row_count(), 1u);
+  Table from_primary(3, MakeSchema());
+  ASSERT_TRUE(LoadTableCsv(&from_primary, path).ok());
+  EXPECT_EQ(from_primary.row_count(), 2u);
+  std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
+}
+
 TEST(TableIoTest, SyncCsvWriter) {
   const std::string path = ::testing::TempDir() + "/sync_writer_test.csv";
   auto writer = SyncCsvWriter::Open(path, /*sync_every_row=*/true);
