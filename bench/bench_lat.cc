@@ -2,8 +2,25 @@
 // "latching does not introduce a new hotspot even under severe stress"
 // claim, via multi-threaded insert scaling.
 //
-//   build/bench/bench_lat
+//   build/bench/bench_lat            # google-benchmark micro cases
+//   build/bench/bench_lat --sweep    # 1..N-thread sharded-vs-single sweep,
+//                                    # one BENCH_JSON line per cell
+//   build/bench/bench_lat --sweep --quick   # CI-sized sweep
+//
+// The sweep measures the same LAT twice per cell: once with the directory
+// forced to a single shard (the pre-sharding layout) and once with the
+// automatic shard count (which honours the SQLCM_LAT_SHARDS environment
+// override), so one binary produces both sides of the comparison in the
+// same run. docs/PERFORMANCE.md documents the output schema.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "sqlcm/lat.h"
 
@@ -19,7 +36,7 @@ QueryRecord MakeRecord(uint64_t id, const std::string& sig, double duration) {
   return rec;
 }
 
-std::unique_ptr<Lat> MakeAggLat(bool aging) {
+std::unique_ptr<Lat> MakeAggLat(bool aging, size_t shard_count = 0) {
   LatSpec spec;
   spec.name = "bench";
   spec.group_by = {{"Logical_Signature", "Sig"}};
@@ -30,6 +47,7 @@ std::unique_ptr<Lat> MakeAggLat(bool aging) {
     spec.aging_window_micros = 1'000'000;
     spec.aging_block_micros = 100'000;
   }
+  spec.shard_count = shard_count;
   return std::move(*Lat::Create(std::move(spec)));
 }
 
@@ -138,7 +156,152 @@ void BM_LatConcurrentSameRow(benchmark::State& state) {
 }
 BENCHMARK(BM_LatConcurrentSameRow)->Threads(1)->Threads(4)->Threads(8);
 
+// ---------------------------------------------------------------------------
+// --sweep: sharded-vs-single insert scaling, BENCH_JSON output
+// ---------------------------------------------------------------------------
+
+struct SweepCell {
+  const char* config;   // "single" | "sharded"
+  size_t shards;        // resolved shard count
+  int threads;
+  const char* dist;     // "contended" | "uniform"
+  double inserts_per_sec;
+  double contention_pct;  // latch_contention / latch_acquisitions
+};
+
+/// Runs `threads` workers, each inserting `ops_per_thread` pre-built records
+/// into one LAT, and returns the measured cell. `contended` draws every
+/// thread's keys from the same 64 groups (shard/row latch pressure);
+/// otherwise each thread works a private 1024-group key range.
+SweepCell RunSweepCell(const char* config, size_t shard_count, int threads,
+                       bool contended, uint64_t ops_per_thread) {
+  auto lat = MakeAggLat(false, shard_count);
+
+  // Pre-build the per-thread record cycles outside the timed region.
+  std::vector<std::vector<QueryRecord>> records(
+      static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    const int keys = contended ? 64 : 1024;
+    records[static_cast<size_t>(t)].reserve(static_cast<size_t>(keys));
+    for (int k = 0; k < keys; ++k) {
+      const std::string sig =
+          contended ? "sig" + std::to_string(k)
+                    : "t" + std::to_string(t) + "_" + std::to_string(k);
+      records[static_cast<size_t>(t)].push_back(
+          MakeRecord(static_cast<uint64_t>(k), sig, 1.0));
+    }
+  }
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto& cycle = records[static_cast<size_t>(t)];
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      const size_t n = cycle.size();
+      for (uint64_t i = 0; i < ops_per_thread; ++i) {
+        lat->Insert(&cycle[i % n], 0);
+      }
+    });
+  }
+  while (ready.load(std::memory_order_acquire) != threads) {
+    std::this_thread::yield();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const auto stop = std::chrono::steady_clock::now();
+
+  const double secs =
+      std::chrono::duration<double>(stop - start).count();
+  const double total_ops =
+      static_cast<double>(ops_per_thread) * static_cast<double>(threads);
+  const uint64_t acq = lat->stats().latch_acquisitions.value();
+  const uint64_t con = lat->stats().latch_contention.value();
+  SweepCell cell;
+  cell.config = config;
+  cell.shards = lat->shard_count();
+  cell.threads = threads;
+  cell.dist = contended ? "contended" : "uniform";
+  cell.inserts_per_sec = secs > 0 ? total_ops / secs : 0;
+  cell.contention_pct =
+      acq > 0 ? 100.0 * static_cast<double>(con) / static_cast<double>(acq)
+              : 0;
+  return cell;
+}
+
+void PrintSweepCell(const SweepCell& c) {
+  std::printf(
+      "BENCH_JSON {\"bench\":\"lat_sweep\",\"config\":\"%s\","
+      "\"shards\":%zu,\"threads\":%d,\"dist\":\"%s\","
+      "\"inserts_per_sec\":%.0f,\"latch_contention_pct\":%.3f}\n",
+      c.config, c.shards, c.threads, c.dist, c.inserts_per_sec,
+      c.contention_pct);
+  std::fflush(stdout);
+}
+
+int RunSweep(bool quick) {
+  const std::vector<int> thread_counts =
+      quick ? std::vector<int>{1, 8} : std::vector<int>{1, 2, 4, 8};
+  const uint64_t ops_per_thread = quick ? 50'000 : 200'000;
+
+  std::printf("lat insert sweep: single-shard vs auto-sharded directory\n");
+  std::printf("(ops/thread=%llu; SQLCM_LAT_SHARDS overrides the auto side)\n",
+              static_cast<unsigned long long>(ops_per_thread));
+
+  double single_1t_contended = 0, sharded_1t_contended = 0;
+  double single_8t_contended = 0, sharded_8t_contended = 0;
+  for (const bool contended : {true, false}) {
+    for (const int threads : thread_counts) {
+      // Single-shard layout first, then the auto (sharded) layout, in the
+      // same process so the comparison shares one build + machine state.
+      const SweepCell single = RunSweepCell("single", /*shard_count=*/1,
+                                            threads, contended,
+                                            ops_per_thread);
+      const SweepCell sharded = RunSweepCell("sharded", /*shard_count=*/0,
+                                             threads, contended,
+                                             ops_per_thread);
+      PrintSweepCell(single);
+      PrintSweepCell(sharded);
+      if (contended && threads == 1) {
+        single_1t_contended = single.inserts_per_sec;
+        sharded_1t_contended = sharded.inserts_per_sec;
+      }
+      if (contended && threads == 8) {
+        single_8t_contended = single.inserts_per_sec;
+        sharded_8t_contended = sharded.inserts_per_sec;
+      }
+    }
+  }
+  if (single_8t_contended > 0 && single_1t_contended > 0) {
+    std::printf(
+        "BENCH_JSON {\"bench\":\"lat_sweep_summary\","
+        "\"contended_8t_speedup\":%.2f,"
+        "\"single_thread_ratio\":%.3f}\n",
+        sharded_8t_contended / single_8t_contended,
+        sharded_1t_contended / single_1t_contended);
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace sqlcm::cm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool sweep = false, quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep") == 0) sweep = true;
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  if (sweep) return sqlcm::cm::RunSweep(quick);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

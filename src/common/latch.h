@@ -1,13 +1,18 @@
 // Short-duration latches (the paper's term, §6.1) protecting LAT rows,
-// the ordering heap and hash-directory entries.
+// directory shards and the per-shard ordering heaps.
 //
 // These guard critical sections of a few dozen instructions, so a spinlock
-// is appropriate; contention measurements for the paper's "latching is not
-// a hotspot" claim live in bench/bench_lat.cc.
+// is appropriate. The spin is bounded: after ~1k failed probes the waiter
+// yields its timeslice, so an oversubscribed machine (more runnable threads
+// than cores — the norm for in-server monitoring, where hooks run on every
+// session thread) does not burn whole quanta spinning on a preempted
+// holder. Contention measurements for the paper's "latching is not a
+// hotspot" claim live in bench/bench_lat.cc.
 #ifndef SQLCM_COMMON_LATCH_H_
 #define SQLCM_COMMON_LATCH_H_
 
 #include <atomic>
+#include <thread>
 
 namespace sqlcm::common {
 
@@ -22,11 +27,19 @@ class SpinLatch {
   void lock() {
     for (;;) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      int spins = 0;
       while (flag_.load(std::memory_order_relaxed)) {
-        // spin; pause hint keeps sibling hyperthread responsive
+        if (++spins < kSpinLimit) {
+          // spin; pause hint keeps sibling hyperthread responsive
 #if defined(__x86_64__) || defined(__i386__)
-        __builtin_ia32_pause();
+          __builtin_ia32_pause();
 #endif
+        } else {
+          // Holder is likely preempted; give up the timeslice instead of
+          // spinning through it.
+          std::this_thread::yield();
+          spins = 0;
+        }
       }
     }
   }
@@ -39,6 +52,8 @@ class SpinLatch {
   void unlock() { flag_.store(false, std::memory_order_release); }
 
  private:
+  static constexpr int kSpinLimit = 1024;
+
   std::atomic<bool> flag_{false};
 };
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <mutex>
+#include <thread>
 
 #include "common/fault.h"
 #include "common/string_util.h"
@@ -52,6 +54,47 @@ bool NeedsNumericInput(LatAggFunc func) {
          func == LatAggFunc::kStdev;
 }
 
+/// splitmix64 finalizer: decorrelates HashRow's low bits before they are
+/// reused as both the shard selector and the directory key.
+uint64_t MixHash(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Resolves LatSpec::shard_count: explicit spec value, else the
+/// SQLCM_LAT_SHARDS environment override, else 4 stripes per hardware
+/// thread (≥16: containers often under-report concurrency, and idle
+/// stripes cost ~100 bytes each).
+size_t ResolveShardCount(size_t requested) {
+  size_t n = requested;
+  if (n == 0) {
+    if (const char* env = std::getenv("SQLCM_LAT_SHARDS")) {
+      n = static_cast<size_t>(std::strtoul(env, nullptr, 10));
+    }
+  }
+  if (n == 0) {
+    const size_t hw = std::thread::hardware_concurrency();
+    n = std::max<size_t>(16, 4 * hw);
+  }
+  return NextPowerOfTwo(std::clamp<size_t>(n, 1, 1024));
+}
+
+/// Thread-local scratch row for group keys: the Insert/Lookup hot path
+/// refills it instead of allocating a fresh Row per call. Each use is
+/// complete before any callback that could re-enter a LAT runs.
+Row& ScratchKey() {
+  thread_local Row key;
+  return key;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<Lat>> Lat::Create(LatSpec spec) {
@@ -86,6 +129,9 @@ Result<std::unique_ptr<Lat>> Lat::Create(LatSpec spec) {
   auto lat = std::unique_ptr<Lat>(new Lat(std::move(spec)));
   const LatSpec& s = lat->spec_;
   const ObjectSchema& schema = ObjectSchema::Get();
+  lat->lower_name_ = common::ToLower(s.name);
+  lat->shard_count_ = ResolveShardCount(s.shard_count);
+  lat->shards_ = std::make_unique<Shard[]>(lat->shard_count_);
 
   for (const LatGroupColumn& col : s.group_by) {
     const int attr = schema.FindAttribute(s.object_class, col.attribute);
@@ -189,6 +235,61 @@ Row Lat::GroupKeyFor(const void* record) const {
   key.reserve(group_getters_.size());
   for (AttributeGetter getter : group_getters_) key.push_back(getter(record));
   return key;
+}
+
+uint64_t Lat::HashGroupKey(const Row& key) const {
+  return MixHash(static_cast<uint64_t>(common::HashRow(key)));
+}
+
+std::shared_ptr<Lat::LatRow> Lat::FindInShardLocked(const Shard& shard,
+                                                    uint64_t hash,
+                                                    const Row& key) const {
+  auto it = shard.map.find(hash);
+  if (it == shard.map.end()) return nullptr;
+  for (const std::shared_ptr<LatRow>* p = &it->second; *p != nullptr;
+       p = &(*p)->next) {
+    if (common::RowEq()((*p)->group_key, key)) return *p;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<Lat::LatRow> Lat::FindOrCreateLocked(Shard* shard,
+                                                     uint64_t hash,
+                                                     const Row& key,
+                                                     bool* created) {
+  auto [it, _] = shard->map.try_emplace(hash);
+  for (const std::shared_ptr<LatRow>* p = &it->second; *p != nullptr;
+       p = &(*p)->next) {
+    if (common::RowEq()((*p)->group_key, key)) {
+      *created = false;
+      return *p;
+    }
+  }
+  auto row = std::make_shared<LatRow>();
+  row->hash = hash;
+  row->group_key = key;
+  row->aggs.resize(spec_.aggregates.size());
+  row->next = std::move(it->second);
+  it->second = row;
+  *created = true;
+  return row;
+}
+
+std::shared_ptr<Lat::LatRow> Lat::UnlinkLocked(Shard* shard, LatRow* row) {
+  auto it = shard->map.find(row->hash);
+  if (it == shard->map.end()) return nullptr;
+  std::shared_ptr<LatRow> unlinked;
+  for (std::shared_ptr<LatRow>* p = &it->second; *p != nullptr;
+       p = &(*p)->next) {
+    if (p->get() == row) {
+      unlinked = *p;
+      std::shared_ptr<LatRow> next = std::move((*p)->next);
+      *p = std::move(next);
+      break;
+    }
+  }
+  if (it->second == nullptr) shard->map.erase(it);
+  return unlinked;
 }
 
 void Lat::FoldValue(AggState* state, const LatAggColumn& col, Value v,
@@ -384,25 +485,27 @@ class CountedLatchGuard {
 
 void Lat::Insert(const void* record, int64_t now_micros) {
   stats_.inserts.Inc();
-  Row key = GroupKeyFor(record);
+  // Probe with the thread-local scratch key: no Row allocation on the hit
+  // path, and the directory compares against it lazily (hash first, values
+  // only on a chain hit).
+  Row& key = ScratchKey();
+  key.clear();
+  for (AttributeGetter getter : group_getters_) key.push_back(getter(record));
+  const uint64_t hash = HashGroupKey(key);
+  Shard& shard = ShardFor(hash);
 
   std::shared_ptr<LatRow> row;
+  bool created = false;
   {
-    CountedLatchGuard hash_guard(hash_latch_, stats_);
-    auto it = map_.find(key);
-    if (it != map_.end()) {
-      row = it->second;
-    } else {
-      row = std::make_shared<LatRow>();
-      row->group_key = key;
-      row->aggs.resize(spec_.aggregates.size());
-      map_.emplace(std::move(key), row);
-    }
+    CountedLatchGuard map_guard(shard.map_latch, stats_);
+    row = FindOrCreateLocked(&shard, hash, key, &created);
   }
+  if (created) total_rows_.fetch_add(1, std::memory_order_acq_rel);
 
   const bool bounded = spec_.max_rows > 0 || spec_.max_bytes > 0;
   Row ordering_key;
   size_t row_bytes = 0;
+  bool skip_heap = false;
   {
     CountedLatchGuard row_guard(row->latch, stats_);
     for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
@@ -412,83 +515,160 @@ void Lat::Insert(const void* record, int64_t now_micros) {
     }
     if (bounded) {
       ordering_key = OrderingKeyLocked(*row, now_micros);
-      if (spec_.max_bytes > 0) row_bytes = ApproxRowBytesLocked(*row);
+      if (spec_.max_bytes > 0) {
+        row_bytes = ApproxRowBytesLocked(*row);
+      } else if (row->in_heap.load(std::memory_order_acquire) &&
+                 common::RowEq()(ordering_key, row->ordering_cache)) {
+        // Ordering unchanged (common for MIN/MAX/FIRST orderings) and no
+        // byte accounting to refresh: the heap position is already right
+        // and the budgets did not move, so skip the heap latch entirely.
+        skip_heap = true;
+        stats_.heap_skips.Inc();
+      }
+      if (!skip_heap) row->ordering_cache = ordering_key;
     }
   }
 
-  if (!bounded) return;
+  if (!bounded || skip_heap) return;
 
-  // Maintain the eviction heap; collect overflow victims.
-  std::vector<LatRow*> victims;
+  MaintainHeap(&shard, row, std::move(ordering_key), row_bytes);
+  EvictOverBudget(now_micros, /*notify=*/true);
+}
+
+void Lat::MaintainHeap(Shard* shard, const std::shared_ptr<LatRow>& row,
+                       Row ordering_key, size_t row_bytes) {
+  CountedLatchGuard heap_guard(shard->heap_latch, stats_);
+  if (row->evicted) {
+    // Racing update to a row already chosen for eviction: drop it.
+    return;
+  }
+  row->ordering_key = std::move(ordering_key);
+  if (spec_.max_bytes > 0) {
+    // Unsigned wrap-around of the delta is fine: the global sum stays
+    // coherent because every delta is eventually balanced.
+    total_bytes_.fetch_add(row_bytes - row->approx_bytes,
+                           std::memory_order_acq_rel);
+    row->approx_bytes = row_bytes;
+  }
+  if (row->heap_index == SIZE_MAX) {
+    HeapInsertLocked(shard, row.get());
+    row->in_heap.store(true, std::memory_order_release);
+  } else {
+    HeapRepositionLocked(shard, row.get());
+  }
+}
+
+void Lat::EvictOverBudget(int64_t now_micros, bool notify) {
+  if (!OverBudget()) return;
+
+  std::vector<std::shared_ptr<LatRow>> victims;
   {
-    CountedLatchGuard heap_guard(heap_latch_, stats_);
-    row->ordering_key = std::move(ordering_key);
-    if (spec_.max_bytes > 0 && !row->evicted) {
-      total_bytes_ += row_bytes - row->approx_bytes;
-      row->approx_bytes = row_bytes;
-    }
-    if (row->evicted) {
-      // Racing update to a row already chosen for eviction: drop it.
-    } else if (row->heap_index == SIZE_MAX) {
-      HeapInsertLocked(row.get());
-    } else {
-      HeapRepositionLocked(row.get());
-    }
-    while ((spec_.max_rows > 0 && heap_.size() > spec_.max_rows) ||
-           (spec_.max_bytes > 0 && total_bytes_ > spec_.max_bytes &&
-            heap_.size() > 1)) {
-      LatRow* victim = heap_[0];
-      HeapEraseLocked(victim);
-      victim->evicted = true;
-      total_bytes_ -= victim->approx_bytes;
-      victims.push_back(victim);
+    // The evict latch serializes budget enforcement so concurrent inserters
+    // do not over-evict; the common (non-evicting) insert never touches it.
+    std::lock_guard<common::SpinLatch> evict_guard(evict_latch_);
+    while (OverBudget()) {
+      // Pick the globally least-important row: compare shard heap roots
+      // (one short heap-latch hold per shard; the evict latch keeps rows
+      // from leaving heaps underneath us, so the chosen root can only have
+      // been repositioned by a concurrent update).
+      size_t best_shard = SIZE_MAX;
+      Row best_key;
+      for (size_t s = 0; s < shard_count_; ++s) {
+        std::lock_guard<common::SpinLatch> heap_guard(shards_[s].heap_latch);
+        if (shards_[s].heap.empty()) continue;
+        const Row& root_key = shards_[s].heap[0]->ordering_key;
+        if (best_shard == SIZE_MAX || LessImportant(root_key, best_key)) {
+          best_shard = s;
+          best_key = root_key;
+        }
+      }
+      if (best_shard == SIZE_MAX) break;  // every heap empty: nothing to evict
+      Shard& shard = shards_[best_shard];
+      LatRow* victim;
+      {
+        std::lock_guard<common::SpinLatch> heap_guard(shard.heap_latch);
+        if (shard.heap.empty()) continue;
+        victim = shard.heap[0];
+        HeapEraseLocked(&shard, victim);
+        victim->evicted = true;
+        victim->in_heap.store(false, std::memory_order_release);
+        total_bytes_.fetch_sub(victim->approx_bytes,
+                               std::memory_order_acq_rel);
+        total_rows_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      // Unlink from the directory while still under the evict latch (which
+      // also excludes Reset) so the strong reference below cannot race a
+      // concurrent teardown of the map.
+      std::lock_guard<common::SpinLatch> map_guard(shard.map_latch);
+      if (std::shared_ptr<LatRow> strong = UnlinkLocked(&shard, victim)) {
+        victims.push_back(std::move(strong));
+      }
     }
   }
   if (victims.empty()) return;
   stats_.evictions.Inc(victims.size());
 
-  // Materialize victims (row latch only) when anyone listens, erase from
-  // the directory (hash latch only), then notify outside all latches.
-  std::vector<Row> evicted_rows;
-  if (evict_callback_) {
-    for (LatRow* victim : victims) {
+  // Materialize victims (row latch only) when anyone listens, then notify
+  // outside all latches.
+  if (notify && evict_callback_) {
+    std::vector<Row> evicted_rows;
+    evicted_rows.reserve(victims.size());
+    for (const auto& victim : victims) {
       std::lock_guard<common::SpinLatch> row_guard(victim->latch);
       evicted_rows.push_back(MaterializeLocked(*victim, now_micros));
     }
-  }
-  {
-    std::lock_guard<common::SpinLatch> hash_guard(hash_latch_);
-    for (LatRow* victim : victims) map_.erase(victim->group_key);
-  }
-  if (evict_callback_) {
     for (Row& evicted : evicted_rows) evict_callback_(std::move(evicted));
   }
 }
 
 void Lat::Reset() {
-  std::lock_guard<common::SpinLatch> hash_guard(hash_latch_);
-  std::lock_guard<common::SpinLatch> heap_guard(heap_latch_);
-  // The only place two LAT latches nest; safe because no other path holds
-  // one latch while acquiring another.
-  map_.clear();
-  heap_.clear();
-  total_bytes_ = 0;
+  std::lock_guard<common::SpinLatch> evict_guard(evict_latch_);
+  size_t removed_rows = 0;
+  size_t removed_bytes = 0;
+  for (size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    // Map latch nests the heap latch (fixed order, matching Reset's
+    // pre-shard behaviour); no other path holds both.
+    std::lock_guard<common::SpinLatch> map_guard(shard.map_latch);
+    std::lock_guard<common::SpinLatch> heap_guard(shard.heap_latch);
+    for (auto& [_, head] : shard.map) {
+      for (LatRow* row = head.get(); row != nullptr; row = row->next.get()) {
+        // Mark rows dead so a racing inserter holding a reference drops
+        // its heap maintenance instead of sifting a cleared heap.
+        row->evicted = true;
+        row->heap_index = SIZE_MAX;
+        row->in_heap.store(false, std::memory_order_release);
+        ++removed_rows;
+        removed_bytes += row->approx_bytes;
+      }
+    }
+    shard.map.clear();
+    shard.heap.clear();
+  }
+  // Subtract what was actually removed (rather than storing zero) so rows
+  // added concurrently in already-cleared shards stay accounted.
+  total_rows_.fetch_sub(removed_rows, std::memory_order_acq_rel);
+  total_bytes_.fetch_sub(removed_bytes, std::memory_order_acq_rel);
 }
 
 bool Lat::LookupForObject(const void* record, int64_t now_micros,
                           Row* out) const {
-  return LookupByKey(GroupKeyFor(record), now_micros, out);
+  Row& key = ScratchKey();
+  key.clear();
+  for (AttributeGetter getter : group_getters_) key.push_back(getter(record));
+  return LookupByKey(key, now_micros, out);
 }
 
 bool Lat::LookupByKey(const Row& group_key, int64_t now_micros,
                       Row* out) const {
+  const uint64_t hash = HashGroupKey(group_key);
+  Shard& shard = ShardFor(hash);
   std::shared_ptr<LatRow> row;
   {
-    std::lock_guard<common::SpinLatch> hash_guard(hash_latch_);
-    auto it = map_.find(group_key);
-    if (it == map_.end()) return false;
-    row = it->second;
+    std::lock_guard<common::SpinLatch> map_guard(shard.map_latch);
+    row = FindInShardLocked(shard, hash, group_key);
   }
+  if (row == nullptr) return false;
   std::lock_guard<common::SpinLatch> row_guard(row->latch);
   *out = MaterializeLocked(*row, now_micros);
   return true;
@@ -496,10 +676,16 @@ bool Lat::LookupByKey(const Row& group_key, int64_t now_micros,
 
 std::vector<Row> Lat::Snapshot(int64_t now_micros) const {
   std::vector<std::shared_ptr<LatRow>> rows;
-  {
-    std::lock_guard<common::SpinLatch> hash_guard(hash_latch_);
-    rows.reserve(map_.size());
-    for (const auto& [_, row] : map_) rows.push_back(row);
+  rows.reserve(size());
+  for (size_t s = 0; s < shard_count_; ++s) {
+    const Shard& shard = shards_[s];
+    std::lock_guard<common::SpinLatch> map_guard(shard.map_latch);
+    for (const auto& [_, head] : shard.map) {
+      for (std::shared_ptr<LatRow> row = head; row != nullptr;
+           row = row->next) {
+        rows.push_back(row);
+      }
+    }
   }
   std::vector<Row> out;
   out.reserve(rows.size());
@@ -523,77 +709,68 @@ std::vector<Row> Lat::Snapshot(int64_t now_micros) const {
   return out;
 }
 
-size_t Lat::size() const {
-  std::lock_guard<common::SpinLatch> hash_guard(hash_latch_);
-  return map_.size();
-}
-
-size_t Lat::approx_bytes() const {
-  std::lock_guard<common::SpinLatch> heap_guard(heap_latch_);
-  return total_bytes_;
-}
-
 // ---------------------------------------------------------------------------
 // Heap (min-heap on importance; root is the eviction candidate)
 // ---------------------------------------------------------------------------
 
-void Lat::HeapInsertLocked(LatRow* row) {
-  row->heap_index = heap_.size();
-  heap_.push_back(row);
-  SiftUpLocked(row->heap_index);
+void Lat::HeapInsertLocked(Shard* shard, LatRow* row) {
+  row->heap_index = shard->heap.size();
+  shard->heap.push_back(row);
+  SiftUpLocked(shard, row->heap_index);
 }
 
-void Lat::HeapRepositionLocked(LatRow* row) {
-  SiftUpLocked(row->heap_index);
-  SiftDownLocked(row->heap_index);
+void Lat::HeapRepositionLocked(Shard* shard, LatRow* row) {
+  SiftUpLocked(shard, row->heap_index);
+  SiftDownLocked(shard, row->heap_index);
 }
 
-void Lat::HeapEraseLocked(LatRow* row) {
+void Lat::HeapEraseLocked(Shard* shard, LatRow* row) {
   const size_t i = row->heap_index;
-  HeapSwapLocked(i, heap_.size() - 1);
-  heap_.pop_back();
+  HeapSwapLocked(shard, i, shard->heap.size() - 1);
+  shard->heap.pop_back();
   row->heap_index = SIZE_MAX;
-  if (i < heap_.size()) {
-    SiftUpLocked(i);
-    SiftDownLocked(i);
+  if (i < shard->heap.size()) {
+    SiftUpLocked(shard, i);
+    SiftDownLocked(shard, i);
   }
 }
 
-void Lat::HeapSwapLocked(size_t i, size_t j) {
+void Lat::HeapSwapLocked(Shard* shard, size_t i, size_t j) {
   if (i == j) return;
-  std::swap(heap_[i], heap_[j]);
-  heap_[i]->heap_index = i;
-  heap_[j]->heap_index = j;
+  std::swap(shard->heap[i], shard->heap[j]);
+  shard->heap[i]->heap_index = i;
+  shard->heap[j]->heap_index = j;
 }
 
-void Lat::SiftUpLocked(size_t i) {
+void Lat::SiftUpLocked(Shard* shard, size_t i) {
   while (i > 0) {
     const size_t parent = (i - 1) / 2;
-    if (!LessImportant(heap_[i]->ordering_key, heap_[parent]->ordering_key)) {
+    if (!LessImportant(shard->heap[i]->ordering_key,
+                       shard->heap[parent]->ordering_key)) {
       break;
     }
-    HeapSwapLocked(i, parent);
+    HeapSwapLocked(shard, i, parent);
     i = parent;
   }
 }
 
-void Lat::SiftDownLocked(size_t i) {
+void Lat::SiftDownLocked(Shard* shard, size_t i) {
   for (;;) {
     const size_t left = 2 * i + 1;
     const size_t right = 2 * i + 2;
     size_t smallest = i;
-    if (left < heap_.size() &&
-        LessImportant(heap_[left]->ordering_key,
-                      heap_[smallest]->ordering_key)) {
+    if (left < shard->heap.size() &&
+        LessImportant(shard->heap[left]->ordering_key,
+                      shard->heap[smallest]->ordering_key)) {
       smallest = left;
     }
-    if (right < heap_.size() &&
-        LessImportant(heap_[right]->ordering_key,
-                      heap_[smallest]->ordering_key)) {
+    if (right < shard->heap.size() &&
+        LessImportant(shard->heap[right]->ordering_key,
+                      shard->heap[smallest]->ordering_key)) {
       smallest = right;
     }
     if (smallest == i) break;
-    HeapSwapLocked(i, smallest);
+    HeapSwapLocked(shard, i, smallest);
     i = smallest;
   }
 }
@@ -636,6 +813,7 @@ Status Lat::SeedFrom(const storage::Table& table, int64_t now_micros) {
       break;
     }
   }
+  const bool bounded = spec_.max_rows > 0 || spec_.max_bytes > 0;
 
   std::optional<Row> after;
   std::vector<Row> keys, rows;
@@ -648,7 +826,9 @@ Status Lat::SeedFrom(const storage::Table& table, int64_t now_micros) {
       Row group_key(persisted.begin(),
                     persisted.begin() + static_cast<long>(group_width()));
       auto row = std::make_shared<LatRow>();
-      row->group_key = group_key;
+      const uint64_t hash = HashGroupKey(group_key);
+      row->hash = hash;
+      row->group_key = std::move(group_key);
       row->aggs.resize(spec_.aggregates.size());
       int64_t seed_count = 1;
       if (count_col >= 0 &&
@@ -688,40 +868,27 @@ Status Lat::SeedFrom(const storage::Table& table, int64_t now_micros) {
             break;
         }
       }
+      Shard& shard = ShardFor(hash);
       {
-        std::lock_guard<common::SpinLatch> hash_guard(hash_latch_);
-        if (map_.count(group_key) != 0) continue;  // live data wins
-        map_.emplace(std::move(group_key), row);
+        std::lock_guard<common::SpinLatch> map_guard(shard.map_latch);
+        if (FindInShardLocked(shard, hash, row->group_key) != nullptr) {
+          continue;  // live data wins
+        }
+        row->next = std::move(shard.map[hash]);
+        shard.map[hash] = row;
       }
-      if (spec_.max_rows > 0 || spec_.max_bytes > 0) {
+      total_rows_.fetch_add(1, std::memory_order_acq_rel);
+      if (bounded) {
         Row ordering_key;
         {
           std::lock_guard<common::SpinLatch> row_guard(row->latch);
           ordering_key = OrderingKeyLocked(*row, now_micros);
+          row->ordering_cache = ordering_key;
         }
-        std::vector<LatRow*> victims;
-        {
-          std::lock_guard<common::SpinLatch> heap_guard(heap_latch_);
-          row->ordering_key = std::move(ordering_key);
-          if (spec_.max_bytes > 0) {
-            row->approx_bytes = ApproxRowBytesLocked(*row);
-            total_bytes_ += row->approx_bytes;
-          }
-          HeapInsertLocked(row.get());
-          while ((spec_.max_rows > 0 && heap_.size() > spec_.max_rows) ||
-                 (spec_.max_bytes > 0 && total_bytes_ > spec_.max_bytes &&
-                  heap_.size() > 1)) {
-            LatRow* victim = heap_[0];
-            HeapEraseLocked(victim);
-            victim->evicted = true;
-            total_bytes_ -= victim->approx_bytes;
-            victims.push_back(victim);
-          }
-        }
-        if (!victims.empty()) {
-          std::lock_guard<common::SpinLatch> hash_guard(hash_latch_);
-          for (LatRow* victim : victims) map_.erase(victim->group_key);
-        }
+        const size_t row_bytes =
+            spec_.max_bytes > 0 ? ApproxRowBytesLocked(*row) : 0;
+        MaintainHeap(&shard, row, std::move(ordering_key), row_bytes);
+        EvictOverBudget(now_micros, /*notify=*/false);
       }
     }
   }

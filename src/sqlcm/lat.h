@@ -12,11 +12,17 @@
 //   * persist-to-table and seed-from-table (restart continuity).
 //
 // Concurrency (paper §6.1): rule evaluation and LAT updates run in the
-// threads that trigger events, so rows, the ordering heap and the hash
-// directory are individually latched. The latches are never nested — each
-// step of an insert holds at most one — so the scheme is deadlock-free by
-// construction. bench/bench_lat.cc stress-verifies the "latching is not a
-// hotspot" claim.
+// threads that trigger events, so the directory is split into 2^k
+// latch-striped shards selected by a precomputed 64-bit group-key hash;
+// each shard has its own hash map (keyed by that hash, so eviction erase
+// and lookups never rehash the group key) and its own eviction heap. Rows
+// keep individual latches, and the global row/byte budgets are atomics, so
+// an insert holds at most one latch at a time on the non-evicting path.
+// Cross-shard eviction (the rare path) is serialized by a dedicated evict
+// latch which may nest shard heap latches beneath it; the hierarchy
+// evict > {map, heap, row} is acyclic, so the scheme stays deadlock-free
+// by construction. bench/bench_lat.cc --sweep measures the scaling (see
+// docs/PERFORMANCE.md).
 #ifndef SQLCM_SQLCM_LAT_H_
 #define SQLCM_SQLCM_LAT_H_
 
@@ -90,6 +96,11 @@ struct LatSpec {
   /// Aging parameters (apply to aggregates flagged `aging`).
   int64_t aging_window_micros = 0;  // t
   int64_t aging_block_micros = 0;   // Δ
+  /// Directory shard count. 0 = automatic: the SQLCM_LAT_SHARDS environment
+  /// override when set, otherwise scaled to hardware concurrency. Rounded
+  /// up to a power of two and clamped to [1, 1024]. Aggregate results are
+  /// independent of the shard count (only contention behaviour changes).
+  size_t shard_count = 0;
 };
 
 /// Per-LAT runtime statistics (surfaced via sqlcm_lat_stats). Latch counters
@@ -101,6 +112,9 @@ struct LatStats {
   obs::Counter evictions;
   obs::Counter latch_acquisitions;
   obs::Counter latch_contention;  // try_lock failed, had to spin
+  /// Heap maintenance skipped because the recomputed ordering key matched
+  /// the previous one (common for MIN/MAX/FIRST orderings).
+  obs::Counter heap_skips;
   obs::LatencyHistogram upsert_micros;
 };
 
@@ -120,6 +134,11 @@ class Lat {
 
   const LatSpec& spec() const { return spec_; }
   const std::string& name() const { return spec_.name; }
+  /// Cached lower-cased name (event qualifiers are lower-cased; caching
+  /// avoids a string allocation per eviction event).
+  const std::string& lower_name() const { return lower_name_; }
+  /// Resolved directory shard count (power of two).
+  size_t shard_count() const { return shard_count_; }
 
   // -- Column metadata (group columns first, then aggregate columns) -------
   size_t num_columns() const { return column_names_.size(); }
@@ -158,11 +177,15 @@ class Lat {
   /// All rows, sorted by the declared ordering when one exists.
   std::vector<common::Row> Snapshot(int64_t now_micros) const;
 
-  size_t size() const;
+  size_t size() const {
+    return total_rows_.load(std::memory_order_acquire);
+  }
 
   /// Approximate bytes across all rows (maintained when a byte limit is
   /// configured; 0 otherwise).
-  size_t approx_bytes() const;
+  size_t approx_bytes() const {
+    return total_bytes_.load(std::memory_order_acquire);
+  }
 
   /// Runtime statistics; mutable through a const Lat because the insert
   /// path is logically const for readers.
@@ -212,17 +235,57 @@ class Lat {
     std::unique_ptr<std::deque<AgingBlock>> blocks;
   };
 
+  /// One group row. Field guards (latch hierarchy in the file comment):
+  ///   hash, group_key    immutable after publication in the shard map
+  ///   next               the owning shard's map latch
+  ///   aggs, ordering_cache                     the row latch
+  ///   ordering_key, heap_index, approx_bytes,
+  ///   evicted                                  the owning shard's heap latch
+  ///   in_heap            atomic (written under the heap latch)
   struct LatRow {
+    uint64_t hash = 0;
     common::Row group_key;
+    std::shared_ptr<LatRow> next;  // same-hash collision chain
     std::vector<AggState> aggs;
-    common::Row ordering_key;  // cached, refreshed on each insert
+    common::Row ordering_cache;  // last key computed by an insert
+    common::Row ordering_key;    // key the heap position reflects
     size_t heap_index = SIZE_MAX;
-    size_t approx_bytes = 0;   // accounted share of total_bytes_
+    size_t approx_bytes = 0;  // accounted share of total_bytes_
     bool evicted = false;
+    std::atomic<bool> in_heap{false};
     mutable common::SpinLatch latch;
   };
 
+  /// One directory stripe: a hash-keyed map (collision chains run through
+  /// LatRow::next) and the eviction heap over this stripe's rows. Padded so
+  /// neighbouring shards' latches do not share a cache line.
+  struct alignas(64) Shard {
+    mutable common::SpinLatch map_latch;
+    std::unordered_map<uint64_t, std::shared_ptr<LatRow>> map;
+    mutable common::SpinLatch heap_latch;
+    std::vector<LatRow*> heap;  // min-heap: root = least important
+  };
+
   explicit Lat(LatSpec spec) : spec_(std::move(spec)) {}
+
+  Shard& ShardFor(uint64_t hash) const {
+    return shards_[hash & (shard_count_ - 1)];
+  }
+  /// 64-bit mixed hash of a group key (also the shard selector).
+  uint64_t HashGroupKey(const common::Row& key) const;
+
+  /// Walks the shard's collision chain for (hash, key); caller holds the
+  /// shard map latch. Returns the chain entry or null.
+  std::shared_ptr<LatRow> FindInShardLocked(const Shard& shard, uint64_t hash,
+                                            const common::Row& key) const;
+  /// Finds or creates+links the row for (hash, key); caller holds the shard
+  /// map latch. Sets `*created` when a new row was linked.
+  std::shared_ptr<LatRow> FindOrCreateLocked(Shard* shard, uint64_t hash,
+                                             const common::Row& key,
+                                             bool* created);
+  /// Unlinks `row` from its shard's collision chain and returns the strong
+  /// reference that kept it there; caller holds the shard map latch.
+  static std::shared_ptr<LatRow> UnlinkLocked(Shard* shard, LatRow* row);
 
   common::Row GroupKeyFor(const void* record) const;
   void FoldValue(AggState* state, const LatAggColumn& col, common::Value v,
@@ -237,15 +300,31 @@ class Lat {
   /// declared ordering and is the eviction candidate).
   bool LessImportant(const common::Row& a, const common::Row& b) const;
 
-  // Heap helpers; caller holds heap_latch_.
-  void HeapInsertLocked(LatRow* row);
-  void HeapRepositionLocked(LatRow* row);
-  void HeapEraseLocked(LatRow* row);
-  void HeapSwapLocked(size_t i, size_t j);
-  void SiftUpLocked(size_t i);
-  void SiftDownLocked(size_t i);
+  /// Applies the (re)computed ordering key and byte accounting for `row`
+  /// under its shard's heap latch.
+  void MaintainHeap(Shard* shard, const std::shared_ptr<LatRow>& row,
+                    common::Row ordering_key, size_t row_bytes);
+  /// While over the row/byte budget, evicts the globally least-important
+  /// row (scans shard heap roots under the evict latch). Materializes and
+  /// notifies victims via the evict callback when `notify` is set.
+  void EvictOverBudget(int64_t now_micros, bool notify);
+  bool OverBudget() const {
+    const size_t rows = total_rows_.load(std::memory_order_acquire);
+    if (spec_.max_rows > 0 && rows > spec_.max_rows) return true;
+    return spec_.max_bytes > 0 && rows > 1 &&
+           total_bytes_.load(std::memory_order_acquire) > spec_.max_bytes;
+  }
+
+  // Heap helpers; caller holds the shard's heap_latch.
+  void HeapInsertLocked(Shard* shard, LatRow* row);
+  void HeapRepositionLocked(Shard* shard, LatRow* row);
+  void HeapEraseLocked(Shard* shard, LatRow* row);
+  void HeapSwapLocked(Shard* shard, size_t i, size_t j);
+  void SiftUpLocked(Shard* shard, size_t i);
+  void SiftDownLocked(Shard* shard, size_t i);
 
   LatSpec spec_;
+  std::string lower_name_;
   std::vector<std::string> column_names_;
   std::vector<common::ValueKind> column_kinds_;
   std::vector<AttributeGetter> group_getters_;
@@ -253,14 +332,14 @@ class Lat {
   std::vector<int> ordering_columns_;          // indexes into materialized row
   EvictCallback evict_callback_;
 
-  mutable common::SpinLatch hash_latch_;
-  std::unordered_map<common::Row, std::shared_ptr<LatRow>, common::RowHasher,
-                     common::RowEq>
-      map_;
+  size_t shard_count_ = 1;  // power of two
+  std::unique_ptr<Shard[]> shards_;
 
-  mutable common::SpinLatch heap_latch_;
-  std::vector<LatRow*> heap_;  // min-heap: root = least important
-  size_t total_bytes_ = 0;     // sum of approx_bytes; guarded by heap_latch_
+  /// Serializes cross-shard eviction and Reset; never acquired while any
+  /// other LAT latch is held.
+  mutable common::SpinLatch evict_latch_;
+  std::atomic<size_t> total_rows_{0};
+  std::atomic<size_t> total_bytes_{0};
 
   std::atomic<bool> shed_aging_{false};
   mutable LatStats stats_;

@@ -49,6 +49,39 @@ std::vector<PendingEviction>& PendingEvictions() {
   return pending;
 }
 
+using BindingItem = std::vector<std::pair<MonitoredClass, const void*>>;
+
+/// Reusable buffers for unbound-class iteration (paper §5.2): one set per
+/// (thread, FireEvent nesting depth), so the iteration path allocates only
+/// until each buffer's high-water capacity is reached. Keepalive vectors
+/// are cleared by the caller as soon as iteration finishes so shared
+/// ownership of query/transaction records is not stretched across events.
+struct IterationScratch {
+  std::vector<std::shared_ptr<QueryRecord>> query_keepalive;
+  std::vector<std::shared_ptr<TransactionRecord>> txn_keepalive;
+  std::vector<TimerRecord> timer_objects;
+  std::vector<std::pair<BlockEventView, BlockEventView>> pair_objects;
+  std::vector<std::vector<BindingItem>> lists;
+  std::vector<size_t> idx;
+
+  void Clear() {
+    query_keepalive.clear();
+    txn_keepalive.clear();
+    timer_objects.clear();
+    pair_objects.clear();
+    lists.clear();
+    idx.clear();
+  }
+};
+
+IterationScratch& IterationScratchAt(size_t depth) {
+  thread_local std::vector<std::unique_ptr<IterationScratch>> pool;
+  while (pool.size() <= depth) {
+    pool.push_back(std::make_unique<IterationScratch>());
+  }
+  return *pool[depth];
+}
+
 catalog::ColumnType ColumnTypeForKind(ValueKind kind) {
   switch (kind) {
     case ValueKind::kInt: return catalog::ColumnType::kInt;
@@ -364,7 +397,7 @@ void MonitorEngine::RebuildRuleTableLocked() {
     has_rules_[kind].store(!table->by_event[kind].empty(),
                            std::memory_order_release);
   }
-  rule_table_ = std::move(table);
+  rule_table_.store(std::move(table), std::memory_order_release);
   track_transactions_.store(track_txns, std::memory_order_release);
   // Blocking attribution and the concurrency probe both need the global
   // registries.
@@ -377,8 +410,9 @@ void MonitorEngine::RebuildRuleTableLocked() {
 
 std::vector<std::shared_ptr<const CompiledRule>> MonitorEngine::RulesFor(
     EventKind kind) const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
-  return rule_table_->by_event[static_cast<size_t>(kind)];
+  const std::shared_ptr<const RuleTable> table =
+      rule_table_.load(std::memory_order_acquire);
+  return table->by_event[static_cast<size_t>(kind)];
 }
 
 // ---------------------------------------------------------------------------
@@ -807,11 +841,10 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
   if (!has_rules_[static_cast<size_t>(kind)].load(std::memory_order_acquire)) {
     return;
   }
-  std::shared_ptr<const RuleTable> table;
-  {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
-    table = rule_table_;
-  }
+  // RCU load of the compiled dispatch table: the hot path takes no mutex at
+  // all (the registry mutex guards only writers, who republish the table).
+  const std::shared_ptr<const RuleTable> table =
+      rule_table_.load(std::memory_order_acquire);
   const auto& rules = table->by_event[static_cast<size_t>(kind)];
   if (rules.empty()) return;
   // Governor level 4: shed rule evaluation for a sampled-out share of
@@ -842,14 +875,17 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
 
     // Unbound-class iteration (paper §5.2): bind every combination of live
     // objects of the classes the event did not bind. Blocker/Blocked are
-    // iterated as pairs from the lock-resource graph (§6.1).
-    std::vector<std::shared_ptr<QueryRecord>> query_keepalive;
-    std::vector<std::shared_ptr<TransactionRecord>> txn_keepalive;
-    std::vector<TimerRecord> timer_objects;
-    std::vector<std::pair<BlockEventView, BlockEventView>> pair_objects;
-
-    using BindingItem = std::vector<std::pair<MonitoredClass, const void*>>;
-    std::vector<std::vector<BindingItem>> lists;
+    // iterated as pairs from the lock-resource graph (§6.1). Buffers come
+    // from a per-(thread, depth) scratch pool so this path stops
+    // allocating once capacities warm up.
+    IterationScratch& scratch =
+        IterationScratchAt(static_cast<size_t>(RuleDepth()) - 1);
+    scratch.Clear();
+    auto& query_keepalive = scratch.query_keepalive;
+    auto& txn_keepalive = scratch.txn_keepalive;
+    auto& timer_objects = scratch.timer_objects;
+    auto& pair_objects = scratch.pair_objects;
+    auto& lists = scratch.lists;
 
     bool want_blocker = false, want_blocked = false;
     for (MonitoredClass cls : rule->iterate_classes) {
@@ -857,7 +893,9 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
       if (cls == MonitoredClass::kBlocked) want_blocked = true;
     }
     if (want_blocker || want_blocked) {
-      const int64_t now = db_->clock()->NowMicros();
+      // Waits are measured against the event's already-read timestamp (one
+      // clock read per event, Figure 2).
+      const int64_t now = base_ctx->now_micros;
       for (const txn::BlockedPair& pair :
            db_->txn_manager()->lock_manager()->SnapshotBlockedPairs()) {
         auto blocked_rec = CurrentQueryOfTxn(pair.blocked_txn);
@@ -927,7 +965,8 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
     }
 
     // Cross product over the lists.
-    std::vector<size_t> idx(lists.size(), 0);
+    auto& idx = scratch.idx;
+    idx.assign(lists.size(), 0);
     const bool any_empty =
         std::any_of(lists.begin(), lists.end(),
                     [](const auto& l) { return l.empty(); });
@@ -948,6 +987,8 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
         if (l == lists.size()) break;
       }
     }
+    // Release record ownership promptly (capacity is retained).
+    scratch.Clear();
   }
   if (tracing) {
     // The clock read here is trace-gated; the untraced path stays at one
@@ -974,7 +1015,7 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
       EvalContext ctx;
       ctx.evicted_lat = eviction.lat;
       ctx.evicted_row = &eviction.row;
-      FireEvent(EventKind::kLatEvict, ToLower(eviction.lat->name()), &ctx);
+      FireEvent(EventKind::kLatEvict, eviction.lat->lower_name(), &ctx);
     }
   }
 }
@@ -1285,7 +1326,7 @@ void MonitorEngine::HandleEviction(Lat* lat, Row evicted) {
   EvalContext ctx;
   ctx.evicted_lat = lat;
   ctx.evicted_row = &evicted;
-  FireEvent(EventKind::kLatEvict, ToLower(lat->name()), &ctx);
+  FireEvent(EventKind::kLatEvict, lat->lower_name(), &ctx);
 }
 
 void MonitorEngine::HandleTimerAlarm(const TimerRecord& timer) {

@@ -5,10 +5,13 @@
 // probes, dispatches ECA rules synchronously in the triggering thread, and
 // owns the LATs, timers and action backends.
 //
-// Threading: hook methods run concurrently in session threads; internal
-// registries are mutex-guarded and LATs use their own fine-grained latches.
-// Rule-table changes (AddRule/RemoveRule/DefineLat) are cheap and safe at
-// runtime ("rules can be added and removed dynamically", §3).
+// Threading: hook methods run concurrently in session threads. The
+// dispatch hot path is lock-free: the compiled rule table is published
+// RCU-style through an atomic shared_ptr, so FireEvent never touches the
+// registry mutex — that mutex guards only the (cold) DBA surface, which
+// rebuilds and republishes the table on every change ("rules can be added
+// and removed dynamically", §3). LATs use their own fine-grained sharded
+// latches (see lat.h).
 #ifndef SQLCM_SQLCM_MONITOR_ENGINE_H_
 #define SQLCM_SQLCM_MONITOR_ENGINE_H_
 
@@ -254,10 +257,12 @@ class MonitorEngine final : public engine::MonitorHooks,
   CapturingLauncher default_launcher_;
   TimerManager timers_;
 
-  mutable std::mutex registry_mutex_;  // lats_, rules_, rule_table_
+  mutable std::mutex registry_mutex_;  // lats_, rules_ (writers of rule_table_)
   std::unordered_map<std::string, std::shared_ptr<Lat>> lats_;  // lower name
   std::vector<std::shared_ptr<CompiledRule>> rules_;            // fixed order
-  std::shared_ptr<const RuleTable> rule_table_;
+  /// RCU-style publication of the compiled dispatch table: writers rebuild
+  /// under registry_mutex_ and store; FireEvent loads without any lock.
+  std::atomic<std::shared_ptr<const RuleTable>> rule_table_;
   /// Lock-free per-event fast path: FireEvent returns without touching the
   /// registry mutex when no enabled rule listens to the event kind.
   std::array<std::atomic<bool>, kNumEventKinds> has_rules_{};
