@@ -1,8 +1,10 @@
 #include "common/value.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
-#include <sstream>
 
 namespace sqlcm::common {
 
@@ -77,11 +79,8 @@ std::string Value::ToString() const {
       return bool_value() ? "TRUE" : "FALSE";
     case ValueKind::kInt:
       return std::to_string(int_value());
-    case ValueKind::kDouble: {
-      std::ostringstream os;
-      os << double_value();
-      return os.str();
-    }
+    case ValueKind::kDouble:
+      return FormatDoubleShortest(double_value());
     case ValueKind::kString: {
       std::string out = "'";
       for (char c : string_value()) {
@@ -102,6 +101,20 @@ std::string Value::ToDisplayString() const {
 
 std::ostream& operator<<(std::ostream& os, const Value& v) {
   return os << v.ToString();
+}
+
+std::string FormatDoubleShortest(double d) {
+  if (std::isnan(d)) return "nan";
+  if (std::isinf(d)) return d < 0 ? "-inf" : "inf";
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, d);
+    const double parsed = std::strtod(buf, nullptr);
+    // Bitwise comparison: distinguishes -0.0 from 0.0 and is exact for
+    // denormals, unlike ==.
+    if (std::memcmp(&parsed, &d, sizeof(double)) == 0) break;
+  }
+  return buf;
 }
 
 size_t HashRow(const Row& row) {

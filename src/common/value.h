@@ -99,6 +99,13 @@ class Value {
 
 std::ostream& operator<<(std::ostream& os, const Value& v);
 
+/// Shortest decimal rendering of `d` that parses back (strtod) to exactly
+/// the same bits: tries 15/16/17 significant digits and returns the first
+/// that round-trips. Used by Value::ToString and the CSV/snapshot codec so
+/// doubles survive arbitrarily many persist/restore cycles bit-exactly.
+/// Non-finite values render as "inf" / "-inf" / "nan" (strtod-parsable).
+std::string FormatDoubleShortest(double d);
+
 /// A row of values; the universal tuple currency of the engine.
 using Row = std::vector<Value>;
 

@@ -132,6 +132,15 @@ Result<std::unique_ptr<Lat>> Lat::Create(LatSpec spec) {
   lat->lower_name_ = common::ToLower(s.name);
   lat->shard_count_ = ResolveShardCount(s.shard_count);
   lat->shards_ = std::make_unique<Shard[]>(lat->shard_count_);
+  if (any_aging) {
+    // §4.3 bound ⌈2t/Δ⌉, with enough slack (t/Δ + 3) that when the cap
+    // triggers the two oldest blocks are provably outside the window — so
+    // FoldValue's merge never changes what AggValue reads.
+    const int64_t t = s.aging_window_micros;
+    const int64_t d = s.aging_block_micros;
+    lat->max_aging_blocks_ =
+        static_cast<size_t>(std::max((2 * t + d - 1) / d, t / d + 3));
+  }
 
   for (const LatGroupColumn& col : s.group_by) {
     const int attr = schema.FindAttribute(s.object_class, col.attribute);
@@ -302,21 +311,44 @@ void Lat::FoldValue(AggState* state, const LatAggColumn& col, Value v,
     std::deque<AgingBlock>& blocks = *state->blocks;
     const int64_t block_start =
         now_micros - (now_micros % spec_.aging_block_micros);
-    // Overload shedding: skip pruning and block rotation, folding into the
-    // current block (buckets coarsen; AggValue still windows on read).
-    const bool shed = shed_aging_.load(std::memory_order_relaxed);
-    if (!shed) {
+    // Overload shedding defers pruning only. Rotation must always run: a
+    // fresh value folded into a stale-labelled block would be silently
+    // dropped by AggValue's horizon filter, so the current block's label
+    // has to match `now` even under shed.
+    if (!shed_aging_.load(std::memory_order_relaxed)) {
       while (!blocks.empty() &&
              blocks.front().block_start + spec_.aging_block_micros <=
                  now_micros - spec_.aging_window_micros) {
         blocks.pop_front();
       }
     }
-    if (blocks.empty() ||
-        (!shed && blocks.back().block_start != block_start)) {
+    if (blocks.empty() || blocks.back().block_start != block_start) {
       AgingBlock block;
       block.block_start = block_start;
       blocks.push_back(std::move(block));
+      // With pruning deferred the deque would grow one block per Δ without
+      // bound; cap it by folding the oldest block into its neighbour. At
+      // max_aging_blocks_ both front blocks are already outside the window
+      // (the cap includes t/Δ + 3 slack), so the merge only coarsens
+      // expired history and is invisible to reads.
+      while (blocks.size() > max_aging_blocks_) {
+        const AgingBlock& oldest = blocks[0];
+        AgingBlock& into = blocks[1];
+        into.count += oldest.count;
+        into.sum += oldest.sum;
+        into.sumsq += oldest.sumsq;
+        if (oldest.any) {
+          if (!into.any || oldest.min.Compare(into.min) < 0) {
+            into.min = oldest.min;
+          }
+          if (!into.any || oldest.max.Compare(into.max) > 0) {
+            into.max = oldest.max;
+          }
+          into.any = true;
+        }
+        blocks.pop_front();
+        stats_.aging_merges.Inc();
+      }
     }
     AgingBlock& block = blocks.back();
     ++block.count;
@@ -779,6 +811,127 @@ void Lat::SiftDownLocked(Shard* shard, size_t i) {
 // Persistence
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// %-escapes the v2 state-codec delimiters so tagged values can be embedded
+/// in the `:`/`;`-delimited blocks codec (and so the codec survives any
+/// payload text).
+std::string EscapeStateText(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case ':': out += "%3A"; break;
+      case ';': out += "%3B"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeStateText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    const std::string_view code =
+        i + 2 < s.size() ? s.substr(i + 1, 2) : std::string_view();
+    if (code == "25") out += '%';
+    else if (code == "3A") out += ':';
+    else if (code == "3B") out += ';';
+    else return Status::ParseError("bad escape in state text '" +
+                                   std::string(s) + "'");
+    i += 2;
+  }
+  return out;
+}
+
+Result<int64_t> ParseStateInt(std::string_view s) {
+  const std::string text(s);
+  char* end = nullptr;
+  const int64_t v = std::strtoll(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text.empty()) {
+    return Status::ParseError("bad integer in LAT state: '" + text + "'");
+  }
+  return v;
+}
+
+Result<double> ParseStateDouble(std::string_view s) {
+  const std::string text(s);
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || text.empty()) {
+    return Status::ParseError("bad double in LAT state: '" + text + "'");
+  }
+  return v;
+}
+
+/// Kind-tagged rendering of an arbitrary Value for v2 state columns:
+/// N (null), B0/B1, I<decimal>, D<shortest round-trip double>,
+/// S<escaped text>. Unlike Value::ToString this is unambiguous per kind, so
+/// MIN/MAX/FIRST/LAST restore with their exact original kind.
+std::string EncodeTaggedValue(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      return "N";
+    case ValueKind::kBool:
+      return v.bool_value() ? "B1" : "B0";
+    case ValueKind::kInt:
+      return "I" + std::to_string(v.int_value());
+    case ValueKind::kDouble:
+      return "D" + common::FormatDoubleShortest(v.double_value());
+    case ValueKind::kString:
+      return "S" + EscapeStateText(v.string_value());
+  }
+  return "N";
+}
+
+Result<Value> DecodeTaggedValue(std::string_view s) {
+  if (s.empty()) return Status::ParseError("empty tagged value in LAT state");
+  const std::string_view payload = s.substr(1);
+  switch (s[0]) {
+    case 'N':
+      return Value::Null();
+    case 'B':
+      return Value::Bool(payload == "1");
+    case 'I': {
+      SQLCM_ASSIGN_OR_RETURN(const int64_t v, ParseStateInt(payload));
+      return Value::Int(v);
+    }
+    case 'D': {
+      SQLCM_ASSIGN_OR_RETURN(const double v, ParseStateDouble(payload));
+      return Value::Double(v);
+    }
+    case 'S': {
+      SQLCM_ASSIGN_OR_RETURN(std::string text, UnescapeStateText(payload));
+      return Value::String(std::move(text));
+    }
+    default:
+      return Status::ParseError("bad tagged value '" + std::string(s) +
+                                "' in LAT state");
+  }
+}
+
+std::vector<std::string_view> SplitStateField(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  for (;;) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
 Status Lat::PersistTo(storage::Table* table, int64_t timestamp_micros,
                       int64_t now_micros) const {
   const size_t width = table->schema().num_columns();
@@ -796,6 +949,33 @@ Status Lat::PersistTo(storage::Table* table, int64_t timestamp_micros,
   return Status::OK();
 }
 
+bool Lat::AdoptSeededRow(std::shared_ptr<LatRow> row, int64_t now_micros) {
+  const uint64_t hash = row->hash;
+  Shard& shard = ShardFor(hash);
+  {
+    std::lock_guard<common::SpinLatch> map_guard(shard.map_latch);
+    if (FindInShardLocked(shard, hash, row->group_key) != nullptr) {
+      return false;  // live data wins
+    }
+    row->next = std::move(shard.map[hash]);
+    shard.map[hash] = row;
+  }
+  total_rows_.fetch_add(1, std::memory_order_acq_rel);
+  if (spec_.max_rows > 0 || spec_.max_bytes > 0) {
+    Row ordering_key;
+    {
+      std::lock_guard<common::SpinLatch> row_guard(row->latch);
+      ordering_key = OrderingKeyLocked(*row, now_micros);
+      row->ordering_cache = ordering_key;
+    }
+    const size_t row_bytes =
+        spec_.max_bytes > 0 ? ApproxRowBytesLocked(*row) : 0;
+    MaintainHeap(&shard, row, std::move(ordering_key), row_bytes);
+    EvictOverBudget(now_micros, /*notify=*/false);
+  }
+  return true;
+}
+
 Status Lat::SeedFrom(const storage::Table& table, int64_t now_micros) {
   const size_t width = table.schema().num_columns();
   const bool with_timestamp = width == num_columns() + 1;
@@ -805,15 +985,42 @@ Status Lat::SeedFrom(const storage::Table& table, int64_t now_micros) {
         " columns; LAT '" + name() + "' expects " +
         std::to_string(num_columns()) + " (+1 optional timestamp)");
   }
-  // Locate a COUNT column if one exists (improves AVG reconstruction).
+  // The first non-aging COUNT column drives the seed count n for
+  // SUM/AVG/STDEV reconstruction (n = 1 when absent).
   int count_col = -1;
   for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
-    if (spec_.aggregates[a].func == LatAggFunc::kCount) {
+    if (spec_.aggregates[a].func == LatAggFunc::kCount &&
+        !spec_.aggregates[a].aging) {
       count_col = static_cast<int>(group_width() + a);
       break;
     }
   }
-  const bool bounded = spec_.max_rows > 0 || spec_.max_bytes > 0;
+  // For every STDEV aggregate, a same-attribute non-aging AVG (preferred)
+  // or SUM column recovers the first moment; without one the sum seeds 0.
+  // Either way sumsq is derived so the materialized STDEV value
+  // round-trips: variance = (sumsq - sum²/n)/(n-1) = s².
+  std::vector<int> stdev_source(spec_.aggregates.size(), -1);
+  std::vector<bool> stdev_source_is_avg(spec_.aggregates.size(), false);
+  for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+    if (spec_.aggregates[a].func != LatAggFunc::kStdev ||
+        spec_.aggregates[a].aging) {
+      continue;
+    }
+    for (size_t b = 0; b < spec_.aggregates.size(); ++b) {
+      const LatAggColumn& src = spec_.aggregates[b];
+      if (src.aging || src.attribute != spec_.aggregates[a].attribute) {
+        continue;
+      }
+      if (src.func == LatAggFunc::kAvg) {
+        stdev_source[a] = static_cast<int>(group_width() + b);
+        stdev_source_is_avg[a] = true;
+        break;  // AVG preferred; stop looking
+      }
+      if (src.func == LatAggFunc::kSum && stdev_source[a] < 0) {
+        stdev_source[a] = static_cast<int>(group_width() + b);
+      }
+    }
+  }
 
   std::optional<Row> after;
   std::vector<Row> keys, rows;
@@ -826,8 +1033,7 @@ Status Lat::SeedFrom(const storage::Table& table, int64_t now_micros) {
       Row group_key(persisted.begin(),
                     persisted.begin() + static_cast<long>(group_width()));
       auto row = std::make_shared<LatRow>();
-      const uint64_t hash = HashGroupKey(group_key);
-      row->hash = hash;
+      row->hash = HashGroupKey(group_key);
       row->group_key = std::move(group_key);
       row->aggs.resize(spec_.aggregates.size());
       int64_t seed_count = 1;
@@ -838,9 +1044,16 @@ Status Lat::SeedFrom(const storage::Table& table, int64_t now_micros) {
                                      .int_value());
       }
       for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+        const LatAggColumn& col = spec_.aggregates[a];
+        if (col.aging) {
+          // A materialized row holds only the windowed output value, not
+          // the block history; reconstruction would mislabel old data as
+          // current. v2 state snapshots (ImportState) restore these.
+          continue;
+        }
         const Value& v = persisted[group_width() + a];
         AggState& state = row->aggs[a];
-        switch (spec_.aggregates[a].func) {
+        switch (col.func) {
           case LatAggFunc::kCount:
             state.count = v.is_int() ? v.int_value() : 0;
             break;
@@ -854,11 +1067,24 @@ Status Lat::SeedFrom(const storage::Table& table, int64_t now_micros) {
                 v.is_numeric() ? v.AsDouble() * static_cast<double>(seed_count)
                                : 0;
             break;
-          case LatAggFunc::kStdev:
-            state.count = seed_count;  // variance history lost; STDEV ~ 0
-            state.sum = 0;
-            state.sumsq = 0;
+          case LatAggFunc::kStdev: {
+            state.count = seed_count;
+            double sum = 0;
+            if (stdev_source[a] >= 0) {
+              const Value& src = persisted[static_cast<size_t>(stdev_source[a])];
+              if (src.is_numeric()) {
+                sum = stdev_source_is_avg[a]
+                          ? src.AsDouble() * static_cast<double>(seed_count)
+                          : src.AsDouble();
+              }
+            }
+            const double s = v.is_numeric() ? v.AsDouble() : 0;
+            const double n = static_cast<double>(seed_count);
+            state.sum = sum;
+            state.sumsq =
+                seed_count >= 2 ? s * s * (n - 1) + sum * sum / n : sum * sum;
             break;
+          }
           case LatAggFunc::kMin:
           case LatAggFunc::kMax:
           case LatAggFunc::kFirst:
@@ -868,28 +1094,181 @@ Status Lat::SeedFrom(const storage::Table& table, int64_t now_micros) {
             break;
         }
       }
-      Shard& shard = ShardFor(hash);
-      {
-        std::lock_guard<common::SpinLatch> map_guard(shard.map_latch);
-        if (FindInShardLocked(shard, hash, row->group_key) != nullptr) {
-          continue;  // live data wins
-        }
-        row->next = std::move(shard.map[hash]);
-        shard.map[hash] = row;
+      AdoptSeededRow(std::move(row), now_micros);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Lat::StateColumnNames() const {
+  std::vector<std::string> names(
+      column_names_.begin(),
+      column_names_.begin() + static_cast<long>(group_width()));
+  for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+    const std::string& alias = column_names_[group_width() + a];
+    for (const char* part : {"#count", "#sum", "#sumsq", "#any", "#min",
+                             "#max", "#first", "#last", "#blocks"}) {
+      names.push_back(alias + part);
+    }
+  }
+  return names;
+}
+
+std::vector<ValueKind> Lat::StateColumnKinds() const {
+  std::vector<ValueKind> kinds(
+      column_kinds_.begin(),
+      column_kinds_.begin() + static_cast<long>(group_width()));
+  for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+    kinds.push_back(ValueKind::kInt);     // #count
+    kinds.push_back(ValueKind::kDouble);  // #sum
+    kinds.push_back(ValueKind::kDouble);  // #sumsq
+    kinds.push_back(ValueKind::kBool);    // #any
+    for (int i = 0; i < 5; ++i) {
+      kinds.push_back(ValueKind::kString);  // #min/#max/#first/#last/#blocks
+    }
+  }
+  return kinds;
+}
+
+Status Lat::ExportState(storage::Table* table,
+                        int64_t timestamp_micros) const {
+  const size_t state_width = group_width() + 9 * spec_.aggregates.size();
+  const size_t width = table->schema().num_columns();
+  const bool with_timestamp = width == state_width + 1;
+  if (!with_timestamp && width != state_width) {
+    return Status::InvalidArgument(
+        "table '" + table->name() + "' has " + std::to_string(width) +
+        " columns; LAT '" + name() + "' state records have " +
+        std::to_string(state_width) + " (+1 optional timestamp)");
+  }
+  std::vector<std::shared_ptr<LatRow>> lat_rows;
+  lat_rows.reserve(size());
+  for (size_t s = 0; s < shard_count_; ++s) {
+    const Shard& shard = shards_[s];
+    std::lock_guard<common::SpinLatch> map_guard(shard.map_latch);
+    for (const auto& [_, head] : shard.map) {
+      for (std::shared_ptr<LatRow> row = head; row != nullptr;
+           row = row->next) {
+        lat_rows.push_back(row);
       }
-      total_rows_.fetch_add(1, std::memory_order_acq_rel);
-      if (bounded) {
-        Row ordering_key;
-        {
-          std::lock_guard<common::SpinLatch> row_guard(row->latch);
-          ordering_key = OrderingKeyLocked(*row, now_micros);
-          row->ordering_cache = ordering_key;
+    }
+  }
+  for (const auto& row : lat_rows) {
+    Row record;
+    record.reserve(width);
+    {
+      std::lock_guard<common::SpinLatch> row_guard(row->latch);
+      record.insert(record.end(), row->group_key.begin(),
+                    row->group_key.end());
+      for (const AggState& state : row->aggs) {
+        record.push_back(Value::Int(state.count));
+        record.push_back(Value::Double(state.sum));
+        record.push_back(Value::Double(state.sumsq));
+        record.push_back(Value::Bool(state.any));
+        record.push_back(Value::String(EncodeTaggedValue(state.min)));
+        record.push_back(Value::String(EncodeTaggedValue(state.max)));
+        record.push_back(Value::String(EncodeTaggedValue(state.first)));
+        record.push_back(Value::String(EncodeTaggedValue(state.last)));
+        std::string blocks;
+        if (state.blocks != nullptr) {
+          for (const AgingBlock& block : *state.blocks) {
+            if (!blocks.empty()) blocks += ';';
+            blocks += std::to_string(block.block_start);
+            blocks += ':';
+            blocks += std::to_string(block.count);
+            blocks += ':';
+            blocks += common::FormatDoubleShortest(block.sum);
+            blocks += ':';
+            blocks += common::FormatDoubleShortest(block.sumsq);
+            blocks += ':';
+            blocks += block.any ? '1' : '0';
+            blocks += ':';
+            blocks += EncodeTaggedValue(block.min);
+            blocks += ':';
+            blocks += EncodeTaggedValue(block.max);
+          }
         }
-        const size_t row_bytes =
-            spec_.max_bytes > 0 ? ApproxRowBytesLocked(*row) : 0;
-        MaintainHeap(&shard, row, std::move(ordering_key), row_bytes);
-        EvictOverBudget(now_micros, /*notify=*/false);
+        record.push_back(Value::String(std::move(blocks)));
       }
+    }
+    if (with_timestamp) record.push_back(Value::Int(timestamp_micros));
+    SQLCM_RETURN_IF_ERROR(table->Insert(std::move(record)).status());
+  }
+  return Status::OK();
+}
+
+Status Lat::ImportState(const storage::Table& table, int64_t now_micros) {
+  const size_t state_width = group_width() + 9 * spec_.aggregates.size();
+  const size_t width = table.schema().num_columns();
+  const bool with_timestamp = width == state_width + 1;
+  if (!with_timestamp && width != state_width) {
+    return Status::InvalidArgument(
+        "table '" + table.name() + "' has " + std::to_string(width) +
+        " columns; LAT '" + name() + "' state records have " +
+        std::to_string(state_width) + " (+1 optional timestamp)");
+  }
+  std::optional<Row> after;
+  std::vector<Row> keys, rows;
+  for (;;) {
+    keys.clear();
+    rows.clear();
+    if (table.ScanBatch(after, 256, &keys, &rows) == 0) break;
+    after = keys.back();
+    for (Row& persisted : rows) {
+      Row group_key(persisted.begin(),
+                    persisted.begin() + static_cast<long>(group_width()));
+      auto row = std::make_shared<LatRow>();
+      row->hash = HashGroupKey(group_key);
+      row->group_key = std::move(group_key);
+      row->aggs.resize(spec_.aggregates.size());
+      for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+        const size_t base = group_width() + 9 * a;
+        AggState& state = row->aggs[a];
+        const Value& count_v = persisted[base];
+        const Value& sum_v = persisted[base + 1];
+        const Value& sumsq_v = persisted[base + 2];
+        const Value& any_v = persisted[base + 3];
+        state.count = count_v.is_int() ? count_v.int_value() : 0;
+        state.sum = sum_v.is_numeric() ? sum_v.AsDouble() : 0;
+        state.sumsq = sumsq_v.is_numeric() ? sumsq_v.AsDouble() : 0;
+        state.any = any_v.is_bool() && any_v.bool_value();
+        Value* const dest[4] = {&state.min, &state.max, &state.first,
+                                &state.last};
+        for (int i = 0; i < 4; ++i) {
+          const Value& cell = persisted[base + 4 + static_cast<size_t>(i)];
+          if (cell.is_null()) continue;
+          if (!cell.is_string()) {
+            return Status::ParseError("LAT '" + name() +
+                                      "' state: expected tagged value");
+          }
+          SQLCM_ASSIGN_OR_RETURN(*dest[i],
+                                 DecodeTaggedValue(cell.string_value()));
+        }
+        const Value& blocks_v = persisted[base + 8];
+        if (blocks_v.is_string() && !blocks_v.string_value().empty()) {
+          auto blocks = std::make_unique<std::deque<AgingBlock>>();
+          for (std::string_view part :
+               SplitStateField(blocks_v.string_value(), ';')) {
+            const auto fields = SplitStateField(part, ':');
+            if (fields.size() != 7) {
+              return Status::ParseError("LAT '" + name() +
+                                        "' state: bad aging-block record");
+            }
+            AgingBlock block;
+            SQLCM_ASSIGN_OR_RETURN(block.block_start,
+                                   ParseStateInt(fields[0]));
+            SQLCM_ASSIGN_OR_RETURN(block.count, ParseStateInt(fields[1]));
+            SQLCM_ASSIGN_OR_RETURN(block.sum, ParseStateDouble(fields[2]));
+            SQLCM_ASSIGN_OR_RETURN(block.sumsq, ParseStateDouble(fields[3]));
+            block.any = fields[4] == "1";
+            SQLCM_ASSIGN_OR_RETURN(block.min, DecodeTaggedValue(fields[5]));
+            SQLCM_ASSIGN_OR_RETURN(block.max, DecodeTaggedValue(fields[6]));
+            blocks->push_back(std::move(block));
+          }
+          state.blocks = std::move(blocks);
+        }
+      }
+      AdoptSeededRow(std::move(row), now_micros);
     }
   }
   return Status::OK();

@@ -115,6 +115,10 @@ struct LatStats {
   /// Heap maintenance skipped because the recomputed ordering key matched
   /// the previous one (common for MIN/MAX/FIRST orderings).
   obs::Counter heap_skips;
+  /// Oldest aging blocks merged to keep a block deque within the §4.3
+  /// ⌈2t/Δ⌉ bound (happens while shed_aging defers pruning; merged blocks
+  /// are always already outside the window, so reads are unaffected).
+  obs::Counter aging_merges;
   obs::LatencyHistogram upsert_micros;
 };
 
@@ -192,8 +196,10 @@ class Lat {
   LatStats& stats() const { return stats_; }
 
   /// Overload shedding (LoadGovernor level 3): while set, aging-block
-  /// pruning and block rotation are skipped on the insert path, so inserts
-  /// get cheaper and aging buckets coarsen until pressure drops.
+  /// pruning is deferred on the insert path (rotation still runs, so fresh
+  /// data is never mislabelled into an expired block and reads stay
+  /// correct). Expired blocks accumulate up to the ⌈2t/Δ⌉ cap, past which
+  /// the oldest pair merges (counted by LatStats::aging_merges).
   void set_shed_aging(bool shed) {
     shed_aging_.store(shed, std::memory_order_relaxed);
   }
@@ -208,11 +214,43 @@ class Lat {
   common::Status PersistTo(storage::Table* table, int64_t timestamp_micros,
                            int64_t now_micros) const;
 
-  /// Seeds rows from previously persisted values (restart continuity).
-  /// Aggregate state is reconstructed approximately: COUNT/SUM/MIN/MAX/
-  /// FIRST/LAST exactly, AVG via an available COUNT column (count 1
-  /// otherwise), STDEV resets to 0. Aging history is not reconstructed.
+  /// Seeds rows from previously persisted *materialized* values (legacy v1
+  /// snapshots / user tables). Reconstruction is documented and
+  /// deterministic but lossy:
+  ///   * COUNT/SUM/MIN/MAX/FIRST/LAST seed exactly from their columns;
+  ///   * the first non-aging COUNT column, when present, drives the seed
+  ///     count `n` for SUM/AVG/STDEV (n = 1 when absent);
+  ///   * AVG seeds sum = avg·n;
+  ///   * STDEV seeds moments so the materialized value round-trips:
+  ///     sum from a same-attribute non-aging AVG (avg·n) or SUM column
+  ///     when one exists (0 otherwise), sumsq = s²(n−1) + sum²/n;
+  ///   * aging aggregates are NOT reconstructed (their windowed history is
+  ///     not present in a materialized row) — use the v2 state snapshot
+  ///     (ExportState/ImportState) for lossless restarts.
   common::Status SeedFrom(const storage::Table& table, int64_t now_micros);
+
+  // -- Raw-state persistence (v2 snapshots; lossless restart) -----------------
+
+  /// Schema of the v2 state record: the group columns, then for every
+  /// aggregate column `A` the raw moments `A#count` (INT), `A#sum`,
+  /// `A#sumsq` (DOUBLE), `A#any` (BOOL), `A#min`, `A#max`, `A#first`,
+  /// `A#last` (STRING, kind-tagged codec) and `A#blocks` (STRING, the
+  /// aging-block deque codec; empty for non-aging aggregates).
+  std::vector<std::string> StateColumnNames() const;
+  std::vector<common::ValueKind> StateColumnKinds() const;
+
+  /// Appends one state record per group row to `table` (schema:
+  /// StateColumnNames + trailing INT timestamp column when the table is
+  /// one column wider). Lossless: together with ImportState every
+  /// aggregate — including STDEV and mid-window aging variants — restores
+  /// bit-exactly.
+  common::Status ExportState(storage::Table* table,
+                             int64_t timestamp_micros) const;
+
+  /// Seeds rows from an ExportState table, restoring the raw moments and
+  /// aging-block deques exactly. Rows whose group already exists live are
+  /// skipped (live data wins), matching SeedFrom.
+  common::Status ImportState(const storage::Table& table, int64_t now_micros);
 
  private:
   struct AgingBlock {
@@ -290,6 +328,10 @@ class Lat {
   common::Row GroupKeyFor(const void* record) const;
   void FoldValue(AggState* state, const LatAggColumn& col, common::Value v,
                  int64_t now_micros);
+  /// Links a reconstructed row (from SeedFrom/ImportState) into its shard
+  /// unless the group already exists live, then runs the bounded-size
+  /// bookkeeping. Returns false when live data won.
+  bool AdoptSeededRow(std::shared_ptr<LatRow> row, int64_t now_micros);
   common::Value AggValue(const AggState& state, const LatAggColumn& col,
                          int64_t now_micros) const;
   common::Row MaterializeLocked(const LatRow& row, int64_t now_micros) const;
@@ -333,6 +375,11 @@ class Lat {
   EvictCallback evict_callback_;
 
   size_t shard_count_ = 1;  // power of two
+  /// Hard cap on a per-aggregate aging-block deque: when rotation would
+  /// exceed it the two oldest blocks merge (§4.3 bound ⌈2t/Δ⌉; the +3 slack
+  /// guarantees merged blocks are already outside the window). 0 when the
+  /// spec has no aging aggregates.
+  size_t max_aging_blocks_ = 0;
   std::unique_ptr<Shard[]> shards_;
 
   /// Serializes cross-shard eviction and Reset; never acquired while any

@@ -258,19 +258,37 @@ Result<std::unique_ptr<storage::Table>> MonitorEngine::MakeLatStagingTable(
   return std::make_unique<storage::Table>(0, std::move(schema));
 }
 
+Result<std::unique_ptr<storage::Table>> MonitorEngine::MakeLatStateStagingTable(
+    const Lat& lat) const {
+  std::vector<std::string> cols = lat.StateColumnNames();
+  std::vector<ValueKind> kinds = lat.StateColumnKinds();
+  cols.push_back("persist_ts");
+  kinds.push_back(ValueKind::kInt);
+  std::vector<catalog::Column> columns;
+  columns.reserve(cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    columns.push_back({cols[i], ColumnTypeForKind(kinds[i])});
+  }
+  SQLCM_ASSIGN_OR_RETURN(
+      auto schema, catalog::TableSchema::Create(lat.name() + "_checkpoint",
+                                                std::move(columns), {}));
+  return std::make_unique<storage::Table>(0, std::move(schema));
+}
+
 Status MonitorEngine::CheckpointLat(std::string_view lat_name,
                                     const std::string& file_path) {
   Lat* lat = FindLat(lat_name);
   if (lat == nullptr) {
     return Status::NotFound("LAT '" + std::string(lat_name) + "' not found");
   }
-  SQLCM_ASSIGN_OR_RETURN(auto staging, MakeLatStagingTable(*lat));
+  SQLCM_ASSIGN_OR_RETURN(auto staging, MakeLatStateStagingTable(*lat));
   const int64_t now = db_->clock()->NowMicros();
-  SQLCM_RETURN_IF_ERROR(lat->PersistTo(staging.get(), now, now));
+  SQLCM_RETURN_IF_ERROR(lat->ExportState(staging.get(), now));
   int retries = 0;
   Status status = storage::WriteTableCsvWithRetry(
       *staging, file_path, options_.persist_attempts,
-      options_.persist_backoff_micros, db_->clock(), &retries);
+      options_.persist_backoff_micros, db_->clock(), &retries,
+      storage::kSnapshotVersionV2);
   if (retries > 0) {
     metrics_.persist_retries.Inc(static_cast<uint64_t>(retries));
   }
@@ -284,6 +302,30 @@ Status MonitorEngine::RestoreLat(std::string_view lat_name,
   if (lat == nullptr) {
     return Status::NotFound("LAT '" + std::string(lat_name) + "' not found");
   }
+  const int64_t now = db_->clock()->NowMicros();
+  const auto note_fallback = [&](const storage::SnapshotLoadInfo& info) {
+    if (!info.used_fallback) return;
+    metrics_.persist_fallbacks.Inc();
+    RecordError(Status::IOError("restored LAT '" + std::string(lat_name) +
+                                "' from fallback snapshot '" + file_path +
+                                ".bak'; primary rejected: " +
+                                info.primary_error));
+  };
+  // v2 first: load against the raw-state schema and accept only when the
+  // file that actually passed verification is tagged v2 (the version check
+  // disambiguates bodies whose arity happens to coincide).
+  {
+    SQLCM_ASSIGN_OR_RETURN(auto staging, MakeLatStateStagingTable(*lat));
+    storage::SnapshotLoadInfo info;
+    Status status =
+        storage::LoadTableCsv(staging.get(), file_path, nullptr, &info);
+    if (status.ok() && info.version == storage::kSnapshotVersionV2) {
+      note_fallback(info);
+      return lat->ImportState(*staging, now);
+    }
+  }
+  // v1 / legacy headerless CSV: materialized rows, seeded with the
+  // documented lossy semantics (Lat::SeedFrom).
   SQLCM_ASSIGN_OR_RETURN(auto staging, MakeLatStagingTable(*lat));
   storage::SnapshotLoadInfo info;
   Status status =
@@ -292,14 +334,8 @@ Status MonitorEngine::RestoreLat(std::string_view lat_name,
     RecordError(status);
     return status;
   }
-  if (info.used_fallback) {
-    metrics_.persist_fallbacks.Inc();
-    RecordError(Status::IOError("restored LAT '" + std::string(lat_name) +
-                                "' from fallback snapshot '" + file_path +
-                                ".bak'; primary rejected: " +
-                                info.primary_error));
-  }
-  return lat->SeedFrom(*staging, db_->clock()->NowMicros());
+  note_fallback(info);
+  return lat->SeedFrom(*staging, now);
 }
 
 // ---------------------------------------------------------------------------

@@ -98,14 +98,21 @@ class MonitorEngine final : public engine::MonitorHooks,
   common::Status SeedLat(std::string_view lat_name,
                          const std::string& table_name);
 
-  /// Crash-safe file checkpoint of a LAT: persists through a transient
-  /// staging table into a checksummed atomic snapshot (storage/table_io),
-  /// retrying transient write failures per Options::persist_attempts.
+  /// Crash-safe file checkpoint of a LAT: exports the raw aggregation
+  /// state (moments + aging blocks) through a transient staging table into
+  /// a checksummed atomic v2 snapshot (storage/table_io), retrying
+  /// transient write failures per Options::persist_attempts. Lossless:
+  /// RestoreLat reproduces every aggregate — including STDEV and
+  /// mid-window aging variants — bit-exactly.
   common::Status CheckpointLat(std::string_view lat_name,
                                const std::string& file_path);
-  /// Restores a LAT from a CheckpointLat snapshot. A corrupt or truncated
-  /// primary snapshot falls back to the rotated `.bak` copy; the recovery is
-  /// counted (robustness.persist_fallbacks) and reported via the error ring.
+  /// Restores a LAT from a CheckpointLat snapshot, negotiating the format:
+  /// v2 snapshots restore raw state exactly (Lat::ImportState); v1 and
+  /// legacy headerless CSV snapshots seed from materialized values with
+  /// the documented lossy semantics (Lat::SeedFrom). A corrupt or
+  /// truncated primary snapshot falls back to the rotated `.bak` copy; the
+  /// recovery is counted (robustness.persist_fallbacks) and reported via
+  /// the error ring.
   common::Status RestoreLat(std::string_view lat_name,
                             const std::string& file_path);
 
@@ -234,8 +241,13 @@ class MonitorEngine final : public engine::MonitorHooks,
   /// (detailed timing, trace, per-LAT aging shed) and metrics.
   void ApplyShedLevel(int old_level, int new_level);
   /// Builds the transient (non-catalog) staging table used by
-  /// CheckpointLat/RestoreLat: LAT columns + trailing persist_ts.
+  /// v1 snapshots and RestoreLat's legacy path: LAT columns + trailing
+  /// persist_ts.
   common::Result<std::unique_ptr<storage::Table>> MakeLatStagingTable(
+      const Lat& lat) const;
+  /// Builds the transient staging table for v2 raw-state snapshots:
+  /// Lat::StateColumnNames + trailing persist_ts.
+  common::Result<std::unique_ptr<storage::Table>> MakeLatStateStagingTable(
       const Lat& lat) const;
 
   // Query/transaction registries.

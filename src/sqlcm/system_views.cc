@@ -74,6 +74,7 @@ SystemViews::SystemViews(MonitorEngine* monitor, engine::Database* db)
                                     {"evictions", 'i'},
                                     {"latch_acquisitions", 'i'},
                                     {"latch_contention", 'i'},
+                                    {"aging_merges", 'i'},
                                     {"upsert_count", 'i'},
                                     {"upsert_p50_us", 'd'},
                                     {"upsert_p95_us", 'd'},
@@ -255,6 +256,8 @@ void SystemViews::RefreshLatStats(storage::Table* table) {
         Value::Int(static_cast<int64_t>(stats.latch_acquisitions.value())));
     row.push_back(
         Value::Int(static_cast<int64_t>(stats.latch_contention.value())));
+    row.push_back(
+        Value::Int(static_cast<int64_t>(stats.aging_merges.value())));
     row.push_back(
         Value::Int(static_cast<int64_t>(stats.upsert_micros.count())));
     row.push_back(Value::Double(pct.p50));

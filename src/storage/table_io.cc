@@ -30,7 +30,6 @@ using common::Value;
 namespace {
 
 constexpr std::string_view kSnapshotMagic = "#sqlcm-snapshot";
-constexpr int kSnapshotVersion = 1;
 
 std::string RowToCsv(const Row& row) {
   std::string line;
@@ -94,9 +93,11 @@ bool ReadCsvRecord(std::istream& in, std::string* record) {
 
 /// Fully parses and validates a snapshot (or legacy plain-CSV) file into
 /// rows matching `table`'s schema. Nothing is inserted here, so a corrupt
-/// file can be rejected wholesale and a fallback tried.
+/// file can be rejected wholesale and a fallback tried. `*version_out`
+/// reports the container version that was read.
 Status ParseSnapshotFile(const Table& table, const std::string& path,
-                         std::vector<Row>* out) {
+                         std::vector<Row>* out, int* version_out) {
+  *version_out = kSnapshotVersionLegacyCsv;
   if (FaultRegistry::Get()->Fire(kFaultSnapshotRead)) {
     return Status::IOError("fault injected: read of '" + path + "' failed");
   }
@@ -119,10 +120,11 @@ Status ParseSnapshotFile(const Table& table, const std::string& path,
                     &version, &crc, &len) != 3) {
       return Status::IOError("'" + path + "' has a malformed snapshot header");
     }
-    if (version != kSnapshotVersion) {
+    if (version < kSnapshotVersionV1 || version > kSnapshotVersionV2) {
       return Status::IOError("'" + path + "' has unsupported snapshot version " +
                              std::to_string(version));
     }
+    *version_out = version;
     std::ostringstream rest;
     rest << in.rdbuf();
     body = rest.str();
@@ -186,7 +188,12 @@ Status ParseSnapshotFile(const Table& table, const std::string& path,
 
 }  // namespace
 
-Status WriteTableCsv(const Table& table, const std::string& path) {
+Status WriteTableCsv(const Table& table, const std::string& path,
+                     int version) {
+  if (version < kSnapshotVersionV1 || version > kSnapshotVersionV2) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version));
+  }
   const FaultKind fault = FaultRegistry::Get()->FireKind(kFaultSnapshotWrite);
   if (fault == FaultKind::kIOError) {
     // Failure before any byte reaches disk; destination left untouched.
@@ -196,7 +203,7 @@ Status WriteTableCsv(const Table& table, const std::string& path) {
   std::string body = TableToCsvBody(table);
   char header[64];
   std::snprintf(header, sizeof(header), "%s v=%d crc=%08x len=%zu\n",
-                std::string(kSnapshotMagic).c_str(), kSnapshotVersion,
+                std::string(kSnapshotMagic).c_str(), version,
                 common::Crc32(body), body.size());
 
   const std::string tmp = path + ".tmp";
@@ -248,7 +255,8 @@ Status WriteTableCsv(const Table& table, const std::string& path) {
 
 Status WriteTableCsvWithRetry(const Table& table, const std::string& path,
                               int attempts, int64_t backoff_micros,
-                              common::Clock* clock, int* retries) {
+                              common::Clock* clock, int* retries,
+                              int version) {
   if (retries != nullptr) *retries = 0;
   Status status;
   int64_t backoff = backoff_micros;
@@ -258,22 +266,42 @@ Status WriteTableCsvWithRetry(const Table& table, const std::string& path,
       if (clock != nullptr && backoff > 0) clock->SleepMicros(backoff);
       backoff *= 2;
     }
-    status = WriteTableCsv(table, path);
+    status = WriteTableCsv(table, path, version);
     if (status.ok()) return status;
   }
   return status;
 }
 
+common::Result<int> PeekSnapshotVersion(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("'" + path + "' is empty (missing header)");
+  }
+  if (!common::StartsWith(line, kSnapshotMagic)) {
+    return kSnapshotVersionLegacyCsv;
+  }
+  int version = -1;
+  if (std::sscanf(line.c_str(), "#sqlcm-snapshot v=%d", &version) != 1) {
+    return Status::IOError("'" + path + "' has a malformed snapshot header");
+  }
+  return version;
+}
+
 Status LoadTableCsv(Table* table, const std::string& path, size_t* skipped,
                     SnapshotLoadInfo* info) {
   std::vector<Row> rows;
-  Status status = ParseSnapshotFile(*table, path, &rows);
+  int version = kSnapshotVersionLegacyCsv;
+  Status status = ParseSnapshotFile(*table, path, &rows, &version);
   if (!status.ok()) {
     // Primary unusable; fall back to the last good rotated snapshot.
     const std::string bak = path + ".bak";
     std::vector<Row> bak_rows;
     if (::access(bak.c_str(), F_OK) == 0 &&
-        ParseSnapshotFile(*table, bak, &bak_rows).ok()) {
+        ParseSnapshotFile(*table, bak, &bak_rows, &version).ok()) {
       rows = std::move(bak_rows);
       if (info != nullptr) {
         info->used_fallback = true;
@@ -283,6 +311,7 @@ Status LoadTableCsv(Table* table, const std::string& path, size_t* skipped,
       return status;
     }
   }
+  if (info != nullptr) info->version = version;
   size_t skipped_local = 0;
   for (Row& row : rows) {
     auto result = table->Insert(std::move(row));

@@ -32,11 +32,24 @@ inline constexpr char kFaultSnapshotWrite[] = "storage.snapshot.write";
 inline constexpr char kFaultSnapshotRead[] = "storage.snapshot.read";
 inline constexpr char kFaultSyncLogWrite[] = "storage.synclog.write";
 
-/// Writes the full table to `path` as a checksummed snapshot. The write is
-/// atomic: content goes to `path.tmp` (fsync) and is renamed over `path`
-/// only when complete, so a failure at any point leaves the previous
-/// snapshot intact. An existing `path` is rotated to `path.bak` first.
-common::Status WriteTableCsv(const Table& table, const std::string& path);
+/// Snapshot container versions. The container layout (header + CRC + CSV
+/// body) is identical for both; the version tags what the *rows* mean so a
+/// reader can negotiate the record schema before parsing:
+///   v1  materialized output rows (LAT columns + trailing timestamp)
+///   v2  raw aggregation-state rows (moments + aging blocks; see
+///       Lat::ExportState and docs/ROBUSTNESS.md)
+/// Version 0 denotes a legacy plain-CSV file without the magic header.
+inline constexpr int kSnapshotVersionLegacyCsv = 0;
+inline constexpr int kSnapshotVersionV1 = 1;
+inline constexpr int kSnapshotVersionV2 = 2;
+
+/// Writes the full table to `path` as a checksummed snapshot tagged with
+/// `version`. The write is atomic: content goes to `path.tmp` (fsync) and
+/// is renamed over `path` only when complete, so a failure at any point
+/// leaves the previous snapshot intact. An existing `path` is rotated to
+/// `path.bak` first.
+common::Status WriteTableCsv(const Table& table, const std::string& path,
+                             int version = kSnapshotVersionV1);
 
 /// WriteTableCsv with bounded retry/backoff for transient failures:
 /// up to `attempts` tries, sleeping `backoff_micros` (doubling each retry)
@@ -45,14 +58,26 @@ common::Status WriteTableCsvWithRetry(const Table& table,
                                       const std::string& path, int attempts,
                                       int64_t backoff_micros,
                                       common::Clock* clock,
-                                      int* retries = nullptr);
+                                      int* retries = nullptr,
+                                      int version = kSnapshotVersionV1);
 
-/// Outcome detail for LoadTableCsv: whether the last-good fallback snapshot
-/// was used and why the primary was rejected.
+/// Outcome detail for LoadTableCsv: which snapshot version was read,
+/// whether the last-good fallback snapshot was used and why the primary
+/// was rejected.
 struct SnapshotLoadInfo {
   bool used_fallback = false;
   std::string primary_error;  // set when used_fallback is true
+  /// Version of the file actually loaded (kSnapshotVersionLegacyCsv for a
+  /// headerless plain-CSV file).
+  int version = kSnapshotVersionLegacyCsv;
 };
+
+/// Reads just the snapshot header of `path` and reports its version
+/// (kSnapshotVersionLegacyCsv when the magic header is absent). Used for
+/// version negotiation: a reader whose record schema depends on the
+/// version peeks before building the staging schema. IOError when the file
+/// cannot be opened or is empty.
+common::Result<int> PeekSnapshotVersion(const std::string& path);
 
 /// Loads rows from a snapshot (or plain CSV) file into `table`. Column
 /// order in the file must match the table schema. The whole file is

@@ -2,12 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
+#include <optional>
+#include <string>
 #include <thread>
+#include <tuple>
+#include <vector>
 
+#include "catalog/schema.h"
 #include "common/random.h"
+#include "common/value.h"
 #include "storage/catalog.h"
+#include "storage/table.h"
 
 namespace sqlcm::cm {
 namespace {
@@ -453,6 +462,223 @@ TEST(LatTest, ConcurrentInsertsWithEviction) {
   EXPECT_LE(lat->size(), 16u);
   EXPECT_EQ(lat->Snapshot(0).size(), lat->size());
   EXPECT_GE(evictions.load(), kThreads * kPerThread - 16u);
+}
+
+// ---------------------------------------------------------------------------
+// v2 raw-state snapshots (ExportState / ImportState)
+// ---------------------------------------------------------------------------
+
+catalog::ColumnType StateTypeFor(common::ValueKind kind) {
+  switch (kind) {
+    case common::ValueKind::kInt: return catalog::ColumnType::kInt;
+    case common::ValueKind::kDouble: return catalog::ColumnType::kDouble;
+    case common::ValueKind::kBool: return catalog::ColumnType::kBool;
+    default: return catalog::ColumnType::kString;
+  }
+}
+
+std::unique_ptr<storage::Table> MakeStateTable(const Lat& lat) {
+  const std::vector<std::string> names = lat.StateColumnNames();
+  const std::vector<common::ValueKind> kinds = lat.StateColumnKinds();
+  std::vector<catalog::Column> columns;
+  for (size_t i = 0; i < names.size(); ++i) {
+    columns.push_back({names[i], StateTypeFor(kinds[i])});
+  }
+  columns.push_back({"persist_ts", catalog::ColumnType::kInt});
+  auto schema = catalog::TableSchema::Create("state", std::move(columns), {});
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  return std::make_unique<storage::Table>(0, std::move(*schema));
+}
+
+std::unique_ptr<storage::Table> MakeV1Table(const Lat& lat) {
+  std::vector<catalog::Column> columns;
+  for (size_t i = 0; i < lat.num_columns(); ++i) {
+    columns.push_back(
+        {lat.column_names()[i], StateTypeFor(lat.column_kinds()[i])});
+  }
+  auto schema = catalog::TableSchema::Create("v1", std::move(columns), {});
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  return std::make_unique<storage::Table>(0, std::move(*schema));
+}
+
+std::vector<Row> AllTableRows(const storage::Table& table) {
+  std::optional<Row> after;
+  std::vector<Row> keys, rows, out;
+  for (;;) {
+    keys.clear();
+    rows.clear();
+    if (table.ScanBatch(after, 256, &keys, &rows) == 0) break;
+    after = keys.back();
+    out.insert(out.end(), rows.begin(), rows.end());
+  }
+  return out;
+}
+
+/// Order-independent rendering of a table's rows. Doubles render with the
+/// shortest exact spelling, so string equality here is bit equality.
+std::string RenderRows(const std::vector<Row>& rows) {
+  std::vector<std::string> lines;
+  for (const Row& row : rows) {
+    std::string line;
+    for (const Value& v : row) {
+      line += v.ToString();
+      line += '|';
+    }
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+LatSpec StateSpec(bool aging, size_t shards) {
+  LatSpec spec = BasicSpec();
+  spec.name = "S";
+  spec.shard_count = shards;
+  if (aging) {
+    spec.aggregates.push_back({LatAggFunc::kCount, "", "AgN", true});
+    spec.aggregates.push_back({LatAggFunc::kSum, "Duration", "AgSum", true});
+    spec.aggregates.push_back({LatAggFunc::kAvg, "Duration", "AgAvg", true});
+    spec.aggregates.push_back({LatAggFunc::kStdev, "Duration", "AgSd", true});
+    spec.aggregates.push_back({LatAggFunc::kMin, "Duration", "AgMin", true});
+    spec.aggregates.push_back({LatAggFunc::kMax, "Duration", "AgMax", true});
+    spec.aging_window_micros = 10'000;
+    spec.aging_block_micros = 1'000;
+  }
+  return spec;
+}
+
+class LatStateSnapshotTest
+    : public ::testing::TestWithParam<std::tuple<bool, size_t>> {};
+
+// Every aggregate function — including STDEV and mid-window aging variants —
+// must read identically after a state round-trip, and a second checkpoint
+// of the restored LAT must reproduce the first snapshot exactly.
+TEST_P(LatStateSnapshotTest, CheckpointRestoreCheckpointIsIdempotent) {
+  const bool aging = std::get<0>(GetParam());
+  const size_t shards = std::get<1>(GetParam());
+  const LatSpec spec = StateSpec(aging, shards);
+  auto lat = *Lat::Create(spec);
+  common::Random rng(7);
+  int64_t now = 0;
+  for (int i = 0; i < 400; ++i) {
+    auto q = MakeQuery("sig" + std::to_string(rng.Uniform(7)),
+                       rng.NextDouble() * 100 - 50, "t" + std::to_string(i));
+    lat->Insert(&q, now);
+    now += static_cast<int64_t>(rng.Uniform(700));
+  }
+
+  auto first = MakeStateTable(*lat);
+  ASSERT_TRUE(lat->ExportState(first.get(), 42).ok());
+  EXPECT_EQ(first->row_count(), lat->size());
+
+  auto restored = *Lat::Create(spec);
+  ASSERT_TRUE(restored->ImportState(*first, now).ok());
+  EXPECT_EQ(restored->size(), lat->size());
+
+  for (int k = 0; k < 7; ++k) {
+    const Row key = {Value::String("sig" + std::to_string(k))};
+    Row a, b;
+    const bool in_orig = lat->LookupByKey(key, now, &a);
+    ASSERT_EQ(in_orig, restored->LookupByKey(key, now, &b));
+    if (!in_orig) continue;
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t c = 0; c < a.size(); ++c) {
+      EXPECT_EQ(a[c].ToString(), b[c].ToString())
+          << "column " << lat->column_names()[c];
+    }
+  }
+
+  auto second = MakeStateTable(*restored);
+  ASSERT_TRUE(restored->ExportState(second.get(), 42).ok());
+  EXPECT_EQ(RenderRows(AllTableRows(*first)), RenderRows(AllTableRows(*second)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AgingAndShards, LatStateSnapshotTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Values<size_t>(1, 8)));
+
+// The tagged-value codec must survive payloads containing its own
+// delimiters, quotes and the literal "NULL".
+TEST(LatTest, StateRoundTripPreservesHostileStrings) {
+  LatSpec spec = BasicSpec();
+  auto lat = *Lat::Create(spec);
+  auto q1 = MakeQuery("s", 1.0, "a:b;c%d");
+  auto q2 = MakeQuery("s", 2.0, "NULL");
+  lat->Insert(&q1, 0);
+  lat->Insert(&q2, 0);
+
+  auto table = MakeStateTable(*lat);
+  ASSERT_TRUE(lat->ExportState(table.get(), 0).ok());
+  auto restored = *Lat::Create(spec);
+  ASSERT_TRUE(restored->ImportState(*table, 0).ok());
+  Row row;
+  ASSERT_TRUE(restored->LookupByKey({Value::String("s")}, 0, &row));
+  EXPECT_EQ(row[7].string_value(), "a:b;c%d");  // FIRST
+  EXPECT_EQ(row[8].string_value(), "NULL");     // LAST (the string, not SQL NULL)
+}
+
+// Legacy v1 (materialized-row) seeding: STDEV now round-trips through the
+// documented moment reconstruction instead of resetting to 0, and the
+// seeded moments keep evolving consistently.
+TEST(LatTest, SeedFromReconstructsStdevFromMaterializedRow) {
+  auto lat = *Lat::Create(BasicSpec());
+  for (const double d : {1.0, 3.0, 5.0}) {
+    auto q = MakeQuery("s", d);
+    lat->Insert(&q, 0);
+  }
+  auto table = MakeV1Table(*lat);
+  ASSERT_TRUE(lat->PersistTo(table.get(), 0, 0).ok());
+
+  auto restored = *Lat::Create(BasicSpec());
+  ASSERT_TRUE(restored->SeedFrom(*table, 0).ok());
+  Row row;
+  ASSERT_TRUE(restored->LookupByKey({Value::String("s")}, 0, &row));
+  EXPECT_EQ(row[1].int_value(), 3);
+  EXPECT_DOUBLE_EQ(row[2].double_value(), 3.0);  // AVG
+  EXPECT_DOUBLE_EQ(row[3].double_value(), 9.0);  // SUM
+  EXPECT_DOUBLE_EQ(row[4].double_value(), 2.0);  // STDEV of {1,3,5}
+
+  auto q = MakeQuery("s", 3.0);
+  restored->Insert(&q, 0);
+  ASSERT_TRUE(restored->LookupByKey({Value::String("s")}, 0, &row));
+  EXPECT_EQ(row[1].int_value(), 4);
+  EXPECT_DOUBLE_EQ(row[2].double_value(), 3.0);
+  // {1,3,5,3}: sumsq 44, sum 12 -> variance (44 - 144/4)/3 = 8/3.
+  EXPECT_DOUBLE_EQ(row[4].double_value(), std::sqrt(8.0 / 3.0));
+}
+
+// Shed-aging regression: fresh inserts must stay visible while pruning is
+// deferred (rotation keeps running), and the block deque stays bounded by
+// merging expired blocks instead of growing one block per Δ.
+TEST(LatTest, ShedAgingStaysReadableAndBounded) {
+  LatSpec spec;
+  spec.name = "Shed";
+  spec.group_by = {{"Logical_Signature", "Sig"}};
+  spec.aggregates = {{LatAggFunc::kCount, "", "AgN", true},
+                     {LatAggFunc::kSum, "Duration", "AgSum", true}};
+  spec.aging_window_micros = 10'000;
+  spec.aging_block_micros = 1'000;
+  auto lat = *Lat::Create(spec);
+  lat->set_shed_aging(true);
+  auto q = MakeQuery("s", 1.0);
+  for (int64_t k = 0; k < 200; ++k) lat->Insert(&q, k * 1000);
+
+  Row row;
+  ASSERT_TRUE(lat->LookupByKey({Value::String("s")}, 199'000, &row));
+  // Window t = 10Δ covers the inserts in blocks 189Δ..199Δ: 11 of them.
+  EXPECT_EQ(row[1].int_value(), 11);
+  EXPECT_DOUBLE_EQ(row[2].double_value(), 11.0);
+  EXPECT_GT(lat->stats().aging_merges.value(), 0u);
+
+  lat->set_shed_aging(false);
+  lat->Insert(&q, 200'000);
+  ASSERT_TRUE(lat->LookupByKey({Value::String("s")}, 200'000, &row));
+  EXPECT_EQ(row[1].int_value(), 11);
 }
 
 }  // namespace

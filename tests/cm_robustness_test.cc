@@ -420,6 +420,64 @@ TEST_F(LatCheckpointTest, CheckpointRetriesTransientFaultsAndCountsThem) {
   EXPECT_EQ(writer.monitor.metrics().persist_retries.value(), 1u);
 }
 
+TEST_F(LatCheckpointTest, RestoreLoadsLegacyV1Snapshot) {
+  // A server upgraded to raw-state (v2) checkpoints must still load
+  // snapshots written by the previous release: v1 materialized rows in the
+  // old {group, aggregates..., persist_ts} schema, seeded through the
+  // documented lossy path (COUNT drives the seed count; AVG reconstructs
+  // the sum).
+  auto schema = catalog::TableSchema::Create(
+      "legacy",
+      {{"Sig", catalog::ColumnType::kString},
+       {"Avg_Duration", catalog::ColumnType::kDouble},
+       {"N", catalog::ColumnType::kInt},
+       {"persist_ts", catalog::ColumnType::kInt}},
+      {});
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  Table legacy(0, std::move(*schema));
+  ASSERT_TRUE(legacy
+                  .Insert({Value::String("legacy_sig"), Value::Double(2.5),
+                           Value::Int(4), Value::Int(99)})
+                  .ok());
+  ASSERT_TRUE(
+      WriteTableCsv(legacy, path_, storage::kSnapshotVersionV1).ok());
+
+  Node reader;
+  ASSERT_TRUE(reader.monitor.RestoreLat("Duration_LAT", path_).ok());
+  EXPECT_EQ(reader.LatSize(), 1u);
+  Lat* lat = reader.monitor.FindLat("Duration_LAT");
+  ASSERT_NE(lat, nullptr);
+  Row row;
+  ASSERT_TRUE(lat->LookupByKey({Value::String("legacy_sig")}, 0, &row));
+  EXPECT_DOUBLE_EQ(row[1].double_value(), 2.5);  // AVG preserved
+  EXPECT_EQ(row[2].int_value(), 4);              // COUNT drives the seed
+  // A clean v1 load is version negotiation, not a .bak recovery.
+  EXPECT_EQ(reader.monitor.metrics().persist_fallbacks.value(), 0u);
+}
+
+TEST_F(LatCheckpointTest, CorruptV2HeaderFallsBackToBak) {
+  Node writer;
+  writer.RunDistinctQueries(2);
+  ASSERT_TRUE(writer.monitor.CheckpointLat("Duration_LAT", path_).ok());
+  writer.RunDistinctQueries(2, /*offset=*/2);  // now 4 groups
+  ASSERT_TRUE(writer.monitor.CheckpointLat("Duration_LAT", path_).ok());
+
+  // Mangle the snapshot header's version tag ("v=2" -> "v=7"); the body is
+  // untouched, so only header validation can reject this file.
+  std::string content = ReadFile(path_);
+  const size_t tag = content.find("v=2");
+  ASSERT_NE(tag, std::string::npos) << content.substr(0, 64);
+  content[tag + 2] = '7';
+  WriteFile(path_, content);
+
+  Node reader;
+  ASSERT_TRUE(reader.monitor.RestoreLat("Duration_LAT", path_).ok());
+  EXPECT_EQ(reader.LatSize(), 2u);  // the 2-group .bak, not garbage
+  EXPECT_EQ(reader.monitor.metrics().persist_fallbacks.value(), 1u);
+  EXPECT_NE(reader.monitor.last_error().find("fallback"), std::string::npos)
+      << reader.monitor.last_error();
+}
+
 // ---------------------------------------------------------------------------
 // Rule quarantine in the live engine
 // ---------------------------------------------------------------------------

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
 #include "common/random.h"
 #include "common/string_util.h"
 
@@ -162,6 +167,64 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_pair(Value::Null(), Value::Int(0)),
         std::make_pair(Value::Bool(false), Value::Bool(true)),
         std::make_pair(Value::Null(), Value::Null())));
+
+// FormatDoubleShortest is the codec every snapshot double passes through;
+// it must reproduce the exact bits after a text round-trip (strtod) for
+// the whole double range, including denormals and signed zero.
+TEST(FormatDoubleShortestTest, RoundTripsExactBits) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          0.1,
+                          1.0 / 3.0,
+                          -2.5,
+                          1e-300,
+                          -1e300,
+                          1.7976931348623157e308,   // DBL_MAX
+                          2.2250738585072014e-308,  // DBL_MIN
+                          5e-324,                   // smallest denormal
+                          -5e-324,
+                          6.62607015e-34,
+                          123456789.123456789,
+                          -99999999999999999.0};
+  for (const double d : cases) {
+    const std::string text = FormatDoubleShortest(d);
+    const double parsed = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(std::memcmp(&parsed, &d, sizeof(double)), 0)
+        << "'" << text << "' did not round-trip " << d;
+  }
+}
+
+TEST(FormatDoubleShortestTest, RoundTripsRandomBitPatterns) {
+  Random rng(20260806);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t bits = rng.Next();
+    double d;
+    std::memcpy(&d, &bits, sizeof(double));
+    if (std::isnan(d)) continue;  // all NaNs collapse to "nan" by design
+    const std::string text = FormatDoubleShortest(d);
+    const double parsed = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(std::memcmp(&parsed, &d, sizeof(double)), 0)
+        << "bit pattern " << bits << " ('" << text << "')";
+  }
+}
+
+TEST(FormatDoubleShortestTest, NonFiniteSpellingsParseBack) {
+  EXPECT_EQ(FormatDoubleShortest(std::numeric_limits<double>::infinity()),
+            "inf");
+  EXPECT_EQ(FormatDoubleShortest(-std::numeric_limits<double>::infinity()),
+            "-inf");
+  EXPECT_EQ(FormatDoubleShortest(std::nan("")), "nan");
+  EXPECT_TRUE(std::isinf(std::strtod("inf", nullptr)));
+  EXPECT_TRUE(std::isnan(std::strtod("nan", nullptr)));
+}
+
+TEST(FormatDoubleShortestTest, PrefersShortSpellings) {
+  // Values representable in <= 15 significant digits keep their natural
+  // short form (no 17-digit blow-up like 0.10000000000000001).
+  EXPECT_EQ(Value::Double(0.1).ToString(), "0.1");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::Double(1e20).ToString(), "1e+20");
+}
 
 }  // namespace
 }  // namespace sqlcm::common
