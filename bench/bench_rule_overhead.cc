@@ -20,10 +20,16 @@
 // baseline, every config's overhead numbers and the monitor's own per-hook
 // latency percentiles (from MonitorMetrics), so CI can diff runs.
 //
-//   build/bench/bench_rule_overhead [--quick]
+// A tracing sweep re-measures one config with the causal span plane off,
+// sampled (1%) and always-on, emitting a `BENCH_JSON
+// {"bench":"rule_overhead_tracing",...}` row so CI can assert that sampled
+// tracing stays within 10% of the tracing-off hook path.
+//
+//   build/bench/bench_rule_overhead [--quick] [--metrics-out <path>]
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "engine/database.h"
@@ -137,7 +143,19 @@ void PrintBenchJson(int64_t num_queries, double baseline_us,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool quick = false;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--metrics-out <path>]\n", argv[0]);
+      return 1;
+    }
+  }
 
   engine::Database db;
   workload::TpchConfig tpch;
@@ -258,6 +276,82 @@ int main(int argc, char** argv) {
               degraded.wall_ms, degraded.overhead_pct,
               degraded.added_us_per_query,
               static_cast<int>(cm::LoadGovernor::kLevelSampleEvents));
+
+  // Tracing sweep: one mid-size config re-measured with the causal span
+  // plane off, sampled at 1%, and always-on. Sampled tracing must stay
+  // within 10% of the tracing-off hook path (acceptance bar for leaving
+  // sampling enabled in production).
+  struct TracingResult {
+    const char* mode;
+    double rate;
+    double wall_ms;
+    double added_us_per_query;
+    uint64_t spans_recorded;
+    uint64_t profiled_events;
+  };
+  const Config tracing_config = quick ? Config{100, 1} : Config{250, 1};
+  if (!setup_rules(tracing_config)) return 1;
+  run_once();  // warm the fresh LATs so mode "off" isn't charged for it
+  std::vector<TracingResult> tracing;
+  std::printf("\ntracing sweep (%d rules, %d conds):\n",
+              tracing_config.num_rules, tracing_config.num_conditions);
+  std::printf("%10s %12s %14s %14s\n", "mode", "wall(ms)", "us/query added",
+              "spans");
+  for (const auto& [mode, rate, enabled] :
+       {std::tuple<const char*, double, bool>{"off", 0.0, false},
+        {"sampled", 0.01, true},
+        {"always", 1.0, true}}) {
+    monitor.span_ring()->set_enabled(enabled);
+    monitor.set_span_sampling(rate);
+    const uint64_t spans_before = monitor.span_ring()->total_recorded();
+    const uint64_t events_before =
+        monitor.metrics().profile_events.value();
+    const double us = run_once();
+    tracing.push_back(
+        {mode, rate, us / 1000.0,
+         (us - baseline_us) / static_cast<double>(num_queries),
+         monitor.span_ring()->total_recorded() - spans_before,
+         monitor.metrics().profile_events.value() - events_before});
+    std::printf("%10s %12.1f %14.3f %14llu\n", mode, us / 1000.0,
+                (us - baseline_us) / static_cast<double>(num_queries),
+                static_cast<unsigned long long>(tracing.back().spans_recorded));
+  }
+  monitor.span_ring()->set_enabled(false);
+  monitor.set_span_sampling(1.0);
+  teardown_rules(tracing_config);
+  const double sampled_vs_off_pct =
+      tracing[0].wall_ms > 0
+          ? 100.0 * (tracing[1].wall_ms - tracing[0].wall_ms) /
+                tracing[0].wall_ms
+          : 0.0;
+  std::printf("sampled tracing vs off: %+.1f%% wall time\n",
+              sampled_vs_off_pct);
+  {
+    std::string out = "BENCH_JSON {\"bench\":\"rule_overhead_tracing\"";
+    out += ",\"rules\":" + std::to_string(tracing_config.num_rules);
+    out += ",\"conds\":" + std::to_string(tracing_config.num_conditions);
+    out += ",\"modes\":[";
+    for (size_t i = 0; i < tracing.size(); ++i) {
+      const TracingResult& t = tracing[i];
+      if (i > 0) out += ",";
+      out += std::string("{\"mode\":\"") + t.mode + "\"";
+      out += ",\"sample_rate\":" + JsonNum(t.rate);
+      out += ",\"wall_ms\":" + JsonNum(t.wall_ms);
+      out += ",\"added_us_per_query\":" + JsonNum(t.added_us_per_query);
+      out += ",\"spans_recorded\":" + std::to_string(t.spans_recorded);
+      out += ",\"profiled_events\":" + std::to_string(t.profiled_events) + "}";
+    }
+    out += "],\"sampled_vs_off_pct\":" + JsonNum(sampled_vs_off_pct) + "}";
+    std::printf("%s\n", out.c_str());
+  }
+
+  if (!metrics_out.empty()) {
+    if (auto s = monitor.ExportMetricsNow(metrics_out); !s.ok()) {
+      std::fprintf(stderr, "metrics export: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics exposition written to %s\n", metrics_out.c_str());
+  }
 
   std::printf("\nshape checks (paper §6.2.1): overhead grows with #rules; "
               "condition complexity has little impact; per-(rule,query) cost "

@@ -3,11 +3,25 @@
 #ifndef SQLCM_COMMON_STRING_UTIL_H_
 #define SQLCM_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace sqlcm::common {
+
+/// 64-bit FNV-1a hash. Used wherever a bounded structure (trace ring slots,
+/// span payloads) must identify an unbounded string (qualifiers, LAT names)
+/// without storing it. Inline so lock-free code paths can use it without a
+/// library dependency; stable across runs by construction (no seed).
+inline constexpr uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
 
 /// ASCII-lowercased copy.
 std::string ToLower(std::string_view s);

@@ -30,7 +30,10 @@ class ErrorRing {
     const uint64_t seq = total_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.push_back(Entry{seq, ts_micros, std::move(message)});
-    while (entries_.size() > capacity_) entries_.pop_front();
+    while (entries_.size() > capacity_) {
+      entries_.pop_front();
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   /// Oldest-first copy of the retained entries.
@@ -46,11 +49,17 @@ class ErrorRing {
   }
 
   uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  /// Entries evicted from the ring to respect `capacity_`; together with
+  /// total() this tells an operator how much error history has been lost.
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
   size_t capacity() const { return capacity_; }
 
  private:
   const size_t capacity_;
   std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> dropped_{0};
   mutable std::mutex mutex_;
   std::deque<Entry> entries_;
 };

@@ -106,6 +106,73 @@ void MetricsRegistry::RegisterHistogram(std::string name,
   entries_.push_back(std::move(e));
 }
 
+std::string PrometheusMetricName(std::string_view name,
+                                 std::string_view prefix) {
+  std::string out(prefix);
+  out.reserve(prefix.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string PrometheusEscapeHelp(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpPrometheus(std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(entries_.size() * 128);
+  for (const Entry& e : entries_) {
+    const std::string help = PrometheusEscapeHelp(e.name);
+    if (e.counter != nullptr) {
+      const std::string name = PrometheusMetricName(e.name, prefix) + "_total";
+      out += "# HELP " + name + " " + help + "\n";
+      out += "# TYPE " + name + " counter\n";
+      out += name + " " + std::to_string(e.counter->value()) + "\n";
+    } else if (e.gauge != nullptr) {
+      const std::string name = PrometheusMetricName(e.name, prefix);
+      out += "# HELP " + name + " " + help + "\n";
+      out += "# TYPE " + name + " gauge\n";
+      out += name + " " + std::to_string(e.gauge->value()) + "\n";
+    } else if (e.histogram != nullptr) {
+      const std::string name = PrometheusMetricName(e.name, prefix);
+      out += "# HELP " + name + " " + help + " (microseconds)\n";
+      out += "# TYPE " + name + " histogram\n";
+      // One read of the bucket array feeds both the cumulative series and
+      // the +Inf/_count samples, so `le="+Inf"` always equals `_count` and
+      // the series is monotone regardless of concurrent Record() calls.
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+        cumulative += e.histogram->bucket_count(i);
+        const int64_t upper = LatencyHistogram::BucketUpperBound(i);
+        const std::string le = (i + 1 == LatencyHistogram::kNumBuckets)
+                                   ? "+Inf"
+                                   : std::to_string(upper);
+        out += name + "_bucket{le=\"" + le + "\"} " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += name + "_sum " + std::to_string(e.histogram->sum_micros()) + "\n";
+      out += name + "_count " + std::to_string(cumulative) + "\n";
+    }
+  }
+  return out;
+}
+
 std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<Sample> out;

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace sqlcm::obs {
@@ -77,6 +78,12 @@ class LatencyHistogram {
   static int64_t BucketLowerBound(size_t i);
   static int64_t BucketUpperBound(size_t i);
 
+  /// Raw per-bucket count (exposition needs the buckets themselves, not
+  /// just percentiles).
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
   /// Not atomic with respect to concurrent Record(); benches only.
   void Reset();
 
@@ -107,6 +114,15 @@ class MetricsRegistry {
   /// <name>.count/.p50_us/.p95_us/.p99_us/.max_us.
   std::vector<Sample> Snapshot() const;
 
+  /// Prometheus text exposition (version 0.0.4) of the whole inventory.
+  /// Counters get a `_total` suffix, histograms emit cumulative
+  /// `_bucket{le="..."}` series (upper bounds from BucketUpperBound, in µs)
+  /// plus `_sum`/`_count`. Registered names are sanitized with
+  /// PrometheusMetricName under `prefix`. The `+Inf` bucket and `_count`
+  /// are both derived from one read of the bucket array, so the series is
+  /// internally consistent even against concurrent writers.
+  std::string DumpPrometheus(std::string_view prefix = "sqlcm_") const;
+
  private:
   struct Entry {
     std::string name;
@@ -117,6 +133,14 @@ class MetricsRegistry {
   mutable std::mutex mutex_;
   std::vector<Entry> entries_;
 };
+
+/// `prefix` + `name` with every character outside [a-zA-Z0-9_:] replaced by
+/// '_' (registry names use '.' separators, which Prometheus forbids).
+std::string PrometheusMetricName(std::string_view name,
+                                 std::string_view prefix = "sqlcm_");
+
+/// Escapes a HELP-line value: backslash -> `\\`, newline -> `\n`.
+std::string PrometheusEscapeHelp(std::string_view text);
 
 }  // namespace sqlcm::obs
 

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "common/string_util.h"
+
 namespace sqlcm::obs {
 
 TraceRing::TraceRing(size_t capacity) {
@@ -35,6 +37,8 @@ void TraceRing::Record(uint8_t kind, std::string_view qualifier,
 
   slot.ts_micros.store(ts_micros, std::memory_order_relaxed);
   slot.dispatch_micros.store(dispatch_micros, std::memory_order_relaxed);
+  slot.qualifier_hash.store(common::Fnv1a64(qualifier),
+                            std::memory_order_relaxed);
   slot.rules_fired.store(rules_fired, std::memory_order_relaxed);
   slot.kind.store(kind, std::memory_order_relaxed);
 
@@ -59,12 +63,16 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
   for (uint64_t ticket = head - count; ticket < head; ++ticket) {
     const Slot& slot = slots_[ticket & mask_];
     const uint64_t expect = 2 * ticket + 2;
-    if (slot.stamp.load(std::memory_order_acquire) != expect) continue;
+    if (slot.stamp.load(std::memory_order_acquire) != expect) {
+      snapshot_drops_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
 
     TraceEvent ev;
     ev.seq = ticket;
     ev.ts_micros = slot.ts_micros.load(std::memory_order_relaxed);
     ev.dispatch_micros = slot.dispatch_micros.load(std::memory_order_relaxed);
+    ev.qualifier_hash = slot.qualifier_hash.load(std::memory_order_relaxed);
     ev.rules_fired = slot.rules_fired.load(std::memory_order_relaxed);
     ev.kind = slot.kind.load(std::memory_order_relaxed);
     const size_t len = std::min<size_t>(
@@ -78,7 +86,10 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
     // The acquire fence keeps the payload loads above from being delayed
     // past this stamp load.
     std::atomic_thread_fence(std::memory_order_acquire);
-    if (slot.stamp.load(std::memory_order_acquire) != expect) continue;
+    if (slot.stamp.load(std::memory_order_acquire) != expect) {
+      snapshot_drops_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     ev.qualifier.assign(reinterpret_cast<const char*>(words), len);
     out.push_back(std::move(ev));
   }

@@ -29,6 +29,7 @@ struct TraceEvent {
   int64_t ts_micros = 0;      // event timestamp
   uint8_t kind = 0;           // sqlcm::cm::EventKind, stored untyped
   std::string qualifier;      // truncated to kMaxQualifierBytes
+  uint64_t qualifier_hash = 0;  // FNV-1a of the *full* qualifier
   uint32_t rules_fired = 0;   // rules whose actions ran for this event
   int64_t dispatch_micros = 0;  // wall time spent dispatching the event
 };
@@ -54,6 +55,13 @@ class TraceRing {
   uint64_t total_recorded() const {
     return head_.load(std::memory_order_relaxed);
   }
+  /// Slots a Snapshot() had to discard because a concurrent writer touched
+  /// them mid-read (torn) or still owned them (mid-write). Cumulative across
+  /// all snapshots; surfaced in sqlcm_engine_stats so a reader can tell how
+  /// lossy its view of a busy ring is.
+  uint64_t snapshot_drops() const {
+    return snapshot_drops_.load(std::memory_order_relaxed);
+  }
   size_t capacity() const { return capacity_; }
 
  private:
@@ -61,6 +69,7 @@ class TraceRing {
     std::atomic<uint64_t> stamp{0};  // 0 = empty; odd = writing; even = done
     std::atomic<int64_t> ts_micros{0};
     std::atomic<int64_t> dispatch_micros{0};
+    std::atomic<uint64_t> qualifier_hash{0};
     std::atomic<uint32_t> rules_fired{0};
     std::atomic<uint8_t> kind{0};
     std::atomic<uint8_t> qualifier_len{0};
@@ -76,6 +85,7 @@ class TraceRing {
   std::unique_ptr<Slot[]> slots_;
   std::atomic<uint64_t> head_{0};    // next ticket to hand out
   std::atomic<bool> enabled_{false};
+  mutable std::atomic<uint64_t> snapshot_drops_{0};
 };
 
 }  // namespace sqlcm::obs

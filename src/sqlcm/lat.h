@@ -120,6 +120,9 @@ struct LatStats {
   /// are always already outside the window, so reads are unaffected).
   obs::Counter aging_merges;
   obs::LatencyHistogram upsert_micros;
+  // Span-profiling attribution (sampled traces only; see sqlcm_profile).
+  obs::Counter upsert_spans;
+  obs::Counter upsert_nanos;
 };
 
 class Lat {

@@ -1,6 +1,7 @@
 #include "sqlcm/monitor_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "common/fault.h"
@@ -10,6 +11,29 @@
 #include "storage/table_io.h"
 
 namespace sqlcm::cm {
+
+/// Per-thread state of the trace currently being assembled. One frame per
+/// thread: a root FireEvent activates it, nested/deferred FireEvents inherit
+/// it (same trace id, parent span propagated), and the root finalizes it by
+/// offering the buffered spans to the slow-trace table. Durations use the
+/// raw steady clock (nanoseconds) rather than common::Clock: the db clock
+/// has microsecond resolution and may be mocked, while span self-times need
+/// real elapsed time at sub-microsecond grain.
+struct TraceFrame {
+  const void* engine = nullptr;  // frames never cross engines
+  bool active = false;
+  bool sampled = false;       // child spans + profiling for this trace
+  uint64_t trace_id = 0;      // event seq + 1 (0 = "no trace")
+  uint64_t parent_span = 0;   // parent for the next span opened
+  uint8_t depth = 0;          // tree depth for the next event span
+  /// Rolling clock for gapless attribution: each condition/action window
+  /// starts where the previous one ended, so per-rule self-times sum to the
+  /// enclosing event span by construction (±5% reconciliation criterion).
+  int64_t chain_ns = 0;
+  int64_t total_nanos = 0;    // sum of event-span durations in this trace
+  std::vector<obs::Span> spans;  // buffered for SlowTraceTable::Offer
+  bool overflowed = false;
+};
 
 using common::Result;
 using common::Row;
@@ -23,15 +47,38 @@ namespace {
 /// Deferred side-effect events (paper §5, rule evaluation order): actions
 /// that raise further events — LAT eviction being the one in-thread case —
 /// are queued and processed only after the current rule batch completes.
+/// The causing action's span id and depth travel with the eviction so the
+/// deferred event reconstructs under its true parent in the trace tree.
 struct PendingEviction {
   Lat* lat;
   Row row;
+  uint64_t parent_span = 0;
+  uint8_t depth = 0;
 };
 
 int& RuleDepth() {
   thread_local int depth = 0;
   return depth;
 }
+
+TraceFrame& CurrentTraceFrame() {
+  // Value-type thread_local: destroyed at thread exit.
+  thread_local TraceFrame frame;
+  return frame;
+}
+
+int64_t SteadyNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Span-buffer cap per trace (slow-trace exemplars stay bounded even for
+/// pathological cascades; overflow is counted in profile.trace_overflows).
+constexpr size_t kMaxSpansPerTrace = 2048;
+
+/// Fixed-point scale for the span sampling threshold.
+constexpr uint32_t kSpanSampleScale = 1u << 20;
 
 /// Per-thread stack of in-flight query records (statements nest through
 /// EXEC). Start and terminal hooks run on the same session thread, so this
@@ -135,8 +182,11 @@ MonitorEngine::MonitorEngine(engine::Database* db, Options options)
               [this](const TimerRecord& timer) { HandleTimerAlarm(timer); }),
       rule_table_(std::make_shared<const RuleTable>()),
       trace_(options.trace_capacity),
+      spans_(options.span_capacity),
+      slow_traces_(options.slow_trace_k),
       governor_(options.governor) {
   detailed_timing_.store(options.detailed_timing, std::memory_order_relaxed);
+  set_span_sampling(options.span_sample_rate);
   governor_.SetLevelListener([this](int old_level, int new_level) {
     ApplyShedLevel(old_level, new_level);
   });
@@ -146,9 +196,21 @@ MonitorEngine::MonitorEngine(engine::Database* db, Options options)
     views_ = std::make_unique<SystemViews>(this, db_);
   }
   if (options_.start_timer_thread) timers_.Start();
+  if (!options_.metrics_export_path.empty() &&
+      options_.metrics_export_interval_secs > 0) {
+    exporter_thread_ = std::thread([this] { ExporterLoop(); });
+  }
 }
 
 MonitorEngine::~MonitorEngine() {
+  if (exporter_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(exporter_mutex_);
+      exporter_stop_ = true;
+    }
+    exporter_cv_.notify_all();
+    exporter_thread_.join();
+  }
   timers_.Stop();
   db_->set_monitor_hooks(nullptr);
   if (views_ != nullptr) {
@@ -283,12 +345,28 @@ Status MonitorEngine::CheckpointLat(std::string_view lat_name,
   }
   SQLCM_ASSIGN_OR_RETURN(auto staging, MakeLatStateStagingTable(*lat));
   const int64_t now = db_->clock()->NowMicros();
+  // Checkpoint I/O span: standalone (trace_id 0) — checkpoints run from
+  // operator/maintenance threads, outside any event dispatch.
+  const bool spans_on = spans_.enabled();
+  const int64_t cp_start = spans_on ? SteadyNanos() : 0;
   SQLCM_RETURN_IF_ERROR(lat->ExportState(staging.get(), now));
   int retries = 0;
   Status status = storage::WriteTableCsvWithRetry(
       *staging, file_path, options_.persist_attempts,
       options_.persist_backoff_micros, db_->clock(), &retries,
       storage::kSnapshotVersionV2);
+  if (spans_on) {
+    const int64_t dur = SteadyNanos() - cp_start;
+    obs::Span span;
+    span.span_id = NewSpanId();
+    span.ref = common::Fnv1a64(lat->lower_name());
+    span.start_nanos = cp_start;
+    span.duration_nanos = dur;
+    span.kind = obs::SpanKind::kCheckpoint;
+    spans_.Record(span);
+    metrics_.profile_checkpoint_spans.Inc();
+    metrics_.profile_checkpoint_nanos.Inc(static_cast<uint64_t>(dur));
+  }
   if (retries > 0) {
     metrics_.persist_retries.Inc(static_cast<uint64_t>(retries));
   }
@@ -897,6 +975,47 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
   // One clock read per event; rules reuse it (hot path, Figure 2).
   base_ctx->now_micros = db_->clock()->NowMicros();
 
+  // Causal span plane: open an event span. The first FireEvent on this
+  // thread roots a new trace (id = event seq + 1, sampling decided once per
+  // trace); nested/deferred dispatches attach under the inherited parent.
+  TraceFrame* frame = nullptr;
+  bool trace_root = false;
+  uint64_t event_span = 0;
+  uint64_t saved_parent = 0;
+  uint8_t event_depth = 0;
+  int64_t span_start = 0;
+  if (spans_.enabled()) {
+    frame = &CurrentTraceFrame();
+    if (!frame->active || frame->engine != this) {
+      frame->engine = this;
+      frame->active = true;
+      trace_root = true;
+      frame->trace_id = seq + 1;  // 0 means "no trace" in span payloads
+      frame->sampled = SampleTrace(seq);
+      frame->parent_span = 0;
+      frame->depth = 0;
+      frame->total_nanos = 0;
+      frame->spans.clear();
+      frame->overflowed = false;
+    }
+    event_span = NewSpanId();
+    saved_parent = frame->parent_span;
+    event_depth = frame->depth;
+    frame->parent_span = event_span;
+    if (frame->depth < 255) ++frame->depth;
+    span_start = SteadyNanos();
+    frame->chain_ns = span_start;
+  } else {
+    // Spans were disabled mid-trace (operator or governor): drop the stale
+    // frame so the next enablement starts a fresh trace.
+    TraceFrame& stale = CurrentTraceFrame();
+    if (stale.active && stale.engine == this) {
+      stale.active = false;
+      stale.spans.clear();
+    }
+  }
+  TraceFrame* profiled = (frame != nullptr && frame->sampled) ? frame : nullptr;
+
   ++RuleDepth();
   for (const auto& rule : rules) {
     if (!rule->event.qualifier.empty() && rule->event.qualifier != qualifier) {
@@ -905,7 +1024,7 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
     if (rule->iterate_classes.empty()) {
       // No unbound classes: evaluate directly against the shared context
       // (RunRule resets the per-evaluation LAT-row cache itself).
-      if (RunRule(*rule, base_ctx)) ++fired_here;
+      if (RunRule(*rule, base_ctx, profiled)) ++fired_here;
       continue;
     }
 
@@ -1014,7 +1133,7 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
             ctx.Bind(cls, ptr);
           }
         }
-        if (RunRule(*rule, &ctx)) ++fired_here;
+        if (RunRule(*rule, &ctx, profiled)) ++fired_here;
         size_t l = 0;
         for (; l < lists.size(); ++l) {
           if (++idx[l] < lists[l].size()) break;
@@ -1025,6 +1144,28 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
     }
     // Release record ownership promptly (capacity is retained).
     scratch.Clear();
+  }
+  if (frame != nullptr) {
+    const int64_t end = SteadyNanos();
+    obs::Span span;
+    span.trace_id = frame->trace_id;
+    span.span_id = event_span;
+    span.parent_id = saved_parent;
+    span.ref = common::Fnv1a64(qualifier);
+    span.start_nanos = span_start;
+    span.duration_nanos = end - span_start;
+    span.kind = obs::SpanKind::kEvent;
+    span.detail = static_cast<uint8_t>(kind);
+    span.depth = event_depth;
+    EmitSpan(frame, span);
+    frame->total_nanos += span.duration_nanos;
+    if (frame->sampled) {
+      metrics_.profile_events.Inc();
+      metrics_.profile_dispatch_nanos.Inc(
+          static_cast<uint64_t>(span.duration_nanos));
+    }
+    frame->parent_span = saved_parent;
+    frame->depth = event_depth;
   }
   if (tracing) {
     // The clock read here is trace-gated; the untraced path stays at one
@@ -1048,15 +1189,30 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
       }
       PendingEviction eviction = std::move(pending.front());
       pending.erase(pending.begin());
+      // Re-seat the trace frame under the action span that caused this
+      // eviction, so the deferred event parents correctly in the tree.
+      if (frame != nullptr && frame->active) {
+        frame->parent_span = eviction.parent_span;
+        frame->depth = eviction.depth;
+      }
       EvalContext ctx;
       ctx.evicted_lat = eviction.lat;
       ctx.evicted_row = &eviction.row;
       FireEvent(EventKind::kLatEvict, eviction.lat->lower_name(), &ctx);
     }
   }
+  if (trace_root) {
+    // Root finalization: the whole cascade (including deferred events) has
+    // dispatched; offer the assembled trace as a slow-event exemplar.
+    slow_traces_.Offer(frame->trace_id, frame->total_nanos, frame->spans);
+    if (frame->overflowed) metrics_.profile_trace_overflows.Inc();
+    frame->active = false;
+    frame->spans.clear();
+  }
 }
 
-bool MonitorEngine::RunRule(const CompiledRule& rule, EvalContext* ctx) {
+bool MonitorEngine::RunRule(const CompiledRule& rule, EvalContext* ctx,
+                            TraceFrame* frame) {
   // Quarantine gate: a tripped breaker takes the rule out of dispatch until
   // its cooldown admits a half-open probe (or ReinstateRule intervenes).
   if (!rule.breaker.Allow(ctx->now_micros)) {
@@ -1064,12 +1220,10 @@ bool MonitorEngine::RunRule(const CompiledRule& rule, EvalContext* ctx) {
     return false;
   }
   rule.stats.evaluations.Inc();
+  bool cond_error = false;
+  bool cond_pass = true;
   if (rule.use_fast_condition) {
-    if (!EvalFastAtoms(rule.fast_atoms, *ctx)) {
-      rule.stats.condition_false.Inc();
-      rule.breaker.OnSuccess(ctx->now_micros);
-      return false;
-    }
+    cond_pass = EvalFastAtoms(rule.fast_atoms, *ctx);
   } else if (rule.condition != nullptr) {
     ctx->lat_rows.clear();
     ctx->lat_row_missing = false;
@@ -1077,22 +1231,81 @@ bool MonitorEngine::RunRule(const CompiledRule& rule, EvalContext* ctx) {
     if (!pass.ok()) {
       rule.stats.errors.Inc();
       RecordError(pass.status());
-      NoteRuleFailure(rule, ctx->now_micros);
-      return false;
+      cond_error = true;
+      cond_pass = false;
+    } else {
+      cond_pass = *pass;
     }
-    if (!*pass) {
-      rule.stats.condition_false.Inc();
-      rule.breaker.OnSuccess(ctx->now_micros);
-      return false;
-    }
+  }
+  if (frame != nullptr) {
+    // Close the condition window against the trace's rolling clock (the
+    // window opened where the previous rule's — or the event span's — read
+    // ended, so nothing in the dispatch loop escapes attribution).
+    const int64_t now = SteadyNanos();
+    const int64_t dur = now - frame->chain_ns;
+    obs::Span span;
+    span.trace_id = frame->trace_id;
+    span.span_id = NewSpanId();
+    span.parent_id = frame->parent_span;
+    span.ref = rule.id;
+    span.start_nanos = frame->chain_ns;
+    span.duration_nanos = dur;
+    span.kind = obs::SpanKind::kCondition;
+    span.depth = frame->depth;
+    EmitSpan(frame, span);
+    rule.stats.profiled_evals.Inc();
+    rule.stats.condition_nanos.Inc(static_cast<uint64_t>(dur));
+    frame->chain_ns = now;
+  }
+  if (cond_error) {
+    NoteRuleFailure(rule, ctx->now_micros);
+    return false;
+  }
+  if (!cond_pass) {
+    rule.stats.condition_false.Inc();
+    rule.breaker.OnSuccess(ctx->now_micros);
+    return false;
   }
   metrics_.rules_fired.Inc();
   rule.stats.fires.Inc();
   const bool timed = detailed_timing_.load(std::memory_order_relaxed);
-  const int64_t action_start = timed ? db_->clock()->NowMicros() : 0;
+  const int64_t action_start =
+      (timed && frame == nullptr) ? db_->clock()->NowMicros() : 0;
   bool any_action_failed = false;
+  int64_t actions_nanos = 0;
   for (const CompiledAction& action : rule.actions) {
-    Status status = ExecuteAction(action, ctx);
+    uint64_t action_span = 0;
+    uint64_t action_parent = 0;
+    if (frame != nullptr) {
+      // Allocate the action span id up front: LAT-upsert child spans and
+      // any eviction events the upsert defers parent onto it.
+      action_span = NewSpanId();
+      action_parent = frame->parent_span;
+      frame->parent_span = action_span;
+    }
+    Status status = ExecuteAction(action, ctx, frame);
+    if (frame != nullptr) {
+      const int64_t now = SteadyNanos();
+      const int64_t dur = now - frame->chain_ns;
+      obs::Span span;
+      span.trace_id = frame->trace_id;
+      span.span_id = action_span;
+      span.parent_id = action_parent;
+      span.ref = rule.id;
+      span.start_nanos = frame->chain_ns;
+      span.duration_nanos = dur;
+      span.kind = obs::SpanKind::kAction;
+      span.detail = static_cast<uint8_t>(action.kind);
+      span.depth = frame->depth;
+      EmitSpan(frame, span);
+      const auto k = static_cast<size_t>(action.kind);
+      metrics_.action_kind_spans[k].Inc();
+      metrics_.action_kind_nanos[k].Inc(static_cast<uint64_t>(dur));
+      rule.stats.action_nanos.Inc(static_cast<uint64_t>(dur));
+      actions_nanos += dur;
+      frame->chain_ns = now;
+      frame->parent_span = action_parent;
+    }
     if (!status.ok()) {
       rule.stats.errors.Inc();
       RecordError(status);
@@ -1100,7 +1313,11 @@ bool MonitorEngine::RunRule(const CompiledRule& rule, EvalContext* ctx) {
     }
   }
   if (timed) {
-    rule.stats.action_micros.Record(db_->clock()->NowMicros() - action_start);
+    // When profiled, the span windows already measured the actions — reuse
+    // them instead of reading the db clock twice more.
+    rule.stats.action_micros.Record(
+        frame != nullptr ? actions_nanos / 1000
+                         : db_->clock()->NowMicros() - action_start);
   }
   if (any_action_failed) {
     NoteRuleFailure(rule, ctx->now_micros);
@@ -1139,12 +1356,16 @@ void MonitorEngine::ApplyShedLevel(int old_level, int new_level) {
              old_level >= L::kLevelNoDetailedTiming) {
     set_detailed_timing(timing_before_shed_.load(std::memory_order_relaxed));
   }
-  // Event trace (level 2).
+  // Event trace + span plane (level 2): both are diagnostics rings fed on
+  // the dispatch path, so they shed (and recover) together.
   if (new_level >= L::kLevelNoTrace && old_level < L::kLevelNoTrace) {
     trace_before_shed_.store(trace_.enabled(), std::memory_order_relaxed);
     trace_.set_enabled(false);
+    spans_before_shed_.store(spans_.enabled(), std::memory_order_relaxed);
+    spans_.set_enabled(false);
   } else if (new_level < L::kLevelNoTrace && old_level >= L::kLevelNoTrace) {
     trace_.set_enabled(trace_before_shed_.load(std::memory_order_relaxed));
+    spans_.set_enabled(spans_before_shed_.load(std::memory_order_relaxed));
   }
   // LAT aging maintenance (level 3).
   const bool shed_aging = new_level >= L::kLevelShedAging;
@@ -1189,7 +1410,7 @@ Status MonitorEngine::PersistRowToTable(
 }
 
 Status MonitorEngine::ExecuteAction(const CompiledAction& action,
-                                    EvalContext* ctx) {
+                                    EvalContext* ctx, TraceFrame* frame) {
   switch (action.kind) {
     case ActionKind::kInsert: {
       const void* record = ctx->Bound(action.lat->spec().object_class);
@@ -1198,7 +1419,29 @@ Status MonitorEngine::ExecuteAction(const CompiledAction& action,
                                 std::string(MonitoredClassName(
                                     action.lat->spec().object_class)));
       }
-      if (detailed_timing_.load(std::memory_order_relaxed)) {
+      if (frame != nullptr) {
+        // Profiled path: a LAT-upsert child span under the action span,
+        // plus nanosecond attribution to the LAT itself. Evictions the
+        // upsert defers capture the action span as their parent.
+        const int64_t start = SteadyNanos();
+        action.lat->Insert(record, ctx->now_micros);
+        const int64_t dur = SteadyNanos() - start;
+        obs::Span span;
+        span.trace_id = frame->trace_id;
+        span.span_id = NewSpanId();
+        span.parent_id = frame->parent_span;
+        span.ref = common::Fnv1a64(action.lat->lower_name());
+        span.start_nanos = start;
+        span.duration_nanos = dur;
+        span.kind = obs::SpanKind::kLatUpsert;
+        span.depth = frame->depth;
+        EmitSpan(frame, span);
+        action.lat->stats().upsert_spans.Inc();
+        action.lat->stats().upsert_nanos.Inc(static_cast<uint64_t>(dur));
+        if (detailed_timing_.load(std::memory_order_relaxed)) {
+          action.lat->stats().upsert_micros.Record(dur / 1000);
+        }
+      } else if (detailed_timing_.load(std::memory_order_relaxed)) {
         const int64_t start = db_->clock()->NowMicros();
         action.lat->Insert(record, ctx->now_micros);
         action.lat->stats().upsert_micros.Record(db_->clock()->NowMicros() -
@@ -1356,7 +1599,15 @@ std::string MonitorEngine::SubstituteTemplate(const std::string& text,
 
 void MonitorEngine::HandleEviction(Lat* lat, Row evicted) {
   if (RuleDepth() > 0) {
-    PendingEvictions().push_back({lat, std::move(evicted)});
+    PendingEviction eviction{lat, std::move(evicted)};
+    if (spans_.enabled()) {
+      const TraceFrame& frame = CurrentTraceFrame();
+      if (frame.active && frame.engine == this) {
+        eviction.parent_span = frame.parent_span;
+        eviction.depth = frame.depth;
+      }
+    }
+    PendingEvictions().push_back(std::move(eviction));
     return;
   }
   EvalContext ctx;
@@ -1369,6 +1620,67 @@ void MonitorEngine::HandleTimerAlarm(const TimerRecord& timer) {
   EvalContext ctx;
   ctx.Bind(MonitoredClass::kTimer, &timer);
   FireEvent(EventKind::kTimerAlarm, ToLower(timer.name), &ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Causal span plane & metrics exposition
+// ---------------------------------------------------------------------------
+
+void MonitorEngine::set_span_sampling(double rate) {
+  rate = std::clamp(rate, 0.0, 1.0);
+  span_sample_threshold_.store(
+      static_cast<uint32_t>(rate * kSpanSampleScale),
+      std::memory_order_relaxed);
+}
+
+double MonitorEngine::span_sample_rate() const {
+  return static_cast<double>(
+             span_sample_threshold_.load(std::memory_order_relaxed)) /
+         kSpanSampleScale;
+}
+
+bool MonitorEngine::SampleTrace(uint64_t seq) const {
+  const uint32_t threshold =
+      span_sample_threshold_.load(std::memory_order_relaxed);
+  if (threshold >= kSpanSampleScale) return true;
+  if (threshold == 0) return false;
+  // Cheap multiplicative hash decorrelates the decision from event-arrival
+  // patterns (plain `seq % N` would alias with periodic workloads).
+  const uint64_t h = seq * 0x9E3779B97F4A7C15ull;
+  return (h >> 44) < threshold;
+}
+
+void MonitorEngine::EmitSpan(TraceFrame* frame, const obs::Span& span) {
+  spans_.Record(span);
+  if (frame->spans.size() < kMaxSpansPerTrace) {
+    frame->spans.push_back(span);
+  } else {
+    frame->overflowed = true;
+  }
+}
+
+Status MonitorEngine::ExportMetricsNow(const std::string& path) {
+  Status status =
+      storage::WriteFileAtomic(path, metrics_.registry.DumpPrometheus());
+  if (status.ok()) {
+    metrics_.metrics_exports.Inc();
+  } else {
+    RecordError(status);
+  }
+  return status;
+}
+
+void MonitorEngine::ExporterLoop() {
+  const auto interval = std::chrono::duration<double>(
+      options_.metrics_export_interval_secs);
+  std::unique_lock<std::mutex> lock(exporter_mutex_);
+  while (!exporter_stop_) {
+    exporter_cv_.wait_for(lock, interval, [this] { return exporter_stop_; });
+    if (exporter_stop_) break;
+    lock.unlock();
+    (void)ExportMetricsNow(options_.metrics_export_path);
+    lock.lock();
+  }
 }
 
 }  // namespace sqlcm::cm

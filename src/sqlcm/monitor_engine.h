@@ -17,15 +17,18 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "engine/database.h"
 #include "engine/monitor_hooks.h"
 #include "obs/error_ring.h"
+#include "obs/span_ring.h"
 #include "obs/trace_ring.h"
 #include "sqlcm/actions_io.h"
 #include "sqlcm/lat.h"
@@ -38,6 +41,8 @@
 namespace sqlcm::cm {
 
 class SystemViews;
+/// Per-thread causal-trace bookkeeping (defined in monitor_engine.cc).
+struct TraceFrame;
 
 /// Fault-injection point honoured by every instrumented hook
 /// (common/fault.h): `slow` sleeps the hook for kFaultHookSlowMicros,
@@ -60,6 +65,22 @@ class MonitorEngine final : public engine::MonitorHooks,
     bool register_system_views = true;
     /// Event-trace ring capacity (rounded up to a power of two).
     size_t trace_capacity = 1024;
+    /// Span-ring capacity for the causal tracing plane (rounded up to a
+    /// power of two). The ring starts disabled, like the event trace.
+    size_t span_capacity = 4096;
+    /// Fraction [0, 1] of events whose traces record child spans (rule
+    /// conditions, actions, LAT upserts) and feed the sqlcm_profile
+    /// attribution. Root event spans are always recorded while the span
+    /// ring is enabled.
+    double span_sample_rate = 1.0;
+    /// How many of the most expensive traces sqlcm_slow_events retains
+    /// whole (every span) as exemplars.
+    size_t slow_trace_k = 8;
+    /// When non-empty and the interval is positive, a background thread
+    /// dumps the metrics registry in Prometheus text exposition to this
+    /// path (atomic tempfile+rename) every interval.
+    std::string metrics_export_path;
+    double metrics_export_interval_secs = 0;
     /// Time per-rule action latency and per-LAT upsert latency (one extra
     /// clock read each). Off by default to keep fired-rule dispatch at one
     /// clock read per event (paper §6, experiment E2).
@@ -156,13 +177,30 @@ class MonitorEngine final : public engine::MonitorHooks,
   const MonitorMetrics& metrics() const { return metrics_; }
   obs::TraceRing* trace_ring() { return &trace_; }
   const obs::TraceRing& trace_ring() const { return trace_; }
+  obs::SpanRing* span_ring() { return &spans_; }
+  const obs::SpanRing& span_ring() const { return spans_; }
+  obs::SlowTraceTable* slow_traces() { return &slow_traces_; }
+  const obs::SlowTraceTable& slow_traces() const { return slow_traces_; }
   LoadGovernor* governor() { return &governor_; }
   const LoadGovernor& governor() const { return governor_; }
+
+  /// Adjusts the per-event child-span sampling rate (see
+  /// Options::span_sample_rate) at runtime.
+  void set_span_sampling(double rate);
+  double span_sample_rate() const;
+
+  /// Dumps the whole metrics registry in Prometheus text exposition to
+  /// `path` through an atomic tempfile+rename write (storage/table_io), so
+  /// a scraper never observes a partial file. Also runs periodically when
+  /// Options::metrics_export_path / metrics_export_interval_secs are set.
+  common::Status ExportMetricsNow(const std::string& path);
 
   std::vector<obs::ErrorRing::Entry> recent_errors() const {
     return errors_.Snapshot();
   }
   uint64_t total_errors() const { return errors_.total(); }
+  /// Errors evicted from the recent-error ring by newer entries.
+  uint64_t dropped_errors() const { return errors_.dropped(); }
 
   void set_detailed_timing(bool on) {
     detailed_timing_.store(on, std::memory_order_relaxed);
@@ -216,8 +254,12 @@ class MonitorEngine final : public engine::MonitorHooks,
   void FireEvent(EventKind kind, const std::string& qualifier,
                  EvalContext* base_ctx);
   /// Returns true when the rule fired (condition passed, actions ran).
-  bool RunRule(const CompiledRule& rule, EvalContext* ctx);
-  common::Status ExecuteAction(const CompiledAction& action, EvalContext* ctx);
+  /// `frame` is non-null only when the current trace is sampled for
+  /// profiling: condition/action child spans are emitted and self-time is
+  /// attributed to the rule.
+  bool RunRule(const CompiledRule& rule, EvalContext* ctx, TraceFrame* frame);
+  common::Status ExecuteAction(const CompiledAction& action, EvalContext* ctx,
+                               TraceFrame* frame);
   common::Status PersistRowToTable(const std::string& table_name,
                                    const std::vector<std::string>& col_names,
                                    const std::vector<common::ValueKind>& kinds,
@@ -233,6 +275,17 @@ class MonitorEngine final : public engine::MonitorHooks,
   void HandleEviction(Lat* lat, common::Row evicted);
   void HandleTimerAlarm(const TimerRecord& timer);
   void RecordError(const common::Status& status);
+
+  /// True when event `seq` gets child spans + profiling attribution.
+  bool SampleTrace(uint64_t seq) const;
+  /// Engine-wide unique span id; never returns 0 (0 = "no parent").
+  uint64_t NewSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  /// Records `span` in the ring and buffers it in `frame` for the slow-trace
+  /// exemplar table (bounded; overflow is counted, not fatal).
+  void EmitSpan(TraceFrame* frame, const obs::Span& span);
+  void ExporterLoop();
 
   /// Feeds a failed evaluation into the rule's circuit breaker; records the
   /// quarantine when it trips.
@@ -312,6 +365,21 @@ class MonitorEngine final : public engine::MonitorHooks,
   obs::TraceRing trace_;
   obs::ErrorRing errors_{16};
   std::atomic<bool> detailed_timing_{false};
+
+  // Causal tracing plane. The span ring and slow-trace table are written
+  // lock-free from hook threads; the sampling threshold is Options::
+  // span_sample_rate scaled to [0, kSpanSampleScale].
+  obs::SpanRing spans_;
+  obs::SlowTraceTable slow_traces_;
+  std::atomic<uint32_t> span_sample_threshold_{0};
+  std::atomic<uint64_t> next_span_id_{0};
+  std::atomic<bool> spans_before_shed_{false};
+
+  // Periodic Prometheus exporter (runs only when configured in Options).
+  std::thread exporter_thread_;
+  std::mutex exporter_mutex_;
+  std::condition_variable exporter_cv_;
+  bool exporter_stop_ = false;
 
   // Graceful degradation (robustness layer). `timing_before_shed_` /
   // `trace_before_shed_` remember user-configured state across a shed so

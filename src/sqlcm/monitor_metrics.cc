@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "common/string_util.h"
+
 namespace sqlcm::cm {
 
 const char* MonitorHookName(MonitorHook hook) {
@@ -53,6 +55,21 @@ MonitorMetrics::MonitorMetrics() {
   registry.RegisterGauge("robustness.governor_level", &governor_level);
   registry.RegisterCounter("robustness.governor_raises", &governor_raises);
   registry.RegisterCounter("robustness.governor_drops", &governor_drops);
+  registry.RegisterCounter("profile.events", &profile_events);
+  registry.RegisterCounter("profile.dispatch_nanos", &profile_dispatch_nanos);
+  registry.RegisterCounter("profile.checkpoint_spans",
+                           &profile_checkpoint_spans);
+  registry.RegisterCounter("profile.checkpoint_nanos",
+                           &profile_checkpoint_nanos);
+  registry.RegisterCounter("profile.trace_overflows", &profile_trace_overflows);
+  registry.RegisterCounter("profile.metrics_exports", &metrics_exports);
+  for (size_t i = 0; i < kNumActionKinds; ++i) {
+    const std::string base =
+        std::string("profile.action.") +
+        common::ToLower(ActionKindName(static_cast<ActionKind>(i)));
+    registry.RegisterCounter(base + ".spans", &action_kind_spans[i]);
+    registry.RegisterCounter(base + ".nanos", &action_kind_nanos[i]);
+  }
 }
 
 }  // namespace sqlcm::cm

@@ -13,6 +13,7 @@
 #include <cstddef>
 
 #include "obs/metrics.h"
+#include "sqlcm/rule.h"
 
 namespace sqlcm::cm {
 
@@ -58,6 +59,19 @@ struct MonitorMetrics {
   obs::Gauge governor_level;         // current degradation ladder level
   obs::Counter governor_raises;      // shed-level increases
   obs::Counter governor_drops;       // shed-level decreases (recovery)
+
+  // Causal tracing / profiling plane (docs/OBSERVABILITY.md §Tracing).
+  // dispatch_nanos accumulates root-span durations of *sampled* events, so
+  // per-rule self-times in sqlcm_profile reconcile against it.
+  obs::Counter profile_events;          // root event spans recorded (sampled)
+  obs::Counter profile_dispatch_nanos;  // total sampled dispatch self-time
+  obs::Counter profile_checkpoint_spans;
+  obs::Counter profile_checkpoint_nanos;
+  obs::Counter profile_trace_overflows;  // spans dropped by per-trace cap
+  obs::Counter metrics_exports;          // Prometheus dumps written
+  // Per-action-kind attribution across all rules (sampled traces only).
+  std::array<obs::Counter, kNumActionKinds> action_kind_spans;
+  std::array<obs::Counter, kNumActionKinds> action_kind_nanos;
 
   obs::MetricsRegistry registry;  // names every instrument above
 

@@ -145,6 +145,8 @@ enum class ActionKind : uint8_t {
 
 const char* ActionKindName(ActionKind kind);
 
+inline constexpr size_t kNumActionKinds = 7;
+
 struct CompiledAction {
   ActionKind kind;
   MonitoredClass source_class = MonitoredClass::kQuery;  // object-attached
@@ -193,6 +195,12 @@ struct RuleStats {
   obs::Counter fires;            // condition passed, actions ran
   obs::Counter errors;           // condition or action failures
   obs::LatencyHistogram action_micros;
+  // Span-profiling attribution (sampled traces only; see sqlcm_profile).
+  // Nanosecond self-time is split between the condition window and the
+  // action window so the view can show where a rule's cost goes.
+  obs::Counter profiled_evals;    // evaluations covered by a sampled trace
+  obs::Counter condition_nanos;   // self-time in condition evaluation
+  obs::Counter action_nanos;      // self-time in action execution
 };
 
 /// Per-rule circuit breaker (quarantine). A rule whose condition or actions

@@ -1,10 +1,16 @@
 #include "sqlcm/system_views.h"
 
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <unordered_map>
 #include <utility>
 
 #include "catalog/schema.h"
 #include "common/fault.h"
+#include "common/string_util.h"
 #include "engine/database.h"
+#include "obs/span_ring.h"
 #include "sqlcm/monitor_engine.h"
 #include "storage/catalog.h"
 #include "storage/table.h"
@@ -24,6 +30,16 @@ catalog::ColumnType TypeCode(char code) {
     case 'b': return catalog::ColumnType::kBool;
     default: return catalog::ColumnType::kString;
   }
+}
+
+// 64-bit hashes (qualifier / LAT-name refs) render as fixed-width hex so
+// sqlcm_event_trace.qualifier_hash joins against sqlcm_trace_spans.detail
+// without signed-overflow surprises.
+std::string HexU64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
 }
 
 }  // namespace
@@ -90,6 +106,7 @@ SystemViews::SystemViews(MonitorEngine* monitor, engine::Database* db)
                                     {"ts_micros", 'i'},
                                     {"event", 's'},
                                     {"qualifier", 's'},
+                                    {"qualifier_hash", 's'},
                                     {"rules_fired", 'i'},
                                     {"dispatch_micros", 'i'}},
                                    {"seq"})) {
@@ -109,6 +126,51 @@ SystemViews::SystemViews(MonitorEngine* monitor, engine::Database* db)
     t->SetVirtualRefresh([this, t] {
       std::lock_guard<std::mutex> lock(refresh_mutex_);
       RefreshFaultPoints(t);
+    });
+  }
+  if (storage::Table* t = Register(kTraceSpansView,
+                                   {{"trace_id", 'i'},
+                                    {"span_id", 'i'},
+                                    {"parent_id", 'i'},
+                                    {"depth", 'i'},
+                                    {"kind", 's'},
+                                    {"name", 's'},
+                                    {"detail", 's'},
+                                    {"duration_us", 'd'}},
+                                   {"span_id"})) {
+    t->SetVirtualRefresh([this, t] {
+      std::lock_guard<std::mutex> lock(refresh_mutex_);
+      RefreshTraceSpans(t);
+    });
+  }
+  if (storage::Table* t = Register(kSlowEventsView,
+                                   {{"rank", 'i'},
+                                    {"trace_id", 'i'},
+                                    {"total_us", 'd'},
+                                    {"span_id", 'i'},
+                                    {"parent_id", 'i'},
+                                    {"depth", 'i'},
+                                    {"kind", 's'},
+                                    {"name", 's'},
+                                    {"detail", 's'},
+                                    {"start_offset_us", 'd'},
+                                    {"duration_us", 'd'}},
+                                   {})) {
+    t->SetVirtualRefresh([this, t] {
+      std::lock_guard<std::mutex> lock(refresh_mutex_);
+      RefreshSlowEvents(t);
+    });
+  }
+  if (storage::Table* t = Register(kProfileView,
+                                   {{"component", 's'},
+                                    {"name", 's'},
+                                    {"spans", 'i'},
+                                    {"self_micros", 'd'},
+                                    {"share_pct", 'd'}},
+                                   {})) {
+    t->SetVirtualRefresh([this, t] {
+      std::lock_guard<std::mutex> lock(refresh_mutex_);
+      RefreshProfile(t);
     });
   }
 }
@@ -179,6 +241,25 @@ void SystemViews::RefreshEngineStats(storage::Table* table) {
   add("trace.capacity", "gauge", static_cast<double>(trace.capacity()), "");
   add("trace.total_recorded", "counter",
       static_cast<double>(trace.total_recorded()), "");
+  add("trace.snapshot_drops", "counter",
+      static_cast<double>(trace.snapshot_drops()), "");
+
+  const obs::SpanRing& spans = *monitor_->span_ring();
+  add("spans.enabled", "gauge", spans.enabled() ? 1.0 : 0.0, "");
+  add("spans.capacity", "gauge", static_cast<double>(spans.capacity()), "");
+  add("spans.total_recorded", "counter",
+      static_cast<double>(spans.total_recorded()), "");
+  add("spans.snapshot_drops", "counter",
+      static_cast<double>(spans.snapshot_drops()), "");
+  add("spans.sample_rate", "gauge", monitor_->span_sample_rate(), "");
+
+  const obs::SlowTraceTable& slow = *monitor_->slow_traces();
+  add("slow_traces.capacity", "gauge", static_cast<double>(slow.capacity()),
+      "");
+  add("slow_traces.retained", "gauge",
+      static_cast<double>(slow.Snapshot().size()), "");
+  add("slow_traces.offers", "counter", static_cast<double>(slow.offers()), "");
+  add("slow_traces.admits", "counter", static_cast<double>(slow.admits()), "");
 
   const LoadGovernor& governor = *monitor_->governor();
   add("governor.overhead_fraction", "gauge",
@@ -189,6 +270,8 @@ void SystemViews::RefreshEngineStats(storage::Table* table) {
 
   add("errors.total", "counter", static_cast<double>(monitor_->total_errors()),
       "");
+  add("errors.dropped", "counter",
+      static_cast<double>(monitor_->dropped_errors()), "");
   for (const auto& err : monitor_->recent_errors()) {
     add("error." + std::to_string(err.seq), "error",
         static_cast<double>(err.ts_micros), err.message);
@@ -276,10 +359,159 @@ void SystemViews::RefreshEventTrace(storage::Table* table) {
     row.push_back(
         Value::String(EventKindName(static_cast<EventKind>(ev.kind))));
     row.push_back(Value::String(ev.qualifier));
+    row.push_back(Value::String(HexU64(ev.qualifier_hash)));
     row.push_back(Value::Int(static_cast<int64_t>(ev.rules_fired)));
     row.push_back(Value::Int(ev.dispatch_micros));
     (void)table->Insert(std::move(row));
   }
+}
+
+namespace {
+
+/// Shared name/detail resolution for span rows: rule ids resolve through the
+/// rule snapshot, LAT name hashes through Fnv1a64 of the snapshot names.
+struct SpanNameResolver {
+  std::unordered_map<uint64_t, std::string> rules;
+  std::unordered_map<uint64_t, std::string> lats;
+
+  explicit SpanNameResolver(MonitorEngine* monitor) {
+    for (const auto& rule : monitor->SnapshotRules()) {
+      rules.emplace(rule->id, rule->name);
+    }
+    for (const auto& lat : monitor->SnapshotLats()) {
+      lats.emplace(common::Fnv1a64(lat->lower_name()), lat->name());
+    }
+  }
+
+  std::string Name(const obs::Span& span) const {
+    switch (span.kind) {
+      case obs::SpanKind::kEvent:
+        return EventKindName(static_cast<EventKind>(span.detail));
+      case obs::SpanKind::kCondition:
+      case obs::SpanKind::kAction: {
+        auto it = rules.find(span.ref);
+        if (it != rules.end()) return it->second;
+        return "rule#" + std::to_string(span.ref);
+      }
+      case obs::SpanKind::kLatUpsert:
+      case obs::SpanKind::kCheckpoint: {
+        auto it = lats.find(span.ref);
+        if (it != lats.end()) return it->second;
+        return "lat#" + HexU64(span.ref);
+      }
+    }
+    return "";
+  }
+
+  std::string Detail(const obs::Span& span) const {
+    switch (span.kind) {
+      case obs::SpanKind::kEvent:
+        // ref holds the qualifier hash; joins sqlcm_event_trace.
+        return HexU64(span.ref);
+      case obs::SpanKind::kAction:
+        return ActionKindName(static_cast<ActionKind>(span.detail));
+      default:
+        return "";
+    }
+  }
+};
+
+}  // namespace
+
+void SystemViews::RefreshTraceSpans(storage::Table* table) {
+  table->Truncate();
+  const SpanNameResolver resolver(monitor_);
+  for (const auto& span : monitor_->span_ring()->Snapshot()) {
+    Row row;
+    row.push_back(Value::Int(static_cast<int64_t>(span.trace_id)));
+    row.push_back(Value::Int(static_cast<int64_t>(span.span_id)));
+    row.push_back(Value::Int(static_cast<int64_t>(span.parent_id)));
+    row.push_back(Value::Int(span.depth));
+    row.push_back(Value::String(obs::SpanKindName(span.kind)));
+    row.push_back(Value::String(resolver.Name(span)));
+    row.push_back(Value::String(resolver.Detail(span)));
+    row.push_back(Value::Double(static_cast<double>(span.duration_nanos) /
+                                1000.0));
+    (void)table->Insert(std::move(row));
+  }
+}
+
+void SystemViews::RefreshSlowEvents(storage::Table* table) {
+  table->Truncate();
+  const SpanNameResolver resolver(monitor_);
+  int64_t rank = 0;
+  for (const auto& exemplar : monitor_->slow_traces()->Snapshot()) {
+    ++rank;
+    int64_t base_nanos = 0;
+    if (!exemplar.spans.empty()) {
+      base_nanos = exemplar.spans.front().start_nanos;
+      for (const auto& span : exemplar.spans) {
+        base_nanos = std::min(base_nanos, span.start_nanos);
+      }
+    }
+    for (const auto& span : exemplar.spans) {
+      Row row;
+      row.push_back(Value::Int(rank));
+      row.push_back(Value::Int(static_cast<int64_t>(exemplar.trace_id)));
+      row.push_back(Value::Double(
+          static_cast<double>(exemplar.total_nanos) / 1000.0));
+      row.push_back(Value::Int(static_cast<int64_t>(span.span_id)));
+      row.push_back(Value::Int(static_cast<int64_t>(span.parent_id)));
+      row.push_back(Value::Int(span.depth));
+      row.push_back(Value::String(obs::SpanKindName(span.kind)));
+      row.push_back(Value::String(resolver.Name(span)));
+      row.push_back(Value::String(resolver.Detail(span)));
+      row.push_back(Value::Double(
+          static_cast<double>(span.start_nanos - base_nanos) / 1000.0));
+      row.push_back(Value::Double(static_cast<double>(span.duration_nanos) /
+                                  1000.0));
+      (void)table->Insert(std::move(row));
+    }
+  }
+}
+
+void SystemViews::RefreshProfile(storage::Table* table) {
+  table->Truncate();
+  const MonitorMetrics& metrics = monitor_->metrics();
+  const double dispatch_nanos =
+      static_cast<double>(metrics.profile_dispatch_nanos.value());
+  auto add = [table, dispatch_nanos](const char* component,
+                                     const std::string& name, uint64_t spans,
+                                     double nanos) {
+    Row row;
+    row.push_back(Value::String(component));
+    row.push_back(Value::String(name));
+    row.push_back(Value::Int(static_cast<int64_t>(spans)));
+    row.push_back(Value::Double(nanos / 1000.0));
+    row.push_back(Value::Double(
+        dispatch_nanos > 0 ? nanos / dispatch_nanos * 100.0 : 0.0));
+    (void)table->Insert(std::move(row));
+  };
+
+  add("dispatch", "total", metrics.profile_events.value(), dispatch_nanos);
+  for (const auto& rule : monitor_->SnapshotRules()) {
+    // Per-rule time is condition + action wall time (inclusive of any LAT
+    // upserts the actions performed), so rule rows sum to ~dispatch total.
+    add("rule", rule->name, rule->stats.profiled_evals.value(),
+        static_cast<double>(rule->stats.condition_nanos.value() +
+                            rule->stats.action_nanos.value()));
+  }
+  for (size_t i = 0; i < kNumActionKinds; ++i) {
+    const uint64_t count = metrics.action_kind_spans[i].value();
+    if (count == 0) continue;
+    add("action", ActionKindName(static_cast<ActionKind>(i)), count,
+        static_cast<double>(metrics.action_kind_nanos[i].value()));
+  }
+  for (const auto& lat : monitor_->SnapshotLats()) {
+    const LatStats& stats = lat->stats();
+    if (stats.upsert_spans.value() == 0) continue;
+    add("lat", lat->name(), stats.upsert_spans.value(),
+        static_cast<double>(stats.upsert_nanos.value()));
+  }
+  // Checkpoint I/O runs on the timer thread, outside event dispatch; its
+  // share is still expressed against dispatch time for comparability.
+  add("checkpoint", "total", metrics.profile_checkpoint_spans.value(),
+      static_cast<double>(metrics.profile_checkpoint_nanos.value()));
 }
 
 }  // namespace sqlcm::cm

@@ -2,7 +2,7 @@
 //
 // The paper turns monitored objects into relational data (Persist, LATs);
 // this module closes the loop by doing the same for the monitor itself:
-// four virtual tables registered in the storage catalog whose contents are
+// virtual tables registered in the storage catalog whose contents are
 // rebuilt from live monitor state at the start of every scan, so plain
 // SELECT — and therefore ECA rules and LATs — can read monitor internals.
 //
@@ -11,6 +11,12 @@
 //   sqlcm_rule_stats    per-rule evaluations / fires / errors / latency
 //   sqlcm_lat_stats     per-LAT rows, evictions, latch contention, latency
 //   sqlcm_event_trace   the recent-event ring (when tracing is enabled)
+//   sqlcm_trace_spans   the causal span ring: one row per span, with
+//                       trace/parent ids so rule cascades rebuild as trees
+//   sqlcm_slow_events   the top-K most expensive traces, retained whole
+//                       with their full span breakdown
+//   sqlcm_profile       per-rule / per-action-kind / per-LAT cumulative
+//                       self-time and share of total monitoring overhead
 //
 // Refreshes run *before* the table latch is taken (storage::Table virtual
 // hook) and only read monitor snapshots, so no monitor mutex is ever held
@@ -41,10 +47,13 @@ inline constexpr const char* kRuleStatsView = "sqlcm_rule_stats";
 inline constexpr const char* kLatStatsView = "sqlcm_lat_stats";
 inline constexpr const char* kEventTraceView = "sqlcm_event_trace";
 inline constexpr const char* kFaultPointsView = "sqlcm_fault_points";
+inline constexpr const char* kTraceSpansView = "sqlcm_trace_spans";
+inline constexpr const char* kSlowEventsView = "sqlcm_slow_events";
+inline constexpr const char* kProfileView = "sqlcm_profile";
 
 class SystemViews {
  public:
-  /// Creates and registers the four views; a view whose name already exists
+  /// Creates and registers the views; a view whose name already exists
   /// as a non-virtual table is skipped (reported via monitor error ring).
   SystemViews(MonitorEngine* monitor, engine::Database* db);
   /// Drops every view this instance registered.
@@ -63,6 +72,9 @@ class SystemViews {
   void RefreshLatStats(storage::Table* table);
   void RefreshEventTrace(storage::Table* table);
   void RefreshFaultPoints(storage::Table* table);
+  void RefreshTraceSpans(storage::Table* table);
+  void RefreshSlowEvents(storage::Table* table);
+  void RefreshProfile(storage::Table* table);
 
   MonitorEngine* monitor_;
   engine::Database* db_;

@@ -188,6 +188,29 @@ Status ParseSnapshotFile(const Table& table, const std::string& path,
 
 }  // namespace
 
+Status WriteFileAtomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("open('" + tmp + "'): " + std::strerror(errno));
+  }
+  Status write_status = WriteAll(fd, content, tmp);
+  if (write_status.ok() && ::fsync(fd) != 0) {
+    write_status =
+        Status::IOError("fsync('" + tmp + "'): " + std::strerror(errno));
+  }
+  ::close(fd);
+  if (!write_status.ok()) {
+    ::unlink(tmp.c_str());
+    return write_status;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename('" + tmp + "' -> '" + path +
+                           "'): " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
 Status WriteTableCsv(const Table& table, const std::string& path,
                      int version) {
   if (version < kSnapshotVersionV1 || version > kSnapshotVersionV2) {

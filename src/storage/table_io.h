@@ -20,6 +20,7 @@
 #define SQLCM_STORAGE_TABLE_IO_H_
 
 #include <string>
+#include <string_view>
 
 #include "common/clock.h"
 #include "common/status.h"
@@ -50,6 +51,14 @@ inline constexpr int kSnapshotVersionV2 = 2;
 /// `path.bak` first.
 common::Status WriteTableCsv(const Table& table, const std::string& path,
                              int version = kSnapshotVersionV1);
+
+/// Atomically replaces `path` with `content`: writes to `path.tmp`, fsyncs
+/// and renames over `path`, so a reader never observes a partial file. No
+/// .bak rotation or snapshot header — this is the publish primitive for
+/// derived artifacts regenerated wholesale (e.g. the Prometheus metrics
+/// exposition dump), not for recoverable state.
+common::Status WriteFileAtomic(const std::string& path,
+                               std::string_view content);
 
 /// WriteTableCsv with bounded retry/backoff for transient failures:
 /// up to `attempts` tries, sleeping `backoff_micros` (doubling each retry)

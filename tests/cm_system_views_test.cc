@@ -6,8 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <thread>
 
+#include "common/string_util.h"
 #include "engine/session.h"
 #include "sqlcm/monitor_engine.h"
 
@@ -66,7 +72,8 @@ class SystemViewsTest : public ::testing::Test {
 
 TEST_F(SystemViewsTest, ViewsAreRegisteredAndVirtual) {
   for (const char* name : {kEngineStatsView, kRuleStatsView, kLatStatsView,
-                           kEventTraceView}) {
+                           kEventTraceView, kTraceSpansView, kSlowEventsView,
+                           kProfileView}) {
     storage::Table* table = db_.catalog()->GetTable(name);
     ASSERT_NE(table, nullptr) << name;
     EXPECT_TRUE(table->is_virtual()) << name;
@@ -244,6 +251,328 @@ TEST_F(SystemViewsTest, SecondMonitorOnSameDatabaseSkipsViews) {
   }
   EXPECT_NE(db_.catalog()->GetTable(kRuleStatsView), nullptr);
   EXPECT_FALSE(Query("SELECT * FROM sqlcm_engine_stats").rows.empty());
+}
+
+TEST_F(SystemViewsTest, TraceSpansEmptyWhileRingDisabled) {
+  AddFeedRule();
+  Exec("SELECT val FROM items WHERE id = 1");
+  EXPECT_TRUE(Query("SELECT * FROM sqlcm_trace_spans").rows.empty());
+  EXPECT_TRUE(Query("SELECT * FROM sqlcm_slow_events").rows.empty());
+}
+
+TEST_F(SystemViewsTest, TraceSpansReconstructEvictionCascadeTree) {
+  // A bounded LAT whose evictions fire a rule: each commit dispatch must
+  // produce an event span, a condition + action span for the feed rule, a
+  // LAT-upsert span under the action, and — once rows start evicting — a
+  // deferred Lat.Evict event span parented under the *action* that caused
+  // the eviction (depth 1).
+  LatSpec top;
+  top.name = "TopQ";
+  top.group_by = {{"ID", ""}};
+  top.aggregates = {{LatAggFunc::kMax, "Duration", "Dur", false}};
+  top.ordering = {{"Dur", true}};
+  top.max_rows = 1;
+  ASSERT_TRUE(monitor_.DefineLat(std::move(top)).ok());
+  RuleSpec feed;
+  feed.name = "feed";
+  feed.event = "Query.Commit";
+  feed.action = "Query.Insert(TopQ)";
+  ASSERT_TRUE(monitor_.AddRule(feed).ok());
+  RuleSpec spill;
+  spill.name = "spill";
+  spill.event = "TopQ.Evict";
+  spill.action = "Evicted.Persist(EvictedQ)";
+  ASSERT_TRUE(monitor_.AddRule(spill).ok());
+
+  monitor_.span_ring()->set_enabled(true);
+  for (int i = 0; i < 6; ++i) {
+    Exec("SELECT val FROM items WHERE id = " + std::to_string(i));
+  }
+
+  const QueryResult result = Query("SELECT * FROM sqlcm_trace_spans");
+  const int trace_col = ColumnIndex(result, "trace_id");
+  const int span_col = ColumnIndex(result, "span_id");
+  const int parent_col = ColumnIndex(result, "parent_id");
+  const int depth_col = ColumnIndex(result, "depth");
+  const int kind_col = ColumnIndex(result, "kind");
+  const int name_col = ColumnIndex(result, "name");
+  const int dur_col = ColumnIndex(result, "duration_us");
+  ASSERT_GE(trace_col, 0);
+  ASSERT_GE(span_col, 0);
+  ASSERT_GE(parent_col, 0);
+  ASSERT_GE(kind_col, 0);
+  ASSERT_GE(name_col, 0);
+  ASSERT_FALSE(result.rows.empty());
+
+  std::map<int64_t, std::pair<std::string, int64_t>> by_id;  // kind, parent
+  std::map<int64_t, int64_t> trace_of;
+  for (const auto& row : result.rows) {
+    EXPECT_GT(row[trace_col].int_value(), 0);
+    EXPECT_GE(row[dur_col].double_value(), 0.0);
+    by_id[row[span_col].int_value()] = {row[kind_col].ToDisplayString(),
+                                        row[parent_col].int_value()};
+    trace_of[row[span_col].int_value()] = row[trace_col].int_value();
+  }
+
+  bool saw_cascade = false, saw_upsert = false, saw_condition = false;
+  for (const auto& row : result.rows) {
+    const std::string kind = row[kind_col].ToDisplayString();
+    const int64_t parent = row[parent_col].int_value();
+    if (kind == "condition") {
+      ASSERT_TRUE(by_id.count(parent));
+      EXPECT_EQ(by_id[parent].first, "event");
+      saw_condition = true;
+    } else if (kind == "lat_upsert") {
+      EXPECT_EQ(row[name_col].ToDisplayString(), "TopQ");
+      ASSERT_TRUE(by_id.count(parent));
+      EXPECT_EQ(by_id[parent].first, "action");
+      saw_upsert = true;
+    } else if (kind == "event" &&
+               row[name_col].ToDisplayString() == "Lat.Evict") {
+      // Deferred cascade event: parented under the causing action span, in
+      // the same trace, one level deeper than the root.
+      EXPECT_EQ(row[depth_col].int_value(), 1);
+      if (by_id.count(parent)) {
+        EXPECT_EQ(by_id[parent].first, "action");
+        EXPECT_EQ(trace_of[parent], row[trace_col].int_value());
+        saw_cascade = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_condition);
+  EXPECT_TRUE(saw_upsert);
+  EXPECT_TRUE(saw_cascade);
+}
+
+TEST_F(SystemViewsTest, SlowEventsRetainWholeTracesRankedByCost) {
+  AddFeedRule();
+  monitor_.span_ring()->set_enabled(true);
+  for (int i = 0; i < 20; ++i) {
+    Exec("SELECT val FROM items WHERE id = " + std::to_string(i % 10));
+  }
+  const QueryResult result = Query("SELECT * FROM sqlcm_slow_events");
+  const int rank_col = ColumnIndex(result, "rank");
+  const int trace_col = ColumnIndex(result, "trace_id");
+  const int total_col = ColumnIndex(result, "total_us");
+  const int kind_col = ColumnIndex(result, "kind");
+  const int offset_col = ColumnIndex(result, "start_offset_us");
+  ASSERT_GE(rank_col, 0);
+  ASSERT_FALSE(result.rows.empty());
+
+  // Ranks must be 1..K with non-increasing totals, each retained trace must
+  // keep its root event span, and offsets are non-negative.
+  std::map<int64_t, double> total_by_rank;
+  std::map<int64_t, int64_t> trace_by_rank;
+  std::map<int64_t, bool> has_event;
+  for (const auto& row : result.rows) {
+    const int64_t rank = row[rank_col].int_value();
+    EXPECT_GE(rank, 1);
+    total_by_rank[rank] = row[total_col].double_value();
+    trace_by_rank[rank] = row[trace_col].int_value();
+    if (row[kind_col].ToDisplayString() == "event") has_event[rank] = true;
+    EXPECT_GE(row[offset_col].double_value(), 0.0);
+  }
+  EXPECT_LE(total_by_rank.size(), monitor_.slow_traces()->capacity());
+  double prev = -1.0;
+  int64_t expect_rank = 1;
+  for (const auto& [rank, total] : total_by_rank) {
+    EXPECT_EQ(rank, expect_rank++);
+    if (prev >= 0) EXPECT_LE(total, prev);
+    prev = total;
+    EXPECT_TRUE(has_event[rank]) << "rank " << rank;
+    EXPECT_GT(trace_by_rank[rank], 0);
+  }
+  EXPECT_GE(monitor_.slow_traces()->offers(), 20u);
+}
+
+TEST_F(SystemViewsTest, ProfilePerRuleSelfTimesReconcileWithDispatchTotal) {
+  // Three always-firing rules doing real LAT work; with sampling at 1.0 the
+  // per-rule condition+action windows chain directly inside each event
+  // span, so their sum must land within 5% of total dispatch time
+  // (acceptance criterion for the profiling plane).
+  AddFeedRule();
+  RuleSpec second;
+  second.name = "second";
+  second.event = "Query.Commit";
+  second.condition = "ViewLat.N >= 0";
+  second.action = "Query.Insert(ViewLat)";
+  ASSERT_TRUE(monitor_.AddRule(second).ok());
+  RuleSpec third;
+  third.name = "third";
+  third.event = "Query.Commit";
+  third.condition = "Query.Duration >= 0 AND ViewLat.N >= 1";
+  third.action = "Query.Insert(ViewLat)";
+  ASSERT_TRUE(monitor_.AddRule(third).ok());
+
+  monitor_.span_ring()->set_enabled(true);
+  ASSERT_DOUBLE_EQ(monitor_.span_sample_rate(), 1.0);
+  for (int i = 0; i < 80; ++i) {
+    Exec("SELECT val FROM items WHERE id = " + std::to_string(i % 20));
+  }
+
+  const QueryResult result =
+      Query("SELECT component, name, spans, self_micros FROM sqlcm_profile");
+  double dispatch_micros = 0.0;
+  double rule_micros = 0.0;
+  int64_t rule_rows = 0;
+  for (const auto& row : result.rows) {
+    const std::string component = row[0].ToDisplayString();
+    if (component == "dispatch") {
+      dispatch_micros = row[3].double_value();
+      EXPECT_GE(row[2].int_value(), 80);
+    } else if (component == "rule") {
+      rule_micros += row[3].double_value();
+      ++rule_rows;
+      EXPECT_GE(row[2].int_value(), 80);
+    }
+  }
+  EXPECT_EQ(rule_rows, 3);
+  ASSERT_GT(dispatch_micros, 0.0);
+  EXPECT_GE(rule_micros, 0.95 * dispatch_micros)
+      << "rule self-time " << rule_micros << "us vs dispatch "
+      << dispatch_micros << "us";
+  EXPECT_LE(rule_micros, 1.05 * dispatch_micros);
+}
+
+TEST_F(SystemViewsTest, ProfileAttributesActionKindsAndLatUpserts) {
+  AddFeedRule();
+  monitor_.span_ring()->set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    Exec("SELECT val FROM items WHERE id = " + std::to_string(i));
+  }
+  const QueryResult result = Query(
+      "SELECT component, name, spans, self_micros, share_pct "
+      "FROM sqlcm_profile");
+  bool saw_insert_kind = false, saw_lat = false;
+  for (const auto& row : result.rows) {
+    const std::string component = row[0].ToDisplayString();
+    EXPECT_GE(row[4].double_value(), 0.0);
+    if (component == "action" && row[1].ToDisplayString() == "Insert") {
+      EXPECT_GE(row[2].int_value(), 10);
+      saw_insert_kind = true;
+    }
+    if (component == "lat" && row[1].ToDisplayString() == "ViewLat") {
+      EXPECT_GE(row[2].int_value(), 10);
+      EXPECT_GT(row[3].double_value(), 0.0);
+      saw_lat = true;
+    }
+  }
+  EXPECT_TRUE(saw_insert_kind);
+  EXPECT_TRUE(saw_lat);
+}
+
+TEST_F(SystemViewsTest, EventTraceExposesQualifierHash) {
+  LatSpec top;
+  top.name = "HashLat";
+  top.group_by = {{"ID", ""}};
+  top.aggregates = {{LatAggFunc::kMax, "Duration", "Dur", false}};
+  top.ordering = {{"Dur", true}};
+  top.max_rows = 1;
+  ASSERT_TRUE(monitor_.DefineLat(std::move(top)).ok());
+  RuleSpec feed;
+  feed.name = "feed";
+  feed.event = "Query.Commit";
+  feed.action = "Query.Insert(HashLat)";
+  ASSERT_TRUE(monitor_.AddRule(feed).ok());
+  RuleSpec spill;
+  spill.name = "spill";
+  spill.event = "HashLat.Evict";
+  spill.action = "Evicted.Persist(EvictedH)";
+  ASSERT_TRUE(monitor_.AddRule(spill).ok());
+
+  monitor_.trace_ring()->set_enabled(true);
+  for (int i = 0; i < 4; ++i) {
+    Exec("SELECT val FROM items WHERE id = " + std::to_string(i));
+  }
+  const QueryResult result =
+      Query("SELECT qualifier, qualifier_hash FROM sqlcm_event_trace");
+  ASSERT_FALSE(result.rows.empty());
+  bool saw_nonempty_qualifier = false;
+  for (const auto& row : result.rows) {
+    const std::string qualifier = row[0].ToDisplayString();
+    char expected[17];
+    std::snprintf(expected, sizeof(expected), "%016llx",
+                  static_cast<unsigned long long>(common::Fnv1a64(qualifier)));
+    EXPECT_EQ(row[1].ToDisplayString(), expected) << "qualifier '" << qualifier
+                                                  << "'";
+    if (!qualifier.empty()) saw_nonempty_qualifier = true;
+  }
+  // The eviction events carry the LAT name as qualifier, so at least one
+  // row exercises a non-trivial hash.
+  EXPECT_TRUE(saw_nonempty_qualifier);
+}
+
+TEST_F(SystemViewsTest, EngineStatsExposeSpanPlaneAndRingDrops) {
+  monitor_.span_ring()->set_enabled(true);
+  AddFeedRule();
+  Exec("SELECT val FROM items WHERE id = 1");
+  auto value_of = [this](const std::string& name) {
+    const QueryResult result = Query(
+        "SELECT value FROM sqlcm_engine_stats WHERE name = '" + name + "'");
+    EXPECT_EQ(result.rows.size(), 1u) << name;
+    return result.rows.empty() ? -1.0 : result.rows[0][0].double_value();
+  };
+  EXPECT_DOUBLE_EQ(value_of("spans.enabled"), 1.0);
+  EXPECT_DOUBLE_EQ(value_of("spans.capacity"), 4096.0);
+  EXPECT_GT(value_of("spans.total_recorded"), 0.0);
+  EXPECT_DOUBLE_EQ(value_of("spans.snapshot_drops"), 0.0);
+  EXPECT_DOUBLE_EQ(value_of("spans.sample_rate"), 1.0);
+  EXPECT_DOUBLE_EQ(value_of("slow_traces.capacity"), 8.0);
+  EXPECT_GT(value_of("slow_traces.offers"), 0.0);
+  EXPECT_GT(value_of("slow_traces.admits"), 0.0);
+  EXPECT_GE(value_of("slow_traces.retained"), 1.0);
+  EXPECT_DOUBLE_EQ(value_of("trace.snapshot_drops"), 0.0);
+  EXPECT_DOUBLE_EQ(value_of("errors.dropped"), 0.0);
+}
+
+TEST_F(SystemViewsTest, ExportMetricsNowWritesPrometheusFile) {
+  AddFeedRule();
+  Exec("SELECT val FROM items WHERE id = 1");
+  const std::string path = ::testing::TempDir() + "sqlcm_export_test.prom";
+  std::remove(path.c_str());
+  ASSERT_TRUE(monitor_.ExportMetricsNow(path).ok());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  EXPECT_NE(content.find("# TYPE sqlcm_engine_events_processed_total counter"),
+            std::string::npos);
+  EXPECT_NE(content.find("_bucket{le=\"+Inf\"}"), std::string::npos);
+  EXPECT_NE(content.find("sqlcm_profile_metrics_exports_total"),
+            std::string::npos);
+
+  // The export itself is counted, and no tempfile is left behind.
+  const QueryResult exports = Query(
+      "SELECT value FROM sqlcm_engine_stats "
+      "WHERE name = 'profile.metrics_exports'");
+  ASSERT_EQ(exports.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(exports.rows[0][0].double_value(), 1.0);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(MetricsExporterTest, PeriodicExporterWritesAndStopsCleanly) {
+  engine::Database db;
+  const std::string path =
+      ::testing::TempDir() + "sqlcm_periodic_export.prom";
+  std::remove(path.c_str());
+  MonitorEngine::Options options;
+  options.metrics_export_path = path;
+  options.metrics_export_interval_secs = 0.02;
+  {
+    MonitorEngine monitor(&db, options);
+    bool appeared = false;
+    for (int i = 0; i < 200 && !appeared; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      appeared = std::ifstream(path).good();
+    }
+    EXPECT_TRUE(appeared);
+    // Destructor must join the exporter thread without hanging.
+  }
+  EXPECT_TRUE(std::ifstream(path).good());
+  std::remove(path.c_str());
 }
 
 TEST_F(SystemViewsTest, RuleCanAlarmOnMonitorOverheadViaLatOverViews) {

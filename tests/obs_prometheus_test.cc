@@ -1,0 +1,172 @@
+// Golden-format tests for the Prometheus text exposition (version 0.0.4):
+// name sanitization, HELP escaping, counter/gauge/histogram rendering, and
+// bucket-series invariants (cumulative monotonicity, +Inf == _count).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sqlcm::obs {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(PrometheusNameTest, SanitizesForbiddenCharacters) {
+  EXPECT_EQ(PrometheusMetricName("hook.on_query_commit.calls"),
+            "sqlcm_hook_on_query_commit_calls");
+  EXPECT_EQ(PrometheusMetricName("a-b c/d"), "sqlcm_a_b_c_d");
+  EXPECT_EQ(PrometheusMetricName("already_ok:colon"),
+            "sqlcm_already_ok:colon");
+  EXPECT_EQ(PrometheusMetricName("x", "pre_"), "pre_x");
+}
+
+TEST(PrometheusEscapeTest, EscapesHelpText) {
+  EXPECT_EQ(PrometheusEscapeHelp("plain"), "plain");
+  EXPECT_EQ(PrometheusEscapeHelp("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(PrometheusEscapeHelp("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(PrometheusEscapeHelp("a\\b\nc"), "a\\\\b\\nc");
+}
+
+TEST(PrometheusDumpTest, CounterGoldenFormat) {
+  MetricsRegistry registry;
+  Counter c;
+  c.Inc(42);
+  registry.RegisterCounter("engine.events_processed", &c);
+  const auto lines = Lines(registry.DumpPrometheus());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0],
+            "# HELP sqlcm_engine_events_processed_total "
+            "engine.events_processed");
+  EXPECT_EQ(lines[1], "# TYPE sqlcm_engine_events_processed_total counter");
+  EXPECT_EQ(lines[2], "sqlcm_engine_events_processed_total 42");
+}
+
+TEST(PrometheusDumpTest, GaugeGoldenFormat) {
+  MetricsRegistry registry;
+  Gauge g;
+  g.Set(-7);
+  registry.RegisterGauge("governor.level", &g);
+  const auto lines = Lines(registry.DumpPrometheus());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "# HELP sqlcm_governor_level governor.level");
+  EXPECT_EQ(lines[1], "# TYPE sqlcm_governor_level gauge");
+  EXPECT_EQ(lines[2], "sqlcm_governor_level -7");
+}
+
+TEST(PrometheusDumpTest, HistogramBucketsAreCumulativeAndMonotone) {
+  MetricsRegistry registry;
+  LatencyHistogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(3);
+  h.Record(1000);
+  h.Record(1 << 30);
+  registry.RegisterHistogram("hook.latency", &h);
+  const auto lines = Lines(registry.DumpPrometheus());
+
+  // HELP + TYPE + kNumBuckets bucket lines + _sum + _count.
+  ASSERT_EQ(lines.size(), 2 + LatencyHistogram::kNumBuckets + 2);
+  EXPECT_EQ(lines[0], "# HELP sqlcm_hook_latency hook.latency (microseconds)");
+  EXPECT_EQ(lines[1], "# TYPE sqlcm_hook_latency histogram");
+
+  uint64_t prev = 0;
+  uint64_t inf_value = 0;
+  size_t buckets_seen = 0;
+  for (size_t i = 2; i < 2 + LatencyHistogram::kNumBuckets; ++i) {
+    const std::string& line = lines[i];
+    ASSERT_EQ(line.rfind("sqlcm_hook_latency_bucket{le=\"", 0), 0u) << line;
+    const size_t value_pos = line.rfind("} ");
+    ASSERT_NE(value_pos, std::string::npos);
+    const uint64_t value = std::stoull(line.substr(value_pos + 2));
+    EXPECT_GE(value, prev) << "buckets must be cumulative: " << line;
+    prev = value;
+    ++buckets_seen;
+    if (line.find("le=\"+Inf\"") != std::string::npos) {
+      inf_value = value;
+      EXPECT_EQ(buckets_seen, LatencyHistogram::kNumBuckets)
+          << "+Inf must be the last bucket";
+    }
+  }
+  EXPECT_EQ(inf_value, 5u);
+
+  const std::string& sum_line = lines[2 + LatencyHistogram::kNumBuckets];
+  const std::string& count_line = lines[3 + LatencyHistogram::kNumBuckets];
+  EXPECT_EQ(sum_line.rfind("sqlcm_hook_latency_sum ", 0), 0u) << sum_line;
+  EXPECT_EQ(count_line, "sqlcm_hook_latency_count 5");
+}
+
+TEST(PrometheusDumpTest, BucketBoundsMatchHistogramMath) {
+  MetricsRegistry registry;
+  LatencyHistogram h;
+  h.Record(5);  // falls in bucket [4, 7]
+  registry.RegisterHistogram("m", &h);
+  const std::string dump = registry.DumpPrometheus();
+  // The first bucket whose cumulative count reaches 1 must be le="7".
+  EXPECT_NE(dump.find("sqlcm_m_bucket{le=\"7\"} 1\n"), std::string::npos);
+  EXPECT_NE(dump.find("sqlcm_m_bucket{le=\"3\"} 0\n"), std::string::npos);
+}
+
+TEST(PrometheusDumpTest, MixedRegistryKeepsRegistrationOrder) {
+  MetricsRegistry registry;
+  Counter c;
+  Gauge g;
+  registry.RegisterCounter("first", &c);
+  registry.RegisterGauge("second", &g);
+  const std::string dump = registry.DumpPrometheus();
+  EXPECT_LT(dump.find("sqlcm_first_total"), dump.find("sqlcm_second"));
+}
+
+// Every non-comment line must parse as `name{labels} value` or `name value`
+// with a valid metric name — the same check the CI lint step applies to the
+// exported file.
+TEST(PrometheusDumpTest, EveryLineMatchesExpositionGrammar) {
+  MetricsRegistry registry;
+  Counter c;
+  Gauge g;
+  LatencyHistogram h;
+  h.Record(12);
+  registry.RegisterCounter("a.counter", &c);
+  registry.RegisterGauge("a.gauge", &g);
+  registry.RegisterHistogram("a.hist", &h);
+  for (const std::string& line : Lines(registry.DumpPrometheus())) {
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name_part = line.substr(0, space);
+    const std::string value_part = line.substr(space + 1);
+    EXPECT_FALSE(value_part.empty()) << line;
+    EXPECT_NO_THROW((void)std::stod(value_part)) << line;
+    // Name: [a-zA-Z_:][a-zA-Z0-9_:]* with an optional {…} label block.
+    const size_t brace = name_part.find('{');
+    const std::string bare =
+        brace == std::string::npos ? name_part : name_part.substr(0, brace);
+    ASSERT_FALSE(bare.empty()) << line;
+    EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(bare[0])) ||
+                bare[0] == '_' || bare[0] == ':')
+        << line;
+    for (char ch : bare) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+                  ch == ':')
+          << line;
+    }
+    if (brace != std::string::npos) {
+      EXPECT_EQ(name_part.back(), '}') << line;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqlcm::obs
