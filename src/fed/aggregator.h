@@ -1,0 +1,177 @@
+// Fleet aggregator: ingests node deltas with exactly-once *effect*.
+//
+// Dedup state per peer node is an epoch high-water mark (highest epoch up
+// to which *every* epoch has been applied) plus a sparse set of applied
+// epochs above it (out-of-order arrivals). An epoch at or below the mark,
+// or in the set, is acknowledged as a no-op — that is what makes the
+// sender's at-least-once delivery (lost acks, crash re-sends) safe. Merge
+// arithmetic itself is commutative for everything a delta carries
+// (additive moments add; min/max/any fold), so reordered epochs apply in
+// any order; FIRST/LAST are folded best-effort in arrival order.
+//
+// Durability: accepted payloads are appended to a framed, checksummed
+// journal (fsync before apply — a crash after the ack therefore cannot
+// lose an applied delta), and Checkpoint() folds journal + fleet state
+// into one atomic checkpoint file, then truncates the journal. Open()
+// restores checkpoint -> peers -> journal replay; replayed entries that
+// the checkpoint already covers dedup to no-ops.
+//
+// Late deltas: a delta older than `late_window_micros` (by its embedded
+// creation timestamp) is dropped — but still *marked applied* and acked,
+// so the sender stops re-shipping it. Within the window, late deltas merge
+// normally; the per-LAT aging machinery (Lat::MergeState prunes expired
+// blocks on ingest) keeps windowed aggregates honest.
+#ifndef SQLCM_FED_AGGREGATOR_H_
+#define SQLCM_FED_AGGREGATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "fed/delta.h"
+#include "fed/sender.h"
+#include "obs/metrics.h"
+#include "obs/span_ring.h"
+#include "sqlcm/lat.h"
+
+namespace sqlcm::fed {
+
+/// Fires at the top of Ingest, before any effect; a fire is a retryable
+/// ingest failure (aggregator briefly down).
+inline constexpr char kFaultFedIngest[] = "fed.ingest";
+
+/// Point-in-time per-node health, as surfaced by sqlcm_fleet_nodes.
+struct NodeHealth {
+  std::string node_id;
+  const char* state;  // "up" | "stale" | "dead"
+  int64_t last_epoch = 0;    // highest epoch ever applied
+  int64_t hwm = 0;           // highest contiguous applied epoch
+  int64_t lag_micros = 0;    // now - last successful ingest
+  uint64_t applied = 0;
+  uint64_t duplicates = 0;
+  uint64_t reorders = 0;     // applied epochs that arrived out of order
+  uint64_t late_dropped = 0;
+  uint64_t decode_failures = 0;
+};
+
+/// Point-in-time per-LAT fleet rollup, as surfaced by sqlcm_fleet_stats.
+struct FleetLatStats {
+  std::string lat;
+  int64_t rows = 0;  // groups currently in the fleet LAT
+  uint64_t deltas_applied = 0;   // sections merged into this LAT
+  uint64_t records_merged = 0;
+  int64_t last_ingest_micros = 0;
+};
+
+struct AggregatorStats {
+  obs::Counter deltas_ingested;
+  obs::Counter duplicates;
+  obs::Counter reorders;
+  obs::Counter late_dropped;
+  obs::Counter decode_failures;
+  obs::Counter journal_appends;
+  obs::Counter checkpoints;
+  obs::LatencyHistogram ingest_micros;
+};
+
+class FleetAggregator : public DeltaTransport {
+ public:
+  struct Options {
+    /// Journal lives at `dir`/journal, checkpoints at `dir`/checkpoint.
+    std::string dir;
+    common::Clock* clock = nullptr;  // null = SystemClock
+    obs::SpanRing* spans = nullptr;  // optional kIngest span per delta
+    /// Deltas whose creation timestamp is older than this are dropped
+    /// (acked + marked applied, never merged). <= 0 disables the check.
+    int64_t late_window_micros = 0;
+    /// Health thresholds on time since last successful ingest.
+    int64_t stale_after_micros = 10'000'000;
+    int64_t dead_after_micros = 60'000'000;
+  };
+
+  /// Restores checkpoint + journal into the given (freshly constructed,
+  /// empty) fleet LATs. LAT specs must match the nodes' LATs by name.
+  static common::Result<std::unique_ptr<FleetAggregator>> Open(
+      Options options, std::vector<cm::Lat*> fleet_lats);
+  ~FleetAggregator() override;
+
+  /// DeltaTransport: in-process fleets hand the aggregator directly to
+  /// each node's DeltaSender.
+  common::Status Deliver(std::string_view payload) override {
+    return Ingest(payload);
+  }
+
+  /// Journals then merges one encoded delta. IOError = retryable (no
+  /// effect happened); ParseError / InvalidArgument = the payload can
+  /// never apply (sender should quarantine). Duplicates and already-seen
+  /// reorders return OK without touching any LAT.
+  common::Status Ingest(std::string_view payload);
+
+  /// Writes an atomic checkpoint (fleet state + peer dedup state) and
+  /// truncates the journal.
+  common::Status Checkpoint();
+
+  std::vector<NodeHealth> SnapshotNodes() const;
+  std::vector<FleetLatStats> SnapshotLats() const;
+
+  AggregatorStats& stats() const { return stats_; }
+  void RegisterMetrics(obs::MetricsRegistry* registry) const;
+
+ private:
+  struct PeerState {
+    int64_t hwm = 0;
+    std::set<int64_t> applied_above;  // applied epochs > hwm (sparse)
+    int64_t last_epoch = 0;
+    int64_t last_ingest_micros = 0;
+    uint64_t applied = 0;
+    uint64_t duplicates = 0;
+    uint64_t reorders = 0;
+    uint64_t late_dropped = 0;
+    uint64_t decode_failures = 0;
+
+    bool Seen(int64_t epoch) const {
+      return epoch <= hwm || applied_above.count(epoch) > 0;
+    }
+    void MarkApplied(int64_t epoch);
+  };
+  struct FleetLat {
+    cm::Lat* lat;
+    uint64_t deltas_applied = 0;
+    uint64_t records_merged = 0;
+    int64_t last_ingest_micros = 0;
+  };
+
+  FleetAggregator(Options options, std::vector<cm::Lat*> fleet_lats);
+
+  FleetLat* FindLat(std::string_view name);
+  /// Dedup/late checks + validate + journal (`payload`, skipped on replay)
+  /// + merge; shared by Ingest and journal replay. Replay skips the
+  /// late-drop check — journaled entries were already accepted once.
+  common::Status ApplyDelta(const Delta& delta, bool replay,
+                            std::string_view payload);
+  common::Status AppendJournal(std::string_view payload);
+  common::Status LoadCheckpoint();
+  common::Status ReplayJournal();
+  common::Status OpenJournal(bool truncate);
+  std::string journal_path() const { return options_.dir + "/journal"; }
+  std::string checkpoint_path() const { return options_.dir + "/checkpoint"; }
+
+  Options options_;
+  common::Clock* clock_;
+  std::vector<FleetLat> lats_;
+  std::map<std::string, PeerState> peers_;  // ordered: stable view rows
+  int journal_fd_ = -1;
+  std::atomic<uint64_t> span_seq_{0};
+  mutable AggregatorStats stats_;
+};
+
+}  // namespace sqlcm::fed
+
+#endif  // SQLCM_FED_AGGREGATOR_H_

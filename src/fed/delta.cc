@@ -1,0 +1,294 @@
+#include "fed/delta.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/crc32.h"
+#include "common/string_util.h"
+
+namespace sqlcm::fed {
+
+using common::Result;
+using common::Row;
+using common::Status;
+using common::Value;
+using common::ValueKind;
+
+namespace {
+
+std::vector<std::string_view> SplitLines(std::string_view s) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start < s.size()) {
+    size_t pos = s.find('\n', start);
+    if (pos == std::string_view::npos) pos = s.size();
+    lines.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return lines;
+}
+
+std::vector<std::string_view> SplitField(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  for (;;) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+Result<int64_t> ParseInt(std::string_view s) {
+  const std::string text(s);
+  char* end = nullptr;
+  const int64_t v = std::strtoll(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text.empty()) {
+    return Status::ParseError("bad integer in delta: '" + text + "'");
+  }
+  return v;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  const std::string text(s);
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || text.empty()) {
+    return Status::ParseError("bad double in delta: '" + text + "'");
+  }
+  return v;
+}
+
+/// `key=value` line accessor; ParseError when the prefix does not match.
+Result<std::string_view> FieldAfter(std::string_view line,
+                                    std::string_view prefix) {
+  if (line.substr(0, prefix.size()) != prefix) {
+    return Status::ParseError("delta: expected '" + std::string(prefix) +
+                              "...', got '" + std::string(line) + "'");
+  }
+  return line.substr(prefix.size());
+}
+
+}  // namespace
+
+std::string EscapeFedText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case ',': out += "%2C"; break;
+      case ' ': out += "%20"; break;
+      case '\n': out += "%0A"; break;
+      case '\r': out += "%0D"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeFedText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    const std::string_view code =
+        i + 2 < s.size() ? s.substr(i + 1, 2) : std::string_view();
+    if (code == "25") out += '%';
+    else if (code == "2C") out += ',';
+    else if (code == "20") out += ' ';
+    else if (code == "0A") out += '\n';
+    else if (code == "0D") out += '\r';
+    else {
+      return Status::ParseError("bad escape in delta text '" +
+                                std::string(s) + "'");
+    }
+    i += 2;
+  }
+  return out;
+}
+
+std::string EncodeCell(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      return "N";
+    case ValueKind::kBool:
+      return v.bool_value() ? "B1" : "B0";
+    case ValueKind::kInt:
+      return "I" + std::to_string(v.int_value());
+    case ValueKind::kDouble:
+      return "D" + common::FormatDoubleShortest(v.double_value());
+    case ValueKind::kString:
+      return "S" + EscapeFedText(v.string_value());
+  }
+  return "N";
+}
+
+Result<Value> DecodeCell(std::string_view s) {
+  if (s.empty()) return Status::ParseError("empty cell in delta record");
+  const std::string_view payload = s.substr(1);
+  switch (s[0]) {
+    case 'N':
+      return Value::Null();
+    case 'B':
+      return Value::Bool(payload == "1");
+    case 'I': {
+      SQLCM_ASSIGN_OR_RETURN(const int64_t v, ParseInt(payload));
+      return Value::Int(v);
+    }
+    case 'D': {
+      SQLCM_ASSIGN_OR_RETURN(const double v, ParseDouble(payload));
+      return Value::Double(v);
+    }
+    case 'S': {
+      SQLCM_ASSIGN_OR_RETURN(std::string text, UnescapeFedText(payload));
+      return Value::String(std::move(text));
+    }
+    default:
+      return Status::ParseError("bad cell '" + std::string(s) +
+                                "' in delta record");
+  }
+}
+
+std::string EncodeRecordLine(const DeltaRecord& record) {
+  std::string line(record.mode == cm::Lat::StateDeltaMode::kFresh ? "F"
+                                                                  : "I");
+  for (const Value& cell : record.cells) {
+    line += ',';
+    line += EncodeCell(cell);
+  }
+  return line;
+}
+
+Result<DeltaRecord> DecodeRecordLine(std::string_view line) {
+  const auto fields = SplitField(line, ',');
+  if (fields.empty() || (fields[0] != "I" && fields[0] != "F")) {
+    return Status::ParseError("delta record missing I/F mode: '" +
+                              std::string(line) + "'");
+  }
+  DeltaRecord record;
+  record.mode = fields[0] == "F" ? cm::Lat::StateDeltaMode::kFresh
+                                 : cm::Lat::StateDeltaMode::kIncremental;
+  record.cells.reserve(fields.size() - 1);
+  for (size_t i = 1; i < fields.size(); ++i) {
+    SQLCM_ASSIGN_OR_RETURN(Value cell, DecodeCell(fields[i]));
+    record.cells.push_back(std::move(cell));
+  }
+  return record;
+}
+
+std::string WrapChecksummed(std::string_view magic, std::string_view body) {
+  char header[96];
+  std::snprintf(header, sizeof(header), "%.*s v=%d crc=%08x len=%zu\n",
+                static_cast<int>(magic.size()), magic.data(), kFedVersion,
+                common::Crc32(body), body.size());
+  std::string out(header);
+  out += body;
+  return out;
+}
+
+Result<std::string_view> UnwrapChecksummed(std::string_view magic,
+                                           std::string_view text) {
+  const size_t eol = text.find('\n');
+  if (eol == std::string_view::npos) {
+    return Status::ParseError("federation container: missing header line");
+  }
+  const std::string_view header = text.substr(0, eol);
+  int version = 0;
+  unsigned crc = 0;
+  size_t len = 0;
+  char parsed_magic[32] = {0};
+  if (std::sscanf(std::string(header).c_str(), "%31s v=%d crc=%x len=%zu",
+                  parsed_magic, &version, &crc, &len) != 4 ||
+      magic != parsed_magic) {
+    return Status::ParseError("federation container: bad header '" +
+                              std::string(header) + "'");
+  }
+  if (version != kFedVersion) {
+    return Status::ParseError("federation container: unsupported version " +
+                              std::to_string(version));
+  }
+  const std::string_view body = text.substr(eol + 1);
+  if (body.size() != len) {
+    return Status::ParseError(
+        "federation container: truncated body (" +
+        std::to_string(body.size()) + " of " + std::to_string(len) +
+        " bytes)");
+  }
+  if (common::Crc32(body) != crc) {
+    return Status::ParseError("federation container: CRC mismatch");
+  }
+  return body;
+}
+
+std::string EncodeDelta(const Delta& delta) {
+  std::string body;
+  body += "node=" + EscapeFedText(delta.node_id) + "\n";
+  body += "epoch=" + std::to_string(delta.epoch) + "\n";
+  body += "ts=" + std::to_string(delta.created_micros) + "\n";
+  for (const LatSection& section : delta.lats) {
+    body += "lat=" + EscapeFedText(section.lat_name) +
+            " records=" + std::to_string(section.records.size()) + "\n";
+    for (const DeltaRecord& record : section.records) {
+      body += EncodeRecordLine(record);
+      body += '\n';
+    }
+  }
+  return WrapChecksummed(kFedMagic, body);
+}
+
+Result<Delta> DecodeDelta(std::string_view text) {
+  SQLCM_ASSIGN_OR_RETURN(const std::string_view body,
+                         UnwrapChecksummed(kFedMagic, text));
+  const auto lines = SplitLines(body);
+  if (lines.size() < 3) {
+    return Status::ParseError("delta: missing node/epoch/ts lines");
+  }
+  Delta delta;
+  {
+    SQLCM_ASSIGN_OR_RETURN(const std::string_view node,
+                           FieldAfter(lines[0], "node="));
+    SQLCM_ASSIGN_OR_RETURN(delta.node_id, UnescapeFedText(node));
+    SQLCM_ASSIGN_OR_RETURN(const std::string_view epoch,
+                           FieldAfter(lines[1], "epoch="));
+    SQLCM_ASSIGN_OR_RETURN(delta.epoch, ParseInt(epoch));
+    SQLCM_ASSIGN_OR_RETURN(const std::string_view ts,
+                           FieldAfter(lines[2], "ts="));
+    SQLCM_ASSIGN_OR_RETURN(delta.created_micros, ParseInt(ts));
+  }
+  size_t i = 3;
+  while (i < lines.size()) {
+    SQLCM_ASSIGN_OR_RETURN(const std::string_view rest,
+                           FieldAfter(lines[i], "lat="));
+    const auto parts = SplitField(rest, ' ');
+    if (parts.size() != 2) {
+      return Status::ParseError("delta: bad lat section header '" +
+                                std::string(lines[i]) + "'");
+    }
+    LatSection section;
+    SQLCM_ASSIGN_OR_RETURN(section.lat_name, UnescapeFedText(parts[0]));
+    SQLCM_ASSIGN_OR_RETURN(const std::string_view count_field,
+                           FieldAfter(parts[1], "records="));
+    SQLCM_ASSIGN_OR_RETURN(const int64_t count, ParseInt(count_field));
+    ++i;
+    if (count < 0 || i + static_cast<size_t>(count) > lines.size()) {
+      return Status::ParseError("delta: lat section '" + section.lat_name +
+                                "' claims more records than present");
+    }
+    section.records.reserve(static_cast<size_t>(count));
+    for (int64_t r = 0; r < count; ++r, ++i) {
+      SQLCM_ASSIGN_OR_RETURN(DeltaRecord record, DecodeRecordLine(lines[i]));
+      section.records.push_back(std::move(record));
+    }
+    delta.lats.push_back(std::move(section));
+  }
+  return delta;
+}
+
+}  // namespace sqlcm::fed

@@ -1,0 +1,114 @@
+#include "fed/fleet_views.h"
+
+#include "catalog/schema.h"
+#include "engine/database.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace sqlcm::fed {
+
+using common::Row;
+using common::Value;
+
+namespace {
+
+catalog::ColumnType TypeCode(char code) {
+  switch (code) {
+    case 'i': return catalog::ColumnType::kInt;
+    case 'd': return catalog::ColumnType::kDouble;
+    case 'b': return catalog::ColumnType::kBool;
+    default: return catalog::ColumnType::kString;
+  }
+}
+
+}  // namespace
+
+FleetViews::FleetViews(FleetAggregator* aggregator, engine::Database* db)
+    : aggregator_(aggregator), db_(db) {
+  if (storage::Table* t = Register(kFleetNodesView,
+                                   {{"node_id", 's'},
+                                    {"state", 's'},
+                                    {"last_epoch", 'i'},
+                                    {"hwm", 'i'},
+                                    {"lag_micros", 'i'},
+                                    {"applied", 'i'},
+                                    {"duplicates", 'i'},
+                                    {"reorders", 'i'},
+                                    {"late_dropped", 'i'},
+                                    {"decode_failures", 'i'}},
+                                   {"node_id"})) {
+    t->SetVirtualRefresh([this, t] {
+      std::lock_guard<std::mutex> lock(refresh_mutex_);
+      RefreshNodes(t);
+    });
+  }
+  if (storage::Table* t = Register(kFleetStatsView,
+                                   {{"lat", 's'},
+                                    {"rows", 'i'},
+                                    {"deltas_applied", 'i'},
+                                    {"records_merged", 'i'},
+                                    {"last_ingest_micros", 'i'}},
+                                   {"lat"})) {
+    t->SetVirtualRefresh([this, t] {
+      std::lock_guard<std::mutex> lock(refresh_mutex_);
+      RefreshStats(t);
+    });
+  }
+}
+
+FleetViews::~FleetViews() {
+  for (const std::string& name : registered_) {
+    (void)db_->catalog()->DropTable(name);
+  }
+}
+
+storage::Table* FleetViews::Register(
+    const std::string& name,
+    std::vector<std::pair<std::string, char>> columns,
+    const std::vector<std::string>& primary_key) {
+  std::vector<catalog::Column> cols;
+  cols.reserve(columns.size());
+  for (auto& [col_name, code] : columns) {
+    cols.push_back({std::move(col_name), TypeCode(code)});
+  }
+  auto schema =
+      catalog::TableSchema::Create(name, std::move(cols), primary_key);
+  if (!schema.ok()) return nullptr;
+  auto created = db_->catalog()->CreateTable(std::move(*schema));
+  if (!created.ok()) return nullptr;  // name owned by a user table
+  registered_.push_back(name);
+  return *created;
+}
+
+void FleetViews::RefreshNodes(storage::Table* table) {
+  table->Truncate();
+  for (const NodeHealth& h : aggregator_->SnapshotNodes()) {
+    Row row;
+    row.push_back(Value::String(h.node_id));
+    row.push_back(Value::String(h.state));
+    row.push_back(Value::Int(h.last_epoch));
+    row.push_back(Value::Int(h.hwm));
+    row.push_back(Value::Int(h.lag_micros));
+    row.push_back(Value::Int(static_cast<int64_t>(h.applied)));
+    row.push_back(Value::Int(static_cast<int64_t>(h.duplicates)));
+    row.push_back(Value::Int(static_cast<int64_t>(h.reorders)));
+    row.push_back(Value::Int(static_cast<int64_t>(h.late_dropped)));
+    row.push_back(Value::Int(static_cast<int64_t>(h.decode_failures)));
+    (void)table->Insert(std::move(row));
+  }
+}
+
+void FleetViews::RefreshStats(storage::Table* table) {
+  table->Truncate();
+  for (const FleetLatStats& s : aggregator_->SnapshotLats()) {
+    Row row;
+    row.push_back(Value::String(s.lat));
+    row.push_back(Value::Int(s.rows));
+    row.push_back(Value::Int(static_cast<int64_t>(s.deltas_applied)));
+    row.push_back(Value::Int(static_cast<int64_t>(s.records_merged)));
+    row.push_back(Value::Int(s.last_ingest_micros));
+    (void)table->Insert(std::move(row));
+  }
+}
+
+}  // namespace sqlcm::fed

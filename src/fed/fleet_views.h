@@ -1,0 +1,59 @@
+// Fleet-wide SQL surface over the aggregator (mirrors sqlcm/system_views):
+//
+//   sqlcm_fleet_nodes  one row per peer node — dedup high-water mark,
+//                      last epoch, ingest lag, duplicate/reorder/late/
+//                      decode counters, and an up/stale/dead health state
+//                      derived from heartbeat age
+//   sqlcm_fleet_stats  one row per fleet LAT — group count plus how many
+//                      delta sections / records have been merged into it
+//
+// Both are virtual tables: contents rebuild from aggregator snapshots at
+// the start of every scan, so plain SELECT (and therefore ECA rules over
+// the aggregator's own database) can watch the fleet.
+#ifndef SQLCM_FED_FLEET_VIEWS_H_
+#define SQLCM_FED_FLEET_VIEWS_H_
+
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fed/aggregator.h"
+
+namespace sqlcm::engine {
+class Database;
+}
+
+namespace sqlcm::storage {
+class Table;
+}
+
+namespace sqlcm::fed {
+
+inline constexpr const char* kFleetNodesView = "sqlcm_fleet_nodes";
+inline constexpr const char* kFleetStatsView = "sqlcm_fleet_stats";
+
+class FleetViews {
+ public:
+  FleetViews(FleetAggregator* aggregator, engine::Database* db);
+  ~FleetViews();
+
+  FleetViews(const FleetViews&) = delete;
+  FleetViews& operator=(const FleetViews&) = delete;
+
+ private:
+  storage::Table* Register(const std::string& name,
+                           std::vector<std::pair<std::string, char>> columns,
+                           const std::vector<std::string>& primary_key);
+  void RefreshNodes(storage::Table* table);
+  void RefreshStats(storage::Table* table);
+
+  FleetAggregator* aggregator_;
+  engine::Database* db_;
+  std::vector<std::string> registered_;  // names we own and must drop
+  std::mutex refresh_mutex_;
+};
+
+}  // namespace sqlcm::fed
+
+#endif  // SQLCM_FED_FLEET_VIEWS_H_

@@ -1,0 +1,123 @@
+// Federation monitor node: periodic LAT state-delta export with a durable
+// baseline and a crash-safe spool (docs/FEDERATION.md).
+//
+// Every ExportEpoch():
+//   1. exports each attached LAT's raw state (v2 codec) and diffs it
+//      against the previous epoch's baseline (Lat::DiffStateRecord) into an
+//      epoch-numbered delta;
+//   2. publishes the delta into the spool (atomic; crash loses the whole
+//      epoch, never a torn one);
+//   3. commits the new baseline in memory and rewrites the durable baseline
+//      file (full cumulative state, same container format).
+//
+// The *eligibility gate*: only epochs ≤ durable_epoch() — the epoch of the
+// last successfully written baseline file — may be sent. Without it a
+// sequence of {baseline write fails, delta sent + acked + removed, crash}
+// would restart from a stale baseline and re-ship already-acked increments
+// under a new epoch number, double-counting at the aggregator. With it,
+// spooled-but-ineligible epochs wait until a later baseline write lands.
+//
+// Open() repairs the inverse crash (spool publish succeeded, baseline write
+// never ran): spooled epochs beyond the durable baseline are folded back
+// into the baseline (Lat::CombineStateRecords) before anything becomes
+// eligible, so the baseline again reflects every published epoch.
+#ifndef SQLCM_FED_NODE_H_
+#define SQLCM_FED_NODE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "fed/spool.h"
+#include "obs/metrics.h"
+#include "obs/span_ring.h"
+#include "sqlcm/lat.h"
+
+namespace sqlcm::fed {
+
+/// Fault-injection point for the durable baseline write (io_error leaves
+/// the durable epoch behind the exported epoch; the eligibility gate and
+/// Open() repair are exactly the machinery this exercises).
+inline constexpr char kFaultFedBaselineWrite[] = "fed.baseline.write";
+
+/// Per-node export-side metrics (registered by RegisterMetrics).
+struct FedNodeStats {
+  obs::Counter epochs_exported;
+  obs::Counter records_shipped;       // delta records across all epochs
+  obs::Counter baseline_write_failures;
+  obs::Counter repaired_epochs;       // spooled epochs folded back at Open
+  obs::LatencyHistogram export_micros;
+};
+
+class FedNode {
+ public:
+  struct Options {
+    std::string node_id;
+    /// Spool lives at `dir`/spool, the baseline file at `dir`/baseline.
+    std::string dir;
+    common::Clock* clock = nullptr;  // null = SystemClock
+    /// Optional ship-span sink (SpanKind::kShip, one span per ExportEpoch).
+    obs::SpanRing* spans = nullptr;
+  };
+
+  /// Opens the spool, loads the durable baseline and repairs it from any
+  /// spooled epochs published after the last baseline write. `lats` are the
+  /// LATs this node exports; their specs must match the aggregator's fleet
+  /// LATs of the same name.
+  static common::Result<std::unique_ptr<FedNode>> Open(
+      Options options, std::vector<cm::Lat*> lats);
+
+  /// Exports one epoch (possibly an empty heartbeat) into the spool.
+  /// Returns the published epoch number. A spool-publish failure consumes
+  /// no epoch number and leaves the baseline untouched (safe to retry); a
+  /// baseline-write failure still returns OK — the epoch is published, just
+  /// not yet eligible to send.
+  common::Result<int64_t> ExportEpoch();
+
+  /// Highest epoch the durable baseline reflects; the sender must not ship
+  /// epochs beyond it (see file comment).
+  int64_t durable_epoch() const {
+    return durable_epoch_.load(std::memory_order_acquire);
+  }
+  int64_t last_exported_epoch() const { return last_exported_epoch_; }
+
+  const std::string& node_id() const { return options_.node_id; }
+  DeltaSpool* spool() { return spool_.get(); }
+  FedNodeStats& stats() const { return stats_; }
+  void RegisterMetrics(obs::MetricsRegistry* registry) const;
+
+ private:
+  using BaselineMap = std::unordered_map<common::Row, common::Row,
+                                         common::RowHasher, common::RowEq>;
+  struct AttachedLat {
+    cm::Lat* lat;
+    BaselineMap baseline;  // group key -> full state record at last export
+  };
+
+  FedNode(Options options, std::vector<cm::Lat*> lats);
+
+  common::Status LoadBaseline();
+  common::Status RepairFromSpool();
+  /// Encodes the full baseline (mode-F records) and publishes it
+  /// atomically; advances durable_epoch_ on success.
+  common::Status WriteBaseline();
+  std::string baseline_path() const { return options_.dir + "/baseline"; }
+
+  Options options_;
+  common::Clock* clock_;
+  std::vector<AttachedLat> lats_;
+  std::unique_ptr<DeltaSpool> spool_;
+  int64_t last_exported_epoch_ = 0;   // baseline reflects this epoch
+  std::atomic<int64_t> durable_epoch_{0};
+  std::atomic<uint64_t> span_seq_{0};
+  mutable FedNodeStats stats_;
+};
+
+}  // namespace sqlcm::fed
+
+#endif  // SQLCM_FED_NODE_H_

@@ -1,0 +1,113 @@
+#include "fed/sender.h"
+
+#include <algorithm>
+
+#include "common/fault.h"
+
+namespace sqlcm::fed {
+
+using common::Result;
+using common::Status;
+
+DeltaSender::DeltaSender(FedNode* node, DeltaTransport* transport,
+                         Options options)
+    : node_(node),
+      transport_(transport),
+      options_(options),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : common::SystemClock::Get()),
+      jitter_(options_.jitter_seed) {}
+
+int64_t DeltaSender::BackoffMicros(int attempt) {
+  const int64_t cap = std::max<int64_t>(options_.backoff_cap_micros, 1);
+  int64_t base = options_.backoff_base_micros;
+  for (int i = 1; i < attempt && base < cap; ++i) base *= 2;
+  base = std::min(base, cap);
+  // Full jitter: uniform in [base/2, base] keeps retries spread out while
+  // preserving the exponential envelope.
+  if (base <= 1) return base;
+  return base / 2 +
+         static_cast<int64_t>(jitter_.Uniform(static_cast<uint64_t>(base / 2) + 1));
+}
+
+Result<int> DeltaSender::Pump() {
+  const int64_t durable = node_->durable_epoch();
+  // Poll: oldest-first eligible epochs, bounded by the queue capacity.
+  std::vector<int64_t> queue;
+  for (const int64_t epoch : node_->spool()->List()) {
+    if (epoch > durable) break;  // eligibility gate (node.h)
+    queue.push_back(epoch);
+    if (queue.size() >= static_cast<size_t>(options_.queue_capacity)) break;
+  }
+  int acked = 0;
+  for (const int64_t epoch : queue) {
+    auto payload = node_->spool()->ReadEpoch(epoch);
+    if (!payload.ok()) {
+      // Unreadable payload is local corruption, not a transport problem.
+      stats_.poison_quarantined.Inc();
+      attempts_.erase(epoch);
+      SQLCM_RETURN_IF_ERROR(node_->spool()->Quarantine(epoch));
+      continue;
+    }
+    const int64_t start_micros = clock_->NowMicros();
+    bool delivered = false;
+    for (int attempt = 1; attempt <= options_.max_attempts_per_pump;
+         ++attempt) {
+      const int total_attempts = ++attempts_[epoch];
+      Status status = common::FaultFires(kFaultFedSend)
+                          ? Status::IOError(
+                                "fault injected: send of epoch " +
+                                std::to_string(epoch))
+                          : transport_->Deliver(*payload);
+      if (status.ok()) {
+        delivered = true;
+        break;
+      }
+      if (status.IsParseError() || status.IsInvalidArgument()) {
+        // The aggregator rejected the payload itself: poison.
+        attempts_.erase(epoch);
+        stats_.poison_quarantined.Inc();
+        SQLCM_RETURN_IF_ERROR(node_->spool()->Quarantine(epoch));
+        break;
+      }
+      if (total_attempts >= options_.poison_attempts) {
+        attempts_.erase(epoch);
+        stats_.poison_quarantined.Inc();
+        SQLCM_RETURN_IF_ERROR(node_->spool()->Quarantine(epoch));
+        break;
+      }
+      if (attempt == options_.max_attempts_per_pump) {
+        stats_.send_exhausted.Inc();
+        break;
+      }
+      stats_.send_retries.Inc();
+      clock_->SleepMicros(BackoffMicros(attempt));
+    }
+    if (!delivered) continue;
+    attempts_.erase(epoch);
+    if (common::FaultFires(kFaultFedAck)) {
+      // Delivered, but the ack is lost: keep the epoch spooled so the next
+      // pump re-sends it (the aggregator dedups by epoch).
+      stats_.acks_lost.Inc();
+      continue;
+    }
+    SQLCM_RETURN_IF_ERROR(node_->spool()->Remove(epoch));
+    stats_.epochs_sent.Inc();
+    stats_.drain_micros.Record(clock_->NowMicros() - start_micros);
+    ++acked;
+  }
+  return acked;
+}
+
+void DeltaSender::RegisterMetrics(obs::MetricsRegistry* registry) const {
+  const std::string base = "fed.sender." + node_->node_id() + ".";
+  registry->RegisterCounter(base + "epochs_sent", &stats_.epochs_sent);
+  registry->RegisterCounter(base + "send_retries", &stats_.send_retries);
+  registry->RegisterCounter(base + "send_exhausted", &stats_.send_exhausted);
+  registry->RegisterCounter(base + "poison_quarantined",
+                            &stats_.poison_quarantined);
+  registry->RegisterCounter(base + "acks_lost", &stats_.acks_lost);
+  registry->RegisterHistogram(base + "drain", &stats_.drain_micros);
+}
+
+}  // namespace sqlcm::fed

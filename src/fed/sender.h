@@ -1,0 +1,106 @@
+// Spool drain pipeline: poller -> bounded queue -> retrying sender.
+//
+// DeltaSender pulls *eligible* epochs (<= the node's durable_epoch, see
+// node.h for why) from the spool, at most `queue_capacity` per pump, and
+// pushes each payload through a DeltaTransport with exponential backoff and
+// decorrelated jitter. Failure taxonomy:
+//   * retryable (IOError / injected fed.send) — back off and retry, up to
+//     `max_attempts_per_pump` this pump; the epoch stays spooled and is
+//     retried on the next pump;
+//   * permanent (ParseError / InvalidArgument from the aggregator) — the
+//     payload itself is poison; quarantine immediately;
+//   * poison by exhaustion — an epoch whose *cumulative* attempts reach
+//     `poison_attempts` is quarantined so one bad delta cannot wedge the
+//     queue forever;
+//   * lost ack (injected fed.ack) — the delta was delivered but the spool
+//     remove is skipped, so the next pump re-sends it. The aggregator's
+//     epoch high-water mark makes the duplicate a no-op.
+//
+// Single-threaded by design: Pump() is called from the node's export loop
+// (or a dedicated thread owned by the caller). Backoff sleeps go through
+// the injected Clock, so tests with a MockClock terminate instantly.
+#ifndef SQLCM_FED_SENDER_H_
+#define SQLCM_FED_SENDER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "fed/node.h"
+#include "obs/metrics.h"
+
+namespace sqlcm::fed {
+
+/// Fires before each delivery attempt; a fire is a retryable send failure
+/// (network down).
+inline constexpr char kFaultFedSend[] = "fed.send";
+/// Fires after a *successful* delivery; a fire drops the ack, leaving the
+/// epoch spooled for a duplicate re-send.
+inline constexpr char kFaultFedAck[] = "fed.ack";
+
+/// Where drained deltas go. The in-process aggregator implements this;
+/// tests substitute flaky/recording transports.
+class DeltaTransport {
+ public:
+  virtual ~DeltaTransport() = default;
+  /// Delivers one encoded delta payload. IOError = retryable; ParseError /
+  /// InvalidArgument = the payload is poison (quarantine, don't retry).
+  virtual common::Status Deliver(std::string_view payload) = 0;
+};
+
+struct DeltaSenderStats {
+  obs::Counter epochs_sent;        // delivered + acked + removed
+  obs::Counter send_retries;       // retryable failures that were retried
+  obs::Counter send_exhausted;     // pumps that gave up (epoch kept spooled)
+  obs::Counter poison_quarantined; // permanent failure or attempt exhaustion
+  obs::Counter acks_lost;          // delivered but remove skipped (duplicate)
+  obs::LatencyHistogram drain_micros;  // per-epoch publish->removed latency
+};
+
+class DeltaSender {
+ public:
+  struct Options {
+    /// Bounded-queue depth: max epochs pulled from the spool per Pump().
+    int queue_capacity = 16;
+    /// Retry budget within a single Pump() for one epoch.
+    int max_attempts_per_pump = 4;
+    /// Cumulative attempts (across pumps) before an epoch is quarantined.
+    int poison_attempts = 16;
+    int64_t backoff_base_micros = 1'000;
+    int64_t backoff_cap_micros = 1'000'000;
+    uint64_t jitter_seed = 0x5eed5eed;
+    common::Clock* clock = nullptr;  // null = SystemClock
+  };
+
+  DeltaSender(FedNode* node, DeltaTransport* transport, Options options);
+
+  /// Drains up to queue_capacity eligible epochs, oldest first. Returns the
+  /// number of epochs fully acked (delivered + removed) this pump. Only
+  /// I/O-level spool errors surface as a Status; per-epoch send failures
+  /// are absorbed into the retry/poison machinery and the stats.
+  common::Result<int> Pump();
+
+  DeltaSenderStats& stats() const { return stats_; }
+  void RegisterMetrics(obs::MetricsRegistry* registry) const;
+
+ private:
+  /// Decorrelated-jitter backoff for the given per-pump attempt (1-based).
+  int64_t BackoffMicros(int attempt);
+
+  FedNode* node_;
+  DeltaTransport* transport_;
+  Options options_;
+  common::Clock* clock_;
+  common::Random jitter_;
+  /// epoch -> cumulative delivery attempts (pruned on ack/quarantine).
+  std::unordered_map<int64_t, int> attempts_;
+  mutable DeltaSenderStats stats_;
+};
+
+}  // namespace sqlcm::fed
+
+#endif  // SQLCM_FED_SENDER_H_

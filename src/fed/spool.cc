@@ -1,0 +1,159 @@
+#include "fed/spool.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/fault.h"
+#include "storage/table_io.h"
+
+namespace sqlcm::fed {
+
+using common::FaultKind;
+using common::Result;
+using common::Status;
+
+namespace {
+
+constexpr char kEpochPrefix[] = "epoch-";
+constexpr char kEpochSuffix[] = ".delta";
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  return Status::IOError("mkdir('" + dir + "'): " + std::strerror(errno));
+}
+
+/// Parses `epoch-<digits>.delta`; -1 for anything else.
+int64_t EpochFromName(const char* name) {
+  const size_t prefix_len = sizeof(kEpochPrefix) - 1;
+  const size_t suffix_len = sizeof(kEpochSuffix) - 1;
+  const size_t len = std::strlen(name);
+  if (len <= prefix_len + suffix_len ||
+      std::strncmp(name, kEpochPrefix, prefix_len) != 0 ||
+      std::strcmp(name + len - suffix_len, kEpochSuffix) != 0) {
+    return -1;
+  }
+  char* end = nullptr;
+  const int64_t epoch = std::strtoll(name + prefix_len, &end, 10);
+  if (end == nullptr || std::strncmp(end, kEpochSuffix, suffix_len) != 0) {
+    return -1;
+  }
+  return epoch;
+}
+
+}  // namespace
+
+DeltaSpool::DeltaSpool(std::string dir)
+    : dir_(std::move(dir)), quarantine_dir_(dir_ + "/quarantine") {}
+
+Result<std::unique_ptr<DeltaSpool>> DeltaSpool::Open(std::string dir) {
+  auto spool = std::unique_ptr<DeltaSpool>(new DeltaSpool(std::move(dir)));
+  SQLCM_RETURN_IF_ERROR(EnsureDir(spool->dir_));
+  SQLCM_RETURN_IF_ERROR(EnsureDir(spool->quarantine_dir_));
+  // Leftover tempfiles are crashed writers mid-publish; their epochs were
+  // never durable, so discard them rather than resurrect a torn payload.
+  DIR* d = ::opendir(spool->dir_.c_str());
+  if (d == nullptr) {
+    return Status::IOError("opendir('" + spool->dir_ +
+                           "'): " + std::strerror(errno));
+  }
+  while (dirent* entry = ::readdir(d)) {
+    const size_t len = std::strlen(entry->d_name);
+    if (len > 4 && std::strcmp(entry->d_name + len - 4, ".tmp") == 0) {
+      ::unlink((spool->dir_ + "/" + entry->d_name).c_str());
+    }
+  }
+  ::closedir(d);
+  return spool;
+}
+
+std::string DeltaSpool::PathForEpoch(int64_t epoch) const {
+  char name[48];
+  std::snprintf(name, sizeof(name), "%s%016lld%s", kEpochPrefix,
+                static_cast<long long>(epoch), kEpochSuffix);
+  return dir_ + "/" + name;
+}
+
+Status DeltaSpool::Put(int64_t epoch, std::string_view payload) {
+  const FaultKind fault =
+      common::FaultRegistry::Get()->FireKind(kFaultFedSpoolWrite);
+  if (fault == FaultKind::kIOError) {
+    return Status::IOError("fault injected: spool write for epoch " +
+                           std::to_string(epoch));
+  }
+  const std::string path = PathForEpoch(epoch);
+  if (fault == FaultKind::kShortWrite || fault == FaultKind::kCrashRename) {
+    // Model a crashed writer: a (possibly torn) tempfile exists but the
+    // epoch was never published. Open() discards such tempfiles.
+    std::ofstream tmp(path + ".tmp", std::ios::binary | std::ios::trunc);
+    tmp << payload.substr(0, payload.size() / 2);
+    return Status::IOError("fault injected: crash while spooling epoch " +
+                           std::to_string(epoch));
+  }
+  return storage::WriteFileAtomic(path, payload);
+}
+
+std::vector<int64_t> DeltaSpool::List() const {
+  std::vector<int64_t> epochs;
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return epochs;
+  while (dirent* entry = ::readdir(d)) {
+    const int64_t epoch = EpochFromName(entry->d_name);
+    if (epoch >= 0) epochs.push_back(epoch);
+  }
+  ::closedir(d);
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+Result<std::string> DeltaSpool::ReadEpoch(int64_t epoch) const {
+  const std::string path = PathForEpoch(epoch);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("open('" + path + "'): " + std::strerror(errno));
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("read('" + path + "') failed");
+  }
+  return content.str();
+}
+
+Status DeltaSpool::Remove(int64_t epoch) {
+  if (common::FaultFires(kFaultFedSpoolRemove)) {
+    return Status::IOError("fault injected: spool remove for epoch " +
+                           std::to_string(epoch));
+  }
+  const std::string path = PathForEpoch(epoch);
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError("unlink('" + path + "'): " + std::strerror(errno));
+  }
+  return storage::FsyncParentDir(path);
+}
+
+Status DeltaSpool::Quarantine(int64_t epoch) {
+  const std::string from = PathForEpoch(epoch);
+  const std::string to =
+      quarantine_dir_ + from.substr(from.find_last_of('/'));
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IOError("rename('" + from + "' -> '" + to +
+                           "'): " + std::strerror(errno));
+  }
+  quarantined_.fetch_add(1, std::memory_order_relaxed);
+  // Both directory entries moved: make the disappearance from the spool
+  // and the appearance in quarantine durable.
+  SQLCM_RETURN_IF_ERROR(storage::FsyncParentDir(from));
+  return storage::FsyncParentDir(to);
+}
+
+}  // namespace sqlcm::fed

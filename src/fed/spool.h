@@ -1,0 +1,74 @@
+// Crash-safe on-disk delta spool (docs/FEDERATION.md).
+//
+// One file per epoch (`epoch-<16 digits>.delta`), published with the
+// atomic tempfile + fsync + rename + parent-directory-fsync primitive, so
+// a spooled epoch either exists whole and durable or not at all. Epoch
+// files are immutable once published; acknowledgement removes them (unlink
+// + directory fsync), and payloads the receiver permanently rejects are
+// moved aside into `quarantine/` instead of being retried forever.
+//
+// The spool is the node's outbox: a crash between publish and send loses
+// nothing (the file is still listed on restart), and a crash between send
+// and remove merely re-sends — the aggregator's epoch high-water marks make
+// the duplicate a no-op.
+#ifndef SQLCM_FED_SPOOL_H_
+#define SQLCM_FED_SPOOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqlcm::fed {
+
+/// Fault-injection points honoured by the spool (common/fault.h):
+/// io_error fails the operation, short_write tears the tempfile,
+/// crash_rename leaves a durable tempfile unpublished.
+inline constexpr char kFaultFedSpoolWrite[] = "fed.spool.write";
+inline constexpr char kFaultFedSpoolRemove[] = "fed.spool.remove";
+
+class DeltaSpool {
+ public:
+  /// Creates `dir` and `dir/quarantine` as needed and scans for existing
+  /// epoch files (recovery after restart).
+  static common::Result<std::unique_ptr<DeltaSpool>> Open(std::string dir);
+
+  /// Publishes the payload for `epoch` atomically. An epoch already spooled
+  /// is overwritten (only ever happens when re-exporting an epoch whose
+  /// earlier Put failed, before anything became eligible to send).
+  common::Status Put(int64_t epoch, std::string_view payload);
+
+  /// Spooled epochs, ascending (quarantined epochs excluded).
+  std::vector<int64_t> List() const;
+
+  common::Result<std::string> ReadEpoch(int64_t epoch) const;
+
+  /// Acknowledgement: removes the epoch file durably.
+  common::Status Remove(int64_t epoch);
+
+  /// Moves the epoch file into quarantine/ (poison delta: the receiver
+  /// rejected it permanently, or it exhausted its retry budget).
+  common::Status Quarantine(int64_t epoch);
+
+  uint64_t quarantined() const {
+    return quarantined_.load(std::memory_order_relaxed);
+  }
+  const std::string& dir() const { return dir_; }
+
+  std::string PathForEpoch(int64_t epoch) const;
+
+ private:
+  explicit DeltaSpool(std::string dir);
+
+  std::string dir_;
+  std::string quarantine_dir_;
+  std::atomic<uint64_t> quarantined_{0};
+};
+
+}  // namespace sqlcm::fed
+
+#endif  // SQLCM_FED_SPOOL_H_

@@ -1,0 +1,32 @@
+#include "fed/state_table.h"
+
+#include "catalog/schema.h"
+
+namespace sqlcm::fed {
+
+using common::ValueKind;
+
+common::Result<std::unique_ptr<storage::Table>> MakeStateStagingTable(
+    const cm::Lat& lat) {
+  const std::vector<std::string> cols = lat.StateColumnNames();
+  const std::vector<ValueKind> kinds = lat.StateColumnKinds();
+  std::vector<catalog::Column> columns;
+  columns.reserve(cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    catalog::ColumnType type;
+    switch (kinds[i]) {
+      case ValueKind::kInt: type = catalog::ColumnType::kInt; break;
+      case ValueKind::kDouble: type = catalog::ColumnType::kDouble; break;
+      case ValueKind::kBool: type = catalog::ColumnType::kBool; break;
+      default: type = catalog::ColumnType::kString; break;
+    }
+    columns.push_back({cols[i], type});
+  }
+  SQLCM_ASSIGN_OR_RETURN(
+      auto schema,
+      catalog::TableSchema::Create(lat.name() + "_fed_state",
+                                   std::move(columns), {}));
+  return std::make_unique<storage::Table>(0, std::move(schema));
+}
+
+}  // namespace sqlcm::fed

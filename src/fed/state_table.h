@@ -1,0 +1,21 @@
+// Staging-table helper shared by the federation node (delta export) and
+// aggregator (delta ingest): an in-memory storage::Table with exactly the
+// LAT's v2 state-record schema (no trailing timestamp column), suitable for
+// Lat::ExportState / Lat::MergeState.
+#ifndef SQLCM_FED_STATE_TABLE_H_
+#define SQLCM_FED_STATE_TABLE_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "sqlcm/lat.h"
+#include "storage/table.h"
+
+namespace sqlcm::fed {
+
+common::Result<std::unique_ptr<storage::Table>> MakeStateStagingTable(
+    const cm::Lat& lat);
+
+}  // namespace sqlcm::fed
+
+#endif  // SQLCM_FED_STATE_TABLE_H_

@@ -17,6 +17,10 @@ const char* SpanKindName(SpanKind kind) {
       return "lat_upsert";
     case SpanKind::kCheckpoint:
       return "checkpoint";
+    case SpanKind::kShip:
+      return "ship";
+    case SpanKind::kIngest:
+      return "ingest";
   }
   return "unknown";
 }

@@ -38,6 +38,8 @@ enum class SpanKind : uint8_t {
   kAction = 2,     // one rule action's execution
   kLatUpsert = 3,  // LAT insert inside a Query.Insert action
   kCheckpoint = 4, // LAT snapshot write (checkpoint I/O)
+  kShip = 5,       // federation delta export + spool publish (src/fed)
+  kIngest = 6,     // federation delta ingest + merge (src/fed)
 };
 
 const char* SpanKindName(SpanKind kind);

@@ -394,9 +394,14 @@ Value Lat::AggValue(const AggState& state, const LatAggColumn& col,
     sum = sumsq = 0;
     any = false;
     min = max = Value::Null();
-    if (state.blocks == nullptr) return col.func == LatAggFunc::kCount
-                                            ? Value::Int(0)
-                                            : Value::Null();
+    if (state.blocks == nullptr) {
+      // No block deque is semantically an empty window: COUNT is 0 and
+      // STDEV follows the count<2 rule below, same as an allocated deque
+      // whose blocks have all aged out.
+      if (col.func == LatAggFunc::kCount) return Value::Int(0);
+      if (col.func == LatAggFunc::kStdev) return Value::Double(0);
+      return Value::Null();
+    }
     const int64_t horizon = now_micros - spec_.aging_window_micros;
     for (const AgingBlock& block : *state.blocks) {
       if (block.block_start + spec_.aging_block_micros <= horizon) continue;
@@ -1160,41 +1165,45 @@ Status Lat::ExportState(storage::Table* table,
       std::lock_guard<common::SpinLatch> row_guard(row->latch);
       record.insert(record.end(), row->group_key.begin(),
                     row->group_key.end());
-      for (const AggState& state : row->aggs) {
-        record.push_back(Value::Int(state.count));
-        record.push_back(Value::Double(state.sum));
-        record.push_back(Value::Double(state.sumsq));
-        record.push_back(Value::Bool(state.any));
-        record.push_back(Value::String(EncodeTaggedValue(state.min)));
-        record.push_back(Value::String(EncodeTaggedValue(state.max)));
-        record.push_back(Value::String(EncodeTaggedValue(state.first)));
-        record.push_back(Value::String(EncodeTaggedValue(state.last)));
-        std::string blocks;
-        if (state.blocks != nullptr) {
-          for (const AgingBlock& block : *state.blocks) {
-            if (!blocks.empty()) blocks += ';';
-            blocks += std::to_string(block.block_start);
-            blocks += ':';
-            blocks += std::to_string(block.count);
-            blocks += ':';
-            blocks += common::FormatDoubleShortest(block.sum);
-            blocks += ':';
-            blocks += common::FormatDoubleShortest(block.sumsq);
-            blocks += ':';
-            blocks += block.any ? '1' : '0';
-            blocks += ':';
-            blocks += EncodeTaggedValue(block.min);
-            blocks += ':';
-            blocks += EncodeTaggedValue(block.max);
-          }
-        }
-        record.push_back(Value::String(std::move(blocks)));
-      }
+      AppendStateAggs(row->aggs, &record);
     }
     if (with_timestamp) record.push_back(Value::Int(timestamp_micros));
     SQLCM_RETURN_IF_ERROR(table->Insert(std::move(record)).status());
   }
   return Status::OK();
+}
+
+void Lat::AppendStateAggs(const std::vector<AggState>& aggs, Row* record) {
+  for (const AggState& state : aggs) {
+    record->push_back(Value::Int(state.count));
+    record->push_back(Value::Double(state.sum));
+    record->push_back(Value::Double(state.sumsq));
+    record->push_back(Value::Bool(state.any));
+    record->push_back(Value::String(EncodeTaggedValue(state.min)));
+    record->push_back(Value::String(EncodeTaggedValue(state.max)));
+    record->push_back(Value::String(EncodeTaggedValue(state.first)));
+    record->push_back(Value::String(EncodeTaggedValue(state.last)));
+    std::string blocks;
+    if (state.blocks != nullptr) {
+      for (const AgingBlock& block : *state.blocks) {
+        if (!blocks.empty()) blocks += ';';
+        blocks += std::to_string(block.block_start);
+        blocks += ':';
+        blocks += std::to_string(block.count);
+        blocks += ':';
+        blocks += common::FormatDoubleShortest(block.sum);
+        blocks += ':';
+        blocks += common::FormatDoubleShortest(block.sumsq);
+        blocks += ':';
+        blocks += block.any ? '1' : '0';
+        blocks += ':';
+        blocks += EncodeTaggedValue(block.min);
+        blocks += ':';
+        blocks += EncodeTaggedValue(block.max);
+      }
+    }
+    record->push_back(Value::String(std::move(blocks)));
+  }
 }
 
 Status Lat::ImportState(const storage::Table& table, int64_t now_micros) {
@@ -1220,55 +1229,348 @@ Status Lat::ImportState(const storage::Table& table, int64_t now_micros) {
       auto row = std::make_shared<LatRow>();
       row->hash = HashGroupKey(group_key);
       row->group_key = std::move(group_key);
-      row->aggs.resize(spec_.aggregates.size());
-      for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
-        const size_t base = group_width() + 9 * a;
-        AggState& state = row->aggs[a];
-        const Value& count_v = persisted[base];
-        const Value& sum_v = persisted[base + 1];
-        const Value& sumsq_v = persisted[base + 2];
-        const Value& any_v = persisted[base + 3];
-        state.count = count_v.is_int() ? count_v.int_value() : 0;
-        state.sum = sum_v.is_numeric() ? sum_v.AsDouble() : 0;
-        state.sumsq = sumsq_v.is_numeric() ? sumsq_v.AsDouble() : 0;
-        state.any = any_v.is_bool() && any_v.bool_value();
-        Value* const dest[4] = {&state.min, &state.max, &state.first,
-                                &state.last};
-        for (int i = 0; i < 4; ++i) {
-          const Value& cell = persisted[base + 4 + static_cast<size_t>(i)];
-          if (cell.is_null()) continue;
-          if (!cell.is_string()) {
-            return Status::ParseError("LAT '" + name() +
-                                      "' state: expected tagged value");
-          }
-          SQLCM_ASSIGN_OR_RETURN(*dest[i],
-                                 DecodeTaggedValue(cell.string_value()));
+      SQLCM_RETURN_IF_ERROR(ParseStateAggs(persisted, &row->aggs));
+      AdoptSeededRow(std::move(row), now_micros);
+    }
+  }
+  return Status::OK();
+}
+
+Status Lat::ParseStateAggs(const Row& record,
+                           std::vector<AggState>* aggs) const {
+  aggs->clear();
+  aggs->resize(spec_.aggregates.size());
+  for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+    const size_t base = group_width() + 9 * a;
+    AggState& state = (*aggs)[a];
+    const Value& count_v = record[base];
+    const Value& sum_v = record[base + 1];
+    const Value& sumsq_v = record[base + 2];
+    const Value& any_v = record[base + 3];
+    state.count = count_v.is_int() ? count_v.int_value() : 0;
+    state.sum = sum_v.is_numeric() ? sum_v.AsDouble() : 0;
+    state.sumsq = sumsq_v.is_numeric() ? sumsq_v.AsDouble() : 0;
+    state.any = any_v.is_bool() && any_v.bool_value();
+    Value* const dest[4] = {&state.min, &state.max, &state.first,
+                            &state.last};
+    for (int i = 0; i < 4; ++i) {
+      const Value& cell = record[base + 4 + static_cast<size_t>(i)];
+      if (cell.is_null()) continue;
+      if (!cell.is_string()) {
+        return Status::ParseError("LAT '" + name() +
+                                  "' state: expected tagged value");
+      }
+      SQLCM_ASSIGN_OR_RETURN(*dest[i],
+                             DecodeTaggedValue(cell.string_value()));
+    }
+    const Value& blocks_v = record[base + 8];
+    if (blocks_v.is_string() && !blocks_v.string_value().empty()) {
+      auto blocks = std::make_unique<std::deque<AgingBlock>>();
+      for (std::string_view part :
+           SplitStateField(blocks_v.string_value(), ';')) {
+        const auto fields = SplitStateField(part, ':');
+        if (fields.size() != 7) {
+          return Status::ParseError("LAT '" + name() +
+                                    "' state: bad aging-block record");
         }
-        const Value& blocks_v = persisted[base + 8];
-        if (blocks_v.is_string() && !blocks_v.string_value().empty()) {
-          auto blocks = std::make_unique<std::deque<AgingBlock>>();
-          for (std::string_view part :
-               SplitStateField(blocks_v.string_value(), ';')) {
-            const auto fields = SplitStateField(part, ':');
-            if (fields.size() != 7) {
-              return Status::ParseError("LAT '" + name() +
-                                        "' state: bad aging-block record");
-            }
-            AgingBlock block;
-            SQLCM_ASSIGN_OR_RETURN(block.block_start,
-                                   ParseStateInt(fields[0]));
-            SQLCM_ASSIGN_OR_RETURN(block.count, ParseStateInt(fields[1]));
-            SQLCM_ASSIGN_OR_RETURN(block.sum, ParseStateDouble(fields[2]));
-            SQLCM_ASSIGN_OR_RETURN(block.sumsq, ParseStateDouble(fields[3]));
-            block.any = fields[4] == "1";
-            SQLCM_ASSIGN_OR_RETURN(block.min, DecodeTaggedValue(fields[5]));
-            SQLCM_ASSIGN_OR_RETURN(block.max, DecodeTaggedValue(fields[6]));
-            blocks->push_back(std::move(block));
-          }
-          state.blocks = std::move(blocks);
+        AgingBlock block;
+        SQLCM_ASSIGN_OR_RETURN(block.block_start, ParseStateInt(fields[0]));
+        SQLCM_ASSIGN_OR_RETURN(block.count, ParseStateInt(fields[1]));
+        SQLCM_ASSIGN_OR_RETURN(block.sum, ParseStateDouble(fields[2]));
+        SQLCM_ASSIGN_OR_RETURN(block.sumsq, ParseStateDouble(fields[3]));
+        block.any = fields[4] == "1";
+        SQLCM_ASSIGN_OR_RETURN(block.min, DecodeTaggedValue(fields[5]));
+        SQLCM_ASSIGN_OR_RETURN(block.max, DecodeTaggedValue(fields[6]));
+        blocks->push_back(std::move(block));
+      }
+      state.blocks = std::move(blocks);
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Federation state arithmetic (delta shipping; src/fed, docs/FEDERATION.md)
+// ---------------------------------------------------------------------------
+
+Status Lat::CheckStateRecordWidth(const Row& record) const {
+  const size_t state_width = group_width() + 9 * spec_.aggregates.size();
+  if (record.size() != state_width) {
+    return Status::InvalidArgument(
+        "state record has " + std::to_string(record.size()) +
+        " cells; LAT '" + name() + "' state records have " +
+        std::to_string(state_width));
+  }
+  return Status::OK();
+}
+
+void Lat::FoldAggState(AggState* dst, const AggState& src) {
+  dst->count += src.count;
+  dst->sum += src.sum;
+  dst->sumsq += src.sumsq;
+  if (src.any) {
+    if (!dst->any) dst->first = src.first;
+    if (!dst->any || src.min.Compare(dst->min) < 0) dst->min = src.min;
+    if (!dst->any || src.max.Compare(dst->max) > 0) dst->max = src.max;
+    dst->last = src.last;
+    dst->any = true;
+  }
+  if (src.blocks == nullptr) return;
+  if (dst->blocks == nullptr) {
+    dst->blocks = std::make_unique<std::deque<AgingBlock>>();
+  }
+  // Merge-join by block_start; both deques are ascending (blocks are
+  // created in time order and shipped in deque order).
+  std::deque<AgingBlock> merged;
+  auto di = dst->blocks->begin();
+  const auto dend = dst->blocks->end();
+  for (const AgingBlock& sb : *src.blocks) {
+    while (di != dend && di->block_start < sb.block_start) {
+      merged.push_back(std::move(*di++));
+    }
+    if (di != dend && di->block_start == sb.block_start) {
+      AgingBlock b = std::move(*di++);
+      b.count += sb.count;
+      b.sum += sb.sum;
+      b.sumsq += sb.sumsq;
+      if (sb.any) {
+        if (!b.any || sb.min.Compare(b.min) < 0) b.min = sb.min;
+        if (!b.any || sb.max.Compare(b.max) > 0) b.max = sb.max;
+        b.any = true;
+      }
+      merged.push_back(std::move(b));
+    } else {
+      merged.push_back(sb);
+    }
+  }
+  while (di != dend) merged.push_back(std::move(*di++));
+  *dst->blocks = std::move(merged);
+}
+
+void Lat::PruneMergedBlocks(AggState* state, int64_t now_micros) {
+  if (state->blocks == nullptr) return;
+  std::deque<AgingBlock>& blocks = *state->blocks;
+  while (!blocks.empty() &&
+         blocks.front().block_start + spec_.aging_block_micros <=
+             now_micros - spec_.aging_window_micros) {
+    blocks.pop_front();
+  }
+  while (blocks.size() > std::max<size_t>(max_aging_blocks_, 1)) {
+    const AgingBlock& oldest = blocks[0];
+    AgingBlock& into = blocks[1];
+    into.count += oldest.count;
+    into.sum += oldest.sum;
+    into.sumsq += oldest.sumsq;
+    if (oldest.any) {
+      if (!into.any || oldest.min.Compare(into.min) < 0) into.min = oldest.min;
+      if (!into.any || oldest.max.Compare(into.max) > 0) into.max = oldest.max;
+      into.any = true;
+    }
+    blocks.pop_front();
+    stats_.aging_merges.Inc();
+  }
+}
+
+Result<Lat::StateDeltaMode> Lat::DiffStateRecord(const Row& current,
+                                                 const Row* baseline,
+                                                 Row* delta) const {
+  SQLCM_RETURN_IF_ERROR(CheckStateRecordWidth(current));
+  delta->clear();
+  std::vector<AggState> cur;
+  SQLCM_RETURN_IF_ERROR(ParseStateAggs(current, &cur));
+
+  // No baseline (new group) and a restarted group (any additive count went
+  // backwards) both ship the full cumulative record.
+  bool fresh = baseline == nullptr;
+  std::vector<AggState> base;
+  if (!fresh) {
+    SQLCM_RETURN_IF_ERROR(CheckStateRecordWidth(*baseline));
+    SQLCM_RETURN_IF_ERROR(ParseStateAggs(*baseline, &base));
+    for (size_t a = 0; a < cur.size() && !fresh; ++a) {
+      if (cur[a].count < base[a].count) fresh = true;
+      if (cur[a].blocks == nullptr || base[a].blocks == nullptr) continue;
+      auto bi = base[a].blocks->begin();
+      const auto bend = base[a].blocks->end();
+      for (const AgingBlock& cb : *cur[a].blocks) {
+        while (bi != bend && bi->block_start < cb.block_start) ++bi;
+        if (bi != bend && bi->block_start == cb.block_start &&
+            cb.count < bi->count) {
+          fresh = true;
+          break;
         }
       }
-      AdoptSeededRow(std::move(row), now_micros);
+    }
+  }
+  if (fresh) {
+    bool any_data = false;
+    for (const AggState& state : cur) {
+      if (state.count != 0 || state.any) any_data = true;
+      if (state.blocks != nullptr && !state.blocks->empty()) any_data = true;
+    }
+    if (!any_data) return StateDeltaMode::kNone;
+    *delta = current;
+    return StateDeltaMode::kFresh;
+  }
+
+  // Incremental: additive moments diff; cumulative fields pass through.
+  // Every state mutation increments an additive count (top-level or block),
+  // so "all count increments are zero" is a complete no-change test.
+  bool changed = false;
+  std::vector<AggState> diff(cur.size());
+  for (size_t a = 0; a < cur.size(); ++a) {
+    AggState& d = diff[a];
+    d.count = cur[a].count - base[a].count;
+    d.sum = cur[a].sum - base[a].sum;
+    d.sumsq = cur[a].sumsq - base[a].sumsq;
+    d.any = cur[a].any;
+    d.min = cur[a].min;
+    d.max = cur[a].max;
+    d.first = cur[a].first;
+    d.last = cur[a].last;
+    if (d.count != 0) changed = true;
+    if (cur[a].blocks == nullptr) continue;
+    auto bi = base[a].blocks != nullptr ? base[a].blocks->begin()
+                                        : std::deque<AgingBlock>::iterator();
+    const auto bend = base[a].blocks != nullptr
+                          ? base[a].blocks->end()
+                          : std::deque<AgingBlock>::iterator();
+    std::deque<AgingBlock> shipped;
+    for (const AgingBlock& cb : *cur[a].blocks) {
+      while (bi != bend && bi->block_start < cb.block_start) ++bi;
+      if (bi != bend && bi->block_start == cb.block_start) {
+        if (cb.count == bi->count) continue;  // untouched since baseline
+        AgingBlock inc = cb;  // cumulative min/max/any pass through
+        inc.count = cb.count - bi->count;
+        inc.sum = cb.sum - bi->sum;
+        inc.sumsq = cb.sumsq - bi->sumsq;
+        shipped.push_back(std::move(inc));
+      } else {
+        shipped.push_back(cb);  // block opened since baseline: whole block
+      }
+      changed = true;
+    }
+    if (!shipped.empty()) {
+      d.blocks = std::make_unique<std::deque<AgingBlock>>(std::move(shipped));
+    }
+  }
+  if (!changed) return StateDeltaMode::kNone;
+  delta->reserve(current.size());
+  delta->insert(delta->end(), current.begin(),
+                current.begin() + static_cast<long>(group_width()));
+  AppendStateAggs(diff, delta);
+  return StateDeltaMode::kIncremental;
+}
+
+Result<Row> Lat::CombineStateRecords(const Row& base, const Row& delta,
+                                     StateDeltaMode mode) const {
+  if (mode == StateDeltaMode::kNone) return base;
+  if (mode == StateDeltaMode::kFresh) {
+    SQLCM_RETURN_IF_ERROR(CheckStateRecordWidth(delta));
+    return delta;
+  }
+  SQLCM_RETURN_IF_ERROR(CheckStateRecordWidth(base));
+  SQLCM_RETURN_IF_ERROR(CheckStateRecordWidth(delta));
+  std::vector<AggState> out, inc;
+  SQLCM_RETURN_IF_ERROR(ParseStateAggs(base, &out));
+  SQLCM_RETURN_IF_ERROR(ParseStateAggs(delta, &inc));
+  for (size_t a = 0; a < out.size(); ++a) {
+    AggState& r = out[a];
+    const AggState& d = inc[a];
+    r.count += d.count;
+    r.sum += d.sum;
+    r.sumsq += d.sumsq;
+    // Cumulative fields: the delta carries the diffed record's values
+    // verbatim, so they replace (any never regresses outside kFresh).
+    r.any = d.any;
+    r.min = d.min;
+    r.max = d.max;
+    r.first = d.first;
+    r.last = d.last;
+    if (d.blocks == nullptr) continue;
+    if (r.blocks == nullptr) {
+      r.blocks = std::make_unique<std::deque<AgingBlock>>();
+    }
+    std::deque<AgingBlock> merged;
+    auto bi = r.blocks->begin();
+    const auto bend = r.blocks->end();
+    for (const AgingBlock& db : *d.blocks) {
+      while (bi != bend && bi->block_start < db.block_start) {
+        merged.push_back(std::move(*bi++));
+      }
+      if (bi != bend && bi->block_start == db.block_start) {
+        AgingBlock b = std::move(*bi++);
+        b.count += db.count;
+        b.sum += db.sum;
+        b.sumsq += db.sumsq;
+        b.min = db.min;  // cumulative per block in the delta
+        b.max = db.max;
+        b.any = db.any;
+        merged.push_back(std::move(b));
+      } else {
+        merged.push_back(db);
+      }
+    }
+    while (bi != bend) merged.push_back(std::move(*bi++));
+    *r.blocks = std::move(merged);
+  }
+  Row combined;
+  combined.reserve(base.size());
+  combined.insert(combined.end(), delta.begin(),
+                  delta.begin() + static_cast<long>(group_width()));
+  AppendStateAggs(out, &combined);
+  return combined;
+}
+
+Status Lat::MergeState(const storage::Table& table, int64_t now_micros) {
+  const size_t state_width = group_width() + 9 * spec_.aggregates.size();
+  const size_t width = table.schema().num_columns();
+  const bool with_timestamp = width == state_width + 1;
+  if (!with_timestamp && width != state_width) {
+    return Status::InvalidArgument(
+        "table '" + table.name() + "' has " + std::to_string(width) +
+        " columns; LAT '" + name() + "' state records have " +
+        std::to_string(state_width) + " (+1 optional timestamp)");
+  }
+  const bool bounded = spec_.max_rows > 0 || spec_.max_bytes > 0;
+  std::optional<Row> after;
+  std::vector<Row> keys, rows;
+  for (;;) {
+    keys.clear();
+    rows.clear();
+    if (table.ScanBatch(after, 256, &keys, &rows) == 0) break;
+    after = keys.back();
+    for (Row& persisted : rows) {
+      std::vector<AggState> incoming;
+      SQLCM_RETURN_IF_ERROR(ParseStateAggs(persisted, &incoming));
+      Row key(persisted.begin(),
+              persisted.begin() + static_cast<long>(group_width()));
+      const uint64_t hash = HashGroupKey(key);
+      Shard& shard = ShardFor(hash);
+      std::shared_ptr<LatRow> row;
+      bool created = false;
+      {
+        std::lock_guard<common::SpinLatch> map_guard(shard.map_latch);
+        row = FindOrCreateLocked(&shard, hash, key, &created);
+      }
+      if (created) total_rows_.fetch_add(1, std::memory_order_acq_rel);
+      Row ordering_key;
+      size_t row_bytes = 0;
+      {
+        std::lock_guard<common::SpinLatch> row_guard(row->latch);
+        for (size_t a = 0; a < row->aggs.size(); ++a) {
+          FoldAggState(&row->aggs[a], incoming[a]);
+          PruneMergedBlocks(&row->aggs[a], now_micros);
+        }
+        if (bounded) {
+          ordering_key = OrderingKeyLocked(*row, now_micros);
+          row->ordering_cache = ordering_key;
+          if (spec_.max_bytes > 0) row_bytes = ApproxRowBytesLocked(*row);
+        }
+      }
+      if (bounded) {
+        MaintainHeap(&shard, row, std::move(ordering_key), row_bytes);
+        EvictOverBudget(now_micros, /*notify=*/false);
+      }
     }
   }
   return Status::OK();

@@ -255,6 +255,55 @@ class Lat {
   /// skipped (live data wins), matching SeedFrom.
   common::Status ImportState(const storage::Table& table, int64_t now_micros);
 
+  // -- Federation state arithmetic (delta shipping; src/fed) -----------------
+  //
+  // A *delta* is a state record (same schema as ExportState) whose additive
+  // moments (#count/#sum/#sumsq, and the per-block count/sum/sumsq inside
+  // #blocks) are increments since a baseline record, while the fold-stable
+  // fields (#any/#min/#max/#first/#last and per-block min/max/any) stay
+  // cumulative — folding a cumulative min/max twice is a no-op, so those
+  // fields survive duplicate delivery without increment bookkeeping.
+  // docs/FEDERATION.md describes the shipping protocol built on these.
+
+  /// How a delta record relates to its baseline (returned by DiffStateRecord
+  /// and consumed by CombineStateRecords; shipped in the delta container so
+  /// baseline repair after a crash applies the right arithmetic).
+  enum class StateDeltaMode {
+    kNone,         ///< no change since baseline; nothing to ship
+    kIncremental,  ///< additive moments are increments over the baseline
+    kFresh,        ///< group restarted (Reset/eviction): record is cumulative
+  };
+
+  /// Computes the delta of `current` (a state record of this LAT) against
+  /// `baseline` (the state record shipped for the same group last epoch, or
+  /// null when the group is new). kFresh is returned when the group was
+  /// reset or evicted and re-created since the baseline (any additive count
+  /// went backwards): the delta then carries the full cumulative record and
+  /// the new incarnation's observations count again fleet-wide — ingest is
+  /// monotone by design. On kNone `*delta` is left empty.
+  common::Result<StateDeltaMode> DiffStateRecord(const common::Row& current,
+                                                 const common::Row* baseline,
+                                                 common::Row* delta) const;
+
+  /// Reconstructs the `current` record that produced `delta` from the
+  /// baseline record it was diffed against: adds the additive increments and
+  /// adopts the cumulative fields (kFresh replaces the record wholesale).
+  /// Used for baseline repair after a node crash between spool-put and
+  /// baseline-write. Blocks present in `base` but absent from `delta` are
+  /// kept — the true current may have pruned them, but a stale expired block
+  /// in a baseline never produces increments on a later diff.
+  common::Result<common::Row> CombineStateRecords(const common::Row& base,
+                                                  const common::Row& delta,
+                                                  StateDeltaMode mode) const;
+
+  /// Folds every state record of `table` (deltas or full exports) into the
+  /// live directory: additive moments add, min/max fold by comparison,
+  /// FIRST keeps the existing value once set, LAST adopts the incoming one,
+  /// and aging blocks merge-join by block_start (then prune/cap against
+  /// `now_micros` like the insert path). Unlike ImportState, existing groups
+  /// merge rather than win — this is the aggregator's ingest primitive.
+  common::Status MergeState(const storage::Table& table, int64_t now_micros);
+
  private:
   struct AgingBlock {
     int64_t block_start = 0;
@@ -331,6 +380,21 @@ class Lat {
   common::Row GroupKeyFor(const void* record) const;
   void FoldValue(AggState* state, const LatAggColumn& col, common::Value v,
                  int64_t now_micros);
+  /// Shared v2 state codec: parses the aggregate cells of a state record
+  /// (starting at group_width()) into `*aggs` / appends them to `*record`.
+  /// Used by Import/Export/Merge/Diff/Combine so every consumer agrees on
+  /// one encoding.
+  common::Status ParseStateAggs(const common::Row& record,
+                                std::vector<AggState>* aggs) const;
+  static void AppendStateAggs(const std::vector<AggState>& aggs,
+                              common::Row* record);
+  /// Verifies `record` has exactly the state-record width (no timestamp).
+  common::Status CheckStateRecordWidth(const common::Row& record) const;
+  /// Folds `src` into `dst` under fleet-merge semantics (see MergeState).
+  static void FoldAggState(AggState* dst, const AggState& src);
+  /// Post-merge aging hygiene: prune expired blocks, cap the deque like the
+  /// insert path (merging the oldest pair when over ⌈2t/Δ⌉ + slack).
+  void PruneMergedBlocks(AggState* state, int64_t now_micros);
   /// Links a reconstructed row (from SeedFrom/ImportState) into its shard
   /// unless the group already exists live, then runs the bounded-size
   /// bookkeeping. Returns false when live data won.

@@ -426,6 +426,7 @@ Result<uint64_t> MonitorEngine::AddRule(const RuleSpec& spec) {
   SQLCM_ASSIGN_OR_RETURN(auto compiled, RuleCompiler::Compile(spec, *this));
   std::shared_ptr<CompiledRule> rule = std::move(compiled);
   rule->breaker.Configure(options_.breaker);
+  rule->rate_limiter.Configure(options_.action_rate_limit);
   std::lock_guard<std::mutex> lock(registry_mutex_);
   rule->id = next_rule_id_++;
   rules_.push_back(rule);
@@ -1274,6 +1275,17 @@ bool MonitorEngine::RunRule(const CompiledRule& rule, EvalContext* ctx,
   bool any_action_failed = false;
   int64_t actions_nanos = 0;
   for (const CompiledAction& action : rule.actions) {
+    // Alert-storm cap: externally visible actions (mail, persisted rows)
+    // pass the per-rule trailing-window limiter; a suppressed action is
+    // skipped without counting as a failure (the condition legitimately
+    // fired — only the side effect is shed).
+    if ((action.kind == ActionKind::kSendMail ||
+         action.kind == ActionKind::kPersist) &&
+        !rule.rate_limiter.Admit(ctx->now_micros)) {
+      rule.stats.actions_suppressed.Inc();
+      metrics_.actions_suppressed.Inc();
+      continue;
+    }
     uint64_t action_span = 0;
     uint64_t action_parent = 0;
     if (frame != nullptr) {

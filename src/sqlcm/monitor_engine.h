@@ -87,6 +87,10 @@ class MonitorEngine final : public engine::MonitorHooks,
     bool detailed_timing = false;
     /// Quarantine thresholds applied to every rule's circuit breaker.
     RuleBreaker::Options breaker;
+    /// Alert-storm cap applied to every rule's SendMail/Persist actions
+    /// (suppressions surface in sqlcm_rule_stats.actions_suppressed).
+    /// Disabled by default: max_actions = 0 admits everything.
+    ActionRateLimiter::Options action_rate_limit;
     /// Overload-degradation configuration (docs/ROBUSTNESS.md ladder).
     LoadGovernor::Options governor;
     /// CheckpointLat retry policy for transient snapshot-write failures.

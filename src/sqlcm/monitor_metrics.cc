@@ -50,6 +50,8 @@ MonitorMetrics::MonitorMetrics() {
   registry.RegisterCounter("robustness.breaker_skips", &breaker_skips);
   registry.RegisterCounter("robustness.events_sampled_out",
                            &events_sampled_out);
+  registry.RegisterCounter("robustness.actions_suppressed",
+                           &actions_suppressed);
   registry.RegisterCounter("robustness.persist_retries", &persist_retries);
   registry.RegisterCounter("robustness.persist_fallbacks", &persist_fallbacks);
   registry.RegisterGauge("robustness.governor_level", &governor_level);

@@ -54,6 +54,7 @@ struct MonitorMetrics {
   obs::Counter breaker_trips;        // rule circuit breakers tripped open
   obs::Counter breaker_skips;        // rule evaluations skipped (quarantined)
   obs::Counter events_sampled_out;   // events shed by governor sampling
+  obs::Counter actions_suppressed;   // SendMail/Persist shed by rate limiter
   obs::Counter persist_retries;      // snapshot write retries that ran
   obs::Counter persist_fallbacks;    // restores served from .bak snapshots
   obs::Gauge governor_level;         // current degradation ladder level

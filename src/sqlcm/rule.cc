@@ -946,4 +946,38 @@ int64_t RuleBreaker::tripped_at_micros() const {
   return tripped_at_micros_;
 }
 
+// ---------------------------------------------------------------------------
+// ActionRateLimiter
+// ---------------------------------------------------------------------------
+
+void ActionRateLimiter::Configure(const Options& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_ = options;
+  recent_.clear();
+  next_ = 0;
+  const bool on = options.max_actions > 0 && options.window_micros > 0;
+  if (on) recent_.reserve(static_cast<size_t>(options.max_actions));
+  enabled_.store(on, std::memory_order_release);
+}
+
+bool ActionRateLimiter::Admit(int64_t now_micros) {
+  if (!enabled_.load(std::memory_order_acquire)) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.max_actions <= 0 || options_.window_micros <= 0) return true;
+  if (recent_.size() < static_cast<size_t>(options_.max_actions)) {
+    recent_.push_back(now_micros);
+    return true;
+  }
+  // Buffer full: the slot at next_ holds the oldest of the last
+  // `max_actions` admissions. If it fell outside the trailing window, this
+  // admission is within budget and takes its slot.
+  if (recent_[next_] <= now_micros - options_.window_micros) {
+    recent_[next_] = now_micros;
+    next_ = (next_ + 1) % recent_.size();
+    return true;
+  }
+  suppressed_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
 }  // namespace sqlcm::cm

@@ -194,6 +194,9 @@ struct RuleStats {
   obs::Counter condition_false;  // condition evaluated and rejected
   obs::Counter fires;            // condition passed, actions ran
   obs::Counter errors;           // condition or action failures
+  /// SendMail/Persist actions skipped by the per-rule rate limiter
+  /// (alert-storm hygiene; see ActionRateLimiter).
+  obs::Counter actions_suppressed;
   obs::LatencyHistogram action_micros;
   // Span-profiling attribution (sampled traces only; see sqlcm_profile).
   // Nanosecond self-time is split between the condition window and the
@@ -276,6 +279,50 @@ class RuleBreaker {
   uint64_t skipped_ = 0;
 };
 
+/// Trailing-window rate limiter for a rule's externally visible actions
+/// (SendMail / Persist): at most `max_actions` admissions per trailing
+/// `window_micros`, everything beyond is suppressed (counted in
+/// RuleStats::actions_suppressed and surfaced via sqlcm_rule_stats). This is
+/// the alert-storm hygiene of ROADMAP item 3 — a rule whose condition
+/// suddenly matches every query must not flood the mailer or fill a persist
+/// table; unlike the breaker it caps *successful* actions, not failures.
+///
+/// Implementation: a circular buffer of the last `max_actions` admission
+/// timestamps — admission is O(1) and the window is exact (no bucketing).
+class ActionRateLimiter {
+ public:
+  struct Options {
+    /// Maximum admitted actions per trailing window; 0 = unlimited
+    /// (limiter disabled, Admit never takes the mutex).
+    int max_actions = 0;
+    int64_t window_micros = 60'000'000;
+  };
+
+  ActionRateLimiter() = default;
+
+  /// Engine-level configuration applied after rule compilation. Clears the
+  /// admission history: the window shape changed, and an empty window is
+  /// the permissive interpretation a reconfiguration expects.
+  void Configure(const Options& options);
+
+  /// True when an action may run now (and records the admission); false
+  /// when `max_actions` admissions already happened in the trailing window.
+  bool Admit(int64_t now_micros);
+
+  /// Total admissions rejected since construction.
+  uint64_t suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> enabled_{false};  // hot-path gate; set by Configure
+  mutable std::mutex mutex_;
+  Options options_;
+  std::vector<int64_t> recent_;  // circular buffer of admission timestamps
+  size_t next_ = 0;              // index of the oldest admission
+  std::atomic<uint64_t> suppressed_{0};
+};
+
 struct CompiledRule {
   uint64_t id = 0;
   std::string name;
@@ -303,6 +350,8 @@ struct CompiledRule {
   mutable RuleStats stats;
   /// Quarantine state; configured by the engine after compilation.
   mutable RuleBreaker breaker;
+  /// SendMail/Persist storm cap; configured by the engine after compilation.
+  mutable ActionRateLimiter rate_limiter;
 };
 
 /// Name-based LAT lookup used during rule compilation.

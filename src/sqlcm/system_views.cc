@@ -73,7 +73,8 @@ SystemViews::SystemViews(MonitorEngine* monitor, engine::Database* db)
                                     {"action_max_us", 'd'},
                                     {"quarantine_state", 's'},
                                     {"quarantine_trips", 'i'},
-                                    {"quarantine_skipped", 'i'}},
+                                    {"quarantine_skipped", 'i'},
+                                    {"actions_suppressed", 'i'}},
                                    {"rule_id"})) {
     t->SetVirtualRefresh([this, t] {
       std::lock_guard<std::mutex> lock(refresh_mutex_);
@@ -303,6 +304,8 @@ void SystemViews::RefreshRuleStats(storage::Table* table) {
     row.push_back(Value::String(rule->breaker.state_name()));
     row.push_back(Value::Int(static_cast<int64_t>(rule->breaker.trips())));
     row.push_back(Value::Int(static_cast<int64_t>(rule->breaker.skipped())));
+    row.push_back(
+        Value::Int(static_cast<int64_t>(stats.actions_suppressed.value())));
     (void)table->Insert(std::move(row));
   }
 }
@@ -399,6 +402,10 @@ struct SpanNameResolver {
         if (it != lats.end()) return it->second;
         return "lat#" + HexU64(span.ref);
       }
+      case obs::SpanKind::kShip:
+      case obs::SpanKind::kIngest:
+        // ref is the federation node-id hash; no local name table.
+        return "node#" + HexU64(span.ref);
     }
     return "";
   }

@@ -188,6 +188,23 @@ Status ParseSnapshotFile(const Table& table, const std::string& path,
 
 }  // namespace
 
+Status FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("open('" + dir + "'): " + std::strerror(errno));
+  }
+  Status status;
+  if (::fsync(fd) != 0) {
+    status = Status::IOError("fsync('" + dir + "'): " + std::strerror(errno));
+  }
+  ::close(fd);
+  return status;
+}
+
 Status WriteFileAtomic(const std::string& path, std::string_view content) {
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -208,7 +225,10 @@ Status WriteFileAtomic(const std::string& path, std::string_view content) {
     return Status::IOError("rename('" + tmp + "' -> '" + path +
                            "'): " + std::strerror(errno));
   }
-  return Status::OK();
+  // Without this the rename may still sit only in the directory's page
+  // cache: a crash right after publish could lose the new entry (or, for
+  // spool files, the whole delta) even though the data blocks are durable.
+  return FsyncParentDir(path);
 }
 
 Status WriteTableCsv(const Table& table, const std::string& path,
@@ -273,7 +293,10 @@ Status WriteTableCsv(const Table& table, const std::string& path,
     return Status::IOError("rename('" + tmp + "' -> '" + path +
                            "'): " + std::strerror(errno));
   }
-  return Status::OK();
+  // Make both renames (the .bak rotation and the publish) durable; a crash
+  // after a non-synced rename could otherwise roll the directory back to a
+  // state where neither the new snapshot nor the rotated .bak survives.
+  return FsyncParentDir(path);
 }
 
 Status WriteTableCsvWithRetry(const Table& table, const std::string& path,

@@ -53,12 +53,20 @@ common::Status WriteTableCsv(const Table& table, const std::string& path,
                              int version = kSnapshotVersionV1);
 
 /// Atomically replaces `path` with `content`: writes to `path.tmp`, fsyncs
-/// and renames over `path`, so a reader never observes a partial file. No
-/// .bak rotation or snapshot header — this is the publish primitive for
-/// derived artifacts regenerated wholesale (e.g. the Prometheus metrics
-/// exposition dump), not for recoverable state.
+/// and renames over `path` (then fsyncs the parent directory so the rename
+/// itself is durable), so a reader never observes a partial file and a
+/// crash immediately after publish cannot lose the entry. No .bak rotation
+/// or snapshot header — this is the publish primitive for derived
+/// artifacts regenerated wholesale (e.g. the Prometheus metrics exposition
+/// dump) and for federation spool deltas, not for recoverable state with
+/// history.
 common::Status WriteFileAtomic(const std::string& path,
                                std::string_view content);
+
+/// fsyncs the directory containing `path`, making a just-completed
+/// rename/unlink of that entry durable. POSIX requires this extra step:
+/// fsync of the file alone does not persist the directory entry.
+common::Status FsyncParentDir(const std::string& path);
 
 /// WriteTableCsv with bounded retry/backoff for transient failures:
 /// up to `attempts` tries, sleeping `backoff_micros` (doubling each retry)

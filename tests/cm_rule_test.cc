@@ -413,5 +413,39 @@ TEST(RuleBreakerTest, ReinstateForceCloses) {
   EXPECT_EQ(breaker.state(), RuleBreaker::State::kClosed);
 }
 
+TEST(ActionRateLimiterTest, CapsAdmissionsPerTrailingWindow) {
+  ActionRateLimiter limiter;
+  limiter.Configure({.max_actions = 3, .window_micros = 1'000});
+  EXPECT_TRUE(limiter.Admit(0));
+  EXPECT_TRUE(limiter.Admit(10));
+  EXPECT_TRUE(limiter.Admit(20));
+  EXPECT_FALSE(limiter.Admit(30));  // fourth inside the window
+  EXPECT_FALSE(limiter.Admit(999));
+  EXPECT_EQ(limiter.suppressed(), 2u);
+  // The window is exact: once the oldest admission (t=0) falls out, a slot
+  // frees up, but only one until t=10 ages out too.
+  EXPECT_TRUE(limiter.Admit(1'001));
+  EXPECT_FALSE(limiter.Admit(1'002));
+  EXPECT_EQ(limiter.suppressed(), 3u);
+}
+
+TEST(ActionRateLimiterTest, ZeroMaxActionsDisablesLimiting) {
+  ActionRateLimiter limiter;  // default options: max_actions = 0
+  for (int64_t t = 0; t < 100; ++t) EXPECT_TRUE(limiter.Admit(t));
+  EXPECT_EQ(limiter.suppressed(), 0u);
+}
+
+TEST(ActionRateLimiterTest, ReconfigureClearsAdmissionHistory) {
+  ActionRateLimiter limiter;
+  limiter.Configure({.max_actions = 1, .window_micros = 1'000'000});
+  EXPECT_TRUE(limiter.Admit(0));
+  EXPECT_FALSE(limiter.Admit(1));
+  limiter.Configure({.max_actions = 2, .window_micros = 1'000'000});
+  // History cleared: the window shape changed, so start permissive.
+  EXPECT_TRUE(limiter.Admit(2));
+  EXPECT_TRUE(limiter.Admit(3));
+  EXPECT_FALSE(limiter.Admit(4));
+}
+
 }  // namespace
 }  // namespace sqlcm::cm

@@ -1,0 +1,345 @@
+// Randomized federation chaos harness (ISSUE 7 acceptance criteria).
+//
+// Three monitor nodes feed one fleet aggregator through the full
+// export -> spool -> sender -> ingest pipeline while a single driver
+// interleaves inserts, virtual-clock advances, epoch exports, sender
+// pumps, node and aggregator crashes (plumbing torn down and reopened
+// from disk mid-flight), aggregator checkpoints, and adversarial replay
+// of previously shipped payloads (duplicates, reorders, stale epochs).
+// Fault points fire probabilistically on every seam: spool publish
+// (torn-tempfile crashes), durable baseline writes, sends, acks and
+// ingests.
+//
+// Node crashes kill the federation plumbing, not the LAT itself — the
+// engine restores LATs losslessly from v2 snapshots (cm_robustness_test),
+// so the chaos models the fed layer's crash-consistency on top of that.
+//
+// Ground truth is a ReferenceLat oracle fed every insert from every node.
+// After the dust settles (faults disarmed, every node flushed and fully
+// drained), every fleet aggregate — COUNT/SUM/AVG/STDEV/MIN/MAX plus all
+// aging variants — must match the oracle within 1 ulp. FIRST/LAST are
+// excluded by contract: their fleet fold depends on delta arrival order.
+// Inserted durations are integer-valued, so sums and sums-of-squares stay
+// exact (< 2^53) and any fold-order difference would be visible.
+//
+// Budget and seed are environment-overridable for CI fuzzing:
+//   SQLCM_FED_CHAOS_OPS   ops per run (default 3000)
+//   SQLCM_FED_CHAOS_SEED  PRNG seed (default fixed; CI logs a random one)
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/fault.h"
+#include "common/random.h"
+#include "common/value.h"
+#include "fed/aggregator.h"
+#include "fed/node.h"
+#include "fed/sender.h"
+#include "fed/spool.h"
+#include "obs/span_ring.h"
+#include "sqlcm/lat.h"
+#include "sqlcm/reference_lat.h"
+
+namespace sqlcm::fed {
+namespace {
+
+using common::FaultKind;
+using common::FaultRegistry;
+using common::Row;
+using common::Value;
+using cm::Lat;
+using cm::LatAggFunc;
+using cm::LatSpec;
+using cm::QueryRecord;
+using cm::ReferenceLat;
+
+constexpr int64_t kBlockMicros = 1000;
+constexpr int64_t kWindowMicros = 10 * kBlockMicros;
+constexpr size_t kNumNodes = 3;
+constexpr size_t kKeyPool = 24;
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::strtoull(env, nullptr, 10);
+}
+
+bool WithinOneUlp(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+  if (a == b) return true;
+  return std::nextafter(a, b) == b;
+}
+
+bool ValuesAgree(const Value& a, const Value& b) {
+  if (a.kind() != b.kind()) return false;
+  if (a.is_double()) return WithinOneUlp(a.double_value(), b.double_value());
+  if (a.is_null()) return true;
+  return a.Compare(b) == 0;
+}
+
+LatSpec ChaosSpec() {
+  LatSpec spec;
+  spec.name = "Chaos";
+  spec.object_class = cm::MonitoredClass::kQuery;
+  spec.group_by = {{"Logical_Signature", "Sig"}};
+  spec.aggregates = {{LatAggFunc::kCount, "", "N", false},
+                     {LatAggFunc::kSum, "Duration", "SumDur", false},
+                     {LatAggFunc::kAvg, "Duration", "AvgDur", false},
+                     {LatAggFunc::kStdev, "Duration", "SdDur", false},
+                     {LatAggFunc::kMin, "Duration", "MinDur", false},
+                     {LatAggFunc::kMax, "Duration", "MaxDur", false},
+                     {LatAggFunc::kFirst, "Query_Text", "FirstText", false},
+                     {LatAggFunc::kLast, "Query_Text", "LastText", false},
+                     {LatAggFunc::kCount, "", "AgN", true},
+                     {LatAggFunc::kSum, "Duration", "AgSum", true},
+                     {LatAggFunc::kAvg, "Duration", "AgAvg", true},
+                     {LatAggFunc::kStdev, "Duration", "AgSd", true},
+                     {LatAggFunc::kMin, "Duration", "AgMin", true},
+                     {LatAggFunc::kMax, "Duration", "AgMax", true},
+                     {LatAggFunc::kMin, "Query_Text", "AgMinText", true}};
+  spec.aging_window_micros = kWindowMicros;
+  spec.aging_block_micros = kBlockMicros;
+  return spec;
+}
+
+/// Arrival-order-dependent by contract; excluded from the oracle compare.
+bool OrderDependentColumn(const std::string& name) {
+  return name == "FirstText" || name == "LastText";
+}
+
+std::unique_ptr<Lat> MakeLat() {
+  auto lat = Lat::Create(ChaosSpec());
+  EXPECT_TRUE(lat.ok()) << lat.status().ToString();
+  return std::move(*lat);
+}
+
+struct NodeHarness {
+  std::string id;
+  std::string dir;
+  std::unique_ptr<Lat> lat;  // survives "crashes" (lossless LAT restarts)
+  std::unique_ptr<FedNode> node;
+  std::unique_ptr<DeltaSender> sender;
+  int crashes = 0;
+};
+
+TEST(FedChaosTest, FleetAggregatesMatchReferenceOracleUnderFaults) {
+  const uint64_t ops = EnvOr("SQLCM_FED_CHAOS_OPS", 3000);
+  const uint64_t seed = EnvOr("SQLCM_FED_CHAOS_SEED", 0xFEDC4A05);
+  std::fprintf(stderr, "[fed-chaos] ops=%llu seed=%llu\n",
+               static_cast<unsigned long long>(ops),
+               static_cast<unsigned long long>(seed));
+  RecordProperty("sqlcm_fed_chaos_seed", std::to_string(seed));
+
+  FaultRegistry::Get()->Reset();
+  common::Random rng(seed);
+  common::MockClock clock(1'000);
+  obs::SpanRing spans(1024);
+  spans.set_enabled(true);
+
+  const std::string root =
+      ::testing::TempDir() + "/fed_chaos_" + std::to_string(seed);
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+
+  const LatSpec spec = ChaosSpec();
+  auto ref_or = ReferenceLat::Create(spec);
+  ASSERT_TRUE(ref_or.ok()) << ref_or.status().ToString();
+  std::unique_ptr<ReferenceLat> oracle = std::move(*ref_or);
+
+  auto fleet = MakeLat();
+  std::unique_ptr<FleetAggregator> agg;
+  auto open_aggregator = [&]() {
+    FleetAggregator::Options options;
+    options.dir = root + "/agg";
+    options.clock = &clock;
+    options.spans = &spans;
+    options.late_window_micros = 1'000'000'000'000;  // never drops in-run
+    auto opened = FleetAggregator::Open(options, {fleet.get()});
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    agg = std::move(*opened);
+  };
+  ASSERT_NO_FATAL_FAILURE(open_aggregator());
+
+  std::vector<NodeHarness> nodes(kNumNodes);
+  auto open_node = [&](NodeHarness& n) {
+    auto opened =
+        FedNode::Open({n.id, n.dir, &clock, &spans}, {n.lat.get()});
+    ASSERT_TRUE(opened.ok()) << n.id << ": " << opened.status().ToString();
+    n.node = std::move(*opened);
+    DeltaSender::Options options;
+    options.clock = &clock;
+    options.poison_attempts = 1'000'000;  // chaos must not shed real data
+    options.jitter_seed = seed ^ std::hash<std::string>{}(n.id);
+    n.sender = std::make_unique<DeltaSender>(n.node.get(), agg.get(),
+                                             options);
+  };
+  for (size_t i = 0; i < kNumNodes; ++i) {
+    nodes[i].id = "node" + std::to_string(i);
+    nodes[i].dir = root + "/" + nodes[i].id;
+    nodes[i].lat = MakeLat();
+    ASSERT_NO_FATAL_FAILURE(open_node(nodes[i]));
+  }
+
+  // Arm every federation seam. Probabilities are low enough that forward
+  // progress continues, high enough that each point fires many times.
+  FaultRegistry::Get()->Arm(kFaultFedSpoolWrite,
+                            {FaultKind::kCrashRename, 0.05, -1});
+  FaultRegistry::Get()->Arm(kFaultFedSpoolRemove,
+                            {FaultKind::kIOError, 0.05, -1});
+  FaultRegistry::Get()->Arm(kFaultFedBaselineWrite,
+                            {FaultKind::kIOError, 0.10, -1});
+  FaultRegistry::Get()->Arm(kFaultFedSend, {FaultKind::kIOError, 0.15, -1});
+  FaultRegistry::Get()->Arm(kFaultFedAck, {FaultKind::kIOError, 0.10, -1});
+  FaultRegistry::Get()->Arm(kFaultFedIngest,
+                            {FaultKind::kIOError, 0.05, -1});
+
+  const std::vector<std::string> kTexts = {
+      "plain", "with space", "a:b;c%d", "comma,semi;", "100%:done", ""};
+  std::vector<std::string> shipped;  // replay pool for the adversary
+
+  auto insert_everywhere = [&](size_t node_idx) {
+    QueryRecord rec;
+    rec.logical_signature = "sig" + std::to_string(rng.Uniform(kKeyPool));
+    rec.text = kTexts[rng.Uniform(kTexts.size())];
+    // Integer-valued durations: every moment the fleet folds stays exact,
+    // so the 1-ulp compare has no summation-order slack to hide behind.
+    rec.duration_secs = static_cast<double>(rng.UniformInt(-50, 50));
+    const int64_t now = clock.NowMicros();
+    nodes[node_idx].lat->Insert(&rec, now);
+    oracle->Insert(&rec, now);
+  };
+
+  int total_node_crashes = 0;
+  for (uint64_t op = 0; op < ops; ++op) {
+    const uint64_t r = rng.Uniform(1000);
+    NodeHarness& n = nodes[rng.Uniform(kNumNodes)];
+    if (r < 550) {
+      insert_everywhere(rng.Uniform(kNumNodes));
+    } else if (r < 650) {
+      clock.Advance(rng.UniformInt(1, 2500));
+    } else if (r < 780) {
+      // Spool-publish faults surface here; the epoch number is not
+      // consumed and the next export retries.
+      (void)n.node->ExportEpoch();
+      auto epochs = n.node->spool()->List();
+      if (!epochs.empty()) {
+        auto payload = n.node->spool()->ReadEpoch(epochs.back());
+        if (payload.ok()) shipped.push_back(std::move(*payload));
+      }
+    } else if (r < 900) {
+      // Send/ack/ingest/remove faults surface here; every failure leaves
+      // the epoch spooled for a later pump.
+      (void)n.sender->Pump();
+    } else if (r < 950 && !shipped.empty()) {
+      // Adversarial replay: duplicates, reorders, stale epochs.
+      (void)agg->Ingest(shipped[rng.Uniform(shipped.size())]);
+    } else if (r < 980) {
+      // Node crash: plumbing torn down mid-protocol, reopened from disk.
+      n.node.reset();
+      n.sender.reset();
+      ASSERT_NO_FATAL_FAILURE(open_node(n));
+      ++n.crashes;
+      ++total_node_crashes;
+    } else if (r < 995) {
+      // Aggregator crash: fleet LAT rebuilt from checkpoint + journal.
+      agg.reset();
+      fleet = MakeLat();
+      ASSERT_NO_FATAL_FAILURE(open_aggregator());
+      for (NodeHarness& each : nodes) {
+        each.sender = std::make_unique<DeltaSender>(
+            each.node.get(), agg.get(), DeltaSender::Options{
+                                            .poison_attempts = 1'000'000,
+                                            .clock = &clock});
+      }
+    } else {
+      (void)agg->Checkpoint();
+    }
+  }
+
+  // Acceptance floor: at least 3 node crashes even on an unlucky seed.
+  while (total_node_crashes < 3) {
+    NodeHarness& n = nodes[rng.Uniform(kNumNodes)];
+    n.node.reset();
+    n.sender.reset();
+    ASSERT_NO_FATAL_FAILURE(open_node(n));
+    ++n.crashes;
+    ++total_node_crashes;
+  }
+
+  // Every armed seam must actually have been exercised before we disarm
+  // (fire counters clear on Reset, so capture them now). Short override
+  // runs may legitimately miss a low-probability seam, so only enforce
+  // coverage at the default op count and above.
+  if (ops >= 3000) {
+    for (const char* point : {kFaultFedSpoolWrite, kFaultFedBaselineWrite,
+                              kFaultFedSend, kFaultFedAck, kFaultFedIngest}) {
+      EXPECT_GT(FaultRegistry::Get()->fires(point), 0u) << point;
+    }
+  }
+
+  // Settle: disarm every fault, flush every node, drain every spool.
+  FaultRegistry::Get()->Reset();
+  for (NodeHarness& n : nodes) {
+    auto epoch = n.node->ExportEpoch();
+    ASSERT_TRUE(epoch.ok()) << n.id << ": " << epoch.status().ToString();
+    ASSERT_EQ(n.node->durable_epoch(), *epoch) << n.id;
+    int safety = 0;
+    while (!n.node->spool()->List().empty()) {
+      auto acked = n.sender->Pump();
+      ASSERT_TRUE(acked.ok()) << n.id << ": " << acked.status().ToString();
+      ASSERT_LT(++safety, 1000) << n.id << " failed to drain";
+    }
+    EXPECT_EQ(n.node->spool()->quarantined(), 0u)
+        << n.id << " lost data to quarantine";
+  }
+
+  // Every fleet aggregate must match the merged ground truth.
+  const int64_t now = clock.NowMicros();
+  const std::vector<std::string>& columns = fleet->column_names();
+  size_t live_groups = 0;
+  for (size_t k = 0; k < kKeyPool; ++k) {
+    const Row key = {Value::String("sig" + std::to_string(k))};
+    Row got, want;
+    const bool in_fleet = fleet->LookupByKey(key, now, &got);
+    const bool in_ref = oracle->LookupByKey(key, now, &want);
+    ASSERT_EQ(in_fleet, in_ref)
+        << "liveness divergence for sig" << k << " (seed " << seed << ")";
+    if (!in_fleet) continue;
+    ++live_groups;
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t c = 0; c < want.size(); ++c) {
+      if (OrderDependentColumn(columns[c])) continue;
+      ASSERT_TRUE(ValuesAgree(got[c], want[c]))
+          << "divergence (seed " << seed << ") key sig" << k << " column '"
+          << columns[c] << "': fleet=" << got[c].ToString()
+          << " reference=" << want[c].ToString();
+    }
+  }
+  EXPECT_GT(live_groups, 0u);
+
+  // The chaos actually exercised the machinery it claims to.
+  auto health = agg->SnapshotNodes();
+  EXPECT_EQ(health.size(), kNumNodes);
+  uint64_t applied = 0, duplicates = 0;
+  for (const NodeHealth& h : health) {
+    applied += h.applied;
+    duplicates += h.duplicates;
+    EXPECT_EQ(h.hwm, h.last_epoch) << h.node_id << " drained incompletely";
+  }
+  EXPECT_GT(applied, 0u);
+  EXPECT_GT(duplicates, 0u) << "replay adversary never hit";
+  EXPECT_GT(spans.total_recorded(), 0u);
+
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace sqlcm::fed
