@@ -26,8 +26,10 @@
 // tracing stays within 10% of the tracing-off hook path.
 //
 //   build/bench/bench_rule_overhead [--quick] [--metrics-out <path>]
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -190,7 +192,10 @@ int main(int argc, char** argv) {
   std::printf("%8s %8s %12s %12s %14s\n", "rules", "conds", "wall(ms)",
               "overhead%", "us/query added");
 
-  cm::MonitorEngine monitor(&db);
+  // unique_ptr so the mode sweep at the end can destroy this engine before
+  // attaching its own (only one MonitorEngine may hook a Database at a time).
+  auto monitor_ptr = std::make_unique<cm::MonitorEngine>(&db);
+  cm::MonitorEngine& monitor = *monitor_ptr;
   std::vector<ConfigResult> results;
 
   std::vector<Config> configs = {{100, 1}, {100, 5},  {100, 10}, {100, 20},
@@ -198,9 +203,10 @@ int main(int argc, char** argv) {
                                  {1000, 1}, {1000, 20}};
   if (quick) configs = {{100, 1}, {100, 20}, {500, 1}, {500, 20}};
 
-  // Fresh rule set + one 10-row LAT per rule (paper setup).
+  // Fresh rule set + one 10-row LAT per rule (paper setup). Parameterized on
+  // the engine so the mode sweep can reuse it against its own instances.
   std::vector<uint64_t> rule_ids;
-  auto setup_rules = [&](const Config& config) -> bool {
+  auto setup_rules = [&](cm::MonitorEngine& eng, const Config& config) -> bool {
     for (int r = 0; r < config.num_rules; ++r) {
       cm::LatSpec lat;
       lat.name = "L" + std::to_string(r);
@@ -211,7 +217,7 @@ int main(int argc, char** argv) {
           {cm::LatAggFunc::kLast, "Logical_Signature", "Sig", false}};
       lat.ordering = {{"ID", true}};  // keep the last 10 queries seen
       lat.max_rows = 10;
-      if (auto s = monitor.DefineLat(std::move(lat)); !s.ok()) {
+      if (auto s = eng.DefineLat(std::move(lat)); !s.ok()) {
         std::fprintf(stderr, "lat: %s\n", s.ToString().c_str());
         return false;
       }
@@ -220,7 +226,7 @@ int main(int argc, char** argv) {
       rule.event = "Query.Commit";
       rule.condition = MakeCondition(config.num_conditions);
       rule.action = "Query.Insert(L" + std::to_string(r) + ")";
-      auto id = monitor.AddRule(rule);
+      auto id = eng.AddRule(rule);
       if (!id.ok()) {
         std::fprintf(stderr, "rule: %s\n", id.status().ToString().c_str());
         return false;
@@ -229,16 +235,16 @@ int main(int argc, char** argv) {
     }
     return true;
   };
-  auto teardown_rules = [&](const Config& config) {
-    for (uint64_t id : rule_ids) (void)monitor.RemoveRule(id);
+  auto teardown_rules = [&](cm::MonitorEngine& eng, const Config& config) {
+    for (uint64_t id : rule_ids) (void)eng.RemoveRule(id);
     rule_ids.clear();
     for (int r = 0; r < config.num_rules; ++r) {
-      (void)monitor.DropLat("L" + std::to_string(r));
+      (void)eng.DropLat("L" + std::to_string(r));
     }
   };
 
   for (const Config& config : configs) {
-    if (!setup_rules(config)) return 1;
+    if (!setup_rules(monitor, config)) return 1;
 
     const double with_rules_us = run_once();
     const double overhead_pct =
@@ -251,7 +257,7 @@ int main(int argc, char** argv) {
     results.push_back({config, with_rules_us / 1000.0, overhead_pct,
                        added_us_per_query});
 
-    teardown_rules(config);
+    teardown_rules(monitor, config);
   }
 
   // Degraded mode: the heaviest config re-measured with the shedding ladder
@@ -259,13 +265,13 @@ int main(int argc, char** argv) {
   // evaluation sampled) — the overhead the monitor falls back to when the
   // LoadGovernor's budget is blown.
   const Config degraded_config = configs.back();
-  if (!setup_rules(degraded_config)) return 1;
+  if (!setup_rules(monitor, degraded_config)) return 1;
   const uint64_t sampled_before = monitor.metrics().events_sampled_out.value();
   monitor.governor()->ForceLevel(cm::LoadGovernor::kLevelSampleEvents);
   const double degraded_us = run_once();
   monitor.governor()->ForceLevel(cm::LoadGovernor::kLevelFull);
   monitor.governor()->ClearForce();
-  teardown_rules(degraded_config);
+  teardown_rules(monitor, degraded_config);
   const DegradedResult degraded = {
       degraded_config, degraded_us / 1000.0,
       100.0 * (degraded_us - baseline_us) / baseline_us,
@@ -290,7 +296,7 @@ int main(int argc, char** argv) {
     uint64_t profiled_events;
   };
   const Config tracing_config = quick ? Config{100, 1} : Config{250, 1};
-  if (!setup_rules(tracing_config)) return 1;
+  if (!setup_rules(monitor, tracing_config)) return 1;
   run_once();  // warm the fresh LATs so mode "off" isn't charged for it
   std::vector<TracingResult> tracing;
   std::printf("\ntracing sweep (%d rules, %d conds):\n",
@@ -318,7 +324,7 @@ int main(int argc, char** argv) {
   }
   monitor.span_ring()->set_enabled(false);
   monitor.set_span_sampling(1.0);
-  teardown_rules(tracing_config);
+  teardown_rules(monitor, tracing_config);
   const double sampled_vs_off_pct =
       tracing[0].wall_ms > 0
           ? 100.0 * (tracing[1].wall_ms - tracing[0].wall_ms) /
@@ -364,5 +370,94 @@ int main(int argc, char** argv) {
   }
   PrintBenchJson(num_queries, baseline_us, results, degraded,
                  monitor.metrics());
+
+  // Mode sweep: the same all-deferrable rule set measured with synchronous
+  // (in-hook) rule evaluation vs the batched async pipeline
+  // (docs/PERFORMANCE.md §"Async pipeline"). Each mode gets a fresh engine —
+  // Options are fixed at construction and only one engine may hook the db —
+  // so the main engine is destroyed first. Acceptance bar: the deferred
+  // Query.Commit hook p50 must be >= 5x cheaper than sync; the hook only
+  // stamps and enqueues while a worker pays for dispatch + LAT maintenance.
+  monitor_ptr.reset();
+  struct ModeResult {
+    const char* mode;
+    double wall_ms;
+    double added_us_per_query;
+    double hook_p50_us;
+    double hook_p95_us;
+    uint64_t hook_timed;
+    uint64_t queue_enqueued;
+    uint64_t queue_batches;
+  };
+  const Config mode_config = {100, 1};
+  std::vector<ModeResult> mode_results;
+  std::printf("\nmode sweep (%d deferrable rules, %d conds):\n",
+              mode_config.num_rules, mode_config.num_conditions);
+  std::printf("%10s %12s %14s %14s %14s\n", "mode", "wall(ms)",
+              "us/query added", "hook p50(us)", "hook p95(us)");
+  for (const bool async : {false, true}) {
+    cm::MonitorEngine::Options options;
+    options.async_rule_eval = async;
+    options.monitor_threads = 2;
+    auto eng = std::make_unique<cm::MonitorEngine>(&db, options);
+    if (!setup_rules(*eng, mode_config)) return 1;
+    run_once();  // warm the fresh LATs (charged identically to both modes)
+    const double us = run_once();
+    eng->DrainEventQueue();  // deferred work must land before reading metrics
+    const auto& hook = eng->metrics().hooks[static_cast<size_t>(
+        cm::MonitorHook::kQueryCommit)];
+    const auto pct = hook.latency.ComputePercentiles();
+    mode_results.push_back(
+        {async ? "deferred" : "sync", us / 1000.0,
+         (us - baseline_us) / static_cast<double>(num_queries), pct.p50,
+         pct.p95, hook.latency.count(),
+         eng->metrics().queue_enqueued.value(),
+         eng->metrics().queue_batches.value()});
+    std::printf("%10s %12.1f %14.3f %14.3f %14.3f\n",
+                mode_results.back().mode, mode_results.back().wall_ms,
+                mode_results.back().added_us_per_query, pct.p50, pct.p95);
+    if (!eng->last_error().empty()) {
+      std::fprintf(stderr, "monitor error (%s): %s\n", mode_results.back().mode,
+                   eng->last_error().c_str());
+      return 1;
+    }
+    teardown_rules(*eng, mode_config);
+  }
+  // The latency histogram's resolution is 1us; a deferred hook that only
+  // stamps + enqueues routinely lands below it and reports p50 = 0. Clamp
+  // the denominator to the resolution floor — the ratio is then a
+  // conservative LOWER bound on the true speedup.
+  const double p50_ratio =
+      mode_results[0].hook_p50_us / std::max(mode_results[1].hook_p50_us, 1.0);
+  std::printf("sync/deferred commit-hook p50 ratio: >= %.1fx (bar: >= 5x)\n",
+              p50_ratio);
+  {
+    std::string out = "BENCH_JSON {\"bench\":\"rule_overhead_mode\"";
+    out += ",\"rules\":" + std::to_string(mode_config.num_rules);
+    out += ",\"conds\":" + std::to_string(mode_config.num_conditions);
+    out += ",\"queries\":" + std::to_string(num_queries);
+    out += ",\"modes\":[";
+    for (size_t i = 0; i < mode_results.size(); ++i) {
+      const ModeResult& m = mode_results[i];
+      if (i > 0) out += ",";
+      out += std::string("{\"mode\":\"") + m.mode + "\"";
+      out += ",\"wall_ms\":" + JsonNum(m.wall_ms);
+      out += ",\"added_us_per_query\":" + JsonNum(m.added_us_per_query);
+      out += ",\"hook_p50_us\":" + JsonNum(m.hook_p50_us);
+      out += ",\"hook_p95_us\":" + JsonNum(m.hook_p95_us);
+      out += ",\"hook_timed\":" + std::to_string(m.hook_timed);
+      out += ",\"queue_enqueued\":" + std::to_string(m.queue_enqueued);
+      out += ",\"queue_batches\":" + std::to_string(m.queue_batches) + "}";
+    }
+    out += "],\"sync_over_deferred_p50\":" + JsonNum(p50_ratio) + "}";
+    std::printf("%s\n", out.c_str());
+  }
+  if (p50_ratio < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: deferred commit hook p50 not >= 5x cheaper than sync "
+                 "(ratio %.2fx)\n",
+                 p50_ratio);
+    return 1;
+  }
   return 0;
 }

@@ -164,6 +164,15 @@ Status FleetAggregator::ApplyDelta(const Delta& delta, bool replay,
                                    std::string_view payload) {
   const int64_t now_micros = clock_->NowMicros();
   PeerState& peer = peers_[delta.node_id];
+  // Restart detection runs before dedup: a new incarnation is health
+  // signal even when its first delta is a duplicate epoch number.
+  if (delta.incarnation != 0) {
+    if (peer.incarnation != 0 && peer.incarnation != delta.incarnation) {
+      ++peer.restarts;
+      stats_.node_restarts.Inc();
+    }
+    peer.incarnation = delta.incarnation;
+  }
   if (peer.Seen(delta.epoch)) {
     // Exactly-once effect: a re-send (lost ack, sender crash) or an
     // already-applied reorder acknowledges without touching any LAT.
@@ -328,6 +337,8 @@ Status FleetAggregator::Checkpoint() {
     body.append(" reorder=").append(std::to_string(peer.reorders));
     body.append(" late=").append(std::to_string(peer.late_dropped));
     body.append(" decode=").append(std::to_string(peer.decode_failures));
+    body.append(" inc=").append(std::to_string(peer.incarnation));
+    body.append(" restarts=").append(std::to_string(peer.restarts));
     body.append(" above=");
     if (peer.applied_above.empty()) {
       body.push_back('-');
@@ -427,6 +438,16 @@ Status FleetAggregator::LoadCheckpoint() {
         if (f.i64 != nullptr) *f.i64 = value;
         if (f.u64 != nullptr) *f.u64 = static_cast<uint64_t>(value);
       }
+      // Incarnation fields are optional: checkpoints written before the
+      // nonce existed simply leave them at their zero defaults.
+      if (auto inc = FieldAfter(line, "inc")) {
+        SQLCM_ASSIGN_OR_RETURN(peer.incarnation, ParseInt64(*inc, "inc"));
+      }
+      if (auto restarts = FieldAfter(line, "restarts")) {
+        SQLCM_ASSIGN_OR_RETURN(const int64_t value,
+                               ParseInt64(*restarts, "restarts"));
+        peer.restarts = static_cast<uint64_t>(value);
+      }
       auto above = FieldAfter(line, "above");
       if (!above) return Status::ParseError("checkpoint peer above field");
       if (*above != "-") {
@@ -484,6 +505,7 @@ std::vector<NodeHealth> FleetAggregator::SnapshotNodes() const {
     health.reorders = peer.reorders;
     health.late_dropped = peer.late_dropped;
     health.decode_failures = peer.decode_failures;
+    health.restarts = peer.restarts;
     health.state = health.lag_micros > options_.dead_after_micros ? "dead"
                    : health.lag_micros > options_.stale_after_micros
                        ? "stale"
@@ -516,6 +538,8 @@ void FleetAggregator::RegisterMetrics(obs::MetricsRegistry* registry) const {
   registry->RegisterCounter("fed.agg.late_dropped", &stats_.late_dropped);
   registry->RegisterCounter("fed.agg.decode_failures",
                             &stats_.decode_failures);
+  registry->RegisterCounter("fed.agg.node_restarts",
+                            &stats_.node_restarts);
   registry->RegisterCounter("fed.agg.journal_appends",
                             &stats_.journal_appends);
   registry->RegisterCounter("fed.agg.checkpoints", &stats_.checkpoints);

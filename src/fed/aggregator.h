@@ -59,6 +59,7 @@ struct NodeHealth {
   uint64_t reorders = 0;     // applied epochs that arrived out of order
   uint64_t late_dropped = 0;
   uint64_t decode_failures = 0;
+  uint64_t restarts = 0;     // incarnation-nonce changes observed
 };
 
 /// Point-in-time per-LAT fleet rollup, as surfaced by sqlcm_fleet_stats.
@@ -76,6 +77,7 @@ struct AggregatorStats {
   obs::Counter reorders;
   obs::Counter late_dropped;
   obs::Counter decode_failures;
+  obs::Counter node_restarts;
   obs::Counter journal_appends;
   obs::Counter checkpoints;
   obs::LatencyHistogram ingest_micros;
@@ -135,6 +137,11 @@ class FleetAggregator : public DeltaTransport {
     uint64_t reorders = 0;
     uint64_t late_dropped = 0;
     uint64_t decode_failures = 0;
+    /// Last nonzero incarnation nonce seen from this node; a different
+    /// nonzero nonce on a later delta counts a restart. Deltas from
+    /// pre-nonce senders carry 0 and never trip the detector.
+    int64_t incarnation = 0;
+    uint64_t restarts = 0;
 
     bool Seen(int64_t epoch) const {
       return epoch <= hwm || applied_above.count(epoch) > 0;

@@ -232,6 +232,7 @@ std::string EncodeDelta(const Delta& delta) {
   body += "node=" + EscapeFedText(delta.node_id) + "\n";
   body += "epoch=" + std::to_string(delta.epoch) + "\n";
   body += "ts=" + std::to_string(delta.created_micros) + "\n";
+  body += "incarnation=" + std::to_string(delta.incarnation) + "\n";
   for (const LatSection& section : delta.lats) {
     body += "lat=" + EscapeFedText(section.lat_name) +
             " records=" + std::to_string(section.records.size()) + "\n";
@@ -263,6 +264,14 @@ Result<Delta> DecodeDelta(std::string_view text) {
     SQLCM_ASSIGN_OR_RETURN(delta.created_micros, ParseInt(ts));
   }
   size_t i = 3;
+  // The incarnation line is optional: pre-nonce deltas (and raw heartbeats
+  // built without one) decode with incarnation 0 = "unknown".
+  if (i < lines.size() && lines[i].rfind("incarnation=", 0) == 0) {
+    SQLCM_ASSIGN_OR_RETURN(const std::string_view nonce,
+                           FieldAfter(lines[i], "incarnation="));
+    SQLCM_ASSIGN_OR_RETURN(delta.incarnation, ParseInt(nonce));
+    ++i;
+  }
   while (i < lines.size()) {
     SQLCM_ASSIGN_OR_RETURN(const std::string_view rest,
                            FieldAfter(lines[i], "lat="));

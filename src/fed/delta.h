@@ -53,6 +53,12 @@ struct Delta {
   std::string node_id;
   int64_t epoch = 0;
   int64_t created_micros = 0;
+  /// Per-Open incarnation nonce of the shipping node (0 = unknown/legacy).
+  /// A change between consecutive deltas from one node tells the
+  /// aggregator the node restarted — even when a reset landed on counts
+  /// identical to the baseline, which the delta arithmetic alone cannot
+  /// detect (docs/FEDERATION.md §Reset detection).
+  int64_t incarnation = 0;
   /// Empty for a pure heartbeat epoch (nothing changed; still ships so the
   /// aggregator's liveness tracking sees the node).
   std::vector<LatSection> lats;

@@ -35,7 +35,8 @@ FleetViews::FleetViews(FleetAggregator* aggregator, engine::Database* db)
                                     {"duplicates", 'i'},
                                     {"reorders", 'i'},
                                     {"late_dropped", 'i'},
-                                    {"decode_failures", 'i'}},
+                                    {"decode_failures", 'i'},
+                                    {"restarts", 'i'}},
                                    {"node_id"})) {
     t->SetVirtualRefresh([this, t] {
       std::lock_guard<std::mutex> lock(refresh_mutex_);
@@ -94,6 +95,7 @@ void FleetViews::RefreshNodes(storage::Table* table) {
     row.push_back(Value::Int(static_cast<int64_t>(h.reorders)));
     row.push_back(Value::Int(static_cast<int64_t>(h.late_dropped)));
     row.push_back(Value::Int(static_cast<int64_t>(h.decode_failures)));
+    row.push_back(Value::Int(static_cast<int64_t>(h.restarts)));
     (void)table->Insert(std::move(row));
   }
 }

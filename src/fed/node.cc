@@ -32,6 +32,17 @@ Row GroupKeyOf(const Row& record, size_t group_width) {
   return Row(record.begin(), record.begin() + static_cast<long>(group_width));
 }
 
+/// Nonzero nonce distinct across in-process re-Opens (the counter) and
+/// across process restarts (the wall micros). 0 is reserved for "unknown"
+/// on the wire, so legacy deltas stay distinguishable.
+int64_t DeriveIncarnation(common::Clock* clock) {
+  static std::atomic<int64_t> g_open_seq{0};
+  const int64_t seq = g_open_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  const int64_t nonce =
+      (clock->NowMicros() << 16) ^ seq;  // wraparound is fine for a nonce
+  return nonce != 0 ? nonce : 1;
+}
+
 }  // namespace
 
 FedNode::FedNode(Options options, std::vector<cm::Lat*> lats)
@@ -39,7 +50,9 @@ FedNode::FedNode(Options options, std::vector<cm::Lat*> lats)
       clock_(options_.clock != nullptr ? options_.clock
                                        : common::SystemClock::Get()) {
   lats_.reserve(lats.size());
-  for (cm::Lat* lat : lats) lats_.push_back({lat, {}});
+  for (cm::Lat* lat : lats) {
+    lats_.push_back({lat, {}, lat->reset_generation()});
+  }
 }
 
 Result<std::unique_ptr<FedNode>> FedNode::Open(Options options,
@@ -52,6 +65,9 @@ Result<std::unique_ptr<FedNode>> FedNode::Open(Options options,
   }
   auto node = std::unique_ptr<FedNode>(
       new FedNode(std::move(options), std::move(lats)));
+  node->incarnation_ = node->options_.incarnation != 0
+                           ? node->options_.incarnation
+                           : DeriveIncarnation(node->clock_);
   SQLCM_RETURN_IF_ERROR(EnsureDir(node->options_.dir));
   SQLCM_ASSIGN_OR_RETURN(node->spool_,
                          DeltaSpool::Open(node->options_.dir + "/spool"));
@@ -149,6 +165,7 @@ Status FedNode::WriteBaseline() {
   baseline.node_id = options_.node_id;
   baseline.epoch = last_exported_epoch_;
   baseline.created_micros = clock_->NowMicros();
+  baseline.incarnation = incarnation_;
   for (const AttachedLat& attached : lats_) {
     if (attached.baseline.empty()) continue;
     LatSection section;
@@ -172,10 +189,18 @@ Result<int64_t> FedNode::ExportEpoch() {
   delta.node_id = options_.node_id;
   delta.epoch = epoch;
   delta.created_micros = start_micros;
+  delta.incarnation = incarnation_;
   std::vector<BaselineMap> next_baselines(lats_.size());
+  std::vector<uint64_t> next_generations(lats_.size());
   uint64_t shipped = 0;
   for (size_t i = 0; i < lats_.size(); ++i) {
     cm::Lat* lat = lats_[i].lat;
+    // A Reset since the last export invalidates the baseline: a diff
+    // against it would under-ship (or ship nothing when the new counts
+    // happen to match), so every group goes out mode-F this epoch.
+    next_generations[i] = lat->reset_generation();
+    const bool force_fresh =
+        next_generations[i] != lats_[i].reset_generation;
     SQLCM_ASSIGN_OR_RETURN(auto staging, MakeStateStagingTable(*lat));
     SQLCM_RETURN_IF_ERROR(lat->ExportState(staging.get(), start_micros));
     LatSection section;
@@ -190,7 +215,8 @@ Result<int64_t> FedNode::ExportEpoch() {
       after = keys.back();
       for (Row& record : rows) {
         Row key = GroupKeyOf(record, group_width);
-        const auto base = lats_[i].baseline.find(key);
+        const auto base = force_fresh ? lats_[i].baseline.end()
+                                      : lats_[i].baseline.find(key);
         Row diffed;
         SQLCM_ASSIGN_OR_RETURN(
             const StateDeltaMode mode,
@@ -212,6 +238,7 @@ Result<int64_t> FedNode::ExportEpoch() {
   SQLCM_RETURN_IF_ERROR(spool_->Put(epoch, EncodeDelta(delta)));
   for (size_t i = 0; i < lats_.size(); ++i) {
     lats_[i].baseline = std::move(next_baselines[i]);
+    lats_[i].reset_generation = next_generations[i];
   }
   last_exported_epoch_ = epoch;
   stats_.epochs_exported.Inc();

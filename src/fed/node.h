@@ -63,6 +63,9 @@ class FedNode {
     common::Clock* clock = nullptr;  // null = SystemClock
     /// Optional ship-span sink (SpanKind::kShip, one span per ExportEpoch).
     obs::SpanRing* spans = nullptr;
+    /// Incarnation nonce stamped into every shipped delta. 0 (the default)
+    /// derives a fresh nonzero nonce per Open(); tests may pin one.
+    int64_t incarnation = 0;
   };
 
   /// Opens the spool, loads the durable baseline and repairs it from any
@@ -87,6 +90,9 @@ class FedNode {
   int64_t last_exported_epoch() const { return last_exported_epoch_; }
 
   const std::string& node_id() const { return options_.node_id; }
+  /// Per-Open nonce carried in every delta header so the aggregator can
+  /// tell restarts apart even when counts line up (docs/FEDERATION.md).
+  int64_t incarnation() const { return incarnation_; }
   DeltaSpool* spool() { return spool_.get(); }
   FedNodeStats& stats() const { return stats_; }
   void RegisterMetrics(obs::MetricsRegistry* registry) const;
@@ -97,6 +103,12 @@ class FedNode {
   struct AttachedLat {
     cm::Lat* lat;
     BaselineMap baseline;  // group key -> full state record at last export
+    /// Lat::reset_generation() at the last export. A bump since then means
+    /// the LAT was Reset, so the next export ships every group mode-F
+    /// (full cumulative record, ignoring the baseline) — a reset that
+    /// happens to land on baseline-identical counts would otherwise diff
+    /// to kNone and the new incarnation's observations would never ship.
+    uint64_t reset_generation = 0;
   };
 
   FedNode(Options options, std::vector<cm::Lat*> lats);
@@ -113,6 +125,7 @@ class FedNode {
   std::vector<AttachedLat> lats_;
   std::unique_ptr<DeltaSpool> spool_;
   int64_t last_exported_epoch_ = 0;   // baseline reflects this epoch
+  int64_t incarnation_ = 0;
   std::atomic<int64_t> durable_epoch_{0};
   std::atomic<uint64_t> span_seq_{0};
   mutable FedNodeStats stats_;

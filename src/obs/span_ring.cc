@@ -21,6 +21,8 @@ const char* SpanKindName(SpanKind kind) {
       return "ship";
     case SpanKind::kIngest:
       return "ingest";
+    case SpanKind::kQueueWait:
+      return "queue_wait";
   }
   return "unknown";
 }

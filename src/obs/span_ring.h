@@ -40,6 +40,7 @@ enum class SpanKind : uint8_t {
   kCheckpoint = 4, // LAT snapshot write (checkpoint I/O)
   kShip = 5,       // federation delta export + spool publish (src/fed)
   kIngest = 6,     // federation delta ingest + merge (src/fed)
+  kQueueWait = 7,  // deferred event's enqueue->drain latency (event_queue)
 };
 
 const char* SpanKindName(SpanKind kind);

@@ -1,0 +1,128 @@
+#include "sqlcm/event_queue.h"
+
+#include <bit>
+#include <chrono>
+
+namespace sqlcm::cm {
+
+EventQueue::EventQueue(size_t capacity) {
+  if (capacity < 2) capacity = 2;
+  capacity_ = std::bit_ceil(capacity);
+  mask_ = capacity_ - 1;
+  slots_ = std::make_unique<Slot[]>(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    slots_[i].stamp.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool EventQueue::TryPush(DeferredEvent&& ev) {
+  uint64_t ticket = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& slot = slots_[ticket & mask_];
+    const uint64_t stamp = slot.stamp.load(std::memory_order_acquire);
+    const int64_t dif =
+        static_cast<int64_t>(stamp) - static_cast<int64_t>(ticket);
+    if (dif == 0) {
+      if (head_.compare_exchange_weak(ticket, ticket + 1,
+                                      std::memory_order_relaxed)) {
+        slot.ev = std::move(ev);
+        slot.stamp.store(ticket + 1, std::memory_order_release);
+        if (consumer_sleepers_.load(std::memory_order_acquire) > 0) {
+          NotifyConsumers();
+        }
+        return true;
+      }
+      // CAS failure reloaded `ticket`; retry with the fresh value.
+    } else if (dif < 0) {
+      // The slot still holds last lap's event: full.
+      return false;
+    } else {
+      ticket = head_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool EventQueue::PushBlocking(DeferredEvent&& ev) {
+  for (;;) {
+    if (TryPush(std::move(ev))) return true;
+    if (shutdown_.load(std::memory_order_acquire)) return false;
+    std::unique_lock<std::mutex> lock(wait_mutex_);
+    producer_sleepers_.fetch_add(1, std::memory_order_acq_rel);
+    // Bounded wait: the consumer-side notify can race the sleeper-count
+    // publication, so never sleep unconditionally.
+    not_full_.wait_for(lock, std::chrono::milliseconds(1));
+    producer_sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+bool EventQueue::TryPop(DeferredEvent* out) {
+  uint64_t ticket = tail_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& slot = slots_[ticket & mask_];
+    const uint64_t stamp = slot.stamp.load(std::memory_order_acquire);
+    const int64_t dif =
+        static_cast<int64_t>(stamp) - static_cast<int64_t>(ticket + 1);
+    if (dif == 0) {
+      if (tail_.compare_exchange_weak(ticket, ticket + 1,
+                                      std::memory_order_relaxed)) {
+        *out = std::move(slot.ev);
+        // Drop the moved-from shell eagerly so record keepalives are not
+        // stretched a full lap.
+        slot.ev = DeferredEvent();
+        slot.stamp.store(ticket + capacity_, std::memory_order_release);
+        return true;
+      }
+    } else if (dif < 0) {
+      return false;  // empty
+    } else {
+      ticket = tail_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t EventQueue::PopBatch(DeferredEvent* out, size_t max) {
+  size_t n = 0;
+  while (n < max && TryPop(&out[n])) ++n;
+  if (n > 0 && producer_sleepers_.load(std::memory_order_acquire) > 0) {
+    NotifyProducers();
+  }
+  return n;
+}
+
+bool EventQueue::WaitNonEmpty(int64_t micros) {
+  if (ApproxDepth() > 0 || shutdown_.load(std::memory_order_acquire)) {
+    return true;
+  }
+  std::unique_lock<std::mutex> lock(wait_mutex_);
+  consumer_sleepers_.fetch_add(1, std::memory_order_acq_rel);
+  not_empty_.wait_for(lock, std::chrono::microseconds(micros), [this] {
+    return ApproxDepth() > 0 || shutdown_.load(std::memory_order_acquire);
+  });
+  consumer_sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+  return ApproxDepth() > 0;
+}
+
+void EventQueue::Shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  NotifyConsumers();
+  NotifyProducers();
+}
+
+void EventQueue::NotifyConsumers() {
+  // The lock pairs the notification with the waiter's predicate check.
+  std::lock_guard<std::mutex> lock(wait_mutex_);
+  not_empty_.notify_all();
+}
+
+void EventQueue::NotifyProducers() {
+  std::lock_guard<std::mutex> lock(wait_mutex_);
+  not_full_.notify_all();
+}
+
+size_t EventQueue::ApproxDepth() const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
+  return head > tail ? static_cast<size_t>(head - tail) : 0;
+}
+
+}  // namespace sqlcm::cm

@@ -572,6 +572,108 @@ void Lat::Insert(const void* record, int64_t now_micros) {
   EvictOverBudget(now_micros, /*notify=*/true);
 }
 
+void Lat::InsertBatch(const LatBatchItem* items, size_t count) {
+  if (count == 0) return;
+  if (count == 1) {
+    Insert(items[0].record, items[0].now_micros);
+    return;
+  }
+  stats_.inserts.Inc(count);
+
+  // Phase 1 (latch-free): probe group keys and hashes for every item.
+  std::vector<Row> keys(count);
+  std::vector<uint64_t> hashes(count);
+  for (size_t i = 0; i < count; ++i) {
+    Row& key = keys[i];
+    key.reserve(group_getters_.size());
+    for (AttributeGetter getter : group_getters_) {
+      key.push_back(getter(items[i].record));
+    }
+    hashes[i] = HashGroupKey(key);
+  }
+
+  // Phase 2: resolve rows shard by shard — items stable-sorted by shard so
+  // each touched shard's map latch is taken exactly once for its whole run.
+  std::vector<size_t> order(count);
+  for (size_t i = 0; i < count; ++i) order[i] = i;
+  const uint64_t shard_mask = shard_count_ - 1;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return (hashes[a] & shard_mask) < (hashes[b] & shard_mask);
+  });
+  std::vector<std::shared_ptr<LatRow>> rows(count);
+  size_t created_rows = 0;
+  for (size_t pos = 0; pos < count;) {
+    const uint64_t shard_idx = hashes[order[pos]] & shard_mask;
+    Shard& shard = shards_[shard_idx];
+    size_t end = pos;
+    CountedLatchGuard map_guard(shard.map_latch, stats_);
+    while (end < count && (hashes[order[end]] & shard_mask) == shard_idx) {
+      const size_t i = order[end];
+      bool created = false;
+      rows[i] = FindOrCreateLocked(&shard, hashes[i], keys[i], &created);
+      if (created) ++created_rows;
+      ++end;
+    }
+    pos = end;
+  }
+  if (created_rows > 0) {
+    total_rows_.fetch_add(created_rows, std::memory_order_acq_rel);
+  }
+
+  // Phase 3: fold per distinct group — one row latch per group, that
+  // group's items in arrival order so FIRST/LAST match a sequential replay.
+  std::unordered_map<LatRow*, size_t> row_index;
+  row_index.reserve(count);
+  std::vector<std::shared_ptr<LatRow>> distinct;
+  std::vector<std::vector<size_t>> row_items;
+  for (size_t i = 0; i < count; ++i) {
+    auto [it, inserted] = row_index.try_emplace(rows[i].get(), distinct.size());
+    if (inserted) {
+      distinct.push_back(rows[i]);
+      row_items.emplace_back();
+    }
+    row_items[it->second].push_back(i);
+  }
+  const bool bounded = spec_.max_rows > 0 || spec_.max_bytes > 0;
+  for (size_t r = 0; r < distinct.size(); ++r) {
+    const std::shared_ptr<LatRow>& row = distinct[r];
+    Row ordering_key;
+    size_t row_bytes = 0;
+    bool skip_heap = false;
+    {
+      CountedLatchGuard row_guard(row->latch, stats_);
+      int64_t row_now = 0;
+      for (size_t i : row_items[r]) {
+        for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+          Value v = agg_getters_[a] != nullptr ? agg_getters_[a](items[i].record)
+                                               : Value::Int(1);
+          FoldValue(&row->aggs[a], spec_.aggregates[a], std::move(v),
+                    items[i].now_micros);
+        }
+        row_now = items[i].now_micros;
+      }
+      if (bounded) {
+        ordering_key = OrderingKeyLocked(*row, row_now);
+        if (spec_.max_bytes > 0) {
+          row_bytes = ApproxRowBytesLocked(*row);
+        } else if (row->in_heap.load(std::memory_order_acquire) &&
+                   common::RowEq()(ordering_key, row->ordering_cache)) {
+          skip_heap = true;
+          stats_.heap_skips.Inc();
+        }
+        if (!skip_heap) row->ordering_cache = ordering_key;
+      }
+    }
+    if (bounded && !skip_heap) {
+      MaintainHeap(&ShardFor(row->hash), row, std::move(ordering_key),
+                   row_bytes);
+    }
+  }
+  if (bounded) {
+    EvictOverBudget(items[count - 1].now_micros, /*notify=*/true);
+  }
+}
+
 void Lat::MaintainHeap(Shard* shard, const std::shared_ptr<LatRow>& row,
                        Row ordering_key, size_t row_bytes) {
   CountedLatchGuard heap_guard(shard->heap_latch, stats_);
@@ -686,6 +788,7 @@ void Lat::Reset() {
   // added concurrently in already-cleared shards stay accounted.
   total_rows_.fetch_sub(removed_rows, std::memory_order_acq_rel);
   total_bytes_.fetch_sub(removed_bytes, std::memory_order_acq_rel);
+  reset_generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 bool Lat::LookupForObject(const void* record, int64_t now_micros,

@@ -62,6 +62,14 @@ enum class LatAggFunc : uint8_t {
 const char* LatAggFuncName(LatAggFunc func);
 common::Result<LatAggFunc> ParseLatAggFunc(std::string_view name);
 
+/// One element of a vectorized insert (Lat::InsertBatch): the probed record
+/// plus the event timestamp it carried, so batched folds see exactly the
+/// clock values the per-row path would have.
+struct LatBatchItem {
+  const void* record = nullptr;
+  int64_t now_micros = 0;
+};
+
 struct LatGroupColumn {
   std::string attribute;  // attribute of the LAT's object class
   std::string alias;      // output column name; empty -> attribute name
@@ -167,6 +175,19 @@ class Lat {
   /// spec().object_class) and folds its probe values into every aggregate.
   void Insert(const void* record, int64_t now_micros);
 
+  /// Vectorized Insert for the deferred-evaluation pipeline: upserts every
+  /// item, taking each touched shard's map latch once per call (instead of
+  /// once per item) and each distinct group's row latch once per call,
+  /// folding that group's items in arrival order (so FIRST/LAST match a
+  /// sequential replay). Aggregate results are identical to calling
+  /// Insert() per item; only the latch schedule changes — with S touched
+  /// shards and G distinct groups the unbounded-LAT latch-acquisition
+  /// count is S + G versus 2·count for the per-row path (observable via
+  /// LatStats::latch_acquisitions). Bounded LATs additionally run heap
+  /// maintenance per changed group and a single budget-eviction pass at
+  /// the end.
+  void InsertBatch(const LatBatchItem* items, size_t count);
+
   /// The Reset action (§5.3): drops every row and frees memory.
   void Reset();
 
@@ -208,6 +229,14 @@ class Lat {
   }
   bool shed_aging() const {
     return shed_aging_.load(std::memory_order_relaxed);
+  }
+
+  /// Monotone count of Reset() calls. Federation export snapshots it per
+  /// epoch: a change forces a full (mode-F) ship even when the post-reset
+  /// additive counts happen to match the baseline — the delta arithmetic
+  /// alone cannot distinguish that from "no change" (docs/FEDERATION.md).
+  uint64_t reset_generation() const {
+    return reset_generation_.load(std::memory_order_acquire);
   }
 
   // -- Persistence (§4.3) ------------------------------------------------------
@@ -456,6 +485,7 @@ class Lat {
   std::atomic<size_t> total_bytes_{0};
 
   std::atomic<bool> shed_aging_{false};
+  std::atomic<uint64_t> reset_generation_{0};
   mutable LatStats stats_;
 };
 

@@ -200,9 +200,26 @@ MonitorEngine::MonitorEngine(engine::Database* db, Options options)
       options_.metrics_export_interval_secs > 0) {
     exporter_thread_ = std::thread([this] { ExporterLoop(); });
   }
+  if (options_.async_rule_eval) {
+    event_queue_ = std::make_unique<EventQueue>(options_.event_queue_capacity);
+    const size_t n = std::max<size_t>(1, options_.monitor_threads);
+    workers_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { MonitorWorkerLoop(); });
+    }
+  }
 }
 
 MonitorEngine::~MonitorEngine() {
+  if (!workers_.empty()) {
+    // Stop the pipeline first so no worker touches registries or views mid
+    // teardown. Shutdown wakes sleepers; workers drain the residue before
+    // exiting, so every enqueued event is still evaluated.
+    workers_stop_.store(true, std::memory_order_release);
+    event_queue_->Shutdown();
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+  }
   if (exporter_thread_.joinable()) {
     {
       std::lock_guard<std::mutex> lock(exporter_mutex_);
@@ -243,20 +260,28 @@ Status MonitorEngine::DefineLat(LatSpec spec) {
 
 Status MonitorEngine::DropLat(std::string_view name) {
   const std::string key = ToLower(name);
-  std::lock_guard<std::mutex> lock(registry_mutex_);
-  auto it = lats_.find(key);
-  if (it == lats_.end()) {
-    return Status::NotFound("LAT '" + std::string(name) + "' not found");
-  }
-  for (const auto& rule : rules_) {
-    if (std::find(rule->referenced_lats.begin(), rule->referenced_lats.end(),
-                  it->second.get()) != rule->referenced_lats.end()) {
-      return Status::InvalidArgument("LAT '" + std::string(name) +
-                                     "' is referenced by rule '" + rule->name +
-                                     "'");
+  std::shared_ptr<Lat> victim;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto it = lats_.find(key);
+    if (it == lats_.end()) {
+      return Status::NotFound("LAT '" + std::string(name) + "' not found");
     }
+    for (const auto& rule : rules_) {
+      if (std::find(rule->referenced_lats.begin(), rule->referenced_lats.end(),
+                    it->second.get()) != rule->referenced_lats.end()) {
+        return Status::InvalidArgument("LAT '" + std::string(name) +
+                                       "' is referenced by rule '" +
+                                       rule->name + "'");
+      }
+    }
+    victim = std::move(it->second);
+    lats_.erase(it);
   }
-  lats_.erase(it);
+  // In-flight deferred batches may hold rule-table snapshots whose rules
+  // predate a RemoveRule that released this LAT: drain them (outside the
+  // registry lock) before the last reference dies.
+  DrainEventQueue();
   return Status::OK();
 }
 
@@ -484,7 +509,14 @@ void MonitorEngine::RebuildRuleTableLocked() {
   for (const auto& rule : rules_) {
     if (!rule->enabled) continue;
     any_enabled = true;
-    table->by_event[static_cast<size_t>(rule->event.kind)].push_back(rule);
+    // With the async pipeline off every rule dispatches inline, preserving
+    // the exact pre-pipeline activation order across the whole event.
+    if (options_.async_rule_eval && rule->deferrable) {
+      table->deferred_by_event[static_cast<size_t>(rule->event.kind)]
+          .push_back(rule);
+    } else {
+      table->by_event[static_cast<size_t>(rule->event.kind)].push_back(rule);
+    }
     switch (rule->event.kind) {
       case EventKind::kTransactionBegin:
       case EventKind::kTransactionCommit:
@@ -509,7 +541,8 @@ void MonitorEngine::RebuildRuleTableLocked() {
     if (rule->needs_concurrency_probe) track_concurrency = true;
   }
   for (size_t kind = 0; kind < kNumEventKinds; ++kind) {
-    has_rules_[kind].store(!table->by_event[kind].empty(),
+    has_rules_[kind].store(!table->by_event[kind].empty() ||
+                               !table->deferred_by_event[kind].empty(),
                            std::memory_order_release);
   }
   rule_table_.store(std::move(table), std::memory_order_release);
@@ -693,11 +726,11 @@ void MonitorEngine::FinishQuery(const engine::QueryInfo& info,
     }
   }
 
+  rec->txn = nullptr;  // the Transaction pointer must not outlive the query
   EvalContext ctx;
   ctx.Bind(MonitoredClass::kQuery, rec.get());
-  FireEvent(terminal_event, "", &ctx);
+  FireEvent(terminal_event, "", &ctx, rec);
 
-  rec->txn = nullptr;  // the Transaction pointer must not outlive the query
   if (!track_registry_.load(std::memory_order_acquire)) return;
   std::lock_guard<std::mutex> lock(objects_mutex_);
   active_queries_.erase(rec->id);
@@ -818,7 +851,7 @@ void MonitorEngine::OnTransactionCommit(uint64_t session_id,
   FinalizeTxnRecord(rec.get(), duration_micros);
   EvalContext ctx;
   ctx.Bind(MonitoredClass::kTransaction, rec.get());
-  FireEvent(EventKind::kTransactionCommit, "", &ctx);
+  FireEvent(EventKind::kTransactionCommit, "", &ctx, nullptr, rec);
 }
 
 void MonitorEngine::OnTransactionRollback(uint64_t session_id,
@@ -848,7 +881,7 @@ void MonitorEngine::OnTransactionRollback(uint64_t session_id,
   FinalizeTxnRecord(rec.get(), duration_micros);
   EvalContext ctx;
   ctx.Bind(MonitoredClass::kTransaction, rec.get());
-  FireEvent(EventKind::kTransactionRollback, "", &ctx);
+  FireEvent(EventKind::kTransactionRollback, "", &ctx, nullptr, rec);
 }
 
 // ---------------------------------------------------------------------------
@@ -952,7 +985,9 @@ void MonitorEngine::OnBlockReleased(txn::TxnId blocked, txn::TxnId blocker,
 // ---------------------------------------------------------------------------
 
 void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
-                              EvalContext* base_ctx) {
+                              EvalContext* base_ctx,
+                              std::shared_ptr<QueryRecord> query_keepalive,
+                              std::shared_ptr<TransactionRecord> txn_keepalive) {
   if (!has_rules_[static_cast<size_t>(kind)].load(std::memory_order_acquire)) {
     return;
   }
@@ -961,7 +996,13 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
   const std::shared_ptr<const RuleTable> table =
       rule_table_.load(std::memory_order_acquire);
   const auto& rules = table->by_event[static_cast<size_t>(kind)];
-  if (rules.empty()) return;
+  // Deferral needs a keepalive carrying the bound record's ownership; only
+  // terminal events (which always supply one) have deferrable rules.
+  const bool defer =
+      event_queue_ != nullptr &&
+      !table->deferred_by_event[static_cast<size_t>(kind)].empty() &&
+      (query_keepalive != nullptr || txn_keepalive != nullptr);
+  if (rules.empty() && !defer) return;
   // Governor level 4: shed rule evaluation for a sampled-out share of
   // events (the cheapest remaining lever under overload).
   const uint64_t seq = event_seq_.fetch_add(1, std::memory_order_relaxed);
@@ -975,6 +1016,21 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
 
   // One clock read per event; rules reuse it (hot path, Figure 2).
   base_ctx->now_micros = db_->clock()->NowMicros();
+
+  if (defer) {
+    // Hand the deferrable rules to the worker pool: the hook's remaining
+    // cost for them is this enqueue, regardless of how many are registered.
+    DeferredEvent ev;
+    ev.kind = kind;
+    ev.seq = seq;
+    ev.now_micros = base_ctx->now_micros;
+    ev.enqueue_nanos = SteadyNanos();
+    ev.sampled = spans_.enabled() && SampleTrace(seq);
+    ev.query = std::move(query_keepalive);
+    ev.txn = std::move(txn_keepalive);
+    EnqueueDeferred(std::move(ev));
+    if (rules.empty()) return;  // nothing left to evaluate inline
+  }
 
   // Causal span plane: open an event span. The first FireEvent on this
   // thread roots a new trace (id = event seq + 1, sampling decided once per
@@ -1212,8 +1268,278 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Deferred-evaluation pipeline (event_queue.h)
+// ---------------------------------------------------------------------------
+
+void MonitorEngine::EnqueueDeferred(DeferredEvent&& ev) {
+  switch (options_.queue_full_policy) {
+    case QueueFullPolicy::kBlock:
+      if (event_queue_->PushBlocking(std::move(ev))) {
+        metrics_.queue_enqueued.Inc();
+      } else {
+        metrics_.queue_dropped.Inc();  // shutdown raced the enqueue
+      }
+      return;
+    case QueueFullPolicy::kDrop:
+      if (event_queue_->TryPush(std::move(ev))) {
+        metrics_.queue_enqueued.Inc();
+      } else {
+        metrics_.queue_dropped.Inc();
+      }
+      return;
+    case QueueFullPolicy::kShed: {
+      if (event_queue_->TryPush(std::move(ev))) {
+        metrics_.queue_enqueued.Inc();
+        return;
+      }
+      // Full: degrade to the governor's sampling ratio — keep 1 in
+      // 2^sample_shift events (those block for space, so the kept sample
+      // is unbiased), shed the rest.
+      const uint64_t mask =
+          (uint64_t{1} << options_.governor.sample_shift) - 1;
+      if ((ev.seq & mask) == 0) {
+        if (event_queue_->PushBlocking(std::move(ev))) {
+          metrics_.queue_enqueued.Inc();
+        } else {
+          metrics_.queue_dropped.Inc();
+        }
+      } else {
+        metrics_.queue_shed.Inc();
+        metrics_.events_sampled_out.Inc();
+      }
+      return;
+    }
+  }
+}
+
+void MonitorEngine::MonitorWorkerLoop() {
+  std::vector<DeferredEvent> batch(
+      std::max<size_t>(1, options_.drain_batch_size));
+  for (;;) {
+    batches_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    const size_t n = event_queue_->PopBatch(batch.data(), batch.size());
+    if (n == 0) {
+      batches_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      {
+        // Pair the notify with DrainEventQueue's predicate check.
+        std::lock_guard<std::mutex> lock(drain_mutex_);
+      }
+      drain_cv_.notify_all();
+      if (workers_stop_.load(std::memory_order_acquire) &&
+          event_queue_->ApproxDepth() == 0) {
+        return;  // shutdown and residue drained
+      }
+      event_queue_->WaitNonEmpty(1000);
+      continue;
+    }
+    metrics_.queue_batches.Inc();
+    metrics_.queue_batch_events.Inc(n);
+    ProcessDeferredBatch(batch.data(), n);
+    // Drop record keepalives before signalling the drain barrier.
+    for (size_t i = 0; i < n; ++i) batch[i] = DeferredEvent();
+    batches_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void MonitorEngine::DrainEventQueue() {
+  if (event_queue_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [this] {
+    return event_queue_->ApproxDepth() == 0 &&
+           batches_in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void MonitorEngine::ProcessDeferredBatch(DeferredEvent* events, size_t count) {
+  // One RCU table load per batch: rule-table dispatch cost is amortized
+  // across every event in the batch.
+  const std::shared_ptr<const RuleTable> table =
+      rule_table_.load(std::memory_order_acquire);
+  std::vector<DeferredLatInsert> sink;
+  for (size_t i = 0; i < count; ++i) {
+    const auto& rules =
+        table->deferred_by_event[static_cast<size_t>(events[i].kind)];
+    if (rules.empty()) continue;  // rules removed/disabled since enqueue
+    DispatchDeferredEvent(events[i], rules, &sink);
+  }
+  if (sink.empty()) return;
+
+  // Vectorized flush: group buffered upserts by LAT (first-appearance
+  // order, items in arrival order) and fold each group through one
+  // InsertBatch — one shard latch per (batch, shard). Upsert attribution
+  // is recorded at flush granularity: one span-plane sample and one
+  // upsert_micros sample per (batch, LAT).
+  std::vector<Lat*> lat_order;
+  std::unordered_map<Lat*, std::vector<LatBatchItem>> by_lat;
+  for (const DeferredLatInsert& ins : sink) {
+    auto [it, inserted] = by_lat.try_emplace(ins.lat);
+    if (inserted) lat_order.push_back(ins.lat);
+    it->second.push_back({ins.record, ins.now_micros});
+  }
+  const bool profiled = spans_.enabled();
+  const bool timed = detailed_timing_.load(std::memory_order_relaxed);
+  for (Lat* lat : lat_order) {
+    const std::vector<LatBatchItem>& items = by_lat[lat];
+    if (profiled || timed) {
+      const int64_t start = SteadyNanos();
+      lat->InsertBatch(items.data(), items.size());
+      const int64_t dur = SteadyNanos() - start;
+      if (profiled) {
+        lat->stats().upsert_spans.Inc();
+        lat->stats().upsert_nanos.Inc(static_cast<uint64_t>(dur));
+      }
+      if (timed) lat->stats().upsert_micros.Record(dur / 1000);
+    } else {
+      lat->InsertBatch(items.data(), items.size());
+    }
+  }
+}
+
+void MonitorEngine::DispatchDeferredEvent(
+    DeferredEvent& ev,
+    const std::vector<std::shared_ptr<const CompiledRule>>& rules,
+    std::vector<DeferredLatInsert>* lat_sink) {
+  EvalContext ctx;
+  // Reuse the hook's clock read: deferred rules see the same event
+  // timestamp sync evaluation would have.
+  ctx.now_micros = ev.now_micros;
+  if (ev.query != nullptr) ctx.Bind(MonitoredClass::kQuery, ev.query.get());
+  if (ev.txn != nullptr) ctx.Bind(MonitoredClass::kTransaction, ev.txn.get());
+
+  const int64_t drain_start = SteadyNanos();
+  metrics_.queue_wait_micros.Record((drain_start - ev.enqueue_nanos) / 1000);
+
+  // Span handling mirrors FireEvent, plus a queue_wait child span carrying
+  // the enqueue->drain latency so sqlcm_profile attributes deferred work.
+  TraceFrame* frame = nullptr;
+  bool trace_root = false;
+  uint64_t event_span = 0;
+  uint64_t saved_parent = 0;
+  uint8_t event_depth = 0;
+  if (spans_.enabled()) {
+    frame = &CurrentTraceFrame();
+    if (!frame->active || frame->engine != this) {
+      frame->engine = this;
+      frame->active = true;
+      trace_root = true;
+      frame->trace_id = ev.seq + 1;
+      frame->sampled = ev.sampled;  // decided once, at the hook
+      frame->parent_span = 0;
+      frame->depth = 0;
+      frame->total_nanos = 0;
+      frame->spans.clear();
+      frame->overflowed = false;
+    }
+    event_span = NewSpanId();
+    saved_parent = frame->parent_span;
+    event_depth = frame->depth;
+    frame->parent_span = event_span;
+    if (frame->depth < 255) ++frame->depth;
+    frame->chain_ns = drain_start;
+
+    obs::Span wait;
+    wait.trace_id = frame->trace_id;
+    wait.span_id = NewSpanId();
+    wait.parent_id = event_span;
+    wait.ref = common::Fnv1a64("");
+    wait.start_nanos = ev.enqueue_nanos;
+    wait.duration_nanos = drain_start - ev.enqueue_nanos;
+    wait.kind = obs::SpanKind::kQueueWait;
+    wait.detail = static_cast<uint8_t>(ev.kind);
+    wait.depth = frame->depth;
+    EmitSpan(frame, wait);
+    if (frame->sampled) {
+      metrics_.profile_queue_spans.Inc();
+      metrics_.profile_queue_nanos.Inc(
+          static_cast<uint64_t>(wait.duration_nanos));
+    }
+  } else {
+    TraceFrame& stale = CurrentTraceFrame();
+    if (stale.active && stale.engine == this) {
+      stale.active = false;
+      stale.spans.clear();
+    }
+  }
+  TraceFrame* profiled = (frame != nullptr && frame->sampled) ? frame : nullptr;
+
+  uint32_t fired_here = 0;
+  ++RuleDepth();
+  for (const auto& rule : rules) {
+    // Terminal events carry no qualifier; deferrable rules never iterate
+    // unbound classes (classification guarantees it).
+    if (!rule->event.qualifier.empty()) continue;
+    if (RunRule(*rule, &ctx, profiled, lat_sink)) ++fired_here;
+  }
+  if (frame != nullptr) {
+    const int64_t end = SteadyNanos();
+    obs::Span span;
+    span.trace_id = frame->trace_id;
+    span.span_id = event_span;
+    span.parent_id = saved_parent;
+    span.ref = common::Fnv1a64("");
+    span.start_nanos = drain_start;
+    span.duration_nanos = end - drain_start;
+    span.kind = obs::SpanKind::kEvent;
+    span.detail = static_cast<uint8_t>(ev.kind);
+    span.depth = event_depth;
+    EmitSpan(frame, span);
+    frame->total_nanos += span.duration_nanos;
+    if (frame->sampled) {
+      metrics_.profile_events.Inc();
+      metrics_.profile_dispatch_nanos.Inc(
+          static_cast<uint64_t>(span.duration_nanos));
+    }
+    frame->parent_span = saved_parent;
+    frame->depth = event_depth;
+  }
+  if (trace_.enabled()) {
+    // Duration here is end-to-end (enqueue wait included) by design: the
+    // trace ring answers "when did this event's effects land".
+    trace_.Record(static_cast<uint8_t>(ev.kind), "", fired_here,
+                  ev.now_micros, db_->clock()->NowMicros() - ev.now_micros);
+  }
+  if (--RuleDepth() == 0) {
+    // Deferred rules buffer their LAT inserts, so evictions normally pend
+    // only at flush time (RuleDepth 0 -> immediate dispatch); drain any
+    // stragglers for parity with FireEvent.
+    auto& pending = PendingEvictions();
+    size_t processed = 0;
+    while (!pending.empty()) {
+      metrics_.deferred_events.Inc();
+      if (++processed > 100000) {
+        RecordError(Status::ResourceExhausted(
+            "deferred-event cascade exceeded 100000 events; dropping rest"));
+        pending.clear();
+        break;
+      }
+      PendingEviction eviction = std::move(pending.front());
+      pending.erase(pending.begin());
+      if (frame != nullptr && frame->active) {
+        frame->parent_span = eviction.parent_span;
+        frame->depth = eviction.depth;
+      }
+      EvalContext evict_ctx;
+      evict_ctx.evicted_lat = eviction.lat;
+      evict_ctx.evicted_row = &eviction.row;
+      FireEvent(EventKind::kLatEvict, eviction.lat->lower_name(), &evict_ctx);
+    }
+  }
+  if (trace_root) {
+    slow_traces_.Offer(frame->trace_id, frame->total_nanos, frame->spans);
+    if (frame->overflowed) metrics_.profile_trace_overflows.Inc();
+    frame->active = false;
+    frame->spans.clear();
+  }
+}
+
 bool MonitorEngine::RunRule(const CompiledRule& rule, EvalContext* ctx,
-                            TraceFrame* frame) {
+                            TraceFrame* frame,
+                            std::vector<DeferredLatInsert>* lat_sink) {
   // Quarantine gate: a tripped breaker takes the rule out of dispatch until
   // its cooldown admits a half-open probe (or ReinstateRule intervenes).
   if (!rule.breaker.Allow(ctx->now_micros)) {
@@ -1295,7 +1621,7 @@ bool MonitorEngine::RunRule(const CompiledRule& rule, EvalContext* ctx,
       action_parent = frame->parent_span;
       frame->parent_span = action_span;
     }
-    Status status = ExecuteAction(action, ctx, frame);
+    Status status = ExecuteAction(action, ctx, frame, lat_sink);
     if (frame != nullptr) {
       const int64_t now = SteadyNanos();
       const int64_t dur = now - frame->chain_ns;
@@ -1422,7 +1748,8 @@ Status MonitorEngine::PersistRowToTable(
 }
 
 Status MonitorEngine::ExecuteAction(const CompiledAction& action,
-                                    EvalContext* ctx, TraceFrame* frame) {
+                                    EvalContext* ctx, TraceFrame* frame,
+                                    std::vector<DeferredLatInsert>* lat_sink) {
   switch (action.kind) {
     case ActionKind::kInsert: {
       const void* record = ctx->Bound(action.lat->spec().object_class);
@@ -1430,6 +1757,14 @@ Status MonitorEngine::ExecuteAction(const CompiledAction& action,
         return Status::Internal("Insert: no in-context object of class " +
                                 std::string(MonitoredClassName(
                                     action.lat->spec().object_class)));
+      }
+      if (lat_sink != nullptr) {
+        // Deferred-batch processing: buffer the upsert; the batch flush
+        // performs one vectorized Lat::InsertBatch per LAT (one shard
+        // latch per batch+shard). Per-upsert spans/timing are recorded at
+        // flush granularity instead (ProcessDeferredBatch).
+        lat_sink->push_back({action.lat, record, ctx->now_micros});
+        return Status::OK();
       }
       if (frame != nullptr) {
         // Profiled path: a LAT-upsert child span under the action span,

@@ -31,6 +31,7 @@
 #include "obs/span_ring.h"
 #include "obs/trace_ring.h"
 #include "sqlcm/actions_io.h"
+#include "sqlcm/event_queue.h"
 #include "sqlcm/lat.h"
 #include "sqlcm/load_governor.h"
 #include "sqlcm/monitor_metrics.h"
@@ -50,6 +51,14 @@ struct TraceFrame;
 /// LoadGovernor in tests and CI.
 inline constexpr char kFaultHookSlow[] = "monitor.hook.slow";
 inline constexpr int64_t kFaultHookSlowMicros = 1000;
+
+/// What a hook does when the deferred-event queue is full (backpressure
+/// integration with the LoadGovernor; docs/PERFORMANCE.md §Async pipeline).
+enum class QueueFullPolicy {
+  kBlock,  ///< wait for space (lossless; re-couples hook to drain speed)
+  kDrop,   ///< discard the event, counting it in queue.dropped
+  kShed,   ///< keep 1-in-2^sample_shift (governor sampling), shed the rest
+};
 
 class MonitorEngine final : public engine::MonitorHooks,
                             public txn::LockEventObserver,
@@ -96,6 +105,22 @@ class MonitorEngine final : public engine::MonitorHooks,
     /// CheckpointLat retry policy for transient snapshot-write failures.
     int persist_attempts = 3;
     int64_t persist_backoff_micros = 1000;
+    /// Deferred-evaluation pipeline (docs/PERFORMANCE.md §Async pipeline).
+    /// When on, rules classified deferrable at CREATE RULE time are
+    /// evaluated by the monitor worker pool off the query thread; the hook
+    /// only enqueues a fixed-size event record. Inline rules (Cancel
+    /// actions, non-terminal events, class iteration) keep today's
+    /// synchronous path either way.
+    bool async_rule_eval = false;
+    /// Worker threads draining the event queue. With 1 worker drain order
+    /// is FIFO; more workers may interleave events, which is visible only
+    /// to order-sensitive aggregates (FIRST/LAST) across concurrent events.
+    size_t monitor_threads = 1;
+    /// Event-queue capacity (rounded up to a power of two).
+    size_t event_queue_capacity = 8192;
+    /// Max events a worker pops per drain; also the LAT insert batch bound.
+    size_t drain_batch_size = 256;
+    QueueFullPolicy queue_full_policy = QueueFullPolicy::kBlock;
   };
 
   /// Attaches to `db` (registers the hook interface and lock observer).
@@ -213,6 +238,20 @@ class MonitorEngine final : public engine::MonitorHooks,
     return detailed_timing_.load(std::memory_order_relaxed);
   }
 
+  /// Blocks until every enqueued deferred event has been fully processed
+  /// (queue empty and no worker mid-batch). No-op when the async pipeline
+  /// is off. Tests and teardown use this as the sync barrier; it must not
+  /// be called while holding registry_mutex_.
+  void DrainEventQueue();
+
+  /// Deferred-event queue depth / capacity (0 when the pipeline is off).
+  size_t event_queue_depth() const {
+    return event_queue_ ? event_queue_->ApproxDepth() : 0;
+  }
+  size_t event_queue_capacity() const {
+    return event_queue_ ? event_queue_->capacity() : 0;
+  }
+
   /// Stable snapshots for the system views (short registry lock; the
   /// shared_ptrs keep rules/LATs alive across concurrent Remove/Drop).
   std::vector<std::shared_ptr<const CompiledRule>> SnapshotRules() const;
@@ -242,9 +281,28 @@ class MonitorEngine final : public engine::MonitorHooks,
 
  private:
   struct RuleTable {
+    /// Rules evaluated synchronously in the hook thread. When the async
+    /// pipeline is off, ALL enabled rules live here (classification is
+    /// still computed and visible, but dispatch order stays exactly the
+    /// pre-pipeline activation order).
     std::array<std::vector<std::shared_ptr<const CompiledRule>>,
                kNumEventKinds>
         by_event;
+    /// Deferrable rules drained by the worker pool (populated only while
+    /// Options::async_rule_eval is on).
+    std::array<std::vector<std::shared_ptr<const CompiledRule>>,
+               kNumEventKinds>
+        deferred_by_event;
+  };
+
+  /// One LAT upsert buffered during a deferred batch; flushed grouped by
+  /// LAT through Lat::InsertBatch (one shard latch per batch+shard). The
+  /// record pointer stays valid because the batch's DeferredEvent
+  /// keepalives outlive the flush.
+  struct DeferredLatInsert {
+    Lat* lat = nullptr;
+    const void* record = nullptr;
+    int64_t now_micros = 0;
   };
 
   /// Snapshot of the rule list for one event kind (short registry lock).
@@ -255,15 +313,40 @@ class MonitorEngine final : public engine::MonitorHooks,
 
   /// Dispatches all rules for (kind, qualifier) against `base_ctx`,
   /// handling unbound-class iteration and deferred side-effect events.
+  /// `query_keepalive` / `txn_keepalive` carry the bound record's owning
+  /// reference for terminal events so the async pipeline can enqueue the
+  /// event for evaluation after the registries drop it.
   void FireEvent(EventKind kind, const std::string& qualifier,
-                 EvalContext* base_ctx);
+                 EvalContext* base_ctx,
+                 std::shared_ptr<QueryRecord> query_keepalive = nullptr,
+                 std::shared_ptr<TransactionRecord> txn_keepalive = nullptr);
+
+  // -- Deferred-evaluation pipeline (event_queue.h) ---------------------------
+
+  /// Applies the queue-full policy and enqueues one deferred event.
+  void EnqueueDeferred(DeferredEvent&& ev);
+  /// Worker thread body: batch-pop and process until shutdown + drained.
+  void MonitorWorkerLoop();
+  /// Evaluates one drained batch against one RCU table load, buffering LAT
+  /// upserts, then flushes them vectorized (Lat::InsertBatch).
+  void ProcessDeferredBatch(DeferredEvent* events, size_t count);
+  /// Evaluates one deferred event's rules (span handling mirrors FireEvent;
+  /// adds the queue_wait child span carrying enqueue->drain latency).
+  void DispatchDeferredEvent(
+      DeferredEvent& ev,
+      const std::vector<std::shared_ptr<const CompiledRule>>& rules,
+      std::vector<DeferredLatInsert>* lat_sink);
   /// Returns true when the rule fired (condition passed, actions ran).
   /// `frame` is non-null only when the current trace is sampled for
   /// profiling: condition/action child spans are emitted and self-time is
-  /// attributed to the rule.
-  bool RunRule(const CompiledRule& rule, EvalContext* ctx, TraceFrame* frame);
+  /// attributed to the rule. When `lat_sink` is non-null (deferred batch
+  /// processing), Insert actions buffer into it instead of upserting
+  /// immediately; the caller flushes via Lat::InsertBatch.
+  bool RunRule(const CompiledRule& rule, EvalContext* ctx, TraceFrame* frame,
+               std::vector<DeferredLatInsert>* lat_sink = nullptr);
   common::Status ExecuteAction(const CompiledAction& action, EvalContext* ctx,
-                               TraceFrame* frame);
+                               TraceFrame* frame,
+                               std::vector<DeferredLatInsert>* lat_sink);
   common::Status PersistRowToTable(const std::string& table_name,
                                    const std::vector<std::string>& col_names,
                                    const std::vector<common::ValueKind>& kinds,
@@ -392,6 +475,16 @@ class MonitorEngine final : public engine::MonitorHooks,
   std::atomic<uint64_t> event_seq_{0};
   std::atomic<bool> timing_before_shed_{false};
   std::atomic<bool> trace_before_shed_{false};
+
+  // Deferred-evaluation pipeline: the bounded MPMC queue, its worker pool,
+  // and the drain barrier (in-flight batch count + condvar) used by
+  // DrainEventQueue / DropLat / teardown.
+  std::unique_ptr<EventQueue> event_queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> workers_stop_{false};
+  std::atomic<int> batches_in_flight_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
 
   /// The sqlcm_* virtual tables; owns their catalog lifetime. Declared
   /// last so view refreshes stop before anything else is torn down.

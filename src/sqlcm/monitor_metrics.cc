@@ -57,12 +57,20 @@ MonitorMetrics::MonitorMetrics() {
   registry.RegisterGauge("robustness.governor_level", &governor_level);
   registry.RegisterCounter("robustness.governor_raises", &governor_raises);
   registry.RegisterCounter("robustness.governor_drops", &governor_drops);
+  registry.RegisterCounter("queue.enqueued", &queue_enqueued);
+  registry.RegisterCounter("queue.dropped", &queue_dropped);
+  registry.RegisterCounter("queue.shed", &queue_shed);
+  registry.RegisterCounter("queue.batches", &queue_batches);
+  registry.RegisterCounter("queue.batch_events", &queue_batch_events);
+  registry.RegisterHistogram("queue.wait", &queue_wait_micros);
   registry.RegisterCounter("profile.events", &profile_events);
   registry.RegisterCounter("profile.dispatch_nanos", &profile_dispatch_nanos);
   registry.RegisterCounter("profile.checkpoint_spans",
                            &profile_checkpoint_spans);
   registry.RegisterCounter("profile.checkpoint_nanos",
                            &profile_checkpoint_nanos);
+  registry.RegisterCounter("profile.queue.spans", &profile_queue_spans);
+  registry.RegisterCounter("profile.queue.nanos", &profile_queue_nanos);
   registry.RegisterCounter("profile.trace_overflows", &profile_trace_overflows);
   registry.RegisterCounter("profile.metrics_exports", &metrics_exports);
   for (size_t i = 0; i < kNumActionKinds; ++i) {

@@ -61,6 +61,15 @@ struct MonitorMetrics {
   obs::Counter governor_raises;      // shed-level increases
   obs::Counter governor_drops;       // shed-level decreases (recovery)
 
+  // Deferred-evaluation pipeline (event_queue.h; docs/PERFORMANCE.md
+  // §Async pipeline). queue_wait_micros measures enqueue->drain latency.
+  obs::Counter queue_enqueued;      // events handed to the worker pool
+  obs::Counter queue_dropped;       // kDrop full-policy discards
+  obs::Counter queue_shed;          // kShed full-policy discards (sampled out)
+  obs::Counter queue_batches;       // worker batch drains
+  obs::Counter queue_batch_events;  // events across all drained batches
+  obs::LatencyHistogram queue_wait_micros;
+
   // Causal tracing / profiling plane (docs/OBSERVABILITY.md §Tracing).
   // dispatch_nanos accumulates root-span durations of *sampled* events, so
   // per-rule self-times in sqlcm_profile reconcile against it.
@@ -68,6 +77,8 @@ struct MonitorMetrics {
   obs::Counter profile_dispatch_nanos;  // total sampled dispatch self-time
   obs::Counter profile_checkpoint_spans;
   obs::Counter profile_checkpoint_nanos;
+  obs::Counter profile_queue_spans;      // queue_wait spans (sampled)
+  obs::Counter profile_queue_nanos;      // total sampled enqueue->drain wait
   obs::Counter profile_trace_overflows;  // spans dropped by per-trace cap
   obs::Counter metrics_exports;          // Prometheus dumps written
   // Per-action-kind attribution across all rules (sampled traces only).

@@ -46,6 +46,27 @@ const char* ActionKindName(ActionKind kind) {
   return "?";
 }
 
+bool EventKindDeferrable(EventKind kind) {
+  switch (kind) {
+    case EventKind::kQueryCommit:
+    case EventKind::kQueryCancel:
+    case EventKind::kQueryRollback:
+    case EventKind::kTransactionCommit:
+    case EventKind::kTransactionRollback:
+      // Terminal events: the bound record is finalized before the event
+      // fires, so a worker thread sees an immutable snapshot.
+      return true;
+    case EventKind::kQueryStart:
+    case EventKind::kQueryBlocked:
+    case EventKind::kQueryBlockReleased:
+    case EventKind::kTransactionBegin:
+    case EventKind::kTimerAlarm:
+    case EventKind::kLatEvict:
+      return false;
+  }
+  return false;
+}
+
 std::vector<MonitoredClass> EventBoundClasses(EventKind kind) {
   switch (kind) {
     case EventKind::kQueryStart:
@@ -809,6 +830,47 @@ Result<std::unique_ptr<CompiledRule>> RuleCompiler::Compile(
           "Evicted objects are only available in <Lat>.Evict rules");
     }
     rule->iterate_classes.push_back(cls);
+  }
+
+  // Inline-vs-deferred classification (async pipeline, ROADMAP item 1).
+  // A rule may run on a monitor worker after the hook returns only when
+  // nothing about it needs the triggering thread: Cancel must be able to
+  // stop the query synchronously (paper §3), non-terminal events bind
+  // still-mutating records, and unbound-class iteration snapshots live
+  // registries whose contents are only meaningful at event time.
+  const bool has_cancel =
+      std::any_of(rule->actions.begin(), rule->actions.end(),
+                  [](const CompiledAction& a) {
+                    return a.kind == ActionKind::kCancel;
+                  });
+  if (has_cancel) {
+    rule->inline_reason = "cancel-action";
+  } else if (!EventKindDeferrable(rule->event.kind)) {
+    rule->inline_reason = "event-kind";
+  } else if (!rule->iterate_classes.empty()) {
+    rule->inline_reason = "class-iteration";
+  } else {
+    rule->deferrable = true;
+  }
+  const std::string_view mode = common::Trim(spec.eval_mode);
+  if (EqualsIgnoreCase(mode, "inline") || EqualsIgnoreCase(mode, "sync")) {
+    if (rule->deferrable) {
+      rule->deferrable = false;
+      rule->inline_reason = "override";
+    }
+  } else if (EqualsIgnoreCase(mode, "deferred") ||
+             EqualsIgnoreCase(mode, "async")) {
+    if (!rule->deferrable) {
+      return Status::InvalidArgument(
+          "rule '" + spec.name + "' cannot be deferred (" +
+          rule->inline_reason +
+          "): Cancel actions, non-terminal events and unbound-class "
+          "iteration require inline evaluation");
+    }
+  } else if (!mode.empty() && !EqualsIgnoreCase(mode, "auto")) {
+    return Status::InvalidArgument(
+        "unknown eval_mode '" + std::string(mode) +
+        "' (expected \"\", auto, inline or deferred)");
   }
   return rule;
 }

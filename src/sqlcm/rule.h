@@ -173,7 +173,22 @@ struct RuleSpec {
   std::string event;      // "Query.Commit", "Timer.Alarm", "MyLat.Evict", ...
   std::string condition;  // empty = always true
   std::string action;     // ';'-separated action list
+  /// Evaluation-mode override for the async pipeline:
+  ///   ""         auto-classify (deferrable unless paper semantics require
+  ///              the query thread — Cancel, non-terminal events, unbound
+  ///              class iteration)
+  ///   "inline"   force synchronous evaluation on the triggering thread
+  ///   "deferred" require deferral; compilation fails when the rule is not
+  ///              eligible so the author learns why instead of silently
+  ///              getting inline semantics
+  std::string eval_mode;
 };
+
+/// True for event kinds whose rules may be evaluated off the triggering
+/// thread: terminal events whose bound record is immutable once fired.
+/// Start/begin/block events describe still-live objects, and timer/evict
+/// events already run outside query threads — all stay inline.
+bool EventKindDeferrable(EventKind kind);
 
 /// Pre-extracted comparison atom for the fast condition path: one probe
 /// getter compared against a constant.
@@ -345,6 +360,14 @@ struct CompiledRule {
   /// referenced LAT specs.
   bool needs_blocking_probes = false;    // Time_Blocked & friends
   bool needs_concurrency_probe = false;  // Concurrent_User_Queries
+  /// Inline/deferred classification (async pipeline): true when the rule may
+  /// run on a monitor worker thread after the hook returns. Decided at
+  /// compile time from the event kind, actions and RuleSpec::eval_mode;
+  /// surfaced as sqlcm_rule_stats.eval_mode.
+  bool deferrable = false;
+  /// Why a non-deferrable rule stays inline ("" when deferrable):
+  /// "cancel-action" / "event-kind" / "class-iteration" / "override".
+  const char* inline_reason = "";
   bool enabled = true;
   /// Mutable so the (logically const) dispatch path can update counters.
   mutable RuleStats stats;

@@ -74,7 +74,9 @@ SystemViews::SystemViews(MonitorEngine* monitor, engine::Database* db)
                                     {"quarantine_state", 's'},
                                     {"quarantine_trips", 'i'},
                                     {"quarantine_skipped", 'i'},
-                                    {"actions_suppressed", 'i'}},
+                                    {"actions_suppressed", 'i'},
+                                    {"eval_mode", 's'},
+                                    {"inline_reason", 's'}},
                                    {"rule_id"})) {
     t->SetVirtualRefresh([this, t] {
       std::lock_guard<std::mutex> lock(refresh_mutex_);
@@ -269,6 +271,13 @@ void SystemViews::RefreshEngineStats(storage::Table* table) {
       governor.options().overhead_budget, "");
   add("governor.forced", "gauge", governor.forced() ? 1.0 : 0.0, "");
 
+  // Deferred-evaluation pipeline gauges (counters surface through the
+  // registry snapshot above as queue.*).
+  add("queue.depth", "gauge",
+      static_cast<double>(monitor_->event_queue_depth()), "");
+  add("queue.capacity", "gauge",
+      static_cast<double>(monitor_->event_queue_capacity()), "");
+
   add("errors.total", "counter", static_cast<double>(monitor_->total_errors()),
       "");
   add("errors.dropped", "counter",
@@ -306,6 +315,8 @@ void SystemViews::RefreshRuleStats(storage::Table* table) {
     row.push_back(Value::Int(static_cast<int64_t>(rule->breaker.skipped())));
     row.push_back(
         Value::Int(static_cast<int64_t>(stats.actions_suppressed.value())));
+    row.push_back(Value::String(rule->deferrable ? "deferred" : "inline"));
+    row.push_back(Value::String(rule->inline_reason));
     (void)table->Insert(std::move(row));
   }
 }
@@ -406,6 +417,9 @@ struct SpanNameResolver {
       case obs::SpanKind::kIngest:
         // ref is the federation node-id hash; no local name table.
         return "node#" + HexU64(span.ref);
+      case obs::SpanKind::kQueueWait:
+        // detail carries the deferred event's kind.
+        return EventKindName(static_cast<EventKind>(span.detail));
     }
     return "";
   }
@@ -519,6 +533,10 @@ void SystemViews::RefreshProfile(storage::Table* table) {
   // share is still expressed against dispatch time for comparability.
   add("checkpoint", "total", metrics.profile_checkpoint_spans.value(),
       static_cast<double>(metrics.profile_checkpoint_nanos.value()));
+  // Deferred-event queue wait (enqueue->drain) is latency, not CPU; like
+  // checkpoint it is expressed against dispatch time for comparability.
+  add("queue", "wait", metrics.profile_queue_spans.value(),
+      static_cast<double>(metrics.profile_queue_nanos.value()));
 }
 
 }  // namespace sqlcm::cm

@@ -5,7 +5,9 @@
 // toggles, Resets and full checkpoint/restore cycles (ExportState → v2
 // snapshot file → LoadTableCsv → ImportState into a fresh Lat), then
 // periodically compares every group's materialized row between the two
-// implementations. Doubles must agree within 1 ulp (in practice they are
+// implementations. Batched configs route production inserts through
+// Lat::InsertBatch (the async pipeline's vectorized flush) against the
+// same per-op oracle, proving deferred drain reaches the sync end state. Doubles must agree within 1 ulp (in practice they are
 // bit-exact: the oracle replicates the production fold order); everything
 // else must match exactly. Shedding and snapshot round-trips are invisible
 // to the oracle by design, so any post-shed or post-restore divergence is
@@ -20,6 +22,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -121,6 +124,13 @@ LatSpec DiffSpec(bool bounded, size_t shard_count) {
 struct DiffCase {
   bool bounded;
   size_t shard_count;
+  /// Drive the production LAT through InsertBatch (the async pipeline's
+  /// vectorized flush path) while the oracle applies the same records
+  /// per-op: proves batched ≡ per-item end state, 1-ulp, including across
+  /// Reset and checkpoint/restore. Unbounded configs only — bounded
+  /// eviction is batch-granular by design (one EvictOverBudget per batch),
+  /// so per-item stepwise eviction is not the same contract.
+  bool batched = false;
 };
 
 class LatDifferentialTest : public ::testing::TestWithParam<DiffCase> {};
@@ -131,10 +141,12 @@ TEST_P(LatDifferentialTest, ProductionMatchesReferenceOracle) {
   const uint64_t seed = EnvOr("SQLCM_DIFF_SEED", 0xD1FFBEEF);
   // Always print the seed so any failure is reproducible via
   // SQLCM_DIFF_SEED (PR-2 seed-logging convention).
-  std::fprintf(stderr, "[differential] ops=%llu seed=%llu bounded=%d shards=%zu\n",
+  std::fprintf(stderr,
+               "[differential] ops=%llu seed=%llu bounded=%d shards=%zu "
+               "batched=%d\n",
                static_cast<unsigned long long>(ops),
                static_cast<unsigned long long>(seed), param.bounded ? 1 : 0,
-               param.shard_count);
+               param.shard_count, param.batched ? 1 : 0);
   RecordProperty("sqlcm_diff_seed", std::to_string(seed));
 
   const LatSpec spec = DiffSpec(param.bounded, param.shard_count);
@@ -162,6 +174,18 @@ TEST_P(LatDifferentialTest, ProductionMatchesReferenceOracle) {
       "100%:done", "", "NULL"};
 
   bool shed = false;
+  // Batched mode: inserts buffer here (the oracle still applies per-op)
+  // and flush through InsertBatch before any state-visible operation —
+  // exactly the async pipeline's worker-drain pattern. A deque keeps the
+  // record pointers stable while buffered.
+  std::deque<QueryRecord> pending_records;
+  std::vector<LatBatchItem> pending_items;
+  auto flush_batch = [&] {
+    if (pending_items.empty()) return;
+    lat->InsertBatch(pending_items.data(), pending_items.size());
+    pending_items.clear();
+    pending_records.clear();
+  };
   auto compare_all = [&](uint64_t op) {
     ASSERT_EQ(lat->size(), ref->size()) << "row-count divergence at op " << op;
     const int64_t now = clock.NowMicros();
@@ -203,17 +227,27 @@ TEST_P(LatDifferentialTest, ProductionMatchesReferenceOracle) {
         rec.duration_secs = rng.NextDouble() * 1e3;
       }
       const int64_t now = clock.NowMicros();
-      lat->Insert(&rec, now);
+      if (param.batched) {
+        pending_records.push_back(rec);
+        pending_items.push_back({&pending_records.back(), now});
+        // Uneven flush threshold: batches of many sizes get exercised.
+        if (pending_items.size() >= 37) flush_batch();
+      } else {
+        lat->Insert(&rec, now);
+      }
       ref->Insert(&rec, now);
     } else if (r < 870) {
       clock.Advance(rng.UniformInt(1, 2500));
     } else if (r < 920) {
+      flush_batch();  // shed mode must not change mid-batch vs the oracle
       shed = !shed;
       lat->set_shed_aging(shed);  // invisible to the oracle by contract
     } else if (r < 923) {
+      flush_batch();  // the engine drains the queue before a Reset
       lat->Reset();
       ref->Reset();
     } else if (r < 960) {
+      flush_batch();
       // Full checkpoint/restore cycle through the v2 snapshot container:
       // raw state -> CSV file -> fresh staging table -> fresh Lat.
       const int64_t now = clock.NowMicros();
@@ -238,9 +272,11 @@ TEST_P(LatDifferentialTest, ProductionMatchesReferenceOracle) {
       ASSERT_NO_FATAL_FAILURE(compare_all(op)) << "post-restore";
     }
     if (op % 64 == 63) {
+      flush_batch();
       ASSERT_NO_FATAL_FAILURE(compare_all(op));
     }
   }
+  flush_batch();
   ASSERT_NO_FATAL_FAILURE(compare_all(ops));
   std::remove(snapshot_path.c_str());
   std::remove((snapshot_path + ".bak").c_str());
@@ -249,10 +285,12 @@ TEST_P(LatDifferentialTest, ProductionMatchesReferenceOracle) {
 INSTANTIATE_TEST_SUITE_P(
     Sweep, LatDifferentialTest,
     ::testing::Values(DiffCase{false, 1}, DiffCase{false, 8},
-                      DiffCase{true, 1}, DiffCase{true, 8}),
+                      DiffCase{true, 1}, DiffCase{true, 8},
+                      DiffCase{false, 1, true}, DiffCase{false, 8, true}),
     [](const ::testing::TestParamInfo<DiffCase>& info) {
       return std::string(info.param.bounded ? "Bounded" : "Unbounded") +
-             "Shards" + std::to_string(info.param.shard_count);
+             "Shards" + std::to_string(info.param.shard_count) +
+             (info.param.batched ? "Batched" : "");
     });
 
 }  // namespace

@@ -374,12 +374,119 @@ TEST_F(FedTest, SenderQuarantinesPoisonAndLosesAcks) {
 }
 
 std::string Heartbeat(const std::string& node_id, int64_t epoch,
-                      int64_t created_micros) {
+                      int64_t created_micros, int64_t incarnation = 0) {
   Delta delta;
   delta.node_id = node_id;
   delta.epoch = epoch;
   delta.created_micros = created_micros;
+  delta.incarnation = incarnation;
   return EncodeDelta(delta);
+}
+
+TEST_F(FedTest, DeltaCodecRoundTripsIncarnation) {
+  Delta delta;
+  delta.node_id = "n1";
+  delta.epoch = 4;
+  delta.created_micros = 99;
+  delta.incarnation = 0x1234;
+  auto decoded = DecodeDelta(EncodeDelta(delta));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->incarnation, 0x1234);
+
+  // Pre-nonce payloads have no incarnation line; they decode to 0.
+  std::string body = "node=n1\nepoch=4\nts=99\n";
+  auto legacy = DecodeDelta(WrapChecksummed(kFedMagic, body));
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(legacy->incarnation, 0);
+  EXPECT_EQ(legacy->epoch, 4);
+}
+
+TEST_F(FedTest, SameCountResetShipsFreshViaGeneration) {
+  // The blind spot: Reset, then re-accumulate to a state byte-identical to
+  // the shipped baseline. Count arithmetic sees "no change"; the reset
+  // generation snapshot forces a full mode-F ship so the new incarnation's
+  // observations still count fleet-wide.
+  const std::string node_dir = FreshDir("same_count_node");
+  const std::string agg_dir = FreshDir("same_count_agg");
+  common::MockClock clock(1000);
+  auto lat = MakeLat();
+  auto fleet = MakeLat();
+  auto node = FedNode::Open({"n1", node_dir, &clock, nullptr}, {lat.get()});
+  ASSERT_TRUE(node.ok()) << node.status().ToString();
+  EXPECT_NE((*node)->incarnation(), 0);
+  auto agg = FleetAggregator::Open({.dir = agg_dir, .clock = &clock},
+                                   {fleet.get()});
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+
+  InsertQuery(lat.get(), "a", 2.0, clock.NowMicros());
+  InsertQuery(lat.get(), "a", 3.0, clock.NowMicros());
+  ASSERT_TRUE((*node)->ExportEpoch().ok());
+  auto payload = (*node)->spool()->ReadEpoch(1);
+  ASSERT_TRUE(payload.ok());
+  ASSERT_TRUE((*agg)->Ingest(*payload).ok());
+
+  // Reset and replay the identical inserts at the identical clock.
+  lat->Reset();
+  InsertQuery(lat.get(), "a", 2.0, clock.NowMicros());
+  InsertQuery(lat.get(), "a", 3.0, clock.NowMicros());
+  ASSERT_TRUE((*node)->ExportEpoch().ok());
+  payload = (*node)->spool()->ReadEpoch(2);
+  ASSERT_TRUE(payload.ok());
+  auto delta = DecodeDelta(*payload);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  EXPECT_EQ(delta->incarnation, (*node)->incarnation());
+  ASSERT_EQ(delta->lats.size(), 1u);
+  ASSERT_EQ(delta->lats[0].records.size(), 1u);
+  EXPECT_EQ(delta->lats[0].records[0].mode, StateDeltaMode::kFresh);
+  EXPECT_EQ(delta->lats[0].records[0].cells[1].int_value(), 2);
+  ASSERT_TRUE((*agg)->Ingest(*payload).ok());
+
+  // Both incarnations' observations are in the fleet rollup: N = 4.
+  Row fleet_row;
+  ASSERT_TRUE(fleet->LookupByKey({Value::String("a")}, clock.NowMicros(),
+                                 &fleet_row));
+  EXPECT_EQ(fleet_row[1].int_value(), 4);
+
+  // Identical state, no reset: the next epoch is a pure heartbeat again
+  // (the generation snapshot advanced with the export, so mode-F forcing
+  // does not stick).
+  ASSERT_TRUE((*node)->ExportEpoch().ok());
+  payload = (*node)->spool()->ReadEpoch(3);
+  ASSERT_TRUE(payload.ok());
+  delta = DecodeDelta(*payload);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta->lats.empty());
+}
+
+TEST_F(FedTest, AggregatorCountsIncarnationRestarts) {
+  const std::string dir = FreshDir("agg_restarts");
+  common::MockClock clock(1000);
+  auto agg = FleetAggregator::Open({.dir = dir, .clock = &clock}, {});
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+  const int64_t now = clock.NowMicros();
+  ASSERT_TRUE((*agg)->Ingest(Heartbeat("n1", 1, now, 5)).ok());
+  ASSERT_TRUE((*agg)->Ingest(Heartbeat("n1", 2, now, 5)).ok());
+  EXPECT_EQ((*agg)->SnapshotNodes()[0].restarts, 0u);
+  // New nonce = the node restarted, even though epochs keep climbing.
+  ASSERT_TRUE((*agg)->Ingest(Heartbeat("n1", 3, now, 9)).ok());
+  EXPECT_EQ((*agg)->SnapshotNodes()[0].restarts, 1u);
+  ASSERT_TRUE((*agg)->Ingest(Heartbeat("n1", 4, now, 9)).ok());
+  // Legacy senders (nonce 0) never trip the detector.
+  ASSERT_TRUE((*agg)->Ingest(Heartbeat("n1", 5, now)).ok());
+  ASSERT_TRUE((*agg)->Ingest(Heartbeat("n1", 6, now, 9)).ok());
+  EXPECT_EQ((*agg)->SnapshotNodes()[0].restarts, 1u);
+  EXPECT_EQ((*agg)->stats().node_restarts.value(), 1u);
+
+  // The detector state survives checkpoint + restart: nonce 9 is
+  // remembered, so re-seeing it counts nothing and a new nonce counts one.
+  ASSERT_TRUE((*agg)->Checkpoint().ok());
+  auto agg2 = FleetAggregator::Open({.dir = dir, .clock = &clock}, {});
+  ASSERT_TRUE(agg2.ok()) << agg2.status().ToString();
+  EXPECT_EQ((*agg2)->SnapshotNodes()[0].restarts, 1u);
+  ASSERT_TRUE((*agg2)->Ingest(Heartbeat("n1", 7, now, 9)).ok());
+  EXPECT_EQ((*agg2)->SnapshotNodes()[0].restarts, 1u);
+  ASSERT_TRUE((*agg2)->Ingest(Heartbeat("n1", 8, now, 11)).ok());
+  EXPECT_EQ((*agg2)->SnapshotNodes()[0].restarts, 2u);
 }
 
 TEST_F(FedTest, AggregatorDedupsReordersAndDropsLate) {
