@@ -3,11 +3,45 @@
 // claims overhead "does not vary significantly between rules of different
 // complexity") and the cost of LAT-referencing conditions.
 //
-//   build/bench/bench_rules
+// On top of the google-benchmark micro suite, the binary carries the
+// predicate-index acceptance harness (docs/PERFORMANCE.md §"Predicate
+// index & learned ordering"): a 120-rule Query.Commit workload whose
+// conditions are drawn Zipf-skewed from a small shared pool — every rule
+// is `<expensive LAT-arithmetic conjunct> AND <cheap always-false
+// rejector>`, authored worst-case-first — measured three ways over an
+// identical TPC-H point-select stream:
+//
+//   naive    Options::predicate_index = false (historical per-rule path)
+//   indexed  shared index on, learned ordering off (authoring order)
+//   learned  index + UCB1-learned cheapest-rejector-first ordering
+//
+// The final stdout line is a machine-readable `BENCH_JSON
+// {"bench":"rule_predicate_index",...}` row with per-mode wall time,
+// added-us-per-query and condition-eval throughput. The binary exits
+// non-zero if learned-over-naive speedup falls below the 2.0x acceptance
+// floor, so CI enforces the bar via the exit code.
+//
+//   build/bench/bench_rules [--quick] [--micro-only] [gbench flags...]
+//
+//   --quick       2k-query predicate-index harness only (CI bench-smoke)
+//   --micro-only  skip the harness, run only the micro benchmarks
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
 #include "common/string_util.h"
+#include "engine/database.h"
+#include "engine/session.h"
+#include "sqlcm/monitor_engine.h"
 #include "sqlcm/rule.h"
+#include "workload/driver.h"
+#include "workload/tpch_gen.h"
 
 namespace sqlcm::cm {
 namespace {
@@ -151,7 +185,291 @@ void BM_ProbeGetter(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbeGetter);
 
+// ---------------------------------------------------------------------------
+// Predicate-index acceptance harness.
+// ---------------------------------------------------------------------------
+
+constexpr int kHarnessRules = 120;
+constexpr double kSpeedupFloor = 2.0;
+
+/// Expensive conjuncts: LAT-row lookup plus an arithmetic chain over the
+/// looked-up aggregates. All evaluate TRUE once the LAT row exists, so the
+/// cheap rejector is always the deciding conjunct.
+std::vector<std::string> ExpensivePredicatePool() {
+  std::vector<std::string> pool;
+  for (int i = 0; i < 12; ++i) {
+    std::string chain = "PI_LAT.Avg_Dur";
+    for (int j = 0; j <= i; ++j) {
+      chain += " + PI_LAT.Avg_Dur * " + std::to_string(j + 2);
+    }
+    pool.push_back("(" + chain + " + Query.Duration >= 0)");
+  }
+  return pool;
+}
+
+/// Cheap rejectors: single attribute-vs-constant compares that are FALSE
+/// for every event the workload produces.
+std::vector<std::string> CheapRejectorPool() {
+  return {"Query.ID < 0",          "Query.Duration < 0",
+          "Query.Session_ID < 0",  "Query.Times_Blocked < 0",
+          "Query.Estimated_Cost < 0", "Query.Time_Blocked < 0"};
+}
+
+/// Zipf-skewed index into [0, n): weight of rank k is 1/(k+1)^1.1, so a few
+/// predicates are shared by most rules — the regime where a shared index
+/// pays off (and real monitoring rule sets cluster the same way).
+size_t ZipfPick(std::mt19937& rng, size_t n) {
+  static std::vector<double> weights;
+  if (weights.size() != n) {
+    weights.clear();
+    for (size_t k = 0; k < n; ++k) {
+      weights.push_back(1.0 / std::pow(static_cast<double>(k + 1), 1.1));
+    }
+  }
+  std::discrete_distribution<size_t> dist(weights.begin(), weights.end());
+  return dist(rng);
+}
+
+struct ModeResult {
+  const char* mode;
+  double wall_ms;
+  double added_us_per_query;
+  double cond_evals_per_sec;  // naive-equivalent rule-conditions decided/s
+  uint64_t predindex_evals;
+  uint64_t memo_hits;
+};
+
+std::string JsonNum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+/// Runs the 120-rule Zipf workload under one Options config and returns the
+/// measured wall time plus index counters. Each mode gets a fresh engine
+/// (only one may hook a Database at a time) and a warmup pass that feeds
+/// the LAT row and lets the learned ordering converge before measurement.
+ModeResult RunPredicateIndexMode(
+    const char* mode, engine::Database* db, engine::Session* session,
+    const std::vector<workload::WorkloadItem>& items, double baseline_us,
+    int64_t num_queries, bool index_on, bool learned_on) {
+  MonitorEngine::Options options;
+  options.register_system_views = false;
+  options.predicate_index = index_on;
+  options.learned_predicate_order = learned_on;
+  options.predicate_reorder_interval = 512;
+  auto monitor = std::make_unique<MonitorEngine>(db, options);
+
+  LatSpec lat;
+  lat.name = "PI_LAT";
+  lat.group_by = {{"Logical_Signature", "Sig"}};
+  lat.aggregates = {{LatAggFunc::kAvg, "Duration", "Avg_Dur", false},
+                    {LatAggFunc::kCount, "ID", "N", false}};
+  if (auto s = monitor->DefineLat(std::move(lat)); !s.ok()) {
+    std::fprintf(stderr, "lat: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+
+  // Feed rule: populates PI_LAT for the workload's signature during warmup
+  // so the expensive conjuncts read a live row. Removed before measurement
+  // (its Insert would otherwise invalidate LAT-reader memos every event).
+  RuleSpec feed;
+  feed.name = "pi_feed";
+  feed.event = "Query.Commit";
+  feed.condition = "Query.ID >= 0";
+  feed.action = "Query.Insert(PI_LAT)";
+  auto feed_id = monitor->AddRule(feed);
+  if (!feed_id.ok()) {
+    std::fprintf(stderr, "feed rule: %s\n",
+                 feed_id.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  std::mt19937 rng(271828);  // same seed => identical rule set per mode
+  const std::vector<std::string> expensive = ExpensivePredicatePool();
+  const std::vector<std::string> cheap = CheapRejectorPool();
+  for (int r = 0; r < kHarnessRules; ++r) {
+    RuleSpec rule;
+    rule.name = "pi_r" + std::to_string(r);
+    rule.event = "Query.Commit";
+    // Worst-case authoring order: the expensive conjunct first, the cheap
+    // always-false rejector second. Learned ordering must discover the
+    // swap; the index alone must amortize the expensive eval via sharing.
+    rule.condition = expensive[ZipfPick(rng, expensive.size())] + " AND " +
+                     cheap[ZipfPick(rng, cheap.size())];
+    rule.action = "Query.Insert(PI_LAT)";
+    if (auto id = monitor->AddRule(rule); !id.ok()) {
+      std::fprintf(stderr, "rule: %s\n", id.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  auto run_once = [&]() -> double {
+    auto stats = workload::RunWorkload(session, items);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "workload: %s\n",
+                   stats.status().ToString().c_str());
+      std::exit(1);
+    }
+    return static_cast<double>(stats->wall_micros);
+  };
+
+  run_once();  // warmup: feeds PI_LAT, warms caches, converges the ordering
+  (void)monitor->RemoveRule(*feed_id);
+
+  const uint64_t evals_before = monitor->metrics().predindex_evals.value();
+  const uint64_t hits_before = monitor->metrics().predindex_memo_hits.value();
+  const double wall_us = run_once();
+  const double added_us = wall_us - baseline_us;
+
+  ModeResult out;
+  out.mode = mode;
+  out.wall_ms = wall_us / 1000.0;
+  out.added_us_per_query = added_us / static_cast<double>(num_queries);
+  // Throughput in naive-equivalent units: every event decides all rules'
+  // conditions, however few predicate evals the index actually spent.
+  out.cond_evals_per_sec =
+      added_us > 0.0
+          ? static_cast<double>(num_queries) * kHarnessRules / (added_us / 1e6)
+          : 0.0;
+  out.predindex_evals =
+      monitor->metrics().predindex_evals.value() - evals_before;
+  out.memo_hits =
+      monitor->metrics().predindex_memo_hits.value() - hits_before;
+  return out;
+}
+
+/// One `BENCH_JSON {"bench":"rule_predicate_index",...}` line; returns the
+/// process exit code (non-zero when the learned speedup misses the floor).
+int RunPredicateIndexComparison(bool quick) {
+  engine::Database db;
+  workload::TpchConfig tpch;
+  tpch.num_orders = 25'000;
+  tpch.num_parts = 500;
+  if (!workload::LoadTpch(&db, tpch).ok()) {
+    std::fprintf(stderr, "tpch load failed\n");
+    return 1;
+  }
+  const int64_t num_queries = quick ? 2'000 : 10'000;
+  auto items = workload::GeneratePointSelectWorkload(tpch, num_queries, 17);
+  auto session = db.CreateSession();
+
+  auto run_once = [&]() -> double {
+    auto stats = workload::RunWorkload(session.get(), items);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "workload: %s\n",
+                   stats.status().ToString().c_str());
+      std::exit(1);
+    }
+    return static_cast<double>(stats->wall_micros);
+  };
+  run_once();  // warm plan cache and page in the tree
+  const double baseline_us = run_once();
+
+  std::printf(
+      "Predicate index & learned ordering: %d Zipf-shared rules, "
+      "%lld point selects (baseline %.2f us/query)\n",
+      kHarnessRules, static_cast<long long>(num_queries),
+      baseline_us / static_cast<double>(num_queries));
+  std::printf("%10s %12s %16s %20s %14s %12s\n", "mode", "wall(ms)",
+              "us/query added", "cond evals/sec", "index evals", "memo hits");
+
+  std::vector<ModeResult> modes;
+  modes.push_back(RunPredicateIndexMode("naive", &db, session.get(), items,
+                                        baseline_us, num_queries,
+                                        /*index_on=*/false,
+                                        /*learned_on=*/false));
+  modes.push_back(RunPredicateIndexMode("indexed", &db, session.get(), items,
+                                        baseline_us, num_queries,
+                                        /*index_on=*/true,
+                                        /*learned_on=*/false));
+  modes.push_back(RunPredicateIndexMode("learned", &db, session.get(), items,
+                                        baseline_us, num_queries,
+                                        /*index_on=*/true,
+                                        /*learned_on=*/true));
+  for (const ModeResult& m : modes) {
+    std::printf("%10s %12.1f %16.3f %20.0f %14llu %12llu\n", m.mode,
+                m.wall_ms, m.added_us_per_query, m.cond_evals_per_sec,
+                static_cast<unsigned long long>(m.predindex_evals),
+                static_cast<unsigned long long>(m.memo_hits));
+  }
+
+  const double speedup_indexed =
+      modes[1].added_us_per_query > 0.0
+          ? modes[0].added_us_per_query / modes[1].added_us_per_query
+          : 0.0;
+  const double speedup_learned =
+      modes[2].added_us_per_query > 0.0
+          ? modes[0].added_us_per_query / modes[2].added_us_per_query
+          : 0.0;
+  std::printf("\nspeedup over naive: indexed %.2fx, indexed+learned %.2fx "
+              "(floor %.1fx)\n",
+              speedup_indexed, speedup_learned, kSpeedupFloor);
+
+  std::string out = "BENCH_JSON {\"bench\":\"rule_predicate_index\"";
+  out += ",\"rules\":" + std::to_string(kHarnessRules);
+  out += ",\"queries\":" + std::to_string(num_queries);
+  out += ",\"baseline_us_per_query\":" +
+         JsonNum(baseline_us / static_cast<double>(num_queries));
+  out += ",\"modes\":[";
+  for (size_t i = 0; i < modes.size(); ++i) {
+    const ModeResult& m = modes[i];
+    if (i > 0) out += ",";
+    out += std::string("{\"mode\":\"") + m.mode + "\"";
+    out += ",\"wall_ms\":" + JsonNum(m.wall_ms);
+    out += ",\"added_us_per_query\":" + JsonNum(m.added_us_per_query);
+    out += ",\"cond_evals_per_sec\":" + JsonNum(m.cond_evals_per_sec);
+    out += ",\"predindex_evals\":" + std::to_string(m.predindex_evals);
+    out += ",\"memo_hits\":" + std::to_string(m.memo_hits) + "}";
+  }
+  out += "],\"speedup_indexed\":" + JsonNum(speedup_indexed);
+  out += ",\"speedup_learned\":" + JsonNum(speedup_learned);
+  out += ",\"floor\":" + JsonNum(kSpeedupFloor);
+  out += "}";
+  std::printf("%s\n", out.c_str());
+
+  if (speedup_learned < kSpeedupFloor) {
+    std::fprintf(stderr,
+                 "FAIL: learned speedup %.2fx below the %.1fx acceptance "
+                 "floor\n",
+                 speedup_learned, kSpeedupFloor);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace sqlcm::cm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool micro_only = false;
+  std::vector<char*> gbench_args;
+  gbench_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--micro-only") == 0) {
+      micro_only = true;
+    } else {
+      gbench_args.push_back(argv[i]);
+    }
+  }
+
+  if (!micro_only) {
+    if (int rc = sqlcm::cm::RunPredicateIndexComparison(quick); rc != 0) {
+      return rc;
+    }
+    if (quick) return 0;  // CI bench-smoke: harness + BENCH_JSON only
+  }
+
+  int gbench_argc = static_cast<int>(gbench_args.size());
+  benchmark::Initialize(&gbench_argc, gbench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(gbench_argc,
+                                             gbench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,12 @@
 
 namespace sqlcm::cm {
 
+size_t KindRunLength(const DeferredEvent* events, size_t pos, size_t count) {
+  size_t end = pos + 1;
+  while (end < count && events[end].kind == events[pos].kind) ++end;
+  return end - pos;
+}
+
 EventQueue::EventQueue(size_t capacity) {
   if (capacity < 2) capacity = 2;
   capacity_ = std::bit_ceil(capacity);

@@ -49,6 +49,13 @@ struct DeferredEvent {
   std::shared_ptr<TransactionRecord> txn; // kTransaction* events
 };
 
+/// Length of the run of consecutive events sharing events[pos].kind, up to
+/// `count`. Batch consumers use this to resolve per-kind dispatch state
+/// (rule list, predicate index) once per run instead of once per event,
+/// without re-sorting the batch — cross-kind order is load-bearing for
+/// FIRST/LAST LAT aggregates.
+size_t KindRunLength(const DeferredEvent* events, size_t pos, size_t count);
+
 class EventQueue {
  public:
   /// Capacity is rounded up to a power of two (minimum 2).

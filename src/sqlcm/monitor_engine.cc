@@ -129,6 +129,25 @@ IterationScratch& IterationScratchAt(size_t depth) {
   return *pool[depth];
 }
 
+/// Per-thread memo for the shared-conjunct walk. One event is in flight per
+/// thread at a time for any indexed kind (nested dispatch only happens for
+/// kLatEvict, which is never indexed), so a single slot suffices.
+PredicateMemo& ThreadPredicateMemo() {
+  // Value-type thread_local: destroyed at thread exit.
+  thread_local PredicateMemo memo;
+  return memo;
+}
+
+/// Per-thread reusable EvalContext for hook dispatch: clearing retains the
+/// lat_rows capacity, so steady-state hooks allocate nothing. Nested
+/// (eviction) dispatch keeps its own stack context and never touches this.
+EvalContext& ThreadEvalScratch() {
+  // Value-type thread_local: destroyed at thread exit.
+  thread_local EvalContext ctx;
+  ctx.ResetForEvent();
+  return ctx;
+}
+
 catalog::ColumnType ColumnTypeForKind(ValueKind kind) {
   switch (kind) {
     case ValueKind::kInt: return catalog::ColumnType::kInt;
@@ -540,6 +559,22 @@ void MonitorEngine::RebuildRuleTableLocked() {
     if (rule->needs_blocking_probes) track_blocking = true;
     if (rule->needs_concurrency_probe) track_concurrency = true;
   }
+  if (options_.predicate_index) {
+    for (size_t kind = 0; kind < kNumEventKinds; ++kind) {
+      BuildPredicateIndex(table->by_event[kind], /*deferred_lane=*/false,
+                          &predicate_stats_, &table->sync_index[kind]);
+      BuildPredicateIndex(table->deferred_by_event[kind],
+                          /*deferred_lane=*/true, &predicate_stats_,
+                          &table->deferred_index[kind]);
+      // A rebuild resets walk orders to authoring order; re-apply the
+      // learned ranking immediately so CREATE/DROP RULE doesn't regress
+      // converged ordering until the next reorder interval.
+      if (options_.learned_predicate_order) {
+        ReorderPredicateIndex(&table->sync_index[kind]);
+        ReorderPredicateIndex(&table->deferred_index[kind]);
+      }
+    }
+  }
   for (size_t kind = 0; kind < kNumEventKinds; ++kind) {
     has_rules_[kind].store(!table->by_event[kind].empty() ||
                                !table->deferred_by_event[kind].empty(),
@@ -554,6 +589,56 @@ void MonitorEngine::RebuildRuleTableLocked() {
   track_concurrency_.store(track_concurrency, std::memory_order_release);
   track_blocking_.store(track_blocking, std::memory_order_release);
   monitoring_active_.store(any_enabled, std::memory_order_release);
+}
+
+void MonitorEngine::MaybeReorderPredicates() {
+  // Opportunistic: skip (and retry next interval) if a CREATE/DROP RULE
+  // holds the registry lock — dispatch must never wait on writers.
+  std::unique_lock<std::mutex> lock(registry_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  const std::shared_ptr<const RuleTable> current =
+      rule_table_.load(std::memory_order_acquire);
+  // Copy-on-write republish: the live table is immutable to readers, so the
+  // re-ranked walk order lands as a fresh RCU snapshot. Stats objects are
+  // shared (registry-owned), so EWMAs keep accumulating across the swap.
+  auto table = std::make_shared<RuleTable>(*current);
+  for (size_t kind = 0; kind < kNumEventKinds; ++kind) {
+    ReorderPredicateIndex(&table->sync_index[kind]);
+    ReorderPredicateIndex(&table->deferred_index[kind]);
+  }
+  rule_table_.store(std::move(table), std::memory_order_release);
+  metrics_.predindex_reorders.Inc();
+}
+
+std::vector<MonitorEngine::PredicateStatRow>
+MonitorEngine::SnapshotPredicateStats() const {
+  const std::shared_ptr<const RuleTable> table =
+      rule_table_.load(std::memory_order_acquire);
+  std::vector<PredicateStatRow> out;
+  for (size_t kind = 0; kind < kNumEventKinds; ++kind) {
+    const struct {
+      const PredicateIndex* index;
+      const char* lane;
+    } lanes[] = {{&table->sync_index[kind], "sync"},
+                 {&table->deferred_index[kind], "deferred"}};
+    for (const auto& lane : lanes) {
+      for (const IndexedPredicate& pred : lane.index->preds) {
+        PredicateStatRow row;
+        row.event = EventKindName(static_cast<EventKind>(kind));
+        row.lane = lane.lane;
+        row.text = pred.text;
+        row.hash = pred.hash;
+        row.subscribers = pred.subscribers;
+        row.evals = pred.stats->evals.load(std::memory_order_relaxed);
+        row.passes = pred.stats->passes.load(std::memory_order_relaxed);
+        row.mean_cost_ns = static_cast<double>(
+            pred.stats->cost_ewma_ns.load(std::memory_order_relaxed));
+        row.rank = pred.stats->rank.load(std::memory_order_relaxed);
+        out.push_back(std::move(row));
+      }
+    }
+  }
+  return out;
 }
 
 std::vector<std::shared_ptr<const CompiledRule>> MonitorEngine::RulesFor(
@@ -689,7 +774,7 @@ void MonitorEngine::OnQueryStart(const engine::QueryInfo& info) {
     active_queries_[rec->id] = rec;
     txn_query_stack_[rec->txn_id].push_back(rec);
   }
-  EvalContext ctx;
+  EvalContext& ctx = ThreadEvalScratch();
   ctx.Bind(MonitoredClass::kQuery, rec.get());
   FireEvent(EventKind::kQueryStart, "", &ctx);
 }
@@ -727,7 +812,7 @@ void MonitorEngine::FinishQuery(const engine::QueryInfo& info,
   }
 
   rec->txn = nullptr;  // the Transaction pointer must not outlive the query
-  EvalContext ctx;
+  EvalContext& ctx = ThreadEvalScratch();
   ctx.Bind(MonitoredClass::kQuery, rec.get());
   FireEvent(terminal_event, "", &ctx, rec);
 
@@ -806,7 +891,7 @@ void MonitorEngine::OnTransactionBegin(uint64_t session_id,
     std::lock_guard<std::mutex> lock(objects_mutex_);
     active_txns_[txn_id] = rec;
   }
-  EvalContext ctx;
+  EvalContext& ctx = ThreadEvalScratch();
   ctx.Bind(MonitoredClass::kTransaction, rec.get());
   FireEvent(EventKind::kTransactionBegin, "", &ctx);
 }
@@ -849,7 +934,7 @@ void MonitorEngine::OnTransactionCommit(uint64_t session_id,
   }
   if (rec == nullptr) return;
   FinalizeTxnRecord(rec.get(), duration_micros);
-  EvalContext ctx;
+  EvalContext& ctx = ThreadEvalScratch();
   ctx.Bind(MonitoredClass::kTransaction, rec.get());
   FireEvent(EventKind::kTransactionCommit, "", &ctx, nullptr, rec);
 }
@@ -879,7 +964,7 @@ void MonitorEngine::OnTransactionRollback(uint64_t session_id,
   }
   if (rec == nullptr) return;
   FinalizeTxnRecord(rec.get(), duration_micros);
-  EvalContext ctx;
+  EvalContext& ctx = ThreadEvalScratch();
   ctx.Bind(MonitoredClass::kTransaction, rec.get());
   FireEvent(EventKind::kTransactionRollback, "", &ctx, nullptr, rec);
 }
@@ -931,7 +1016,7 @@ void MonitorEngine::OnBlocked(txn::TxnId blocked, txn::TxnId blocker,
 
   BlockEventView blocker_view{blocker_rec.get(), 0, resource.ToString()};
   BlockEventView blocked_view{blocked_rec.get(), 0, blocker_view.resource};
-  EvalContext ctx;
+  EvalContext& ctx = ThreadEvalScratch();
   ctx.Bind(MonitoredClass::kBlocker, &blocker_view);
   ctx.Bind(MonitoredClass::kBlocked, &blocked_view);
   FireEvent(EventKind::kQueryBlocked, "", &ctx);
@@ -974,7 +1059,7 @@ void MonitorEngine::OnBlockReleased(txn::TxnId blocked, txn::TxnId blocker,
                               resource.ToString()};
   BlockEventView blocked_view{blocked_rec.get(), wait_secs,
                               blocker_view.resource};
-  EvalContext ctx;
+  EvalContext& ctx = ThreadEvalScratch();
   ctx.Bind(MonitoredClass::kBlocker, &blocker_view);
   ctx.Bind(MonitoredClass::kBlocked, &blocked_view);
   FireEvent(EventKind::kQueryBlockReleased, "", &ctx);
@@ -1073,15 +1158,43 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
   }
   TraceFrame* profiled = (frame != nullptr && frame->sampled) ? frame : nullptr;
 
+  // Shared-conjunct walk state: one memo per event, fanned out to every
+  // indexed rule below (docs/PERFORMANCE.md §"Predicate index").
+  const PredicateIndex* index =
+      options_.predicate_index &&
+              table->sync_index[static_cast<size_t>(kind)].any_indexed
+          ? &table->sync_index[static_cast<size_t>(kind)]
+          : nullptr;
+  PredicateMemo* memo = nullptr;
+  if (index != nullptr) {
+    memo = &ThreadPredicateMemo();
+    memo->BeginEvent(index->preds.size());
+  }
+
   ++RuleDepth();
-  for (const auto& rule : rules) {
+  for (size_t rule_pos = 0; rule_pos < rules.size(); ++rule_pos) {
+    const auto& rule = rules[rule_pos];
+    const IndexedRule* entry =
+        index != nullptr ? &index->entries[rule_pos] : nullptr;
     if (!rule->event.qualifier.empty() && rule->event.qualifier != qualifier) {
       continue;
     }
     if (rule->iterate_classes.empty()) {
       // No unbound classes: evaluate directly against the shared context
       // (RunRule resets the per-evaluation LAT-row cache itself).
-      if (RunRule(*rule, base_ctx, profiled)) ++fired_here;
+      if (RunRule(*rule, base_ctx, profiled, nullptr, index, entry, memo)) {
+        ++fired_here;
+        if (memo != nullptr && entry->mutates_lats &&
+            rule_pos + 1 < rules.size()) {
+          // The fired rule's actions changed LAT state mid-event: memoized
+          // LAT-reading conjuncts and the shared row cache no longer match
+          // what naive per-rule evaluation would see for the rules still to
+          // come (after the last rule the memo is dead — skip).
+          memo->InvalidateLatReaders(*index);
+          base_ctx->lat_rows.clear();
+          metrics_.predindex_invalidations.Inc();
+        }
+      }
       continue;
     }
 
@@ -1182,6 +1295,7 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
     const bool any_empty =
         std::any_of(lists.begin(), lists.end(),
                     [](const auto& l) { return l.empty(); });
+    const size_t fired_before = fired_here;
     if (!any_empty) {
       for (;;) {
         EvalContext ctx = *base_ctx;
@@ -1201,6 +1315,14 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
     }
     // Release record ownership promptly (capacity is retained).
     scratch.Clear();
+    if (memo != nullptr && fired_here != fired_before &&
+        entry->mutates_lats && rule_pos + 1 < rules.size()) {
+      // Iterating rules bypass the index, but their fired actions can still
+      // mutate LATs that later indexed rules read.
+      memo->InvalidateLatReaders(*index);
+      base_ctx->lat_rows.clear();
+      metrics_.predindex_invalidations.Inc();
+    }
   }
   if (frame != nullptr) {
     const int64_t end = SteadyNanos();
@@ -1257,6 +1379,14 @@ void MonitorEngine::FireEvent(EventKind kind, const std::string& qualifier,
       ctx.evicted_row = &eviction.row;
       FireEvent(EventKind::kLatEvict, eviction.lat->lower_name(), &ctx);
     }
+  }
+  if (options_.predicate_index && options_.learned_predicate_order &&
+      options_.predicate_reorder_interval > 0 &&
+      seq % options_.predicate_reorder_interval ==
+          options_.predicate_reorder_interval - 1) {
+    // Periodic, contention-free (try_lock) re-rank of the shared predicate
+    // walk from the stats gathered since the last republish.
+    MaybeReorderPredicates();
   }
   if (trace_root) {
     // Root finalization: the whole cascade (including deferred events) has
@@ -1361,11 +1491,27 @@ void MonitorEngine::ProcessDeferredBatch(DeferredEvent* events, size_t count) {
   const std::shared_ptr<const RuleTable> table =
       rule_table_.load(std::memory_order_acquire);
   std::vector<DeferredLatInsert> sink;
-  for (size_t i = 0; i < count; ++i) {
-    const auto& rules =
-        table->deferred_by_event[static_cast<size_t>(events[i].kind)];
-    if (rules.empty()) continue;  // rules removed/disabled since enqueue
-    DispatchDeferredEvent(events[i], rules, &sink);
+  // Resolve the rule list and predicate index once per consecutive run of
+  // same-kind events (batches are bursty, so runs are long). Events are NOT
+  // re-sorted across kinds: commits and rollbacks feeding one LAT must keep
+  // arrival order or FIRST/LAST aggregates would change.
+  size_t i = 0;
+  while (i < count) {
+    const size_t kind = static_cast<size_t>(events[i].kind);
+    const size_t run = KindRunLength(events, i, count);
+    const auto& rules = table->deferred_by_event[kind];
+    if (rules.empty()) {  // rules removed/disabled since enqueue
+      i += run;
+      continue;
+    }
+    const PredicateIndex* index =
+        options_.predicate_index && table->deferred_index[kind].any_indexed
+            ? &table->deferred_index[kind]
+            : nullptr;
+    for (size_t j = i; j < i + run; ++j) {
+      DispatchDeferredEvent(events[j], rules, index, &sink);
+    }
+    i += run;
   }
   if (sink.empty()) return;
 
@@ -1403,8 +1549,8 @@ void MonitorEngine::ProcessDeferredBatch(DeferredEvent* events, size_t count) {
 void MonitorEngine::DispatchDeferredEvent(
     DeferredEvent& ev,
     const std::vector<std::shared_ptr<const CompiledRule>>& rules,
-    std::vector<DeferredLatInsert>* lat_sink) {
-  EvalContext ctx;
+    const PredicateIndex* index, std::vector<DeferredLatInsert>* lat_sink) {
+  EvalContext& ctx = ThreadEvalScratch();
   // Reuse the hook's clock read: deferred rules see the same event
   // timestamp sync evaluation would have.
   ctx.now_micros = ev.now_micros;
@@ -1468,12 +1614,30 @@ void MonitorEngine::DispatchDeferredEvent(
   TraceFrame* profiled = (frame != nullptr && frame->sampled) ? frame : nullptr;
 
   uint32_t fired_here = 0;
+  PredicateMemo* memo = nullptr;
+  if (index != nullptr) {
+    memo = &ThreadPredicateMemo();
+    memo->BeginEvent(index->preds.size());
+  }
   ++RuleDepth();
-  for (const auto& rule : rules) {
+  for (size_t rule_pos = 0; rule_pos < rules.size(); ++rule_pos) {
+    const auto& rule = rules[rule_pos];
+    const IndexedRule* entry =
+        index != nullptr ? &index->entries[rule_pos] : nullptr;
     // Terminal events carry no qualifier; deferrable rules never iterate
     // unbound classes (classification guarantees it).
     if (!rule->event.qualifier.empty()) continue;
-    if (RunRule(*rule, &ctx, profiled, lat_sink)) ++fired_here;
+    if (RunRule(*rule, &ctx, profiled, lat_sink, index, entry, memo)) {
+      ++fired_here;
+      if (memo != nullptr && entry->mutates_lats &&
+          rule_pos + 1 < rules.size()) {
+        // Deferred inserts buffer in lat_sink, so only RESET actions mutate
+        // LAT state mid-batch (mutates_lats reflects that for this lane).
+        memo->InvalidateLatReaders(*index);
+        ctx.lat_rows.clear();
+        metrics_.predindex_invalidations.Inc();
+      }
+    }
   }
   if (frame != nullptr) {
     const int64_t end = SteadyNanos();
@@ -1539,7 +1703,9 @@ void MonitorEngine::DispatchDeferredEvent(
 
 bool MonitorEngine::RunRule(const CompiledRule& rule, EvalContext* ctx,
                             TraceFrame* frame,
-                            std::vector<DeferredLatInsert>* lat_sink) {
+                            std::vector<DeferredLatInsert>* lat_sink,
+                            const PredicateIndex* index,
+                            const IndexedRule* entry, PredicateMemo* memo) {
   // Quarantine gate: a tripped breaker takes the rule out of dispatch until
   // its cooldown admits a half-open probe (or ReinstateRule intervenes).
   if (!rule.breaker.Allow(ctx->now_micros)) {
@@ -1549,7 +1715,33 @@ bool MonitorEngine::RunRule(const CompiledRule& rule, EvalContext* ctx,
   rule.stats.evaluations.Inc();
   bool cond_error = false;
   bool cond_pass = true;
-  if (rule.use_fast_condition) {
+  bool walked = false;
+  if (index != nullptr && entry != nullptr && entry->indexed &&
+      memo != nullptr) {
+    // Shared-conjunct walk: each distinct predicate evaluates once per
+    // event, memoized for every subscribed rule. Authoring order is kept
+    // exact unless learned ordering is on (then a NULL conjunct may
+    // short-circuit before an erroring one — strictly fewer errors, same
+    // firing decisions).
+    PredWalkCounters counters;
+    const IndexVerdict verdict = EvalIndexedCondition(
+        *index, *entry, /*strict_order=*/!options_.learned_predicate_order,
+        ctx, memo, &counters);
+    metrics_.predindex_evals.Inc(counters.evals);
+    metrics_.predindex_memo_hits.Inc(counters.memo_hits);
+    if (verdict == IndexVerdict::kError) {
+      // A conjunct errored: replay this rule naively so the error text,
+      // per-rule stats, and breaker accounting match index-off evaluation
+      // exactly (the walk result is discarded).
+      metrics_.predindex_fallbacks.Inc();
+    } else {
+      walked = true;
+      cond_pass = verdict == IndexVerdict::kFire;
+    }
+  }
+  if (walked) {
+    // Condition fully decided by the shared walk above.
+  } else if (rule.use_fast_condition) {
     cond_pass = EvalFastAtoms(rule.fast_atoms, *ctx);
   } else if (rule.condition != nullptr) {
     ctx->lat_rows.clear();

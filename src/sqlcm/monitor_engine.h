@@ -35,6 +35,7 @@
 #include "sqlcm/lat.h"
 #include "sqlcm/load_governor.h"
 #include "sqlcm/monitor_metrics.h"
+#include "sqlcm/predicate_index.h"
 #include "sqlcm/rule.h"
 #include "sqlcm/schema.h"
 #include "sqlcm/timer.h"
@@ -121,6 +122,21 @@ class MonitorEngine final : public engine::MonitorHooks,
     /// Max events a worker pops per drain; also the LAT insert batch bound.
     size_t drain_batch_size = 256;
     QueueFullPolicy queue_full_policy = QueueFullPolicy::kBlock;
+    /// Shared predicate index (docs/PERFORMANCE.md §"Predicate index").
+    /// When on, conditions of rules sharing an event are decomposed into
+    /// canonicalized conjuncts evaluated at most once per event, with
+    /// memoized three-valued outcomes fanned out to every subscriber. Off =
+    /// exactly the historical per-rule evaluation path (differential-oracle
+    /// toggle).
+    bool predicate_index = true;
+    /// Online learned conjunct ordering on top of the index: per-predicate
+    /// pass-rate/cost EWMAs + UCB1 exploration periodically re-sort each
+    /// rule's walk so cheap, rejective conjuncts run first. Off = authoring
+    /// order with bit-exact naive error accounting.
+    bool learned_predicate_order = true;
+    /// Events between reorder passes (0 disables reordering; the pass
+    /// itself is a cheap RCU republish off the hot path).
+    uint64_t predicate_reorder_interval = 4096;
   };
 
   /// Attaches to `db` (registers the hook interface and lock observer).
@@ -257,6 +273,22 @@ class MonitorEngine final : public engine::MonitorHooks,
   std::vector<std::shared_ptr<const CompiledRule>> SnapshotRules() const;
   std::vector<std::shared_ptr<const Lat>> SnapshotLats() const;
 
+  /// One sqlcm_rule_predicate_stats row: a shared predicate of one
+  /// (event kind, dispatch lane) index with its learned statistics.
+  struct PredicateStatRow {
+    const char* event = "";
+    const char* lane = "";  // "sync" | "deferred"
+    std::string text;
+    uint64_t hash = 0;
+    uint64_t subscribers = 0;
+    uint64_t evals = 0;
+    uint64_t passes = 0;
+    double mean_cost_ns = 0;
+    int64_t rank = -1;
+  };
+  /// Lock-free walk of the current RCU rule-table snapshot's indexes.
+  std::vector<PredicateStatRow> SnapshotPredicateStats() const;
+
   // -- engine::MonitorHooks ----------------------------------------------------
 
   void OnStatementCompiled(engine::CachedPlan* plan) override;
@@ -293,6 +325,11 @@ class MonitorEngine final : public engine::MonitorHooks,
     std::array<std::vector<std::shared_ptr<const CompiledRule>>,
                kNumEventKinds>
         deferred_by_event;
+    /// Shared-conjunct indexes, positionally parallel to the rule vectors
+    /// above; built only while Options::predicate_index is on. Part of the
+    /// same RCU snapshot so dispatch always sees rules and index agree.
+    std::array<PredicateIndex, kNumEventKinds> sync_index;
+    std::array<PredicateIndex, kNumEventKinds> deferred_index;
   };
 
   /// One LAT upsert buffered during a deferred batch; flushed grouped by
@@ -332,18 +369,26 @@ class MonitorEngine final : public engine::MonitorHooks,
   void ProcessDeferredBatch(DeferredEvent* events, size_t count);
   /// Evaluates one deferred event's rules (span handling mirrors FireEvent;
   /// adds the queue_wait child span carrying enqueue->drain latency).
+  /// `index` is the lane's predicate index, or null when indexing is off.
   void DispatchDeferredEvent(
       DeferredEvent& ev,
       const std::vector<std::shared_ptr<const CompiledRule>>& rules,
+      const PredicateIndex* index,
       std::vector<DeferredLatInsert>* lat_sink);
   /// Returns true when the rule fired (condition passed, actions ran).
   /// `frame` is non-null only when the current trace is sampled for
   /// profiling: condition/action child spans are emitted and self-time is
   /// attributed to the rule. When `lat_sink` is non-null (deferred batch
   /// processing), Insert actions buffer into it instead of upserting
-  /// immediately; the caller flushes via Lat::InsertBatch.
+  /// immediately; the caller flushes via Lat::InsertBatch. When `index` /
+  /// `entry` / `memo` are set and the entry is indexed, the condition is
+  /// answered by the memoized shared-conjunct walk (an error verdict falls
+  /// back to the naive evaluator below for exact accounting).
   bool RunRule(const CompiledRule& rule, EvalContext* ctx, TraceFrame* frame,
-               std::vector<DeferredLatInsert>* lat_sink = nullptr);
+               std::vector<DeferredLatInsert>* lat_sink = nullptr,
+               const PredicateIndex* index = nullptr,
+               const IndexedRule* entry = nullptr,
+               PredicateMemo* memo = nullptr);
   common::Status ExecuteAction(const CompiledAction& action, EvalContext* ctx,
                                TraceFrame* frame,
                                std::vector<DeferredLatInsert>* lat_sink);
@@ -362,6 +407,12 @@ class MonitorEngine final : public engine::MonitorHooks,
   void HandleEviction(Lat* lat, common::Row evicted);
   void HandleTimerAlarm(const TimerRecord& timer);
   void RecordError(const common::Status& status);
+
+  /// Learned-ordering reorder pass: re-sorts every index's conjunct walks
+  /// by the UCB1 score and republishes the rule table. Runs every
+  /// Options::predicate_reorder_interval events; skips (retries next
+  /// interval) when the registry mutex is contended.
+  void MaybeReorderPredicates();
 
   /// True when event `seq` gets child spans + profiling attribution.
   bool SampleTrace(uint64_t seq) const;
@@ -415,6 +466,11 @@ class MonitorEngine final : public engine::MonitorHooks,
   /// RCU-style publication of the compiled dispatch table: writers rebuild
   /// under registry_mutex_ and store; FireEvent loads without any lock.
   std::atomic<std::shared_ptr<const RuleTable>> rule_table_;
+  /// Learned predicate state keyed by canonical hash; consulted at every
+  /// index build (under registry_mutex_) so selectivity/cost EWMAs survive
+  /// CREATE/DROP RULE swaps and reorders. Entries are never dropped — the
+  /// predicate universe is bounded by rule text ever created.
+  PredicateStatsRegistry predicate_stats_;
   /// Lock-free per-event fast path: FireEvent returns without touching the
   /// registry mutex when no enabled rule listens to the event kind.
   std::array<std::atomic<bool>, kNumEventKinds> has_rules_{};

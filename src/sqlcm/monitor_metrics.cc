@@ -73,6 +73,11 @@ MonitorMetrics::MonitorMetrics() {
   registry.RegisterCounter("profile.queue.nanos", &profile_queue_nanos);
   registry.RegisterCounter("profile.trace_overflows", &profile_trace_overflows);
   registry.RegisterCounter("profile.metrics_exports", &metrics_exports);
+  registry.RegisterCounter("predindex.evals", &predindex_evals);
+  registry.RegisterCounter("predindex.memo_hits", &predindex_memo_hits);
+  registry.RegisterCounter("predindex.fallbacks", &predindex_fallbacks);
+  registry.RegisterCounter("predindex.invalidations", &predindex_invalidations);
+  registry.RegisterCounter("predindex.reorders", &predindex_reorders);
   for (size_t i = 0; i < kNumActionKinds; ++i) {
     const std::string base =
         std::string("profile.action.") +

@@ -81,6 +81,14 @@ struct MonitorMetrics {
   obs::Counter profile_queue_nanos;      // total sampled enqueue->drain wait
   obs::Counter profile_trace_overflows;  // spans dropped by per-trace cap
   obs::Counter metrics_exports;          // Prometheus dumps written
+
+  // Shared predicate index + learned ordering (docs/PERFORMANCE.md
+  // §Predicate index). memo_hits / (evals + memo_hits) is the sharing rate.
+  obs::Counter predindex_evals;          // distinct predicate evaluations
+  obs::Counter predindex_memo_hits;      // conjuncts answered from the memo
+  obs::Counter predindex_fallbacks;      // rules replayed naively (error parity)
+  obs::Counter predindex_invalidations;  // mid-event LAT-mutation flushes
+  obs::Counter predindex_reorders;       // learned-order republishes
   // Per-action-kind attribution across all rules (sampled traces only).
   std::array<obs::Counter, kNumActionKinds> action_kind_spans;
   std::array<obs::Counter, kNumActionKinds> action_kind_nanos;

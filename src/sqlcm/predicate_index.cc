@@ -1,0 +1,322 @@
+#include "sqlcm/predicate_index.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "sql/ast.h"
+
+namespace sqlcm::cm {
+
+namespace {
+
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool IsComparison(sql::BinaryOp op) {
+  switch (op) {
+    case sql::BinaryOp::kEq:
+    case sql::BinaryOp::kNe:
+    case sql::BinaryOp::kLt:
+    case sql::BinaryOp::kLe:
+    case sql::BinaryOp::kGt:
+    case sql::BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+sql::BinaryOp MirrorComparison(sql::BinaryOp op) {
+  switch (op) {
+    case sql::BinaryOp::kLt: return sql::BinaryOp::kGt;
+    case sql::BinaryOp::kLe: return sql::BinaryOp::kGe;
+    case sql::BinaryOp::kGt: return sql::BinaryOp::kLt;
+    case sql::BinaryOp::kGe: return sql::BinaryOp::kLe;
+    default: return op;  // =, <> are symmetric
+  }
+}
+
+void AppendCanonical(const CmExpr& e, std::string* out) {
+  switch (e.kind) {
+    case CmExpr::Kind::kLiteral:
+      if (e.literal.is_string()) {
+        *out += '\'';
+        *out += e.literal.ToString();
+        *out += '\'';
+      } else {
+        *out += e.literal.ToString();
+      }
+      return;
+    case CmExpr::Kind::kAttrRef:
+      if (e.cls == MonitoredClass::kEvicted) {
+        // Column index is relative to the event's LAT; rules on Lat.Evict
+        // events bypass the index, so this spelling is only reached by
+        // direct CanonicalPredicateText calls (tests/tools).
+        *out += "Evicted.#";
+        *out += std::to_string(e.attr_index);
+        return;
+      }
+      *out += MonitoredClassName(e.cls);
+      *out += '.';
+      *out += ObjectSchema::Get()
+                  .attributes(e.cls)[static_cast<size_t>(e.attr_index)]
+                  .name;
+      return;
+    case CmExpr::Kind::kLatColRef:
+      *out += e.lat->lower_name();
+      *out += '.';
+      *out += e.lat->column_names()[static_cast<size_t>(e.lat_col)];
+      return;
+    case CmExpr::Kind::kUnary:
+      *out += static_cast<sql::UnaryOp>(e.unary_op) == sql::UnaryOp::kNot
+                  ? "NOT ("
+                  : "-(";
+      AppendCanonical(*e.left, out);
+      *out += ')';
+      return;
+    case CmExpr::Kind::kBinary: {
+      auto op = static_cast<sql::BinaryOp>(e.binary_op);
+      const CmExpr* l = e.left.get();
+      const CmExpr* r = e.right.get();
+      // `5 < Query.Duration` and `Query.Duration > 5` are one predicate.
+      // Safe for comparisons only: both operands are always evaluated, so
+      // mirroring cannot change which errors or NULLs surface. AND/OR (and
+      // arithmetic) operand order is semantically significant and is never
+      // normalized.
+      if (IsComparison(op) && l->kind == CmExpr::Kind::kLiteral &&
+          r->kind != CmExpr::Kind::kLiteral) {
+        std::swap(l, r);
+        op = MirrorComparison(op);
+      }
+      *out += '(';
+      AppendCanonical(*l, out);
+      *out += ' ';
+      *out += sql::BinaryOpName(op);
+      *out += ' ';
+      AppendCanonical(*r, out);
+      *out += ')';
+      return;
+    }
+  }
+}
+
+/// Evaluates one conjunct under ctx and classifies its three-valued
+/// outcome. Mirrors the naive AND-chain evaluator exactly:
+///   FALSE            → kFalse (naive short-circuits here)
+///   NULL / missing   → kNull  (naive keeps walking, rejects at the end)
+///   TRUE, row missing→ kNull  (the sticky lat_row_missing flag rejects a
+///                              boolean-TRUE condition per §5.2)
+///   error / non-bool → kError (caller re-runs the rule naively so error
+///                              text, stats and breaker accounting match
+///                              bit-for-bit; for the one non-bool-with-
+///                              missing single-conjunct corner the naive
+///                              rerun yields the FALSE the §5.2 rule
+///                              demands rather than an error)
+PredOutcome EvaluatePredicate(const IndexedPredicate& pred, EvalContext* ctx) {
+  if (pred.is_fast) {
+    return EvalFastAtom(pred.atom, *ctx) ? PredOutcome::kPass
+                                         : PredOutcome::kFalse;
+  }
+  ctx->lat_row_missing = false;
+  auto result = pred.expr->Eval(ctx);
+  const bool missing = ctx->lat_row_missing;
+  ctx->lat_row_missing = false;
+  if (!result.ok()) return PredOutcome::kError;
+  const common::Value& v = *result;
+  if (v.is_bool()) {
+    if (!v.bool_value()) return PredOutcome::kFalse;
+    return missing ? PredOutcome::kNull : PredOutcome::kPass;
+  }
+  if (v.is_null()) return PredOutcome::kNull;
+  return PredOutcome::kError;
+}
+
+/// UCB1 explore/exploit score: expected rejections per nanosecond, plus an
+/// exploration bonus that decays as the predicate accumulates pulls
+/// (FrancoDB's QueryPlanOptimizer shape, adapted to condition ordering).
+double PredicateScore(const IndexedPredicate& pred, double ln_total) {
+  const PredicateStats& s = *pred.stats;
+  const double n =
+      static_cast<double>(s.evals.load(std::memory_order_relaxed));
+  double bonus = std::sqrt(2.0 * ln_total / std::max(n, 1.0));
+  if (bonus > 1.0) bonus = 1.0;  // cap: never fully dominates observation
+  double cost =
+      static_cast<double>(s.cost_ewma_ns.load(std::memory_order_relaxed));
+  if (cost <= 0.0) cost = 100.0;  // unmeasured: assume a cheap comparison
+  return (1.0 - s.PassRate() + bonus) / cost;
+}
+
+}  // namespace
+
+std::string CanonicalPredicateText(const CmExpr& expr) {
+  std::string out;
+  AppendCanonical(expr, &out);
+  return out;
+}
+
+void CollectConjuncts(const CmExpr* expr, std::vector<const CmExpr*>* out) {
+  if (expr->kind == CmExpr::Kind::kBinary &&
+      static_cast<sql::BinaryOp>(expr->binary_op) == sql::BinaryOp::kAnd) {
+    CollectConjuncts(expr->left.get(), out);
+    CollectConjuncts(expr->right.get(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+void BuildPredicateIndex(
+    const std::vector<std::shared_ptr<const CompiledRule>>& rules,
+    bool deferred_lane, PredicateStatsRegistry* registry,
+    PredicateIndex* out) {
+  out->preds.clear();
+  out->entries.clear();
+  out->any_indexed = false;
+  out->entries.resize(rules.size());
+  std::unordered_map<uint64_t, uint32_t> by_hash;
+  std::vector<const CmExpr*> conjuncts;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const std::shared_ptr<const CompiledRule>& rule = rules[i];
+    IndexedRule& entry = out->entries[i];
+    for (const CompiledAction& action : rule->actions) {
+      // On the deferred lane Inserts are buffered in the batch's lat_sink
+      // and flushed after every rule ran, so only Reset mutates mid-event.
+      if (action.kind == ActionKind::kReset ||
+          (action.kind == ActionKind::kInsert && !deferred_lane)) {
+        entry.mutates_lats = true;
+      }
+    }
+    // Unbound-class iteration re-evaluates the condition per object
+    // binding, and Lat.Evict conditions read the evicted row (whose column
+    // indexes are LAT-relative, not canonicalizable across rules); both
+    // keep the naive path.
+    if (!rule->iterate_classes.empty() ||
+        rule->event.kind == EventKind::kLatEvict) {
+      continue;
+    }
+    entry.indexed = true;
+    out->any_indexed = true;
+    if (rule->condition == nullptr) continue;  // unconditioned: always fires
+    conjuncts.clear();
+    CollectConjuncts(rule->condition.get(), &conjuncts);
+    entry.preds.reserve(conjuncts.size());
+    for (const CmExpr* conjunct : conjuncts) {
+      std::string text = CanonicalPredicateText(*conjunct);
+      const uint64_t hash = common::Fnv1a64(text);
+      auto [it, inserted] =
+          by_hash.try_emplace(hash, static_cast<uint32_t>(out->preds.size()));
+      uint32_t id = it->second;
+      if (!inserted && out->preds[id].text != text) {
+        // 64-bit hash collision between distinct predicates: keep them
+        // separate (unshared, fresh stats) rather than merge semantics.
+        id = static_cast<uint32_t>(out->preds.size());
+        inserted = true;
+      }
+      if (inserted) {
+        IndexedPredicate pred;
+        pred.expr = conjunct;
+        pred.owner = rule;
+        pred.is_fast = TryCompileFastAtom(*conjunct, &pred.atom);
+        std::vector<const Lat*> lats;
+        conjunct->CollectLats(&lats);
+        pred.reads_lats = !lats.empty();
+        pred.text = std::move(text);
+        pred.hash = hash;
+        auto [sit, stats_inserted] = registry->try_emplace(hash, nullptr);
+        if (stats_inserted) sit->second = std::make_shared<PredicateStats>();
+        pred.stats = sit->second;
+        out->preds.push_back(std::move(pred));
+      }
+      entry.preds.push_back(id);
+      ++out->preds[id].subscribers;
+    }
+  }
+}
+
+void ReorderPredicateIndex(PredicateIndex* index) {
+  if (index->preds.empty()) return;
+  uint64_t total = 1;
+  for (const IndexedPredicate& pred : index->preds) {
+    total += pred.stats->evals.load(std::memory_order_relaxed);
+  }
+  const double ln_total = std::log(static_cast<double>(total));
+  std::vector<double> score(index->preds.size());
+  for (size_t i = 0; i < index->preds.size(); ++i) {
+    score[i] = PredicateScore(index->preds[i], ln_total);
+  }
+  for (IndexedRule& entry : index->entries) {
+    if (entry.preds.size() > 1) {
+      std::stable_sort(entry.preds.begin(), entry.preds.end(),
+                       [&score](uint32_t a, uint32_t b) {
+                         return score[a] > score[b];
+                       });
+    }
+  }
+  std::vector<uint32_t> order(index->preds.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&score](uint32_t a, uint32_t b) {
+    return score[a] > score[b];
+  });
+  for (size_t r = 0; r < order.size(); ++r) {
+    index->preds[order[r]].stats->rank.store(static_cast<int64_t>(r),
+                                             std::memory_order_relaxed);
+  }
+}
+
+IndexVerdict EvalIndexedCondition(const PredicateIndex& index,
+                                  const IndexedRule& entry, bool strict_order,
+                                  EvalContext* ctx, PredicateMemo* memo,
+                                  PredWalkCounters* counters) {
+  bool saw_null = false;
+  for (uint32_t id : entry.preds) {
+    PredOutcome outcome = memo->Get(id);
+    if (outcome != PredOutcome::kUnknown) {
+      ++counters->memo_hits;
+    } else {
+      const IndexedPredicate& pred = index.preds[id];
+      PredicateStats& stats = *pred.stats;
+      const uint64_t n = stats.evals.fetch_add(1, std::memory_order_relaxed);
+      const bool timed = (n & 0xF) == 0;  // 1-in-16 cost sampling
+      const uint64_t t0 = timed ? NowNanos() : 0;
+      outcome = EvaluatePredicate(pred, ctx);
+      if (timed) {
+        const uint64_t dt = NowNanos() - t0;
+        const uint64_t prev =
+            stats.cost_ewma_ns.load(std::memory_order_relaxed);
+        stats.cost_ewma_ns.store(prev == 0 ? dt : (prev * 7 + dt) / 8,
+                                 std::memory_order_relaxed);
+      }
+      if (outcome == PredOutcome::kPass) {
+        stats.passes.fetch_add(1, std::memory_order_relaxed);
+      }
+      memo->Set(id, outcome);
+      ++counters->evals;
+    }
+    switch (outcome) {
+      case PredOutcome::kPass:
+        break;
+      case PredOutcome::kFalse:
+        return IndexVerdict::kReject;  // naive short-circuits on FALSE too
+      case PredOutcome::kNull:
+        if (!strict_order) return IndexVerdict::kReject;
+        // Strict mode mirrors naive AND: NULL does not short-circuit (a
+        // later conjunct may still raise the error naive would report).
+        saw_null = true;
+        break;
+      case PredOutcome::kError:
+        return IndexVerdict::kError;
+      case PredOutcome::kUnknown:
+        break;  // unreachable: Set() never stores kUnknown
+    }
+  }
+  return saw_null ? IndexVerdict::kReject : IndexVerdict::kFire;
+}
+
+}  // namespace sqlcm::cm

@@ -1,0 +1,203 @@
+// Shared predicate index + online learned condition ordering (ROADMAP
+// item 2; paper §5 evaluates each rule's condition independently in
+// authoring order).
+//
+// Rules on one event class typically share conjuncts — variants of
+// `Query.Duration > k * LAT.Avg_Duration` — so the engine decomposes every
+// compiled condition into its top-level AND-chain, canonicalizes each
+// conjunct to text, and groups rules by conjunct hash. During dispatch each
+// distinct conjunct is evaluated at most once per event; its three-valued
+// outcome is memoized and fanned out to every subscribing rule. LAT-row
+// lookups are likewise shared through the per-event `EvalContext::lat_rows`
+// cache, which now survives across rules of one event (it is invalidated
+// whenever a fired rule mutates LAT state mid-event, so every rule still
+// sees exactly the LAT state naive evaluation would).
+//
+// On top of the shared index sits online learned ordering: each canonical
+// predicate carries observed pass-rate and cost EWMAs, and a UCB1-style
+// explore/exploit score (adapted from FrancoDB's QueryPlanOptimizer /
+// PredicateSelectivity) periodically re-sorts every rule's conjunct walk so
+// the cheapest, most-rejective predicates run first. Learned state is keyed
+// by canonical hash in an engine-level registry, so it survives CREATE
+// RULE / DROP RULE index rebuilds.
+//
+// Firing semantics are identical to naive per-rule evaluation: FALSE, NULL
+// and missing-LAT-row conjuncts all reject (§5.2). With learned ordering
+// off, error reporting is also bit-identical (the walk mirrors naive
+// left-to-right AND evaluation: FALSE short-circuits, NULL does not, and
+// any error falls back to the naive evaluator for exact accounting). With
+// learned ordering on, a reordered walk may reject before reaching a
+// conjunct whose evaluation would have raised an error — strictly fewer
+// errors, same fires. See docs/PERFORMANCE.md §"Predicate index".
+#ifndef SQLCM_SQLCM_PREDICATE_INDEX_H_
+#define SQLCM_SQLCM_PREDICATE_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sqlcm/rule.h"
+
+namespace sqlcm::cm {
+
+/// Lock-free learning state for one canonical predicate. Shared (via
+/// shared_ptr) by every index generation containing the predicate so
+/// selectivity/cost learned before a CREATE/DROP RULE swap or a reorder is
+/// not thrown away.
+struct PredicateStats {
+  std::atomic<uint64_t> evals{0};   // conjunct evaluations actually run
+  std::atomic<uint64_t> passes{0};  // evaluations that yielded TRUE
+  /// EWMA of sampled evaluation cost in nanoseconds (alpha = 1/8; roughly
+  /// 1 in 16 evaluations is timed to keep the hot path at its one-clock-
+  /// read-per-event discipline). Updated racy-lossy — plain atomic
+  /// load/store, lost samples are harmless.
+  std::atomic<uint64_t> cost_ewma_ns{0};
+  /// Rank assigned by the most recent reorder (0 = tried first within its
+  /// index); -1 until a reorder ran. Surfaced in sqlcm_rule_predicate_stats.
+  std::atomic<int64_t> rank{-1};
+
+  double PassRate() const {
+    const uint64_t n = evals.load(std::memory_order_relaxed);
+    if (n == 0) return 0.5;  // uninformed prior
+    return static_cast<double>(passes.load(std::memory_order_relaxed)) /
+           static_cast<double>(n);
+  }
+};
+
+/// Engine-owned registry keyed by canonical-text hash; read/extended at
+/// every index build under the engine's registry mutex.
+using PredicateStatsRegistry =
+    std::unordered_map<uint64_t, std::shared_ptr<PredicateStats>>;
+
+/// Memoized outcome of one conjunct under the current event's context.
+/// kFalse and kNull are kept distinct because naive AND evaluation
+/// short-circuits on FALSE but keeps evaluating past NULL (a later conjunct
+/// may still raise an error); kNull also covers missing-LAT-row (§5.2 both
+/// reject). kError sends the whole rule to the naive evaluator.
+enum class PredOutcome : uint8_t { kUnknown = 0, kPass, kFalse, kNull, kError };
+
+/// Verdict of a memoized condition walk.
+enum class IndexVerdict : uint8_t { kFire, kReject, kError };
+
+/// One shared conjunct. `expr` points into the owning rule's compiled tree;
+/// `owner` pins that rule for the life of the index snapshot.
+struct IndexedPredicate {
+  const CmExpr* expr = nullptr;
+  std::shared_ptr<const CompiledRule> owner;
+  /// Attr-vs-literal comparison evaluable without the tree interpreter.
+  bool is_fast = false;
+  FastAtom atom;
+  /// Conjunct reads at least one LAT row; its memo entry (and the shared
+  /// lat_rows cache) must be dropped when a fired rule mutates LAT state.
+  bool reads_lats = false;
+  std::string text;   // canonical form; also the view's display text
+  uint64_t hash = 0;  // Fnv1a64(text)
+  uint32_t subscribers = 0;  // rules in this index containing the conjunct
+  std::shared_ptr<PredicateStats> stats;
+};
+
+/// Per-rule entry, positionally parallel to the lane's rule vector.
+struct IndexedRule {
+  /// False = the rule bypasses the index (unbound-class iteration or
+  /// evicted-row context) and runs through the naive path unchanged.
+  bool indexed = false;
+  /// Firing this rule on this lane mutates LAT state before the next rule
+  /// of the same event (sync lane: Insert/Reset actions; deferred lane:
+  /// Reset only — Inserts are buffered until the batch flush).
+  bool mutates_lats = false;
+  /// Predicate ids (indexes into PredicateIndex::preds) in walk order:
+  /// authoring order at build time, learned order after reorders.
+  std::vector<uint32_t> preds;
+};
+
+/// Immutable-once-published index for one (event kind, dispatch lane);
+/// embedded in the engine's RCU rule table and swapped with it.
+struct PredicateIndex {
+  std::vector<IndexedPredicate> preds;
+  std::vector<IndexedRule> entries;
+  bool any_indexed = false;
+};
+
+/// Per-thread memo of conjunct outcomes for the current event.
+/// Epoch-stamped: BeginEvent is O(1), no per-event clearing.
+class PredicateMemo {
+ public:
+  void BeginEvent(size_t num_preds) {
+    ++epoch_;
+    if (stamp_.size() < num_preds) {
+      stamp_.resize(num_preds, 0);
+      state_.resize(num_preds, PredOutcome::kUnknown);
+    }
+  }
+  PredOutcome Get(uint32_t id) const {
+    return stamp_[id] == epoch_ ? state_[id] : PredOutcome::kUnknown;
+  }
+  void Set(uint32_t id, PredOutcome outcome) {
+    stamp_[id] = epoch_;
+    state_[id] = outcome;
+  }
+  /// Drops memoized outcomes of LAT-reading predicates (a fired rule just
+  /// mutated LAT state); attribute-only outcomes stay valid.
+  void InvalidateLatReaders(const PredicateIndex& index) {
+    for (uint32_t id = 0; id < index.preds.size(); ++id) {
+      if (index.preds[id].reads_lats && stamp_[id] == epoch_) {
+        state_[id] = PredOutcome::kUnknown;
+      }
+    }
+  }
+
+ private:
+  std::vector<uint64_t> stamp_;
+  std::vector<PredOutcome> state_;
+  uint64_t epoch_ = 0;
+};
+
+/// Locally accumulated walk counters, flushed to engine metrics once per
+/// dispatch (keeps per-conjunct atomics off the hot path).
+struct PredWalkCounters {
+  uint64_t evals = 0;      // conjuncts actually evaluated
+  uint64_t memo_hits = 0;  // conjunct lookups served from the memo
+};
+
+/// Canonical text of a predicate subtree. Deterministic under
+/// re-compilation; the only normalization applied is mirroring
+/// literal-vs-expr comparisons to expr-vs-literal (safe: comparisons
+/// evaluate both operands unconditionally). AND/OR operand order is never
+/// touched — it is semantically significant (short-circuit vs errors).
+std::string CanonicalPredicateText(const CmExpr& expr);
+
+/// Flattens the top-level AND-chain of `expr` into conjuncts, left to
+/// right (naive evaluation order).
+void CollectConjuncts(const CmExpr* expr, std::vector<const CmExpr*>* out);
+
+/// Builds the index for one lane's rule vector. `deferred_lane` selects
+/// which actions count as mid-event LAT mutations. Stats objects are
+/// resolved through (and inserted into) `registry` by canonical hash.
+void BuildPredicateIndex(
+    const std::vector<std::shared_ptr<const CompiledRule>>& rules,
+    bool deferred_lane, PredicateStatsRegistry* registry,
+    PredicateIndex* out);
+
+/// Re-sorts every entry's walk order by the UCB1 explore/exploit score
+/// (high observed reject rate and low observed cost first; an exploration
+/// bonus keeps under-measured predicates from starving) and publishes
+/// per-predicate ranks into their stats. Ties keep their current order.
+void ReorderPredicateIndex(PredicateIndex* index);
+
+/// Memoized condition walk for one indexed rule. `strict_order` = walk in
+/// stored (authoring) order with naive short-circuit semantics (exact
+/// error parity); false = short-circuit on any rejecting conjunct (learned
+/// mode). Uses ctx's shared lat_rows cache; flags per-conjunct missing
+/// rows itself. Returns kError when any conjunct's evaluation errors or
+/// yields a non-boolean — the caller then re-runs the rule naively.
+IndexVerdict EvalIndexedCondition(const PredicateIndex& index,
+                                  const IndexedRule& entry, bool strict_order,
+                                  EvalContext* ctx, PredicateMemo* memo,
+                                  PredWalkCounters* counters);
+
+}  // namespace sqlcm::cm
+
+#endif  // SQLCM_SQLCM_PREDICATE_INDEX_H_

@@ -338,6 +338,11 @@ Result<Value> CmExpr::Eval(EvalContext* ctx) const {
 }
 
 Result<bool> CmExpr::EvalCondition(EvalContext* ctx) const {
+  // Self-contained missing-row accounting: a stale flag left by a previous
+  // rule sharing this context must never reject this one (the lat_rows
+  // cache, by contrast, may be shared deliberately — cached absent rows
+  // re-set the flag on hit).
+  ctx->lat_row_missing = false;
   SQLCM_ASSIGN_OR_RETURN(Value v, Eval(ctx));
   if (ctx->lat_row_missing) return false;  // implicit ∃ over LAT rows
   if (v.is_null()) return false;
@@ -637,13 +642,22 @@ namespace {
 /// attr-vs-literal comparisons with statically comparable kinds; returns
 /// false (leaving *atoms in an unspecified state) otherwise.
 bool TryExtractFastAtoms(const CmExpr& expr, std::vector<FastAtom>* atoms) {
-  const auto op = static_cast<sql::BinaryOp>(expr.binary_op);
-  if (expr.kind != CmExpr::Kind::kBinary) return false;
-  if (op == sql::BinaryOp::kAnd) {
+  if (expr.kind == CmExpr::Kind::kBinary &&
+      static_cast<sql::BinaryOp>(expr.binary_op) == sql::BinaryOp::kAnd) {
     return TryExtractFastAtoms(*expr.left, atoms) &&
            TryExtractFastAtoms(*expr.right, atoms);
   }
-  switch (op) {
+  FastAtom atom;
+  if (!TryCompileFastAtom(expr, &atom)) return false;
+  atoms->push_back(std::move(atom));
+  return true;
+}
+
+}  // namespace
+
+bool TryCompileFastAtom(const CmExpr& expr, FastAtom* out) {
+  if (expr.kind != CmExpr::Kind::kBinary) return false;
+  switch (static_cast<sql::BinaryOp>(expr.binary_op)) {
     case sql::BinaryOp::kEq:
     case sql::BinaryOp::kNe:
     case sql::BinaryOp::kLt:
@@ -681,39 +695,37 @@ bool TryExtractFastAtoms(const CmExpr& expr, std::vector<FastAtom>* atoms) {
       (def.kind == common::ValueKind::kString && lit->literal.is_string()) ||
       (def.kind == common::ValueKind::kBool && lit->literal.is_bool());
   if (!comparable) return false;
-  FastAtom atom;
-  atom.getter = def.getter;
-  atom.cls = attr->cls;
-  atom.op = expr.binary_op;
-  atom.literal = lit->literal;
-  atom.attr_on_left = attr_on_left;
-  atoms->push_back(std::move(atom));
+  out->getter = def.getter;
+  out->cls = attr->cls;
+  out->op = expr.binary_op;
+  out->literal = lit->literal;
+  out->attr_on_left = attr_on_left;
   return true;
 }
 
-}  // namespace
+bool EvalFastAtom(const FastAtom& atom, const EvalContext& ctx) {
+  const void* record = ctx.Bound(atom.cls);
+  if (record == nullptr) return false;
+  const common::Value v = atom.getter(record);
+  if (v.is_null()) return false;
+  int cmp = v.Compare(atom.literal);
+  if (!atom.attr_on_left) cmp = -cmp;
+  switch (static_cast<sql::BinaryOp>(atom.op)) {
+    case sql::BinaryOp::kEq: return cmp == 0;
+    case sql::BinaryOp::kNe: return cmp != 0;
+    case sql::BinaryOp::kLt: return cmp < 0;
+    case sql::BinaryOp::kLe: return cmp <= 0;
+    case sql::BinaryOp::kGt: return cmp > 0;
+    case sql::BinaryOp::kGe: return cmp >= 0;
+    default: return false;
+  }
+}
 
 /// Evaluates the flattened atoms with short-circuit AND semantics.
 bool EvalFastAtoms(const std::vector<FastAtom>& atoms,
                    const EvalContext& ctx) {
   for (const FastAtom& atom : atoms) {
-    const void* record = ctx.Bound(atom.cls);
-    if (record == nullptr) return false;
-    const common::Value v = atom.getter(record);
-    if (v.is_null()) return false;
-    int cmp = v.Compare(atom.literal);
-    if (!atom.attr_on_left) cmp = -cmp;
-    bool pass = false;
-    switch (static_cast<sql::BinaryOp>(atom.op)) {
-      case sql::BinaryOp::kEq: pass = cmp == 0; break;
-      case sql::BinaryOp::kNe: pass = cmp != 0; break;
-      case sql::BinaryOp::kLt: pass = cmp < 0; break;
-      case sql::BinaryOp::kLe: pass = cmp <= 0; break;
-      case sql::BinaryOp::kGt: pass = cmp > 0; break;
-      case sql::BinaryOp::kGe: pass = cmp >= 0; break;
-      default: pass = false; break;
-    }
-    if (!pass) return false;
+    if (!EvalFastAtom(atom, ctx)) return false;
   }
   return true;
 }

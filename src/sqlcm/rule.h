@@ -90,6 +90,17 @@ struct EvalContext {
   void Bind(MonitoredClass cls, const void* record) {
     bound[static_cast<size_t>(cls)] = record;
   }
+
+  /// Clears all per-event state while keeping `lat_rows` capacity, so a
+  /// thread-local context can be reused across events allocation-free.
+  void ResetForEvent() {
+    bound.fill(nullptr);
+    now_micros = 0;
+    evicted_lat = nullptr;
+    evicted_row = nullptr;
+    lat_row_missing = false;
+    lat_rows.clear();
+  }
 };
 
 /// Compiled condition node.
@@ -389,6 +400,17 @@ class LatResolver {
 /// monitor's rule dispatch when CompiledRule::use_fast_condition is set.
 bool EvalFastAtoms(const std::vector<FastAtom>& atoms,
                    const EvalContext& ctx);
+
+/// Evaluates one atom: true iff the bound object passes the comparison
+/// (NULL attributes and unbound classes reject, matching the generic
+/// evaluator's three-valued outcome for the same comparison).
+bool EvalFastAtom(const FastAtom& atom, const EvalContext& ctx);
+
+/// Compiles a single attr-vs-literal comparison with statically comparable
+/// kinds into a FastAtom — the unit the AND-chain extractor flattens, also
+/// used by the predicate index for its shared conjuncts. Returns false
+/// (leaving *atom untouched) when `expr` is not that shape.
+bool TryCompileFastAtom(const CmExpr& expr, FastAtom* atom);
 
 class RuleCompiler {
  public:

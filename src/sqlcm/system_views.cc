@@ -176,6 +176,23 @@ SystemViews::SystemViews(MonitorEngine* monitor, engine::Database* db)
       RefreshProfile(t);
     });
   }
+  if (storage::Table* t = Register(kRulePredicateStatsView,
+                                   {{"event", 's'},
+                                    {"lane", 's'},
+                                    {"hash", 's'},
+                                    {"predicate", 's'},
+                                    {"rules", 'i'},
+                                    {"eval_count", 'i'},
+                                    {"pass_count", 'i'},
+                                    {"pass_rate", 'd'},
+                                    {"mean_cost_ns", 'd'},
+                                    {"rank", 'i'}},
+                                   {"event", "lane", "hash"})) {
+    t->SetVirtualRefresh([this, t] {
+      std::lock_guard<std::mutex> lock(refresh_mutex_);
+      RefreshRulePredicateStats(t);
+    });
+  }
 }
 
 SystemViews::~SystemViews() {
@@ -317,6 +334,27 @@ void SystemViews::RefreshRuleStats(storage::Table* table) {
         Value::Int(static_cast<int64_t>(stats.actions_suppressed.value())));
     row.push_back(Value::String(rule->deferrable ? "deferred" : "inline"));
     row.push_back(Value::String(rule->inline_reason));
+    (void)table->Insert(std::move(row));
+  }
+}
+
+void SystemViews::RefreshRulePredicateStats(storage::Table* table) {
+  table->Truncate();
+  for (const auto& pred : monitor_->SnapshotPredicateStats()) {
+    Row row;
+    row.push_back(Value::String(pred.event));
+    row.push_back(Value::String(pred.lane));
+    row.push_back(Value::String(HexU64(pred.hash)));
+    row.push_back(Value::String(pred.text));
+    row.push_back(Value::Int(static_cast<int64_t>(pred.subscribers)));
+    row.push_back(Value::Int(static_cast<int64_t>(pred.evals)));
+    row.push_back(Value::Int(static_cast<int64_t>(pred.passes)));
+    row.push_back(Value::Double(
+        pred.evals == 0 ? 0.0
+                        : static_cast<double>(pred.passes) /
+                              static_cast<double>(pred.evals)));
+    row.push_back(Value::Double(pred.mean_cost_ns));
+    row.push_back(Value::Int(pred.rank));
     (void)table->Insert(std::move(row));
   }
 }

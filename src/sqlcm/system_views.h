@@ -17,6 +17,10 @@
 //                       with their full span breakdown
 //   sqlcm_profile       per-rule / per-action-kind / per-LAT cumulative
 //                       self-time and share of total monitoring overhead
+//   sqlcm_rule_predicate_stats
+//                       the shared predicate index: one row per distinct
+//                       conjunct per event/lane with subscriber count,
+//                       eval/pass totals and the learned walk rank
 //
 // Refreshes run *before* the table latch is taken (storage::Table virtual
 // hook) and only read monitor snapshots, so no monitor mutex is ever held
@@ -50,6 +54,8 @@ inline constexpr const char* kFaultPointsView = "sqlcm_fault_points";
 inline constexpr const char* kTraceSpansView = "sqlcm_trace_spans";
 inline constexpr const char* kSlowEventsView = "sqlcm_slow_events";
 inline constexpr const char* kProfileView = "sqlcm_profile";
+inline constexpr const char* kRulePredicateStatsView =
+    "sqlcm_rule_predicate_stats";
 
 class SystemViews {
  public:
@@ -75,6 +81,7 @@ class SystemViews {
   void RefreshTraceSpans(storage::Table* table);
   void RefreshSlowEvents(storage::Table* table);
   void RefreshProfile(storage::Table* table);
+  void RefreshRulePredicateStats(storage::Table* table);
 
   MonitorEngine* monitor_;
   engine::Database* db_;

@@ -1,0 +1,510 @@
+// Differential oracle for the shared predicate index and online learned
+// condition ordering (docs/PERFORMANCE.md §Predicate index): randomized
+// rule sets and workloads must produce bit-identical firing decisions with
+// the index off (naive per-rule evaluation), the index on in
+// authoring-order mode, and the index on with learned ordering — including
+// three-valued edges (missing LAT rows, NULL-propagating ORs), mid-event
+// LAT mutation, mid-stream CREATE/DROP RULE, and the deferred lane.
+#include "sqlcm/predicate_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/session.h"
+#include "sqlcm/monitor_engine.h"
+#include "sqlcm/system_views.h"
+
+namespace sqlcm::cm {
+namespace {
+
+using common::Value;
+using exec::ParamMap;
+using exec::QueryResult;
+
+/// Per-rule counters that must agree between evaluation strategies. The
+/// condition outcome fully determines all four: evaluations (breaker gate),
+/// condition_false (reject), fires (pass) and errors (condition faults —
+/// the index falls back to naive replay so even those reconcile).
+struct RuleOutcome {
+  uint64_t evals = 0;
+  uint64_t cond_false = 0;
+  uint64_t fires = 0;
+  uint64_t errors = 0;
+
+  bool operator==(const RuleOutcome& o) const {
+    return evals == o.evals && cond_false == o.cond_false &&
+           fires == o.fires && errors == o.errors;
+  }
+};
+
+using OutcomeMap = std::map<std::string, RuleOutcome>;
+
+/// One engine under one Options configuration, with the shared test
+/// fixture state (items table) pre-created.
+class EngineHarness {
+ public:
+  explicit EngineHarness(MonitorEngine::Options options) {
+    db_ = std::make_unique<engine::Database>();
+    monitor_ = std::make_unique<MonitorEngine>(db_.get(), std::move(options));
+    session_ = db_->CreateSession();
+    Exec("CREATE TABLE items (id INT, grp INT, val FLOAT, PRIMARY KEY(id))");
+    for (int i = 0; i < 25; ++i) {
+      Exec("INSERT INTO items VALUES (" + std::to_string(i) + ", " +
+           std::to_string(i % 5) + ", 1.0)");
+    }
+  }
+
+  void Exec(const std::string& sql, const ParamMap* params = nullptr) {
+    auto result = session_->Execute(sql, params);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+  }
+
+  QueryResult Query(const std::string& sql) {
+    auto result = session_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return result.ok() ? *result : QueryResult{};
+  }
+
+  void DefineCountLat(const std::string& name) {
+    LatSpec spec;
+    spec.name = name;
+    spec.group_by = {{"Logical_Signature", "Sig"}};
+    spec.aggregates = {{LatAggFunc::kCount, "", "N", false}};
+    ASSERT_TRUE(monitor_->DefineLat(std::move(spec)).ok());
+  }
+
+  void AddRule(const std::string& name, const std::string& condition,
+               const std::string& action) {
+    RuleSpec spec;
+    spec.name = name;
+    spec.event = "Query.Commit";
+    spec.condition = condition;
+    spec.action = action;
+    ASSERT_TRUE(monitor_->AddRule(spec).ok()) << name << ": " << condition;
+  }
+
+  /// Two query templates (distinct signatures) driven by a deterministic
+  /// parameter sequence; every engine given the same `queries` count sees
+  /// the same event stream.
+  void RunWorkload(int queries) {
+    ParamMap params;
+    for (int i = 0; i < queries; ++i) {
+      params = {{"k", Value::Int(i % 20)}};
+      if (i % 3 == 0) {
+        Exec("SELECT val FROM items WHERE grp = @k AND val >= 0.0", &params);
+      } else {
+        Exec("SELECT val FROM items WHERE id = @k", &params);
+      }
+    }
+  }
+
+  OutcomeMap Outcomes() const {
+    OutcomeMap out;
+    for (const auto& rule : monitor_->SnapshotRules()) {
+      RuleOutcome oc;
+      oc.evals = rule->stats.evaluations.value();
+      oc.cond_false = rule->stats.condition_false.value();
+      oc.fires = rule->stats.fires.value();
+      oc.errors = rule->stats.errors.value();
+      out[rule->name] = oc;
+    }
+    return out;
+  }
+
+  engine::Database* db() { return db_.get(); }
+  MonitorEngine* monitor() { return monitor_.get(); }
+
+ private:
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<MonitorEngine> monitor_;
+  std::unique_ptr<engine::Session> session_;
+};
+
+MonitorEngine::Options NaiveOptions() {
+  MonitorEngine::Options options;
+  options.predicate_index = false;
+  options.learned_predicate_order = false;
+  options.register_system_views = false;
+  return options;
+}
+
+MonitorEngine::Options IndexedOptions() {
+  MonitorEngine::Options options;
+  options.predicate_index = true;
+  options.learned_predicate_order = false;
+  options.register_system_views = false;
+  return options;
+}
+
+MonitorEngine::Options LearnedOptions() {
+  MonitorEngine::Options options;
+  options.predicate_index = true;
+  options.learned_predicate_order = true;
+  // Aggressively small interval so ordering republishes mid-test.
+  options.predicate_reorder_interval = 16;
+  options.register_system_views = false;
+  return options;
+}
+
+/// Deterministic predicate pool: no wall-clock-dependent outcomes (query
+/// durations only ever compared against 0 or an unreachable bound), so two
+/// engines fed the same workload agree event by event.
+const char* const kPredicatePool[] = {
+    "Query.ID >= 0",
+    "Query.ID < 0",
+    "Query.Duration >= 0",
+    "Query.Duration > 100000000",
+    "NOT (Query.ID < 0)",
+    "5 < Query.ID",
+    "Query.ID > 5",
+    "Count_LAT.N >= 1",
+    "Count_LAT.N > 2",
+    "Count_LAT.N < 0",
+    "Count_LAT.N <= 10000",
+    "Count_LAT.N >= 1 OR Query.ID < 0",
+    "Sparse_LAT.N >= 0",
+};
+constexpr size_t kPoolSize = sizeof(kPredicatePool) / sizeof(char*);
+
+/// Builds a seeded random rule set over the pool. The Count_LAT feed rule
+/// lands at a random position, so rules ahead of it see a missing LAT row
+/// on each template's first event; Sparse_LAT is never fed, so predicates
+/// on it exercise the implicit-∃ reject (§5.2) on every event. A random
+/// "bump" rule re-inserts into Count_LAT mid-event to exercise memo
+/// invalidation under randomized orderings.
+void AddSeededRules(EngineHarness* h, uint32_t seed) {
+  std::mt19937 rng(seed);
+  h->DefineCountLat("Count_LAT");
+  h->DefineCountLat("Sparse_LAT");
+
+  const int n_rules = 6 + static_cast<int>(rng() % 5);
+  const int feed_pos = static_cast<int>(rng() % n_rules);
+  const int bump_pos = static_cast<int>(rng() % n_rules);
+  for (int r = 0; r < n_rules; ++r) {
+    if (r == feed_pos) {
+      h->AddRule("feed", "", "Query.Insert(Count_LAT)");
+      continue;
+    }
+    const int conjuncts = 1 + static_cast<int>(rng() % 3);
+    std::string condition;
+    for (int c = 0; c < conjuncts; ++c) {
+      if (c > 0) condition += " AND ";
+      condition += kPredicatePool[rng() % kPoolSize];
+    }
+    const std::string name = "r" + std::to_string(r);
+    if (r == bump_pos) {
+      h->AddRule(name, condition, "Query.Insert(Count_LAT)");
+    } else {
+      h->AddRule(name, condition, "Query.Persist(Sink_" + name + ", ID)");
+    }
+  }
+}
+
+TEST(PredicateIndexDifferentialTest, RandomizedRuleSetsFireIdentically) {
+  for (uint32_t seed = 1; seed <= 6; ++seed) {
+    std::vector<OutcomeMap> outcomes;
+    for (int config = 0; config < 3; ++config) {
+      EngineHarness h(config == 0   ? NaiveOptions()
+                      : config == 1 ? IndexedOptions()
+                                    : LearnedOptions());
+      AddSeededRules(&h, seed);
+      h.RunWorkload(60);
+      outcomes.push_back(h.Outcomes());
+      if (config > 0) {
+        // The index must actually be exercised, or this proves nothing.
+        EXPECT_GT(h.monitor()->metrics().predindex_evals.value(), 0u)
+            << "seed " << seed;
+      }
+    }
+    EXPECT_EQ(outcomes[0], outcomes[1]) << "naive vs indexed, seed " << seed;
+    EXPECT_EQ(outcomes[0], outcomes[2]) << "naive vs learned, seed " << seed;
+  }
+}
+
+TEST(PredicateIndexDifferentialTest, MissingLatRowRejectsWithoutLeaking) {
+  // §5.2 implicit ∃: a predicate over a LAT with no matching row rejects
+  // even when trivially true of the values — and the sticky missing-row
+  // flag must not leak into the NEXT rule sharing the event's context.
+  for (int config = 0; config < 3; ++config) {
+    EngineHarness h(config == 0   ? NaiveOptions()
+                    : config == 1 ? IndexedOptions()
+                                  : LearnedOptions());
+    h.DefineCountLat("Missing_LAT");
+    h.AddRule("on_missing", "Missing_LAT.N >= 0",
+              "Query.Persist(SinkM, ID)");
+    h.AddRule("after_missing", "Query.ID >= 0",
+              "Query.Persist(SinkA, ID)");
+    h.RunWorkload(12);
+    const OutcomeMap oc = h.Outcomes();
+    EXPECT_EQ(oc.at("on_missing").fires, 0u) << "config " << config;
+    EXPECT_EQ(oc.at("on_missing").cond_false, 12u) << "config " << config;
+    EXPECT_EQ(oc.at("after_missing").fires, 12u) << "config " << config;
+  }
+}
+
+TEST(PredicateIndexDifferentialTest, MidEventLatMutationInvalidatesMemo) {
+  // reader1 and reader2 share the conjunct "Count_LAT.N <= 1". Between
+  // them, "bump" re-inserts the event's query into Count_LAT, so on every
+  // event reader2 must see N one higher than reader1 did. A stale memo
+  // would replay reader1's verdict and over-fire reader2.
+  std::vector<OutcomeMap> outcomes;
+  for (int config = 0; config < 3; ++config) {
+    EngineHarness h(config == 0   ? NaiveOptions()
+                    : config == 1 ? IndexedOptions()
+                                  : LearnedOptions());
+    h.DefineCountLat("Count_LAT");
+    h.AddRule("seed_feed", "", "Query.Insert(Count_LAT)");
+    h.AddRule("reader1", "Count_LAT.N <= 1", "Query.Persist(Sink1, ID)");
+    h.AddRule("bump", "Count_LAT.N <= 1", "Query.Insert(Count_LAT)");
+    h.AddRule("reader2", "Count_LAT.N <= 1", "Query.Persist(Sink2, ID)");
+    ParamMap params = {{"k", Value::Int(1)}};
+    h.Exec("SELECT val FROM items WHERE id = @k", &params);
+    const OutcomeMap oc = h.Outcomes();
+    // First event of the template: seed_feed makes N=1, reader1 and bump
+    // both see N=1 (fire), bump's insert makes N=2, reader2 must reject.
+    EXPECT_EQ(oc.at("reader1").fires, 1u) << "config " << config;
+    EXPECT_EQ(oc.at("bump").fires, 1u) << "config " << config;
+    EXPECT_EQ(oc.at("reader2").fires, 0u) << "config " << config;
+    if (config > 0) {
+      EXPECT_GT(h.monitor()->metrics().predindex_invalidations.value(), 0u);
+    }
+    outcomes.push_back(oc);
+  }
+  EXPECT_EQ(outcomes[0], outcomes[1]);
+  EXPECT_EQ(outcomes[0], outcomes[2]);
+}
+
+TEST(PredicateIndexDifferentialTest, ThreeValuedOrEdgesAgree) {
+  // OR conjuncts interact with the missing-row flag in both operand
+  // orders; all strategies must agree (the conjunct is one predicate, so
+  // this pins EvaluatePredicate's classification, not just the walk).
+  std::vector<OutcomeMap> outcomes;
+  for (int config = 0; config < 3; ++config) {
+    EngineHarness h(config == 0   ? NaiveOptions()
+                    : config == 1 ? IndexedOptions()
+                                  : LearnedOptions());
+    h.DefineCountLat("Missing_LAT");
+    h.AddRule("or_left_live", "Query.ID >= 0 OR Missing_LAT.N > 0",
+              "Query.Persist(SinkL, ID)");
+    h.AddRule("or_right_live", "Missing_LAT.N > 0 OR Query.ID >= 0",
+              "Query.Persist(SinkR, ID)");
+    h.AddRule("not_wrapped", "NOT (Query.ID < 0) AND Query.Duration >= 0",
+              "Query.Persist(SinkN, ID)");
+    h.RunWorkload(9);
+    outcomes.push_back(h.Outcomes());
+    EXPECT_EQ(outcomes.back().at("not_wrapped").fires, 9u)
+        << "config " << config;
+  }
+  EXPECT_EQ(outcomes[0], outcomes[1]);
+  EXPECT_EQ(outcomes[0], outcomes[2]);
+}
+
+TEST(PredicateIndexDifferentialTest, MidStreamRuleChurnKeepsAgreement) {
+  // CREATE/DROP RULE mid-stream republishes the RCU table and rebuilds the
+  // index (re-applying any learned ranks); outcomes must keep matching.
+  std::vector<OutcomeMap> outcomes;
+  for (int config = 0; config < 3; ++config) {
+    EngineHarness h(config == 0   ? NaiveOptions()
+                    : config == 1 ? IndexedOptions()
+                                  : LearnedOptions());
+    h.DefineCountLat("Count_LAT");
+    h.AddRule("feed", "", "Query.Insert(Count_LAT)");
+    RuleSpec dropme;
+    dropme.name = "dropme";
+    dropme.event = "Query.Commit";
+    dropme.condition = "Count_LAT.N >= 1";
+    dropme.action = "Query.Persist(SinkD, ID)";
+    auto dropme_id = h.monitor()->AddRule(dropme);
+    ASSERT_TRUE(dropme_id.ok());
+    h.AddRule("keeper", "Count_LAT.N >= 1 AND Query.ID >= 0",
+              "Query.Persist(SinkK, ID)");
+    h.RunWorkload(30);
+    ASSERT_TRUE(h.monitor()->RemoveRule(*dropme_id).ok());
+    h.AddRule("late", "Count_LAT.N > 2", "Query.Persist(SinkLate, ID)");
+    h.RunWorkload(30);
+    outcomes.push_back(h.Outcomes());
+    EXPECT_GT(outcomes.back().at("late").fires, 0u) << "config " << config;
+  }
+  EXPECT_EQ(outcomes[0], outcomes[1]);
+  EXPECT_EQ(outcomes[0], outcomes[2]);
+}
+
+TEST(PredicateIndexDifferentialTest, DeferredLaneFiresIdentically) {
+  // Same oracle through the async pipeline: deferrable rules drain on a
+  // single worker (FIFO), with the deferred-lane index on vs off. Deferred
+  // Insert actions flush at batch boundaries, so live-LAT conditions are
+  // batch-timing-dependent even naively — conditions here stick to event
+  // attributes and a never-fed LAT (deterministically missing).
+  std::vector<OutcomeMap> outcomes;
+  for (int config = 0; config < 3; ++config) {
+    MonitorEngine::Options options = config == 0   ? NaiveOptions()
+                                     : config == 1 ? IndexedOptions()
+                                                   : LearnedOptions();
+    options.async_rule_eval = true;
+    options.monitor_threads = 1;
+    EngineHarness h(options);
+    h.DefineCountLat("Count_LAT");
+    h.DefineCountLat("Sparse_LAT");
+    h.AddRule("feed", "", "Query.Insert(Count_LAT)");
+    h.AddRule("d0", "Query.ID >= 0 AND Query.Duration >= 0",
+              "Query.Persist(Sink_d0, ID)");
+    h.AddRule("d1", "5 < Query.ID AND NOT (Query.ID < 0)",
+              "Query.Persist(Sink_d1, ID)");
+    h.AddRule("d2", "Sparse_LAT.N >= 0", "Query.Persist(Sink_d2, ID)");
+    h.AddRule("d3", "Query.Duration > 100000000 AND Query.ID >= 0",
+              "Query.Persist(Sink_d3, ID)");
+    h.AddRule("d4", "Query.ID > 5 OR Query.ID < 0",
+              "Query.Persist(Sink_d4, ID)");
+    h.RunWorkload(60);
+    h.monitor()->DrainEventQueue();
+    outcomes.push_back(h.Outcomes());
+    EXPECT_GT(h.monitor()->metrics().queue_enqueued.value(), 0u)
+        << "config " << config;
+  }
+  EXPECT_EQ(outcomes[0], outcomes[1]);
+  EXPECT_EQ(outcomes[0], outcomes[2]);
+}
+
+TEST(PredicateIndexTest, SharedConjunctsDeduplicateAcrossRules) {
+  EngineHarness h(IndexedOptions());
+  h.DefineCountLat("Count_LAT");
+  h.AddRule("feed", "", "Query.Insert(Count_LAT)");
+  // Same conjunct authored three ways: verbatim, duplicated, and mirrored
+  // (literal-first comparison) — canonicalization must fold all of them.
+  h.AddRule("a", "Count_LAT.N >= 1 AND Query.ID > 5",
+            "Query.Persist(SinkA, ID)");
+  h.AddRule("b", "Count_LAT.N >= 1 AND Query.Duration >= 0",
+            "Query.Persist(SinkB, ID)");
+  h.AddRule("c", "5 < Query.ID", "Query.Persist(SinkC, ID)");
+  h.RunWorkload(20);
+
+  bool found_shared_lat = false;
+  bool found_mirrored = false;
+  for (const auto& row : h.monitor()->SnapshotPredicateStats()) {
+    if (row.text == "(count_lat.N >= 1)") {
+      found_shared_lat = true;
+      EXPECT_EQ(row.subscribers, 2u);
+      EXPECT_GT(row.evals, 0u);
+    }
+    if (row.text == "(Query.ID > 5)") {
+      found_mirrored = true;
+      EXPECT_EQ(row.subscribers, 2u) << "mirror normalization should fold "
+                                        "'5 < Query.ID' into 'Query.ID > 5'";
+    }
+  }
+  EXPECT_TRUE(found_shared_lat);
+  EXPECT_TRUE(found_mirrored);
+  // Sharing shows up as memo hits: at least the duplicated conjuncts were
+  // answered without re-evaluation.
+  EXPECT_GT(h.monitor()->metrics().predindex_memo_hits.value(), 0u);
+}
+
+TEST(PredicateIndexTest, RulePredicateStatsViewIsQueryable) {
+  MonitorEngine::Options options = IndexedOptions();
+  options.register_system_views = true;
+  EngineHarness h(options);
+  h.DefineCountLat("Count_LAT");
+  h.AddRule("feed", "", "Query.Insert(Count_LAT)");
+  h.AddRule("a", "Count_LAT.N >= 1 AND Query.ID >= 0",
+            "Query.Persist(SinkA, ID)");
+  h.AddRule("b", "Count_LAT.N >= 1", "Query.Persist(SinkB, ID)");
+  h.RunWorkload(20);
+
+  const QueryResult result = h.Query(
+      "SELECT event, lane, predicate, rules, eval_count, pass_count, "
+      "pass_rate, rank FROM sqlcm_rule_predicate_stats");
+  ASSERT_GE(result.rows.size(), 2u);
+  bool found = false;
+  for (const auto& row : result.rows) {
+    if (row[2].ToDisplayString() != "(count_lat.N >= 1)") continue;
+    found = true;
+    EXPECT_EQ(row[0].ToDisplayString(), "Query.Commit");
+    EXPECT_EQ(row[1].ToDisplayString(), "sync");
+    EXPECT_EQ(row[3].int_value(), 2);
+    EXPECT_GT(row[4].int_value(), 0);
+    EXPECT_GT(row[6].double_value(), 0.0);  // passes once the row exists
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PredicateIndexTest, LearnedOrderConvergesAndKeepsSemantics) {
+  // A cheap never-true conjunct authored AFTER an expensive LAT conjunct:
+  // learned ordering should promote the rejector to rank 0 among that
+  // rule's predicates, and the rule must never fire either way.
+  EngineHarness h(LearnedOptions());
+  h.DefineCountLat("Count_LAT");
+  h.AddRule("feed", "", "Query.Insert(Count_LAT)");
+  h.AddRule("expensive_first",
+            "Count_LAT.N + Count_LAT.N + Count_LAT.N >= 0 AND Query.ID < 0",
+            "Query.Persist(SinkE, ID)");
+  h.RunWorkload(200);
+
+  const OutcomeMap oc = h.Outcomes();
+  EXPECT_EQ(oc.at("expensive_first").fires, 0u);
+  EXPECT_EQ(oc.at("expensive_first").cond_false, 200u);
+  EXPECT_GT(h.monitor()->metrics().predindex_reorders.value(), 0u);
+
+  int64_t rejector_rank = -1;
+  int64_t expensive_rank = -1;
+  for (const auto& row : h.monitor()->SnapshotPredicateStats()) {
+    if (row.text == "(Query.ID < 0)") rejector_rank = row.rank;
+    if (row.text.find("count_lat.N + count_lat.N") != std::string::npos) {
+      expensive_rank = row.rank;
+    }
+  }
+  ASSERT_GE(rejector_rank, 0);
+  ASSERT_GE(expensive_rank, 0);
+  EXPECT_LT(rejector_rank, expensive_rank)
+      << "always-false cheap conjunct should be walked first";
+}
+
+TEST(PredicateIndexTest, ConcurrentEvalChurnAndReorderIsRaceFree) {
+  // TSan target: query threads evaluating through the index while a churn
+  // thread republishes the rule table and the reorderer republishes ranks.
+  MonitorEngine::Options options = LearnedOptions();
+  EngineHarness h(options);
+  h.DefineCountLat("Count_LAT");
+  h.AddRule("feed", "", "Query.Insert(Count_LAT)");
+  h.AddRule("stable", "Count_LAT.N >= 1 AND Query.Duration >= 0",
+            "Query.Persist(SinkS, ID)");
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&h, t] {
+      auto session = h.db()->CreateSession();
+      ParamMap params;
+      for (int i = 0; i < 200; ++i) {
+        params = {{"k", Value::Int((t * 7 + i) % 20)}};
+        auto result =
+            session->Execute("SELECT val FROM items WHERE id = @k", &params);
+        ASSERT_TRUE(result.ok()) << result.status();
+      }
+    });
+  }
+  std::thread churn([&h] {
+    for (int i = 0; i < 40; ++i) {
+      RuleSpec spec;
+      spec.name = "churn";
+      spec.event = "Query.Commit";
+      spec.condition = "Count_LAT.N >= 1";
+      spec.action = "Query.Persist(SinkC, ID)";
+      auto id = h.monitor()->AddRule(spec);
+      ASSERT_TRUE(id.ok());
+      ASSERT_TRUE(h.monitor()->RemoveRule(*id).ok());
+    }
+  });
+  for (auto& w : workers) w.join();
+  churn.join();
+
+  const OutcomeMap oc = h.Outcomes();
+  EXPECT_EQ(oc.at("stable").evals, 600u);
+  EXPECT_EQ(oc.at("stable").errors, 0u);
+}
+
+}  // namespace
+}  // namespace sqlcm::cm
