@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sqlcm/lat.h"
+#include "sqlcm/sketch.h"
 
 namespace sqlcm::cm {
 namespace {
@@ -105,6 +106,34 @@ void BM_LatInsertWithEviction(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LatInsertWithEviction);
+
+std::unique_ptr<Lat> MakeSketchLat(size_t quantile_budget) {
+  LatSpec spec;
+  spec.name = "bench_sketch";
+  spec.group_by = {{"Logical_Signature", "Sig"}};
+  spec.aggregates = {{LatAggFunc::kCount, "", "N", false},
+                     {LatAggFunc::kQuantile, "Duration", "P50", false, 0.5},
+                     {LatAggFunc::kQuantile, "Duration", "P95", false, 0.95},
+                     {LatAggFunc::kDistinct, "Query_Text", "DQ", false}};
+  spec.quantile_sketch_bytes = quantile_budget;
+  return std::move(*Lat::Create(std::move(spec)));
+}
+
+/// Sketch fold path: every insert updates two log-bucketed quantile
+/// sketches (with budget-collapse checks) and one HLL register array on
+/// top of the classic cells.
+void BM_LatInsertSketch(benchmark::State& state) {
+  auto lat = MakeSketchLat(static_cast<size_t>(state.range(0)));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    auto rec = MakeRecord(i, "sig" + std::to_string(i % 64),
+                          static_cast<double>((i % 9973) + 1) * 1e-3);
+    lat->Insert(&rec, 0);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatInsertSketch)->Arg(0)->Arg(4096)->Arg(512);
 
 void BM_LatLookup(benchmark::State& state) {
   auto lat = MakeAggLat(false);
@@ -245,6 +274,70 @@ void PrintSweepCell(const SweepCell& c) {
   std::fflush(stdout);
 }
 
+/// Sketch-bearing insert + merge throughput, one BENCH_JSON row. Inserts
+/// spread log-uniform-ish durations over `groups` groups so quantile
+/// sketches fill many buckets (and collapse under the byte budget), then
+/// measures repeated pairwise QuantileSketch merges — the FleetAggregator's
+/// delta-fold hot path.
+void RunSketchBench(bool quick) {
+  const uint64_t ops = quick ? 200'000 : 1'000'000;
+  const size_t groups = 64;
+  const size_t budget = 4096;
+
+  auto lat = MakeSketchLat(budget);
+  std::vector<QueryRecord> cycle;
+  // 256 distinct durations per group: enough occupied buckets that the
+  // 4096-byte budget forces observable collapse.
+  cycle.reserve(groups * 256);
+  for (size_t k = 0; k < groups * 256; ++k) {
+    // Durations span ~6 decades, like real query latency tails.
+    const double dur = 1e-4 * static_cast<double>((k * 2654435761u) % 9973 + 1)
+                       * static_cast<double>(k % 97 + 1);
+    cycle.push_back(MakeRecord(k, "sig" + std::to_string(k % groups), dur));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < ops; ++i) {
+    lat->Insert(&cycle[i % cycle.size()], 0);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  const double insert_secs =
+      std::chrono::duration<double>(stop - start).count();
+
+  size_t sketch_bytes = 0, sketch_cells = 0;
+  lat->SketchFootprint(&sketch_bytes, &sketch_cells);
+  const uint64_t collapses = lat->stats().sketch_collapses.value();
+
+  // Merge throughput: two populated sketches folded repeatedly (merge is
+  // idempotent in shape, so the target stays at steady-state size).
+  QuantileSketch a, b;
+  for (uint64_t i = 0; i < 100'000; ++i) {
+    a.Add(1e-4 * static_cast<double>(i % 9973 + 1));
+    b.Add(1e-3 * static_cast<double>(i % 7919 + 1));
+  }
+  const uint64_t merge_iters = quick ? 2'000 : 10'000;
+  const auto mstart = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < merge_iters; ++i) {
+    QuantileSketch target = a;
+    target.Merge(b);
+    benchmark::DoNotOptimize(target);
+  }
+  const auto mstop = std::chrono::steady_clock::now();
+  const double merge_secs =
+      std::chrono::duration<double>(mstop - mstart).count();
+
+  std::printf(
+      "BENCH_JSON {\"bench\":\"lat_sketch\",\"ops\":%llu,\"groups\":%zu,"
+      "\"quantile_budget_bytes\":%zu,\"inserts_per_sec\":%.0f,"
+      "\"sketch_bytes\":%zu,\"sketch_cells\":%zu,\"collapses\":%llu,"
+      "\"sketch_merges_per_sec\":%.0f}\n",
+      static_cast<unsigned long long>(ops), groups, budget,
+      insert_secs > 0 ? static_cast<double>(ops) / insert_secs : 0,
+      sketch_bytes, sketch_cells,
+      static_cast<unsigned long long>(collapses),
+      merge_secs > 0 ? static_cast<double>(merge_iters) / merge_secs : 0);
+  std::fflush(stdout);
+}
+
 int RunSweep(bool quick) {
   const std::vector<int> thread_counts =
       quick ? std::vector<int>{1, 8} : std::vector<int>{1, 2, 4, 8};
@@ -286,6 +379,7 @@ int RunSweep(bool quick) {
         sharded_8t_contended / single_8t_contended,
         sharded_1t_contended / single_1t_contended);
   }
+  RunSketchBench(quick);
   return 0;
 }
 

@@ -37,8 +37,12 @@ inline constexpr char kFedMagic[] = "#sqlcm-fed";
 inline constexpr int kFedVersion = 1;
 
 /// One shipped state record: the full state-schema row (group cells, then
-/// 9 codec cells per aggregate) plus how its additive moments relate to the
-/// baseline (incremental diff vs cumulative fresh restart).
+/// 9 codec cells per aggregate — 10 for sketch-bearing QUANTILE/DISTINCT
+/// aggregates, whose `#sketch` cell ships the sketch codec payload) plus
+/// how its additive moments relate to the baseline (incremental diff vs
+/// cumulative fresh restart). Quantile sketch payloads are additive like
+/// #sum (the delta carries bucket-count increments); DISTINCT payloads are
+/// fold-stable like #min/#max (cumulative registers, duplicate-safe).
 struct DeltaRecord {
   cm::Lat::StateDeltaMode mode = cm::Lat::StateDeltaMode::kIncremental;
   common::Row cells;

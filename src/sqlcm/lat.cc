@@ -27,6 +27,8 @@ const char* LatAggFuncName(LatAggFunc func) {
     case LatAggFunc::kMax: return "MAX";
     case LatAggFunc::kFirst: return "FIRST";
     case LatAggFunc::kLast: return "LAST";
+    case LatAggFunc::kQuantile: return "QUANTILE";
+    case LatAggFunc::kDistinct: return "DISTINCT";
   }
   return "?";
 }
@@ -43,6 +45,14 @@ Result<LatAggFunc> ParseLatAggFunc(std::string_view name) {
   if (EqualsIgnoreCase(name, "MAX")) return LatAggFunc::kMax;
   if (EqualsIgnoreCase(name, "FIRST")) return LatAggFunc::kFirst;
   if (EqualsIgnoreCase(name, "LAST")) return LatAggFunc::kLast;
+  if (EqualsIgnoreCase(name, "QUANTILE") ||
+      EqualsIgnoreCase(name, "PERCENTILE")) {
+    return LatAggFunc::kQuantile;
+  }
+  if (EqualsIgnoreCase(name, "DISTINCT") ||
+      EqualsIgnoreCase(name, "COUNT_DISTINCT")) {
+    return LatAggFunc::kDistinct;
+  }
   return Status::NotFound("unknown LAT aggregation function '" +
                           std::string(name) + "'");
 }
@@ -51,7 +61,7 @@ namespace {
 
 bool NeedsNumericInput(LatAggFunc func) {
   return func == LatAggFunc::kSum || func == LatAggFunc::kAvg ||
-         func == LatAggFunc::kStdev;
+         func == LatAggFunc::kStdev || func == LatAggFunc::kQuantile;
 }
 
 /// splitmix64 finalizer: decorrelates HashRow's low bits before they are
@@ -184,6 +194,16 @@ Result<std::unique_ptr<Lat>> Lat::Create(LatSpec spec) {
       return Status::InvalidArgument(
           "LAT '" + s.name + "': FIRST/LAST have no aging variant");
     }
+    if (col.aging && LatAggFuncIsSketch(col.func)) {
+      return Status::InvalidArgument(
+          "LAT '" + s.name + "': " + LatAggFuncName(col.func) +
+          " has no aging variant (per-block sketches are not supported)");
+    }
+    if (col.func == LatAggFunc::kQuantile &&
+        !(col.quantile >= 0.0 && col.quantile <= 1.0)) {
+      return Status::InvalidArgument(
+          "LAT '" + s.name + "': QUANTILE rank fraction must be in [0, 1]");
+    }
     lat->agg_getters_.push_back(getter);
     std::string name = col.alias;
     if (name.empty()) {
@@ -199,13 +219,28 @@ Result<std::unique_ptr<Lat>> Lat::Create(LatSpec spec) {
       case LatAggFunc::kSum:
       case LatAggFunc::kAvg:
       case LatAggFunc::kStdev:
+      case LatAggFunc::kQuantile:
         out_kind = ValueKind::kDouble;
+        break;
+      case LatAggFunc::kDistinct:
+        out_kind = ValueKind::kInt;
         break;
       default:
         out_kind = input_kind;
     }
     lat->column_kinds_.push_back(out_kind);
   }
+
+  // State-record geometry: per-aggregate base offsets (sketch-bearing
+  // aggregates carry a 10th `#sketch` codec cell).
+  lat->distinct_precision_ = std::clamp(s.distinct_precision, 4, 16);
+  size_t state_offset = lat->group_width();
+  for (const LatAggColumn& col : s.aggregates) {
+    lat->state_agg_base_.push_back(state_offset);
+    state_offset += LatAggFuncIsSketch(col.func) ? 10 : 9;
+    if (LatAggFuncIsSketch(col.func)) lat->has_sketch_ = true;
+  }
+  lat->state_width_ = state_offset;
 
   // Column names must be unique.
   for (size_t i = 0; i < lat->column_names_.size(); ++i) {
@@ -303,6 +338,29 @@ std::shared_ptr<Lat::LatRow> Lat::UnlinkLocked(Shard* shard, LatRow* row) {
 
 void Lat::FoldValue(AggState* state, const LatAggColumn& col, Value v,
                     int64_t now_micros) {
+  if (LatAggFuncIsSketch(col.func)) {
+    // Sketch aggregates keep only count + sketch (count drives the
+    // federation delta's fresh/changed detection; the scalar moments stay
+    // zero so the classic codec cells remain cheap).
+    ++state->count;
+    if (col.func == LatAggFunc::kQuantile) {
+      if (v.is_numeric()) {
+        if (state->qsketch == nullptr) {
+          state->qsketch = std::make_unique<QuantileSketch>();
+        }
+        state->qsketch->Add(v.AsDouble());
+        const int ups =
+            state->qsketch->CollapseToBudget(spec_.quantile_sketch_bytes);
+        if (ups > 0) stats_.sketch_collapses.Inc(static_cast<uint64_t>(ups));
+      }
+    } else if (!v.is_null()) {
+      if (state->hll == nullptr) {
+        state->hll = std::make_unique<HllSketch>(distinct_precision_);
+      }
+      state->hll->AddHash(DistinctValueHash(v));
+    }
+    return;
+  }
   if (col.aging) {
     // Locate (or open) the block for `now`; prune expired blocks.
     if (state->blocks == nullptr) {
@@ -390,28 +448,29 @@ Value Lat::AggValue(const AggState& state, const LatAggColumn& col,
   Value min = state.min, max = state.max;
   bool any = state.any;
   if (col.aging) {
+    // An unallocated block deque and a deque whose blocks have all aged
+    // out are the same empty window: both fall through to the shared
+    // switch with count = 0 / any = false, so every aggregate's
+    // empty-window answer (COUNT 0, STDEV 0, SUM/AVG/MIN/MAX NULL) comes
+    // from exactly one code path. (A duplicated early return here once
+    // disagreed with the aged-out path for aging STDEV — PR 7 — and the
+    // duplication itself was the bug class.)
     count = 0;
     sum = sumsq = 0;
     any = false;
     min = max = Value::Null();
-    if (state.blocks == nullptr) {
-      // No block deque is semantically an empty window: COUNT is 0 and
-      // STDEV follows the count<2 rule below, same as an allocated deque
-      // whose blocks have all aged out.
-      if (col.func == LatAggFunc::kCount) return Value::Int(0);
-      if (col.func == LatAggFunc::kStdev) return Value::Double(0);
-      return Value::Null();
-    }
-    const int64_t horizon = now_micros - spec_.aging_window_micros;
-    for (const AgingBlock& block : *state.blocks) {
-      if (block.block_start + spec_.aging_block_micros <= horizon) continue;
-      count += block.count;
-      sum += block.sum;
-      sumsq += block.sumsq;
-      if (block.any) {
-        if (!any || block.min.Compare(min) < 0) min = block.min;
-        if (!any || block.max.Compare(max) > 0) max = block.max;
-        any = true;
+    if (state.blocks != nullptr) {
+      const int64_t horizon = now_micros - spec_.aging_window_micros;
+      for (const AgingBlock& block : *state.blocks) {
+        if (block.block_start + spec_.aging_block_micros <= horizon) continue;
+        count += block.count;
+        sum += block.sum;
+        sumsq += block.sumsq;
+        if (block.any) {
+          if (!any || block.min.Compare(min) < 0) min = block.min;
+          if (!any || block.max.Compare(max) > 0) max = block.max;
+          any = true;
+        }
       }
     }
   }
@@ -437,6 +496,15 @@ Value Lat::AggValue(const AggState& state, const LatAggColumn& col,
       return state.first;
     case LatAggFunc::kLast:
       return state.last;
+    case LatAggFunc::kQuantile:
+      // NULL until a numeric value has been folded (NaN/NULL inputs do not
+      // enter the sketch), mirroring SUM/AVG's empty answer.
+      return state.qsketch != nullptr && !state.qsketch->empty()
+                 ? Value::Double(state.qsketch->Quantile(col.quantile))
+                 : Value::Null();
+    case LatAggFunc::kDistinct:
+      // 0 (not NULL) for an empty set, matching COUNT's convention.
+      return Value::Int(state.hll != nullptr ? state.hll->Estimate() : 0);
   }
   return Value::Null();
 }
@@ -487,8 +555,44 @@ size_t Lat::ApproxRowBytesLocked(const LatRow& row) {
     if (state.blocks != nullptr) {
       bytes += state.blocks->size() * sizeof(AgingBlock);
     }
+    if (state.qsketch != nullptr) bytes += state.qsketch->ApproxBytes();
+    if (state.hll != nullptr) bytes += state.hll->ApproxBytes();
   }
   return bytes;
+}
+
+void Lat::SketchFootprint(size_t* sketch_bytes, size_t* sketch_cells) const {
+  size_t bytes = 0;
+  size_t cells = 0;
+  if (has_sketch_) {
+    std::vector<std::shared_ptr<LatRow>> rows;
+    rows.reserve(size());
+    for (size_t s = 0; s < shard_count_; ++s) {
+      const Shard& shard = shards_[s];
+      std::lock_guard<common::SpinLatch> map_guard(shard.map_latch);
+      for (const auto& [_, head] : shard.map) {
+        for (std::shared_ptr<LatRow> row = head; row != nullptr;
+             row = row->next) {
+          rows.push_back(row);
+        }
+      }
+    }
+    for (const auto& row : rows) {
+      std::lock_guard<common::SpinLatch> row_guard(row->latch);
+      for (const AggState& state : row->aggs) {
+        if (state.qsketch != nullptr) {
+          bytes += state.qsketch->ApproxBytes();
+          cells += state.qsketch->bucket_count();
+        }
+        if (state.hll != nullptr) {
+          bytes += state.hll->ApproxBytes();
+          cells += state.hll->register_count();
+        }
+      }
+    }
+  }
+  if (sketch_bytes != nullptr) *sketch_bytes = bytes;
+  if (sketch_cells != nullptr) *sketch_cells = cells;
 }
 
 namespace {
@@ -1085,6 +1189,18 @@ bool Lat::AdoptSeededRow(std::shared_ptr<LatRow> row, int64_t now_micros) {
 }
 
 Status Lat::SeedFrom(const storage::Table& table, int64_t now_micros) {
+  if (has_sketch_) {
+    // A materialized row carries only the sketch's point answer (one
+    // quantile / one estimate); reconstructing sketch state from it via the
+    // COUNT-driven ladder would seed garbage that then merges and ships as
+    // if it were real history. Fail cleanly instead — sketch-bearing LATs
+    // restore from v3 state snapshots (ImportState) only.
+    return Status::InvalidArgument(
+        "LAT '" + name() +
+        "' has sketch aggregates (QUANTILE/DISTINCT); materialized rows "
+        "cannot reconstruct sketch state — restore from a v3 state "
+        "snapshot (ImportState) instead");
+  }
   const size_t width = table.schema().num_columns();
   const bool with_timestamp = width == num_columns() + 1;
   if (!with_timestamp && width != num_columns()) {
@@ -1200,6 +1316,9 @@ Status Lat::SeedFrom(const storage::Table& table, int64_t now_micros) {
             state.min = state.max = state.first = state.last = v;
             state.any = !v.is_null();
             break;
+          case LatAggFunc::kQuantile:
+          case LatAggFunc::kDistinct:
+            break;  // unreachable: sketch-bearing specs rejected above
         }
       }
       AdoptSeededRow(std::move(row), now_micros);
@@ -1218,6 +1337,9 @@ std::vector<std::string> Lat::StateColumnNames() const {
                              "#max", "#first", "#last", "#blocks"}) {
       names.push_back(alias + part);
     }
+    if (LatAggFuncIsSketch(spec_.aggregates[a].func)) {
+      names.push_back(alias + "#sketch");
+    }
   }
   return names;
 }
@@ -1234,13 +1356,16 @@ std::vector<ValueKind> Lat::StateColumnKinds() const {
     for (int i = 0; i < 5; ++i) {
       kinds.push_back(ValueKind::kString);  // #min/#max/#first/#last/#blocks
     }
+    if (LatAggFuncIsSketch(spec_.aggregates[a].func)) {
+      kinds.push_back(ValueKind::kString);  // #sketch
+    }
   }
   return kinds;
 }
 
 Status Lat::ExportState(storage::Table* table,
                         int64_t timestamp_micros) const {
-  const size_t state_width = group_width() + 9 * spec_.aggregates.size();
+  const size_t state_width = this->state_width();
   const size_t width = table->schema().num_columns();
   const bool with_timestamp = width == state_width + 1;
   if (!with_timestamp && width != state_width) {
@@ -1276,8 +1401,10 @@ Status Lat::ExportState(storage::Table* table,
   return Status::OK();
 }
 
-void Lat::AppendStateAggs(const std::vector<AggState>& aggs, Row* record) {
-  for (const AggState& state : aggs) {
+void Lat::AppendStateAggs(const std::vector<AggState>& aggs,
+                          Row* record) const {
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    const AggState& state = aggs[a];
     record->push_back(Value::Int(state.count));
     record->push_back(Value::Double(state.sum));
     record->push_back(Value::Double(state.sumsq));
@@ -1306,11 +1433,20 @@ void Lat::AppendStateAggs(const std::vector<AggState>& aggs, Row* record) {
       }
     }
     record->push_back(Value::String(std::move(blocks)));
+    if (LatAggFuncIsSketch(spec_.aggregates[a].func)) {
+      // Empty sketches (no pointer yet) encode to "" so untouched cells
+      // stay compact; the codecs never emit `,`/`"`/newline, so the cell is
+      // CSV-safe without escaping.
+      std::string sketch;
+      if (state.qsketch != nullptr) sketch = state.qsketch->Encode();
+      if (state.hll != nullptr) sketch = state.hll->Encode();
+      record->push_back(Value::String(std::move(sketch)));
+    }
   }
 }
 
 Status Lat::ImportState(const storage::Table& table, int64_t now_micros) {
-  const size_t state_width = group_width() + 9 * spec_.aggregates.size();
+  const size_t state_width = this->state_width();
   const size_t width = table.schema().num_columns();
   const bool with_timestamp = width == state_width + 1;
   if (!with_timestamp && width != state_width) {
@@ -1344,7 +1480,7 @@ Status Lat::ParseStateAggs(const Row& record,
   aggs->clear();
   aggs->resize(spec_.aggregates.size());
   for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
-    const size_t base = group_width() + 9 * a;
+    const size_t base = state_agg_base_[a];
     AggState& state = (*aggs)[a];
     const Value& count_v = record[base];
     const Value& sum_v = record[base + 1];
@@ -1388,6 +1524,29 @@ Status Lat::ParseStateAggs(const Row& record,
       }
       state.blocks = std::move(blocks);
     }
+    if (LatAggFuncIsSketch(spec_.aggregates[a].func)) {
+      const Value& sketch_v = record[base + 9];
+      if (sketch_v.is_string() && !sketch_v.string_value().empty()) {
+        if (spec_.aggregates[a].func == LatAggFunc::kQuantile) {
+          SQLCM_ASSIGN_OR_RETURN(
+              QuantileSketch sketch,
+              QuantileSketch::Decode(sketch_v.string_value()));
+          state.qsketch = std::make_unique<QuantileSketch>(std::move(sketch));
+        } else {
+          SQLCM_ASSIGN_OR_RETURN(HllSketch sketch,
+                                 HllSketch::Decode(sketch_v.string_value()));
+          if (sketch.precision() != distinct_precision_) {
+            // Mixed precisions cannot max-merge; surfacing the mismatch at
+            // decode keeps every later fold infallible.
+            return Status::ParseError(
+                "LAT '" + name() + "' state: DISTINCT sketch precision " +
+                std::to_string(sketch.precision()) + " does not match spec " +
+                std::to_string(distinct_precision_));
+          }
+          state.hll = std::make_unique<HllSketch>(std::move(sketch));
+        }
+      }
+    }
   }
   return Status::OK();
 }
@@ -1397,7 +1556,7 @@ Status Lat::ParseStateAggs(const Row& record,
 // ---------------------------------------------------------------------------
 
 Status Lat::CheckStateRecordWidth(const Row& record) const {
-  const size_t state_width = group_width() + 9 * spec_.aggregates.size();
+  const size_t state_width = this->state_width();
   if (record.size() != state_width) {
     return Status::InvalidArgument(
         "state record has " + std::to_string(record.size()) +
@@ -1417,6 +1576,25 @@ void Lat::FoldAggState(AggState* dst, const AggState& src) {
     if (!dst->any || src.max.Compare(dst->max) > 0) dst->max = src.max;
     dst->last = src.last;
     dst->any = true;
+  }
+  if (src.qsketch != nullptr) {
+    if (dst->qsketch == nullptr) {
+      dst->qsketch = std::make_unique<QuantileSketch>(*src.qsketch);
+    } else {
+      dst->qsketch->Merge(*src.qsketch);
+    }
+    const int ups =
+        dst->qsketch->CollapseToBudget(spec_.quantile_sketch_bytes);
+    if (ups > 0) stats_.sketch_collapses.Inc(static_cast<uint64_t>(ups));
+  }
+  if (src.hll != nullptr) {
+    if (dst->hll == nullptr) {
+      dst->hll = std::make_unique<HllSketch>(*src.hll);
+    } else {
+      // Same-precision by construction: ParseStateAggs rejects records
+      // whose HLL precision differs from this LAT's spec.
+      (void)dst->hll->Merge(*src.hll);
+    }
   }
   if (src.blocks == nullptr) return;
   if (dst->blocks == nullptr) {
@@ -1531,6 +1709,19 @@ Result<Lat::StateDeltaMode> Lat::DiffStateRecord(const Row& current,
     d.first = cur[a].first;
     d.last = cur[a].last;
     if (d.count != 0) changed = true;
+    if (cur[a].qsketch != nullptr) {
+      // Quantile sketches are additive: ship the bucket-count increments
+      // since the baseline (Subtract aligns the baseline up to the current
+      // collapse level first, so a mid-epoch collapse still diffs cleanly).
+      auto dq = std::make_unique<QuantileSketch>(*cur[a].qsketch);
+      if (base[a].qsketch != nullptr) dq->Subtract(*base[a].qsketch);
+      if (!dq->empty()) d.qsketch = std::move(dq);
+    }
+    if (cur[a].hll != nullptr) {
+      // HLL registers are fold-stable (max-merge is idempotent): the delta
+      // carries the cumulative register array, like #min/#max.
+      d.hll = std::make_unique<HllSketch>(*cur[a].hll);
+    }
     if (cur[a].blocks == nullptr) continue;
     auto bi = base[a].blocks != nullptr ? base[a].blocks->begin()
                                         : std::deque<AgingBlock>::iterator();
@@ -1589,6 +1780,18 @@ Result<Row> Lat::CombineStateRecords(const Row& base, const Row& delta,
     r.max = d.max;
     r.first = d.first;
     r.last = d.last;
+    if (d.qsketch != nullptr) {
+      // Additive: add the shipped increments onto the baseline's sketch.
+      if (r.qsketch == nullptr) {
+        r.qsketch = std::make_unique<QuantileSketch>(*d.qsketch);
+      } else {
+        r.qsketch->Merge(*d.qsketch);
+      }
+    }
+    if (d.hll != nullptr) {
+      // Cumulative: the delta's register array replaces, like #min/#max.
+      r.hll = std::make_unique<HllSketch>(*d.hll);
+    }
     if (d.blocks == nullptr) continue;
     if (r.blocks == nullptr) {
       r.blocks = std::make_unique<std::deque<AgingBlock>>();
@@ -1625,7 +1828,7 @@ Result<Row> Lat::CombineStateRecords(const Row& base, const Row& delta,
 }
 
 Status Lat::MergeState(const storage::Table& table, int64_t now_micros) {
-  const size_t state_width = group_width() + 9 * spec_.aggregates.size();
+  const size_t state_width = this->state_width();
   const size_t width = table.schema().num_columns();
   const bool with_timestamp = width == state_width + 1;
   if (!with_timestamp && width != state_width) {

@@ -4,7 +4,9 @@
 //   * grouping columns + aggregation functions (COUNT/SUM/AVG/STDEV/MIN/
 //     MAX/FIRST/LAST), each optionally in an *aging* variant that reflects
 //     only the last `t` time units, bucketed into blocks of width `Δ`
-//     (storage ≤ 2t/Δ blocks per aggregate, §4.3);
+//     (storage ≤ 2t/Δ blocks per aggregate, §4.3), plus the mergeable
+//     sketch aggregates QUANTILE(expr, q) and DISTINCT(expr) (sketch.h;
+//     non-aging only);
 //   * a maximum size (rows) with ordering columns: when an insertion
 //     violates the size bound the "least important" row (the one that
 //     sorts last under the declared ordering) is evicted, and the evicted
@@ -39,6 +41,7 @@
 #include "common/value.h"
 #include "obs/metrics.h"
 #include "sqlcm/schema.h"
+#include "sqlcm/sketch.h"
 #include "storage/table.h"
 
 namespace sqlcm::cm {
@@ -57,10 +60,25 @@ enum class LatAggFunc : uint8_t {
   kMax,
   kFirst,
   kLast,
+  /// QUANTILE(attr, q): DDSketch-style log-bucketed histogram with a
+  /// relative-error guarantee (sketch.h); NULL while no numeric value has
+  /// been folded. No aging variant (per-block sketch budgets are a
+  /// follow-on); LatAggColumn::quantile carries q.
+  kQuantile,
+  /// DISTINCT(attr): HLL-style register array (sketch.h); 0 while no
+  /// non-NULL value has been folded. No aging variant.
+  kDistinct,
 };
 
 const char* LatAggFuncName(LatAggFunc func);
 common::Result<LatAggFunc> ParseLatAggFunc(std::string_view name);
+
+/// True for the sketch-backed aggregates whose per-cell state is a mergeable
+/// summary rather than scalar moments (QUANTILE/DISTINCT). Their v3 state
+/// records carry a 10th `#sketch` codec cell (see StateColumnNames).
+inline bool LatAggFuncIsSketch(LatAggFunc func) {
+  return func == LatAggFunc::kQuantile || func == LatAggFunc::kDistinct;
+}
 
 /// One element of a vectorized insert (Lat::InsertBatch): the probed record
 /// plus the event timestamp it carried, so batched folds see exactly the
@@ -80,6 +98,8 @@ struct LatAggColumn {
   std::string attribute;  // input probe; may be empty for COUNT
   std::string alias;      // output column name; empty -> FUNC_attribute
   bool aging = false;     // moving-window variant
+  /// kQuantile only: the rank fraction q in [0, 1] (0.5 = median).
+  double quantile = 0.5;
 };
 
 struct LatOrdering {
@@ -109,6 +129,14 @@ struct LatSpec {
   /// up to a power of two and clamped to [1, 1024]. Aggregate results are
   /// independent of the shard count (only contention behaviour changes).
   size_t shard_count = 0;
+  /// Per-cell byte budget for each QUANTILE sketch: when a fold pushes a
+  /// cell's sketch over this, it collapses (level-up, halving resolution
+  /// but widening the documented relative-error bound, sketch.h) until it
+  /// fits. 0 = unbounded. Counted in LatStats::sketch_collapses.
+  size_t quantile_sketch_bytes = 4096;
+  /// HLL precision p for DISTINCT aggregates (2^p one-byte registers per
+  /// cell; standard error ~1.04/sqrt(2^p)). Clamped to [4, 16].
+  int distinct_precision = 10;
 };
 
 /// Per-LAT runtime statistics (surfaced via sqlcm_lat_stats). Latch counters
@@ -127,6 +155,10 @@ struct LatStats {
   /// ⌈2t/Δ⌉ bound (happens while shed_aging defers pruning; merged blocks
   /// are always already outside the window, so reads are unaffected).
   obs::Counter aging_merges;
+  /// QUANTILE sketch level-ups forced by LatSpec::quantile_sketch_bytes
+  /// (each halves the cell's bucket resolution; surfaced per LAT via
+  /// sqlcm_lat_stats so budget pressure is observable).
+  obs::Counter sketch_collapses;
   obs::LatencyHistogram upsert_micros;
   // Span-profiling attribution (sampled traces only; see sqlcm_profile).
   obs::Counter upsert_spans;
@@ -231,6 +263,16 @@ class Lat {
     return shed_aging_.load(std::memory_order_relaxed);
   }
 
+  /// True when any aggregate is sketch-backed (QUANTILE/DISTINCT). Such
+  /// LATs need the v3 state-snapshot codec: materialized (v1/plain-CSV)
+  /// restores cannot reconstruct sketch state and are rejected by SeedFrom.
+  bool HasSketchAggs() const { return has_sketch_; }
+
+  /// Sums the live sketch footprint across all rows (for sqlcm_lat_stats):
+  /// approximate bytes and the total bucket/register cell count. Takes each
+  /// row latch briefly; both outputs may be null.
+  void SketchFootprint(size_t* sketch_bytes, size_t* sketch_cells) const;
+
   /// Monotone count of Reset() calls. Federation export snapshots it per
   /// epoch: a change forces a full (mode-F) ship even when the post-reset
   /// additive counts happen to match the baseline — the delta arithmetic
@@ -263,11 +305,15 @@ class Lat {
 
   // -- Raw-state persistence (v2 snapshots; lossless restart) -----------------
 
-  /// Schema of the v2 state record: the group columns, then for every
+  /// Schema of the raw state record: the group columns, then for every
   /// aggregate column `A` the raw moments `A#count` (INT), `A#sum`,
   /// `A#sumsq` (DOUBLE), `A#any` (BOOL), `A#min`, `A#max`, `A#first`,
   /// `A#last` (STRING, kind-tagged codec) and `A#blocks` (STRING, the
-  /// aging-block deque codec; empty for non-aging aggregates).
+  /// aging-block deque codec; empty for non-aging aggregates). Sketch
+  /// aggregates (QUANTILE/DISTINCT) append a 10th `A#sketch` cell (STRING,
+  /// the sketch codec from sketch.h) — such snapshots are written as v3
+  /// (docs/ROBUSTNESS.md) so older readers fail cleanly instead of
+  /// mis-parsing.
   std::vector<std::string> StateColumnNames() const;
   std::vector<common::ValueKind> StateColumnKinds() const;
 
@@ -352,6 +398,10 @@ class Lat {
     /// Aging variant only; lazily allocated (a default-constructed deque
     /// allocates, and non-aging rows are the hot path).
     std::unique_ptr<std::deque<AgingBlock>> blocks;
+    /// kQuantile only; lazily allocated on the first numeric fold.
+    std::unique_ptr<QuantileSketch> qsketch;
+    /// kDistinct only; lazily allocated on the first non-NULL fold.
+    std::unique_ptr<HllSketch> hll;
   };
 
   /// One group row. Field guards (latch hierarchy in the file comment):
@@ -409,18 +459,23 @@ class Lat {
   common::Row GroupKeyFor(const void* record) const;
   void FoldValue(AggState* state, const LatAggColumn& col, common::Value v,
                  int64_t now_micros);
-  /// Shared v2 state codec: parses the aggregate cells of a state record
+  /// Shared raw-state codec: parses the aggregate cells of a state record
   /// (starting at group_width()) into `*aggs` / appends them to `*record`.
   /// Used by Import/Export/Merge/Diff/Combine so every consumer agrees on
-  /// one encoding.
+  /// one encoding. Members (not statics): sketch-bearing aggregates add a
+  /// 10th `#sketch` cell, so the per-aggregate stride depends on the spec.
   common::Status ParseStateAggs(const common::Row& record,
                                 std::vector<AggState>* aggs) const;
-  static void AppendStateAggs(const std::vector<AggState>& aggs,
-                              common::Row* record);
+  void AppendStateAggs(const std::vector<AggState>& aggs,
+                       common::Row* record) const;
   /// Verifies `record` has exactly the state-record width (no timestamp).
   common::Status CheckStateRecordWidth(const common::Row& record) const;
+  /// Total state-record width (group columns + per-aggregate codec cells).
+  size_t state_width() const { return state_width_; }
   /// Folds `src` into `dst` under fleet-merge semantics (see MergeState).
-  static void FoldAggState(AggState* dst, const AggState& src);
+  /// Member: sketch merges honour the spec's byte budget (and count
+  /// collapses in stats_).
+  void FoldAggState(AggState* dst, const AggState& src);
   /// Post-merge aging hygiene: prune expired blocks, cap the deque like the
   /// insert path (merging the oldest pair when over ⌈2t/Δ⌉ + slack).
   void PruneMergedBlocks(AggState* state, int64_t now_micros);
@@ -471,6 +526,16 @@ class Lat {
   EvictCallback evict_callback_;
 
   size_t shard_count_ = 1;  // power of two
+  /// Any QUANTILE/DISTINCT aggregate in the spec (state records then use
+  /// the v3 codec with `#sketch` cells and SeedFrom is rejected).
+  bool has_sketch_ = false;
+  /// HLL precision after clamping (single source for folds and decode
+  /// validation).
+  int distinct_precision_ = HllSketch::kDefaultPrecision;
+  /// State-record geometry: total width and the first codec cell of each
+  /// aggregate (stride 9, or 10 for sketch-bearing aggregates).
+  size_t state_width_ = 0;
+  std::vector<size_t> state_agg_base_;
   /// Hard cap on a per-aggregate aging-block deque: when rotation would
   /// exceed it the two oldest blocks merge (§4.3 bound ⌈2t/Δ⌉; the +3 slack
   /// guarantees merged blocks are already outside the window). 0 when the

@@ -395,10 +395,16 @@ Status MonitorEngine::CheckpointLat(std::string_view lat_name,
   const int64_t cp_start = spans_on ? SteadyNanos() : 0;
   SQLCM_RETURN_IF_ERROR(lat->ExportState(staging.get(), now));
   int retries = 0;
+  // Sketch-bearing state records carry extra `#sketch` cells, so they are
+  // tagged v3 — a reader without sketch support then rejects the file
+  // cleanly instead of mis-indexing the codec cells.
+  const int snapshot_version = lat->HasSketchAggs()
+                                   ? storage::kSnapshotVersionV3
+                                   : storage::kSnapshotVersionV2;
   Status status = storage::WriteTableCsvWithRetry(
       *staging, file_path, options_.persist_attempts,
       options_.persist_backoff_micros, db_->clock(), &retries,
-      storage::kSnapshotVersionV2);
+      snapshot_version);
   if (spans_on) {
     const int64_t dur = SteadyNanos() - cp_start;
     obs::Span span;
@@ -433,21 +439,28 @@ Status MonitorEngine::RestoreLat(std::string_view lat_name,
                                 ".bak'; primary rejected: " +
                                 info.primary_error));
   };
-  // v2 first: load against the raw-state schema and accept only when the
-  // file that actually passed verification is tagged v2 (the version check
+  // Raw state first: load against the state schema and accept only when
+  // the file that actually passed verification carries a matching state
+  // version — v3 for sketch-bearing LATs, v2 otherwise (the version check
   // disambiguates bodies whose arity happens to coincide).
+  const int state_version = lat->HasSketchAggs()
+                                ? storage::kSnapshotVersionV3
+                                : storage::kSnapshotVersionV2;
   {
     SQLCM_ASSIGN_OR_RETURN(auto staging, MakeLatStateStagingTable(*lat));
     storage::SnapshotLoadInfo info;
     Status status =
         storage::LoadTableCsv(staging.get(), file_path, nullptr, &info);
-    if (status.ok() && info.version == storage::kSnapshotVersionV2) {
+    if (status.ok() && info.version == state_version) {
       note_fallback(info);
       return lat->ImportState(*staging, now);
     }
   }
   // v1 / legacy headerless CSV: materialized rows, seeded with the
-  // documented lossy semantics (Lat::SeedFrom).
+  // documented lossy semantics (Lat::SeedFrom). Sketch-bearing LATs reject
+  // this path inside SeedFrom (their state cannot be reconstructed from
+  // materialized rows), so a stale/foreign snapshot surfaces as a clean
+  // error instead of seeding garbage.
   SQLCM_ASSIGN_OR_RETURN(auto staging, MakeLatStagingTable(*lat));
   storage::SnapshotLoadInfo info;
   Status status =
@@ -457,7 +470,9 @@ Status MonitorEngine::RestoreLat(std::string_view lat_name,
     return status;
   }
   note_fallback(info);
-  return lat->SeedFrom(*staging, now);
+  Status seed = lat->SeedFrom(*staging, now);
+  if (!seed.ok()) RecordError(seed);
+  return seed;
 }
 
 // ---------------------------------------------------------------------------
@@ -470,7 +485,18 @@ Result<uint64_t> MonitorEngine::AddRule(const RuleSpec& spec) {
   SQLCM_ASSIGN_OR_RETURN(auto compiled, RuleCompiler::Compile(spec, *this));
   std::shared_ptr<CompiledRule> rule = std::move(compiled);
   rule->breaker.Configure(options_.breaker);
-  rule->rate_limiter.Configure(options_.action_rate_limit);
+  // Per-rule rate-limit override: >0 replaces the engine-wide cap, <0
+  // disables limiting for this rule, 0 keeps the engine default.
+  ActionRateLimiter::Options rate_limit = options_.action_rate_limit;
+  if (spec.rate_limit_max_actions < 0) {
+    rate_limit.max_actions = 0;
+  } else if (spec.rate_limit_max_actions > 0) {
+    rate_limit.max_actions = spec.rate_limit_max_actions;
+    if (spec.rate_limit_window_micros > 0) {
+      rate_limit.window_micros = spec.rate_limit_window_micros;
+    }
+  }
+  rule->rate_limiter.Configure(rate_limit);
   std::lock_guard<std::mutex> lock(registry_mutex_);
   rule->id = next_rule_id_++;
   rules_.push_back(rule);

@@ -41,6 +41,11 @@ Result<std::unique_ptr<ReferenceLat>> ReferenceLat::Create(LatSpec spec) {
       }
       getter = schema.attributes(s.object_class)[attr].getter;
     }
+    if (col.aging && LatAggFuncIsSketch(col.func)) {
+      return Status::InvalidArgument(
+          "ReferenceLat '" + s.name + "': " + LatAggFuncName(col.func) +
+          " has no aging variant");
+    }
     ref->agg_getters_.push_back(getter);
     std::string name = col.alias;
     if (name.empty()) {
@@ -68,6 +73,16 @@ Result<std::unique_ptr<ReferenceLat>> ReferenceLat::Create(LatSpec spec) {
       return Status::InvalidArgument(
           "ReferenceLat '" + s.name +
           "': aging ordering columns are out of the oracle's scope");
+    }
+    if (static_cast<size_t>(idx) >= groups &&
+        LatAggFuncIsSketch(
+            s.aggregates[static_cast<size_t>(idx) - groups].func)) {
+      // The production LAT orders by its *approximate* sketch answers; an
+      // exact recompute would evict different rows, so sketch-ordered
+      // eviction cannot be oracled.
+      return Status::InvalidArgument(
+          "ReferenceLat '" + s.name +
+          "': sketch ordering columns are out of the oracle's scope");
     }
     ref->ordering_columns_.push_back(idx);
   }
@@ -189,6 +204,37 @@ Value ReferenceLat::AggValueFor(const Group& group, size_t agg,
       return first;
     case LatAggFunc::kLast:
       return last;
+    case LatAggFunc::kQuantile: {
+      // Exact rank-⌊q·(n−1)⌋ of the same multiset the sketch folds
+      // (numeric, non-NaN); the differential oracle asserts the production
+      // answer lands within the sketch's documented relative-error bound.
+      std::vector<double> values;
+      for (const Entry& e : group.entries) {
+        const Value& v = e.values[agg];
+        if (v.is_numeric() && !std::isnan(v.AsDouble())) {
+          values.push_back(v.AsDouble());
+        }
+      }
+      if (values.empty()) return Value::Null();
+      std::sort(values.begin(), values.end());
+      const double q = std::clamp(spec_.aggregates[agg].quantile, 0.0, 1.0);
+      const size_t rank = static_cast<size_t>(std::floor(
+          q * static_cast<double>(values.size() - 1)));
+      return Value::Double(values[rank]);
+    }
+    case LatAggFunc::kDistinct: {
+      // Exact cardinality under the sketch's own equality (hash collisions
+      // excepted): DistinctValueHash canonicalizes -0.0 and integral
+      // doubles exactly like the production HLL fold.
+      std::vector<uint64_t> hashes;
+      for (const Entry& e : group.entries) {
+        const Value& v = e.values[agg];
+        if (!v.is_null()) hashes.push_back(DistinctValueHash(v));
+      }
+      std::sort(hashes.begin(), hashes.end());
+      hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+      return Value::Int(static_cast<int64_t>(hashes.size()));
+    }
   }
   return Value::Null();
 }

@@ -193,6 +193,13 @@ struct RuleSpec {
   ///              eligible so the author learns why instead of silently
   ///              getting inline semantics
   std::string eval_mode;
+  /// Per-rule override of the engine-wide SendMail/Persist rate limit
+  /// (ActionRateLimiter; RULE_LANGUAGE.md "Action rate limiting"). 0 keeps
+  /// the engine default; a negative max_actions disables limiting for this
+  /// rule. rate_limit_window_micros applies only when rate_limit_max_actions
+  /// is > 0 (0 = keep the engine default window).
+  int rate_limit_max_actions = 0;
+  int64_t rate_limit_window_micros = 0;
 };
 
 /// True for event kinds whose rules may be evaluated off the triggering

@@ -94,6 +94,9 @@ SystemViews::SystemViews(MonitorEngine* monitor, engine::Database* db)
                                     {"latch_acquisitions", 'i'},
                                     {"latch_contention", 'i'},
                                     {"aging_merges", 'i'},
+                                    {"sketch_bytes", 'i'},
+                                    {"sketch_cells", 'i'},
+                                    {"sketch_collapses", 'i'},
                                     {"upsert_count", 'i'},
                                     {"upsert_p50_us", 'd'},
                                     {"upsert_p95_us", 'd'},
@@ -393,6 +396,12 @@ void SystemViews::RefreshLatStats(storage::Table* table) {
         Value::Int(static_cast<int64_t>(stats.latch_contention.value())));
     row.push_back(
         Value::Int(static_cast<int64_t>(stats.aging_merges.value())));
+    size_t sketch_bytes = 0, sketch_cells = 0;
+    lat->SketchFootprint(&sketch_bytes, &sketch_cells);
+    row.push_back(Value::Int(static_cast<int64_t>(sketch_bytes)));
+    row.push_back(Value::Int(static_cast<int64_t>(sketch_cells)));
+    row.push_back(
+        Value::Int(static_cast<int64_t>(stats.sketch_collapses.value())));
     row.push_back(
         Value::Int(static_cast<int64_t>(stats.upsert_micros.count())));
     row.push_back(Value::Double(pct.p50));

@@ -120,7 +120,7 @@ Status ParseSnapshotFile(const Table& table, const std::string& path,
                     &version, &crc, &len) != 3) {
       return Status::IOError("'" + path + "' has a malformed snapshot header");
     }
-    if (version < kSnapshotVersionV1 || version > kSnapshotVersionV2) {
+    if (version < kSnapshotVersionV1 || version > kSnapshotVersionV3) {
       return Status::IOError("'" + path + "' has unsupported snapshot version " +
                              std::to_string(version));
     }
@@ -233,7 +233,7 @@ Status WriteFileAtomic(const std::string& path, std::string_view content) {
 
 Status WriteTableCsv(const Table& table, const std::string& path,
                      int version) {
-  if (version < kSnapshotVersionV1 || version > kSnapshotVersionV2) {
+  if (version < kSnapshotVersionV1 || version > kSnapshotVersionV3) {
     return Status::InvalidArgument("unsupported snapshot version " +
                                    std::to_string(version));
   }

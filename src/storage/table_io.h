@@ -34,15 +34,19 @@ inline constexpr char kFaultSnapshotRead[] = "storage.snapshot.read";
 inline constexpr char kFaultSyncLogWrite[] = "storage.synclog.write";
 
 /// Snapshot container versions. The container layout (header + CRC + CSV
-/// body) is identical for both; the version tags what the *rows* mean so a
+/// body) is identical for all; the version tags what the *rows* mean so a
 /// reader can negotiate the record schema before parsing:
 ///   v1  materialized output rows (LAT columns + trailing timestamp)
 ///   v2  raw aggregation-state rows (moments + aging blocks; see
 ///       Lat::ExportState and docs/ROBUSTNESS.md)
+///   v3  v2 plus per-sketch-aggregate `#sketch` cells (QUANTILE/DISTINCT
+///       payloads) — written whenever the LAT has sketch aggregates, so a
+///       v2-only reader rejects the file instead of mis-indexing cells
 /// Version 0 denotes a legacy plain-CSV file without the magic header.
 inline constexpr int kSnapshotVersionLegacyCsv = 0;
 inline constexpr int kSnapshotVersionV1 = 1;
 inline constexpr int kSnapshotVersionV2 = 2;
+inline constexpr int kSnapshotVersionV3 = 3;
 
 /// Writes the full table to `path` as a checksummed snapshot tagged with
 /// `version`. The write is atomic: content goes to `path.tmp` (fsync) and

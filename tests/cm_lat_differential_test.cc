@@ -2,8 +2,9 @@
 // naive recompute-from-history ReferenceLat oracle (SQLancer-style).
 //
 // A single driver interleaves inserts, mock-clock advances, shed-aging
-// toggles, Resets and full checkpoint/restore cycles (ExportState → v2
-// snapshot file → LoadTableCsv → ImportState into a fresh Lat), then
+// toggles, Resets and full checkpoint/restore cycles (ExportState →
+// version-negotiated snapshot file (v3 when sketch cells are present, v2
+// otherwise) → LoadTableCsv → ImportState into a fresh Lat), then
 // periodically compares every group's materialized row between the two
 // implementations. Batched configs route production inserts through
 // Lat::InsertBatch (the async pipeline's vectorized flush) against the
@@ -19,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +35,7 @@
 #include "common/value.h"
 #include "sqlcm/lat.h"
 #include "sqlcm/reference_lat.h"
+#include "sqlcm/sketch.h"
 #include "storage/table.h"
 #include "storage/table_io.h"
 
@@ -88,7 +91,8 @@ std::unique_ptr<storage::Table> MakeStateTable(const Lat& lat) {
   return std::make_unique<storage::Table>(0, std::move(*schema));
 }
 
-LatSpec DiffSpec(bool bounded, size_t shard_count) {
+LatSpec DiffSpec(bool bounded, size_t shard_count, bool sketch,
+                 size_t sketch_budget) {
   LatSpec spec;
   spec.name = "Diff";
   spec.object_class = MonitoredClass::kQuery;
@@ -108,6 +112,19 @@ LatSpec DiffSpec(bool bounded, size_t shard_count) {
                      {LatAggFunc::kMin, "Duration", "AgMin", true},
                      {LatAggFunc::kMax, "Duration", "AgMax", true},
                      {LatAggFunc::kMin, "Query_Text", "AgMinText", true}};
+  if (sketch) {
+    // Sketch aggregates are non-aging by contract; the aging classic
+    // aggregates above still exercise block rotation in the same spec.
+    spec.aggregates.push_back({LatAggFunc::kQuantile, "Duration", "P50",
+                               false, 0.5});
+    spec.aggregates.push_back({LatAggFunc::kQuantile, "Duration", "P90",
+                               false, 0.9});
+    spec.aggregates.push_back({LatAggFunc::kDistinct, "Query_Text", "DText",
+                               false});
+    spec.aggregates.push_back({LatAggFunc::kDistinct, "Duration", "DDur",
+                               false});
+    spec.quantile_sketch_bytes = sketch_budget;  // 0 = unbounded
+  }
   spec.aging_window_micros = kWindowMicros;
   spec.aging_block_micros = kBlockMicros;
   spec.shard_count = shard_count;
@@ -131,6 +148,16 @@ struct DiffCase {
   /// eviction is batch-granular by design (one EvictOverBudget per batch),
   /// so per-item stepwise eviction is not the same contract.
   bool batched = false;
+  /// Append QUANTILE(P50/P90 over Duration) and DISTINCT(Query_Text,
+  /// Duration) columns. These are compared against the oracle's exact
+  /// recompute within documented error bounds instead of 1 ulp.
+  bool sketch = false;
+  /// LatSpec::quantile_sketch_bytes for sketch configs. 0 keeps the sketch
+  /// unbounded (level 0, alpha = kBaseAlpha, hostile duration shapes). A
+  /// positive budget forces observable collapse; those configs use tame
+  /// positive durations so the worst-case collapse level — and hence the
+  /// quantile error bound — stays derivable in the test.
+  size_t sketch_budget = 0;
 };
 
 class LatDifferentialTest : public ::testing::TestWithParam<DiffCase> {};
@@ -143,13 +170,15 @@ TEST_P(LatDifferentialTest, ProductionMatchesReferenceOracle) {
   // SQLCM_DIFF_SEED (PR-2 seed-logging convention).
   std::fprintf(stderr,
                "[differential] ops=%llu seed=%llu bounded=%d shards=%zu "
-               "batched=%d\n",
+               "batched=%d sketch=%d budget=%zu\n",
                static_cast<unsigned long long>(ops),
                static_cast<unsigned long long>(seed), param.bounded ? 1 : 0,
-               param.shard_count, param.batched ? 1 : 0);
+               param.shard_count, param.batched ? 1 : 0,
+               param.sketch ? 1 : 0, param.sketch_budget);
   RecordProperty("sqlcm_diff_seed", std::to_string(seed));
 
-  const LatSpec spec = DiffSpec(param.bounded, param.shard_count);
+  const LatSpec spec = DiffSpec(param.bounded, param.shard_count,
+                                param.sketch, param.sketch_budget);
   auto lat_or = Lat::Create(spec);
   ASSERT_TRUE(lat_or.ok()) << lat_or.status().ToString();
   std::unique_ptr<Lat> lat = std::move(*lat_or);
@@ -157,12 +186,40 @@ TEST_P(LatDifferentialTest, ProductionMatchesReferenceOracle) {
   ASSERT_TRUE(ref_or.ok()) << ref_or.status().ToString();
   std::unique_ptr<ReferenceLat> ref = std::move(*ref_or);
 
+  // Sketch columns are approximate by contract: compare them against the
+  // oracle's exact recompute within documented error bounds instead of the
+  // 1-ulp rule used everywhere else.
+  enum class ColBound { kExact, kQuantile, kDistinct };
+  std::vector<ColBound> col_bounds(
+      spec.group_by.size() + spec.aggregates.size(), ColBound::kExact);
+  for (size_t a = 0; a < spec.aggregates.size(); ++a) {
+    if (spec.aggregates[a].func == LatAggFunc::kQuantile) {
+      col_bounds[spec.group_by.size() + a] = ColBound::kQuantile;
+    } else if (spec.aggregates[a].func == LatAggFunc::kDistinct) {
+      col_bounds[spec.group_by.size() + a] = ColBound::kDistinct;
+    }
+  }
+  // Unbounded sketches stay at level 0: relative error kBaseAlpha. Budgeted
+  // configs feed log-uniform durations over an ln-range of 13.8 (see the
+  // insert arm), so collapse stops by level 4 (bucket width 0.02 * 2^4
+  // covers the range in <= 46 buckets, well inside a 4096-byte budget);
+  // alpha(4) = tanh(0.02 * 16 / 2) ~= 0.159.
+  const double quantile_rel_bound =
+      param.sketch_budget > 0 ? 0.17 : QuantileSketch::kBaseAlpha + 1e-6;
+  // HLL at kDefaultPrecision=10 has stderr 1.04/sqrt(1024) ~= 3.25%; allow
+  // 4 sigma plus absolute slack for the small-cardinality regime.
+  auto distinct_abs_bound = [](double exact) {
+    return std::max(5.0, 0.13 * exact + 3.0);
+  };
+
   common::Random rng(seed);
   common::MockClock clock(1);
   const std::string snapshot_path =
       ::testing::TempDir() + "/lat_differential_" +
       std::to_string(param.bounded) + "_" +
-      std::to_string(param.shard_count) + ".snap";
+      std::to_string(param.shard_count) + "_" +
+      std::to_string(param.sketch) + "_" +
+      std::to_string(param.sketch_budget) + ".snap";
   std::remove(snapshot_path.c_str());
   std::remove((snapshot_path + ".bak").c_str());
 
@@ -200,10 +257,31 @@ TEST_P(LatDifferentialTest, ProductionMatchesReferenceOracle) {
       if (!in_lat) continue;
       ASSERT_EQ(got.size(), want.size());
       for (size_t c = 0; c < got.size(); ++c) {
-        ASSERT_TRUE(ValuesAgree(got[c], want[c]))
-            << "divergence at op " << op << " (seed " << seed << ") key sig"
-            << k << " column '" << lat->column_names()[c] << "': production="
-            << got[c].ToString() << " reference=" << want[c].ToString();
+        const auto context = [&]() {
+          return "at op " + std::to_string(op) + " (seed " +
+                 std::to_string(seed) + ") key sig" + std::to_string(k) +
+                 " column '" + lat->column_names()[c] +
+                 "': production=" + got[c].ToString() +
+                 " reference=" + want[c].ToString();
+        };
+        if (col_bounds[c] == ColBound::kQuantile) {
+          ASSERT_EQ(got[c].is_null(), want[c].is_null())
+              << "quantile nullness divergence " << context();
+          if (got[c].is_null()) continue;
+          const double g = got[c].double_value();
+          const double w = want[c].double_value();
+          ASSERT_LE(std::abs(g - w),
+                    quantile_rel_bound * std::abs(w) + 1e-9)
+              << "quantile out of error bound " << context();
+        } else if (col_bounds[c] == ColBound::kDistinct) {
+          const double g = static_cast<double>(got[c].int_value());
+          const double w = static_cast<double>(want[c].int_value());
+          ASSERT_LE(std::abs(g - w), distinct_abs_bound(w))
+              << "distinct out of error bound " << context();
+        } else {
+          ASSERT_TRUE(ValuesAgree(got[c], want[c]))
+              << "divergence " << context();
+        }
       }
     }
   };
@@ -215,7 +293,12 @@ TEST_P(LatDifferentialTest, ProductionMatchesReferenceOracle) {
       rec.logical_signature = "sig" + std::to_string(rng.Uniform(kKeyPool));
       rec.text = kTexts[rng.Uniform(kTexts.size())];
       const uint64_t shape = rng.Uniform(16);
-      if (shape == 0) {
+      if (param.sketch_budget > 0) {
+        // Tame positive log-uniform range [~1e-3, 1e3]: ln-range 13.8 keeps
+        // the worst-case collapse level — and hence quantile_rel_bound —
+        // derivable. Other configs keep the hostile shapes below.
+        rec.duration_secs = std::exp(rng.NextDouble() * 13.8 - 6.9);
+      } else if (shape == 0) {
         rec.duration_secs = -rng.NextDouble() * 1e3;  // negative
       } else if (shape == 1) {
         rec.duration_secs = rng.NextDouble() * 1e300;  // huge magnitude
@@ -248,21 +331,25 @@ TEST_P(LatDifferentialTest, ProductionMatchesReferenceOracle) {
       ref->Reset();
     } else if (r < 960) {
       flush_batch();
-      // Full checkpoint/restore cycle through the v2 snapshot container:
+      // Full checkpoint/restore cycle through the version-negotiated
+      // snapshot container (v3 when sketch cells are present, v2 otherwise):
       // raw state -> CSV file -> fresh staging table -> fresh Lat.
+      const int snap_version = lat->HasSketchAggs()
+                                   ? storage::kSnapshotVersionV3
+                                   : storage::kSnapshotVersionV2;
+      ASSERT_EQ(lat->HasSketchAggs(), param.sketch);
       const int64_t now = clock.NowMicros();
       auto staging = MakeStateTable(*lat);
       auto status = lat->ExportState(staging.get(), now);
       ASSERT_TRUE(status.ok()) << status.ToString();
-      status = storage::WriteTableCsv(*staging, snapshot_path,
-                                      storage::kSnapshotVersionV2);
+      status = storage::WriteTableCsv(*staging, snapshot_path, snap_version);
       ASSERT_TRUE(status.ok()) << status.ToString();
       auto loaded = MakeStateTable(*lat);
       storage::SnapshotLoadInfo info;
       status = storage::LoadTableCsv(loaded.get(), snapshot_path, nullptr,
                                      &info);
       ASSERT_TRUE(status.ok()) << status.ToString();
-      ASSERT_EQ(info.version, storage::kSnapshotVersionV2);
+      ASSERT_EQ(info.version, snap_version);
       auto fresh = Lat::Create(spec);
       ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
       status = (*fresh)->ImportState(*loaded, now);
@@ -286,11 +373,20 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, LatDifferentialTest,
     ::testing::Values(DiffCase{false, 1}, DiffCase{false, 8},
                       DiffCase{true, 1}, DiffCase{true, 8},
-                      DiffCase{false, 1, true}, DiffCase{false, 8, true}),
+                      DiffCase{false, 1, true}, DiffCase{false, 8, true},
+                      DiffCase{false, 1, false, true},
+                      DiffCase{true, 8, false, true},
+                      DiffCase{false, 8, true, true},
+                      DiffCase{false, 8, false, true, 4096}),
     [](const ::testing::TestParamInfo<DiffCase>& info) {
-      return std::string(info.param.bounded ? "Bounded" : "Unbounded") +
-             "Shards" + std::to_string(info.param.shard_count) +
-             (info.param.batched ? "Batched" : "");
+      std::string name =
+          std::string(info.param.bounded ? "Bounded" : "Unbounded") +
+          "Shards" + std::to_string(info.param.shard_count);
+      if (info.param.batched) name += "Batched";
+      if (info.param.sketch) {
+        name += info.param.sketch_budget > 0 ? "SketchBudgeted" : "Sketch";
+      }
+      return name;
     });
 
 }  // namespace

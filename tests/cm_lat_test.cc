@@ -681,5 +681,317 @@ TEST(LatTest, ShedAgingStaysReadableAndBounded) {
   EXPECT_EQ(row[1].int_value(), 11);
 }
 
+// ---------------------------------------------------------------------------
+// Sketch aggregates (QUANTILE / DISTINCT)
+// ---------------------------------------------------------------------------
+
+LatSpec SketchSpec() {
+  LatSpec spec;
+  spec.name = "Sk";
+  spec.object_class = MonitoredClass::kQuery;
+  spec.group_by = {{"Logical_Signature", "Sig"}};
+  spec.aggregates = {{LatAggFunc::kCount, "", "N", false},
+                     {LatAggFunc::kQuantile, "Duration", "P50", false, 0.5},
+                     {LatAggFunc::kQuantile, "Duration", "P95", false, 0.95},
+                     {LatAggFunc::kDistinct, "Query_Text", "DText", false},
+                     {LatAggFunc::kDistinct, "Duration", "DDur", false}};
+  return spec;
+}
+
+TEST(LatSketchTest, QuantileAndDistinctFoldAndRead) {
+  LatSpec spec = SketchSpec();
+  spec.quantile_sketch_bytes = 0;  // unbounded: level-0 accuracy applies
+  auto lat = *Lat::Create(spec);
+  EXPECT_TRUE(lat->HasSketchAggs());
+  for (int i = 1; i <= 200; ++i) {
+    auto q = MakeQuery("s", static_cast<double>(i),
+                       "t" + std::to_string(i % 50));
+    lat->Insert(&q, 0);
+  }
+  Row row;
+  ASSERT_TRUE(lat->LookupByKey({Value::String("s")}, 0, &row));
+  EXPECT_EQ(row[1].int_value(), 200);  // COUNT
+  // Exact p50 of {1..200} is 100 (rank ⌊0.5·199⌋); p95 is 190. The sketch
+  // promises relative error alpha (1% at level 0, plus slack for the
+  // deterministic bucket rounding).
+  EXPECT_NEAR(row[2].double_value(), 100.0, 100.0 * 0.011);
+  EXPECT_NEAR(row[3].double_value(), 190.0, 190.0 * 0.011);
+  // 50 distinct texts / 200 distinct durations: small enough that the HLL
+  // linear-counting regime is near-exact.
+  EXPECT_NEAR(static_cast<double>(row[4].int_value()), 50.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(row[5].int_value()), 200.0, 12.0);
+}
+
+// QUANTILE answers NULL while no numeric value has entered the sketch (NaN
+// has no rank) — while COUNT and DISTINCT keep counting the folds.
+TEST(LatSketchTest, QuantileIsNullWhenOnlyNanFolded) {
+  auto lat = *Lat::Create(SketchSpec());
+  auto q = MakeQuery("s", std::nan(""), "text");
+  lat->Insert(&q, 0);
+  Row row;
+  ASSERT_TRUE(lat->LookupByKey({Value::String("s")}, 0, &row));
+  EXPECT_EQ(row[1].int_value(), 1);
+  EXPECT_TRUE(row[2].is_null());  // P50
+  EXPECT_TRUE(row[3].is_null());  // P95
+  EXPECT_EQ(row[4].int_value(), 1);
+  EXPECT_EQ(row[5].int_value(), 1);  // NaN is non-null: it counts as a value
+}
+
+// A restored record whose #sketch cells are empty (a group whose sketches
+// never folded anything) must read as the documented empty answers —
+// QUANTILE NULL, DISTINCT 0 — not garbage or a crash.
+TEST(LatSketchTest, EmptySketchCellsRestoreToNullAndZero) {
+  auto lat = *Lat::Create(SketchSpec());
+  auto q = MakeQuery("s", 7.0, "text");
+  lat->Insert(&q, 0);
+  auto exported = MakeStateTable(*lat);
+  ASSERT_TRUE(lat->ExportState(exported.get(), 0).ok());
+
+  const std::vector<std::string> names = lat->StateColumnNames();
+  auto blanked = MakeStateTable(*lat);
+  for (Row& record : AllTableRows(*exported)) {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i].size() > 7 &&
+          names[i].compare(names[i].size() - 7, 7, "#sketch") == 0) {
+        record[i] = Value::String("");
+      }
+    }
+    ASSERT_TRUE(blanked->Insert(std::move(record)).ok());
+  }
+  auto restored = *Lat::Create(SketchSpec());
+  ASSERT_TRUE(restored->ImportState(*blanked, 0).ok());
+  Row row;
+  ASSERT_TRUE(restored->LookupByKey({Value::String("s")}, 0, &row));
+  EXPECT_EQ(row[1].int_value(), 1);   // fold count survives
+  EXPECT_TRUE(row[2].is_null());      // QUANTILE: NULL on empty
+  EXPECT_TRUE(row[3].is_null());
+  EXPECT_EQ(row[4].int_value(), 0);   // DISTINCT: 0 on empty
+  EXPECT_EQ(row[5].int_value(), 0);
+}
+
+// A corrupt sketch cell must fail the import loudly, not restore silently.
+TEST(LatSketchTest, CorruptSketchCellRejectsImport) {
+  auto lat = *Lat::Create(SketchSpec());
+  auto q = MakeQuery("s", 7.0, "text");
+  lat->Insert(&q, 0);
+  auto exported = MakeStateTable(*lat);
+  ASSERT_TRUE(lat->ExportState(exported.get(), 0).ok());
+  auto corrupted = MakeStateTable(*lat);
+  const std::vector<std::string> names = lat->StateColumnNames();
+  for (Row& record : AllTableRows(*exported)) {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == "P50#sketch") record[i] = Value::String("garbage");
+    }
+    ASSERT_TRUE(corrupted->Insert(std::move(record)).ok());
+  }
+  auto restored = *Lat::Create(SketchSpec());
+  EXPECT_FALSE(restored->ImportState(*corrupted, 0).ok());
+}
+
+// v3 state snapshots must round-trip sketch-bearing LATs bit-exactly, even
+// after budget collapses raised the quantile sketch's level.
+TEST(LatSketchTest, SketchStateRoundTripIsIdempotent) {
+  LatSpec spec = SketchSpec();
+  spec.quantile_sketch_bytes = 1024;  // force mid-stream collapses
+  auto lat = *Lat::Create(spec);
+  common::Random rng(17);
+  for (int i = 0; i < 600; ++i) {
+    auto q = MakeQuery("sig" + std::to_string(rng.Uniform(5)),
+                       std::exp(rng.NextDouble() * 16.0 - 8.0),
+                       "t" + std::to_string(rng.Uniform(400)));
+    lat->Insert(&q, 0);
+  }
+  EXPECT_GT(lat->stats().sketch_collapses.value(), 0u);
+
+  auto first = MakeStateTable(*lat);
+  ASSERT_TRUE(lat->ExportState(first.get(), 9).ok());
+  auto restored = *Lat::Create(spec);
+  ASSERT_TRUE(restored->ImportState(*first, 0).ok());
+  EXPECT_EQ(restored->size(), lat->size());
+
+  for (int k = 0; k < 5; ++k) {
+    const Row key = {Value::String("sig" + std::to_string(k))};
+    Row a, b;
+    const bool in_orig = lat->LookupByKey(key, 0, &a);
+    ASSERT_EQ(in_orig, restored->LookupByKey(key, 0, &b));
+    if (!in_orig) continue;
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t c = 0; c < a.size(); ++c) {
+      EXPECT_EQ(a[c].ToString(), b[c].ToString())
+          << "column " << lat->column_names()[c];
+    }
+  }
+  auto second = MakeStateTable(*restored);
+  ASSERT_TRUE(restored->ExportState(second.get(), 9).ok());
+  EXPECT_EQ(RenderRows(AllTableRows(*first)), RenderRows(AllTableRows(*second)));
+}
+
+// Fleet-merge: folding one node's state export into another must read
+// exactly like a single LAT that saw every insert — including when budget
+// collapses happened at different points on each side (level-based collapse
+// commutes with merge).
+TEST(LatSketchTest, MergeStateFoldsSketchesExactly) {
+  LatSpec spec = SketchSpec();
+  spec.quantile_sketch_bytes = 2048;
+  auto whole = *Lat::Create(spec);
+  auto node_a = *Lat::Create(spec);
+  auto node_b = *Lat::Create(spec);
+  common::Random rng(23);
+  for (int i = 0; i < 500; ++i) {
+    auto q = MakeQuery("sig" + std::to_string(rng.Uniform(6)),
+                       std::exp(rng.NextDouble() * 12.0 - 6.0),
+                       "t" + std::to_string(rng.Uniform(300)));
+    whole->Insert(&q, 0);
+    (i % 2 == 0 ? node_a : node_b)->Insert(&q, 0);
+  }
+  auto shipped = MakeStateTable(*node_b);
+  ASSERT_TRUE(node_b->ExportState(shipped.get(), 0).ok());
+  ASSERT_TRUE(node_a->MergeState(*shipped, 0).ok());
+  EXPECT_EQ(node_a->size(), whole->size());
+  for (int k = 0; k < 6; ++k) {
+    const Row key = {Value::String("sig" + std::to_string(k))};
+    Row merged, mono;
+    ASSERT_TRUE(whole->LookupByKey(key, 0, &mono));
+    ASSERT_TRUE(node_a->LookupByKey(key, 0, &merged));
+    for (size_t c = 0; c < mono.size(); ++c) {
+      EXPECT_EQ(merged[c].ToString(), mono[c].ToString())
+          << "column " << whole->column_names()[c];
+    }
+  }
+}
+
+TEST(LatSketchTest, SpecValidationAndParseAliases) {
+  EXPECT_EQ(*ParseLatAggFunc("QUANTILE"), LatAggFunc::kQuantile);
+  EXPECT_EQ(*ParseLatAggFunc("percentile"), LatAggFunc::kQuantile);
+  EXPECT_EQ(*ParseLatAggFunc("DISTINCT"), LatAggFunc::kDistinct);
+  EXPECT_EQ(*ParseLatAggFunc("Count_Distinct"), LatAggFunc::kDistinct);
+
+  LatSpec aging_sketch = SketchSpec();
+  aging_sketch.aggregates = {{LatAggFunc::kQuantile, "Duration", "P", true, 0.5}};
+  aging_sketch.aging_window_micros = 10'000;
+  aging_sketch.aging_block_micros = 1'000;
+  EXPECT_FALSE(Lat::Create(std::move(aging_sketch)).ok());
+
+  LatSpec bad_q = SketchSpec();
+  bad_q.aggregates = {{LatAggFunc::kQuantile, "Duration", "P", false, 1.5}};
+  EXPECT_FALSE(Lat::Create(std::move(bad_q)).ok());
+
+  LatSpec nan_q = SketchSpec();
+  nan_q.aggregates = {
+      {LatAggFunc::kQuantile, "Duration", "P", false, std::nan("")}};
+  EXPECT_FALSE(Lat::Create(std::move(nan_q)).ok());
+
+  LatSpec string_quantile = SketchSpec();
+  string_quantile.aggregates = {
+      {LatAggFunc::kQuantile, "Query_Text", "P", false, 0.5}};
+  EXPECT_TRUE(Lat::Create(std::move(string_quantile)).status().IsTypeError());
+}
+
+// The per-cell byte budget must hold under a wide dynamic range, with the
+// pressure observable through stats and the footprint probe.
+TEST(LatSketchTest, QuantileBudgetCollapseIsObservableAndBounded) {
+  LatSpec spec;
+  spec.name = "Budget";
+  spec.group_by = {{"Logical_Signature", "Sig"}};
+  spec.aggregates = {{LatAggFunc::kQuantile, "Duration", "P90", false, 0.9}};
+  spec.quantile_sketch_bytes = 512;
+  auto lat = *Lat::Create(spec);
+  common::Random rng(31);
+  for (int i = 0; i < 3000; ++i) {
+    auto q = MakeQuery("s", std::exp(rng.NextDouble() * 14.0 - 7.0));
+    lat->Insert(&q, 0);
+  }
+  EXPECT_GT(lat->stats().sketch_collapses.value(), 0u);
+  size_t bytes = 0, cells = 0;
+  lat->SketchFootprint(&bytes, &cells);
+  EXPECT_GT(cells, 0u);
+  EXPECT_LE(bytes, spec.quantile_sketch_bytes);  // one group, one sketch cell
+  Row row;
+  ASSERT_TRUE(lat->LookupByKey({Value::String("s")}, 0, &row));
+  EXPECT_FALSE(row[1].is_null());
+  EXPECT_GT(row[1].double_value(), 0.0);
+
+  // A sketch-free LAT reports a zero footprint.
+  auto plain = *Lat::Create(BasicSpec());
+  EXPECT_FALSE(plain->HasSketchAggs());
+  plain->SketchFootprint(&bytes, &cells);
+  EXPECT_EQ(bytes, 0u);
+  EXPECT_EQ(cells, 0u);
+}
+
+// Legacy v1 materialized rows cannot reconstruct sketch state; SeedFrom must
+// reject the spec up front instead of silently zeroing the sketches.
+TEST(LatSketchTest, SeedFromRejectsSketchBearingSpec) {
+  auto lat = *Lat::Create(SketchSpec());
+  auto q = MakeQuery("s", 1.0, "t");
+  lat->Insert(&q, 0);
+  auto table = MakeV1Table(*lat);
+  ASSERT_TRUE(lat->PersistTo(table.get(), 0, 0).ok());
+
+  auto restored = *Lat::Create(SketchSpec());
+  const auto status = restored->SeedFrom(*table, 0);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_EQ(restored->size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate empty-window semantics (NULL-vs-0 audit)
+// ---------------------------------------------------------------------------
+
+// A row whose aging blocks have all expired and a restored row whose block
+// deque was never allocated are the same empty window: every aggregate must
+// answer identically on both (COUNT 0, STDEV 0, SUM/AVG/MIN/MAX NULL).
+TEST(LatTest, AgingEmptyWindowMatchesUnallocatedDeque) {
+  LatSpec spec;
+  spec.name = "Empty";
+  spec.group_by = {{"Logical_Signature", "Sig"}};
+  spec.aggregates = {{LatAggFunc::kCount, "", "AgN", true},
+                     {LatAggFunc::kSum, "Duration", "AgSum", true},
+                     {LatAggFunc::kAvg, "Duration", "AgAvg", true},
+                     {LatAggFunc::kStdev, "Duration", "AgSd", true},
+                     {LatAggFunc::kMin, "Duration", "AgMin", true},
+                     {LatAggFunc::kMax, "Duration", "AgMax", true}};
+  spec.aging_window_micros = 10'000;
+  spec.aging_block_micros = 1'000;
+  auto expired = *Lat::Create(spec);
+  auto q = MakeQuery("s", 5.0);
+  expired->Insert(&q, 0);
+
+  // Build the unallocated-deque twin by restoring the same record with its
+  // #blocks cells blanked (how a group that never folded an aging value
+  // round-trips through the state codec).
+  auto exported = MakeStateTable(*expired);
+  ASSERT_TRUE(expired->ExportState(exported.get(), 0).ok());
+  const std::vector<std::string> names = expired->StateColumnNames();
+  auto blanked = MakeStateTable(*expired);
+  for (Row& record : AllTableRows(*exported)) {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i].size() > 7 &&
+          names[i].compare(names[i].size() - 7, 7, "#blocks") == 0) {
+        record[i] = Value::String("");
+      }
+    }
+    ASSERT_TRUE(blanked->Insert(std::move(record)).ok());
+  }
+  auto unallocated = *Lat::Create(spec);
+  ASSERT_TRUE(unallocated->ImportState(*blanked, 0).ok());
+
+  const int64_t later = 1'000'000;  // far past the 10ms window
+  Row a, b;
+  ASSERT_TRUE(expired->LookupByKey({Value::String("s")}, later, &a));
+  ASSERT_TRUE(unallocated->LookupByKey({Value::String("s")}, later, &b));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t c = 0; c < a.size(); ++c) {
+    EXPECT_EQ(a[c].ToString(), b[c].ToString())
+        << "column " << expired->column_names()[c];
+  }
+  EXPECT_EQ(a[1].int_value(), 0);          // COUNT: 0, never NULL
+  EXPECT_TRUE(a[2].is_null());             // SUM
+  EXPECT_TRUE(a[3].is_null());             // AVG
+  EXPECT_DOUBLE_EQ(a[4].double_value(), 0.0);  // STDEV: 0 under 2 samples
+  EXPECT_TRUE(a[5].is_null());             // MIN
+  EXPECT_TRUE(a[6].is_null());             // MAX
+}
+
 }  // namespace
 }  // namespace sqlcm::cm

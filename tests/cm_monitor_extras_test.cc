@@ -87,6 +87,62 @@ TEST(LatByteLimitTest, ResetClearsByteAccounting) {
   EXPECT_EQ(lat->approx_bytes(), 0u);
 }
 
+// RuleSpec::rate_limit_max_actions overrides the engine-wide alert-storm
+// cap per rule: a positive value replaces the cap, a negative value opts
+// the rule out entirely, and 0 keeps the engine default. Suppressions are
+// attributed to the owning rule's stats.
+TEST(MonitorRateLimitTest, PerRuleOverridesOfEngineActionCap) {
+  engine::Database db;
+  MonitorEngine::Options opts;
+  opts.action_rate_limit.max_actions = 1;
+  opts.action_rate_limit.window_micros = 3'600'000'000;  // nothing ages out
+  MonitorEngine monitor(&db, opts);
+  auto session = db.CreateSession();
+  ASSERT_TRUE(
+      session->Execute("CREATE TABLE items (id INT, val FLOAT, PRIMARY KEY(id))")
+          .ok());
+  ASSERT_TRUE(session->Execute("INSERT INTO items VALUES (1, 1.0)").ok());
+
+  RuleSpec capped;
+  capped.name = "capped";
+  capped.event = "Query.Commit";
+  capped.action = "SendMail('capped', 'dba@x')";
+  ASSERT_TRUE(monitor.AddRule(capped).ok());
+
+  RuleSpec unlimited = capped;
+  unlimited.name = "unlimited";
+  unlimited.action = "SendMail('unlimited', 'dba@x')";
+  unlimited.rate_limit_max_actions = -1;
+  ASSERT_TRUE(monitor.AddRule(unlimited).ok());
+
+  RuleSpec wider = capped;
+  wider.name = "wider";
+  wider.action = "SendMail('wider', 'dba@x')";
+  wider.rate_limit_max_actions = 3;
+  ASSERT_TRUE(monitor.AddRule(wider).ok());
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(session->Execute("SELECT val FROM items WHERE id = 1").ok());
+  }
+
+  int capped_mails = 0, unlimited_mails = 0, wider_mails = 0;
+  for (const auto& mail : monitor.capturing_mailer()->mails()) {
+    if (mail.body == "capped") ++capped_mails;
+    if (mail.body == "unlimited") ++unlimited_mails;
+    if (mail.body == "wider") ++wider_mails;
+  }
+  EXPECT_EQ(capped_mails, 1);
+  EXPECT_EQ(unlimited_mails, 4);
+  EXPECT_EQ(wider_mails, 3);
+
+  for (const auto& rule : monitor.SnapshotRules()) {
+    const uint64_t suppressed = rule->stats.actions_suppressed.value();
+    if (rule->name == "capped") EXPECT_EQ(suppressed, 3u);
+    if (rule->name == "unlimited") EXPECT_EQ(suppressed, 0u);
+    if (rule->name == "wider") EXPECT_EQ(suppressed, 1u);
+  }
+}
+
 TEST_F(MonitorExtrasTest, TimerAlertAliasAccepted) {
   ASSERT_TRUE(monitor_.CreateTimer("t1").ok());
   RuleSpec rule;

@@ -479,6 +479,135 @@ TEST_F(LatCheckpointTest, CorruptV2HeaderFallsBackToBak) {
 }
 
 // ---------------------------------------------------------------------------
+// Sketch-bearing LAT checkpoints (v3 snapshot codec)
+// ---------------------------------------------------------------------------
+
+class SketchCheckpointTest : public FaultFixture {
+ protected:
+  SketchCheckpointTest()
+      : path_(::testing::TempDir() + "/robustness_sketch_lat.csv") {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".bak").c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+
+  /// A database + monitor with a sketch-bearing Sketch_LAT fed on commit.
+  struct Node {
+    engine::Database db;
+    MonitorEngine monitor;
+    std::unique_ptr<engine::Session> session;
+
+    Node() : monitor(&db), session(db.CreateSession()) {
+      Exec("CREATE TABLE items (id INT, val FLOAT, PRIMARY KEY(id))");
+      Exec("INSERT INTO items VALUES (1, 1.0)");
+      LatSpec spec;
+      spec.name = "Sketch_LAT";
+      spec.group_by = {{"Logical_Signature", "Sig"}};
+      spec.aggregates = {{LatAggFunc::kCount, "", "N", false},
+                         {LatAggFunc::kQuantile, "Duration", "P50", false, 0.5},
+                         {LatAggFunc::kDistinct, "Query_Text", "DQ", false}};
+      EXPECT_TRUE(monitor.DefineLat(std::move(spec)).ok());
+      RuleSpec feed;
+      feed.name = "feed";
+      feed.event = "Query.Commit";
+      feed.action = "Query.Insert(Sketch_LAT)";
+      EXPECT_TRUE(monitor.AddRule(feed).ok());
+    }
+
+    void Exec(const std::string& sql) {
+      auto result = session->Execute(sql);
+      ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+    }
+
+    void RunDistinctQueries(int n, int offset = 0) {
+      for (int i = 0; i < n; ++i) {
+        std::string cols = "val";
+        for (int j = 0; j < i + offset; ++j) cols += ", val";
+        Exec("SELECT " + cols + " FROM items WHERE id = 1");
+      }
+    }
+
+    Lat* lat() { return monitor.FindLat("Sketch_LAT"); }
+  };
+
+  /// A v1 legacy snapshot in Sketch_LAT's *materialized* schema — the shape
+  /// an old release (or a mis-pointed restore path) would hand us.
+  void WriteLegacyV1Snapshot() {
+    auto schema = catalog::TableSchema::Create(
+        "legacy",
+        {{"Sig", catalog::ColumnType::kString},
+         {"N", catalog::ColumnType::kInt},
+         {"P50", catalog::ColumnType::kDouble},
+         {"DQ", catalog::ColumnType::kInt},
+         {"persist_ts", catalog::ColumnType::kInt}},
+        {});
+    ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+    Table legacy(0, std::move(*schema));
+    ASSERT_TRUE(legacy
+                    .Insert({Value::String("legacy_sig"), Value::Int(4),
+                             Value::Double(2.5), Value::Int(3), Value::Int(9)})
+                    .ok());
+    ASSERT_TRUE(
+        WriteTableCsv(legacy, path_, storage::kSnapshotVersionV1).ok());
+  }
+
+  std::string path_;
+};
+
+TEST_F(SketchCheckpointTest, CheckpointWritesV3AndRoundTripsSketches) {
+  Node writer;
+  writer.RunDistinctQueries(3);
+  ASSERT_TRUE(writer.monitor.CheckpointLat("Sketch_LAT", path_).ok());
+  // Sketch-bearing state carries the extra #sketch cells -> v3 header.
+  EXPECT_NE(ReadFile(path_).find("v=3"), std::string::npos);
+
+  Node reader;
+  ASSERT_TRUE(reader.monitor.RestoreLat("Sketch_LAT", path_).ok());
+  ASSERT_EQ(reader.lat()->size(), writer.lat()->size());
+  for (const Row& expect : writer.lat()->Snapshot(0)) {
+    Row got;
+    ASSERT_TRUE(reader.lat()->LookupByKey({expect[0]}, 0, &got));
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t c = 0; c < expect.size(); ++c) {
+      EXPECT_EQ(got[c].ToString(), expect[c].ToString())
+          << "column " << writer.lat()->column_names()[c];
+    }
+  }
+  EXPECT_EQ(reader.monitor.metrics().persist_fallbacks.value(), 0u);
+}
+
+TEST_F(SketchCheckpointTest, V1SnapshotIsRejectedNotSilentlyZeroed) {
+  WriteLegacyV1Snapshot();
+  Node reader;
+  const common::Status status = reader.monitor.RestoreLat("Sketch_LAT", path_);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  // No half-restored garbage: the LAT stays empty and the failure is
+  // reported through the error ring.
+  EXPECT_EQ(reader.lat()->size(), 0u);
+  EXPECT_FALSE(reader.monitor.last_error().empty());
+}
+
+TEST_F(SketchCheckpointTest, V1PrimaryFallsBackToV3Bak) {
+  Node writer;
+  writer.RunDistinctQueries(2);
+  ASSERT_TRUE(writer.monitor.CheckpointLat("Sketch_LAT", path_).ok());
+  writer.RunDistinctQueries(2, /*offset=*/2);
+  ASSERT_TRUE(writer.monitor.CheckpointLat("Sketch_LAT", path_).ok());
+  ASSERT_TRUE(FileExists(path_ + ".bak"));
+  // An old release clobbers the primary with a v1 materialized snapshot
+  // (rotating the 4-group v3 snapshot into .bak); restore must reject the
+  // v1 primary and serve the last good v3 snapshot from .bak instead.
+  WriteLegacyV1Snapshot();
+
+  Node reader;
+  ASSERT_TRUE(reader.monitor.RestoreLat("Sketch_LAT", path_).ok());
+  EXPECT_EQ(reader.lat()->size(), 4u);
+  EXPECT_EQ(reader.monitor.metrics().persist_fallbacks.value(), 1u);
+  EXPECT_NE(reader.monitor.last_error().find("fallback"), std::string::npos)
+      << reader.monitor.last_error();
+}
+
+// ---------------------------------------------------------------------------
 // Rule quarantine in the live engine
 // ---------------------------------------------------------------------------
 

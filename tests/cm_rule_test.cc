@@ -429,6 +429,19 @@ TEST(ActionRateLimiterTest, CapsAdmissionsPerTrailingWindow) {
   EXPECT_EQ(limiter.suppressed(), 3u);
 }
 
+// The trailing window is half-open (now − window, now]: an admission that
+// happened at exactly now − window has aged out and frees its slot.
+TEST(ActionRateLimiterTest, AdmissionAtExactlyWindowEdgeIsExcluded) {
+  ActionRateLimiter limiter;
+  limiter.Configure({.max_actions = 1, .window_micros = 1'000});
+  EXPECT_TRUE(limiter.Admit(0));
+  EXPECT_FALSE(limiter.Admit(999));   // t=0 still inside (-1, 999]
+  EXPECT_TRUE(limiter.Admit(1'000));  // t=0 is exactly now − window: aged out
+  EXPECT_FALSE(limiter.Admit(1'999));
+  EXPECT_TRUE(limiter.Admit(2'000));
+  EXPECT_EQ(limiter.suppressed(), 2u);
+}
+
 TEST(ActionRateLimiterTest, ZeroMaxActionsDisablesLimiting) {
   ActionRateLimiter limiter;  // default options: max_actions = 0
   for (int64_t t = 0; t < 100; ++t) EXPECT_TRUE(limiter.Admit(t));

@@ -159,6 +159,30 @@ TEST_F(SystemViewsTest, LatStatsShowsRowsAndInserts) {
             2 * result.rows[0][1].int_value());
 }
 
+TEST_F(SystemViewsTest, LatStatsExposesSketchFootprint) {
+  LatSpec spec;
+  spec.name = "SketchLat";
+  spec.group_by = {{"Logical_Signature", "Sig"}};
+  spec.aggregates = {{LatAggFunc::kQuantile, "Duration", "P50", false, 0.5},
+                     {LatAggFunc::kDistinct, "Query_Text", "DQ", false}};
+  ASSERT_TRUE(monitor_.DefineLat(std::move(spec)).ok());
+  RuleSpec feed;
+  feed.name = "feed_sketch";
+  feed.event = "Query.Commit";
+  feed.action = "Query.Insert(SketchLat)";
+  ASSERT_TRUE(monitor_.AddRule(feed).ok());
+  for (int i = 0; i < 6; ++i) {
+    Exec("SELECT val FROM items WHERE id = " + std::to_string(i));
+  }
+  const QueryResult result = Query(
+      "SELECT sketch_bytes, sketch_cells, sketch_collapses FROM "
+      "sqlcm_lat_stats WHERE name = 'SketchLat'");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_GT(result.rows[0][0].int_value(), 0);  // live sketch footprint
+  EXPECT_GT(result.rows[0][1].int_value(), 0);  // buckets + registers
+  EXPECT_GE(result.rows[0][2].int_value(), 0);  // collapse pressure counter
+}
+
 TEST_F(SystemViewsTest, EventTraceRecordsWhenEnabled) {
   AddFeedRule();
   // Trace disabled: no rows even though events flow.
